@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// Shared workloads and helpers for the experiment binaries (E1..E14).
+/// Every experiment prints through fhg::analysis::Table so bench_output.txt
+/// is uniform and diff-able.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fhg/analysis/stats.hpp"
+#include "fhg/analysis/table.hpp"
+#include "fhg/graph/generators.hpp"
+#include "fhg/graph/graph.hpp"
+
+namespace fhg::bench {
+
+/// A named conflict-graph workload.
+struct Workload {
+  std::string name;
+  graph::Graph graph;
+};
+
+/// The standard graph families swept by the scheduling experiments.
+/// `scale` ~ number of nodes for the sparse families.
+inline std::vector<Workload> standard_workloads(graph::NodeId scale, std::uint64_t seed) {
+  std::vector<Workload> w;
+  w.push_back({"gnp-sparse", graph::gnp(scale, 8.0 / static_cast<double>(scale), seed)});
+  w.push_back({"barabasi-albert", graph::barabasi_albert(scale, 3, seed + 1)});
+  w.push_back({"grid", graph::grid2d(static_cast<graph::NodeId>(std::max(2.0, std::sqrt(scale))),
+                                     static_cast<graph::NodeId>(std::max(2.0, std::sqrt(scale))))});
+  w.push_back({"clique", graph::clique(std::min<graph::NodeId>(scale, 24))});
+  w.push_back({"star", graph::star(std::min<graph::NodeId>(scale, 257))});
+  w.push_back({"tree", graph::random_tree(scale, seed + 2)});
+  return w;
+}
+
+/// Buckets node degrees for compact per-degree tables: exact below 8, then
+/// powers of two.
+inline std::uint64_t degree_bucket(std::uint32_t d) {
+  if (d < 8) {
+    return d;
+  }
+  std::uint64_t b = 8;
+  while (b * 2 <= d) {
+    b *= 2;
+  }
+  return b;
+}
+
+/// Experiment banner: id, paper anchor, and what the table shows.
+inline void banner(const std::string& id, const std::string& anchor,
+                   const std::string& caption) {
+  std::cout << "\n==================================================================\n"
+            << id << "  [" << anchor << "]\n"
+            << caption << "\n"
+            << "==================================================================\n";
+}
+
+}  // namespace fhg::bench

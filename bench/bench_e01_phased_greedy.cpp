@@ -1,0 +1,78 @@
+// E1 — Theorem 3.1: the Phased Greedy Coloring algorithm guarantees that a
+// parent of degree d is happy at least once in every d+1 consecutive
+// holidays, with O(1) communication rounds per holiday.
+//
+// Regenerates, per graph family and per degree: the worst observed gap vs
+// the d+1 bound, for two initial colorings (sequential greedy and the
+// distributed Johansson run) — the bound must hold for both.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "fhg/coloring/greedy.hpp"
+#include "fhg/core/driver.hpp"
+#include "fhg/core/phased_greedy.hpp"
+#include "fhg/distributed/johansson.hpp"
+#include "fhg/distributed/phased_greedy.hpp"
+
+int main() {
+  using namespace fhg;
+  bench::banner("E1", "Theorem 3.1, Section 3",
+                "Phased greedy: per-degree worst gap vs the d+1 guarantee");
+
+  constexpr std::uint64_t kHorizon = 20'000;
+  for (const auto& [init_name, use_johansson] :
+       std::vector<std::pair<std::string, bool>>{{"greedy-largest-first", false},
+                                                 {"johansson-distributed", true}}) {
+    analysis::Table table(
+        {"family", "degree", "nodes", "worst gap", "mean gap bound d+1", "gap <= d+1"});
+    bool all_ok = true;
+    for (const auto& workload : bench::standard_workloads(2000, 1)) {
+      const graph::Graph& g = workload.graph;
+      const coloring::Coloring initial =
+          use_johansson ? distributed::johansson_color(g, 7).coloring
+                        : coloring::greedy_color(g, coloring::Order::kLargestFirst);
+      core::PhasedGreedyScheduler scheduler(g, initial);
+      const auto report = core::run_schedule(scheduler, {.horizon = kHorizon});
+      all_ok = all_ok && report.independence_ok && report.bounds_respected;
+
+      // Group worst gap by degree bucket.
+      std::vector<std::uint64_t> buckets;
+      std::vector<double> gaps;
+      for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+        buckets.push_back(bench::degree_bucket(g.degree(v)));
+        gaps.push_back(static_cast<double>(report.max_gap_with_tail[v]));
+      }
+      for (const auto& row : analysis::group_stats(buckets, gaps)) {
+        // Within a bucket the binding bound is the bucket's max degree+1;
+        // report the bucket floor+1 as the *mean* reference and check each
+        // node individually through bounds_respected.
+        table.row()
+            .add(workload.name)
+            .add(row.key)
+            .add(static_cast<std::uint64_t>(row.count))
+            .add(static_cast<std::uint64_t>(row.max))
+            .add(row.key + 1)
+            .add(report.bounds_respected);
+      }
+    }
+    std::cout << "\nInitial coloring: " << init_name << "\n";
+    table.print(std::cout);
+    std::cout << (all_ok ? "RESULT: PASS — every node respected gap <= deg+1\n"
+                         : "RESULT: FAIL — bound violated\n");
+  }
+
+  // Communication cost: O(1) rounds per holiday, messages only around happy
+  // nodes (the §3 "lightweight per holiday" claim).
+  const graph::Graph g = graph::gnp(500, 0.02, 3);
+  const auto run = distributed::run_phased_greedy(
+      g, coloring::greedy_color(g, coloring::Order::kLargestFirst), 200);
+  analysis::Table comm({"holidays", "rounds", "rounds/holiday", "messages/holiday"});
+  comm.row()
+      .add(std::uint64_t{200})
+      .add(run.stats.rounds)
+      .add(static_cast<double>(run.stats.rounds) / 200.0, 2)
+      .add(static_cast<double>(run.stats.messages) / 200.0, 1);
+  comm.print(std::cout);
+  return 0;
+}

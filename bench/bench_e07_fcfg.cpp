@@ -1,0 +1,91 @@
+// E7 — the §1 "first come first grab" baseline: parents wake in random
+// order and grab available children.  P[happy] = 1/(deg+1) per holiday, so
+// the *expected* gap is deg+1 — but the worst-case gap is unbounded and
+// grows ≈ (d+1)·ln(horizon) over long runs.
+//
+// Regenerates:
+//   (a) happiness frequency vs the exact 1/(d+1) landmark (Monte-Carlo,
+//       parallelized over the horizon with deterministic per-holiday RNG);
+//   (b) worst-gap growth with horizon — no guarantee materializes;
+//   (c) contrast row: the §3 phased greedy pins the worst gap at d+1.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "fhg/coloring/greedy.hpp"
+#include "fhg/core/driver.hpp"
+#include "fhg/core/fcfg.hpp"
+#include "fhg/core/phased_greedy.hpp"
+#include "fhg/parallel/parallel_for.hpp"
+
+int main() {
+  using namespace fhg;
+  bench::banner("E7", "Section 1 (first-come-first-grab)",
+                "Chaotic baseline: frequency matches 1/(d+1); worst gap drifts with horizon");
+
+  const graph::Graph g = graph::random_regular(400, 4, 71);  // all degrees = 4
+  core::FirstComeFirstGrabScheduler scheduler(g, 13);
+
+  // (a) Frequencies via parallel Monte-Carlo over the horizon (stateless
+  // happy_set_at allows arbitrary-order evaluation).
+  constexpr std::uint64_t kFreqHorizon = 100'000;
+  constexpr std::size_t kGrain = 4096;
+  parallel::ThreadPool pool;
+  // One accumulator per parallel_for chunk: chunk k covers t in
+  // [1 + k*grain, 1 + (k+1)*grain), so (t-1)/grain identifies it uniquely
+  // and no two concurrent chunks ever share a row.
+  std::vector<std::vector<std::uint64_t>> partial(kFreqHorizon / kGrain + 1,
+                                                  std::vector<std::uint64_t>(g.num_nodes(), 0));
+  parallel::parallel_for(
+      pool, 1, kFreqHorizon + 1,
+      [&](std::size_t t) {
+        std::vector<std::uint64_t>& mine = partial[(t - 1) / kGrain];
+        for (const graph::NodeId v : scheduler.happy_set_at(t)) {
+          ++mine[v];
+        }
+      },
+      kGrain);
+  std::vector<std::uint64_t> appearances(g.num_nodes(), 0);
+  for (const auto& p : partial) {
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      appearances[v] += p[v];
+    }
+  }
+  std::vector<double> freqs;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    freqs.push_back(static_cast<double>(appearances[v]) / kFreqHorizon);
+  }
+  const auto s = analysis::summarize(freqs);
+  analysis::Table freq({"metric", "value", "landmark 1/(d+1)"});
+  freq.row().add("mean frequency").add(s.mean, 4).add(0.2, 4);
+  freq.row().add("min frequency").add(s.min, 4).add("-");
+  freq.row().add("max frequency").add(s.max, 4).add("-");
+  freq.print(std::cout);
+
+  // (b) Worst-gap growth with horizon (sequential — gaps need order).
+  analysis::Table growth({"horizon", "worst gap (fcfg)", "(d+1) ln(horizon) ref",
+                          "worst gap (phased greedy)", "bound d+1"});
+  core::PhasedGreedyScheduler phased(g,
+                                     coloring::greedy_color(g, coloring::Order::kLargestFirst));
+  for (const std::uint64_t horizon : {1'000ULL, 10'000ULL, 100'000ULL}) {
+    const auto chaotic = core::run_schedule(scheduler, {.horizon = horizon});
+    const auto ordered = core::run_schedule(phased, {.horizon = horizon});
+    std::uint64_t worst_fcfg = 0;
+    std::uint64_t worst_pg = 0;
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      worst_fcfg = std::max(worst_fcfg, chaotic.max_gap_with_tail[v]);
+      worst_pg = std::max(worst_pg, ordered.max_gap_with_tail[v]);
+    }
+    growth.row()
+        .add(horizon)
+        .add(worst_fcfg)
+        .add(5.0 * std::log(static_cast<double>(horizon)), 1)
+        .add(worst_pg)
+        .add(std::uint64_t{5});
+  }
+  growth.print(std::cout);
+  std::cout << "RESULT: fcfg frequency sits on 1/(d+1) but its worst gap grows ~(d+1)ln(h);\n"
+               "the deterministic §3 algorithm holds the same average with worst gap d+1.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// E9 — Appendix A.1: maximizing single-holiday happiness is Maximum
+// Independent Set, which is MAXSNP-hard; exact solvers hit an exponential
+// wall while greedy stays linear (with a Caro–Wei quality floor).
+//
+// Regenerates: exact-MIS wall-clock vs n (google-benchmark), branch counts
+// showing the exponential search tree, and the greedy quality ratio.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "fhg/graph/generators.hpp"
+#include "fhg/mis/exact.hpp"
+#include "fhg/mis/greedy.hpp"
+
+namespace {
+
+using namespace fhg;
+
+void BM_ExactMis(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const graph::Graph g = graph::gnp(n, 0.35, 11);
+  std::uint64_t branches = 0;
+  for (auto _ : state) {
+    const auto result = mis::exact_mis(g);
+    branches = result->branch_count;
+    benchmark::DoNotOptimize(result->independent_set.data());
+  }
+  state.counters["branches"] = static_cast<double>(branches);
+}
+BENCHMARK(BM_ExactMis)->DenseRange(30, 90, 15)->Unit(benchmark::kMillisecond);
+
+void BM_GreedyMis(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const graph::Graph g = graph::gnp(n, 0.35, 11);
+  for (auto _ : state) {
+    const auto result = mis::greedy_mis(g);
+    benchmark::DoNotOptimize(result.data());
+  }
+}
+BENCHMARK(BM_GreedyMis)->DenseRange(30, 90, 15)->Unit(benchmark::kMillisecond);
+
+void print_quality_table() {
+  bench::banner("E9", "Appendix A.1 (hardness of happiness)",
+                "Exact MIS: exponential branch growth; greedy quality ratio");
+  analysis::Table table({"n", "exact MIS", "branches", "greedy MIS", "ratio", "Caro-Wei floor"});
+  for (const graph::NodeId n : {30U, 45U, 60U, 75U, 90U}) {
+    const graph::Graph g = graph::gnp(n, 0.35, 11);
+    const auto exact = mis::exact_mis(g);
+    const auto greedy = mis::greedy_mis(g);
+    table.row()
+        .add(std::uint64_t{n})
+        .add(static_cast<std::uint64_t>(exact->independent_set.size()))
+        .add(exact->branch_count)
+        .add(static_cast<std::uint64_t>(greedy.size()))
+        .add(static_cast<double>(greedy.size()) /
+                 static_cast<double>(exact->independent_set.size()),
+             3)
+        .add(mis::caro_wei_bound(g), 2);
+  }
+  table.print(std::cout);
+  std::cout << "RESULT: branch counts grow exponentially with n (the Appendix A wall);\n"
+               "greedy stays near-optimal on these densities at linear cost.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_quality_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

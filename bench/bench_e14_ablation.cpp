@@ -1,0 +1,149 @@
+// E14 — ablations on the design choices DESIGN.md calls out:
+//   (a) the periodicity price (the paper's §6 separation conjecture):
+//       periodic degree-bound period vs the aperiodic phased-greedy *actual*
+//       worst gap, per degree — the measured ratio lives in (1, 2];
+//   (b) prefix-code choice: mean realized period per scheduler when colors
+//       come from DSATUR vs greedy (coloring quality feeds the code);
+//   (c) parallel speedup of the Monte-Carlo driver (the hpc angle): FCFG
+//       frequency estimation across thread counts.
+
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "fhg/coloring/dsatur.hpp"
+#include "fhg/coloring/greedy.hpp"
+#include "fhg/core/degree_bound.hpp"
+#include "fhg/core/driver.hpp"
+#include "fhg/core/fcfg.hpp"
+#include "fhg/core/phased_greedy.hpp"
+#include "fhg/core/prefix_code_scheduler.hpp"
+#include "fhg/parallel/parallel_for.hpp"
+
+int main() {
+  using namespace fhg;
+  bench::banner("E14", "ablations (§6 conjecture; code/coloring choice; parallel driver)",
+                "Periodicity price, code x coloring matrix, Monte-Carlo speedup");
+
+  // (a) periodicity price per degree.
+  {
+    const graph::Graph g = graph::barabasi_albert(1500, 3, 77);
+    core::DegreeBoundScheduler periodic(g);
+    core::PhasedGreedyScheduler adaptive(
+        g, coloring::greedy_color(g, coloring::Order::kLargestFirst));
+    const auto adaptive_report = core::run_schedule(adaptive, {.horizon = 20'000});
+
+    std::vector<std::uint64_t> buckets;
+    std::vector<double> guarantee_ratio;  // period / (d+1): provably <= 2
+    std::vector<double> practice_ratio;   // period / observed adaptive gap
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      buckets.push_back(bench::degree_bucket(g.degree(v)));
+      const double period = static_cast<double>(periodic.period_of(v).value());
+      guarantee_ratio.push_back(period / (g.degree(v) + 1.0));
+      practice_ratio.push_back(period /
+                               static_cast<double>(adaptive_report.max_gap_with_tail[v]));
+    }
+    analysis::Table price({"degree", "nodes", "period/(d+1) max", "<= 2 (conjectured price)",
+                           "period/observed-gap mean", "max"});
+    const auto g_rows = analysis::group_stats(buckets, guarantee_ratio);
+    const auto p_rows = analysis::group_stats(buckets, practice_ratio);
+    for (std::size_t i = 0; i < g_rows.size(); ++i) {
+      price.row()
+          .add(g_rows[i].key)
+          .add(static_cast<std::uint64_t>(g_rows[i].count))
+          .add(g_rows[i].max, 2)
+          .add(g_rows[i].max <= 2.0)
+          .add(p_rows[i].mean, 2)
+          .add(p_rows[i].max, 2);
+    }
+    std::cout << "(a) Periodicity price: periodic 2^ceil(log(d+1)) vs the d+1 guarantee and\n"
+                 "vs the gaps phased greedy actually realizes\n";
+    price.print(std::cout);
+    std::cout << "Guarantee-side price stays in (1, 2] — the factor the §6 conjecture says is\n"
+                 "unavoidable.  Against *observed* adaptive gaps the price is larger because\n"
+                 "phased greedy usually beats its own d+1 bound on heavy-tailed graphs.\n";
+  }
+
+  // (b) code family x coloring quality matrix (mean period over nodes).
+  {
+    const graph::Graph g = graph::gnp(1200, 0.005, 81);
+    analysis::Table matrix({"coloring", "colors", "gamma mean period", "delta mean period",
+                            "omega mean period", "degree-bound mean period"});
+    for (const auto& [label, colors] : std::vector<std::pair<std::string, coloring::Coloring>>{
+             {"greedy largest-first",
+              coloring::greedy_color(g, coloring::Order::kLargestFirst)},
+             {"DSATUR", coloring::dsatur_color(g)},
+             {"smallest-last", coloring::greedy_color(g, coloring::Order::kSmallestLast)}}) {
+      std::vector<double> mean_period(3, 0.0);
+      const coding::CodeFamily families[] = {coding::CodeFamily::kEliasGamma,
+                                             coding::CodeFamily::kEliasDelta,
+                                             coding::CodeFamily::kEliasOmega};
+      for (std::size_t f = 0; f < 3; ++f) {
+        core::PrefixCodeScheduler scheduler(g, colors, families[f]);
+        for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+          mean_period[f] += static_cast<double>(scheduler.period_of(v).value());
+        }
+        mean_period[f] /= g.num_nodes();
+      }
+      core::DegreeBoundScheduler db(g);
+      double db_mean = 0.0;
+      for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+        db_mean += static_cast<double>(db.period_of(v).value());
+      }
+      db_mean /= g.num_nodes();
+      matrix.row()
+          .add(label)
+          .add(std::uint64_t{colors.max_color()})
+          .add(mean_period[0], 1)
+          .add(mean_period[1], 1)
+          .add(mean_period[2], 1)
+          .add(db_mean, 1);
+    }
+    std::cout << "\n(b) Code x coloring ablation (mean realized period; lower is better):\n";
+    matrix.print(std::cout);
+    std::cout << "Gamma wins at the small colors good colorings produce — omega's advantage\n"
+                 "is asymptotic (cf. E4 crossover); better colorings shrink every code's period.\n";
+  }
+
+  // (c) parallel Monte-Carlo speedup.
+  {
+    const graph::Graph g = graph::gnp(2000, 0.004, 83);
+    core::FirstComeFirstGrabScheduler scheduler(g, 17);
+    constexpr std::uint64_t kHorizon = 40'000;
+    constexpr std::size_t kGrain = 2048;
+    analysis::Table speedup({"threads", "wall ms", "speedup", "checksum"});
+    double base_ms = 0.0;
+    for (const std::size_t threads : {1UL, 2UL, 4UL, 8UL}) {
+      parallel::ThreadPool pool(threads);
+      std::vector<std::vector<std::uint64_t>> partial(
+          kHorizon / kGrain + 1, std::vector<std::uint64_t>(g.num_nodes(), 0));
+      const auto start = std::chrono::steady_clock::now();
+      parallel::parallel_for(
+          pool, 1, kHorizon + 1,
+          [&](std::size_t t) {
+            std::vector<std::uint64_t>& mine = partial[(t - 1) / kGrain];
+            for (const graph::NodeId v : scheduler.happy_set_at(t)) {
+              ++mine[v];
+            }
+          },
+          kGrain);
+      const auto stop = std::chrono::steady_clock::now();
+      std::uint64_t checksum = 0;
+      for (const auto& p : partial) {
+        for (const std::uint64_t c : p) {
+          checksum += c;
+        }
+      }
+      const double ms =
+          std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(stop - start)
+              .count();
+      if (threads == 1) {
+        base_ms = ms;
+      }
+      speedup.row().add(std::uint64_t{threads}).add(ms, 1).add(base_ms / ms, 2).add(checksum);
+    }
+    std::cout << "\n(c) Parallel Monte-Carlo driver (identical checksums = determinism):\n";
+    speedup.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// E16 (extension) — probing the paper's open problem (§6): "if one requires
+// a periodic schedule then the best guarantee obtainable is d + ω(1)".
+//
+// With general periods, a periodic schedule with `P_v = deg(v) + k` exists
+// iff residues can be chosen with `r_u ≢ r_w (mod gcd(P_u, P_w))` on every
+// edge; on small graphs this is decidable exactly by backtracking.
+//
+// With **bounded** periods P_v ≤ deg(v)+k searched jointly with residues,
+// this regenerates:
+//   (a) the minimum uniform slack k over a zoo of small graphs — how close
+//       perfect periodicity gets to the non-periodic d+1 guarantee when
+//       periods need not be powers of two;
+//   (b) the comparison against §5's power-of-two periods (2^⌈log(d+1)⌉),
+//       quantifying how much the general-period relaxation buys;
+//   (c) the structural obstruction behind *exact*-period failures: coprime
+//       period pairs conflict at every alignment (probed in tests), which
+//       is why the inequality in the guarantee matters.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "fhg/coding/iterated_log.hpp"
+#include "fhg/core/periodic_probe.hpp"
+
+int main() {
+  using namespace fhg;
+  bench::banner("E16", "extension (the §6 open problem, probed exactly on small graphs)",
+                "Minimum uniform slack k with periods deg+k vs the power-of-two 2d bound");
+
+  analysis::Table table({"graph", "n", "Delta", "min slack k", "worst period deg+k",
+                         "worst period sec.5 (2^ceil)", "general-period gain"});
+  const std::vector<std::pair<std::string, graph::Graph>> zoo = {
+      {"triangle K3", graph::clique(3)},
+      {"clique K5", graph::clique(5)},
+      {"clique K8", graph::clique(8)},
+      {"cycle C5", graph::cycle(5)},
+      {"cycle C9", graph::cycle(9)},
+      {"star S3 (odd hub)", graph::star(3)},
+      {"star S4 (even hub)", graph::star(4)},
+      {"star S9", graph::star(9)},
+      {"K3,3", graph::complete_bipartite(3, 3)},
+      {"path P8", graph::path(8)},
+      {"grid 3x3", graph::grid2d(3, 3)},
+      {"grid 4x4", graph::grid2d(4, 4)},
+      {"gnp(12,.3)", graph::gnp(12, 0.3, 5)},
+      {"gnp(14,.25)", graph::gnp(14, 0.25, 7)},
+      {"caterpillar(4,2)", graph::caterpillar(4, 2)},
+  };
+  for (const auto& [name, g] : zoo) {
+    const auto probe = core::min_uniform_slack(g, /*max_slack=*/8, /*node_budget=*/5'000'000);
+    std::uint64_t worst_general = 0;
+    std::uint64_t worst_pow2 = 0;
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      const std::uint64_t d = g.degree(v);
+      if (probe) {
+        worst_general = std::max(worst_general, probe->slots[v].period);
+      }
+      worst_pow2 = std::max(worst_pow2, std::uint64_t{1} << coding::ceil_log2(d + 1));
+    }
+    table.row()
+        .add(name)
+        .add(std::uint64_t{g.num_nodes()})
+        .add(std::uint64_t{g.max_degree()})
+        .add(probe ? std::to_string(probe->slack) : std::string(">8"))
+        .add(probe ? std::to_string(worst_general) : std::string("-"))
+        .add(worst_pow2)
+        .add(probe && worst_general < worst_pow2);
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "Reading: on every small instance probed the minimum slack is k = 1 or 2 —\n"
+         "perfect periodicity matches the non-periodic d+1 guarantee (or misses by one)\n"
+         "once periods may be general integers.  The conjectured d+omega(1) separation,\n"
+         "if true, must emerge asymptotically; it is invisible at this scale.  General\n"
+         "periods beat the sec. 5 power-of-two rounding whenever deg+k falls strictly\n"
+         "under the next power of two (cliques K3/K5, odd cycles, big stars).\n";
+  return 0;
+}

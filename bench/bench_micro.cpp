@@ -1,0 +1,156 @@
+// Micro-benchmarks for the library's hot paths (google-benchmark).
+//
+// Not tied to a paper claim — these exist so performance regressions in the
+// substrate are caught: codeword encode/decode, slot matching (the §4/§5
+// inner loop), scheduler stepping throughput, graph generation and the
+// satisfaction/matching kernels.
+
+#include <benchmark/benchmark.h>
+
+#include "fhg/coding/elias.hpp"
+#include "fhg/coding/prefix.hpp"
+#include "fhg/coloring/dsatur.hpp"
+#include "fhg/coloring/greedy.hpp"
+#include "fhg/core/degree_bound.hpp"
+#include "fhg/core/fcfg.hpp"
+#include "fhg/core/phased_greedy.hpp"
+#include "fhg/core/prefix_code_scheduler.hpp"
+#include "fhg/graph/generators.hpp"
+#include "fhg/mis/greedy.hpp"
+
+namespace {
+
+using namespace fhg;
+
+// ------------------------------------------------------------- coding ------
+
+void BM_EliasOmegaEncode(benchmark::State& state) {
+  std::uint64_t x = 1;
+  for (auto _ : state) {
+    const coding::BitString w = coding::elias_omega(x);
+    benchmark::DoNotOptimize(w.size());
+    x = x % 100'000 + 1;
+  }
+}
+BENCHMARK(BM_EliasOmegaEncode);
+
+void BM_EliasOmegaLength(benchmark::State& state) {
+  std::uint64_t x = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coding::elias_omega_length(x));
+    x = x % 1'000'000 + 1;
+  }
+}
+BENCHMARK(BM_EliasOmegaLength);
+
+void BM_SlotMatch(benchmark::State& state) {
+  const coding::ScheduleSlot slot = coding::slot_of(coding::elias_omega(17));
+  std::uint64_t t = 1;
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    hits += slot.matches(t++) ? 1 : 0;
+  }
+  benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_SlotMatch);
+
+void BM_DecodeHoliday(benchmark::State& state) {
+  std::uint64_t t = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coding::decode_holiday(coding::CodeFamily::kEliasOmega, t++));
+  }
+}
+BENCHMARK(BM_DecodeHoliday);
+
+// ------------------------------------------------------------ graphs -------
+
+void BM_GnpGenerate(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    const graph::Graph g = graph::gnp(n, 8.0 / static_cast<double>(n), seed++);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GnpGenerate)->Arg(10'000)->Arg(100'000)->Unit(benchmark::kMillisecond);
+
+void BM_GreedyColoring(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const graph::Graph g = graph::gnp(n, 8.0 / static_cast<double>(n), 3);
+  for (auto _ : state) {
+    const auto coloring = coloring::greedy_color(g, coloring::Order::kLargestFirst);
+    benchmark::DoNotOptimize(coloring.max_color());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GreedyColoring)->Arg(10'000)->Arg(100'000)->Unit(benchmark::kMillisecond);
+
+void BM_DsaturColoring(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const graph::Graph g = graph::gnp(n, 8.0 / static_cast<double>(n), 3);
+  for (auto _ : state) {
+    const auto coloring = coloring::dsatur_color(g);
+    benchmark::DoNotOptimize(coloring.max_color());
+  }
+}
+BENCHMARK(BM_DsaturColoring)->Arg(10'000)->Arg(50'000)->Unit(benchmark::kMillisecond);
+
+// --------------------------------------------------------- schedulers ------
+
+void BM_PrefixSchedulerStep(benchmark::State& state) {
+  const graph::Graph g = graph::barabasi_albert(
+      static_cast<graph::NodeId>(state.range(0)), 3, 7);
+  core::PrefixCodeScheduler scheduler(g, coloring::dsatur_color(g));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.next_holiday().size());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_nodes());
+}
+BENCHMARK(BM_PrefixSchedulerStep)->Arg(1'000)->Arg(10'000);
+
+void BM_PhasedGreedyStep(benchmark::State& state) {
+  const graph::Graph g = graph::barabasi_albert(
+      static_cast<graph::NodeId>(state.range(0)), 3, 7);
+  core::PhasedGreedyScheduler scheduler(
+      g, coloring::greedy_color(g, coloring::Order::kLargestFirst));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.next_holiday().size());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_nodes());
+}
+BENCHMARK(BM_PhasedGreedyStep)->Arg(1'000)->Arg(10'000);
+
+void BM_FcfgStep(benchmark::State& state) {
+  const graph::Graph g = graph::barabasi_albert(
+      static_cast<graph::NodeId>(state.range(0)), 3, 7);
+  core::FirstComeFirstGrabScheduler scheduler(g, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.next_holiday().size());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_nodes());
+}
+BENCHMARK(BM_FcfgStep)->Arg(1'000)->Arg(10'000);
+
+void BM_DegreeBoundAssignment(benchmark::State& state) {
+  const graph::Graph g = graph::gnp(static_cast<graph::NodeId>(state.range(0)),
+                                    8.0 / static_cast<double>(state.range(0)), 9);
+  for (auto _ : state) {
+    const auto slots = core::assign_degree_bound_slots(g, core::degree_bound_order(g));
+    benchmark::DoNotOptimize(slots.data());
+  }
+}
+BENCHMARK(BM_DegreeBoundAssignment)->Arg(10'000)->Arg(100'000)->Unit(benchmark::kMillisecond);
+
+void BM_GreedyMis(benchmark::State& state) {
+  const graph::Graph g = graph::gnp(static_cast<graph::NodeId>(state.range(0)),
+                                    8.0 / static_cast<double>(state.range(0)), 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mis::greedy_mis(g).size());
+  }
+}
+BENCHMARK(BM_GreedyMis)->Arg(10'000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

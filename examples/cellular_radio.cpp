@@ -1,0 +1,104 @@
+// Cellular-radio transmission scheduling — the paper's motivating systems
+// application (§1): radios are parents, shared air is an in-law edge, and a
+// radio "hosts" when it can transmit with no interference from any neighbor.
+//
+// A periodic schedule matters here for *energy*: a radio with period P
+// sleeps (P-1)/P of the time and wakes exactly on its slot — no listening
+// required between slots.  We build a grid interference topology (plus a few
+// long-range links), run the §5 degree-bound scheduler, and report per-radio
+// periods, duty cycles and the channel utilization against the §3
+// non-periodic baseline.
+//
+// Run:  ./cellular_radio [rows cols]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "fhg/analysis/stats.hpp"
+#include "fhg/analysis/table.hpp"
+#include "fhg/coloring/greedy.hpp"
+#include "fhg/core/degree_bound.hpp"
+#include "fhg/core/driver.hpp"
+#include "fhg/core/phased_greedy.hpp"
+#include "fhg/graph/generators.hpp"
+#include "fhg/graph/graph.hpp"
+#include "fhg/parallel/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fhg;
+
+  const graph::NodeId rows = argc > 1 ? static_cast<graph::NodeId>(std::atoi(argv[1])) : 12;
+  const graph::NodeId cols = argc > 2 ? static_cast<graph::NodeId>(std::atoi(argv[2])) : 12;
+
+  // Grid interference plus a handful of long-range links (hills, repeaters).
+  const graph::Graph base = graph::grid2d(rows, cols);
+  graph::GraphBuilder builder(base.num_nodes());
+  for (const auto& e : base.edges()) {
+    builder.add_edge(e.first, e.second);
+  }
+  parallel::Rng rng(2026);
+  for (int extra = 0; extra < static_cast<int>(base.num_nodes() / 20); ++extra) {
+    const auto u = static_cast<graph::NodeId>(rng.uniform_below(base.num_nodes()));
+    const auto v = static_cast<graph::NodeId>(rng.uniform_below(base.num_nodes()));
+    if (u != v) {
+      builder.add_edge(u, v);
+    }
+  }
+  const graph::Graph g = std::move(builder).build();
+  std::cout << "Interference graph: " << g.num_nodes() << " radios, " << g.num_edges()
+            << " interference pairs, max degree " << g.max_degree() << "\n";
+
+  // Periodic TDMA-style schedule: radio of degree d transmits every
+  // 2^ceil(log(d+1)) <= 2d slots, *known in advance* from its residue alone.
+  core::DegreeBoundScheduler tdma(g);
+  constexpr std::uint64_t kSlots = 4096;
+  const auto periodic = core::run_schedule(tdma, {.horizon = kSlots});
+
+  // Non-periodic §3 baseline: better worst-case gap (d+1) but requires
+  // coordination every slot and gives no advance slot knowledge.
+  core::PhasedGreedyScheduler phased(g, coloring::greedy_color(g, coloring::Order::kLargestFirst));
+  const auto adaptive = core::run_schedule(phased, {.horizon = kSlots});
+
+  analysis::Table table({"scheme", "audit", "mean gap bound", "worst gap seen",
+                         "slots/radio (mean)", "advance knowledge"});
+  std::vector<std::uint64_t> bounds_tdma;
+  std::vector<std::uint64_t> bounds_phased;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    bounds_tdma.push_back(*tdma.gap_bound(v));
+    bounds_phased.push_back(*phased.gap_bound(v));
+  }
+  const auto worst = [](const std::vector<std::uint64_t>& gaps) {
+    std::uint64_t w = 0;
+    for (const auto gap : gaps) {
+      w = std::max(w, gap);
+    }
+    return w;
+  };
+  table.row()
+      .add("degree-bound (periodic)")
+      .add(periodic.independence_ok && periodic.bounds_respected)
+      .add(analysis::summarize(bounds_tdma).mean, 2)
+      .add(worst(periodic.max_gap_with_tail))
+      .add(static_cast<double>(periodic.total_happy) / g.num_nodes(), 1)
+      .add("full (residue mod 2^j)");
+  table.row()
+      .add("phased greedy (adaptive)")
+      .add(adaptive.independence_ok && adaptive.bounds_respected)
+      .add(analysis::summarize(bounds_phased).mean, 2)
+      .add(worst(adaptive.max_gap_with_tail))
+      .add(static_cast<double>(adaptive.total_happy) / g.num_nodes(), 1)
+      .add("next slot only");
+  table.print(std::cout);
+
+  // Energy story: duty cycle = 1/period; a periodic radio powers down
+  // in between, the adaptive one must listen every slot.
+  std::vector<double> duty;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    duty.push_back(1.0 / static_cast<double>(*tdma.period_of(v)));
+  }
+  const auto s = analysis::summarize(duty);
+  std::cout << "\nPeriodic duty cycle: mean " << s.mean << ", min " << s.min << ", max " << s.max
+            << " (adaptive scheme: every radio awake every slot)\n";
+
+  return periodic.independence_ok && adaptive.independence_ok ? 0 : 1;
+}

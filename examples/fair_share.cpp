@@ -1,0 +1,76 @@
+// Fair share — the Appendix A.2 coalition game on a small clan.
+//
+// What is a family's "fair share" of holiday hosting?  The paper shows the
+// natural coalition value (maximum collective happiness = MIS of the induced
+// subgraph) makes fair division as hard as approximating MIS, and falls back
+// to the `1/(deg+1)` landmark of first-come-first-grab.  On a small clan we
+// can afford the exact view: estimate Shapley values by sampling arrival
+// orders with an exact-MIS oracle, and compare them with the `1/(d+1)`
+// landmark and the frequencies the schedulers actually deliver.
+//
+// Run:  ./fair_share
+
+#include <iostream>
+
+#include "fhg/analysis/table.hpp"
+#include "fhg/core/degree_bound.hpp"
+#include "fhg/core/driver.hpp"
+#include "fhg/core/fcfg.hpp"
+#include "fhg/graph/graph.hpp"
+#include "fhg/mis/exact.hpp"
+#include "fhg/mis/shapley.hpp"
+
+int main() {
+  using namespace fhg;
+
+  // A clan of ten families: a triangle of old families, two chains of
+  // newer in-laws, and one family everyone married into.
+  const char* names[] = {"Avraham", "Berkovich", "Chazan", "Dayan",  "Eshkol",
+                         "Friedman", "Gold",      "Harel",  "Itzhaki", "Jacobi"};
+  graph::GraphBuilder builder(10);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  builder.add_edge(0, 2);  // triangle
+  builder.add_edge(2, 3);
+  builder.add_edge(3, 4);
+  builder.add_edge(4, 5);  // chain
+  builder.add_edge(6, 7);
+  builder.add_edge(7, 8);  // chain
+  builder.add_edge(9, 0);
+  builder.add_edge(9, 3);
+  builder.add_edge(9, 6);  // the connector
+  const graph::Graph g = std::move(builder).build();
+
+  const auto mis = mis::exact_mis(g);
+  std::cout << "Clan of 10 families, " << g.num_edges()
+            << " marriages. Max simultaneous happy families (exact MIS): "
+            << mis->independent_set.size() << "\n\n";
+
+  const auto shapley = mis::shapley_estimate(g, /*samples=*/20'000, /*seed=*/1);
+
+  // Long-run frequencies delivered by two schedulers.
+  constexpr std::uint64_t kYears = 50'000;
+  core::FirstComeFirstGrabScheduler fcfg(g, 11);
+  const auto chaotic = core::run_schedule(fcfg, {.horizon = kYears});
+  core::DegreeBoundScheduler periodic(g);
+  const auto scheduled = core::run_schedule(periodic, {.horizon = kYears});
+
+  analysis::Table table({"family", "children married", "Shapley share", "1/(d+1) landmark",
+                         "FCFG freq", "degree-bound freq"});
+  for (graph::NodeId v = 0; v < 10; ++v) {
+    table.row()
+        .add(names[v])
+        .add(std::uint64_t{g.degree(v)})
+        .add(shapley[v], 3)
+        .add(1.0 / (g.degree(v) + 1.0), 3)
+        .add(static_cast<double>(chaotic.appearances[v]) / kYears, 3)
+        .add(static_cast<double>(scheduled.appearances[v]) / kYears, 3);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: the Shapley share tracks the 1/(d+1) landmark loosely — structure\n"
+               "matters (families inside the triangle share one hosting slot three ways).\n"
+               "FCFG matches 1/(d+1) exactly in expectation; the periodic degree-bound\n"
+               "scheduler guarantees at least 1/2^ceil(log(d+1)) >= 1/(2d) deterministically.\n";
+  return 0;
+}

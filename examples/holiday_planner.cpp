@@ -1,0 +1,97 @@
+// Holiday planner — the paper's own story at a realistic scale.
+//
+// Generates a synthetic marriage society with heavy-tailed family sizes
+// (Barabási–Albert: some families marry off many children), then compares
+// all the paper's schedulers on the same society:
+//
+//   trivial round-robin  (§4 ex.1) — everyone waits |P| years;
+//   Δ+1 round-robin      (§1)      — everyone waits Δ+1 years;
+//   phased greedy        (§3)      — gap ≤ d+1 but aperiodic/chatty;
+//   Elias omega          (§4.2)    — periodic, period ≈ φ(color);
+//   degree-bound         (§5)      — periodic, period ≤ 2d;
+//   first-come-first-grab (§1)     — fair in expectation, no guarantee.
+//
+// For each it prints the wait experienced by the smallest and largest
+// families — the paper's core fairness question: should the parents of one
+// child wait for everyone else's brood?
+//
+// Run:  ./holiday_planner [families]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "fhg/analysis/fairness.hpp"
+#include "fhg/analysis/table.hpp"
+#include "fhg/coloring/dsatur.hpp"
+#include "fhg/coloring/greedy.hpp"
+#include "fhg/core/degree_bound.hpp"
+#include "fhg/core/driver.hpp"
+#include "fhg/core/fcfg.hpp"
+#include "fhg/core/phased_greedy.hpp"
+#include "fhg/core/prefix_code_scheduler.hpp"
+#include "fhg/core/round_robin.hpp"
+#include "fhg/graph/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fhg;
+
+  const graph::NodeId n = argc > 1 ? static_cast<graph::NodeId>(std::atoi(argv[1])) : 300;
+  const graph::Graph g = graph::barabasi_albert(n, 2, /*seed=*/777);
+
+  // Locate the smallest and largest families.
+  graph::NodeId smallest = 0;
+  graph::NodeId largest = 0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (g.degree(v) < g.degree(smallest)) {
+      smallest = v;
+    }
+    if (g.degree(v) > g.degree(largest)) {
+      largest = v;
+    }
+  }
+  std::cout << "Society: " << n << " families, " << g.num_edges() << " marriages. Smallest family: "
+            << g.degree(smallest) << " married children; largest: " << g.degree(largest) << ".\n";
+
+  constexpr std::uint64_t kYears = 8192;
+  const coloring::Coloring greedy = coloring::greedy_color(g, coloring::Order::kLargestFirst);
+  const coloring::Coloring dsatur = coloring::dsatur_color(g);
+
+  analysis::Table table({"scheduler", "periodic", "small-family wait", "large-family wait",
+                         "worst wait", "fairness (Jain)", "audit"});
+
+  const auto report_row = [&](core::Scheduler& scheduler, const std::string& label) {
+    const auto report = core::run_schedule(scheduler, {.horizon = kYears});
+    std::uint64_t worst = 0;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      worst = std::max(worst, report.max_gap_with_tail[v]);
+    }
+    table.row()
+        .add(label)
+        .add(scheduler.perfectly_periodic())
+        .add(report.max_gap_with_tail[smallest])
+        .add(report.max_gap_with_tail[largest])
+        .add(worst)
+        .add(analysis::jain_fairness(g, report.appearances, kYears), 3)
+        .add(report.independence_ok && report.bounds_respected);
+  };
+
+  core::RoundRobinColorScheduler trivial(g, coloring::sequential_color(g));
+  report_row(trivial, "round-robin (trivial |P| colors)");
+  core::RoundRobinColorScheduler round_robin(g, greedy);
+  report_row(round_robin, "round-robin (greedy colors)");
+  core::PhasedGreedyScheduler phased(g, greedy);
+  report_row(phased, phased.name());
+  core::PrefixCodeScheduler omega(g, dsatur, coding::CodeFamily::kEliasOmega);
+  report_row(omega, omega.name());
+  core::DegreeBoundScheduler degree_bound(g);
+  report_row(degree_bound, degree_bound.name());
+  core::FirstComeFirstGrabScheduler fcfg(g, /*seed=*/4);
+  report_row(fcfg, fcfg.name());
+
+  table.print(std::cout);
+  std::cout << "\nReading: local-bound schedulers give the one-child family a short, "
+               "guaranteed wait\nregardless of the big clans; the trivial/global ones make "
+               "everyone wait alike;\nfirst-come-first-grab is fair on average but its worst "
+               "wait drifts with the horizon.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Satisfaction planner — Appendix A.3: if "all children home" is too much to
+// ask, can every parent at least see *one* child?
+//
+// Demonstrates:
+//   * maximum single-holiday satisfaction via the paper's linear-time
+//     algorithm, cross-checked against Hopcroft–Karp;
+//   * why the one-shot optimum is "not socially acceptable" (the same
+//     parents win every year);
+//   * the alternation fix: every parent with a married child is satisfied at
+//     least every second holiday, perfectly periodically.
+//
+// Run:  ./satisfaction_planner [families] [marriage probability]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "fhg/analysis/table.hpp"
+#include "fhg/graph/generators.hpp"
+#include "fhg/matching/satisfaction.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fhg;
+
+  const graph::NodeId n = argc > 1 ? static_cast<graph::NodeId>(std::atoi(argv[1])) : 200;
+  const double p = argc > 2 ? std::atof(argv[2]) : 0.012;
+  const graph::Graph g = graph::gnp(n, p, 31415);
+
+  const auto via_linear = matching::max_satisfaction_linear(g);
+  const auto via_matching = matching::max_satisfaction_matching(g);
+
+  std::cout << "Society: " << n << " families, " << g.num_edges() << " marriages\n";
+  std::cout << "Maximum satisfiable in one holiday: " << via_linear.value
+            << " (linear-time peeling) = " << via_matching.value << " (Hopcroft-Karp)\n";
+
+  std::size_t isolated = 0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    isolated += g.degree(v) == 0 ? 1 : 0;
+  }
+  std::cout << "Families with no married children (never satisfiable): " << isolated << "\n\n";
+
+  // The static optimum repeated yearly: who never gets a visit?
+  std::size_t never = 0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (g.degree(v) > 0 && !via_linear.satisfied[v]) {
+      ++never;
+    }
+  }
+
+  // The alternation schedule over a horizon.
+  constexpr std::uint64_t kYears = 16;
+  std::vector<std::uint64_t> last(n, 0);
+  std::vector<std::uint64_t> worst_gap(n, 0);
+  std::uint64_t total_satisfied = 0;
+  for (std::uint64_t t = 1; t <= kYears; ++t) {
+    const auto sat = matching::alternation_satisfied_set(g, t);
+    total_satisfied += sat.size();
+    for (const graph::NodeId v : sat) {
+      worst_gap[v] = std::max(worst_gap[v], t - last[v]);
+      last[v] = t;
+    }
+  }
+  std::uint64_t alternation_worst = 0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (g.degree(v) > 0) {
+      alternation_worst = std::max(alternation_worst, worst_gap[v]);
+    }
+  }
+
+  analysis::Table table({"policy", "satisfied/holiday", "worst wait", "left out forever"});
+  table.row()
+      .add("repeat one-shot optimum")
+      .add(static_cast<std::uint64_t>(via_linear.value))
+      .add("1 or infinity")
+      .add(never);
+  table.row()
+      .add("alternation (period 2)")
+      .add(static_cast<double>(total_satisfied) / static_cast<double>(kYears), 1)
+      .add(alternation_worst)
+      .add(std::uint64_t{0});
+  table.print(std::cout);
+
+  std::cout << "\nReading: the one-shot optimum satisfies the most families per holiday but\n"
+               "condemns " << never << " families to never hosting anyone; alternation satisfies\n"
+               "slightly fewer per holiday yet guarantees everyone a visit every 2 years.\n";
+  return via_linear.value == via_matching.value ? 0 : 1;
+}

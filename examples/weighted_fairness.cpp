@@ -1,0 +1,83 @@
+// Weighted fairness — the extension scheduler (src/core/weighted.hpp).
+//
+// A radio network with service classes: gold radios need a slot every ~4
+// frames, silver every ~16, bronze every ~64 — regardless of their degree.
+// The weighted periodic scheduler grants power-of-two periods honoring the
+// demands whenever the neighborhood load permits, relaxing (doubling) the
+// cheapest period otherwise, and stays perfectly periodic and conflict-free.
+//
+// Run:  ./weighted_fairness
+
+#include <iostream>
+
+#include "fhg/analysis/table.hpp"
+#include "fhg/core/driver.hpp"
+#include "fhg/core/weighted.hpp"
+#include "fhg/graph/generators.hpp"
+#include "fhg/parallel/rng.hpp"
+
+int main() {
+  using namespace fhg;
+
+  const graph::Graph g = graph::grid2d(10, 10);
+  parallel::Rng rng(7);
+
+  // Assign service classes: 10% gold, 30% silver, 60% bronze.
+  std::vector<std::uint64_t> demand(g.num_nodes());
+  std::vector<const char*> klass(g.num_nodes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const double roll = rng.uniform_real();
+    if (roll < 0.10) {
+      demand[v] = 4;
+      klass[v] = "gold";
+    } else if (roll < 0.40) {
+      demand[v] = 16;
+      klass[v] = "silver";
+    } else {
+      demand[v] = 64;
+      klass[v] = "bronze";
+    }
+  }
+
+  core::WeightedPeriodicScheduler scheduler(g, demand, core::WeightedPolicy::kAutoRelax);
+  const auto report = core::run_schedule(scheduler, {.horizon = 1024});
+
+  analysis::Table table({"class", "radios", "requested period", "granted (mean)",
+                         "granted (max)", "relaxed", "worst observed gap"});
+  for (const auto& [name, want] :
+       std::vector<std::pair<std::string, std::uint64_t>>{{"gold", 4}, {"silver", 16},
+                                                          {"bronze", 64}}) {
+    std::uint64_t count = 0;
+    double granted_sum = 0;
+    std::uint64_t granted_max = 0;
+    std::uint64_t relaxed = 0;
+    std::uint64_t worst_gap = 0;
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (demand[v] != want) {
+        continue;
+      }
+      ++count;
+      const std::uint64_t period = scheduler.period_of(v).value();
+      granted_sum += static_cast<double>(period);
+      granted_max = std::max(granted_max, period);
+      relaxed += period > want ? 1 : 0;
+      worst_gap = std::max(worst_gap, report.max_gap_with_tail[v]);
+    }
+    table.row()
+        .add(name)
+        .add(count)
+        .add(want)
+        .add(count == 0 ? 0.0 : granted_sum / static_cast<double>(count), 1)
+        .add(granted_max)
+        .add(relaxed)
+        .add(worst_gap);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nAudit: independence " << (report.independence_ok ? "OK" : "VIOLATED")
+            << ", perfect periodicity " << (report.bounds_respected ? "OK" : "VIOLATED")
+            << ", relaxed radios total: " << scheduler.assignment().relaxed.size() << "\n"
+            << "Every radio knows its whole calendar from (residue, period) alone —\n"
+            << "the §5 lightweightness carried over to demand-driven rates.\n";
+  return report.independence_ok && report.bounds_respected ? 0 : 1;
+}

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file fairness.hpp
+/// Fairness metrics for gathering schedules.
+///
+/// The paper's fairness landmark (§1): under first-come-first-grab every
+/// parent is happy with probability `1/(deg+1)` per holiday, so a schedule
+/// is "fair" when node `v`'s happiness *frequency* is proportional to
+/// `1/(deg(v)+1)`.  We report Jain's fairness index over the normalized
+/// frequencies (1 = perfectly proportional; 1/n = maximally lopsided) plus
+/// the throughput ratio against the `Σ 1/(d+1)` Caro–Wei landmark.
+
+#include <cstdint>
+#include <span>
+
+#include "fhg/graph/graph.hpp"
+
+namespace fhg::analysis {
+
+/// Jain's index `(Σx)² / (n·Σx²)` over `x_v = freq_v · (deg_v + 1)` where
+/// `freq_v = appearances_v / horizon`.
+[[nodiscard]] double jain_fairness(const graph::Graph& g,
+                                   std::span<const std::uint64_t> appearances,
+                                   std::uint64_t horizon);
+
+/// Mean happy-set size divided by the Caro–Wei bound `Σ 1/(d+1)` — ≥ 1 means
+/// the schedule beats the chaotic baseline's expected throughput.
+[[nodiscard]] double throughput_ratio(const graph::Graph& g,
+                                      std::span<const std::uint64_t> appearances,
+                                      std::uint64_t horizon);
+
+}  // namespace fhg::analysis

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file stats.hpp
+/// Small descriptive-statistics helpers used by the experiment tables.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fhg::analysis {
+
+/// Five-number-plus summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double p95 = 0.0;
+  double stddev = 0.0;
+};
+
+/// Computes a summary (empty input yields all zeros).
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+/// Convenience overload for integer samples.
+[[nodiscard]] Summary summarize(std::span<const std::uint64_t> values);
+
+/// `q`-th quantile (0 ≤ q ≤ 1) by linear interpolation on the sorted sample.
+[[nodiscard]] double quantile(std::vector<double> values, double q);
+
+/// Groups `values[i]` by `keys[i]` and returns, for each distinct key in
+/// ascending order, `(key, max over group, mean over group, count)` —
+/// the shape of every per-degree table in the experiments.
+struct GroupRow {
+  std::uint64_t key = 0;
+  double max = 0.0;
+  double mean = 0.0;
+  std::size_t count = 0;
+};
+[[nodiscard]] std::vector<GroupRow> group_stats(std::span<const std::uint64_t> keys,
+                                                std::span<const double> values);
+
+}  // namespace fhg::analysis

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file table.hpp
+/// Paper-style ASCII tables for the benchmark binaries.
+///
+/// Every experiment prints its results through this writer so that
+/// `bench_output.txt` has one consistent, diff-able format:
+///
+/// ```
+/// | degree | nodes | max gap | bound 2d | ok |
+/// |--------|-------|---------|----------|----|
+/// |      1 |   312 |       2 |        2 | Y  |
+/// ```
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fhg::analysis {
+
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; values are appended with `add`.
+  Table& row();
+
+  /// Appends a cell to the current row.
+  Table& add(const std::string& value);
+  Table& add(const char* value);
+  Table& add(std::uint64_t value);
+  Table& add(std::int64_t value);
+  Table& add(double value, int precision = 3);
+  Table& add(bool value);  ///< renders Y / N
+
+  /// Renders the table with aligned columns (numbers right-aligned).
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return cells_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Prints a `### title` section heading (and a blank line) before a table.
+void print_section(std::ostream& out, const std::string& title);
+
+}  // namespace fhg::analysis

@@ -1,0 +1,53 @@
+#include "fhg/analysis/fairness.hpp"
+
+#include <stdexcept>
+
+namespace fhg::analysis {
+
+double jain_fairness(const graph::Graph& g, std::span<const std::uint64_t> appearances,
+                     std::uint64_t horizon) {
+  const graph::NodeId n = g.num_nodes();
+  if (appearances.size() != n) {
+    throw std::invalid_argument("jain_fairness: one appearance count per node required");
+  }
+  if (n == 0 || horizon == 0) {
+    return 1.0;
+  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const double freq = static_cast<double>(appearances[v]) / static_cast<double>(horizon);
+    const double x = freq * (static_cast<double>(g.degree(v)) + 1.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) {
+    return 0.0;
+  }
+  return (sum * sum) / (static_cast<double>(n) * sum_sq);
+}
+
+double throughput_ratio(const graph::Graph& g, std::span<const std::uint64_t> appearances,
+                        std::uint64_t horizon) {
+  const graph::NodeId n = g.num_nodes();
+  if (appearances.size() != n) {
+    throw std::invalid_argument("throughput_ratio: one appearance count per node required");
+  }
+  if (horizon == 0) {
+    return 0.0;
+  }
+  double caro_wei = 0.0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    caro_wei += 1.0 / (static_cast<double>(g.degree(v)) + 1.0);
+  }
+  if (caro_wei == 0.0) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (const std::uint64_t a : appearances) {
+    total += static_cast<double>(a);
+  }
+  return (total / static_cast<double>(horizon)) / caro_wei;
+}
+
+}  // namespace fhg::analysis

@@ -1,0 +1,77 @@
+#include "fhg/analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace fhg::analysis {
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) {
+    return s;
+  }
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  double total = 0.0;
+  for (const double v : sorted) {
+    total += v;
+  }
+  s.mean = total / static_cast<double>(s.count);
+  s.median = quantile(sorted, 0.5);
+  s.p95 = quantile(sorted, 0.95);
+  double ss = 0.0;
+  for (const double v : sorted) {
+    ss += (v - s.mean) * (v - s.mean);
+  }
+  s.stddev = std::sqrt(ss / static_cast<double>(s.count));
+  return s;
+}
+
+Summary summarize(std::span<const std::uint64_t> values) {
+  std::vector<double> as_double(values.begin(), values.end());
+  return summarize(as_double);
+}
+
+double quantile(std::vector<double> values, double q) {
+  if (values.empty()) {
+    throw std::invalid_argument("quantile: empty sample");
+  }
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("quantile: q must be in [0,1]");
+  }
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+std::vector<GroupRow> group_stats(std::span<const std::uint64_t> keys,
+                                  std::span<const double> values) {
+  if (keys.size() != values.size()) {
+    throw std::invalid_argument("group_stats: keys/values size mismatch");
+  }
+  std::map<std::uint64_t, GroupRow> groups;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    GroupRow& row = groups[keys[i]];
+    row.key = keys[i];
+    row.max = row.count == 0 ? values[i] : std::max(row.max, values[i]);
+    row.mean += values[i];  // running sum; divided below
+    ++row.count;
+  }
+  std::vector<GroupRow> result;
+  result.reserve(groups.size());
+  for (auto& [key, row] : groups) {
+    row.mean /= static_cast<double>(row.count);
+    result.push_back(row);
+  }
+  return result;
+}
+
+}  // namespace fhg::analysis

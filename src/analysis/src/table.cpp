@@ -1,0 +1,90 @@
+#include "fhg/analysis/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fhg::analysis {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("Table: at least one column required");
+  }
+}
+
+Table& Table::row() {
+  cells_.emplace_back();
+  cells_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::add(const std::string& value) {
+  if (cells_.empty()) {
+    throw std::logic_error("Table::add: call row() first");
+  }
+  cells_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::add(const char* value) { return add(std::string(value)); }
+
+Table& Table::add(std::uint64_t value) { return add(std::to_string(value)); }
+
+Table& Table::add(std::int64_t value) { return add(std::to_string(value)); }
+
+Table& Table::add(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return add(os.str());
+}
+
+Table& Table::add(bool value) { return add(std::string(value ? "Y" : "N")); }
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : cells_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto is_numeric = [](const std::string& s) {
+    if (s.empty()) {
+      return false;
+    }
+    return s.find_first_not_of("0123456789+-.eE") == std::string::npos;
+  };
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    out << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string cell = c < row.size() ? row[c] : std::string{};
+      out << ' ';
+      if (is_numeric(cell)) {
+        out << std::setw(static_cast<int>(widths[c])) << std::right << cell;
+      } else {
+        out << std::setw(static_cast<int>(widths[c])) << std::left << cell;
+      }
+      out << " |";
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  out << '|';
+  for (const std::size_t w : widths) {
+    out << std::string(w + 2, '-') << '|';
+  }
+  out << '\n';
+  for (const auto& row : cells_) {
+    emit_row(row);
+  }
+}
+
+void print_section(std::ostream& out, const std::string& title) {
+  out << "\n### " << title << "\n\n";
+}
+
+}  // namespace fhg::analysis

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file bitstring.hpp
+/// A small sequence-of-bits value type for codewords.
+///
+/// Codewords in this library are short (the Elias omega code of 2^64-1 is 72
+/// bits), so clarity beats packing: bits are stored one per byte in
+/// *left-to-right* (most-significant-first) order, exactly as the paper
+/// writes them — `ω(9) = 1110010` has `bit(0) == 1` and `bit(6) == 0`.
+
+#include <cstdint>
+#include <compare>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fhg::coding {
+
+/// An immutable-ish sequence of bits written left to right.
+class BitString {
+ public:
+  BitString() = default;
+
+  /// Parses a string of '0'/'1' characters; throws `std::invalid_argument`
+  /// on any other character.
+  explicit BitString(std::string_view bits);
+
+  /// The `width` low bits of `value`, written MSB-first.
+  /// Example: `BitString::binary(9, 4) == BitString("1001")`.
+  [[nodiscard]] static BitString binary(std::uint64_t value, std::uint32_t width);
+
+  /// Standard binary representation of `value >= 1` with no leading zeros
+  /// (the paper's `B(n)`).
+  [[nodiscard]] static BitString standard_binary(std::uint64_t value);
+
+  /// Number of bits.
+  [[nodiscard]] std::size_t size() const noexcept { return bits_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return bits_.empty(); }
+
+  /// The i-th bit, counting from the left (0-based).
+  [[nodiscard]] bool bit(std::size_t i) const noexcept { return bits_[i] != 0; }
+
+  /// Appends one bit at the right end.
+  void push_back(bool b) { bits_.push_back(b ? 1 : 0); }
+
+  /// Appends all of `other` at the right end (the paper's `u ∘ v`).
+  void append(const BitString& other);
+
+  /// Concatenation.
+  [[nodiscard]] friend BitString operator+(BitString lhs, const BitString& rhs) {
+    lhs.append(rhs);
+    return lhs;
+  }
+
+  /// Left-to-right reversal (the paper's `S^R`).
+  [[nodiscard]] BitString reversed() const;
+
+  /// True iff `this` is a prefix of `other` (every string is a prefix of
+  /// itself).
+  [[nodiscard]] bool is_prefix_of(const BitString& other) const noexcept;
+
+  /// Integer value when the bits are read MSB-first, i.e. the usual binary
+  /// value.  Requires `size() <= 64`.
+  [[nodiscard]] std::uint64_t to_uint_msb_first() const;
+
+  /// Integer value when `bit(0)` is the *least* significant bit.  This is
+  /// exactly the residue a codeword occupies in the holiday counter: node
+  /// with codeword `w` is happy at holidays `t ≡ to_uint_lsb_first()
+  /// (mod 2^size())` (see §4.2 of the paper: `LSB(B(i)) = ω(p)^R`).
+  [[nodiscard]] std::uint64_t to_uint_lsb_first() const;
+
+  /// '0'/'1' rendering, left-to-right.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const BitString&, const BitString&) = default;
+  friend std::strong_ordering operator<=>(const BitString&, const BitString&) = default;
+
+ private:
+  std::vector<std::uint8_t> bits_;
+};
+
+}  // namespace fhg::coding

@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file elias.hpp
+/// Universal prefix-free codes for the positive integers: unary, Elias gamma,
+/// Elias delta and Elias omega (Elias, IEEE-IT 1975), plus a streaming
+/// decoder used to map holiday numbers back to colors.
+///
+/// The §4 scheduler turns *any* prefix-free code `K` into a perfectly
+/// periodic schedule: a node of color `c` is happy at holiday `t` iff the
+/// `|K(c)|` least-significant bits of `t` spell `K(c)` reversed, i.e.
+/// `t ≡ slot(c).residue (mod 2^slot(c).length)`.  Prefix-freeness guarantees
+/// that no holiday matches two distinct colors.  The omega code gives period
+/// `2^ρ(c) ≤ 2^{1+log* c}·φ(c)`, nearly matching the Theorem 4.1 lower bound.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "fhg/coding/bitstring.hpp"
+
+namespace fhg::coding {
+
+// -- Encoders ---------------------------------------------------------------
+
+/// Unary code: `n-1` ones followed by a zero. Length `n`.  The worst
+/// reasonable prefix-free code — included as a baseline (its scheduling
+/// period is `2^c`, catastrophically far from `φ(c)`).
+[[nodiscard]] BitString unary_code(std::uint64_t n);
+
+/// Elias gamma: `⌊log n⌋` zeros then `B(n)`. Length `2⌊log n⌋ + 1`.
+[[nodiscard]] BitString elias_gamma(std::uint64_t n);
+
+/// Elias delta: `gamma(|B(n)|)` then `B(n)` without its leading 1.
+/// Length `⌊log n⌋ + 2⌊log(⌊log n⌋ + 1)⌋ + 1`.
+[[nodiscard]] BitString elias_delta(std::uint64_t n);
+
+/// Elias omega (the paper's Appendix B): `re(n) ∘ 0` where `re(1) = λ` and
+/// `re(i) = re(|B(i)| - 1) ∘ B(i)`.
+[[nodiscard]] BitString elias_omega(std::uint64_t n);
+
+// -- Exact codeword lengths (no allocation) ----------------------------------
+
+[[nodiscard]] std::uint32_t unary_length(std::uint64_t n) noexcept;
+[[nodiscard]] std::uint32_t elias_gamma_length(std::uint64_t n) noexcept;
+[[nodiscard]] std::uint32_t elias_delta_length(std::uint64_t n) noexcept;
+
+/// ρ(n): the exact Elias-omega codeword length, via the paper's recursion
+/// `ρ(n) = 1 + rb(n)`, `rb(1) = 0`, `rb(i) = |B(i)| + rb(|B(i)| - 1)`.
+[[nodiscard]] std::uint32_t elias_omega_length(std::uint64_t n) noexcept;
+
+// -- Decoders -----------------------------------------------------------------
+
+/// A pull-based bit source; returns bits in codeword (left-to-right) order.
+using BitSource = std::function<bool()>;
+
+/// Decodes one unary codeword from `source`.
+[[nodiscard]] std::uint64_t decode_unary(const BitSource& source);
+
+/// Decodes one Elias gamma codeword from `source`.
+[[nodiscard]] std::uint64_t decode_elias_gamma(const BitSource& source);
+
+/// Decodes one Elias delta codeword from `source`.
+[[nodiscard]] std::uint64_t decode_elias_delta(const BitSource& source);
+
+/// Decodes one Elias omega codeword from `source`.
+[[nodiscard]] std::uint64_t decode_elias_omega(const BitSource& source);
+
+// -- Code registry -------------------------------------------------------------
+
+/// The prefix-free codes shipped with the library.  `PrefixCodeScheduler`
+/// is parameterized on this enum; E4 sweeps all of them.
+enum class CodeFamily : std::uint8_t {
+  kUnary,
+  kEliasGamma,
+  kEliasDelta,
+  kEliasOmega,
+};
+
+/// Human-readable family name ("unary", "gamma", "delta", "omega").
+[[nodiscard]] std::string code_family_name(CodeFamily family);
+
+/// Encodes `n >= 1` under `family`.
+[[nodiscard]] BitString encode(CodeFamily family, std::uint64_t n);
+
+/// Codeword length of `n` under `family` without materializing it.
+[[nodiscard]] std::uint32_t code_length(CodeFamily family, std::uint64_t n);
+
+/// Decodes one codeword of `family` from `source`.
+[[nodiscard]] std::uint64_t decode(CodeFamily family, const BitSource& source);
+
+/// The holiday-to-color map of §4 ("decode(i)"): reads the bits of holiday
+/// number `t` from least significant upwards (with infinite zero padding)
+/// and decodes one codeword.  Returns the unique color that holiday `t`
+/// makes happy under `family`, or `std::nullopt` if decoding would need more
+/// than 64 bits of `t` (possible only for astronomically large colors).
+[[nodiscard]] std::optional<std::uint64_t> decode_holiday(CodeFamily family, std::uint64_t t);
+
+}  // namespace fhg::coding

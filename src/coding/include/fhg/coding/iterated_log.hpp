@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file iterated_log.hpp
+/// The iterated-logarithm toolkit behind Theorem 4.1's lower bound.
+///
+/// Definition 4.1 of the paper:
+///   `φ(i) = 1` for `i ≤ 1`, else `φ(i) = i · φ(log i)`;
+/// explicitly `φ(i) = ∏_{k=0}^{log* i} log^(k) i` — the product
+/// `i · log i · log log i · … · 1`.  By the Cauchy condensation test this is
+/// the threshold function: `Σ 1/f(c)` converges only if `f` grows faster
+/// than `φ` (by a `(log^(k))^{1+ε}` factor on some level), so no color-based
+/// schedule can achieve `mul(c) = o(φ(c))`.
+///
+/// Logs are base 2 throughout, as in the paper.
+
+#include <cstdint>
+
+namespace fhg::coding {
+
+/// `⌊log2 n⌋` for `n >= 1`.
+[[nodiscard]] std::uint32_t floor_log2(std::uint64_t n) noexcept;
+
+/// `⌈log2 n⌉` for `n >= 1`.
+[[nodiscard]] std::uint32_t ceil_log2(std::uint64_t n) noexcept;
+
+/// The iterated logarithm `log* n`: the number of times `log2` must be
+/// applied to reach a value ≤ 1.  `log_star(1) == 0`, `log_star(2) == 1`,
+/// `log_star(16) == 3`, `log_star(65536) == 4`.
+[[nodiscard]] std::uint32_t log_star(double n) noexcept;
+
+/// `log^(k) n`: `log2` iterated `k` times (real-valued). `k == 0` returns n.
+[[nodiscard]] double iterated_log(double n, std::uint32_t k) noexcept;
+
+/// `φ(n)` per Definition 4.1 (real-valued recursion bottoming out at 1).
+[[nodiscard]] double phi(double n) noexcept;
+
+/// The paper's Theorem 4.2 upper bound for the omega-code period of color
+/// `c`: `2^{1 + log* c} · φ(c)`.
+[[nodiscard]] double omega_period_bound(std::uint64_t c) noexcept;
+
+/// Partial sum `Σ_{c=a}^{b} 1/f(c)` evaluated with compensated (Kahan)
+/// summation; `f` is any positive function.  Used by E3 to exhibit the
+/// divergence/convergence threshold at `φ`.
+template <typename F>
+[[nodiscard]] double reciprocal_sum(std::uint64_t a, std::uint64_t b, F&& f) noexcept {
+  double sum = 0.0;
+  double carry = 0.0;
+  for (std::uint64_t c = a; c <= b; ++c) {
+    const double term = 1.0 / f(c);
+    const double y = term - carry;
+    const double t = sum + y;
+    carry = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+}  // namespace fhg::coding

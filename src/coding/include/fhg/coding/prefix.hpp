@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file prefix.hpp
+/// Prefix-freeness verification and the codeword → schedule-slot mapping.
+///
+/// The correctness of the §4 scheduler rests on one combinatorial fact: in a
+/// prefix-free code no codeword is a prefix of another, hence the low bits of
+/// a holiday number can spell out (the reversal of) at most one codeword.
+/// `is_prefix_free` checks a whole code book with a binary trie in
+/// `O(total bits)`; `slot_of` converts codewords to `(residue, modulus)`
+/// arithmetic so the hot scheduling path is a single mask-and-compare.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fhg/coding/bitstring.hpp"
+
+namespace fhg::coding {
+
+/// The periodic schedule slot induced by a codeword `w`:
+/// happy holidays are exactly `{ t : t ≡ residue (mod 2^length) }`.
+struct ScheduleSlot {
+  std::uint64_t residue = 0;
+  std::uint32_t length = 0;  ///< period is 2^length
+
+  /// The node's perfectly-periodic interval.
+  [[nodiscard]] constexpr std::uint64_t period() const noexcept {
+    return std::uint64_t{1} << length;
+  }
+
+  /// True iff holiday `t` belongs to this slot.
+  [[nodiscard]] constexpr bool matches(std::uint64_t t) const noexcept {
+    const std::uint64_t mask = (length >= 64) ? ~std::uint64_t{0} : period() - 1;
+    return (t & mask) == residue;
+  }
+
+  friend constexpr bool operator==(const ScheduleSlot&, const ScheduleSlot&) noexcept = default;
+};
+
+/// Converts a codeword to its schedule slot (§4.2: a node with codeword `w`
+/// is happy when `LSB(B(t), |w|) = w^R`, i.e. `t ≡ value_lsb_first(w)
+/// (mod 2^|w|)`).  Requires `w.size() <= 64`.
+[[nodiscard]] ScheduleSlot slot_of(const BitString& codeword);
+
+/// True iff no codeword in `code_book` is a proper prefix of another and no
+/// two are equal.  Empty codewords are rejected (they prefix everything).
+[[nodiscard]] bool is_prefix_free(std::span<const BitString> code_book);
+
+/// If the code book is *not* prefix free, returns indices `(i, j)` of a
+/// witness pair where `code_book[i]` is a prefix of `code_book[j]`; otherwise
+/// an empty vector.  Used by tests to produce actionable failures.
+[[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> prefix_violations(
+    std::span<const BitString> code_book);
+
+/// Kraft sum `Σ 2^{-|w|}` of a code book.  A prefix-free code always has
+/// Kraft sum ≤ 1; this is the coding-theory face of the Theorem 4.1 budget
+/// `Σ 1/f(c) ≤ 1`.
+[[nodiscard]] double kraft_sum(std::span<const BitString> code_book);
+
+}  // namespace fhg::coding

@@ -1,0 +1,87 @@
+#include "fhg/coding/bitstring.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace fhg::coding {
+
+BitString::BitString(std::string_view bits) {
+  bits_.reserve(bits.size());
+  for (const char c : bits) {
+    if (c != '0' && c != '1') {
+      throw std::invalid_argument("BitString: invalid character in bit literal");
+    }
+    bits_.push_back(c == '1' ? 1 : 0);
+  }
+}
+
+BitString BitString::binary(std::uint64_t value, std::uint32_t width) {
+  if (width > 64) {
+    throw std::invalid_argument("BitString::binary: width > 64");
+  }
+  BitString result;
+  result.bits_.resize(width);
+  for (std::uint32_t i = 0; i < width; ++i) {
+    result.bits_[width - 1 - i] = static_cast<std::uint8_t>((value >> i) & 1U);
+  }
+  return result;
+}
+
+BitString BitString::standard_binary(std::uint64_t value) {
+  if (value == 0) {
+    throw std::invalid_argument("BitString::standard_binary: B(n) is defined for n >= 1");
+  }
+  const auto width = static_cast<std::uint32_t>(std::bit_width(value));
+  return binary(value, width);
+}
+
+void BitString::append(const BitString& other) {
+  bits_.insert(bits_.end(), other.bits_.begin(), other.bits_.end());
+}
+
+BitString BitString::reversed() const {
+  BitString result;
+  result.bits_.assign(bits_.rbegin(), bits_.rend());
+  return result;
+}
+
+bool BitString::is_prefix_of(const BitString& other) const noexcept {
+  if (size() > other.size()) {
+    return false;
+  }
+  return std::equal(bits_.begin(), bits_.end(), other.bits_.begin());
+}
+
+std::uint64_t BitString::to_uint_msb_first() const {
+  if (size() > 64) {
+    throw std::length_error("BitString::to_uint_msb_first: more than 64 bits");
+  }
+  std::uint64_t value = 0;
+  for (const std::uint8_t b : bits_) {
+    value = (value << 1) | b;
+  }
+  return value;
+}
+
+std::uint64_t BitString::to_uint_lsb_first() const {
+  if (size() > 64) {
+    throw std::length_error("BitString::to_uint_lsb_first: more than 64 bits");
+  }
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    value |= static_cast<std::uint64_t>(bits_[i]) << i;
+  }
+  return value;
+}
+
+std::string BitString::to_string() const {
+  std::string s;
+  s.reserve(bits_.size());
+  for (const std::uint8_t b : bits_) {
+    s.push_back(b != 0 ? '1' : '0');
+  }
+  return s;
+}
+
+}  // namespace fhg::coding

@@ -1,0 +1,229 @@
+#include "fhg/coding/elias.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace fhg::coding {
+
+namespace {
+
+void require_positive(std::uint64_t n, const char* where) {
+  if (n == 0) {
+    throw std::invalid_argument(std::string(where) + ": codes are defined for n >= 1");
+  }
+}
+
+/// |B(n)| = floor(log2 n) + 1.
+std::uint32_t bits_of(std::uint64_t n) noexcept {
+  return static_cast<std::uint32_t>(std::bit_width(n));
+}
+
+}  // namespace
+
+BitString unary_code(std::uint64_t n) {
+  require_positive(n, "unary_code");
+  BitString w;
+  for (std::uint64_t i = 1; i < n; ++i) {
+    w.push_back(true);
+  }
+  w.push_back(false);
+  return w;
+}
+
+BitString elias_gamma(std::uint64_t n) {
+  require_positive(n, "elias_gamma");
+  const std::uint32_t len = bits_of(n);
+  BitString w;
+  for (std::uint32_t i = 1; i < len; ++i) {
+    w.push_back(false);
+  }
+  w.append(BitString::standard_binary(n));
+  return w;
+}
+
+BitString elias_delta(std::uint64_t n) {
+  require_positive(n, "elias_delta");
+  const std::uint32_t len = bits_of(n);
+  BitString w = elias_gamma(len);
+  // Append B(n) without its leading 1 bit.
+  const BitString b = BitString::standard_binary(n);
+  for (std::size_t i = 1; i < b.size(); ++i) {
+    w.push_back(b.bit(i));
+  }
+  return w;
+}
+
+BitString elias_omega(std::uint64_t n) {
+  require_positive(n, "elias_omega");
+  // re(i) = re(|B(i)| - 1) ∘ B(i); built by prepending, so collect groups
+  // and emit in reverse discovery order.
+  BitString w;
+  std::vector<BitString> groups;
+  std::uint64_t value = n;
+  while (value > 1) {
+    groups.push_back(BitString::standard_binary(value));
+    value = bits_of(value) - 1;
+  }
+  for (auto it = groups.rbegin(); it != groups.rend(); ++it) {
+    w.append(*it);
+  }
+  w.push_back(false);  // the terminating 0
+  return w;
+}
+
+std::uint32_t unary_length(std::uint64_t n) noexcept {
+  return static_cast<std::uint32_t>(n);
+}
+
+std::uint32_t elias_gamma_length(std::uint64_t n) noexcept {
+  return 2 * (bits_of(n) - 1) + 1;
+}
+
+std::uint32_t elias_delta_length(std::uint64_t n) noexcept {
+  const std::uint32_t len = bits_of(n);
+  return (len - 1) + elias_gamma_length(len);
+}
+
+std::uint32_t elias_omega_length(std::uint64_t n) noexcept {
+  // rb(1) = 0; rb(i) = |B(i)| + rb(|B(i)| - 1).  ρ(n) = rb(n) + 1.
+  std::uint32_t total = 1;
+  std::uint64_t value = n;
+  while (value > 1) {
+    const std::uint32_t len = bits_of(value);
+    total += len;
+    value = len - 1;
+  }
+  return total;
+}
+
+std::uint64_t decode_unary(const BitSource& source) {
+  std::uint64_t n = 1;
+  while (source()) {
+    ++n;
+  }
+  return n;
+}
+
+std::uint64_t decode_elias_gamma(const BitSource& source) {
+  std::uint32_t zeros = 0;
+  while (!source()) {
+    if (++zeros > 63) {
+      throw std::runtime_error("decode_elias_gamma: value exceeds 64 bits");
+    }
+  }
+  std::uint64_t value = 1;
+  for (std::uint32_t i = 0; i < zeros; ++i) {
+    value = (value << 1) | static_cast<std::uint64_t>(source());
+  }
+  return value;
+}
+
+std::uint64_t decode_elias_delta(const BitSource& source) {
+  const std::uint64_t len = decode_elias_gamma(source);
+  if (len > 64) {
+    throw std::runtime_error("decode_elias_delta: value exceeds 64 bits");
+  }
+  std::uint64_t value = 1;
+  for (std::uint64_t i = 1; i < len; ++i) {
+    value = (value << 1) | static_cast<std::uint64_t>(source());
+  }
+  return value;
+}
+
+std::uint64_t decode_elias_omega(const BitSource& source) {
+  std::uint64_t n = 1;
+  for (;;) {
+    if (!source()) {
+      return n;  // terminating 0
+    }
+    if (n > 63) {
+      throw std::runtime_error("decode_elias_omega: value exceeds 64 bits");
+    }
+    // A group of n+1 bits starting with the 1 just read.
+    std::uint64_t value = 1;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      value = (value << 1) | static_cast<std::uint64_t>(source());
+    }
+    n = value;
+  }
+}
+
+std::string code_family_name(CodeFamily family) {
+  switch (family) {
+    case CodeFamily::kUnary:
+      return "unary";
+    case CodeFamily::kEliasGamma:
+      return "gamma";
+    case CodeFamily::kEliasDelta:
+      return "delta";
+    case CodeFamily::kEliasOmega:
+      return "omega";
+  }
+  throw std::invalid_argument("code_family_name: unknown family");
+}
+
+BitString encode(CodeFamily family, std::uint64_t n) {
+  switch (family) {
+    case CodeFamily::kUnary:
+      return unary_code(n);
+    case CodeFamily::kEliasGamma:
+      return elias_gamma(n);
+    case CodeFamily::kEliasDelta:
+      return elias_delta(n);
+    case CodeFamily::kEliasOmega:
+      return elias_omega(n);
+  }
+  throw std::invalid_argument("encode: unknown family");
+}
+
+std::uint32_t code_length(CodeFamily family, std::uint64_t n) {
+  switch (family) {
+    case CodeFamily::kUnary:
+      return unary_length(n);
+    case CodeFamily::kEliasGamma:
+      return elias_gamma_length(n);
+    case CodeFamily::kEliasDelta:
+      return elias_delta_length(n);
+    case CodeFamily::kEliasOmega:
+      return elias_omega_length(n);
+  }
+  throw std::invalid_argument("code_length: unknown family");
+}
+
+std::uint64_t decode(CodeFamily family, const BitSource& source) {
+  switch (family) {
+    case CodeFamily::kUnary:
+      return decode_unary(source);
+    case CodeFamily::kEliasGamma:
+      return decode_elias_gamma(source);
+    case CodeFamily::kEliasDelta:
+      return decode_elias_delta(source);
+    case CodeFamily::kEliasOmega:
+      return decode_elias_omega(source);
+  }
+  throw std::invalid_argument("decode: unknown family");
+}
+
+std::optional<std::uint64_t> decode_holiday(CodeFamily family, std::uint64_t t) {
+  // Bits of t from least significant upward, zero-padded forever; cap at 128
+  // pulled bits so a malformed stream cannot loop (unary of huge colors).
+  std::uint32_t cursor = 0;
+  auto source = [&]() -> bool {
+    const std::uint32_t i = cursor++;
+    if (i >= 64) {
+      return false;
+    }
+    return ((t >> i) & 1U) != 0;
+  };
+  try {
+    const std::uint64_t color = decode(family, source);
+    if (cursor > 128) {
+      return std::nullopt;
+    }
+    return color;
+  } catch (const std::runtime_error&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace fhg::coding

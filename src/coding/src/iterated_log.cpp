@@ -1,0 +1,49 @@
+#include "fhg/coding/iterated_log.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace fhg::coding {
+
+std::uint32_t floor_log2(std::uint64_t n) noexcept {
+  return n == 0 ? 0 : static_cast<std::uint32_t>(std::bit_width(n) - 1);
+}
+
+std::uint32_t ceil_log2(std::uint64_t n) noexcept {
+  if (n <= 1) {
+    return 0;
+  }
+  return static_cast<std::uint32_t>(std::bit_width(n - 1));
+}
+
+std::uint32_t log_star(double n) noexcept {
+  std::uint32_t count = 0;
+  while (n > 1.0) {
+    n = std::log2(n);
+    ++count;
+  }
+  return count;
+}
+
+double iterated_log(double n, std::uint32_t k) noexcept {
+  for (std::uint32_t i = 0; i < k; ++i) {
+    n = std::log2(n);
+  }
+  return n;
+}
+
+double phi(double n) noexcept {
+  double product = 1.0;
+  while (n > 1.0) {
+    product *= n;
+    n = std::log2(n);
+  }
+  return product;
+}
+
+double omega_period_bound(std::uint64_t c) noexcept {
+  const auto cd = static_cast<double>(c);
+  return std::exp2(1.0 + log_star(cd)) * phi(cd);
+}
+
+}  // namespace fhg::coding

@@ -1,0 +1,101 @@
+#include "fhg/coding/prefix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fhg::coding {
+
+namespace {
+
+/// Binary trie over codewords; node 0 is the root.
+struct Trie {
+  struct Node {
+    std::int64_t child[2] = {-1, -1};
+    std::int64_t word = -1;  ///< index of the codeword ending here, or -1
+  };
+  std::vector<Node> nodes{Node{}};
+
+  /// Inserts word `index`; returns the index of a codeword that conflicts
+  /// (is a prefix of, equals, or is extended by this word), or -1.
+  std::int64_t insert(const BitString& w, std::size_t index) {
+    std::size_t cursor = 0;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      if (nodes[cursor].word >= 0) {
+        return nodes[cursor].word;  // an existing word is a proper prefix of w
+      }
+      const int b = w.bit(i) ? 1 : 0;
+      if (nodes[cursor].child[b] < 0) {
+        nodes[cursor].child[b] = static_cast<std::int64_t>(nodes.size());
+        nodes.emplace_back();
+      }
+      cursor = static_cast<std::size_t>(nodes[cursor].child[b]);
+    }
+    if (nodes[cursor].word >= 0) {
+      return nodes[cursor].word;  // duplicate
+    }
+    if (nodes[cursor].child[0] >= 0 || nodes[cursor].child[1] >= 0) {
+      // w is a proper prefix of some already-inserted word; find one.
+      std::size_t probe = cursor;
+      while (nodes[probe].word < 0) {
+        probe = static_cast<std::size_t>(nodes[probe].child[0] >= 0 ? nodes[probe].child[0]
+                                                                    : nodes[probe].child[1]);
+      }
+      nodes[cursor].word = static_cast<std::int64_t>(index);
+      return nodes[probe].word;
+    }
+    nodes[cursor].word = static_cast<std::int64_t>(index);
+    return -1;
+  }
+};
+
+}  // namespace
+
+ScheduleSlot slot_of(const BitString& codeword) {
+  if (codeword.empty()) {
+    throw std::invalid_argument("slot_of: empty codeword");
+  }
+  if (codeword.size() > 64) {
+    throw std::invalid_argument("slot_of: codeword longer than 64 bits");
+  }
+  return ScheduleSlot{codeword.to_uint_lsb_first(), static_cast<std::uint32_t>(codeword.size())};
+}
+
+bool is_prefix_free(std::span<const BitString> code_book) {
+  Trie trie;
+  for (std::size_t i = 0; i < code_book.size(); ++i) {
+    if (code_book[i].empty()) {
+      return false;
+    }
+    if (trie.insert(code_book[i], i) >= 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> prefix_violations(
+    std::span<const BitString> code_book) {
+  std::vector<std::pair<std::size_t, std::size_t>> witnesses;
+  for (std::size_t i = 0; i < code_book.size(); ++i) {
+    for (std::size_t j = 0; j < code_book.size(); ++j) {
+      if (i != j && code_book[i].is_prefix_of(code_book[j])) {
+        // Report (prefix, extended); for duplicates report the lower index
+        // first and only once.
+        if (code_book[i].size() < code_book[j].size() || i < j) {
+          witnesses.emplace_back(i, j);
+        }
+      }
+    }
+  }
+  return witnesses;
+}
+
+double kraft_sum(std::span<const BitString> code_book) {
+  double sum = 0.0;
+  for (const BitString& w : code_book) {
+    sum += std::exp2(-static_cast<double>(w.size()));
+  }
+  return sum;
+}
+
+}  // namespace fhg::coding

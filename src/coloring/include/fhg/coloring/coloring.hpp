@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file coloring.hpp
+/// Proper vertex colorings of the conflict graph.
+///
+/// Colors are positive integers (`1, 2, 3, …`) exactly as in the paper —
+/// a node's color is the label from which its holiday schedule is derived,
+/// so the *value* of the color matters, not only the count.  `0` is the
+/// "uncolored" sentinel used by in-progress distributed algorithms.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fhg/graph/graph.hpp"
+
+namespace fhg::coloring {
+
+/// A color; `kUncolored` (0) marks not-yet-colored nodes.
+using Color = std::uint32_t;
+inline constexpr Color kUncolored = 0;
+
+/// A (possibly partial) vertex coloring.
+class Coloring {
+ public:
+  Coloring() = default;
+
+  /// All-uncolored assignment for `n` nodes.
+  explicit Coloring(graph::NodeId n) : colors_(n, kUncolored) {}
+
+  /// Wraps an existing assignment.
+  explicit Coloring(std::vector<Color> colors) : colors_(std::move(colors)) {}
+
+  [[nodiscard]] graph::NodeId num_nodes() const noexcept {
+    return static_cast<graph::NodeId>(colors_.size());
+  }
+
+  [[nodiscard]] Color color(graph::NodeId v) const noexcept { return colors_[v]; }
+
+  void set_color(graph::NodeId v, Color c) noexcept { colors_[v] = c; }
+
+  [[nodiscard]] std::span<const Color> colors() const noexcept { return colors_; }
+
+  /// Largest color used (0 if none).
+  [[nodiscard]] Color max_color() const noexcept;
+
+  /// Number of *distinct* colors used (ignoring uncolored nodes).
+  [[nodiscard]] std::size_t distinct_colors() const;
+
+  /// True iff every node is colored (no `kUncolored` left).
+  [[nodiscard]] bool complete() const noexcept;
+
+  /// True iff no edge of `g` joins two nodes of equal (non-zero) color and
+  /// the assignment covers exactly `g.num_nodes()` nodes.
+  [[nodiscard]] bool proper(const graph::Graph& g) const noexcept;
+
+  /// True iff `color(v) <= g.degree(v) + 1` for every colored node — the
+  /// property the paper requires of the initial (BEPS/Johansson/greedy)
+  /// coloring so that color-derived waits are degree-local.
+  [[nodiscard]] bool degree_bounded(const graph::Graph& g) const noexcept;
+
+ private:
+  std::vector<Color> colors_;
+};
+
+}  // namespace fhg::coloring

@@ -1,0 +1,19 @@
+#pragma once
+
+/// \file dsatur.hpp
+/// DSATUR (Brélaz 1979): greedy coloring that always colors the node of
+/// highest *saturation* (number of distinct neighbor colors) next, breaking
+/// ties by degree.  Exact on bipartite graphs and typically far below `Δ+1`
+/// on sparse graphs — the "good coloring" feeding the §4 scheduler when the
+/// chromatic number is small (the paper: "this algorithm works for any graph
+/// coloring, including the (possibly difficult to obtain) optimal one").
+
+#include "fhg/coloring/coloring.hpp"
+#include "fhg/graph/graph.hpp"
+
+namespace fhg::coloring {
+
+/// DSATUR coloring. `O((n + m) log n)` with a lazy priority queue.
+[[nodiscard]] Coloring dsatur_color(const graph::Graph& g);
+
+}  // namespace fhg::coloring

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file greedy.hpp
+/// Sequential greedy coloring under pluggable vertex orderings, plus the
+/// palette-restricted primitives shared by the §3 recoloring loop and the
+/// §5 residue assignment.
+///
+/// Greedy facts the schedulers rely on:
+///  * any greedy order yields `col(v) ≤ deg(v) + 1` — the paper's requirement
+///    on the initial coloring (§3, §4 example 2);
+///  * coloring along the reverse degeneracy order uses ≤ degeneracy+1 colors;
+///  * on a bipartite graph, 2 colors suffice (the §1 intergroup-marriage
+///    society), recovered here by BFS rather than greedy.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fhg/coloring/coloring.hpp"
+#include "fhg/graph/graph.hpp"
+
+namespace fhg::coloring {
+
+/// Vertex orderings for greedy coloring.
+enum class Order : std::uint8_t {
+  kIdentity,      ///< nodes 0..n-1 as given
+  kRandom,        ///< uniform shuffle (seeded)
+  kLargestFirst,  ///< decreasing degree (Welsh–Powell)
+  kSmallestLast,  ///< reverse degeneracy order (Matula–Beck)
+};
+
+/// Human-readable ordering name.
+[[nodiscard]] const char* order_name(Order order) noexcept;
+
+/// Materializes the vertex ordering (seed only used for `kRandom`).
+[[nodiscard]] std::vector<graph::NodeId> make_order(const graph::Graph& g, Order order,
+                                                    std::uint64_t seed = 0);
+
+/// Smallest color ≥ 1 not used by any neighbor of `v` under `coloring`.
+[[nodiscard]] Color smallest_free_color(const graph::Graph& g, const Coloring& coloring,
+                                        graph::NodeId v);
+
+/// Smallest color strictly greater than `floor` not used by any neighbor —
+/// the §3 recoloring step ("smallest number j > i such that none of v's
+/// neighbors has color j"); always ≤ `floor + deg(v) + 1`.
+[[nodiscard]] Color smallest_free_color_above(const graph::Graph& g, const Coloring& coloring,
+                                              graph::NodeId v, Color floor);
+
+/// Greedy coloring along `order` (which must be a permutation of the nodes).
+/// Guarantees `col(v) ≤ deg(v) + 1` and properness.
+[[nodiscard]] Coloring greedy_color(const graph::Graph& g, std::span<const graph::NodeId> order);
+
+/// Convenience overload: builds the order then colors.
+[[nodiscard]] Coloring greedy_color(const graph::Graph& g, Order order = Order::kLargestFirst,
+                                    std::uint64_t seed = 0);
+
+/// 2-coloring of a bipartite graph (colors 1 and 2), or `std::nullopt` if an
+/// odd cycle exists.
+[[nodiscard]] std::optional<Coloring> bipartite_color(const graph::Graph& g);
+
+/// The trivial coloring of §4 example 1: node `v` gets color `v + 1`.
+/// Proper for any graph; makes `mul(p)` depend on `|P|` — the anti-pattern
+/// the paper's local bounds exist to avoid (E2/E11 baseline).
+[[nodiscard]] Coloring sequential_color(const graph::Graph& g);
+
+}  // namespace fhg::coloring

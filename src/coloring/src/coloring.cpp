@@ -1,0 +1,61 @@
+#include "fhg/coloring/coloring.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace fhg::coloring {
+
+Color Coloring::max_color() const noexcept {
+  Color best = 0;
+  for (const Color c : colors_) {
+    best = std::max(best, c);
+  }
+  return best;
+}
+
+std::size_t Coloring::distinct_colors() const {
+  std::unordered_set<Color> seen;
+  for (const Color c : colors_) {
+    if (c != kUncolored) {
+      seen.insert(c);
+    }
+  }
+  return seen.size();
+}
+
+bool Coloring::complete() const noexcept {
+  return std::none_of(colors_.begin(), colors_.end(),
+                      [](Color c) { return c == kUncolored; });
+}
+
+bool Coloring::proper(const graph::Graph& g) const noexcept {
+  if (num_nodes() != g.num_nodes()) {
+    return false;
+  }
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    const Color cu = colors_[u];
+    if (cu == kUncolored) {
+      continue;
+    }
+    for (const graph::NodeId v : g.neighbors(u)) {
+      if (colors_[v] == cu) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool Coloring::degree_bounded(const graph::Graph& g) const noexcept {
+  if (num_nodes() != g.num_nodes()) {
+    return false;
+  }
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (colors_[v] != kUncolored && colors_[v] > g.degree(v) + 1) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fhg::coloring

@@ -1,0 +1,48 @@
+#include "fhg/coloring/dsatur.hpp"
+
+#include <queue>
+#include <tuple>
+#include <unordered_set>
+#include <vector>
+
+#include "fhg/coloring/greedy.hpp"
+
+namespace fhg::coloring {
+
+Coloring dsatur_color(const graph::Graph& g) {
+  const graph::NodeId n = g.num_nodes();
+  Coloring coloring(n);
+  if (n == 0) {
+    return coloring;
+  }
+
+  std::vector<std::unordered_set<Color>> neighbor_colors(n);
+  // Max-heap keyed by (saturation, degree, node); entries go stale when a
+  // node's saturation grows — detected by comparing against the live value.
+  using Entry = std::tuple<std::uint32_t, std::uint32_t, graph::NodeId>;
+  std::priority_queue<Entry> heap;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    heap.emplace(0, g.degree(v), v);
+  }
+
+  graph::NodeId colored = 0;
+  while (colored < n) {
+    const auto [sat, deg, v] = heap.top();
+    heap.pop();
+    if (coloring.color(v) != kUncolored ||
+        sat != static_cast<std::uint32_t>(neighbor_colors[v].size())) {
+      continue;  // stale
+    }
+    coloring.set_color(v, smallest_free_color(g, coloring, v));
+    ++colored;
+    for (const graph::NodeId w : g.neighbors(v)) {
+      if (coloring.color(w) == kUncolored &&
+          neighbor_colors[w].insert(coloring.color(v)).second) {
+        heap.emplace(static_cast<std::uint32_t>(neighbor_colors[w].size()), g.degree(w), w);
+      }
+    }
+  }
+  return coloring;
+}
+
+}  // namespace fhg::coloring

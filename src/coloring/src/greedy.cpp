@@ -1,0 +1,112 @@
+#include "fhg/coloring/greedy.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "fhg/graph/properties.hpp"
+#include "fhg/parallel/rng.hpp"
+
+namespace fhg::coloring {
+
+const char* order_name(Order order) noexcept {
+  switch (order) {
+    case Order::kIdentity:
+      return "identity";
+    case Order::kRandom:
+      return "random";
+    case Order::kLargestFirst:
+      return "largest-first";
+    case Order::kSmallestLast:
+      return "smallest-last";
+  }
+  return "?";
+}
+
+std::vector<graph::NodeId> make_order(const graph::Graph& g, Order order, std::uint64_t seed) {
+  const graph::NodeId n = g.num_nodes();
+  std::vector<graph::NodeId> nodes(n);
+  std::iota(nodes.begin(), nodes.end(), 0U);
+  switch (order) {
+    case Order::kIdentity:
+      break;
+    case Order::kRandom: {
+      parallel::Rng rng(seed, /*stream=*/0x6F7264);
+      rng.shuffle(nodes);
+      break;
+    }
+    case Order::kLargestFirst:
+      std::stable_sort(nodes.begin(), nodes.end(), [&g](graph::NodeId a, graph::NodeId b) {
+        return g.degree(a) > g.degree(b);
+      });
+      break;
+    case Order::kSmallestLast: {
+      const auto degeneracy = graph::degeneracy_order(g);
+      nodes.assign(degeneracy.order.rbegin(), degeneracy.order.rend());
+      break;
+    }
+  }
+  return nodes;
+}
+
+Color smallest_free_color(const graph::Graph& g, const Coloring& coloring, graph::NodeId v) {
+  return smallest_free_color_above(g, coloring, v, 0);
+}
+
+Color smallest_free_color_above(const graph::Graph& g, const Coloring& coloring, graph::NodeId v,
+                                Color floor) {
+  // Mark which of floor+1 .. floor+deg+1 are taken; the pigeonhole principle
+  // guarantees a free color in that window.
+  const auto nbrs = g.neighbors(v);
+  std::vector<bool> taken(nbrs.size() + 2, false);
+  for (const graph::NodeId w : nbrs) {
+    const Color c = coloring.color(w);
+    if (c > floor && c <= floor + taken.size() - 1) {
+      taken[c - floor] = true;
+    }
+  }
+  for (Color offset = 1; offset < taken.size(); ++offset) {
+    if (!taken[offset]) {
+      return floor + offset;
+    }
+  }
+  return floor + static_cast<Color>(taken.size());  // unreachable by pigeonhole
+}
+
+Coloring greedy_color(const graph::Graph& g, std::span<const graph::NodeId> order) {
+  if (order.size() != g.num_nodes()) {
+    throw std::invalid_argument("greedy_color: order must cover every node exactly once");
+  }
+  Coloring coloring(g.num_nodes());
+  for (const graph::NodeId v : order) {
+    coloring.set_color(v, smallest_free_color(g, coloring, v));
+  }
+  return coloring;
+}
+
+Coloring greedy_color(const graph::Graph& g, Order order, std::uint64_t seed) {
+  const std::vector<graph::NodeId> nodes = make_order(g, order, seed);
+  return greedy_color(g, nodes);
+}
+
+std::optional<Coloring> bipartite_color(const graph::Graph& g) {
+  const auto sides = graph::bipartition(g);
+  if (!sides) {
+    return std::nullopt;
+  }
+  Coloring coloring(g.num_nodes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    coloring.set_color(v, static_cast<Color>((*sides)[v] + 1));
+  }
+  return coloring;
+}
+
+Coloring sequential_color(const graph::Graph& g) {
+  Coloring coloring(g.num_nodes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    coloring.set_color(v, v + 1);
+  }
+  return coloring;
+}
+
+}  // namespace fhg::coloring

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file auditor.hpp
+/// Runtime verification of schedule invariants.
+///
+/// Two invariants from the paper are checked on every holiday:
+///  1. **Independence** — the happy set is an independent set of the
+///     conflict graph (Definition 2.1: happy parents are sinks, and two
+///     adjacent sinks are impossible).
+///  2. **One color per holiday** (optional, for color-based schedulers) —
+///     the hypothesis of Theorem 4.1 and a property of the §4 construction:
+///     all happy nodes wear the same color.
+///
+/// The auditor is deliberately independent of the schedulers: experiments
+/// never trust an algorithm to audit itself.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "fhg/coloring/coloring.hpp"
+#include "fhg/graph/graph.hpp"
+
+namespace fhg::core {
+
+class ScheduleAuditor {
+ public:
+  /// Audits against `g`; if `coloring` is non-null, additionally enforces
+  /// the one-color-per-holiday invariant.
+  explicit ScheduleAuditor(const graph::Graph& g, const coloring::Coloring* coloring = nullptr)
+      : graph_(&g), coloring_(coloring) {}
+
+  /// Checks holiday `t`'s happy set; records and returns false on the first
+  /// violated invariant.
+  bool check(std::uint64_t t, std::span<const graph::NodeId> happy);
+
+  [[nodiscard]] bool all_ok() const noexcept { return violations_ == 0; }
+  [[nodiscard]] std::uint64_t violations() const noexcept { return violations_; }
+
+  /// Human-readable description of the first violation, empty if none.
+  [[nodiscard]] const std::string& first_violation() const noexcept { return first_violation_; }
+
+ private:
+  const graph::Graph* graph_;
+  const coloring::Coloring* coloring_;
+  std::uint64_t violations_ = 0;
+  std::string first_violation_;
+};
+
+}  // namespace fhg::core

@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file degree_bound.hpp
+/// The §5 perfectly-periodic degree-bound scheduler.
+///
+/// Every node `p` of degree `d` owns a residue `x ∈ [0, 2^j)`,
+/// `j = ⌈log(d+1)⌉`, and hosts exactly the holidays `t ≡ x (mod 2^j)` —
+/// period `2^⌈log(d+1)⌉ ≤ 2d` (`= 1` for isolated nodes), within a factor
+/// ~2 of the non-periodic `d+1` guarantee of §3 (the separation the paper
+/// conjectures is inherent; measured in E14).
+///
+/// The sequential assignment (§5.1) walks nodes in decreasing-degree order;
+/// when `p` picks, at most `d` residues are blocked modulo `2^j` by
+/// already-assigned neighbors, and `2^j ≥ d+1` leaves a free one
+/// (Lemma 5.1 proves adjacent nodes never collide).  The distributed
+/// variant lives in `fhg::distributed::distributed_degree_bound`; its slots
+/// plug into this scheduler via the slots constructor.
+
+#include "fhg/coding/prefix.hpp"
+#include "fhg/core/scheduler.hpp"
+
+namespace fhg::core {
+
+/// Residue selection policy for `assign_degree_bound_slots`.
+enum class ResiduePick : std::uint8_t {
+  kSmallestFree,  ///< deterministic, the sequential §5.1 description
+  kRandomFree,    ///< uniform over free residues (models distributed picks)
+};
+
+/// Computes the §5.1 sequential residue assignment.
+/// `order` must be a permutation of the nodes sorted by non-increasing
+/// degree; pass the result of `degree_bound_order(g)` or supply a custom one
+/// (the ablation E5 passes an *increasing* order to exhibit the documented
+/// §6 failure).  A node blocks every residue colliding with an assigned
+/// neighbor modulo the smaller of the two periods; for valid orders each
+/// neighbor blocks exactly one residue and the pigeonhole always leaves one
+/// free.  Throws `std::runtime_error` if some node finds no free residue —
+/// impossible for non-increasing-degree orders, reachable for bad ones.
+[[nodiscard]] std::vector<coding::ScheduleSlot> assign_degree_bound_slots(
+    const graph::Graph& g, std::span<const graph::NodeId> order,
+    ResiduePick pick = ResiduePick::kSmallestFree, std::uint64_t seed = 0);
+
+/// Non-increasing-degree node order (ties by id for determinism).
+[[nodiscard]] std::vector<graph::NodeId> degree_bound_order(const graph::Graph& g);
+
+/// Verifies Lemma 5.1/5.2 combinatorially: no edge has both endpoint slots
+/// matching a common holiday.  Two slots with lengths `j1 ≤ j2` collide iff
+/// `residue1 ≡ residue2 (mod 2^{j1})`.  Returns true when conflict-free.
+[[nodiscard]] bool slots_conflict_free(const graph::Graph& g,
+                                       std::span<const coding::ScheduleSlot> slots);
+
+class DegreeBoundScheduler final : public SchedulerBase {
+ public:
+  /// Runs the §5.1 sequential assignment in decreasing-degree order.
+  explicit DegreeBoundScheduler(const graph::Graph& g);
+
+  /// Adopts externally computed slots (e.g. from
+  /// `fhg::distributed::distributed_degree_bound`).  Throws
+  /// `std::invalid_argument` if the slots conflict on some edge.
+  DegreeBoundScheduler(const graph::Graph& g, std::vector<coding::ScheduleSlot> slots);
+
+  [[nodiscard]] std::string name() const override { return "degree-bound"; }
+  [[nodiscard]] std::vector<graph::NodeId> next_holiday() override;
+  void reset() override { rewind(); }
+  [[nodiscard]] bool perfectly_periodic() const noexcept override { return true; }
+  /// Exactly `2^⌈log(deg(v)+1)⌉`.
+  [[nodiscard]] std::optional<std::uint64_t> period_of(graph::NodeId v) const override;
+  [[nodiscard]] std::optional<std::uint64_t> gap_bound(graph::NodeId v) const override;
+
+  [[nodiscard]] bool happy_at(graph::NodeId v, std::uint64_t t) const noexcept {
+    return slots_[v].matches(t);
+  }
+  [[nodiscard]] coding::ScheduleSlot slot_of(graph::NodeId v) const noexcept { return slots_[v]; }
+
+ private:
+  std::vector<coding::ScheduleSlot> slots_;
+};
+
+}  // namespace fhg::core

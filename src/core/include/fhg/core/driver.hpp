@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file driver.hpp
+/// Runs a scheduler for a fixed horizon, auditing invariants and collecting
+/// the per-node statistics every experiment table is built from.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fhg/core/auditor.hpp"
+#include "fhg/core/gap_tracker.hpp"
+#include "fhg/core/scheduler.hpp"
+
+namespace fhg::core {
+
+/// Everything measured over one schedule run.
+struct RunReport {
+  std::string scheduler_name;
+  std::uint64_t horizon = 0;
+
+  /// Per-node results (index = node id).
+  std::vector<std::uint64_t> max_gap;            ///< incl. the wait for the first appearance
+  std::vector<std::uint64_t> max_gap_with_tail;  ///< incl. the open tail at the horizon
+  std::vector<std::uint64_t> appearances;
+  std::vector<std::optional<std::uint64_t>> detected_period;
+
+  bool independence_ok = false;
+  bool one_color_ok = true;  ///< meaningful only when a coloring was supplied
+  std::string first_violation;
+
+  std::uint64_t total_happy = 0;    ///< Σ |happy set|, the schedule's throughput
+  std::uint64_t max_happy_set = 0;  ///< largest single holiday
+
+  /// True iff every node with a `gap_bound` respected it (tail included).
+  bool bounds_respected = true;
+  /// Nodes whose observed gap exceeded the scheduler's claimed bound.
+  std::vector<graph::NodeId> bound_violators;
+};
+
+/// Options for `run_schedule`.
+struct RunOptions {
+  std::uint64_t horizon = 1000;
+  /// When non-null, additionally audits one-color-per-holiday.
+  const coloring::Coloring* coloring = nullptr;
+  /// Check each node's observed gaps against `scheduler.gap_bound`.
+  bool check_bounds = true;
+};
+
+/// Resets `scheduler` and drives it for `options.horizon` holidays.
+[[nodiscard]] RunReport run_schedule(Scheduler& scheduler, const RunOptions& options);
+
+}  // namespace fhg::core

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file fcfg.hpp
+/// The "first come first grab" chaotic baseline (§1).
+///
+/// Each holiday, parents wake up in a uniformly random order and grab their
+/// not-yet-grabbed children; a parent hosts everyone iff it woke before all
+/// of its in-law rivals — i.e. it is a local minimum of the wake-up
+/// permutation.  The happy probability of node `p` is exactly
+/// `1/(deg(p)+1)` per holiday, so the *expected* gap is `deg(p)+1` — the
+/// fairness landmark the paper's deterministic algorithms chase — but there
+/// is no worst-case guarantee: gaps grow like `(d+1)·ln(horizon)` over long
+/// runs (measured in E7).
+
+#include "fhg/core/scheduler.hpp"
+#include "fhg/parallel/rng.hpp"
+
+namespace fhg::core {
+
+class FirstComeFirstGrabScheduler final : public SchedulerBase {
+ public:
+  /// Randomness is a pure function of `(seed, holiday)`, so runs replay
+  /// identically after `reset()`.
+  FirstComeFirstGrabScheduler(const graph::Graph& g, std::uint64_t seed) noexcept
+      : SchedulerBase(g), seed_(seed) {}
+
+  [[nodiscard]] std::string name() const override { return "first-come-first-grab"; }
+  [[nodiscard]] std::vector<graph::NodeId> next_holiday() override;
+  void reset() override { rewind(); }
+  [[nodiscard]] bool perfectly_periodic() const noexcept override { return false; }
+  [[nodiscard]] std::optional<std::uint64_t> period_of(graph::NodeId) const override {
+    return std::nullopt;
+  }
+  /// No worst-case guarantee — that is the point of this baseline.
+  [[nodiscard]] std::optional<std::uint64_t> gap_bound(graph::NodeId) const override {
+    return std::nullopt;
+  }
+
+  /// The happy set of an arbitrary holiday (stateless; used by the parallel
+  /// Monte-Carlo driver in E7).
+  [[nodiscard]] std::vector<graph::NodeId> happy_set_at(std::uint64_t t) const;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace fhg::core

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file gap_tracker.hpp
+/// Per-node unhappiness bookkeeping over a schedule run.
+///
+/// Terminology (Definition 2.2): between two consecutive happy holidays
+/// `t1 < t2` the node endures an unhappiness interval of length
+/// `t2 - t1 - 1`; `mul(p)` is the longest such interval.  We track the
+/// **gap** `t2 - t1` instead (with a virtual appearance at holiday 0, so the
+/// wait for the first happy holiday counts as a gap too); `mul = max_gap-1`.
+/// The paper's guarantees translate to: Theorem 3.1 ⇒ `max_gap ≤ d+1`;
+/// Theorems 4.2/5.3 ⇒ every gap equals the period.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fhg/graph/graph.hpp"
+
+namespace fhg::core {
+
+class GapTracker {
+ public:
+  explicit GapTracker(graph::NodeId n)
+      : last_seen_(n, 0), max_gap_(n, 0), appearances_(n, 0), uniform_gap_(n, 0) {}
+
+  /// Records the happy set of holiday `t`; `t` must increase across calls.
+  void observe(std::uint64_t t, std::span<const graph::NodeId> happy);
+
+  /// Largest closed gap of `v` (0 if `v` appeared at most zero times…
+  /// see `max_gap_with_tail` for the open-ended variant).
+  [[nodiscard]] std::uint64_t max_gap(graph::NodeId v) const noexcept { return max_gap_[v]; }
+
+  /// Largest gap counting the still-open tail `horizon − last_seen + 1` as
+  /// if the node appeared at `horizon + 1`.  A node that never appeared gets
+  /// `horizon + 1`.  Use when a bound must hold unconditionally.
+  [[nodiscard]] std::uint64_t max_gap_with_tail(graph::NodeId v,
+                                                std::uint64_t horizon) const noexcept;
+
+  /// `mul(v)` = longest unhappiness interval = `max_gap(v) − 1` (0 if no
+  /// closed gap).
+  [[nodiscard]] std::uint64_t mul(graph::NodeId v) const noexcept {
+    return max_gap_[v] == 0 ? 0 : max_gap_[v] - 1;
+  }
+
+  [[nodiscard]] std::uint64_t appearances(graph::NodeId v) const noexcept {
+    return appearances_[v];
+  }
+
+  [[nodiscard]] std::uint64_t last_seen(graph::NodeId v) const noexcept { return last_seen_[v]; }
+
+  /// Exact period detection: the common difference of all consecutive
+  /// appearances of `v` (including the virtual appearance at 0 only if
+  /// `first == period`), or nullopt if gaps differ or `v` appeared < 2
+  /// times.  For a perfectly periodic scheduler this returns exactly
+  /// `period_of(v)` once the horizon covers two periods.
+  [[nodiscard]] std::optional<std::uint64_t> detected_period(graph::NodeId v) const noexcept;
+
+  [[nodiscard]] graph::NodeId num_nodes() const noexcept {
+    return static_cast<graph::NodeId>(last_seen_.size());
+  }
+
+ private:
+  std::vector<std::uint64_t> last_seen_;
+  std::vector<std::uint64_t> max_gap_;
+  std::vector<std::uint64_t> appearances_;
+  /// Common gap between *real* appearances while consistent;
+  /// 0 = unknown; UINT64_MAX = inconsistent.
+  std::vector<std::uint64_t> uniform_gap_;
+};
+
+}  // namespace fhg::core

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file gathering.hpp
+/// Family holiday gatherings as edge orientations (Definition 2.1).
+///
+/// A *gathering* assigns each conflict edge a direction — the couple on that
+/// edge visits the endpoint the edge points to.  A parent is **happy** when
+/// it is a sink (every incident edge points at it: all children home) and
+/// **satisfied** when at least one incident edge points at it (Definition
+/// A.1).  The set of happy nodes of any orientation is an independent set,
+/// and conversely every independent set extends to an orientation making
+/// exactly its members sinks — these two views are interchangeable and both
+/// are provided here.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fhg/graph/graph.hpp"
+
+namespace fhg::core {
+
+/// An orientation of every edge of a fixed conflict graph.
+class Gathering {
+ public:
+  /// Creates a gathering for `g` with all edges pointing at their lower
+  /// endpoint.  The `Graph` must outlive the gathering.
+  explicit Gathering(const graph::Graph& g);
+
+  [[nodiscard]] const graph::Graph& graph() const noexcept { return *graph_; }
+
+  /// True iff edge `{u,v}` points toward `v` (the couple visits `v`).
+  /// Precondition: the edge exists.
+  [[nodiscard]] bool points_to(graph::NodeId u, graph::NodeId v) const;
+
+  /// Orients edge `{u,v}` toward `target` (one of the endpoints).
+  /// Throws `std::invalid_argument` if `{u,v}` is not an edge or `target`
+  /// is not an endpoint.
+  void orient(graph::NodeId u, graph::NodeId v, graph::NodeId target);
+
+  /// True iff every incident edge points at `v` — all children home
+  /// (Definition 2.1: `v` is a sink).  Isolated nodes are vacuously happy.
+  [[nodiscard]] bool happy(graph::NodeId v) const;
+
+  /// True iff at least one incident edge points at `v` (Definition A.1).
+  /// Isolated nodes are *not* satisfied (they host no children).
+  [[nodiscard]] bool satisfied(graph::NodeId v) const;
+
+  /// All happy nodes, sorted — always an independent set.
+  [[nodiscard]] std::vector<graph::NodeId> happy_set() const;
+
+  /// All satisfied nodes, sorted.
+  [[nodiscard]] std::vector<graph::NodeId> satisfied_set() const;
+
+  /// Builds an orientation in which every node of `happy_nodes` is a sink
+  /// and as few others as possible are: edges incident to a happy node point
+  /// at it, and the remaining edges are routed (toward happy-adjacent nodes,
+  /// around cycles, or up a rooted tree) so that a node outside the set is a
+  /// sink only when unavoidable.  Unavoidable cases are exactly (a) isolated
+  /// nodes, which are sinks of any orientation, and (b) one node per *tree*
+  /// component containing no requested sink — a tree with `n` nodes has only
+  /// `n-1` edges, so some node always ends up with no outgoing edge.
+  /// Throws `std::invalid_argument` if `happy_nodes` is not an independent
+  /// set.
+  [[nodiscard]] static Gathering from_happy_set(const graph::Graph& g,
+                                                std::span<const graph::NodeId> happy_nodes);
+
+ private:
+  /// Index of edge `{u,v}` in the canonical (sorted pair) edge order.
+  [[nodiscard]] std::size_t edge_index(graph::NodeId u, graph::NodeId v) const;
+
+  const graph::Graph* graph_;
+  /// For edge k joining u < v: true means "points to v", false "points to u".
+  std::vector<bool> toward_upper_;
+  /// CSR-aligned edge ids: edge_ids_[i] is the edge index of adjacency slot i.
+  std::vector<std::size_t> slot_edge_;
+  std::vector<std::size_t> offsets_;
+};
+
+}  // namespace fhg::core

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file periodic_probe.hpp
+/// An exhaustive probe of the paper's final open problem (§6): *"prove that
+/// if one requires a periodic schedule then the best guarantee obtainable is
+/// d + ω(1)"* — versus the `d+1` bound that non-periodic phased greedy
+/// achieves and the `2^⌈log(d+1)⌉ ≤ 2d` that §5's power-of-two periods give.
+///
+/// With **general** (not power-of-two) periods, node `v` hosting at
+/// `t ≡ r_v (mod P_v)` collides with neighbor `w` iff
+/// `r_v ≡ r_w (mod gcd(P_v, P_w))` — two arithmetic progressions intersect
+/// exactly when their residues agree modulo the gcd of their moduli (CRT).
+/// Feasibility of a period assignment is therefore a finite constraint
+/// problem over residues, decidable by backtracking on small graphs.
+///
+/// `min_uniform_slack` asks: what is the least `k` such that some choice of
+/// periods `P_v ≤ deg(v) + k` (searched jointly with the residues) is
+/// conflict-free?  `k = 1` means the non-periodic `d+1` guarantee is matched
+/// *perfectly periodically* on that instance — so any graph family where the
+/// minimum slack grows unboundedly would prove the conjecture.  Note the
+/// inequality matters: a path cannot use periods exactly (2, 3, 3, …, 2) —
+/// coprime periods always collide — but all-2s is a perfect witness.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fhg/graph/graph.hpp"
+
+namespace fhg::core {
+
+/// A general-period slot: host at `t ≡ residue (mod period)`.
+struct GeneralSlot {
+  std::uint64_t residue = 0;
+  std::uint64_t period = 1;
+
+  [[nodiscard]] constexpr bool matches(std::uint64_t t) const noexcept {
+    return t % period == residue;
+  }
+  friend constexpr bool operator==(const GeneralSlot&, const GeneralSlot&) noexcept = default;
+};
+
+/// True iff adjacent slots never share a holiday (the pairwise gcd test).
+[[nodiscard]] bool general_slots_conflict_free(const graph::Graph& g,
+                                               std::span<const GeneralSlot> slots);
+
+/// Searches for residues making `periods` conflict-free, by backtracking in
+/// decreasing-degree order.  Returns the slots, or nullopt if none exist (or
+/// the search exceeded `node_budget` backtracking steps; 0 = unlimited).
+/// Intended for small instances — the search is exponential in the worst
+/// case.
+[[nodiscard]] std::optional<std::vector<GeneralSlot>> find_periodic_residues(
+    const graph::Graph& g, std::span<const std::uint64_t> periods,
+    std::uint64_t node_budget = 0);
+
+/// Searches for slots with `slots[v].period ≤ max_periods[v]`, periods and
+/// residues chosen jointly by backtracking (longer periods tried first: they
+/// constrain neighbors less).  Returns nullopt if infeasible or the budget
+/// is exhausted.
+[[nodiscard]] std::optional<std::vector<GeneralSlot>> find_periodic_slots_bounded(
+    const graph::Graph& g, std::span<const std::uint64_t> max_periods,
+    std::uint64_t node_budget = 0);
+
+/// The least `k ∈ [1, max_slack]` such that some periods `P_v ≤ deg(v) + k`
+/// are feasible (isolated nodes get `P_v = 1`), or nullopt if none is within
+/// range/budget.  Returns the witness slots for the minimal `k`.
+struct SlackProbe {
+  std::uint32_t slack = 0;
+  std::vector<GeneralSlot> slots;
+};
+[[nodiscard]] std::optional<SlackProbe> min_uniform_slack(const graph::Graph& g,
+                                                          std::uint32_t max_slack = 8,
+                                                          std::uint64_t node_budget = 2'000'000);
+
+}  // namespace fhg::core

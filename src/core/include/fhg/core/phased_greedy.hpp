@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file phased_greedy.hpp
+/// Sequential engine for the §3 Phased Greedy Coloring algorithm.
+///
+/// At holiday `i`, nodes whose color equals `i` are happy and immediately
+/// recolor to the smallest value `> i` unused by any neighbor.  Theorem 3.1:
+/// the gap between consecutive happy holidays of `p` is at most
+/// `deg(p) + 1` (and the wait for the *first* one is at most the initial
+/// color, itself ≤ `deg(p) + 1` for a greedy/Johansson coloring).
+///
+/// The schedule is generally aperiodic — the same node's gaps vary from
+/// cycle to cycle — which is exactly the deficiency motivating §4 and §5.
+/// This sequential engine produces holidays in O(|happy| · Δ) per step via a
+/// color→nodes bucket map; it is schedule-identical to
+/// `fhg::distributed::run_phased_greedy` (tested in integration tests).
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "fhg/coloring/coloring.hpp"
+#include "fhg/core/scheduler.hpp"
+
+namespace fhg::core {
+
+class PhasedGreedyScheduler final : public SchedulerBase {
+ public:
+  /// `initial` must be a proper, complete coloring (throws otherwise).
+  /// For the Theorem 3.1 first-wait bound it should also be degree-bounded
+  /// (`col ≤ deg+1`), e.g. any greedy or Johansson coloring.
+  PhasedGreedyScheduler(const graph::Graph& g, coloring::Coloring initial);
+
+  [[nodiscard]] std::string name() const override { return "phased-greedy"; }
+  [[nodiscard]] std::vector<graph::NodeId> next_holiday() override;
+  void reset() override;
+  [[nodiscard]] bool perfectly_periodic() const noexcept override { return false; }
+  [[nodiscard]] std::optional<std::uint64_t> period_of(graph::NodeId) const override {
+    return std::nullopt;
+  }
+  /// Theorem 3.1: consecutive gaps never exceed `deg(v) + 1`.  The wait for
+  /// the *first* happy holiday equals the initial color, so for arbitrary
+  /// (non-degree-bounded) initial colorings the unconditional bound is the
+  /// max of the two; they coincide for greedy/Johansson initial colorings.
+  [[nodiscard]] std::optional<std::uint64_t> gap_bound(graph::NodeId v) const override {
+    return std::max<std::uint64_t>(graph().degree(v) + std::uint64_t{1}, initial_.color(v));
+  }
+
+  /// The node's color going into the next holiday.
+  [[nodiscard]] coloring::Color color_of(graph::NodeId v) const noexcept { return colors_[v]; }
+
+ private:
+  coloring::Coloring initial_;
+  std::vector<coloring::Color> colors_;
+  /// color -> nodes currently holding it (future colors only).
+  std::unordered_map<coloring::Color, std::vector<graph::NodeId>> buckets_;
+
+  void rebuild_buckets();
+};
+
+}  // namespace fhg::core

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file prefix_code_scheduler.hpp
+/// The §4 perfectly-periodic, lightweight, color-bound scheduler.
+///
+/// Given *any* proper coloring and a prefix-free code `K`, node `p` with
+/// color `c` is happy at holiday `t` iff the `|K(c)|` least-significant bits
+/// of `t` spell `K(c)` reversed (the paper's `LSB(B(i)) = ω(p)^R` test) —
+/// equivalently `t ≡ slot(c).residue (mod 2^|K(c)|)`.  Prefix-freeness means
+/// no holiday ever matches two distinct colors, so each happy set is a
+/// subset of one color class: an independent set.
+///
+/// With the Elias omega code the period is `2^ρ(c) ≤ 2^{1+log* c}·φ(c)`
+/// (Theorem 4.2), nearly matching the `Ω(φ(c))` lower bound of Theorem 4.1.
+/// The scheduler is *lightweight*: after the initial coloring a node needs
+/// only its own color — no further communication, no global state.
+
+#include "fhg/coding/elias.hpp"
+#include "fhg/coding/prefix.hpp"
+#include "fhg/coloring/coloring.hpp"
+#include "fhg/core/scheduler.hpp"
+
+namespace fhg::core {
+
+class PrefixCodeScheduler final : public SchedulerBase {
+ public:
+  /// `coloring` must be proper and complete; `family` selects the prefix-free
+  /// code (omega for the paper's headline bound).
+  PrefixCodeScheduler(const graph::Graph& g, coloring::Coloring coloring,
+                      coding::CodeFamily family = coding::CodeFamily::kEliasOmega);
+
+  [[nodiscard]] std::string name() const override {
+    return "prefix-" + coding::code_family_name(family_);
+  }
+  [[nodiscard]] std::vector<graph::NodeId> next_holiday() override;
+  void reset() override { rewind(); }
+  [[nodiscard]] bool perfectly_periodic() const noexcept override { return true; }
+  /// Exactly `2^{|K(c_v)|}`.
+  [[nodiscard]] std::optional<std::uint64_t> period_of(graph::NodeId v) const override;
+  [[nodiscard]] std::optional<std::uint64_t> gap_bound(graph::NodeId v) const override;
+
+  /// Stateless membership test for an arbitrary holiday.
+  [[nodiscard]] bool happy_at(graph::NodeId v, std::uint64_t t) const noexcept {
+    return slots_[v].matches(t);
+  }
+
+  /// The unique color holiday `t` makes happy (whether or not a node wears
+  /// it) — the paper's `decode(i)` map.
+  [[nodiscard]] std::optional<std::uint64_t> decode_holiday(std::uint64_t t) const {
+    return coding::decode_holiday(family_, t);
+  }
+
+  [[nodiscard]] const coloring::Coloring& coloring() const noexcept { return coloring_; }
+  [[nodiscard]] coding::CodeFamily family() const noexcept { return family_; }
+  [[nodiscard]] coding::ScheduleSlot slot_of(graph::NodeId v) const noexcept { return slots_[v]; }
+
+ private:
+  coloring::Coloring coloring_;
+  coding::CodeFamily family_;
+  std::vector<coding::ScheduleSlot> slots_;
+};
+
+}  // namespace fhg::core

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file round_robin.hpp
+/// The §1 baseline: cycle through the color classes of a fixed coloring.
+///
+/// "On year i, parents whose color is equal to (i mod c) + 1 are happy."
+/// Perfectly periodic with period = the number of colors for *every* node —
+/// a global bound: the parents of a single child wait as long as the parents
+/// of a large brood.  This is the scheduler the paper's local-bound
+/// algorithms are measured against (E2, E11).
+
+#include "fhg/coloring/coloring.hpp"
+#include "fhg/core/scheduler.hpp"
+
+namespace fhg::core {
+
+class RoundRobinColorScheduler final : public SchedulerBase {
+ public:
+  /// Schedules color class `((t-1) mod C) + 1` at holiday `t`, where `C` is
+  /// the largest color in `coloring` (which must be proper and complete).
+  RoundRobinColorScheduler(const graph::Graph& g, coloring::Coloring coloring);
+
+  [[nodiscard]] std::string name() const override { return "round-robin"; }
+  [[nodiscard]] std::vector<graph::NodeId> next_holiday() override;
+  void reset() override { rewind(); }
+  [[nodiscard]] bool perfectly_periodic() const noexcept override { return true; }
+  [[nodiscard]] std::optional<std::uint64_t> period_of(graph::NodeId v) const override;
+  [[nodiscard]] std::optional<std::uint64_t> gap_bound(graph::NodeId v) const override;
+
+  /// Membership test for an arbitrary holiday (stateless fast path).
+  [[nodiscard]] bool happy_at(graph::NodeId v, std::uint64_t t) const noexcept;
+
+  [[nodiscard]] const coloring::Coloring& coloring() const noexcept { return coloring_; }
+
+ private:
+  coloring::Coloring coloring_;
+  coloring::Color num_colors_;
+  /// Nodes of each color, sorted; index c-1 holds color c.
+  std::vector<std::vector<graph::NodeId>> classes_;
+};
+
+}  // namespace fhg::core

@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file weighted.hpp
+/// Extension: weighted perfectly-periodic scheduling — §5 generalized from
+/// degree-derived periods to *user-chosen* demand rates.
+///
+/// The paper's related-work section points at proportional-share scheduling
+/// (Baruah et al.'s proportionate progress; Bar-Noy/Nisgav/Patt-Shamir's
+/// perfectly periodic schedules), where each client has a weight and wants
+/// the resource at a frequency proportional to it.  The §5 residue machinery
+/// supports this directly: give node `v` a period `P_v = 2^{j_v}` (its
+/// demand, rounded up to a power of two) and pick residues in
+/// *decreasing-period-first* order.  When `v` picks, an already-assigned
+/// neighbor `w` (whose period is ≥ `P_v`) blocks exactly one residue of
+/// `v`'s modulus, so the pick succeeds whenever the **schedule load**
+///
+///     load(v) = 1/P_v + Σ_{w ∈ N(v)} max(1/P_v, 1/P_w)  ≤  1
+///
+/// — the graph generalization of both the §5 pigeonhole (`(d+1)/P_v ≤ 1`
+/// when every neighbor is slower) and the Theorem 4.1 budget
+/// `Σ 1/f(c) ≤ 1` (the clique case).  `kStrict` rejects over-loaded
+/// requests; `kAutoRelax` first runs a relaxation pass that doubles the
+/// fastest period in any over-loaded closed neighborhood until every load
+/// is ≤ 1 (strictly decreasing loads → terminates), after which assignment
+/// provably cannot fail.
+///
+/// The §5 degree-bound scheduler is exactly this scheme with
+/// `P_v = 2^⌈log(deg(v)+1)⌉` (load = (d+1)/P_v ≤ 1 automatically).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fhg/coding/prefix.hpp"
+#include "fhg/core/scheduler.hpp"
+
+namespace fhg::core {
+
+/// How to handle a node whose requested period is infeasible.
+enum class WeightedPolicy : std::uint8_t {
+  kStrict,     ///< throw std::runtime_error naming the node
+  kAutoRelax,  ///< double the node's period until a residue frees up
+};
+
+/// Result of the weighted residue assignment.
+struct WeightedAssignment {
+  /// One periodic slot per node; `slots[v].period()` is the granted period
+  /// (≥ the rounded request; > only if auto-relaxed).
+  std::vector<coding::ScheduleSlot> slots;
+  /// Nodes whose period was relaxed beyond the rounded request.
+  std::vector<graph::NodeId> relaxed;
+};
+
+/// Rounds `requested` up to the next power of two (min 1). 0 is rejected.
+[[nodiscard]] std::uint64_t round_period_up(std::uint64_t requested);
+
+/// Per-node schedule load `1/P_v + Σ_{w∈N(v)} max(1/P_v, 1/P_w)` under the
+/// *rounded* requests — the feasibility diagnostic: load ≤ 1 everywhere
+/// guarantees every request is granted without relaxation.
+[[nodiscard]] std::vector<double> schedule_load(
+    const graph::Graph& g, std::span<const std::uint64_t> requested_periods);
+
+/// Assigns residues for the requested periods (each rounded up to a power
+/// of two).  Nodes pick in decreasing-period order (ties by id).  Under
+/// `kStrict`, throws `std::runtime_error` if some node finds every residue
+/// blocked (possible iff some load exceeds 1); under `kAutoRelax` a
+/// relaxation pre-pass doubles periods until every load is ≤ 1, after
+/// which the assignment always succeeds.
+[[nodiscard]] WeightedAssignment assign_weighted_slots(
+    const graph::Graph& g, std::span<const std::uint64_t> requested_periods,
+    WeightedPolicy policy = WeightedPolicy::kAutoRelax);
+
+/// Perfectly periodic scheduler over a weighted assignment.
+///
+/// ```
+/// std::vector<std::uint64_t> demand = ...;   // requested periods
+/// WeightedPeriodicScheduler s(g, demand);    // grants power-of-two periods
+/// ```
+class WeightedPeriodicScheduler final : public SchedulerBase {
+ public:
+  WeightedPeriodicScheduler(const graph::Graph& g,
+                            std::span<const std::uint64_t> requested_periods,
+                            WeightedPolicy policy = WeightedPolicy::kAutoRelax);
+
+  [[nodiscard]] std::string name() const override { return "weighted-periodic"; }
+  [[nodiscard]] std::vector<graph::NodeId> next_holiday() override;
+  void reset() override { rewind(); }
+  [[nodiscard]] bool perfectly_periodic() const noexcept override { return true; }
+  [[nodiscard]] std::optional<std::uint64_t> period_of(graph::NodeId v) const override {
+    return assignment_.slots[v].period();
+  }
+  [[nodiscard]] std::optional<std::uint64_t> gap_bound(graph::NodeId v) const override {
+    return assignment_.slots[v].period();
+  }
+
+  [[nodiscard]] bool happy_at(graph::NodeId v, std::uint64_t t) const noexcept {
+    return assignment_.slots[v].matches(t);
+  }
+  [[nodiscard]] const WeightedAssignment& assignment() const noexcept { return assignment_; }
+
+ private:
+  WeightedAssignment assignment_;
+};
+
+}  // namespace fhg::core

@@ -1,0 +1,37 @@
+#include "fhg/core/auditor.hpp"
+
+#include <algorithm>
+
+#include "fhg/graph/properties.hpp"
+
+namespace fhg::core {
+
+bool ScheduleAuditor::check(std::uint64_t t, std::span<const graph::NodeId> happy) {
+  bool ok = true;
+  if (!graph::is_independent_set(*graph_, happy)) {
+    ok = false;
+    if (first_violation_.empty()) {
+      first_violation_ =
+          "holiday " + std::to_string(t) + ": happy set is not an independent set";
+    }
+  }
+  if (ok && coloring_ != nullptr && happy.size() > 1) {
+    const coloring::Color c0 = coloring_->color(happy.front());
+    const bool uniform = std::all_of(happy.begin(), happy.end(), [&](graph::NodeId v) {
+      return coloring_->color(v) == c0;
+    });
+    if (!uniform) {
+      ok = false;
+      if (first_violation_.empty()) {
+        first_violation_ =
+            "holiday " + std::to_string(t) + ": two distinct colors happy simultaneously";
+      }
+    }
+  }
+  if (!ok) {
+    ++violations_;
+  }
+  return ok;
+}
+
+}  // namespace fhg::core

@@ -1,0 +1,122 @@
+#include "fhg/core/degree_bound.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "fhg/coding/iterated_log.hpp"
+#include "fhg/parallel/rng.hpp"
+
+namespace fhg::core {
+
+std::vector<graph::NodeId> degree_bound_order(const graph::Graph& g) {
+  std::vector<graph::NodeId> order(g.num_nodes());
+  std::iota(order.begin(), order.end(), 0U);
+  std::stable_sort(order.begin(), order.end(), [&g](graph::NodeId a, graph::NodeId b) {
+    return g.degree(a) > g.degree(b);
+  });
+  return order;
+}
+
+std::vector<coding::ScheduleSlot> assign_degree_bound_slots(const graph::Graph& g,
+                                                            std::span<const graph::NodeId> order,
+                                                            ResiduePick pick,
+                                                            std::uint64_t seed) {
+  const graph::NodeId n = g.num_nodes();
+  if (order.size() != n) {
+    throw std::invalid_argument("assign_degree_bound_slots: order must cover every node");
+  }
+  parallel::Rng rng(seed, /*stream=*/0x646562);
+  std::vector<coding::ScheduleSlot> slots(n);
+  std::vector<bool> assigned(n, false);
+  for (const graph::NodeId v : order) {
+    const std::uint32_t j = coding::ceil_log2(g.degree(v) + 1);
+    const std::uint64_t modulus = std::uint64_t{1} << j;
+    std::vector<bool> blocked(modulus, false);
+    for (const graph::NodeId w : g.neighbors(v)) {
+      if (!assigned[w]) {
+        continue;
+      }
+      // Edge {v,w} collides at holidays t ≡ both residues; such t exists iff
+      // the residues agree modulo the smaller period.  Under a valid
+      // (non-increasing degree) order, slots[w].length >= j and this blocks
+      // exactly one residue, as in the paper.
+      const std::uint32_t jm = std::min(j, slots[w].length);
+      const std::uint64_t step = std::uint64_t{1} << jm;
+      for (std::uint64_t x = slots[w].residue & (step - 1); x < modulus; x += step) {
+        blocked[x] = true;
+      }
+    }
+    std::vector<std::uint64_t> free_residues;
+    for (std::uint64_t x = 0; x < modulus; ++x) {
+      if (!blocked[x]) {
+        free_residues.push_back(x);
+      }
+    }
+    if (free_residues.empty()) {
+      throw std::runtime_error(
+          "assign_degree_bound_slots: node " + std::to_string(v) +
+          " found no free residue — the supplied order is not non-increasing in degree "
+          "(the paper's §6 warning: low-degree nodes must not pick before high-degree ones)");
+    }
+    const std::uint64_t x = pick == ResiduePick::kSmallestFree
+                                ? free_residues.front()
+                                : free_residues[rng.uniform_below(free_residues.size())];
+    slots[v] = coding::ScheduleSlot{x, j};
+    assigned[v] = true;
+  }
+  return slots;
+}
+
+bool slots_conflict_free(const graph::Graph& g, std::span<const coding::ScheduleSlot> slots) {
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const graph::NodeId v : g.neighbors(u)) {
+      if (v <= u) {
+        continue;
+      }
+      const auto& a = slots[u];
+      const auto& b = slots[v];
+      const std::uint32_t j = std::min(a.length, b.length);
+      const std::uint64_t modulus = std::uint64_t{1} << j;
+      if ((a.residue & (modulus - 1)) == (b.residue & (modulus - 1))) {
+        return false;  // a common holiday t ≡ both residues exists (CRT)
+      }
+    }
+  }
+  return true;
+}
+
+DegreeBoundScheduler::DegreeBoundScheduler(const graph::Graph& g)
+    : DegreeBoundScheduler(g, assign_degree_bound_slots(g, degree_bound_order(g))) {}
+
+DegreeBoundScheduler::DegreeBoundScheduler(const graph::Graph& g,
+                                           std::vector<coding::ScheduleSlot> slots)
+    : SchedulerBase(g), slots_(std::move(slots)) {
+  if (slots_.size() != g.num_nodes()) {
+    throw std::invalid_argument("DegreeBoundScheduler: one slot per node required");
+  }
+  if (!slots_conflict_free(g, slots_)) {
+    throw std::invalid_argument("DegreeBoundScheduler: slots conflict on some edge");
+  }
+}
+
+std::vector<graph::NodeId> DegreeBoundScheduler::next_holiday() {
+  const std::uint64_t t = advance();
+  std::vector<graph::NodeId> happy;
+  for (graph::NodeId v = 0; v < graph().num_nodes(); ++v) {
+    if (slots_[v].matches(t)) {
+      happy.push_back(v);
+    }
+  }
+  return happy;
+}
+
+std::optional<std::uint64_t> DegreeBoundScheduler::period_of(graph::NodeId v) const {
+  return slots_[v].period();
+}
+
+std::optional<std::uint64_t> DegreeBoundScheduler::gap_bound(graph::NodeId v) const {
+  return slots_[v].period();
+}
+
+}  // namespace fhg::core

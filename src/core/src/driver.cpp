@@ -1,0 +1,57 @@
+#include "fhg/core/driver.hpp"
+
+#include <algorithm>
+
+namespace fhg::core {
+
+RunReport run_schedule(Scheduler& scheduler, const RunOptions& options) {
+  const graph::Graph& g = scheduler.graph();
+  const graph::NodeId n = g.num_nodes();
+
+  scheduler.reset();
+  GapTracker gaps(n);
+  ScheduleAuditor independence(g, nullptr);
+  ScheduleAuditor one_color(g, options.coloring);
+
+  RunReport report;
+  report.scheduler_name = scheduler.name();
+  report.horizon = options.horizon;
+
+  for (std::uint64_t t = 1; t <= options.horizon; ++t) {
+    const std::vector<graph::NodeId> happy = scheduler.next_holiday();
+    gaps.observe(t, happy);
+    independence.check(t, happy);
+    if (options.coloring != nullptr) {
+      one_color.check(t, happy);
+    }
+    report.total_happy += happy.size();
+    report.max_happy_set = std::max<std::uint64_t>(report.max_happy_set, happy.size());
+  }
+
+  report.independence_ok = independence.all_ok();
+  report.one_color_ok = one_color.all_ok();
+  report.first_violation = !independence.first_violation().empty()
+                               ? independence.first_violation()
+                               : one_color.first_violation();
+
+  report.max_gap.resize(n);
+  report.max_gap_with_tail.resize(n);
+  report.appearances.resize(n);
+  report.detected_period.resize(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    report.max_gap[v] = gaps.max_gap(v);
+    report.max_gap_with_tail[v] = gaps.max_gap_with_tail(v, options.horizon);
+    report.appearances[v] = gaps.appearances(v);
+    report.detected_period[v] = gaps.detected_period(v);
+    if (options.check_bounds) {
+      const std::optional<std::uint64_t> bound = scheduler.gap_bound(v);
+      if (bound && report.max_gap_with_tail[v] > *bound) {
+        report.bounds_respected = false;
+        report.bound_violators.push_back(v);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace fhg::core

@@ -1,0 +1,35 @@
+#include "fhg/core/fcfg.hpp"
+
+namespace fhg::core {
+
+std::vector<graph::NodeId> FirstComeFirstGrabScheduler::happy_set_at(std::uint64_t t) const {
+  const graph::Graph& g = graph();
+  const graph::NodeId n = g.num_nodes();
+  // Wake-up priorities: i.i.d. 64-bit draws keyed by (seed, holiday, node).
+  // A node is happy iff its priority beats every neighbor's (ties broken by
+  // id; with 64-bit draws ties are essentially nonexistent).
+  std::vector<std::uint64_t> priority(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    priority[v] = parallel::hash_draw(seed_, t, v);
+  }
+  std::vector<graph::NodeId> happy;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    bool first = true;
+    for (const graph::NodeId w : g.neighbors(v)) {
+      if (priority[w] < priority[v] || (priority[w] == priority[v] && w < v)) {
+        first = false;
+        break;
+      }
+    }
+    if (first) {
+      happy.push_back(v);
+    }
+  }
+  return happy;
+}
+
+std::vector<graph::NodeId> FirstComeFirstGrabScheduler::next_holiday() {
+  return happy_set_at(advance());
+}
+
+}  // namespace fhg::core

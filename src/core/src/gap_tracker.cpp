@@ -1,0 +1,40 @@
+#include "fhg/core/gap_tracker.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace fhg::core {
+
+namespace {
+constexpr std::uint64_t kInconsistent = std::numeric_limits<std::uint64_t>::max();
+}  // namespace
+
+void GapTracker::observe(std::uint64_t t, std::span<const graph::NodeId> happy) {
+  for (const graph::NodeId v : happy) {
+    const std::uint64_t gap = t - last_seen_[v];
+    max_gap_[v] = std::max(max_gap_[v], gap);
+    if (last_seen_[v] > 0) {  // a real (appearance-to-appearance) gap
+      if (uniform_gap_[v] == 0) {
+        uniform_gap_[v] = gap;
+      } else if (uniform_gap_[v] != gap) {
+        uniform_gap_[v] = kInconsistent;
+      }
+    }
+    last_seen_[v] = t;
+    ++appearances_[v];
+  }
+}
+
+std::uint64_t GapTracker::max_gap_with_tail(graph::NodeId v, std::uint64_t horizon) const noexcept {
+  const std::uint64_t tail = horizon + 1 - last_seen_[v];
+  return std::max(max_gap_[v], tail);
+}
+
+std::optional<std::uint64_t> GapTracker::detected_period(graph::NodeId v) const noexcept {
+  if (appearances_[v] < 2 || uniform_gap_[v] == 0 || uniform_gap_[v] == kInconsistent) {
+    return std::nullopt;
+  }
+  return uniform_gap_[v];
+}
+
+}  // namespace fhg::core

@@ -1,0 +1,205 @@
+#include "fhg/core/gathering.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fhg/graph/properties.hpp"
+
+namespace fhg::core {
+
+Gathering::Gathering(const graph::Graph& g) : graph_(&g) {
+  const graph::NodeId n = g.num_nodes();
+  toward_upper_.assign(g.num_edges(), false);  // default: toward lower endpoint
+  // Build slot -> edge-id map by walking edges in canonical order.
+  offsets_.assign(n + 1, 0);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    offsets_[v + 1] = offsets_[v] + g.degree(v);
+  }
+  slot_edge_.assign(offsets_[n], 0);
+  std::size_t edge_id = 0;
+  for (graph::NodeId u = 0; u < n; ++u) {
+    const auto nbrs = g.neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const graph::NodeId v = nbrs[i];
+      if (u < v) {
+        // Assign this edge id to both endpoints' slots.
+        slot_edge_[offsets_[u] + i] = edge_id;
+        const auto back = g.neighbors(v);
+        const auto it = std::lower_bound(back.begin(), back.end(), u);
+        slot_edge_[offsets_[v] + static_cast<std::size_t>(it - back.begin())] = edge_id;
+        ++edge_id;
+      }
+    }
+  }
+}
+
+std::size_t Gathering::edge_index(graph::NodeId u, graph::NodeId v) const {
+  const auto nbrs = graph_->neighbors(u);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) {
+    throw std::invalid_argument("Gathering: no such edge");
+  }
+  return slot_edge_[offsets_[u] + static_cast<std::size_t>(it - nbrs.begin())];
+}
+
+bool Gathering::points_to(graph::NodeId u, graph::NodeId v) const {
+  const std::size_t k = edge_index(u, v);
+  const bool v_is_upper = v > u;
+  return toward_upper_[k] == v_is_upper;
+}
+
+void Gathering::orient(graph::NodeId u, graph::NodeId v, graph::NodeId target) {
+  if (target != u && target != v) {
+    throw std::invalid_argument("Gathering::orient: target must be an endpoint");
+  }
+  const std::size_t k = edge_index(u, v);
+  const graph::NodeId upper = std::max(u, v);
+  toward_upper_[k] = (target == upper);
+}
+
+bool Gathering::happy(graph::NodeId v) const {
+  for (const graph::NodeId w : graph_->neighbors(v)) {
+    if (!points_to(w, v)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Gathering::satisfied(graph::NodeId v) const {
+  for (const graph::NodeId w : graph_->neighbors(v)) {
+    if (points_to(w, v)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<graph::NodeId> Gathering::happy_set() const {
+  std::vector<graph::NodeId> result;
+  for (graph::NodeId v = 0; v < graph_->num_nodes(); ++v) {
+    if (happy(v)) {
+      result.push_back(v);
+    }
+  }
+  return result;
+}
+
+std::vector<graph::NodeId> Gathering::satisfied_set() const {
+  std::vector<graph::NodeId> result;
+  for (graph::NodeId v = 0; v < graph_->num_nodes(); ++v) {
+    if (satisfied(v)) {
+      result.push_back(v);
+    }
+  }
+  return result;
+}
+
+Gathering Gathering::from_happy_set(const graph::Graph& g,
+                                    std::span<const graph::NodeId> happy_nodes) {
+  if (!graph::is_independent_set(g, happy_nodes)) {
+    throw std::invalid_argument("Gathering::from_happy_set: nodes are not independent");
+  }
+  const graph::NodeId n = g.num_nodes();
+  Gathering gathering(g);
+
+  std::vector<bool> is_happy(n, false);
+  for (const graph::NodeId v : happy_nodes) {
+    is_happy[v] = true;
+  }
+
+  // Forced edges: everything incident to a happy node points at it.  Any
+  // non-happy node touching one of these edges is already "safe" (it has an
+  // outgoing edge, so it cannot become a spurious sink).
+  std::vector<bool> safe(n, false);
+  for (const graph::NodeId v : happy_nodes) {
+    for (const graph::NodeId w : g.neighbors(v)) {
+      gathering.orient(w, v, v);
+      safe[w] = true;
+    }
+  }
+
+  // Route the remaining (free) edges — those joining two non-happy nodes —
+  // so every non-happy node gains an outgoing edge where possible.  BFS over
+  // the non-happy subgraph starting from all safe nodes; each discovered
+  // node's discovery edge points *toward* the frontier (closer to safety).
+  std::vector<bool> visited(n, false);
+  std::vector<graph::NodeId> queue;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (safe[v] && !is_happy[v]) {
+      visited[v] = true;
+      queue.push_back(v);
+    }
+  }
+  const auto bfs_route = [&](std::vector<graph::NodeId>& frontier) {
+    for (std::size_t head = 0; head < frontier.size(); ++head) {
+      const graph::NodeId w = frontier[head];
+      for (const graph::NodeId u : g.neighbors(w)) {
+        if (!is_happy[u] && !visited[u]) {
+          visited[u] = true;
+          gathering.orient(u, w, w);  // u's escape route
+          frontier.push_back(u);
+        }
+      }
+    }
+  };
+  bfs_route(queue);
+
+  // Components of non-happy nodes with no safe seed: no happy node anywhere
+  // near.  If the component has a cycle, orient it cyclically and route the
+  // rest toward it; if it is a tree, one sink is unavoidable — root there.
+  for (graph::NodeId root = 0; root < n; ++root) {
+    if (is_happy[root] || visited[root] || g.degree(root) == 0) {
+      continue;
+    }
+    // Collect the component (within the non-happy subgraph).
+    std::vector<graph::NodeId> component{root};
+    visited[root] = true;
+    std::vector<graph::NodeId> bfs_parent(n, n);
+    std::optional<std::pair<graph::NodeId, graph::NodeId>> chord;
+    for (std::size_t head = 0; head < component.size(); ++head) {
+      const graph::NodeId u = component[head];
+      for (const graph::NodeId w : g.neighbors(u)) {
+        if (is_happy[w]) {
+          continue;  // cannot happen (no safe seed ⇒ no happy neighbors)
+        }
+        if (!visited[w]) {
+          visited[w] = true;
+          bfs_parent[w] = u;
+          component.push_back(w);
+        } else if (w != bfs_parent[u] && bfs_parent[w] != u && !chord) {
+          chord = std::make_pair(u, w);
+        }
+      }
+    }
+    // Tree edges point toward the BFS parent: every non-root node gets an
+    // outgoing edge; the root is fixed below if a cycle exists.
+    for (const graph::NodeId u : component) {
+      if (bfs_parent[u] != n) {
+        gathering.orient(u, bfs_parent[u], bfs_parent[u]);
+      }
+    }
+    if (chord) {
+      // Give the root an outgoing edge by re-routing along the chord path:
+      // point the chord away from `a`, then flip a's ancestor chain so each
+      // node keeps one outgoing edge and the root gains one.
+      auto [a, b] = *chord;
+      gathering.orient(a, b, b);  // a's outgoing is now the chord
+      // Flip the path root -> ... -> a: walk from a up to the root, flipping
+      // each tree edge downward (toward the child).  After flipping, node x
+      // on the path points its tree edge at its child; x's own escape is the
+      // next flipped edge above (or, for `a`, the chord).
+      graph::NodeId walk = a;
+      while (bfs_parent[walk] != n) {
+        const graph::NodeId up = bfs_parent[walk];
+        gathering.orient(up, walk, walk);  // flip: now points down to walk
+        walk = up;
+      }
+    }
+    // else: tree component with no happy node — `root` stays a sink
+    // (unavoidable, documented in the header).
+  }
+  return gathering;
+}
+
+}  // namespace fhg::core

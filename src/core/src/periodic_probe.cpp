@@ -1,0 +1,203 @@
+#include "fhg/core/periodic_probe.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace fhg::core {
+
+namespace {
+
+std::uint64_t gcd64(std::uint64_t a, std::uint64_t b) noexcept {
+  while (b != 0) {
+    const std::uint64_t r = a % b;
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+}  // namespace
+
+bool general_slots_conflict_free(const graph::Graph& g, std::span<const GeneralSlot> slots) {
+  if (slots.size() != g.num_nodes()) {
+    return false;
+  }
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const graph::NodeId v : g.neighbors(u)) {
+      if (v <= u) {
+        continue;
+      }
+      const std::uint64_t m = gcd64(slots[u].period, slots[v].period);
+      if (slots[u].residue % m == slots[v].residue % m) {
+        return false;  // progressions intersect (CRT)
+      }
+    }
+  }
+  return true;
+}
+
+std::optional<std::vector<GeneralSlot>> find_periodic_residues(
+    const graph::Graph& g, std::span<const std::uint64_t> periods, std::uint64_t node_budget) {
+  const graph::NodeId n = g.num_nodes();
+  if (periods.size() != n) {
+    throw std::invalid_argument("find_periodic_residues: one period per node required");
+  }
+  for (const std::uint64_t p : periods) {
+    if (p == 0) {
+      throw std::invalid_argument("find_periodic_residues: period 0 is meaningless");
+    }
+  }
+
+  // Decreasing-degree order: constrained nodes first prunes earlier.
+  std::vector<graph::NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0U);
+  std::stable_sort(order.begin(), order.end(), [&g](graph::NodeId a, graph::NodeId b) {
+    return g.degree(a) > g.degree(b);
+  });
+  std::vector<std::uint32_t> position(n);
+  for (graph::NodeId i = 0; i < n; ++i) {
+    position[order[i]] = i;
+  }
+
+  std::vector<GeneralSlot> slots(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    slots[v].period = periods[v];
+  }
+  std::vector<bool> assigned(n, false);
+  std::uint64_t steps = 0;
+  bool exhausted = false;
+
+  const auto consistent = [&](graph::NodeId v, std::uint64_t r) {
+    for (const graph::NodeId w : g.neighbors(v)) {
+      if (!assigned[w]) {
+        continue;
+      }
+      const std::uint64_t m = gcd64(periods[v], slots[w].period);
+      if (r % m == slots[w].residue % m) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  const auto search = [&](auto&& self, graph::NodeId depth) -> bool {
+    if (depth == n) {
+      return true;
+    }
+    if (node_budget != 0 && ++steps > node_budget) {
+      exhausted = true;
+      return false;
+    }
+    const graph::NodeId v = order[depth];
+    for (std::uint64_t r = 0; r < periods[v]; ++r) {
+      if (!consistent(v, r)) {
+        continue;
+      }
+      slots[v].residue = r;
+      assigned[v] = true;
+      if (self(self, depth + 1)) {
+        return true;
+      }
+      assigned[v] = false;
+      if (exhausted) {
+        return false;
+      }
+    }
+    return false;
+  };
+
+  if (search(search, 0)) {
+    return slots;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<GeneralSlot>> find_periodic_slots_bounded(
+    const graph::Graph& g, std::span<const std::uint64_t> max_periods,
+    std::uint64_t node_budget) {
+  const graph::NodeId n = g.num_nodes();
+  if (max_periods.size() != n) {
+    throw std::invalid_argument("find_periodic_slots_bounded: one bound per node required");
+  }
+  for (const std::uint64_t p : max_periods) {
+    if (p == 0) {
+      throw std::invalid_argument("find_periodic_slots_bounded: period bound 0 is meaningless");
+    }
+  }
+
+  std::vector<graph::NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0U);
+  std::stable_sort(order.begin(), order.end(), [&g](graph::NodeId a, graph::NodeId b) {
+    return g.degree(a) > g.degree(b);
+  });
+
+  std::vector<GeneralSlot> slots(n);
+  std::vector<bool> assigned(n, false);
+  std::uint64_t steps = 0;
+  bool exhausted = false;
+
+  const auto consistent = [&](graph::NodeId v, std::uint64_t period, std::uint64_t r) {
+    for (const graph::NodeId w : g.neighbors(v)) {
+      if (!assigned[w]) {
+        continue;
+      }
+      const std::uint64_t m = gcd64(period, slots[w].period);
+      if (r % m == slots[w].residue % m) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  const auto search = [&](auto&& self, graph::NodeId depth) -> bool {
+    if (depth == n) {
+      return true;
+    }
+    if (node_budget != 0 && ++steps > node_budget) {
+      exhausted = true;
+      return false;
+    }
+    const graph::NodeId v = order[depth];
+    // Longer periods first: lower frequency constrains neighbors less.
+    for (std::uint64_t period = max_periods[v]; period >= 1; --period) {
+      for (std::uint64_t r = 0; r < period; ++r) {
+        if (!consistent(v, period, r)) {
+          continue;
+        }
+        slots[v] = GeneralSlot{r, period};
+        assigned[v] = true;
+        if (self(self, depth + 1)) {
+          return true;
+        }
+        assigned[v] = false;
+        if (exhausted) {
+          return false;
+        }
+      }
+    }
+    return false;
+  };
+
+  if (search(search, 0)) {
+    return slots;
+  }
+  return std::nullopt;
+}
+
+std::optional<SlackProbe> min_uniform_slack(const graph::Graph& g, std::uint32_t max_slack,
+                                            std::uint64_t node_budget) {
+  for (std::uint32_t k = 1; k <= max_slack; ++k) {
+    std::vector<std::uint64_t> bounds(g.num_nodes());
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      bounds[v] = g.degree(v) == 0 ? 1 : g.degree(v) + k;
+    }
+    auto slots = find_periodic_slots_bounded(g, bounds, node_budget);
+    if (slots) {
+      return SlackProbe{k, std::move(*slots)};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace fhg::core

@@ -1,0 +1,69 @@
+#include "fhg/core/phased_greedy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fhg::core {
+
+PhasedGreedyScheduler::PhasedGreedyScheduler(const graph::Graph& g, coloring::Coloring initial)
+    : SchedulerBase(g), initial_(std::move(initial)) {
+  if (!initial_.proper(g) || !initial_.complete()) {
+    throw std::invalid_argument("PhasedGreedyScheduler: coloring must be proper and complete");
+  }
+  reset();
+}
+
+void PhasedGreedyScheduler::reset() {
+  rewind();
+  colors_.assign(initial_.colors().begin(), initial_.colors().end());
+  rebuild_buckets();
+}
+
+void PhasedGreedyScheduler::rebuild_buckets() {
+  buckets_.clear();
+  for (graph::NodeId v = 0; v < graph().num_nodes(); ++v) {
+    buckets_[colors_[v]].push_back(v);
+  }
+}
+
+std::vector<graph::NodeId> PhasedGreedyScheduler::next_holiday() {
+  const std::uint64_t t = advance();
+  const auto color_now = static_cast<coloring::Color>(t);
+
+  std::vector<graph::NodeId> happy;
+  const auto bucket = buckets_.find(color_now);
+  if (bucket != buckets_.end()) {
+    happy = std::move(bucket->second);
+    buckets_.erase(bucket);
+  }
+  std::sort(happy.begin(), happy.end());
+
+  // Recolor each happy node to the smallest color > t unused by neighbors.
+  // Happy nodes are pairwise non-adjacent, so the order of recoloring within
+  // the set cannot create conflicts; each sees neighbors' *current* colors,
+  // which include the new colors of already-recolored same-holiday peers —
+  // harmless, since those peers are not neighbors.
+  for (const graph::NodeId v : happy) {
+    const auto nbrs = graph().neighbors(v);
+    // deg+1 candidate window (t, t + deg + 1] always contains a free color.
+    std::vector<bool> taken(nbrs.size() + 2, false);
+    for (const graph::NodeId w : nbrs) {
+      const coloring::Color c = colors_[w];
+      if (c > color_now && c <= color_now + taken.size() - 1) {
+        taken[c - color_now] = true;
+      }
+    }
+    coloring::Color next = color_now + 1;
+    for (std::size_t offset = 1; offset < taken.size(); ++offset) {
+      if (!taken[offset]) {
+        next = color_now + static_cast<coloring::Color>(offset);
+        break;
+      }
+    }
+    colors_[v] = next;
+    buckets_[next].push_back(v);
+  }
+  return happy;
+}
+
+}  // namespace fhg::core

@@ -1,0 +1,44 @@
+#include "fhg/core/prefix_code_scheduler.hpp"
+
+#include <stdexcept>
+
+namespace fhg::core {
+
+PrefixCodeScheduler::PrefixCodeScheduler(const graph::Graph& g, coloring::Coloring coloring,
+                                         coding::CodeFamily family)
+    : SchedulerBase(g), coloring_(std::move(coloring)), family_(family) {
+  if (!coloring_.proper(g) || !coloring_.complete()) {
+    throw std::invalid_argument("PrefixCodeScheduler: coloring must be proper and complete");
+  }
+  slots_.reserve(g.num_nodes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const coding::BitString codeword = coding::encode(family_, coloring_.color(v));
+    if (codeword.size() > 63) {
+      throw std::invalid_argument(
+          "PrefixCodeScheduler: codeword for color " + std::to_string(coloring_.color(v)) +
+          " exceeds 63 bits; the induced period would overflow the holiday counter");
+    }
+    slots_.push_back(coding::slot_of(codeword));
+  }
+}
+
+std::vector<graph::NodeId> PrefixCodeScheduler::next_holiday() {
+  const std::uint64_t t = advance();
+  std::vector<graph::NodeId> happy;
+  for (graph::NodeId v = 0; v < graph().num_nodes(); ++v) {
+    if (slots_[v].matches(t)) {
+      happy.push_back(v);
+    }
+  }
+  return happy;
+}
+
+std::optional<std::uint64_t> PrefixCodeScheduler::period_of(graph::NodeId v) const {
+  return slots_[v].period();
+}
+
+std::optional<std::uint64_t> PrefixCodeScheduler::gap_bound(graph::NodeId v) const {
+  return slots_[v].period();
+}
+
+}  // namespace fhg::core

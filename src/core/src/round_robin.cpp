@@ -1,0 +1,40 @@
+#include "fhg/core/round_robin.hpp"
+
+#include <stdexcept>
+
+namespace fhg::core {
+
+RoundRobinColorScheduler::RoundRobinColorScheduler(const graph::Graph& g,
+                                                   coloring::Coloring coloring)
+    : SchedulerBase(g), coloring_(std::move(coloring)) {
+  if (!coloring_.proper(g) || !coloring_.complete()) {
+    throw std::invalid_argument("RoundRobinColorScheduler: coloring must be proper and complete");
+  }
+  num_colors_ = coloring_.max_color();
+  classes_.assign(num_colors_, {});
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    classes_[coloring_.color(v) - 1].push_back(v);
+  }
+}
+
+std::vector<graph::NodeId> RoundRobinColorScheduler::next_holiday() {
+  const std::uint64_t t = advance();
+  if (num_colors_ == 0) {
+    return {};
+  }
+  return classes_[(t - 1) % num_colors_];
+}
+
+bool RoundRobinColorScheduler::happy_at(graph::NodeId v, std::uint64_t t) const noexcept {
+  return num_colors_ != 0 && (t - 1) % num_colors_ + 1 == coloring_.color(v);
+}
+
+std::optional<std::uint64_t> RoundRobinColorScheduler::period_of(graph::NodeId) const {
+  return num_colors_ == 0 ? std::optional<std::uint64_t>{} : num_colors_;
+}
+
+std::optional<std::uint64_t> RoundRobinColorScheduler::gap_bound(graph::NodeId v) const {
+  return period_of(v);
+}
+
+}  // namespace fhg::core

@@ -1,0 +1,7 @@
+#include "fhg/core/scheduler.hpp"
+
+namespace fhg::core {
+
+Scheduler::~Scheduler() = default;
+
+}  // namespace fhg::core

@@ -1,0 +1,182 @@
+#include "fhg/core/weighted.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+#include "fhg/coding/iterated_log.hpp"
+#include "fhg/core/degree_bound.hpp"
+
+namespace fhg::core {
+
+std::uint64_t round_period_up(std::uint64_t requested) {
+  if (requested == 0) {
+    throw std::invalid_argument("round_period_up: period 0 is meaningless");
+  }
+  return std::bit_ceil(requested);
+}
+
+namespace {
+
+/// load(v) over period *lengths* (periods are 2^length).
+double load_of(const graph::Graph& g, std::span<const std::uint32_t> length, graph::NodeId v) {
+  double total = std::exp2(-static_cast<double>(length[v]));
+  for (const graph::NodeId w : g.neighbors(v)) {
+    total += std::exp2(-static_cast<double>(std::min(length[v], length[w])));
+  }
+  return total;
+}
+
+}  // namespace
+
+std::vector<double> schedule_load(const graph::Graph& g,
+                                  std::span<const std::uint64_t> requested_periods) {
+  if (requested_periods.size() != g.num_nodes()) {
+    throw std::invalid_argument("schedule_load: one period per node required");
+  }
+  std::vector<std::uint32_t> length(g.num_nodes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    length[v] = coding::ceil_log2(round_period_up(requested_periods[v]));
+  }
+  std::vector<double> load(g.num_nodes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    load[v] = load_of(g, length, v);
+  }
+  return load;
+}
+
+WeightedAssignment assign_weighted_slots(const graph::Graph& g,
+                                         std::span<const std::uint64_t> requested_periods,
+                                         WeightedPolicy policy) {
+  const graph::NodeId n = g.num_nodes();
+  if (requested_periods.size() != n) {
+    throw std::invalid_argument("assign_weighted_slots: one period per node required");
+  }
+  // Input cap keeps the residue bitmaps small (2^24 slots = 2 MB transient);
+  // holiday periods beyond 16M are outside any plausible use of this model.
+  constexpr std::uint32_t kMaxRequestedLength = 24;
+  constexpr std::uint32_t kMaxRelaxedLength = 28;
+  std::vector<std::uint32_t> length(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    length[v] = coding::ceil_log2(round_period_up(requested_periods[v]));
+    if (length[v] > kMaxRequestedLength) {
+      throw std::invalid_argument("assign_weighted_slots: period exceeds 2^24 at node " +
+                                  std::to_string(v));
+    }
+  }
+
+  const std::vector<std::uint32_t> requested_length = length;
+
+  // Attempt an assignment in decreasing-period order (§5: slow nodes commit
+  // first so each later node loses exactly one residue per earlier
+  // neighbor).  On the first failure, returns the failing node instead.
+  WeightedAssignment result;
+  std::vector<bool> assigned(n, false);
+  const auto try_assign = [&]() -> graph::NodeId {
+    std::vector<graph::NodeId> order(n);
+    std::iota(order.begin(), order.end(), 0U);
+    std::stable_sort(order.begin(), order.end(), [&length](graph::NodeId a, graph::NodeId b) {
+      return length[a] > length[b];
+    });
+    result.slots.assign(n, coding::ScheduleSlot{});
+    assigned.assign(n, false);
+    for (const graph::NodeId v : order) {
+      const std::uint64_t modulus = std::uint64_t{1} << length[v];
+      std::vector<bool> blocked(modulus, false);
+      std::uint64_t blocked_count = 0;
+      for (const graph::NodeId w : g.neighbors(v)) {
+        if (!assigned[w]) {
+          continue;
+        }
+        // w committed earlier, so its period is >= v's and this blocks
+        // exactly one residue of v's modulus.
+        const std::uint32_t jm = std::min(length[v], result.slots[w].length);
+        const std::uint64_t step = std::uint64_t{1} << jm;
+        for (std::uint64_t x = result.slots[w].residue & (step - 1); x < modulus; x += step) {
+          if (!blocked[x]) {
+            blocked[x] = true;
+            ++blocked_count;
+          }
+        }
+      }
+      if (blocked_count == modulus) {
+        return v;  // every residue taken: over-demanded neighborhood
+      }
+      for (std::uint64_t x = 0; x < modulus; ++x) {
+        if (!blocked[x]) {
+          result.slots[v] = coding::ScheduleSlot{x, length[v]};
+          break;
+        }
+      }
+      assigned[v] = true;
+    }
+    return n;  // success
+  };
+
+  for (;;) {
+    const graph::NodeId failed = try_assign();
+    if (failed == n) {
+      break;
+    }
+    if (policy == WeightedPolicy::kStrict) {
+      throw std::runtime_error(
+          "assign_weighted_slots: node " + std::to_string(failed) + " requested period " +
+          std::to_string(std::uint64_t{1} << length[failed]) +
+          " but its neighborhood consumed every residue (schedule load > 1); "
+          "lower the demands or use WeightedPolicy::kAutoRelax");
+    }
+    // Local repair: the blockage is caused by committed (faster-or-equal
+    // frequency) neighbors.  If some committed neighbor is strictly faster
+    // than the failing node, slowing it down frees half its blocked
+    // residues; otherwise slow the failing node itself.  Every repair
+    // increments some length, so the loop ends within 28·n steps.
+    graph::NodeId victim = failed;
+    for (const graph::NodeId w : g.neighbors(failed)) {
+      if (assigned[w] && length[w] < length[victim]) {
+        victim = w;
+      }
+    }
+    if (length[victim] >= length[failed]) {
+      victim = failed;
+    }
+    if (length[victim] >= kMaxRelaxedLength) {
+      throw std::runtime_error(
+          "assign_weighted_slots: relaxation around node " + std::to_string(failed) +
+          " exceeded period 2^28 — demands are structurally infeasible");
+    }
+    ++length[victim];
+  }
+
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (length[v] != requested_length[v]) {
+      result.relaxed.push_back(v);
+    }
+  }
+  return result;
+}
+
+WeightedPeriodicScheduler::WeightedPeriodicScheduler(
+    const graph::Graph& g, std::span<const std::uint64_t> requested_periods,
+    WeightedPolicy policy)
+    : SchedulerBase(g), assignment_(assign_weighted_slots(g, requested_periods, policy)) {
+  if (!slots_conflict_free(g, assignment_.slots)) {
+    // Unreachable by construction; guards future refactors.
+    throw std::logic_error("WeightedPeriodicScheduler: assignment produced a conflict");
+  }
+}
+
+std::vector<graph::NodeId> WeightedPeriodicScheduler::next_holiday() {
+  const std::uint64_t t = advance();
+  std::vector<graph::NodeId> happy;
+  for (graph::NodeId v = 0; v < graph().num_nodes(); ++v) {
+    if (assignment_.slots[v].matches(t)) {
+      happy.push_back(v);
+    }
+  }
+  return happy;
+}
+
+}  // namespace fhg::core

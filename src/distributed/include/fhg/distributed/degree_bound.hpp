@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file degree_bound.hpp
+/// The distributed degree-bound algorithm of Section 5.2.
+///
+/// Runs `⌈log(Δ+1)⌉ + 1` phases, from the highest degree class down to 0.
+/// In phase `i` the nodes with `⌈log(deg+1)⌉ = i` pick an integer
+/// `x ∈ [0, 2^i)` via the palette coloring algorithm (johansson.hpp), with
+/// the palette restricted to residues that do not collide modulo `2^i` with
+/// integers already picked by higher-class neighbors.  Node `p` then hosts
+/// exactly the holidays `t ≡ x (mod 2^i)` — a perfectly periodic schedule
+/// with period `2^⌈log(d+1)⌉ ≤ 2d` (Theorem 5.3), and by Lemma 5.2 no two
+/// adjacent nodes ever host together.
+///
+/// Phase order matters: high-degree classes must commit first (§6 explains
+/// why the reverse fails) — `bench_e05` ablates this.
+
+#include <cstdint>
+#include <vector>
+
+#include "fhg/coding/prefix.hpp"
+#include "fhg/distributed/network.hpp"
+#include "fhg/graph/graph.hpp"
+
+namespace fhg::distributed {
+
+/// Result of the distributed residue assignment.
+struct DegreeBoundRun {
+  /// Per-node periodic slot: node `v` hosts at `t ≡ slots[v].residue
+  /// (mod 2^slots[v].length)` with `length = ⌈log(deg(v)+1)⌉`.
+  std::vector<coding::ScheduleSlot> slots;
+  /// Aggregated over all phases.
+  NetStats stats;
+  /// Number of phases executed (degree classes present in the graph).
+  std::uint32_t phases = 0;
+};
+
+/// Runs the §5.2 algorithm.  The returned slots are conflict-free:
+/// for every edge `{u,v}` and every holiday `t`, not both slots match `t`.
+[[nodiscard]] DegreeBoundRun distributed_degree_bound(const graph::Graph& g, std::uint64_t seed,
+                                                      parallel::ThreadPool* pool = nullptr);
+
+}  // namespace fhg::distributed

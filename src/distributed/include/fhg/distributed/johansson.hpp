@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file johansson.hpp
+/// Randomized distributed coloring in the LOCAL model.
+///
+/// This is the library's stand-in for the BEPS algorithm (Barenboim, Elkin,
+/// Pettie, Schneider, FOCS'12) the paper invokes as a black box — see
+/// DESIGN.md §3.  We implement the simple palette algorithm of Johansson
+/// (Inf. Proc. Lett. 70(5), 1999), which BEPS itself builds on and which the
+/// paper cites ([16]) for the crucial property: the color picked by a node of
+/// degree `d` never exceeds `d + 1`.
+///
+/// Protocol (per phase = 2 simulator rounds):
+///  1. every uncolored node draws a uniform candidate from its palette and
+///     broadcasts it;
+///  2. a node keeps its candidate iff no *uncolored* neighbor proposed the
+///     same value; winners broadcast finalization and halt, losers prune
+///     finalized colors from their palettes and retry.
+///
+/// Each phase colors each node with probability ≥ 1/4, so all nodes finish in
+/// `O(log n)` phases w.h.p.  The palette-restricted entry point is the
+/// primitive needed by the §5.2 distributed degree-bound algorithm.
+
+#include <cstdint>
+#include <vector>
+
+#include "fhg/coloring/coloring.hpp"
+#include "fhg/distributed/network.hpp"
+#include "fhg/graph/graph.hpp"
+
+namespace fhg::distributed {
+
+/// Result of a distributed coloring run.
+struct ColoringRun {
+  coloring::Coloring coloring;
+  NetStats stats;
+};
+
+/// Runs the palette algorithm where node `v` may only use colors from
+/// `palettes[v]` and only nodes with `participate[v]` take part (others are
+/// treated as absent: they neither send nor constrain anyone).
+///
+/// Precondition (checked): for every participating `v`, `palettes[v].size()`
+/// exceeds the number of participating neighbors of `v`.  This is the
+/// pigeonhole condition guaranteeing termination.
+///
+/// Throws `std::runtime_error` if not converged after `max_rounds` simulator
+/// rounds (default: generous `64 * (2 + log2 n)`).
+[[nodiscard]] ColoringRun palette_color(const graph::Graph& g,
+                                        const std::vector<std::vector<coloring::Color>>& palettes,
+                                        const std::vector<bool>& participate, std::uint64_t seed,
+                                        parallel::ThreadPool* pool = nullptr,
+                                        std::uint64_t max_rounds = 0);
+
+/// Johansson's `(deg+1)`-list coloring: every node participates with palette
+/// `{1, …, deg(v) + 1}`.  The returned coloring is proper, complete and
+/// degree-bounded (`col(v) ≤ deg(v) + 1`).
+[[nodiscard]] ColoringRun johansson_color(const graph::Graph& g, std::uint64_t seed,
+                                          parallel::ThreadPool* pool = nullptr,
+                                          std::uint64_t max_rounds = 0);
+
+}  // namespace fhg::distributed

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file luby.hpp
+/// Luby's randomized Maximal Independent Set algorithm in the LOCAL model.
+///
+/// Included as (a) the classic distributed symmetry-breaking companion to
+/// coloring — the paper's §1.3 highlights coloring and MIS as *the* problems
+/// of the LOCAL model — and (b) a distributed baseline for the single-holiday
+/// happiness question of Appendix A (an MIS is a maximal, though not maximum,
+/// set of simultaneously-happy parents).
+///
+/// Per phase (2 simulator rounds): every active node draws a random 64-bit
+/// priority and broadcasts it; a node whose priority beats all active
+/// neighbors joins the MIS, tells its neighbors, and everyone adjacent to a
+/// winner drops out.  O(log n) phases w.h.p.
+
+#include <cstdint>
+#include <vector>
+
+#include "fhg/distributed/network.hpp"
+#include "fhg/graph/graph.hpp"
+
+namespace fhg::distributed {
+
+/// Result of a distributed MIS run.
+struct MisRun {
+  std::vector<graph::NodeId> independent_set;  ///< sorted
+  NetStats stats;
+};
+
+/// Runs Luby's algorithm.  The result is always a *maximal* independent set.
+[[nodiscard]] MisRun luby_mis(const graph::Graph& g, std::uint64_t seed,
+                              parallel::ThreadPool* pool = nullptr,
+                              std::uint64_t max_rounds = 0);
+
+}  // namespace fhg::distributed

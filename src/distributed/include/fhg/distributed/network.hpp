@@ -1,0 +1,148 @@
+#pragma once
+
+/// \file network.hpp
+/// A synchronous message-passing simulator for the LOCAL model
+/// (Linial 1992; Peleg 2000), the computational setting of the paper's
+/// distributed algorithms.
+///
+/// Semantics:
+///  * Computation proceeds in global rounds. In each round every *active*
+///    node runs the protocol handler once; messages sent in round `r` are
+///    delivered at the start of round `r + 1`.
+///  * Nodes may only talk to graph neighbors.  A node that calls `halt()`
+///    stops being scheduled (its neighbors can still send to it; deliveries
+///    to halted nodes are counted but not processed).
+///  * Per-node randomness comes from a counter-based stream keyed by
+///    `(network seed, node, round)`, so runs are bit-reproducible regardless
+///    of the thread count used to execute a round.
+///
+/// The simulator records rounds, message and word counts — the paper's
+/// "lightweight" claims (§1.1) are about exactly these quantities.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "fhg/graph/graph.hpp"
+#include "fhg/parallel/rng.hpp"
+#include "fhg/parallel/thread_pool.hpp"
+
+namespace fhg::distributed {
+
+/// A message delivered to a node: sender plus a small word payload.
+struct Message {
+  graph::NodeId from = 0;
+  std::vector<std::uint64_t> payload;
+};
+
+/// Cumulative simulator statistics.
+struct NetStats {
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t words = 0;
+
+  /// Average messages per executed round (0 when no rounds ran).
+  [[nodiscard]] double messages_per_round() const noexcept {
+    return rounds == 0 ? 0.0 : static_cast<double>(messages) / static_cast<double>(rounds);
+  }
+};
+
+class SyncNetwork;
+
+/// Per-invocation view handed to the protocol handler.
+///
+/// Only `send`, `broadcast` and `halt` mutate; all mutation is confined to
+/// this node's private outbox/flag, so handlers for distinct nodes may run
+/// concurrently.  Handlers must not touch other nodes' algorithm state
+/// directly — communicate through messages, as the LOCAL model demands.
+class RoundContext {
+ public:
+  /// This node's id.
+  [[nodiscard]] graph::NodeId self() const noexcept { return self_; }
+
+  /// Current round number (0-based).
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+
+  /// Degree of this node in the communication graph.
+  [[nodiscard]] std::uint32_t degree() const noexcept;
+
+  /// Neighbors of this node.
+  [[nodiscard]] std::span<const graph::NodeId> neighbors() const noexcept;
+
+  /// Messages delivered this round, sorted by sender id.
+  [[nodiscard]] std::span<const Message> inbox() const noexcept { return inbox_; }
+
+  /// Deterministic per-(node, round) random stream.
+  [[nodiscard]] parallel::Rng& rng() noexcept { return rng_; }
+
+  /// Sends `payload` to neighbor `to` (delivered next round).
+  /// Throws `std::invalid_argument` if `to` is not a neighbor.
+  void send(graph::NodeId to, std::vector<std::uint64_t> payload);
+
+  /// Sends `payload` to every neighbor.
+  void broadcast(const std::vector<std::uint64_t>& payload);
+
+  /// Marks this node as finished; it will not be scheduled again.
+  void halt() noexcept { halted_ = true; }
+
+ private:
+  friend class SyncNetwork;
+  RoundContext(const SyncNetwork& net, graph::NodeId self, std::uint64_t round,
+               std::span<const Message> inbox, parallel::Rng rng)
+      : net_(net), self_(self), round_(round), inbox_(inbox), rng_(rng) {}
+
+  const SyncNetwork& net_;
+  graph::NodeId self_;
+  std::uint64_t round_;
+  std::span<const Message> inbox_;
+  parallel::Rng rng_;
+  std::vector<std::pair<graph::NodeId, std::vector<std::uint64_t>>> outbox_;
+  bool halted_ = false;
+};
+
+/// The synchronous round engine.
+class SyncNetwork {
+ public:
+  /// Protocol body, run once per active node per round.
+  using Handler = std::function<void(RoundContext&)>;
+
+  /// Builds a network over `g`.  If `pool` is non-null, rounds execute node
+  /// handlers in parallel (results are identical to serial execution).
+  SyncNetwork(const graph::Graph& g, std::uint64_t seed, parallel::ThreadPool* pool = nullptr);
+
+  [[nodiscard]] const graph::Graph& graph() const noexcept { return *graph_; }
+  [[nodiscard]] graph::NodeId num_nodes() const noexcept { return graph_->num_nodes(); }
+
+  /// Installs the protocol handler (must be set before stepping).
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+  /// Number of nodes that have not halted.
+  [[nodiscard]] graph::NodeId active_nodes() const noexcept { return active_count_; }
+
+  [[nodiscard]] bool halted(graph::NodeId v) const noexcept { return halted_[v]; }
+
+  /// Runs one synchronous round. Returns the number of still-active nodes.
+  graph::NodeId step();
+
+  /// Runs rounds until every node halts or `max_rounds` elapse; returns the
+  /// number of rounds executed.  Throws `std::runtime_error` if the cap is
+  /// hit with nodes still active (a protocol liveness failure).
+  std::uint64_t run(std::uint64_t max_rounds);
+
+  /// Cumulative statistics.
+  [[nodiscard]] const NetStats& stats() const noexcept { return stats_; }
+
+ private:
+  const graph::Graph* graph_;
+  std::uint64_t seed_;
+  parallel::ThreadPool* pool_;
+  Handler handler_;
+  std::vector<std::vector<Message>> inboxes_;  // messages for the upcoming round
+  std::vector<bool> halted_;
+  graph::NodeId active_count_;
+  std::uint64_t round_ = 0;
+  NetStats stats_;
+};
+
+}  // namespace fhg::distributed

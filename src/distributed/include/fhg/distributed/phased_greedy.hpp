@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file phased_greedy.hpp
+/// The distributed Phased Greedy Coloring engine of Section 3.
+///
+/// At holiday `i` the nodes whose current color equals `i` are happy; right
+/// afterwards each of them recolors to the smallest value `s > i` not used by
+/// any neighbor (so `s ≤ i + deg + 1`).  Every holiday costs O(1)
+/// communication rounds: happy nodes broadcast a color query; neighbors reply
+/// with their current color; the new color is fixed before the next holiday.
+/// Theorem 3.1: `mul(p) ≤ deg(p) + 1` for every node, provided the initial
+/// coloring is proper with `col(p) ≤ deg(p) + 1`.
+///
+/// This class is the message-passing demonstration with full round/message
+/// accounting; `fhg::core::PhasedGreedyScheduler` is the fast sequential
+/// equivalent used for long-horizon experiments (they produce identical
+/// schedules for the same initial coloring, which tests assert).
+
+#include <cstdint>
+#include <vector>
+
+#include "fhg/coloring/coloring.hpp"
+#include "fhg/distributed/network.hpp"
+#include "fhg/graph/graph.hpp"
+
+namespace fhg::distributed {
+
+/// Result of running the distributed phased-greedy engine for `H` holidays.
+struct PhasedGreedyRun {
+  /// `happy_sets[h]` = nodes happy at holiday `h+1` (holidays are 1-based in
+  /// the paper), each an independent set.
+  std::vector<std::vector<graph::NodeId>> happy_sets;
+  /// Final color of every node after the last processed holiday.
+  coloring::Coloring final_colors;
+  NetStats stats;
+};
+
+/// Runs the §3 protocol for `holidays` holidays on top of `initial`, which
+/// must be a proper, complete coloring of `g` (throws otherwise).
+/// Two simulator rounds per holiday.
+[[nodiscard]] PhasedGreedyRun run_phased_greedy(const graph::Graph& g,
+                                                const coloring::Coloring& initial,
+                                                std::uint64_t holidays,
+                                                parallel::ThreadPool* pool = nullptr);
+
+}  // namespace fhg::distributed

@@ -1,0 +1,95 @@
+#include "fhg/distributed/degree_bound.hpp"
+
+#include <algorithm>
+
+#include "fhg/coding/iterated_log.hpp"
+#include "fhg/distributed/johansson.hpp"
+
+namespace fhg::distributed {
+
+DegreeBoundRun distributed_degree_bound(const graph::Graph& g, std::uint64_t seed,
+                                        parallel::ThreadPool* pool) {
+  const graph::NodeId n = g.num_nodes();
+  DegreeBoundRun result;
+  result.slots.assign(n, coding::ScheduleSlot{});
+  if (n == 0) {
+    return result;
+  }
+
+  // Degree class of v: j = ceil(log2(deg+1)); period will be 2^j.
+  std::vector<std::uint32_t> klass(n);
+  std::uint32_t top_class = 0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    klass[v] = coding::ceil_log2(g.degree(v) + 1);
+    top_class = std::max(top_class, klass[v]);
+  }
+
+  std::vector<bool> assigned(n, false);
+  std::vector<std::uint64_t> residue(n, 0);
+
+  for (std::uint32_t phase = top_class + 1; phase-- > 0;) {
+    std::vector<bool> participate(n, false);
+    bool any = false;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (klass[v] == phase) {
+        participate[v] = true;
+        any = true;
+      }
+    }
+    if (!any) {
+      continue;
+    }
+    ++result.phases;
+
+    const std::uint64_t modulus = std::uint64_t{1} << phase;
+    std::vector<std::vector<coloring::Color>> palettes(n);
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (!participate[v]) {
+        continue;
+      }
+      // Residues forbidden by already-assigned (higher-class) neighbors.
+      std::vector<bool> forbidden(modulus, false);
+      for (const graph::NodeId w : g.neighbors(v)) {
+        if (assigned[w]) {
+          forbidden[residue[w] % modulus] = true;
+        }
+      }
+      // Palette entries are residue+1 because 0 is the engine's uncolored
+      // sentinel.
+      for (std::uint64_t x = 0; x < modulus; ++x) {
+        if (!forbidden[x]) {
+          palettes[v].push_back(static_cast<coloring::Color>(x + 1));
+        }
+      }
+    }
+
+    ColoringRun phase_run =
+        palette_color(g, palettes, participate, parallel::mix_keys(seed, phase), pool);
+    result.stats.rounds += phase_run.stats.rounds;
+    result.stats.messages += phase_run.stats.messages;
+    result.stats.words += phase_run.stats.words;
+
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (participate[v]) {
+        residue[v] = phase_run.coloring.color(v) - 1;
+        assigned[v] = true;
+      }
+    }
+    // Disseminating the committed residues to neighbors costs one broadcast
+    // round in the real network; account for it.
+    result.stats.rounds += 1;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (participate[v]) {
+        result.stats.messages += g.degree(v);
+        result.stats.words += 2ULL * g.degree(v);
+      }
+    }
+  }
+
+  for (graph::NodeId v = 0; v < n; ++v) {
+    result.slots[v] = coding::ScheduleSlot{residue[v], klass[v]};
+  }
+  return result;
+}
+
+}  // namespace fhg::distributed

@@ -1,0 +1,128 @@
+#include "fhg/distributed/johansson.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace fhg::distributed {
+
+namespace {
+
+// Message tags.
+constexpr std::uint64_t kPropose = 1;
+constexpr std::uint64_t kFinal = 2;
+
+struct NodeState {
+  std::vector<coloring::Color> palette;
+  coloring::Color candidate = coloring::kUncolored;
+  coloring::Color final_color = coloring::kUncolored;
+  bool participating = false;
+};
+
+}  // namespace
+
+ColoringRun palette_color(const graph::Graph& g,
+                          const std::vector<std::vector<coloring::Color>>& palettes,
+                          const std::vector<bool>& participate, std::uint64_t seed,
+                          parallel::ThreadPool* pool, std::uint64_t max_rounds) {
+  const graph::NodeId n = g.num_nodes();
+  if (palettes.size() != n || participate.size() != n) {
+    throw std::invalid_argument("palette_color: palettes/participate must have one entry per node");
+  }
+
+  std::vector<NodeState> state(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    state[v].participating = participate[v];
+    state[v].palette = palettes[v];
+    std::sort(state[v].palette.begin(), state[v].palette.end());
+    state[v].palette.erase(std::unique(state[v].palette.begin(), state[v].palette.end()),
+                           state[v].palette.end());
+  }
+
+  // Pigeonhole precondition: palette strictly larger than the number of
+  // participating neighbors.
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (!participate[v]) {
+      continue;
+    }
+    std::size_t rivals = 0;
+    for (const graph::NodeId w : g.neighbors(v)) {
+      rivals += participate[w] ? 1 : 0;
+    }
+    if (state[v].palette.size() <= rivals) {
+      throw std::invalid_argument("palette_color: node " + std::to_string(v) + " has palette of " +
+                                  std::to_string(state[v].palette.size()) + " colors for " +
+                                  std::to_string(rivals) + " rivals (pigeonhole violated)");
+    }
+  }
+
+  SyncNetwork net(g, seed, pool);
+  net.set_handler([&state](RoundContext& ctx) {
+    NodeState& me = state[ctx.self()];
+    if (!me.participating) {
+      ctx.halt();
+      return;
+    }
+    if (ctx.round() % 2 == 0) {
+      // Propose phase.  Process finalizations from the previous decide phase
+      // first: neighbors' final colors leave the palette for good.
+      for (const Message& msg : ctx.inbox()) {
+        if (msg.payload.size() == 2 && msg.payload[0] == kFinal) {
+          const auto c = static_cast<coloring::Color>(msg.payload[1]);
+          const auto it = std::lower_bound(me.palette.begin(), me.palette.end(), c);
+          if (it != me.palette.end() && *it == c) {
+            me.palette.erase(it);
+          }
+        }
+      }
+      const std::size_t pick = static_cast<std::size_t>(ctx.rng().uniform_below(me.palette.size()));
+      me.candidate = me.palette[pick];
+      ctx.broadcast({kPropose, me.candidate});
+    } else {
+      // Decide phase: keep the candidate iff no active rival proposed it.
+      bool contested = false;
+      for (const Message& msg : ctx.inbox()) {
+        if (msg.payload.size() == 2 && msg.payload[0] == kPropose &&
+            msg.payload[1] == me.candidate) {
+          contested = true;
+          break;
+        }
+      }
+      if (!contested) {
+        me.final_color = me.candidate;
+        ctx.broadcast({kFinal, me.final_color});
+        ctx.halt();
+      }
+    }
+  });
+
+  if (max_rounds == 0) {
+    const double ln = std::log2(std::max<double>(2.0, n));
+    max_rounds = static_cast<std::uint64_t>(64.0 * (2.0 + ln));
+  }
+  net.run(max_rounds);
+
+  coloring::Coloring result(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (state[v].participating) {
+      result.set_color(v, state[v].final_color);
+    }
+  }
+  return ColoringRun{std::move(result), net.stats()};
+}
+
+ColoringRun johansson_color(const graph::Graph& g, std::uint64_t seed, parallel::ThreadPool* pool,
+                            std::uint64_t max_rounds) {
+  const graph::NodeId n = g.num_nodes();
+  std::vector<std::vector<coloring::Color>> palettes(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    palettes[v].resize(g.degree(v) + 1);
+    for (std::uint32_t c = 0; c <= g.degree(v); ++c) {
+      palettes[v][c] = c + 1;
+    }
+  }
+  return palette_color(g, palettes, std::vector<bool>(n, true), seed, pool, max_rounds);
+}
+
+}  // namespace fhg::distributed

@@ -1,0 +1,73 @@
+#include "fhg/distributed/luby.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fhg::distributed {
+
+namespace {
+
+constexpr std::uint64_t kPriority = 1;
+constexpr std::uint64_t kJoined = 2;
+
+enum class Status : std::uint8_t { kActive, kInMis, kOut };
+
+}  // namespace
+
+MisRun luby_mis(const graph::Graph& g, std::uint64_t seed, parallel::ThreadPool* pool,
+                std::uint64_t max_rounds) {
+  const graph::NodeId n = g.num_nodes();
+  std::vector<Status> status(n, Status::kActive);
+  std::vector<std::uint64_t> my_priority(n, 0);
+
+  SyncNetwork net(g, seed, pool);
+  net.set_handler([&](RoundContext& ctx) {
+    const graph::NodeId v = ctx.self();
+    if (ctx.round() % 2 == 0) {
+      // A neighbor joining the MIS knocks this node out.
+      for (const Message& msg : ctx.inbox()) {
+        if (!msg.payload.empty() && msg.payload[0] == kJoined) {
+          status[v] = Status::kOut;
+          ctx.halt();
+          return;
+        }
+      }
+      my_priority[v] = ctx.rng()();
+      ctx.broadcast({kPriority, my_priority[v]});
+    } else {
+      bool beaten = false;
+      for (const Message& msg : ctx.inbox()) {
+        if (msg.payload.size() == 2 && msg.payload[0] == kPriority) {
+          // Ties broken by node id to keep the winner unique.
+          if (msg.payload[1] > my_priority[v] ||
+              (msg.payload[1] == my_priority[v] && msg.from > v)) {
+            beaten = true;
+            break;
+          }
+        }
+      }
+      if (!beaten) {
+        status[v] = Status::kInMis;
+        ctx.broadcast({kJoined});
+        ctx.halt();
+      }
+    }
+  });
+
+  if (max_rounds == 0) {
+    const double ln = std::log2(std::max<double>(2.0, n));
+    max_rounds = static_cast<std::uint64_t>(64.0 * (2.0 + ln));
+  }
+  net.run(max_rounds);
+
+  MisRun result;
+  result.stats = net.stats();
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (status[v] == Status::kInMis) {
+      result.independent_set.push_back(v);
+    }
+  }
+  return result;
+}
+
+}  // namespace fhg::distributed

@@ -1,0 +1,104 @@
+#include "fhg/distributed/network.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "fhg/parallel/parallel_for.hpp"
+
+namespace fhg::distributed {
+
+std::uint32_t RoundContext::degree() const noexcept {
+  return net_.graph().degree(self_);
+}
+
+std::span<const graph::NodeId> RoundContext::neighbors() const noexcept {
+  return net_.graph().neighbors(self_);
+}
+
+void RoundContext::send(graph::NodeId to, std::vector<std::uint64_t> payload) {
+  if (!net_.graph().has_edge(self_, to)) {
+    throw std::invalid_argument("RoundContext::send: destination is not a neighbor (LOCAL model)");
+  }
+  outbox_.emplace_back(to, std::move(payload));
+}
+
+void RoundContext::broadcast(const std::vector<std::uint64_t>& payload) {
+  for (const graph::NodeId to : neighbors()) {
+    outbox_.emplace_back(to, payload);
+  }
+}
+
+SyncNetwork::SyncNetwork(const graph::Graph& g, std::uint64_t seed, parallel::ThreadPool* pool)
+    : graph_(&g),
+      seed_(seed),
+      pool_(pool),
+      inboxes_(g.num_nodes()),
+      halted_(g.num_nodes(), false),
+      active_count_(g.num_nodes()) {}
+
+graph::NodeId SyncNetwork::step() {
+  if (!handler_) {
+    throw std::logic_error("SyncNetwork::step: no handler installed");
+  }
+  const graph::NodeId n = num_nodes();
+
+  // Phase 1: execute all active nodes against this round's inboxes.
+  // Each context is private to its node, so execution order is irrelevant.
+  std::vector<std::unique_ptr<RoundContext>> contexts(n);
+  auto run_node = [&](std::size_t v_index) {
+    const auto v = static_cast<graph::NodeId>(v_index);
+    if (halted_[v]) {
+      return;
+    }
+    parallel::Rng rng(parallel::mix_keys(seed_, round_), v);
+    contexts[v] = std::unique_ptr<RoundContext>(
+        new RoundContext(*this, v, round_, inboxes_[v], rng));
+    handler_(*contexts[v]);
+  };
+  if (pool_ != nullptr) {
+    parallel::parallel_for(*pool_, 0, n, run_node, /*grain=*/256);
+  } else {
+    for (graph::NodeId v = 0; v < n; ++v) {
+      run_node(v);
+    }
+  }
+
+  // Phase 2: deterministic merge — collect outboxes in ascending sender id,
+  // apply halts, and stage inboxes for the next round.
+  std::vector<std::vector<Message>> next(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (!contexts[v]) {
+      continue;
+    }
+    RoundContext& ctx = *contexts[v];
+    for (auto& [to, payload] : ctx.outbox_) {
+      stats_.messages += 1;
+      stats_.words += payload.size();
+      next[to].push_back(Message{v, std::move(payload)});
+    }
+    if (ctx.halted_) {
+      halted_[v] = true;
+      --active_count_;
+    }
+  }
+  inboxes_ = std::move(next);
+  ++round_;
+  ++stats_.rounds;
+  return active_count_;
+}
+
+std::uint64_t SyncNetwork::run(std::uint64_t max_rounds) {
+  std::uint64_t executed = 0;
+  while (active_count_ > 0) {
+    if (executed >= max_rounds) {
+      throw std::runtime_error("SyncNetwork::run: round cap reached with " +
+                               std::to_string(active_count_) + " nodes still active");
+    }
+    step();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace fhg::distributed

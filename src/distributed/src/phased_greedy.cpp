@@ -1,0 +1,90 @@
+#include "fhg/distributed/phased_greedy.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+
+namespace fhg::distributed {
+
+namespace {
+
+constexpr std::uint64_t kQuery = 1;
+constexpr std::uint64_t kColorReply = 2;
+
+}  // namespace
+
+PhasedGreedyRun run_phased_greedy(const graph::Graph& g, const coloring::Coloring& initial,
+                                  std::uint64_t holidays, parallel::ThreadPool* pool) {
+  if (!initial.proper(g) || !initial.complete()) {
+    throw std::invalid_argument("run_phased_greedy: initial coloring must be proper and complete");
+  }
+  const graph::NodeId n = g.num_nodes();
+
+  std::vector<coloring::Color> col(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    col[v] = initial.color(v);
+  }
+
+  PhasedGreedyRun result;
+  result.happy_sets.assign(holidays, {});
+  std::mutex happy_mutex;  // happy-set appends may race under a thread pool
+
+  SyncNetwork net(g, /*seed=*/0, pool);
+  net.set_handler([&](RoundContext& ctx) {
+    const graph::NodeId v = ctx.self();
+    const std::uint64_t holiday = ctx.round() / 2 + 1;  // 1-based, paper style
+    if (ctx.round() % 2 == 0) {
+      // Start of a holiday.  First finish a pending recolor from the
+      // previous holiday: the color replies are in this round's inbox.
+      bool recoloring = false;
+      std::vector<coloring::Color> neighbor_colors;
+      for (const Message& msg : ctx.inbox()) {
+        if (msg.payload.size() == 2 && msg.payload[0] == kColorReply) {
+          recoloring = true;
+          neighbor_colors.push_back(static_cast<coloring::Color>(msg.payload[1]));
+        }
+      }
+      if (recoloring || (holiday > 1 && col[v] == holiday - 1 && ctx.degree() == 0)) {
+        // Smallest s > previous holiday not used by any neighbor.
+        const auto floor_color = static_cast<coloring::Color>(holiday - 1);
+        std::sort(neighbor_colors.begin(), neighbor_colors.end());
+        coloring::Color s = floor_color + 1;
+        for (const coloring::Color c : neighbor_colors) {
+          if (c == s) {
+            ++s;
+          } else if (c > s) {
+            break;
+          }
+        }
+        col[v] = s;
+      }
+      if (col[v] == holiday) {
+        {
+          const std::lock_guard<std::mutex> lock(happy_mutex);
+          result.happy_sets[holiday - 1].push_back(v);
+        }
+        ctx.broadcast({kQuery});
+      }
+    } else {
+      // Reply phase: tell querying neighbors our current color.
+      for (const Message& msg : ctx.inbox()) {
+        if (msg.payload.size() == 1 && msg.payload[0] == kQuery) {
+          ctx.send(msg.from, {kColorReply, col[v]});
+        }
+      }
+    }
+  });
+
+  for (std::uint64_t r = 0; r < 2 * holidays; ++r) {
+    net.step();
+  }
+
+  for (auto& happy : result.happy_sets) {
+    std::sort(happy.begin(), happy.end());
+  }
+  result.final_colors = coloring::Coloring(std::vector<coloring::Color>(col.begin(), col.end()));
+  result.stats = net.stats();
+  return result;
+}
+
+}  // namespace fhg::distributed

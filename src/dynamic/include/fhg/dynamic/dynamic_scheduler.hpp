@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file dynamic_scheduler.hpp
+/// The dynamic setting of Section 6: relationships form and dissolve while
+/// the holidays keep coming.
+///
+/// The color-bound scheduler of §4 adapts gracefully — that is the paper's
+/// point.  On an edge insertion `{p, q}` with `col(p) == col(q)`, the
+/// lower-degree endpoint recolors (its palette legitimately grew by one:
+/// `deg+1` is one larger); the new periodic schedule is read off the
+/// prefix-free code of the new color and the node hosts again within
+/// `2^ρ(new color)` holidays of quiescence.  On a deletion nothing *must*
+/// happen, but the hosting rate drifts away from the new degree; a repair
+/// policy recolors a node whose color exceeds `deg+1` by more than a
+/// configurable slack.
+///
+/// The degree-bound scheduler of §5 is deliberately *not* given a dynamic
+/// wrapper: the paper explains (and E5's ablation demonstrates) that its
+/// correctness hinges on high-degree nodes committing first, which edge
+/// insertions retroactively violate.  Making it dynamic is the paper's main
+/// open problem.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fhg/coding/elias.hpp"
+#include "fhg/coding/prefix.hpp"
+#include "fhg/coloring/coloring.hpp"
+#include "fhg/graph/dynamic_graph.hpp"
+
+namespace fhg::dynamic {
+
+/// What happened in response to a topology event.
+struct RecolorEvent {
+  std::uint64_t holiday = 0;        ///< when the recolor took effect
+  graph::NodeId node = 0;           ///< who recolored
+  coloring::Color old_color = 0;
+  coloring::Color new_color = 0;
+  bool due_to_insertion = true;     ///< false = rate repair after deletions
+};
+
+/// The §4 scheduler running over a mutable conflict graph.
+class DynamicPrefixCodeScheduler {
+ public:
+  /// Starts from `g`'s current topology with a fresh greedy coloring.
+  /// `deletion_slack`: a node recolors after deletions once
+  /// `col > deg + 1 + slack` (0 = eager repair; large = paper's "presumably
+  /// there is nothing to be done").
+  explicit DynamicPrefixCodeScheduler(graph::DynamicGraph& g,
+                                      coding::CodeFamily family = coding::CodeFamily::kEliasOmega,
+                                      std::uint32_t deletion_slack = 0);
+
+  /// Advances one holiday and returns the happy set (sorted).
+  [[nodiscard]] std::vector<graph::NodeId> next_holiday();
+
+  [[nodiscard]] std::uint64_t current_holiday() const noexcept { return holiday_; }
+
+  /// Marries children of `u` and `v` (inserts the conflict edge) effective
+  /// immediately.  Returns the recolor event if one was needed.
+  std::optional<RecolorEvent> insert_edge(graph::NodeId u, graph::NodeId v);
+
+  /// Dissolves the relationship (removes the edge).  Returns a repair
+  /// recolor event if the slack policy fired.
+  std::optional<RecolorEvent> erase_edge(graph::NodeId u, graph::NodeId v);
+
+  /// A new parent joins the society (isolated node).
+  graph::NodeId add_node();
+
+  [[nodiscard]] coloring::Color color_of(graph::NodeId v) const noexcept {
+    return colors_.color(v);
+  }
+
+  /// Current periodic slot of `v` (changes only when `v` recolors).
+  [[nodiscard]] coding::ScheduleSlot slot_of(graph::NodeId v) const noexcept {
+    return slots_[v];
+  }
+
+  /// Current period of `v`: `2^|K(col(v))|`.
+  [[nodiscard]] std::uint64_t period_of(graph::NodeId v) const noexcept {
+    return slots_[v].period();
+  }
+
+  /// All recolor events so far, in order.
+  [[nodiscard]] const std::vector<RecolorEvent>& history() const noexcept { return history_; }
+
+  /// Invariant check: the coloring is proper for the current topology.
+  [[nodiscard]] bool coloring_proper() const;
+
+ private:
+  /// Recolors `v` to the smallest color free among its neighbors and
+  /// refreshes its slot; records the event.
+  RecolorEvent recolor(graph::NodeId v, bool due_to_insertion);
+
+  void refresh_slot(graph::NodeId v);
+
+  graph::DynamicGraph* graph_;
+  coding::CodeFamily family_;
+  std::uint32_t deletion_slack_;
+  coloring::Coloring colors_;
+  std::vector<coding::ScheduleSlot> slots_;
+  std::uint64_t holiday_ = 0;
+  std::vector<RecolorEvent> history_;
+};
+
+}  // namespace fhg::dynamic

@@ -1,0 +1,133 @@
+#include "fhg/dynamic/dynamic_scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fhg::dynamic {
+
+namespace {
+
+/// Smallest color ≥ 1 unused among `v`'s neighbors in the dynamic graph.
+coloring::Color smallest_free(const graph::DynamicGraph& g, const coloring::Coloring& colors,
+                              graph::NodeId v) {
+  const auto nbrs = g.neighbors(v);
+  std::vector<bool> taken(nbrs.size() + 2, false);
+  for (const graph::NodeId w : nbrs) {
+    const coloring::Color c = colors.color(w);
+    if (c >= 1 && c < taken.size()) {
+      taken[c] = true;
+    }
+  }
+  for (coloring::Color c = 1; c < taken.size(); ++c) {
+    if (!taken[c]) {
+      return c;
+    }
+  }
+  return static_cast<coloring::Color>(taken.size());  // unreachable (pigeonhole)
+}
+
+}  // namespace
+
+DynamicPrefixCodeScheduler::DynamicPrefixCodeScheduler(graph::DynamicGraph& g,
+                                                       coding::CodeFamily family,
+                                                       std::uint32_t deletion_slack)
+    : graph_(&g), family_(family), deletion_slack_(deletion_slack), colors_(g.num_nodes()) {
+  // Greedy initial coloring in decreasing-degree order: col ≤ deg+1.
+  std::vector<graph::NodeId> order(g.num_nodes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    order[v] = v;
+  }
+  std::stable_sort(order.begin(), order.end(), [&g](graph::NodeId a, graph::NodeId b) {
+    return g.degree(a) > g.degree(b);
+  });
+  for (const graph::NodeId v : order) {
+    colors_.set_color(v, smallest_free(g, colors_, v));
+  }
+  slots_.resize(g.num_nodes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    refresh_slot(v);
+  }
+}
+
+void DynamicPrefixCodeScheduler::refresh_slot(graph::NodeId v) {
+  slots_[v] = coding::slot_of(coding::encode(family_, colors_.color(v)));
+}
+
+std::vector<graph::NodeId> DynamicPrefixCodeScheduler::next_holiday() {
+  ++holiday_;
+  std::vector<graph::NodeId> happy;
+  for (graph::NodeId v = 0; v < graph_->num_nodes(); ++v) {
+    if (slots_[v].matches(holiday_)) {
+      happy.push_back(v);
+    }
+  }
+  return happy;
+}
+
+RecolorEvent DynamicPrefixCodeScheduler::recolor(graph::NodeId v, bool due_to_insertion) {
+  RecolorEvent event;
+  event.holiday = holiday_;
+  event.node = v;
+  event.old_color = colors_.color(v);
+  colors_.set_color(v, smallest_free(*graph_, colors_, v));
+  event.new_color = colors_.color(v);
+  event.due_to_insertion = due_to_insertion;
+  refresh_slot(v);
+  history_.push_back(event);
+  return event;
+}
+
+std::optional<RecolorEvent> DynamicPrefixCodeScheduler::insert_edge(graph::NodeId u,
+                                                                    graph::NodeId v) {
+  if (!graph_->insert_edge(u, v)) {
+    return std::nullopt;  // already married
+  }
+  if (colors_.color(u) != colors_.color(v)) {
+    return std::nullopt;  // still proper; schedules unchanged
+  }
+  // The lower-degree endpoint recolors — its relative schedule loss is
+  // smaller (§6 leaves the choice free; degree is the natural tie-breaker).
+  const graph::NodeId loser = graph_->degree(u) <= graph_->degree(v) ? u : v;
+  return recolor(loser, /*due_to_insertion=*/true);
+}
+
+std::optional<RecolorEvent> DynamicPrefixCodeScheduler::erase_edge(graph::NodeId u,
+                                                                   graph::NodeId v) {
+  if (!graph_->erase_edge(u, v)) {
+    return std::nullopt;
+  }
+  // Rate repair: if some endpoint's color now exceeds deg+1+slack, its
+  // hosting rate is disproportionately low for its new degree — recolor it.
+  for (const graph::NodeId p : {u, v}) {
+    if (colors_.color(p) > graph_->degree(p) + 1 + deletion_slack_) {
+      return recolor(p, /*due_to_insertion=*/false);
+    }
+  }
+  return std::nullopt;
+}
+
+graph::NodeId DynamicPrefixCodeScheduler::add_node() {
+  const graph::NodeId v = graph_->add_node();
+  coloring::Coloring grown(graph_->num_nodes());
+  for (graph::NodeId w = 0; w + 1 < graph_->num_nodes(); ++w) {
+    grown.set_color(w, colors_.color(w));
+  }
+  grown.set_color(v, 1);  // isolated: color 1, happy every 2^|K(1)| holidays
+  colors_ = std::move(grown);
+  slots_.emplace_back();
+  refresh_slot(v);
+  return v;
+}
+
+bool DynamicPrefixCodeScheduler::coloring_proper() const {
+  for (graph::NodeId v = 0; v < graph_->num_nodes(); ++v) {
+    for (const graph::NodeId w : graph_->neighbors(v)) {
+      if (colors_.color(v) == colors_.color(w)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace fhg::dynamic

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file dynamic_graph.hpp
+/// Mutable adjacency-set graph for the dynamic setting of Section 6.
+///
+/// Relationships form and dissolve: `DynamicGraph` supports edge insertion
+/// and deletion in `O(log d)` and produces CSR `Graph` snapshots for the
+/// static algorithms.  `fhg::dynamic::DynamicPrefixCodeScheduler` listens to
+/// its mutations to trigger recoloring.
+
+#include <cstdint>
+#include <vector>
+
+#include "fhg/graph/graph.hpp"
+
+namespace fhg::graph {
+
+/// Simple undirected graph under edge insertions/deletions.
+/// Neighbor sets are kept as sorted vectors (graphs here are sparse and
+/// degrees small; sorted vectors beat `std::set` by a wide margin).
+class DynamicGraph {
+ public:
+  /// `n` isolated nodes.
+  explicit DynamicGraph(NodeId n) : adjacency_(n) {}
+
+  /// Snapshot constructor.
+  explicit DynamicGraph(const Graph& g);
+
+  [[nodiscard]] NodeId num_nodes() const noexcept {
+    return static_cast<NodeId>(adjacency_.size());
+  }
+
+  [[nodiscard]] std::size_t num_edges() const noexcept { return num_edges_; }
+
+  [[nodiscard]] std::uint32_t degree(NodeId v) const noexcept {
+    return static_cast<std::uint32_t>(adjacency_[v].size());
+  }
+
+  /// Sorted neighbors of `v`; the span is invalidated by mutations.
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const noexcept {
+    return {adjacency_[v].data(), adjacency_[v].size()};
+  }
+
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const noexcept;
+
+  /// Inserts `{u,v}`. Returns false (and does nothing) if already present.
+  /// Throws `std::invalid_argument` on self-loops / out-of-range endpoints.
+  bool insert_edge(NodeId u, NodeId v);
+
+  /// Removes `{u,v}`. Returns false if not present.
+  bool erase_edge(NodeId u, NodeId v) noexcept;
+
+  /// Appends a new isolated node, returning its id.
+  NodeId add_node();
+
+  /// Current maximum degree (computed on demand, `O(n)`).
+  [[nodiscard]] std::uint32_t max_degree() const noexcept;
+
+  /// Immutable CSR snapshot of the current topology.
+  [[nodiscard]] Graph snapshot() const;
+
+ private:
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace fhg::graph

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file generators.hpp
+/// Synthetic conflict-graph families used throughout the test suite and the
+/// experiment harness.
+///
+/// The paper motivates several structures explicitly: bipartite "intergroup
+/// marriage" societies (§1), cliques (the `d+1` lower bound), and general
+/// graphs of bounded degree.  The experiment harness additionally sweeps
+/// Erdős–Rényi, random-regular, preferential-attachment (heavy-tailed degree,
+/// the interesting regime for *local* bounds), grids (cellular-radio
+/// interference), trees and caterpillars.
+///
+/// All generators are deterministic functions of their parameters and an
+/// explicit seed.
+
+#include <cstdint>
+
+#include "fhg/graph/graph.hpp"
+
+namespace fhg::graph {
+
+/// Erdős–Rényi G(n, p): each of the n(n-1)/2 pairs appears independently
+/// with probability `p`.  Uses geometric skipping, `O(n + m)` expected time.
+[[nodiscard]] Graph gnp(NodeId n, double p, std::uint64_t seed);
+
+/// Uniform G(n, m): exactly `m` distinct edges sampled uniformly.
+/// Throws if `m` exceeds n(n-1)/2.
+[[nodiscard]] Graph gnm(NodeId n, std::size_t m, std::uint64_t seed);
+
+/// Complete graph K_n — the in-law worst case: every parent waits n years
+/// under any schedule.
+[[nodiscard]] Graph clique(NodeId n);
+
+/// Cycle C_n (n >= 3).
+[[nodiscard]] Graph cycle(NodeId n);
+
+/// Path P_n.
+[[nodiscard]] Graph path(NodeId n);
+
+/// Star K_{1,n-1}: node 0 is the hub (the parent with many children).
+[[nodiscard]] Graph star(NodeId n);
+
+/// Complete bipartite K_{a,b}; nodes 0..a-1 on the left.
+[[nodiscard]] Graph complete_bipartite(NodeId a, NodeId b);
+
+/// Random bipartite graph: sides of size `a` and `b`, each cross pair kept
+/// with probability `p`.  The §1 "intergroup marriage" society.
+[[nodiscard]] Graph random_bipartite(NodeId a, NodeId b, double p, std::uint64_t seed);
+
+/// Complete k-partite graph with `k` groups of size `group`.
+[[nodiscard]] Graph complete_kpartite(NodeId k, NodeId group);
+
+/// Uniform random labelled tree on `n` nodes (via Prüfer sequences).
+[[nodiscard]] Graph random_tree(NodeId n, std::uint64_t seed);
+
+/// Caterpillar: a spine path of length `spine`, each spine node with `legs`
+/// pendant leaves.  Total nodes: spine * (legs + 1).
+[[nodiscard]] Graph caterpillar(NodeId spine, NodeId legs);
+
+/// 2-D grid graph of `rows * cols` nodes (4-neighborhood).  Models planar
+/// radio-interference topologies.
+[[nodiscard]] Graph grid2d(NodeId rows, NodeId cols);
+
+/// Random d-regular graph via the pairing model with restarts.
+/// Requires n*d even and d < n.  For the d values used here (≤ 32) the
+/// rejection loop terminates quickly.
+[[nodiscard]] Graph random_regular(NodeId n, std::uint32_t d, std::uint64_t seed);
+
+/// Barabási–Albert preferential attachment: starts from a clique on
+/// `m0 = m+1` nodes; each new node attaches to `m` distinct existing nodes
+/// chosen proportionally to degree.  Produces the heavy-tailed degree
+/// distributions where per-degree bounds shine.
+[[nodiscard]] Graph barabasi_albert(NodeId n, std::uint32_t m, std::uint64_t seed);
+
+/// Disjoint union of `parts` copies of `g` (useful for building societies of
+/// independent families).
+[[nodiscard]] Graph disjoint_union(const Graph& g, NodeId parts);
+
+}  // namespace fhg::graph

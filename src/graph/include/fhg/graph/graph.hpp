@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file graph.hpp
+/// The immutable conflict graph and its builder.
+///
+/// The paper's universe is a fixed, simple, undirected *conflict graph*
+/// `G = (P, E)`: nodes are parents; an edge joins two parents whose children
+/// are in a relationship.  All schedulers in `fhg::core` take a `Graph` by
+/// const reference.
+///
+/// Representation: compressed sparse rows (CSR).  Neighbor lists are sorted,
+/// which gives `O(log d)` adjacency tests and cache-friendly sweeps — the
+/// right trade-off for the read-dominated workloads here (a schedule performs
+/// millions of neighbor scans on a graph that never changes).  Mutation is
+/// the job of `DynamicGraph` (see dynamic_graph.hpp), which converts to CSR
+/// snapshots on demand.
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace fhg::graph {
+
+/// Node identifier: dense indices `0 .. num_nodes()-1`.
+using NodeId = std::uint32_t;
+
+/// An undirected edge, stored with `first < second`.
+struct Edge {
+  NodeId first;
+  NodeId second;
+
+  friend constexpr bool operator==(const Edge&, const Edge&) noexcept = default;
+  friend constexpr auto operator<=>(const Edge&, const Edge&) noexcept = default;
+};
+
+/// Immutable simple undirected graph in CSR form.
+///
+/// Invariants (checked at build time):
+///  * no self-loops, no parallel edges;
+///  * neighbor lists sorted ascending;
+///  * `offsets.size() == num_nodes()+1`, `adjacency.size() == 2*num_edges()`.
+class Graph {
+ public:
+  /// Empty graph with `n` isolated nodes.
+  explicit Graph(NodeId n = 0);
+
+  /// Number of nodes `|P|`.
+  [[nodiscard]] NodeId num_nodes() const noexcept {
+    return static_cast<NodeId>(offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges `|E|`.
+  [[nodiscard]] std::size_t num_edges() const noexcept { return adjacency_.size() / 2; }
+
+  /// Degree of `v` (the paper's `d_p`, the number of married children).
+  [[nodiscard]] std::uint32_t degree(NodeId v) const noexcept {
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Sorted neighbors of `v`.
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const noexcept {
+    return {adjacency_.data() + offsets_[v], adjacency_.data() + offsets_[v + 1]};
+  }
+
+  /// Adjacency test by binary search: `O(log deg(u))`.
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const noexcept;
+
+  /// Maximum degree `Δ`.
+  [[nodiscard]] std::uint32_t max_degree() const noexcept { return max_degree_; }
+
+  /// All edges as `(first < second)` pairs, sorted lexicographically.
+  [[nodiscard]] std::vector<Edge> edges() const;
+
+  /// True iff the graph has no nodes.
+  [[nodiscard]] bool empty() const noexcept { return num_nodes() == 0; }
+
+  /// Builds a CSR graph from an edge list over `n` nodes.  Duplicate edges
+  /// (in either orientation) are collapsed; self-loops are rejected.
+  /// Throws `std::invalid_argument` on out-of-range endpoints or self-loops.
+  [[nodiscard]] static Graph from_edges(NodeId n, std::span<const Edge> edges);
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<std::size_t> offsets_;  // size n+1
+  std::vector<NodeId> adjacency_;     // size 2m, sorted per node
+  std::uint32_t max_degree_ = 0;
+};
+
+/// Incremental edge-list accumulator producing an immutable `Graph`.
+///
+/// Usage:
+/// ```
+/// GraphBuilder b(5);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 2);
+/// Graph g = std::move(b).build();
+/// ```
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(NodeId n) : num_nodes_(n) {}
+
+  /// Number of nodes the final graph will have.
+  [[nodiscard]] NodeId num_nodes() const noexcept { return num_nodes_; }
+
+  /// Records the undirected edge `{u, v}`.  Duplicates are tolerated and
+  /// collapsed at build time.  Throws `std::invalid_argument` for self-loops
+  /// or out-of-range endpoints.
+  void add_edge(NodeId u, NodeId v);
+
+  /// Number of edge records so far (before deduplication).
+  [[nodiscard]] std::size_t pending_edges() const noexcept { return edges_.size(); }
+
+  /// Finalizes into a CSR `Graph`. The builder is consumed.
+  [[nodiscard]] Graph build() &&;
+
+ private:
+  NodeId num_nodes_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace fhg::graph

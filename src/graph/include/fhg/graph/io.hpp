@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file io.hpp
+/// Plain-text graph serialization: whitespace edge lists and DIMACS.
+///
+/// Formats:
+///  * **Edge list** — first line `n m`, then `m` lines `u v` (0-based).
+///    Lines starting with `#` are comments.
+///  * **DIMACS** — `c` comment lines, one `p edge <n> <m>` line, then
+///    `e <u> <v>` lines with 1-based endpoints (the classic coloring format).
+
+#include <iosfwd>
+#include <string>
+
+#include "fhg/graph/graph.hpp"
+
+namespace fhg::graph {
+
+/// Parses the edge-list format. Throws `std::runtime_error` on malformed
+/// input (bad counts, out-of-range endpoints, trailing garbage).
+[[nodiscard]] Graph read_edge_list(std::istream& in);
+
+/// Writes the edge-list format.
+void write_edge_list(std::ostream& out, const Graph& g);
+
+/// Parses DIMACS `p edge` format (1-based `e u v` lines).
+[[nodiscard]] Graph read_dimacs(std::istream& in);
+
+/// Writes DIMACS format with a generator comment.
+void write_dimacs(std::ostream& out, const Graph& g, const std::string& comment = {});
+
+/// Convenience: load either format from a file, dispatching on extension
+/// (`.col` => DIMACS, otherwise edge list).
+[[nodiscard]] Graph load_graph_file(const std::string& path);
+
+}  // namespace fhg::graph

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file properties.hpp
+/// Structural graph queries used by schedulers, tests and experiment tables:
+/// degree statistics, bipartiteness (the §1 two-group society), connected
+/// components, degeneracy (smallest-last) ordering, and triangle counting
+/// (triangle-free graphs admit the Pettie–Su coloring mentioned in §5).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fhg/graph/graph.hpp"
+
+namespace fhg::graph {
+
+/// Summary of the degree distribution.
+struct DegreeStats {
+  std::uint32_t min = 0;
+  std::uint32_t max = 0;
+  double mean = 0.0;
+  /// histogram[d] = number of nodes of degree d; size max+1.
+  std::vector<std::size_t> histogram;
+};
+
+/// Computes degree statistics in one sweep.
+[[nodiscard]] DegreeStats degree_stats(const Graph& g);
+
+/// If `g` is bipartite, returns a side assignment (0/1 per node, BFS
+/// 2-coloring); otherwise `std::nullopt`.
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> bipartition(const Graph& g);
+
+/// Connected components: returns (component id per node, component count).
+struct Components {
+  std::vector<NodeId> id;
+  NodeId count = 0;
+};
+[[nodiscard]] Components connected_components(const Graph& g);
+
+/// Smallest-last (degeneracy) ordering via the Matula–Beck bucket algorithm,
+/// `O(n + m)`.  `order[i]` is the i-th node removed; greedy coloring along the
+/// *reverse* of this order uses at most degeneracy+1 colors.
+struct DegeneracyResult {
+  std::vector<NodeId> order;
+  std::uint32_t degeneracy = 0;
+};
+[[nodiscard]] DegeneracyResult degeneracy_order(const Graph& g);
+
+/// Exact triangle count (sum over edges of sorted-adjacency intersections).
+[[nodiscard]] std::size_t triangle_count(const Graph& g);
+
+/// True iff `nodes` is an independent set of `g` (no two adjacent).
+/// `nodes` need not be sorted.
+[[nodiscard]] bool is_independent_set(const Graph& g, std::span<const NodeId> nodes);
+
+}  // namespace fhg::graph

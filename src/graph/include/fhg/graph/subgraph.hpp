@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file subgraph.hpp
+/// Derived graphs: induced subgraphs (the coalition game of Appendix A.2
+/// evaluates `v(S) = MIS(G[S])`) and complements (independent sets of `G`
+/// are cliques of `Ḡ` — the hardness bridge in Appendix A.1's references).
+
+#include <vector>
+
+#include "fhg/graph/graph.hpp"
+
+namespace fhg::graph {
+
+/// The subgraph induced by `nodes` (duplicates ignored), with vertices
+/// re-indexed `0..k-1` in the sorted order of `nodes`.
+struct InducedSubgraph {
+  Graph graph;
+  /// `original[i]` = the input-graph id of induced vertex `i`.
+  std::vector<NodeId> original;
+};
+
+[[nodiscard]] InducedSubgraph induced_subgraph(const Graph& g, std::span<const NodeId> nodes);
+
+/// The complement graph `Ḡ`: same vertices, `{u,v} ∈ Ḡ` iff `{u,v} ∉ G`.
+/// Quadratic in `n` by nature; intended for the small instances where the
+/// MIS/clique duality is exercised.
+[[nodiscard]] Graph complement(const Graph& g);
+
+}  // namespace fhg::graph

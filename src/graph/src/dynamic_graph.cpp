@@ -1,0 +1,87 @@
+#include "fhg/graph/dynamic_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace fhg::graph {
+
+DynamicGraph::DynamicGraph(const Graph& g) : adjacency_(g.num_nodes()) {
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    adjacency_[v].assign(nbrs.begin(), nbrs.end());
+  }
+  num_edges_ = g.num_edges();
+}
+
+bool DynamicGraph::has_edge(NodeId u, NodeId v) const noexcept {
+  if (u >= num_nodes() || v >= num_nodes()) {
+    return false;
+  }
+  const auto& row = adjacency_[u];
+  return std::binary_search(row.begin(), row.end(), v);
+}
+
+bool DynamicGraph::insert_edge(NodeId u, NodeId v) {
+  if (u >= num_nodes() || v >= num_nodes()) {
+    throw std::invalid_argument("DynamicGraph::insert_edge: endpoint out of range");
+  }
+  if (u == v) {
+    throw std::invalid_argument("DynamicGraph::insert_edge: self-loop rejected at node " +
+                                std::to_string(u));
+  }
+  auto& row_u = adjacency_[u];
+  const auto it = std::lower_bound(row_u.begin(), row_u.end(), v);
+  if (it != row_u.end() && *it == v) {
+    return false;
+  }
+  row_u.insert(it, v);
+  auto& row_v = adjacency_[v];
+  row_v.insert(std::lower_bound(row_v.begin(), row_v.end(), u), u);
+  ++num_edges_;
+  return true;
+}
+
+bool DynamicGraph::erase_edge(NodeId u, NodeId v) noexcept {
+  if (u >= num_nodes() || v >= num_nodes() || u == v) {
+    return false;
+  }
+  auto& row_u = adjacency_[u];
+  const auto it = std::lower_bound(row_u.begin(), row_u.end(), v);
+  if (it == row_u.end() || *it != v) {
+    return false;
+  }
+  row_u.erase(it);
+  auto& row_v = adjacency_[v];
+  row_v.erase(std::lower_bound(row_v.begin(), row_v.end(), u));
+  --num_edges_;
+  return true;
+}
+
+NodeId DynamicGraph::add_node() {
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(adjacency_.size() - 1);
+}
+
+std::uint32_t DynamicGraph::max_degree() const noexcept {
+  std::uint32_t best = 0;
+  for (const auto& row : adjacency_) {
+    best = std::max(best, static_cast<std::uint32_t>(row.size()));
+  }
+  return best;
+}
+
+Graph DynamicGraph::snapshot() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges_);
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (const NodeId v : adjacency_[u]) {
+      if (u < v) {
+        edges.push_back(Edge{u, v});
+      }
+    }
+  }
+  return Graph::from_edges(num_nodes(), edges);
+}
+
+}  // namespace fhg::graph

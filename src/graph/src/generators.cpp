@@ -1,0 +1,366 @@
+#include "fhg/graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "fhg/parallel/rng.hpp"
+
+namespace fhg::graph {
+
+using fhg::parallel::Rng;
+
+namespace {
+
+/// Maps a flat pair index k in [0, n(n-1)/2) to the k-th pair (u, v), u < v,
+/// in lexicographic order.
+Edge pair_from_index(NodeId n, std::uint64_t k) {
+  // Row u starts at offset u*n - u*(u+3)/2 ... solve incrementally: for the
+  // sizes used here a linear row walk would be O(n); use the closed form.
+  // Number of pairs with first < u is f(u) = u*n - u*(u+1)/2.
+  // Find largest u with f(u) <= k via the quadratic formula, then adjust.
+  const double nd = static_cast<double>(n);
+  double ud = std::floor(nd - 0.5 - std::sqrt((nd - 0.5) * (nd - 0.5) - 2.0 * static_cast<double>(k)));
+  auto u = static_cast<std::uint64_t>(std::max(0.0, ud));
+  auto f = [n](std::uint64_t x) { return x * n - x * (x + 1) / 2; };
+  while (u + 1 < n && f(u + 1) <= k) {
+    ++u;
+  }
+  while (u > 0 && f(u) > k) {
+    --u;
+  }
+  const std::uint64_t v = u + 1 + (k - f(u));
+  return Edge{static_cast<NodeId>(u), static_cast<NodeId>(v)};
+}
+
+std::uint64_t pair_count(NodeId n) {
+  return static_cast<std::uint64_t>(n) * (static_cast<std::uint64_t>(n) - 1) / 2;
+}
+
+}  // namespace
+
+Graph gnp(NodeId n, double p, std::uint64_t seed) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("gnp: p must be in [0,1]");
+  }
+  std::vector<Edge> edges;
+  if (n >= 2 && p > 0.0) {
+    Rng rng(seed, /*stream=*/0x676E70);
+    if (p >= 1.0) {
+      for (NodeId u = 0; u < n; ++u) {
+        for (NodeId v = u + 1; v < n; ++v) {
+          edges.push_back(Edge{u, v});
+        }
+      }
+    } else {
+      // Geometric skipping over the flat pair index space.
+      const std::uint64_t total = pair_count(n);
+      const double log1mp = std::log1p(-p);
+      std::uint64_t k = 0;
+      while (true) {
+        const double r = std::max(rng.uniform_real(), 1e-18);
+        const double skip = std::floor(std::log(r) / log1mp);
+        if (skip >= static_cast<double>(total - k)) {
+          break;
+        }
+        k += static_cast<std::uint64_t>(skip);
+        if (k >= total) {
+          break;
+        }
+        edges.push_back(pair_from_index(n, k));
+        ++k;
+        if (k >= total) {
+          break;
+        }
+      }
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph gnm(NodeId n, std::size_t m, std::uint64_t seed) {
+  const std::uint64_t total = pair_count(n);
+  if (m > total) {
+    throw std::invalid_argument("gnm: m exceeds the number of node pairs");
+  }
+  Rng rng(seed, /*stream=*/0x676E6D);
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(m * 2);
+  while (chosen.size() < m) {
+    chosen.insert(rng.uniform_below(total));
+  }
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (const std::uint64_t k : chosen) {
+    edges.push_back(pair_from_index(n, k));
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph clique(NodeId n) {
+  std::vector<Edge> edges;
+  edges.reserve(pair_count(n));
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      edges.push_back(Edge{u, v});
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph cycle(NodeId n) {
+  if (n < 3) {
+    throw std::invalid_argument("cycle: need n >= 3");
+  }
+  std::vector<Edge> edges;
+  edges.reserve(n);
+  for (NodeId v = 0; v + 1 < n; ++v) {
+    edges.push_back(Edge{v, static_cast<NodeId>(v + 1)});
+  }
+  edges.push_back(Edge{0, static_cast<NodeId>(n - 1)});
+  return Graph::from_edges(n, edges);
+}
+
+Graph path(NodeId n) {
+  std::vector<Edge> edges;
+  if (n > 1) {
+    edges.reserve(n - 1);
+    for (NodeId v = 0; v + 1 < n; ++v) {
+      edges.push_back(Edge{v, static_cast<NodeId>(v + 1)});
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph star(NodeId n) {
+  std::vector<Edge> edges;
+  if (n > 1) {
+    edges.reserve(n - 1);
+    for (NodeId v = 1; v < n; ++v) {
+      edges.push_back(Edge{0, v});
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph complete_bipartite(NodeId a, NodeId b) {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(a) * b);
+  for (NodeId u = 0; u < a; ++u) {
+    for (NodeId v = 0; v < b; ++v) {
+      edges.push_back(Edge{u, static_cast<NodeId>(a + v)});
+    }
+  }
+  return Graph::from_edges(a + b, edges);
+}
+
+Graph random_bipartite(NodeId a, NodeId b, double p, std::uint64_t seed) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("random_bipartite: p must be in [0,1]");
+  }
+  Rng rng(seed, /*stream=*/0x626970);
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < a; ++u) {
+    for (NodeId v = 0; v < b; ++v) {
+      if (rng.bernoulli(p)) {
+        edges.push_back(Edge{u, static_cast<NodeId>(a + v)});
+      }
+    }
+  }
+  return Graph::from_edges(a + b, edges);
+}
+
+Graph complete_kpartite(NodeId k, NodeId group) {
+  const NodeId n = k * group;
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (u / group != v / group) {
+        edges.push_back(Edge{u, v});
+      }
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph random_tree(NodeId n, std::uint64_t seed) {
+  if (n == 0) {
+    return Graph(0);
+  }
+  if (n == 1) {
+    return Graph(1);
+  }
+  if (n == 2) {
+    const Edge only{0, 1};
+    return Graph::from_edges(2, std::span<const Edge>(&only, 1));
+  }
+  // Decode a uniformly random Prüfer sequence of length n-2.
+  Rng rng(seed, /*stream=*/0x747265);
+  std::vector<NodeId> pruefer(n - 2);
+  for (auto& x : pruefer) {
+    x = static_cast<NodeId>(rng.uniform_below(n));
+  }
+  std::vector<std::uint32_t> degree(n, 1);
+  for (const NodeId x : pruefer) {
+    ++degree[x];
+  }
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  // Standard O(n log n)-free decoding with a moving leaf pointer.
+  NodeId ptr = 0;
+  while (degree[ptr] != 1) {
+    ++ptr;
+  }
+  NodeId leaf = ptr;
+  for (const NodeId x : pruefer) {
+    edges.push_back(Edge{std::min(leaf, x), std::max(leaf, x)});
+    if (--degree[x] == 1 && x < ptr) {
+      leaf = x;
+    } else {
+      ++ptr;
+      while (degree[ptr] != 1) {
+        ++ptr;
+      }
+      leaf = ptr;
+    }
+  }
+  edges.push_back(Edge{leaf, static_cast<NodeId>(n - 1)});
+  return Graph::from_edges(n, edges);
+}
+
+Graph caterpillar(NodeId spine, NodeId legs) {
+  if (spine == 0) {
+    return Graph(0);
+  }
+  const NodeId n = spine * (legs + 1);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(spine) - 1 + static_cast<std::size_t>(spine) * legs);
+  for (NodeId s = 0; s + 1 < spine; ++s) {
+    edges.push_back(Edge{s, static_cast<NodeId>(s + 1)});
+  }
+  for (NodeId s = 0; s < spine; ++s) {
+    for (NodeId l = 0; l < legs; ++l) {
+      edges.push_back(Edge{s, static_cast<NodeId>(spine + s * legs + l)});
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph grid2d(NodeId rows, NodeId cols) {
+  const NodeId n = rows * cols;
+  std::vector<Edge> edges;
+  auto id = [cols](NodeId r, NodeId c) { return static_cast<NodeId>(r * cols + c); };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        edges.push_back(Edge{id(r, c), id(r, c + 1)});
+      }
+      if (r + 1 < rows) {
+        edges.push_back(Edge{id(r, c), id(r + 1, c)});
+      }
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph random_regular(NodeId n, std::uint32_t d, std::uint64_t seed) {
+  if (d >= n) {
+    throw std::invalid_argument("random_regular: need d < n");
+  }
+  if ((static_cast<std::uint64_t>(n) * d) % 2 != 0) {
+    throw std::invalid_argument("random_regular: n*d must be even");
+  }
+  if (d == 0) {
+    return Graph(n);
+  }
+  Rng rng(seed, /*stream=*/0x726567);
+  // Pairing model: repeat until the random perfect matching of stubs yields a
+  // simple graph.  Success probability ~ exp(-(d^2-1)/4), fine for small d.
+  for (std::uint32_t attempt = 0; attempt < 10'000; ++attempt) {
+    std::vector<NodeId> stubs;
+    stubs.reserve(static_cast<std::size_t>(n) * d);
+    for (NodeId v = 0; v < n; ++v) {
+      for (std::uint32_t i = 0; i < d; ++i) {
+        stubs.push_back(v);
+      }
+    }
+    rng.shuffle(stubs);
+    std::vector<Edge> edges;
+    edges.reserve(stubs.size() / 2);
+    bool simple = true;
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(stubs.size());
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      const NodeId u = stubs[i];
+      const NodeId v = stubs[i + 1];
+      if (u == v) {
+        simple = false;
+        break;
+      }
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(std::min(u, v)) << 32) | std::max(u, v);
+      if (!seen.insert(key).second) {
+        simple = false;
+        break;
+      }
+      edges.push_back(Edge{u, v});
+    }
+    if (simple) {
+      return Graph::from_edges(n, edges);
+    }
+  }
+  throw std::runtime_error("random_regular: pairing model failed to converge");
+}
+
+Graph barabasi_albert(NodeId n, std::uint32_t m, std::uint64_t seed) {
+  if (m == 0) {
+    throw std::invalid_argument("barabasi_albert: m must be positive");
+  }
+  const NodeId m0 = m + 1;
+  if (n < m0) {
+    throw std::invalid_argument("barabasi_albert: need n >= m+1");
+  }
+  Rng rng(seed, /*stream=*/0x626173);
+  std::vector<Edge> edges;
+  // Repeated-endpoint list: choosing a uniform element of `targets` samples
+  // proportionally to degree.
+  std::vector<NodeId> targets;
+  for (NodeId u = 0; u < m0; ++u) {
+    for (NodeId v = u + 1; v < m0; ++v) {
+      edges.push_back(Edge{u, v});
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  std::unordered_set<NodeId> picked;
+  for (NodeId v = m0; v < n; ++v) {
+    picked.clear();
+    while (picked.size() < m) {
+      picked.insert(targets[rng.uniform_below(targets.size())]);
+    }
+    for (const NodeId u : picked) {
+      edges.push_back(Edge{std::min(u, v), std::max(u, v)});
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph disjoint_union(const Graph& g, NodeId parts) {
+  const NodeId block = g.num_nodes();
+  std::vector<Edge> edges;
+  edges.reserve(g.num_edges() * parts);
+  const std::vector<Edge> base = g.edges();
+  for (NodeId k = 0; k < parts; ++k) {
+    const NodeId offset = k * block;
+    for (const Edge& e : base) {
+      edges.push_back(Edge{static_cast<NodeId>(e.first + offset),
+                           static_cast<NodeId>(e.second + offset)});
+    }
+  }
+  return Graph::from_edges(block * parts, edges);
+}
+
+}  // namespace fhg::graph

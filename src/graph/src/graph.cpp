@@ -1,0 +1,93 @@
+#include "fhg/graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace fhg::graph {
+
+namespace {
+
+void check_endpoints(NodeId n, NodeId u, NodeId v) {
+  if (u >= n || v >= n) {
+    throw std::invalid_argument("graph edge endpoint out of range: {" + std::to_string(u) + "," +
+                                std::to_string(v) + "} with n=" + std::to_string(n));
+  }
+  if (u == v) {
+    throw std::invalid_argument("self-loop rejected at node " + std::to_string(u) +
+                                " (a child cannot marry a sibling in the conflict model)");
+  }
+}
+
+}  // namespace
+
+Graph::Graph(NodeId n) : offsets_(static_cast<std::size_t>(n) + 1, 0) {}
+
+bool Graph::has_edge(NodeId u, NodeId v) const noexcept {
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> result;
+  result.reserve(num_edges());
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (const NodeId v : neighbors(u)) {
+      if (u < v) {
+        result.push_back(Edge{u, v});
+      }
+    }
+  }
+  return result;
+}
+
+Graph Graph::from_edges(NodeId n, std::span<const Edge> edges) {
+  // Normalize, validate, deduplicate.
+  std::vector<Edge> normalized;
+  normalized.reserve(edges.size());
+  for (const Edge& e : edges) {
+    check_endpoints(n, e.first, e.second);
+    normalized.push_back(e.first < e.second ? e : Edge{e.second, e.first});
+  }
+  std::sort(normalized.begin(), normalized.end());
+  normalized.erase(std::unique(normalized.begin(), normalized.end()), normalized.end());
+
+  Graph g(n);
+  // Degree counting pass.
+  std::vector<std::size_t> degree(n, 0);
+  for (const Edge& e : normalized) {
+    ++degree[e.first];
+    ++degree[e.second];
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    g.offsets_[v + 1] = g.offsets_[v] + degree[v];
+  }
+  g.adjacency_.resize(normalized.size() * 2);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : normalized) {
+    g.adjacency_[cursor[e.first]++] = e.second;
+    g.adjacency_[cursor[e.second]++] = e.first;
+  }
+  // Sorted edge input plus two-sided fill yields sorted rows for the `first`
+  // side but not necessarily the `second`; sort each row to restore the
+  // invariant (rows are short; this is build-time only).
+  for (NodeId v = 0; v < n; ++v) {
+    std::sort(g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]),
+              g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]));
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    g.max_degree_ = std::max(g.max_degree_, g.degree(v));
+  }
+  return g;
+}
+
+void GraphBuilder::add_edge(NodeId u, NodeId v) {
+  check_endpoints(num_nodes_, u, v);
+  edges_.push_back(u < v ? Edge{u, v} : Edge{v, u});
+}
+
+Graph GraphBuilder::build() && {
+  return Graph::from_edges(num_nodes_, edges_);
+}
+
+}  // namespace fhg::graph

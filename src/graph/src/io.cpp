@@ -1,0 +1,127 @@
+#include "fhg/graph/io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fhg::graph {
+
+namespace {
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw std::runtime_error("graph IO: " + what);
+}
+
+}  // namespace
+
+Graph read_edge_list(std::istream& in) {
+  std::string line;
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  bool have_header = false;
+  std::vector<Edge> edges;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream fields(line);
+    if (!have_header) {
+      if (!(fields >> n >> m)) {
+        malformed("expected header line 'n m'");
+      }
+      have_header = true;
+      edges.reserve(m);
+      continue;
+    }
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    if (!(fields >> u >> v)) {
+      malformed("expected edge line 'u v', got: " + line);
+    }
+    if (u >= n || v >= n) {
+      malformed("edge endpoint out of range in line: " + line);
+    }
+    edges.push_back(Edge{static_cast<NodeId>(u), static_cast<NodeId>(v)});
+  }
+  if (!have_header) {
+    malformed("empty input");
+  }
+  if (edges.size() != m) {
+    malformed("header declared " + std::to_string(m) + " edges but found " +
+              std::to_string(edges.size()));
+  }
+  return Graph::from_edges(static_cast<NodeId>(n), edges);
+}
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  out << g.num_nodes() << ' ' << g.num_edges() << '\n';
+  for (const Edge& e : g.edges()) {
+    out << e.first << ' ' << e.second << '\n';
+  }
+}
+
+Graph read_dimacs(std::istream& in) {
+  std::string line;
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  bool have_problem = false;
+  std::vector<Edge> edges;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == 'c') {
+      continue;
+    }
+    std::istringstream fields(line);
+    char tag = 0;
+    fields >> tag;
+    if (tag == 'p') {
+      std::string kind;
+      if (!(fields >> kind >> n >> m) || kind != "edge") {
+        malformed("bad DIMACS problem line: " + line);
+      }
+      have_problem = true;
+      edges.reserve(m);
+    } else if (tag == 'e') {
+      if (!have_problem) {
+        malformed("edge line before problem line");
+      }
+      std::uint64_t u = 0;
+      std::uint64_t v = 0;
+      if (!(fields >> u >> v) || u == 0 || v == 0 || u > n || v > n) {
+        malformed("bad DIMACS edge line: " + line);
+      }
+      edges.push_back(Edge{static_cast<NodeId>(u - 1), static_cast<NodeId>(v - 1)});
+    } else {
+      malformed("unknown DIMACS line tag in: " + line);
+    }
+  }
+  if (!have_problem) {
+    malformed("missing DIMACS problem line");
+  }
+  return Graph::from_edges(static_cast<NodeId>(n), edges);
+}
+
+void write_dimacs(std::ostream& out, const Graph& g, const std::string& comment) {
+  if (!comment.empty()) {
+    out << "c " << comment << '\n';
+  }
+  out << "p edge " << g.num_nodes() << ' ' << g.num_edges() << '\n';
+  for (const Edge& e : g.edges()) {
+    out << "e " << (e.first + 1) << ' ' << (e.second + 1) << '\n';
+  }
+}
+
+Graph load_graph_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    malformed("cannot open file: " + path);
+  }
+  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".col") == 0) {
+    return read_dimacs(in);
+  }
+  return read_edge_list(in);
+}
+
+}  // namespace fhg::graph

@@ -1,0 +1,175 @@
+#include "fhg/graph/properties.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace fhg::graph {
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats stats;
+  const NodeId n = g.num_nodes();
+  if (n == 0) {
+    return stats;
+  }
+  stats.min = g.degree(0);
+  double total = 0.0;
+  for (NodeId v = 0; v < n; ++v) {
+    const std::uint32_t d = g.degree(v);
+    stats.min = std::min(stats.min, d);
+    stats.max = std::max(stats.max, d);
+    total += d;
+  }
+  stats.mean = total / n;
+  stats.histogram.assign(stats.max + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    ++stats.histogram[g.degree(v)];
+  }
+  return stats;
+}
+
+std::optional<std::vector<std::uint8_t>> bipartition(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  constexpr std::uint8_t kUnset = 2;
+  std::vector<std::uint8_t> side(n, kUnset);
+  std::queue<NodeId> frontier;
+  for (NodeId root = 0; root < n; ++root) {
+    if (side[root] != kUnset) {
+      continue;
+    }
+    side[root] = 0;
+    frontier.push(root);
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      for (const NodeId v : g.neighbors(u)) {
+        if (side[v] == kUnset) {
+          side[v] = static_cast<std::uint8_t>(1 - side[u]);
+          frontier.push(v);
+        } else if (side[v] == side[u]) {
+          return std::nullopt;  // odd cycle
+        }
+      }
+    }
+  }
+  return side;
+}
+
+Components connected_components(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  Components result;
+  result.id.assign(n, n);  // n = "unvisited" sentinel
+  std::queue<NodeId> frontier;
+  for (NodeId root = 0; root < n; ++root) {
+    if (result.id[root] != n) {
+      continue;
+    }
+    const NodeId comp = result.count++;
+    result.id[root] = comp;
+    frontier.push(root);
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      for (const NodeId v : g.neighbors(u)) {
+        if (result.id[v] == n) {
+          result.id[v] = comp;
+          frontier.push(v);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+DegeneracyResult degeneracy_order(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  DegeneracyResult result;
+  result.order.reserve(n);
+  if (n == 0) {
+    return result;
+  }
+  // Matula–Beck bucket queue.
+  std::vector<std::uint32_t> degree(n);
+  std::uint32_t max_deg = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    degree[v] = g.degree(v);
+    max_deg = std::max(max_deg, degree[v]);
+  }
+  std::vector<std::vector<NodeId>> buckets(max_deg + 1);
+  for (NodeId v = 0; v < n; ++v) {
+    buckets[degree[v]].push_back(v);
+  }
+  std::vector<bool> removed(n, false);
+  std::uint32_t cursor = 0;
+  for (NodeId step = 0; step < n; ++step) {
+    while (cursor <= max_deg && buckets[cursor].empty()) {
+      ++cursor;
+    }
+    // Buckets can gain lower-degree entries after removals; rewind.
+    while (cursor > 0 && !buckets[cursor - 1].empty()) {
+      --cursor;
+    }
+    const NodeId u = buckets[cursor].back();
+    buckets[cursor].pop_back();
+    if (removed[u] || degree[u] != cursor) {
+      // Stale entry (node was removed or moved to a lower bucket since this
+      // entry was pushed); retry this step.
+      --step;
+      continue;
+    }
+    removed[u] = true;
+    result.order.push_back(u);
+    result.degeneracy = std::max(result.degeneracy, degree[u]);
+    for (const NodeId w : g.neighbors(u)) {
+      if (!removed[w] && degree[w] > 0) {
+        --degree[w];
+        buckets[degree[w]].push_back(w);  // old entry left stale
+      }
+    }
+  }
+  return result;
+}
+
+std::size_t triangle_count(const Graph& g) {
+  std::size_t triangles = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto nu = g.neighbors(u);
+    for (const NodeId v : nu) {
+      if (v <= u) {
+        continue;
+      }
+      const auto nv = g.neighbors(v);
+      // Count common neighbors w with w > v to count each triangle once.
+      auto iu = std::lower_bound(nu.begin(), nu.end(), v + 1);
+      auto iv = std::lower_bound(nv.begin(), nv.end(), v + 1);
+      while (iu != nu.end() && iv != nv.end()) {
+        if (*iu < *iv) {
+          ++iu;
+        } else if (*iv < *iu) {
+          ++iv;
+        } else {
+          ++triangles;
+          ++iu;
+          ++iv;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+bool is_independent_set(const Graph& g, std::span<const NodeId> nodes) {
+  std::vector<bool> in_set(g.num_nodes(), false);
+  for (const NodeId v : nodes) {
+    in_set[v] = true;
+  }
+  for (const NodeId v : nodes) {
+    for (const NodeId w : g.neighbors(v)) {
+      if (in_set[w]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace fhg::graph

@@ -1,0 +1,56 @@
+#include "fhg/graph/subgraph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fhg::graph {
+
+InducedSubgraph induced_subgraph(const Graph& g, std::span<const NodeId> nodes) {
+  InducedSubgraph result;
+  result.original.assign(nodes.begin(), nodes.end());
+  std::sort(result.original.begin(), result.original.end());
+  result.original.erase(std::unique(result.original.begin(), result.original.end()),
+                        result.original.end());
+  for (const NodeId v : result.original) {
+    if (v >= g.num_nodes()) {
+      throw std::invalid_argument("induced_subgraph: node out of range");
+    }
+  }
+  // Old id -> new id map (dense vector; subgraphs here are small relative
+  // to the host graph rarely enough that O(n) space is fine).
+  std::vector<NodeId> remap(g.num_nodes(), g.num_nodes());
+  for (NodeId i = 0; i < result.original.size(); ++i) {
+    remap[result.original[i]] = i;
+  }
+  std::vector<Edge> edges;
+  for (const NodeId u : result.original) {
+    for (const NodeId w : g.neighbors(u)) {
+      if (u < w && remap[w] != g.num_nodes()) {
+        edges.push_back(Edge{remap[u], remap[w]});
+      }
+    }
+  }
+  result.graph = Graph::from_edges(static_cast<NodeId>(result.original.size()), edges);
+  return result;
+}
+
+Graph complement(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    const auto nbrs = g.neighbors(u);
+    std::size_t cursor = 0;
+    for (NodeId v = u + 1; v < n; ++v) {
+      while (cursor < nbrs.size() && nbrs[cursor] < v) {
+        ++cursor;
+      }
+      if (cursor < nbrs.size() && nbrs[cursor] == v) {
+        continue;  // edge in G: absent from the complement
+      }
+      edges.push_back(Edge{u, v});
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+}  // namespace fhg::graph

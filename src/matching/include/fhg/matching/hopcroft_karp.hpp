@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file hopcroft_karp.hpp
+/// Maximum bipartite matching in `O(E·√V)` (Hopcroft & Karp, SICOMP 1973) —
+/// the paper's reference algorithm for maximum satisfaction (Theorem A.2).
+///
+/// The bipartite instance is given explicitly: `left_count` left vertices
+/// with adjacency lists into `[0, right_count)`.
+
+#include <cstdint>
+#include <vector>
+
+namespace fhg::matching {
+
+/// A bipartite graph for matching: `adj[l]` lists right-side neighbors of
+/// left vertex `l`.
+struct BipartiteGraph {
+  std::size_t left_count = 0;
+  std::size_t right_count = 0;
+  std::vector<std::vector<std::uint32_t>> adj;
+};
+
+/// Result of a maximum-matching computation.
+struct MatchingResult {
+  std::size_t size = 0;
+  /// match_left[l] = matched right vertex or `kUnmatched`.
+  std::vector<std::uint32_t> match_left;
+  /// match_right[r] = matched left vertex or `kUnmatched`.
+  std::vector<std::uint32_t> match_right;
+
+  static constexpr std::uint32_t kUnmatched = 0xFFFFFFFFu;
+};
+
+/// Computes a maximum matching of `g`.
+[[nodiscard]] MatchingResult hopcroft_karp(const BipartiteGraph& g);
+
+/// Verifies that `m` is a valid matching of `g` (mutually consistent,
+/// edges exist).  Used by tests; does not check maximality.
+[[nodiscard]] bool is_valid_matching(const BipartiteGraph& g, const MatchingResult& m);
+
+}  // namespace fhg::matching

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file satisfaction.hpp
+/// Maximum satisfaction (Appendix A.3): orient the conflict edges so that as
+/// many parents as possible receive at least one couple.
+///
+/// Two algorithms, cross-checked in tests and E10:
+///  * `max_satisfaction_matching` — the reduction of Theorem A.2: bipartite
+///    matching between parents and children-couples (each couple = conflict
+///    edge, adjacent to its two endpoint parents), solved by Hopcroft–Karp
+///    in `O(√n · m)`.
+///  * `max_satisfaction_linear` — the paper's linear-time specialization
+///    exploiting that every child has exactly two candidate hosts.  Per
+///    connected component with `n_c` parents and `m_c` couples the optimum
+///    is `min(n_c, m_c)`: trees satisfy all but one parent (orient every
+///    edge away from the root), components with a cycle satisfy everyone
+///    (orient a cycle cyclically, then each remaining BFS edge toward the
+///    newly reached parent).
+///
+/// The §A.3 fairness note — "each child simply alternates and goes one year
+/// to its parent and one year to its in-law" — is `alternation_satisfied_set`:
+/// every parent with at least one child is satisfied at least every 2
+/// holidays, a perfectly periodic satisfaction schedule with period 2.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fhg/graph/graph.hpp"
+
+namespace fhg::matching {
+
+/// An edge orientation plus the satisfaction it achieves.
+struct SatisfactionResult {
+  /// Host of each edge, aligned with `Graph::edges()` canonical order:
+  /// the couple on edge k visits `host_of_edge[k]`.
+  std::vector<graph::NodeId> host_of_edge;
+  /// satisfied[v] = true iff some incident edge is hosted by v.
+  std::vector<bool> satisfied;
+  /// Number of satisfied parents.
+  std::size_t value = 0;
+};
+
+/// Theorem A.2 reduction via Hopcroft–Karp.
+[[nodiscard]] SatisfactionResult max_satisfaction_matching(const graph::Graph& g);
+
+/// The paper's linear-time algorithm.
+[[nodiscard]] SatisfactionResult max_satisfaction_linear(const graph::Graph& g);
+
+/// The theoretical optimum `Σ_components min(n_c, m_c)` — used as an oracle
+/// by tests.
+[[nodiscard]] std::size_t max_satisfaction_value(const graph::Graph& g);
+
+/// Parents satisfied at holiday `t` under the alternation schedule: edge
+/// `{u,v}` with `u < v` hosts at `u` on odd holidays and at `v` on even
+/// ones.  Guarantees every non-isolated parent a satisfaction gap ≤ 2.
+[[nodiscard]] std::vector<graph::NodeId> alternation_satisfied_set(const graph::Graph& g,
+                                                                   std::uint64_t t);
+
+}  // namespace fhg::matching

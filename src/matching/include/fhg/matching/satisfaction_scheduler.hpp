@@ -1,0 +1,132 @@
+#pragma once
+
+/// \file satisfaction_scheduler.hpp
+/// Periodic *satisfaction* scheduling (Appendix A.3 made operational).
+///
+/// Happiness (all children home) is the paper's hard objective; satisfaction
+/// (≥ 1 child home) is its easy sibling — maximizable in linear time, but
+/// "not socially acceptable" as a one-shot: the same parents win every year.
+/// The appendix's fix is alternation: each couple alternates between its two
+/// families, so every parent with a married child is satisfied at least
+/// every 2 holidays.
+///
+/// Three schedulers, all perfectly periodic with period ≤ 2:
+///  * `StaticOptimumScheduler` — repeats the one-shot optimum orientation:
+///    max satisfied *every* holiday, but the unlucky `n_c - min(n_c, m_c)`
+///    parents starve forever (the appendix's complaint, kept as a baseline);
+///  * `AlternationScheduler` — every edge flips each holiday: everyone with
+///    degree ≥ 1 is satisfied at least every 2 holidays;
+///  * `MaxFlipScheduler` — odd holidays host the optimum orientation, even
+///    holidays its reversal: the one-shot *maximum* is achieved on every odd
+///    holiday AND every non-isolated parent is satisfied within 2 (an edge
+///    pointing away from you flips toward you next holiday).  Dominates
+///    plain alternation on throughput at equal worst-case gap.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fhg/graph/graph.hpp"
+#include "fhg/matching/satisfaction.hpp"
+
+namespace fhg::matching {
+
+/// Producer of satisfied-parent sets, one holiday at a time (1-based).
+/// Unlike `fhg::core::Scheduler`, the returned sets are *not* independent
+/// sets — satisfaction has no conflict constraint.
+class SatisfactionScheduler {
+ public:
+  virtual ~SatisfactionScheduler();
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual const graph::Graph& graph() const noexcept = 0;
+
+  /// Sorted set of parents with at least one couple visiting.
+  [[nodiscard]] virtual std::vector<graph::NodeId> next_holiday() = 0;
+
+  [[nodiscard]] virtual std::uint64_t current_holiday() const noexcept = 0;
+  virtual void reset() = 0;
+
+  /// Worst-case satisfaction gap for `v`, if guaranteed (nullopt = none).
+  [[nodiscard]] virtual std::optional<std::uint64_t> gap_bound(graph::NodeId v) const = 0;
+};
+
+/// Repeats the Appendix A.3 one-shot optimum forever.
+class StaticOptimumScheduler final : public SatisfactionScheduler {
+ public:
+  explicit StaticOptimumScheduler(const graph::Graph& g);
+
+  [[nodiscard]] std::string name() const override { return "static-optimum"; }
+  [[nodiscard]] const graph::Graph& graph() const noexcept override { return *graph_; }
+  [[nodiscard]] std::vector<graph::NodeId> next_holiday() override;
+  [[nodiscard]] std::uint64_t current_holiday() const noexcept override { return holiday_; }
+  void reset() override { holiday_ = 0; }
+  /// Gap 1 for the winners, none for the starved.
+  [[nodiscard]] std::optional<std::uint64_t> gap_bound(graph::NodeId v) const override;
+
+  /// The per-holiday satisfaction value (= the one-shot optimum).
+  [[nodiscard]] std::size_t optimum() const noexcept { return optimum_.value; }
+
+ private:
+  const graph::Graph* graph_;
+  SatisfactionResult optimum_;
+  std::vector<graph::NodeId> satisfied_sorted_;
+  std::uint64_t holiday_ = 0;
+};
+
+/// Every couple alternates between its two families (period 2).
+class AlternationScheduler final : public SatisfactionScheduler {
+ public:
+  explicit AlternationScheduler(const graph::Graph& g) noexcept : graph_(&g) {}
+
+  [[nodiscard]] std::string name() const override { return "alternation"; }
+  [[nodiscard]] const graph::Graph& graph() const noexcept override { return *graph_; }
+  [[nodiscard]] std::vector<graph::NodeId> next_holiday() override;
+  [[nodiscard]] std::uint64_t current_holiday() const noexcept override { return holiday_; }
+  void reset() override { holiday_ = 0; }
+  [[nodiscard]] std::optional<std::uint64_t> gap_bound(graph::NodeId v) const override;
+
+ private:
+  const graph::Graph* graph_;
+  std::uint64_t holiday_ = 0;
+};
+
+/// Odd holidays: the one-shot optimum orientation; even holidays: its exact
+/// reversal.  Max throughput every other year, gap ≤ 2 for everyone.
+class MaxFlipScheduler final : public SatisfactionScheduler {
+ public:
+  explicit MaxFlipScheduler(const graph::Graph& g);
+
+  [[nodiscard]] std::string name() const override { return "max-flip"; }
+  [[nodiscard]] const graph::Graph& graph() const noexcept override { return *graph_; }
+  [[nodiscard]] std::vector<graph::NodeId> next_holiday() override;
+  [[nodiscard]] std::uint64_t current_holiday() const noexcept override { return holiday_; }
+  void reset() override { holiday_ = 0; }
+  [[nodiscard]] std::optional<std::uint64_t> gap_bound(graph::NodeId v) const override;
+
+  [[nodiscard]] std::size_t optimum() const noexcept { return forward_value_; }
+
+ private:
+  const graph::Graph* graph_;
+  std::vector<graph::NodeId> odd_satisfied_;   // optimum orientation
+  std::vector<graph::NodeId> even_satisfied_;  // reversed orientation
+  std::size_t forward_value_ = 0;
+  std::uint64_t holiday_ = 0;
+};
+
+/// Per-node satisfaction-gap report over a driven run.
+struct SatisfactionRunReport {
+  std::string scheduler_name;
+  std::uint64_t horizon = 0;
+  std::vector<std::uint64_t> max_gap;  ///< incl. first wait; horizon+1 if never
+  std::uint64_t total_satisfied = 0;
+  bool bounds_respected = true;
+};
+
+/// Drives `scheduler` for `horizon` holidays, tracking per-node gaps and
+/// checking the scheduler's own guarantees (for nodes with degree ≥ 1).
+[[nodiscard]] SatisfactionRunReport run_satisfaction(SatisfactionScheduler& scheduler,
+                                                     std::uint64_t horizon);
+
+}  // namespace fhg::matching

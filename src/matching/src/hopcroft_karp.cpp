@@ -1,0 +1,107 @@
+#include "fhg/matching/hopcroft_karp.hpp"
+
+#include <limits>
+#include <queue>
+
+namespace fhg::matching {
+
+namespace {
+constexpr std::uint32_t kUnmatched = MatchingResult::kUnmatched;
+constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+}  // namespace
+
+MatchingResult hopcroft_karp(const BipartiteGraph& g) {
+  MatchingResult result;
+  result.match_left.assign(g.left_count, kUnmatched);
+  result.match_right.assign(g.right_count, kUnmatched);
+
+  std::vector<std::uint32_t> dist(g.left_count, kInf);
+  std::queue<std::uint32_t> frontier;
+
+  // BFS layering over free left vertices; returns true if an augmenting
+  // path exists.
+  const auto bfs = [&]() -> bool {
+    bool reachable_free_right = false;
+    for (std::uint32_t l = 0; l < g.left_count; ++l) {
+      if (result.match_left[l] == kUnmatched) {
+        dist[l] = 0;
+        frontier.push(l);
+      } else {
+        dist[l] = kInf;
+      }
+    }
+    while (!frontier.empty()) {
+      const std::uint32_t l = frontier.front();
+      frontier.pop();
+      for (const std::uint32_t r : g.adj[l]) {
+        const std::uint32_t next = result.match_right[r];
+        if (next == kUnmatched) {
+          reachable_free_right = true;
+        } else if (dist[next] == kInf) {
+          dist[next] = dist[l] + 1;
+          frontier.push(next);
+        }
+      }
+    }
+    return reachable_free_right;
+  };
+
+  // DFS along the layering.
+  const auto dfs = [&](auto&& self, std::uint32_t l) -> bool {
+    for (const std::uint32_t r : g.adj[l]) {
+      const std::uint32_t next = result.match_right[r];
+      if (next == kUnmatched || (dist[next] == dist[l] + 1 && self(self, next))) {
+        result.match_left[l] = r;
+        result.match_right[r] = l;
+        return true;
+      }
+    }
+    dist[l] = kInf;  // dead end; prune for this phase
+    return false;
+  };
+
+  while (bfs()) {
+    for (std::uint32_t l = 0; l < g.left_count; ++l) {
+      if (result.match_left[l] == kUnmatched && dfs(dfs, l)) {
+        ++result.size;
+      }
+    }
+  }
+  return result;
+}
+
+bool is_valid_matching(const BipartiteGraph& g, const MatchingResult& m) {
+  if (m.match_left.size() != g.left_count || m.match_right.size() != g.right_count) {
+    return false;
+  }
+  std::size_t count = 0;
+  for (std::uint32_t l = 0; l < g.left_count; ++l) {
+    const std::uint32_t r = m.match_left[l];
+    if (r == kUnmatched) {
+      continue;
+    }
+    if (r >= g.right_count || m.match_right[r] != l) {
+      return false;
+    }
+    bool edge_exists = false;
+    for (const std::uint32_t candidate : g.adj[l]) {
+      if (candidate == r) {
+        edge_exists = true;
+        break;
+      }
+    }
+    if (!edge_exists) {
+      return false;
+    }
+    ++count;
+  }
+  for (std::uint32_t r = 0; r < g.right_count; ++r) {
+    const std::uint32_t l = m.match_right[r];
+    if (l != kUnmatched && (l >= g.left_count || m.match_left[l] != r)) {
+      return false;
+    }
+  }
+  return count == m.size;
+}
+
+}  // namespace fhg::matching

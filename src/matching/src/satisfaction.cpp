@@ -1,0 +1,186 @@
+#include "fhg/matching/satisfaction.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "fhg/graph/properties.hpp"
+#include "fhg/matching/hopcroft_karp.hpp"
+
+namespace fhg::matching {
+
+namespace {
+
+/// Canonical edge index lookup: maps packed (u << 32 | v), u < v, to the
+/// index in Graph::edges() order.
+std::unordered_map<std::uint64_t, std::uint32_t> edge_index_map(
+    const std::vector<graph::Edge>& edges) {
+  std::unordered_map<std::uint64_t, std::uint32_t> map;
+  map.reserve(edges.size() * 2);
+  for (std::uint32_t k = 0; k < edges.size(); ++k) {
+    map.emplace((static_cast<std::uint64_t>(edges[k].first) << 32) | edges[k].second, k);
+  }
+  return map;
+}
+
+std::uint64_t pack(graph::NodeId u, graph::NodeId v) {
+  return (static_cast<std::uint64_t>(std::min(u, v)) << 32) | std::max(u, v);
+}
+
+SatisfactionResult finalize(const graph::Graph& g, std::vector<graph::NodeId> host_of_edge) {
+  SatisfactionResult result;
+  result.host_of_edge = std::move(host_of_edge);
+  result.satisfied.assign(g.num_nodes(), false);
+  for (const graph::NodeId host : result.host_of_edge) {
+    result.satisfied[host] = true;
+  }
+  result.value = static_cast<std::size_t>(
+      std::count(result.satisfied.begin(), result.satisfied.end(), true));
+  return result;
+}
+
+}  // namespace
+
+SatisfactionResult max_satisfaction_matching(const graph::Graph& g) {
+  const std::vector<graph::Edge> edges = g.edges();
+  // Left = parents, right = couples (edges).
+  BipartiteGraph b;
+  b.left_count = g.num_nodes();
+  b.right_count = edges.size();
+  b.adj.assign(b.left_count, {});
+  for (std::uint32_t k = 0; k < edges.size(); ++k) {
+    b.adj[edges[k].first].push_back(k);
+    b.adj[edges[k].second].push_back(k);
+  }
+  const MatchingResult m = hopcroft_karp(b);
+
+  // Matched couples visit their matched parent; free couples default to
+  // their lower endpoint.
+  std::vector<graph::NodeId> host(edges.size());
+  for (std::uint32_t k = 0; k < edges.size(); ++k) {
+    host[k] = m.match_right[k] == MatchingResult::kUnmatched
+                  ? edges[k].first
+                  : static_cast<graph::NodeId>(m.match_right[k]);
+  }
+  return finalize(g, std::move(host));
+}
+
+SatisfactionResult max_satisfaction_linear(const graph::Graph& g) {
+  const graph::NodeId n = g.num_nodes();
+  const std::vector<graph::Edge> edges = g.edges();
+  const auto edge_of = edge_index_map(edges);
+  std::vector<graph::NodeId> host(edges.size());
+  // Default orientation for edges not otherwise forced.
+  for (std::uint32_t k = 0; k < edges.size(); ++k) {
+    host[k] = edges[k].first;
+  }
+
+  std::vector<std::uint8_t> visited(n, 0);
+  std::vector<graph::NodeId> parent(n, n);  // BFS tree parent; n = none
+
+  for (graph::NodeId root = 0; root < n; ++root) {
+    if (visited[root] != 0 || g.degree(root) == 0) {
+      visited[root] = 1;
+      continue;
+    }
+    // BFS the component, recording one tree and detecting one non-tree edge
+    // (which closes a cycle).
+    std::vector<graph::NodeId> component;
+    std::optional<graph::Edge> chord;
+    std::queue<graph::NodeId> frontier;
+    visited[root] = 1;
+    parent[root] = n;
+    frontier.push(root);
+    std::size_t component_edges = 0;
+    while (!frontier.empty()) {
+      const graph::NodeId u = frontier.front();
+      frontier.pop();
+      component.push_back(u);
+      for (const graph::NodeId w : g.neighbors(u)) {
+        if (u < w) {
+          ++component_edges;
+        }
+        if (visited[w] == 0) {
+          visited[w] = 1;
+          parent[w] = u;
+          frontier.push(w);
+        } else if (w != parent[u] && !chord && parent[w] != u) {
+          chord = graph::Edge{std::min(u, w), std::max(u, w)};
+        }
+      }
+    }
+
+    if (component_edges >= component.size() && chord) {
+      // Component contains a cycle: everyone can be satisfied.
+      // The chord {a,b} plus tree paths a→root and b→root contain a cycle
+      // through the lowest common ancestor; a simpler complete rule that
+      // still satisfies every node:
+      //   1. orient every tree edge toward the *child* (newly reached node);
+      //   2. the root, the only node without an incoming tree edge, takes
+      //      an incoming edge from the cycle: walk the chord endpoints'
+      //      ancestor chains — the chord guarantees the root's deficiency
+      //      can be repaired by re-routing along the cycle.
+      // Implementation: orient tree edges toward children, then fix the
+      // root by flipping the path from the chord down to it.
+      for (const graph::NodeId u : component) {
+        if (parent[u] != n) {
+          host[edge_of.at(pack(parent[u], u))] = u;
+        }
+      }
+      // Re-route: give the chord to one endpoint (say a); then a has two
+      // incoming edges (chord + tree edge), so flip a's tree edge up toward
+      // parent(a), which then has two incoming, … continue until the root
+      // gains an incoming edge.
+      graph::NodeId a = chord->first;
+      host[edge_of.at(pack(chord->first, chord->second))] = a;
+      while (parent[a] != n) {
+        const graph::NodeId up = parent[a];
+        host[edge_of.at(pack(up, a))] = up;  // flip toward the ancestor
+        a = up;
+      }
+    } else {
+      // Tree: orient every edge toward the child; all but the root are
+      // satisfied — and min(n_c, m_c) = n_c − 1 is optimal.
+      for (const graph::NodeId u : component) {
+        if (parent[u] != n) {
+          host[edge_of.at(pack(parent[u], u))] = u;
+        }
+      }
+    }
+  }
+  return finalize(g, std::move(host));
+}
+
+std::size_t max_satisfaction_value(const graph::Graph& g) {
+  const graph::Components comps = graph::connected_components(g);
+  std::vector<std::size_t> nodes(comps.count, 0);
+  std::vector<std::size_t> edges(comps.count, 0);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    ++nodes[comps.id[v]];
+  }
+  for (const graph::Edge& e : g.edges()) {
+    ++edges[comps.id[e.first]];
+  }
+  std::size_t total = 0;
+  for (graph::NodeId c = 0; c < comps.count; ++c) {
+    total += std::min(nodes[c], edges[c]);
+  }
+  return total;
+}
+
+std::vector<graph::NodeId> alternation_satisfied_set(const graph::Graph& g, std::uint64_t t) {
+  const bool odd = (t % 2) == 1;
+  std::vector<graph::NodeId> satisfied;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const graph::NodeId w : g.neighbors(v)) {
+      const bool hosts = odd ? (v < w) : (v > w);
+      if (hosts) {
+        satisfied.push_back(v);
+        break;
+      }
+    }
+  }
+  return satisfied;
+}
+
+}  // namespace fhg::matching

@@ -1,0 +1,103 @@
+#include "fhg/matching/satisfaction_scheduler.hpp"
+
+#include <algorithm>
+
+namespace fhg::matching {
+
+SatisfactionScheduler::~SatisfactionScheduler() = default;
+
+StaticOptimumScheduler::StaticOptimumScheduler(const graph::Graph& g)
+    : graph_(&g), optimum_(max_satisfaction_linear(g)) {
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (optimum_.satisfied[v]) {
+      satisfied_sorted_.push_back(v);
+    }
+  }
+}
+
+std::vector<graph::NodeId> StaticOptimumScheduler::next_holiday() {
+  ++holiday_;
+  return satisfied_sorted_;
+}
+
+std::optional<std::uint64_t> StaticOptimumScheduler::gap_bound(graph::NodeId v) const {
+  if (optimum_.satisfied[v]) {
+    return 1;
+  }
+  return std::nullopt;  // starved forever — the appendix's social complaint
+}
+
+std::vector<graph::NodeId> AlternationScheduler::next_holiday() {
+  ++holiday_;
+  return alternation_satisfied_set(*graph_, holiday_);
+}
+
+std::optional<std::uint64_t> AlternationScheduler::gap_bound(graph::NodeId v) const {
+  if (graph_->degree(v) == 0) {
+    return std::nullopt;  // no children: never satisfiable
+  }
+  return 2;
+}
+
+MaxFlipScheduler::MaxFlipScheduler(const graph::Graph& g) : graph_(&g) {
+  const SatisfactionResult forward = max_satisfaction_linear(g);
+  forward_value_ = forward.value;
+  const auto edges = g.edges();
+  std::vector<bool> even(g.num_nodes(), false);
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    // Reversal: the couple visits the other endpoint.
+    const graph::NodeId other =
+        forward.host_of_edge[k] == edges[k].first ? edges[k].second : edges[k].first;
+    even[other] = true;
+  }
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (forward.satisfied[v]) {
+      odd_satisfied_.push_back(v);
+    }
+    if (even[v]) {
+      even_satisfied_.push_back(v);
+    }
+  }
+}
+
+std::vector<graph::NodeId> MaxFlipScheduler::next_holiday() {
+  ++holiday_;
+  return holiday_ % 2 == 1 ? odd_satisfied_ : even_satisfied_;
+}
+
+std::optional<std::uint64_t> MaxFlipScheduler::gap_bound(graph::NodeId v) const {
+  if (graph_->degree(v) == 0) {
+    return std::nullopt;
+  }
+  // Every incident edge points at v in one of the two orientations, so v is
+  // satisfied on odd or on even holidays (or both): gap ≤ 2.
+  return 2;
+}
+
+SatisfactionRunReport run_satisfaction(SatisfactionScheduler& scheduler, std::uint64_t horizon) {
+  const graph::Graph& g = scheduler.graph();
+  scheduler.reset();
+  SatisfactionRunReport report;
+  report.scheduler_name = scheduler.name();
+  report.horizon = horizon;
+  std::vector<std::uint64_t> last(g.num_nodes(), 0);
+  report.max_gap.assign(g.num_nodes(), 0);
+  for (std::uint64_t t = 1; t <= horizon; ++t) {
+    const auto satisfied = scheduler.next_holiday();
+    report.total_satisfied += satisfied.size();
+    for (const graph::NodeId v : satisfied) {
+      report.max_gap[v] = std::max(report.max_gap[v], t - last[v]);
+      last[v] = t;
+    }
+  }
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    report.max_gap[v] = std::max(report.max_gap[v], horizon + 1 - last[v]);
+    const auto bound = scheduler.gap_bound(v);
+    if (bound && report.max_gap[v] > *bound) {
+      report.bounds_respected = false;
+    }
+  }
+  return report;
+}
+
+}  // namespace fhg::matching

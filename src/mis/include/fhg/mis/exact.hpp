@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file exact.hpp
+/// Exact Maximum Independent Set via branch and bound.
+///
+/// Appendix A.1: maximizing single-holiday happiness *is* MIS, which is
+/// MAXSNP-hard (even on degree-3 graphs) and inapproximable to `n^{1-ε}` in
+/// general — so the paper gives up on per-holiday optimality and pursues
+/// long-run local guarantees instead.  This solver makes that hardness
+/// tangible (E9 shows the exponential wall) and serves as the ground-truth
+/// oracle for small instances in tests.
+///
+/// Algorithm: recursive branching on a maximum-degree vertex `v`
+/// (`MIS(G) = max(1 + MIS(G − N[v]), MIS(G − v))`) with the standard
+/// refinements: vertices of degree ≤ 1 are taken greedily (always safe), and
+/// branches are pruned when `|current| + |remaining|` cannot beat the
+/// incumbent.  Adjacency is kept in dynamic bitsets, so neighborhood removal
+/// is word-parallel.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fhg/graph/graph.hpp"
+
+namespace fhg::mis {
+
+/// Result of an exact MIS computation.
+struct ExactMisResult {
+  std::vector<graph::NodeId> independent_set;  ///< sorted, maximum-size
+  std::uint64_t branch_count = 0;              ///< search-tree nodes explored
+};
+
+/// Computes a maximum independent set of `g`.
+/// `node_budget` caps search-tree nodes (0 = unlimited); returns
+/// `std::nullopt` when exceeded, which E9 uses to chart the hardness cliff.
+[[nodiscard]] std::optional<ExactMisResult> exact_mis(const graph::Graph& g,
+                                                      std::uint64_t node_budget = 0);
+
+/// Exact MIS *size* of the subgraph induced by `mask` over the first
+/// ≤ 64 nodes (bitmask convention: bit v = node v present).  The fast oracle
+/// behind the Shapley sampler.
+[[nodiscard]] std::uint32_t exact_mis_size_small(const graph::Graph& g, std::uint64_t mask);
+
+}  // namespace fhg::mis

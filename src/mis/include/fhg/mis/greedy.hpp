@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file greedy.hpp
+/// Greedy minimum-degree Maximal Independent Set.
+///
+/// Repeatedly takes a minimum-remaining-degree vertex and deletes its closed
+/// neighborhood.  Guarantees size ≥ Σ 1/(deg(v)+1) ≥ n/(Δ+1) (Turán-type
+/// bound — the same `1/(d+1)` quantity as the first-come-first-grab happy
+/// probability).  The practical fallback once exact MIS hits the Appendix A
+/// hardness wall.
+
+#include <vector>
+
+#include "fhg/graph/graph.hpp"
+
+namespace fhg::mis {
+
+/// Returns a maximal independent set (sorted) via the min-degree heuristic.
+[[nodiscard]] std::vector<graph::NodeId> greedy_mis(const graph::Graph& g);
+
+/// The Turán-type lower bound `Σ_v 1/(deg(v)+1)` on the MIS size.
+[[nodiscard]] double caro_wei_bound(const graph::Graph& g);
+
+}  // namespace fhg::mis

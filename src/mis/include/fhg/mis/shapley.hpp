@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file shapley.hpp
+/// Monte-Carlo Shapley values for the happiness coalition game (App. A.2).
+///
+/// The game: `v(S)` = size of the maximum independent set of the subgraph
+/// induced by `S` — the best collective happiness the parents in `S` can
+/// reach if everyone else abstains.  The Shapley value of node `p` is its
+/// expected marginal contribution `v(S ∪ {p}) − v(S)` over a uniformly
+/// random arrival order.  The paper observes that (a) the marginal
+/// contributions along any single order sum to `MIS(G)`, and (b) computing
+/// or even approximating these shares is as hard as approximating MIS — so
+/// this sampler is restricted to ≤ 64-node instances where the exact oracle
+/// is cheap, and is offered as an *illustration* (example `fair_share`), not
+/// a scalable tool.
+
+#include <cstdint>
+#include <vector>
+
+#include "fhg/graph/graph.hpp"
+
+namespace fhg::mis {
+
+/// Estimated Shapley values (one per node; they sum to ≈ MIS(g)).
+/// `samples` random permutations are averaged; throws
+/// `std::invalid_argument` if `g` has more than 64 nodes.
+[[nodiscard]] std::vector<double> shapley_estimate(const graph::Graph& g, std::uint32_t samples,
+                                                   std::uint64_t seed);
+
+}  // namespace fhg::mis

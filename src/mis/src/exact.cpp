@@ -1,0 +1,203 @@
+#include "fhg/mis/exact.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace fhg::mis {
+
+namespace {
+
+/// Dynamic bitset over n nodes, 64 per word.
+class NodeSet {
+ public:
+  explicit NodeSet(std::size_t n) : words_((n + 63) / 64, 0), n_(n) {}
+
+  void set(std::size_t v) noexcept { words_[v / 64] |= std::uint64_t{1} << (v % 64); }
+  void clear(std::size_t v) noexcept { words_[v / 64] &= ~(std::uint64_t{1} << (v % 64)); }
+  [[nodiscard]] bool test(std::size_t v) const noexcept {
+    return (words_[v / 64] >> (v % 64)) & 1U;
+  }
+  [[nodiscard]] std::size_t count() const noexcept {
+    std::size_t total = 0;
+    for (const std::uint64_t w : words_) {
+      total += static_cast<std::size_t>(std::popcount(w));
+    }
+    return total;
+  }
+  /// this &= ~other
+  void subtract(const NodeSet& other) noexcept {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      words_[i] &= ~other.words_[i];
+    }
+  }
+  /// popcount(this & other)
+  [[nodiscard]] std::size_t intersection_count(const NodeSet& other) const noexcept {
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      total += static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
+    }
+    return total;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  /// First set bit at or after `from`, or `size()` if none.
+  [[nodiscard]] std::size_t next(std::size_t from) const noexcept {
+    if (from >= n_) {
+      return n_;
+    }
+    std::size_t word = from / 64;
+    std::uint64_t bits = words_[word] & (~std::uint64_t{0} << (from % 64));
+    while (true) {
+      if (bits != 0) {
+        const std::size_t v = word * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+        return v < n_ ? v : n_;
+      }
+      if (++word >= words_.size()) {
+        return n_;
+      }
+      bits = words_[word];
+    }
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t n_;
+};
+
+struct Searcher {
+  const std::vector<NodeSet>& adjacency;
+  std::uint64_t budget;  // 0 = unlimited
+  std::uint64_t branches = 0;
+  bool exhausted = false;
+  std::vector<graph::NodeId> best;
+  std::vector<graph::NodeId> current;
+
+  void search(NodeSet alive) {
+    if (exhausted) {
+      return;
+    }
+    ++branches;
+    if (budget != 0 && branches > budget) {
+      exhausted = true;
+      return;
+    }
+    const std::size_t entry_size = current.size();
+
+    // Greedy closure: take degree-≤1 vertices (always part of some optimum).
+    for (;;) {
+      std::size_t picked = alive.size();
+      for (std::size_t v = alive.next(0); v < alive.size(); v = alive.next(v + 1)) {
+        if (adjacency[v].intersection_count(alive) <= 1) {
+          picked = v;
+          break;
+        }
+      }
+      if (picked == alive.size()) {
+        break;
+      }
+      current.push_back(static_cast<graph::NodeId>(picked));
+      alive.clear(picked);
+      alive.subtract(adjacency[picked]);
+    }
+
+    const std::size_t remaining = alive.count();
+    if (remaining == 0) {
+      if (current.size() > best.size()) {
+        best = current;
+      }
+      current.resize(entry_size);
+      return;
+    }
+    if (current.size() + remaining <= best.size()) {
+      current.resize(entry_size);  // bound: cannot beat incumbent
+      return;
+    }
+
+    // Branch on a maximum-degree vertex (kills the most edges per branch).
+    std::size_t pivot = alive.next(0);
+    std::size_t pivot_degree = 0;
+    for (std::size_t v = alive.next(0); v < alive.size(); v = alive.next(v + 1)) {
+      const std::size_t d = adjacency[v].intersection_count(alive);
+      if (d > pivot_degree) {
+        pivot_degree = d;
+        pivot = v;
+      }
+    }
+
+    // Include pivot.
+    {
+      NodeSet next = alive;
+      next.clear(pivot);
+      next.subtract(adjacency[pivot]);
+      current.push_back(static_cast<graph::NodeId>(pivot));
+      search(std::move(next));
+      current.pop_back();
+    }
+    // Exclude pivot.
+    {
+      NodeSet next = alive;
+      next.clear(pivot);
+      search(std::move(next));
+    }
+    current.resize(entry_size);
+  }
+};
+
+}  // namespace
+
+std::optional<ExactMisResult> exact_mis(const graph::Graph& g, std::uint64_t node_budget) {
+  const graph::NodeId n = g.num_nodes();
+  std::vector<NodeSet> adjacency(n, NodeSet(n));
+  for (graph::NodeId v = 0; v < n; ++v) {
+    for (const graph::NodeId w : g.neighbors(v)) {
+      adjacency[v].set(w);
+    }
+  }
+  Searcher searcher{adjacency, node_budget};
+  NodeSet all(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    all.set(v);
+  }
+  searcher.search(std::move(all));
+  if (searcher.exhausted) {
+    return std::nullopt;
+  }
+  ExactMisResult result;
+  result.independent_set = std::move(searcher.best);
+  std::sort(result.independent_set.begin(), result.independent_set.end());
+  result.branch_count = searcher.branches;
+  return result;
+}
+
+std::uint32_t exact_mis_size_small(const graph::Graph& g, std::uint64_t mask) {
+  if (g.num_nodes() > 64) {
+    throw std::invalid_argument("exact_mis_size_small: graph exceeds 64 nodes");
+  }
+  // Precompute 64-bit neighborhoods once per call (cheap for tiny graphs).
+  std::uint64_t nbr[64] = {};
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const graph::NodeId w : g.neighbors(v)) {
+      nbr[v] |= std::uint64_t{1} << w;
+    }
+  }
+  // Simple recursive solver on bitmasks.
+  const auto solve = [&](auto&& self, std::uint64_t alive) -> std::uint32_t {
+    if (alive == 0) {
+      return 0;
+    }
+    const auto v = static_cast<std::uint32_t>(std::countr_zero(alive));
+    const std::uint64_t without = alive & ~(std::uint64_t{1} << v);
+    // Degree-0/1 shortcut: include v when it has at most one alive neighbor.
+    const std::uint64_t alive_nbrs = nbr[v] & alive;
+    if (std::popcount(alive_nbrs) <= 1) {
+      return 1 + self(self, without & ~alive_nbrs);
+    }
+    const std::uint32_t include = 1 + self(self, without & ~nbr[v]);
+    const std::uint32_t exclude = self(self, without);
+    return std::max(include, exclude);
+  };
+  return solve(solve, mask);
+}
+
+}  // namespace fhg::mis

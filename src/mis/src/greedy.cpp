@@ -1,0 +1,58 @@
+#include "fhg/mis/greedy.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace fhg::mis {
+
+std::vector<graph::NodeId> greedy_mis(const graph::Graph& g) {
+  const graph::NodeId n = g.num_nodes();
+  std::vector<std::uint32_t> degree(n);
+  std::vector<bool> alive(n, true);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    degree[v] = g.degree(v);
+  }
+
+  std::vector<graph::NodeId> result;
+  graph::NodeId alive_count = n;
+  while (alive_count > 0) {
+    // Min-degree alive vertex (linear scan; the sizes used here do not merit
+    // a bucket queue, and correctness is easier to see).
+    graph::NodeId pick = n;
+    std::uint32_t pick_degree = std::numeric_limits<std::uint32_t>::max();
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (alive[v] && degree[v] < pick_degree) {
+        pick = v;
+        pick_degree = degree[v];
+      }
+    }
+    result.push_back(pick);
+    // Remove closed neighborhood, updating remaining degrees.
+    alive[pick] = false;
+    --alive_count;
+    for (const graph::NodeId w : g.neighbors(pick)) {
+      if (!alive[w]) {
+        continue;
+      }
+      alive[w] = false;
+      --alive_count;
+      for (const graph::NodeId x : g.neighbors(w)) {
+        if (alive[x] && degree[x] > 0) {
+          --degree[x];
+        }
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+double caro_wei_bound(const graph::Graph& g) {
+  double total = 0.0;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    total += 1.0 / (g.degree(v) + 1.0);
+  }
+  return total;
+}
+
+}  // namespace fhg::mis

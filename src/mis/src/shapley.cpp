@@ -1,0 +1,38 @@
+#include "fhg/mis/shapley.hpp"
+
+#include <stdexcept>
+
+#include "fhg/mis/exact.hpp"
+#include "fhg/parallel/rng.hpp"
+
+namespace fhg::mis {
+
+std::vector<double> shapley_estimate(const graph::Graph& g, std::uint32_t samples,
+                                     std::uint64_t seed) {
+  const graph::NodeId n = g.num_nodes();
+  if (n > 64) {
+    throw std::invalid_argument("shapley_estimate: limited to 64 nodes (exact-MIS oracle)");
+  }
+  if (samples == 0) {
+    throw std::invalid_argument("shapley_estimate: need at least one sample");
+  }
+  std::vector<double> totals(n, 0.0);
+  parallel::Rng rng(seed, /*stream=*/0x736861);
+  for (std::uint32_t s = 0; s < samples; ++s) {
+    const std::vector<std::uint32_t> order = rng.permutation(n);
+    std::uint64_t coalition = 0;
+    std::uint32_t value = 0;
+    for (const std::uint32_t v : order) {
+      coalition |= std::uint64_t{1} << v;
+      const std::uint32_t with_v = exact_mis_size_small(g, coalition);
+      totals[v] += static_cast<double>(with_v - value);
+      value = with_v;
+    }
+  }
+  for (double& t : totals) {
+    t /= samples;
+  }
+  return totals;
+}
+
+}  // namespace fhg::mis

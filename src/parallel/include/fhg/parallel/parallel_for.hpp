@@ -1,0 +1,117 @@
+#pragma once
+
+/// \file parallel_for.hpp
+/// Data-parallel loops over index ranges, built on ThreadPool.
+///
+/// Determinism contract: the loop body receives the *global* index, so any
+/// randomness derived from `(seed, index)` is independent of the number of
+/// threads and of chunk boundaries.  `parallel_reduce` combines per-chunk
+/// partials in ascending chunk order, so floating-point reductions are also
+/// reproducible for a fixed `grain`.
+
+#include <cstddef>
+#include <exception>
+#include <future>
+#include <utility>
+#include <vector>
+
+#include "fhg/parallel/thread_pool.hpp"
+
+namespace fhg::parallel {
+
+/// Splits `[begin, end)` into chunks of at most `grain` and runs
+/// `body(index)` for every index, distributing chunks over `pool`.
+/// Falls back to a serial loop for small ranges.  Exceptions thrown by the
+/// body are propagated (the first one, in chunk order).
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end, Body&& body,
+                  std::size_t grain = 1024) {
+  if (begin >= end) {
+    return;
+  }
+  const std::size_t n = end - begin;
+  if (n <= grain || pool.size() == 1) {
+    for (std::size_t i = begin; i < end; ++i) {
+      body(i);
+    }
+    return;
+  }
+  std::vector<std::future<void>> chunks;
+  chunks.reserve((n + grain - 1) / grain);
+  for (std::size_t lo = begin; lo < end; lo += grain) {
+    const std::size_t hi = std::min(end, lo + grain);
+    chunks.push_back(pool.submit([lo, hi, &body] {
+      for (std::size_t i = lo; i < hi; ++i) {
+        body(i);
+      }
+    }));
+  }
+  std::exception_ptr first_error;
+  for (auto& chunk : chunks) {
+    try {
+      chunk.get();
+    } catch (...) {
+      if (!first_error) {
+        first_error = std::current_exception();
+      }
+    }
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+/// Convenience overload using the shared pool.
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, Body&& body, std::size_t grain = 1024) {
+  parallel_for(ThreadPool::shared(), begin, end, std::forward<Body>(body), grain);
+}
+
+/// Parallel map-reduce over `[begin, end)`.
+///
+/// `map(i)` produces a value; `combine(acc, value)` folds it into the
+/// accumulator.  Per-chunk partials are folded left-to-right in chunk order
+/// starting from `identity`, giving thread-count-independent results for
+/// associative `combine`.
+template <typename T, typename Map, typename Combine>
+[[nodiscard]] T parallel_reduce(ThreadPool& pool, std::size_t begin, std::size_t end, T identity,
+                                Map&& map, Combine&& combine, std::size_t grain = 1024) {
+  if (begin >= end) {
+    return identity;
+  }
+  const std::size_t n = end - begin;
+  if (n <= grain || pool.size() == 1) {
+    T acc = std::move(identity);
+    for (std::size_t i = begin; i < end; ++i) {
+      acc = combine(std::move(acc), map(i));
+    }
+    return acc;
+  }
+  std::vector<std::future<T>> chunks;
+  chunks.reserve((n + grain - 1) / grain);
+  for (std::size_t lo = begin; lo < end; lo += grain) {
+    const std::size_t hi = std::min(end, lo + grain);
+    chunks.push_back(pool.submit([lo, hi, &map, &combine, identity]() mutable {
+      T acc = std::move(identity);
+      for (std::size_t i = lo; i < hi; ++i) {
+        acc = combine(std::move(acc), map(i));
+      }
+      return acc;
+    }));
+  }
+  T acc = std::move(identity);
+  for (auto& chunk : chunks) {
+    acc = combine(std::move(acc), chunk.get());
+  }
+  return acc;
+}
+
+/// Convenience overload using the shared pool.
+template <typename T, typename Map, typename Combine>
+[[nodiscard]] T parallel_reduce(std::size_t begin, std::size_t end, T identity, Map&& map,
+                                Combine&& combine, std::size_t grain = 1024) {
+  return parallel_reduce(ThreadPool::shared(), begin, end, std::move(identity),
+                         std::forward<Map>(map), std::forward<Combine>(combine), grain);
+}
+
+}  // namespace fhg::parallel

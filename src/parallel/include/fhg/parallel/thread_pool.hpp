@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// A fixed-size worker pool with a blocking task queue.
+///
+/// The pool is intentionally simple: the workloads in this library are
+/// coarse-grained (whole graph sweeps, Monte-Carlo replicas, per-round node
+/// batches), so a single mutex-protected queue is never the bottleneck.  All
+/// higher-level parallel constructs (`parallel_for`, `parallel_reduce`) are
+/// built on top of `submit`.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace fhg::parallel {
+
+/// Fixed-size thread pool. Threads are started in the constructor and joined
+/// in the destructor; tasks still queued at destruction are completed first.
+/// Thread-safe: `submit` may be called concurrently from any thread,
+/// including from inside tasks (but a task must not block on the future of a
+/// task it cannot guarantee is already running — classic deadlock).
+class ThreadPool {
+ public:
+  /// Creates a pool with `threads` workers (0 means `default_concurrency()`).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues `fn(args...)`; returns a future for its result.
+  template <typename F, typename... Args>
+  auto submit(F&& fn, Args&&... args) -> std::future<std::invoke_result_t<F, Args...>> {
+    using R = std::invoke_result_t<F, Args...>;
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [fn = std::forward<F>(fn), ... args = std::forward<Args>(args)]() mutable {
+          return std::invoke(std::move(fn), std::move(args)...);
+        });
+    std::future<R> result = task->get_future();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Hardware concurrency with a sane floor of 1.
+  [[nodiscard]] static std::size_t default_concurrency() noexcept;
+
+  /// A process-wide shared pool (lazily constructed, default concurrency).
+  /// Prefer passing an explicit pool in library code; this exists so that
+  /// examples and benches do not each spin up their own workers.
+  [[nodiscard]] static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace fhg::parallel

@@ -1,0 +1,129 @@
+// Tests for fhg::analysis — statistics, fairness metrics and the table
+// writer used by the bench harness.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fhg/analysis/fairness.hpp"
+#include "fhg/analysis/stats.hpp"
+#include "fhg/analysis/table.hpp"
+#include "fhg/graph/generators.hpp"
+
+namespace fa = fhg::analysis;
+namespace fg = fhg::graph;
+
+// ---------------------------------------------------------------- stats ----
+
+TEST(Stats, SummaryOfKnownSample) {
+  const std::vector<double> values{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const fa::Summary s = fa::summarize(values);
+  EXPECT_EQ(s.count, 10U);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+  EXPECT_DOUBLE_EQ(s.mean, 5.5);
+  EXPECT_DOUBLE_EQ(s.median, 5.5);
+  EXPECT_NEAR(s.stddev, 2.8723, 1e-3);
+}
+
+TEST(Stats, EmptySampleIsZeros) {
+  const fa::Summary s = fa::summarize(std::span<const double>{});
+  EXPECT_EQ(s.count, 0U);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, IntegerOverload) {
+  const std::vector<std::uint64_t> values{2, 4, 6};
+  EXPECT_DOUBLE_EQ(fa::summarize(values).mean, 4.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  std::vector<double> values{0, 10};
+  EXPECT_DOUBLE_EQ(fa::quantile(values, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(fa::quantile(values, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(fa::quantile(values, 1.0), 10.0);
+  EXPECT_THROW(static_cast<void>(fa::quantile({}, 0.5)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(fa::quantile({1.0}, 1.5)), std::invalid_argument);
+}
+
+TEST(Stats, GroupStatsAggregatesByKey) {
+  const std::vector<std::uint64_t> keys{1, 2, 1, 2, 3};
+  const std::vector<double> values{10, 20, 30, 40, 50};
+  const auto rows = fa::group_stats(keys, values);
+  ASSERT_EQ(rows.size(), 3U);
+  EXPECT_EQ(rows[0].key, 1U);
+  EXPECT_DOUBLE_EQ(rows[0].max, 30.0);
+  EXPECT_DOUBLE_EQ(rows[0].mean, 20.0);
+  EXPECT_EQ(rows[0].count, 2U);
+  EXPECT_EQ(rows[2].key, 3U);
+  EXPECT_EQ(rows[2].count, 1U);
+}
+
+// ------------------------------------------------------------- fairness ----
+
+TEST(Fairness, PerfectProportionalityScoresOne) {
+  // 4-regular graph, every node happy exactly horizon/(d+1) times.
+  const fg::Graph g = fg::random_regular(20, 4, 3);
+  const std::vector<std::uint64_t> appearances(20, 200);  // horizon 1000, 1/5 each
+  EXPECT_NEAR(fa::jain_fairness(g, appearances, 1000), 1.0, 1e-12);
+}
+
+TEST(Fairness, LopsidedScheduleScoresLow) {
+  const fg::Graph g = fg::random_regular(10, 2, 5);
+  std::vector<std::uint64_t> appearances(10, 0);
+  appearances[0] = 1000;  // one node hogs every holiday
+  EXPECT_NEAR(fa::jain_fairness(g, appearances, 1000), 0.1, 1e-12);
+}
+
+TEST(Fairness, ThroughputRatioAgainstCaroWei) {
+  // Everyone happy every holiday on an empty graph: ratio = n / n = 1.
+  const fg::Graph g(8);
+  const std::vector<std::uint64_t> appearances(8, 100);
+  EXPECT_NEAR(fa::throughput_ratio(g, appearances, 100), 1.0, 1e-12);
+}
+
+TEST(Fairness, RejectsSizeMismatch) {
+  const fg::Graph g(3);
+  const std::vector<std::uint64_t> wrong(2, 1);
+  EXPECT_THROW(static_cast<void>(fa::jain_fairness(g, wrong, 10)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(fa::throughput_ratio(g, wrong, 10)), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- table ----
+
+TEST(Table, RendersAlignedMarkdown) {
+  fa::Table t({"name", "value"});
+  t.row().add("alpha").add(std::uint64_t{42});
+  t.row().add("b").add(std::uint64_t{7});
+  std::ostringstream out;
+  t.print(out);
+  const std::string rendered = out.str();
+  EXPECT_NE(rendered.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(rendered.find("| alpha |    42 |"), std::string::npos);
+  EXPECT_NE(rendered.find("| b     |     7 |"), std::string::npos);
+}
+
+TEST(Table, FormatsDoublesAndBools) {
+  fa::Table t({"x", "ok"});
+  t.row().add(3.14159, 2).add(true);
+  t.row().add(2.0, 2).add(false);
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("3.14"), std::string::npos);
+  EXPECT_NE(out.str().find("Y"), std::string::npos);
+  EXPECT_NE(out.str().find("N"), std::string::npos);
+}
+
+TEST(Table, RequiresRowBeforeAdd) {
+  fa::Table t({"a"});
+  EXPECT_THROW(t.add("x"), std::logic_error);
+  EXPECT_THROW(fa::Table({}), std::invalid_argument);
+}
+
+TEST(Table, CountsRows) {
+  fa::Table t({"a"});
+  EXPECT_EQ(t.rows(), 0U);
+  t.row().add("1");
+  t.row().add("2");
+  EXPECT_EQ(t.rows(), 2U);
+}

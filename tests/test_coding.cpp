@@ -1,0 +1,320 @@
+// Tests for fhg::coding — bit strings, Elias codes (against the paper's own
+// Appendix B examples), iterated-log toolkit, prefix-freeness and slots.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fhg/coding/bitstring.hpp"
+#include "fhg/coding/elias.hpp"
+#include "fhg/coding/iterated_log.hpp"
+#include "fhg/coding/prefix.hpp"
+
+namespace fc = fhg::coding;
+
+// --------------------------------------------------------- BitString -------
+
+TEST(BitString, ParsesLiteral) {
+  const fc::BitString w("1010");
+  EXPECT_EQ(w.size(), 4U);
+  EXPECT_TRUE(w.bit(0));
+  EXPECT_FALSE(w.bit(1));
+  EXPECT_EQ(w.to_string(), "1010");
+}
+
+TEST(BitString, RejectsBadLiteral) {
+  EXPECT_THROW(fc::BitString("10x"), std::invalid_argument);
+}
+
+TEST(BitString, StandardBinary) {
+  EXPECT_EQ(fc::BitString::standard_binary(1).to_string(), "1");
+  EXPECT_EQ(fc::BitString::standard_binary(9).to_string(), "1001");
+  EXPECT_EQ(fc::BitString::standard_binary(3).to_string(), "11");
+  EXPECT_THROW(fc::BitString::standard_binary(0), std::invalid_argument);
+}
+
+TEST(BitString, BinaryWithWidth) {
+  EXPECT_EQ(fc::BitString::binary(9, 6).to_string(), "001001");
+  EXPECT_EQ(fc::BitString::binary(0, 3).to_string(), "000");
+}
+
+TEST(BitString, Reversal) {
+  EXPECT_EQ(fc::BitString("110100").reversed().to_string(), "001011");
+  EXPECT_EQ(fc::BitString("").reversed().to_string(), "");
+}
+
+TEST(BitString, Concatenation) {
+  const fc::BitString w = fc::BitString("11") + fc::BitString("1001");
+  EXPECT_EQ(w.to_string(), "111001");
+}
+
+TEST(BitString, PrefixRelation) {
+  EXPECT_TRUE(fc::BitString("10").is_prefix_of(fc::BitString("1011")));
+  EXPECT_TRUE(fc::BitString("10").is_prefix_of(fc::BitString("10")));
+  EXPECT_FALSE(fc::BitString("11").is_prefix_of(fc::BitString("1011")));
+  EXPECT_FALSE(fc::BitString("1011").is_prefix_of(fc::BitString("10")));
+}
+
+TEST(BitString, MsbAndLsbValues) {
+  const fc::BitString w("1001");
+  EXPECT_EQ(w.to_uint_msb_first(), 9U);
+  EXPECT_EQ(w.to_uint_lsb_first(), 9U);  // palindrome
+  const fc::BitString u("110");
+  EXPECT_EQ(u.to_uint_msb_first(), 6U);
+  EXPECT_EQ(u.to_uint_lsb_first(), 3U);
+}
+
+// ------------------------------------------------------- Elias codes -------
+
+TEST(EliasOmega, PaperAppendixExamples) {
+  // Appendix B: ω(1) = 0; ω(9) = 11 1001 0.
+  EXPECT_EQ(fc::elias_omega(1).to_string(), "0");
+  EXPECT_EQ(fc::elias_omega(9).to_string(), "1110010");
+}
+
+TEST(EliasOmega, PaperTableOneToFifteen) {
+  // The paper's full list for 1..15 (spaces removed).
+  const char* expected[] = {"0",        "100",      "110",      "101000",   "101010",
+                            "101100",   "101110",   "1110000",  "1110010",  "1110100",
+                            "1110110",  "1111000",  "1111010",  "1111100",  "1111110"};
+  for (std::uint64_t i = 1; i <= 15; ++i) {
+    EXPECT_EQ(fc::elias_omega(i).to_string(), expected[i - 1]) << "omega(" << i << ")";
+  }
+}
+
+TEST(EliasGamma, KnownCodewords) {
+  EXPECT_EQ(fc::elias_gamma(1).to_string(), "1");
+  EXPECT_EQ(fc::elias_gamma(2).to_string(), "010");
+  EXPECT_EQ(fc::elias_gamma(5).to_string(), "00101");
+  EXPECT_EQ(fc::elias_gamma(9).to_string(), "0001001");
+}
+
+TEST(EliasDelta, KnownCodewords) {
+  EXPECT_EQ(fc::elias_delta(1).to_string(), "1");
+  EXPECT_EQ(fc::elias_delta(2).to_string(), "0100");
+  EXPECT_EQ(fc::elias_delta(9).to_string(), "00100001");
+}
+
+TEST(Unary, KnownCodewords) {
+  EXPECT_EQ(fc::unary_code(1).to_string(), "0");
+  EXPECT_EQ(fc::unary_code(4).to_string(), "1110");
+}
+
+TEST(Codes, RejectZero) {
+  EXPECT_THROW(fc::elias_omega(0), std::invalid_argument);
+  EXPECT_THROW(fc::elias_gamma(0), std::invalid_argument);
+  EXPECT_THROW(fc::elias_delta(0), std::invalid_argument);
+  EXPECT_THROW(fc::unary_code(0), std::invalid_argument);
+}
+
+namespace {
+
+/// Decodes `w` (optionally with `padding` zero bits appended) via `family`.
+std::uint64_t decode_string(fc::CodeFamily family, const fc::BitString& w) {
+  std::size_t cursor = 0;
+  return fc::decode(family, [&]() {
+    const bool b = cursor < w.size() && w.bit(cursor);
+    ++cursor;
+    return b;
+  });
+}
+
+}  // namespace
+
+class CodeFamilyTest : public ::testing::TestWithParam<fc::CodeFamily> {};
+
+TEST_P(CodeFamilyTest, DecodeInvertsEncodeSmall) {
+  const fc::CodeFamily family = GetParam();
+  const std::uint64_t limit = family == fc::CodeFamily::kUnary ? 300 : 5000;
+  for (std::uint64_t i = 1; i <= limit; ++i) {
+    EXPECT_EQ(decode_string(family, fc::encode(family, i)), i) << "i=" << i;
+  }
+}
+
+TEST_P(CodeFamilyTest, LengthFunctionMatchesCodeword) {
+  const fc::CodeFamily family = GetParam();
+  const std::uint64_t limit = family == fc::CodeFamily::kUnary ? 300 : 5000;
+  for (std::uint64_t i = 1; i <= limit; ++i) {
+    EXPECT_EQ(fc::code_length(family, i), fc::encode(family, i).size()) << "i=" << i;
+  }
+}
+
+TEST_P(CodeFamilyTest, IsPrefixFree) {
+  const fc::CodeFamily family = GetParam();
+  const std::uint64_t limit = family == fc::CodeFamily::kUnary ? 200 : 2000;
+  std::vector<fc::BitString> book;
+  book.reserve(limit);
+  for (std::uint64_t i = 1; i <= limit; ++i) {
+    book.push_back(fc::encode(family, i));
+  }
+  EXPECT_TRUE(fc::is_prefix_free(book));
+  EXPECT_TRUE(fc::prefix_violations(book).empty());
+}
+
+TEST_P(CodeFamilyTest, KraftSumAtMostOne) {
+  const fc::CodeFamily family = GetParam();
+  std::vector<fc::BitString> book;
+  for (std::uint64_t i = 1; i <= 500; ++i) {
+    book.push_back(fc::encode(family, i));
+  }
+  EXPECT_LE(fc::kraft_sum(book), 1.0 + 1e-12);
+}
+
+TEST_P(CodeFamilyTest, DecodeHolidayIsTotalAndConsistent) {
+  const fc::CodeFamily family = GetParam();
+  // For every holiday t, decode_holiday gives the unique color whose slot
+  // matches t (verified against slots of the first 64 colors).
+  std::vector<fc::ScheduleSlot> slots;
+  for (std::uint64_t c = 1; c <= 64; ++c) {
+    slots.push_back(fc::slot_of(fc::encode(family, c)));
+  }
+  for (std::uint64_t t = 1; t <= 4096; ++t) {
+    // nullopt means the holiday's unique color exceeds the 64-bit range
+    // (e.g. delta at t = 2^12: the decoded length prefix is astronomical);
+    // then in particular no *small* color may match.
+    const auto color = fc::decode_holiday(family, t);
+    for (std::uint64_t c = 1; c <= 64; ++c) {
+      const bool matches = slots[c - 1].matches(t);
+      EXPECT_EQ(matches, color.has_value() && *color == c) << "t=" << t << " c=" << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, CodeFamilyTest,
+                         ::testing::Values(fc::CodeFamily::kUnary, fc::CodeFamily::kEliasGamma,
+                                           fc::CodeFamily::kEliasDelta,
+                                           fc::CodeFamily::kEliasOmega),
+                         [](const auto& param_info) {
+                           return fc::code_family_name(param_info.param);
+                         });
+
+TEST(EliasOmega, LengthMatchesPaperRecursion) {
+  // ρ(n) = 1 + rb(n), rb(1) = 0, rb(i) = |B(i)| + rb(|B(i)|-1).
+  EXPECT_EQ(fc::elias_omega_length(1), 1U);
+  EXPECT_EQ(fc::elias_omega_length(2), 3U);
+  EXPECT_EQ(fc::elias_omega_length(3), 3U);
+  EXPECT_EQ(fc::elias_omega_length(4), 6U);
+  EXPECT_EQ(fc::elias_omega_length(9), 7U);
+  EXPECT_EQ(fc::elias_omega_length(16), 11U);
+  EXPECT_EQ(fc::elias_omega_length(100), 13U);  // 1 + |B(100)| + |B(6)| + |B(2)| = 1+7+3+2
+}
+
+TEST(EliasOmega, LengthIsWithinTheoremBound) {
+  // 2^ρ(c) ≤ 2^{1+log* c} · φ(c)  (Theorem 4.2).
+  for (std::uint64_t c = 1; c <= 100'000; c = c < 100 ? c + 1 : c * 3 / 2) {
+    const double period = std::exp2(static_cast<double>(fc::elias_omega_length(c)));
+    EXPECT_LE(period, fc::omega_period_bound(c) * (1.0 + 1e-9)) << "c=" << c;
+  }
+}
+
+// ----------------------------------------------------- iterated logs -------
+
+TEST(IteratedLog, FloorCeilLog2) {
+  EXPECT_EQ(fc::floor_log2(1), 0U);
+  EXPECT_EQ(fc::floor_log2(2), 1U);
+  EXPECT_EQ(fc::floor_log2(3), 1U);
+  EXPECT_EQ(fc::floor_log2(1024), 10U);
+  EXPECT_EQ(fc::ceil_log2(1), 0U);
+  EXPECT_EQ(fc::ceil_log2(2), 1U);
+  EXPECT_EQ(fc::ceil_log2(3), 2U);
+  EXPECT_EQ(fc::ceil_log2(1024), 10U);
+  EXPECT_EQ(fc::ceil_log2(1025), 11U);
+}
+
+TEST(IteratedLog, LogStarValues) {
+  EXPECT_EQ(fc::log_star(1.0), 0U);
+  EXPECT_EQ(fc::log_star(2.0), 1U);
+  EXPECT_EQ(fc::log_star(4.0), 2U);
+  EXPECT_EQ(fc::log_star(16.0), 3U);
+  EXPECT_EQ(fc::log_star(65536.0), 4U);
+  EXPECT_EQ(fc::log_star(1e30), 5U);
+}
+
+TEST(IteratedLog, PhiMatchesDefinition) {
+  // φ(i) = 1 for i ≤ 1; φ(i) = i · φ(log i).
+  EXPECT_DOUBLE_EQ(fc::phi(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(fc::phi(2.0), 2.0);              // 2 · φ(1)
+  EXPECT_DOUBLE_EQ(fc::phi(4.0), 4.0 * 2.0);        // 4 · φ(2)
+  EXPECT_DOUBLE_EQ(fc::phi(16.0), 16.0 * fc::phi(4.0));
+  EXPECT_NEAR(fc::phi(256.0), 256.0 * fc::phi(8.0), 1e-9);
+}
+
+TEST(IteratedLog, PhiIsMonotone) {
+  double prev = 0.0;
+  for (double x = 1.0; x < 1e6; x *= 1.7) {
+    const double value = fc::phi(x);
+    EXPECT_GE(value, prev);
+    prev = value;
+  }
+}
+
+TEST(IteratedLog, ReciprocalSumOfSquaresConverges) {
+  // Σ 1/c² over [1, 10^6] ≈ π²/6.
+  const double sum =
+      fc::reciprocal_sum(1, 1'000'000, [](std::uint64_t c) { return static_cast<double>(c) * c; });
+  EXPECT_NEAR(sum, 1.6449340668, 1e-5);
+}
+
+TEST(IteratedLog, ReciprocalSumLinearDiverges) {
+  // Σ 1/c over [1, N] ≈ ln N + γ — clearly above 1 for modest N.
+  const double sum =
+      fc::reciprocal_sum(1, 100'000, [](std::uint64_t c) { return static_cast<double>(c); });
+  EXPECT_GT(sum, 10.0);
+}
+
+// ------------------------------------------------------------ slots --------
+
+TEST(ScheduleSlot, PeriodAndResidueFromCodeword) {
+  // ω(9) = 1110010; reversed occupies the low 7 bits of t.
+  const fc::ScheduleSlot slot = fc::slot_of(fc::elias_omega(9));
+  EXPECT_EQ(slot.length, 7U);
+  EXPECT_EQ(slot.period(), 128U);
+  // residue: bits of "1110010" with leftmost = LSB: 1+2+4+32 = 39.
+  EXPECT_EQ(slot.residue, 39U);
+  EXPECT_TRUE(slot.matches(39));
+  EXPECT_TRUE(slot.matches(39 + 128));
+  EXPECT_FALSE(slot.matches(40));
+}
+
+TEST(ScheduleSlot, MatchesIsExactlyPeriodic) {
+  const fc::ScheduleSlot slot = fc::slot_of(fc::elias_omega(5));
+  std::uint64_t previous = 0;
+  std::uint64_t count = 0;
+  for (std::uint64_t t = 1; t <= 10'000; ++t) {
+    if (slot.matches(t)) {
+      if (previous != 0) {
+        EXPECT_EQ(t - previous, slot.period());
+      }
+      previous = t;
+      ++count;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(count), 10'000.0 / static_cast<double>(slot.period()), 1.0);
+}
+
+TEST(ScheduleSlot, RejectsBadCodewords) {
+  EXPECT_THROW(static_cast<void>(fc::slot_of(fc::BitString(""))), std::invalid_argument);
+}
+
+TEST(PrefixFree, DetectsViolations) {
+  const std::vector<fc::BitString> bad{fc::BitString("10"), fc::BitString("101")};
+  EXPECT_FALSE(fc::is_prefix_free(bad));
+  const auto witnesses = fc::prefix_violations(bad);
+  ASSERT_EQ(witnesses.size(), 1U);
+  EXPECT_EQ(witnesses[0].first, 0U);
+  EXPECT_EQ(witnesses[0].second, 1U);
+}
+
+TEST(PrefixFree, DetectsDuplicates) {
+  const std::vector<fc::BitString> bad{fc::BitString("10"), fc::BitString("10")};
+  EXPECT_FALSE(fc::is_prefix_free(bad));
+}
+
+TEST(PrefixFree, AcceptsFixedWidthCode) {
+  std::vector<fc::BitString> book;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    book.push_back(fc::BitString::binary(i, 4));
+  }
+  EXPECT_TRUE(fc::is_prefix_free(book));
+  EXPECT_DOUBLE_EQ(fc::kraft_sum(book), 1.0);
+}

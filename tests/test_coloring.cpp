@@ -1,0 +1,182 @@
+// Tests for fhg::coloring — validation, greedy orderings, DSATUR, bipartite
+// and the paper-critical invariants (properness, col ≤ deg+1).
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "fhg/coloring/coloring.hpp"
+#include "fhg/coloring/dsatur.hpp"
+#include "fhg/coloring/greedy.hpp"
+#include "fhg/graph/generators.hpp"
+#include "fhg/graph/properties.hpp"
+
+namespace fg = fhg::graph;
+namespace fc = fhg::coloring;
+
+// ----------------------------------------------------------- Coloring ------
+
+TEST(Coloring, StartsUncolored) {
+  const fc::Coloring c(4);
+  EXPECT_FALSE(c.complete());
+  EXPECT_EQ(c.max_color(), 0U);
+  EXPECT_EQ(c.distinct_colors(), 0U);
+}
+
+TEST(Coloring, ProperDetectsConflicts) {
+  const fg::Graph g = fg::path(3);  // 0-1-2
+  fc::Coloring ok(3);
+  ok.set_color(0, 1);
+  ok.set_color(1, 2);
+  ok.set_color(2, 1);
+  EXPECT_TRUE(ok.proper(g));
+  fc::Coloring bad = ok;
+  bad.set_color(2, 2);
+  EXPECT_FALSE(bad.proper(g));
+}
+
+TEST(Coloring, PartialColoringCanBeProper) {
+  const fg::Graph g = fg::path(3);
+  fc::Coloring partial(3);
+  partial.set_color(0, 1);
+  EXPECT_TRUE(partial.proper(g));
+  EXPECT_FALSE(partial.complete());
+}
+
+TEST(Coloring, DegreeBounded) {
+  const fg::Graph g = fg::star(4);  // hub degree 3, leaves degree 1
+  fc::Coloring c(4);
+  c.set_color(0, 4);  // hub: deg+1 = 4, boundary ok
+  c.set_color(1, 2);
+  c.set_color(2, 2);
+  c.set_color(3, 2);
+  EXPECT_TRUE(c.degree_bounded(g));
+  c.set_color(1, 3);  // leaf: deg+1 = 2 < 3
+  EXPECT_FALSE(c.degree_bounded(g));
+}
+
+// ------------------------------------------------------------- greedy ------
+
+using GreedyCase = std::tuple<fc::Order, int>;  // ordering, graph index
+
+class GreedyColoringTest : public ::testing::TestWithParam<GreedyCase> {
+ protected:
+  static fg::Graph make_graph(int index) {
+    switch (index) {
+      case 0:
+        return fg::gnp(200, 0.05, 11);
+      case 1:
+        return fg::barabasi_albert(300, 3, 7);
+      case 2:
+        return fg::clique(12);
+      case 3:
+        return fg::cycle(25);
+      case 4:
+        return fg::random_tree(150, 3);
+      default:
+        return fg::grid2d(10, 12);
+    }
+  }
+};
+
+TEST_P(GreedyColoringTest, ProperCompleteAndDegreeBounded) {
+  const auto [order, graph_index] = GetParam();
+  const fg::Graph g = make_graph(graph_index);
+  const fc::Coloring coloring = fc::greedy_color(g, order, /*seed=*/5);
+  EXPECT_TRUE(coloring.complete());
+  EXPECT_TRUE(coloring.proper(g));
+  // The §3/§4 requirement: every greedy order gives col(v) ≤ deg(v)+1.
+  EXPECT_TRUE(coloring.degree_bounded(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OrderingsTimesGraphs, GreedyColoringTest,
+    ::testing::Combine(::testing::Values(fc::Order::kIdentity, fc::Order::kRandom,
+                                         fc::Order::kLargestFirst, fc::Order::kSmallestLast),
+                       ::testing::Range(0, 6)));
+
+TEST(Greedy, SmallestLastRespectsDegeneracy) {
+  // Coloring along reverse degeneracy order uses ≤ degeneracy+1 colors.
+  const fg::Graph g = fg::barabasi_albert(400, 3, 13);
+  const auto degeneracy = fg::degeneracy_order(g).degeneracy;
+  const fc::Coloring coloring = fc::greedy_color(g, fc::Order::kSmallestLast);
+  EXPECT_LE(coloring.max_color(), degeneracy + 1);
+}
+
+TEST(Greedy, CliqueUsesExactlyNColors) {
+  const fg::Graph g = fg::clique(9);
+  const fc::Coloring coloring = fc::greedy_color(g, fc::Order::kIdentity);
+  EXPECT_EQ(coloring.max_color(), 9U);
+}
+
+TEST(Greedy, SmallestFreeColorAboveFloor) {
+  const fg::Graph g = fg::star(4);
+  fc::Coloring c(4);
+  c.set_color(1, 6);
+  c.set_color(2, 7);
+  c.set_color(3, 9);
+  // Hub: smallest color > 5 avoiding {6,7,9} is 8.
+  EXPECT_EQ(fc::smallest_free_color_above(g, c, 0, 5), 8U);
+  // And > 9 is 10.
+  EXPECT_EQ(fc::smallest_free_color_above(g, c, 0, 9), 10U);
+}
+
+TEST(Greedy, OrderMustBePermutation) {
+  const fg::Graph g = fg::path(4);
+  const std::vector<fg::NodeId> short_order{0, 1};
+  EXPECT_THROW(static_cast<void>(fc::greedy_color(g, short_order)), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ bipartite ----
+
+TEST(BipartiteColor, TwoColorsOnBipartite) {
+  const fg::Graph g = fg::complete_bipartite(5, 7);
+  const auto coloring = fc::bipartite_color(g);
+  ASSERT_TRUE(coloring.has_value());
+  EXPECT_TRUE(coloring->proper(g));
+  EXPECT_LE(coloring->max_color(), 2U);
+}
+
+TEST(BipartiteColor, FailsOnOddCycle) {
+  EXPECT_FALSE(fc::bipartite_color(fg::cycle(7)).has_value());
+}
+
+// --------------------------------------------------------------- DSATUR ----
+
+TEST(Dsatur, ProperOnRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const fg::Graph g = fg::gnp(150, 0.08, seed);
+    const fc::Coloring coloring = fc::dsatur_color(g);
+    EXPECT_TRUE(coloring.complete());
+    EXPECT_TRUE(coloring.proper(g));
+  }
+}
+
+TEST(Dsatur, OptimalOnBipartite) {
+  const fg::Graph g = fg::random_bipartite(40, 40, 0.3, 17);
+  const fc::Coloring coloring = fc::dsatur_color(g);
+  EXPECT_TRUE(coloring.proper(g));
+  EXPECT_LE(coloring.max_color(), 2U);  // DSATUR is exact on bipartite graphs
+}
+
+TEST(Dsatur, ExactOnClique) {
+  const fc::Coloring coloring = fc::dsatur_color(fg::clique(8));
+  EXPECT_EQ(coloring.max_color(), 8U);
+}
+
+TEST(Dsatur, NoWorseThanLargestFirstOnSparse) {
+  const fg::Graph g = fg::gnp(300, 0.03, 23);
+  const auto dsatur = fc::dsatur_color(g).max_color();
+  const auto greedy = fc::greedy_color(g, fc::Order::kIdentity).max_color();
+  EXPECT_LE(dsatur, greedy + 1);  // typically strictly smaller
+}
+
+// ------------------------------------------------------------ sequential ---
+
+TEST(SequentialColor, MatchesPaperTrivialExample) {
+  const fg::Graph g = fg::gnp(50, 0.2, 29);
+  const fc::Coloring coloring = fc::sequential_color(g);
+  EXPECT_TRUE(coloring.proper(g));       // all colors distinct
+  EXPECT_EQ(coloring.max_color(), 50U);  // and therefore global: |P| colors
+  EXPECT_EQ(coloring.distinct_colors(), 50U);
+}

@@ -1,0 +1,506 @@
+// Tests for fhg::core — gatherings/orientations, all five schedulers, the
+// gap tracker, auditor and driver.  These encode the paper's theorems as
+// executable properties.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fhg/coding/iterated_log.hpp"
+#include "fhg/coloring/dsatur.hpp"
+#include "fhg/coloring/greedy.hpp"
+#include "fhg/core/auditor.hpp"
+#include "fhg/core/degree_bound.hpp"
+#include "fhg/core/driver.hpp"
+#include "fhg/core/fcfg.hpp"
+#include "fhg/core/gap_tracker.hpp"
+#include "fhg/core/gathering.hpp"
+#include "fhg/core/phased_greedy.hpp"
+#include "fhg/core/prefix_code_scheduler.hpp"
+#include "fhg/core/round_robin.hpp"
+#include "fhg/graph/generators.hpp"
+#include "fhg/graph/properties.hpp"
+
+namespace fg = fhg::graph;
+namespace fc = fhg::coloring;
+namespace fco = fhg::core;
+namespace fcd = fhg::coding;
+
+// ------------------------------------------------------------ Gathering ----
+
+TEST(Gathering, DefaultPointsToLowerEndpoint) {
+  const fg::Graph g = fg::path(3);  // 0-1-2
+  const fco::Gathering h(g);
+  EXPECT_TRUE(h.points_to(1, 0));
+  EXPECT_FALSE(h.points_to(0, 1));
+  EXPECT_TRUE(h.points_to(2, 1));
+}
+
+TEST(Gathering, OrientAndQuery) {
+  const fg::Graph g = fg::cycle(4);
+  fco::Gathering h(g);
+  h.orient(0, 1, 1);
+  EXPECT_TRUE(h.points_to(0, 1));
+  h.orient(0, 1, 0);
+  EXPECT_TRUE(h.points_to(1, 0));
+  EXPECT_THROW(h.orient(0, 1, 3), std::invalid_argument);
+  EXPECT_THROW(h.orient(0, 2, 0), std::invalid_argument);  // no such edge
+}
+
+TEST(Gathering, HappyIsSink) {
+  const fg::Graph g = fg::star(4);
+  fco::Gathering h(g);
+  for (fg::NodeId leaf = 1; leaf < 4; ++leaf) {
+    h.orient(0, leaf, 0);
+  }
+  EXPECT_TRUE(h.happy(0));
+  EXPECT_FALSE(h.happy(1));  // its only edge points away
+  EXPECT_TRUE(h.satisfied(0));
+  EXPECT_FALSE(h.satisfied(1));
+}
+
+TEST(Gathering, HappySetIsIndependent) {
+  const fg::Graph g = fg::gnp(40, 0.15, 3);
+  fco::Gathering h(g);  // arbitrary orientation
+  const auto happy = h.happy_set();
+  EXPECT_TRUE(fg::is_independent_set(g, happy));
+}
+
+TEST(Gathering, FromHappySetMakesExactlyThoseSinks) {
+  const fg::Graph g = fg::cycle(6);
+  const std::vector<fg::NodeId> want{0, 2, 4};
+  const fco::Gathering h = fco::Gathering::from_happy_set(g, want);
+  EXPECT_EQ(h.happy_set(), want);
+}
+
+TEST(Gathering, FromHappySetRejectsDependentNodes) {
+  const fg::Graph g = fg::path(3);
+  const std::vector<fg::NodeId> bad{0, 1};
+  EXPECT_THROW(static_cast<void>(fco::Gathering::from_happy_set(g, bad)), std::invalid_argument);
+}
+
+TEST(Gathering, IsolatedNodeIsHappyNotSatisfied) {
+  const fg::Graph g(1);
+  const fco::Gathering h(g);
+  EXPECT_TRUE(h.happy(0));
+  EXPECT_FALSE(h.satisfied(0));
+}
+
+// ------------------------------------------------------------ GapTracker ---
+
+TEST(GapTracker, TracksGapsIncludingFirstWait) {
+  fco::GapTracker tracker(2);
+  const std::vector<fg::NodeId> only_zero{0};
+  tracker.observe(3, only_zero);   // first wait: gap 3
+  tracker.observe(5, only_zero);   // gap 2
+  tracker.observe(10, only_zero);  // gap 5
+  EXPECT_EQ(tracker.max_gap(0), 5U);
+  EXPECT_EQ(tracker.mul(0), 4U);
+  EXPECT_EQ(tracker.appearances(0), 3U);
+  EXPECT_EQ(tracker.max_gap(1), 0U);
+  EXPECT_EQ(tracker.max_gap_with_tail(1, 10), 11U);  // never appeared
+}
+
+TEST(GapTracker, DetectsExactPeriod) {
+  fco::GapTracker tracker(1);
+  const std::vector<fg::NodeId> node{0};
+  tracker.observe(4, node);
+  tracker.observe(8, node);
+  tracker.observe(12, node);
+  EXPECT_EQ(tracker.detected_period(0), std::optional<std::uint64_t>(4));
+}
+
+TEST(GapTracker, RejectsInconsistentPeriod) {
+  fco::GapTracker tracker(1);
+  const std::vector<fg::NodeId> node{0};
+  tracker.observe(4, node);
+  tracker.observe(8, node);
+  tracker.observe(13, node);
+  EXPECT_FALSE(tracker.detected_period(0).has_value());
+}
+
+// -------------------------------------------------------------- Auditor ----
+
+TEST(Auditor, FlagsDependentHappySet) {
+  const fg::Graph g = fg::path(3);
+  fco::ScheduleAuditor auditor(g);
+  const std::vector<fg::NodeId> bad{0, 1};
+  EXPECT_FALSE(auditor.check(1, bad));
+  EXPECT_FALSE(auditor.all_ok());
+  EXPECT_EQ(auditor.violations(), 1U);
+  EXPECT_FALSE(auditor.first_violation().empty());
+}
+
+TEST(Auditor, FlagsTwoColorHoliday) {
+  const fg::Graph g(4);  // no edges: any set is independent
+  fc::Coloring coloring(4);
+  for (fg::NodeId v = 0; v < 4; ++v) {
+    coloring.set_color(v, v % 2 + 1);
+  }
+  fco::ScheduleAuditor auditor(g, &coloring);
+  const std::vector<fg::NodeId> mixed{0, 1};
+  EXPECT_FALSE(auditor.check(1, mixed));
+  const std::vector<fg::NodeId> uniform{0, 2};
+  fco::ScheduleAuditor auditor2(g, &coloring);
+  EXPECT_TRUE(auditor2.check(1, uniform));
+}
+
+// ------------------------------------------------------------ Round robin --
+
+TEST(RoundRobin, CyclesThroughColorClasses) {
+  const fg::Graph g = fg::cycle(6);
+  const fc::Coloring coloring = fc::greedy_color(g, fc::Order::kIdentity);
+  fco::RoundRobinColorScheduler scheduler(g, coloring);
+  const auto report = fco::run_schedule(scheduler, {.horizon = 60, .coloring = &coloring});
+  EXPECT_TRUE(report.independence_ok);
+  EXPECT_TRUE(report.one_color_ok);
+  EXPECT_TRUE(report.bounds_respected);
+  // Every node's period equals the number of colors — a global bound.
+  const auto colors = coloring.max_color();
+  for (fg::NodeId v = 0; v < 6; ++v) {
+    EXPECT_EQ(report.detected_period[v], std::optional<std::uint64_t>(colors));
+  }
+}
+
+TEST(RoundRobin, GlobalBoundIgnoresDegree) {
+  // The §1 anti-pattern: a single-child parent waits Δ+1 like everyone else.
+  const fg::Graph g = fg::star(30);
+  const fc::Coloring coloring = fc::greedy_color(g, fc::Order::kLargestFirst);
+  fco::RoundRobinColorScheduler scheduler(g, coloring);
+  const auto report = fco::run_schedule(scheduler, {.horizon = 100});
+  // Leaf (degree 1) still waits `colors` (= 2 here) — fine; the instructive
+  // case is the sequential coloring where it waits |P|:
+  const fc::Coloring sequential = fc::sequential_color(g);
+  fco::RoundRobinColorScheduler trivial(g, sequential);
+  const auto trivial_report = fco::run_schedule(trivial, {.horizon = 90});
+  for (fg::NodeId v = 0; v < 30; ++v) {
+    EXPECT_EQ(trivial_report.detected_period[v], std::optional<std::uint64_t>(30));
+  }
+  (void)report;
+}
+
+TEST(RoundRobin, RequiresProperColoring) {
+  const fg::Graph g = fg::path(2);
+  fc::Coloring bad(2);
+  bad.set_color(0, 1);
+  bad.set_color(1, 1);
+  EXPECT_THROW(fco::RoundRobinColorScheduler(g, bad), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- Phased greedy --
+
+class PhasedGreedyTest : public ::testing::TestWithParam<int> {
+ protected:
+  static fg::Graph make_graph(int index) {
+    switch (index) {
+      case 0:
+        return fg::gnp(120, 0.06, 5);
+      case 1:
+        return fg::clique(10);
+      case 2:
+        return fg::barabasi_albert(150, 3, 7);
+      case 3:
+        return fg::star(25);
+      case 4:
+        return fg::grid2d(9, 9);
+      default:
+        return fg::random_tree(100, 11);
+    }
+  }
+};
+
+TEST_P(PhasedGreedyTest, TheoremThreeOneGapBound) {
+  const fg::Graph g = make_graph(GetParam());
+  const fc::Coloring initial = fc::greedy_color(g, fc::Order::kLargestFirst);
+  fco::PhasedGreedyScheduler scheduler(g, initial);
+  const auto report = fco::run_schedule(scheduler, {.horizon = 2000});
+  EXPECT_TRUE(report.independence_ok);
+  EXPECT_TRUE(report.bounds_respected)
+      << "first violator: "
+      << (report.bound_violators.empty() ? -1 : static_cast<int>(report.bound_violators[0]));
+  for (fg::NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_LE(report.max_gap_with_tail[v], g.degree(v) + std::uint64_t{1}) << "node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, PhasedGreedyTest, ::testing::Range(0, 6));
+
+TEST(PhasedGreedy, IsGenerallyAperiodic) {
+  // On an odd cycle some node must see unequal gaps (period 2 is impossible
+  // for all, and phased greedy adapts colors on the fly).
+  const fg::Graph g = fg::cycle(9);
+  fco::PhasedGreedyScheduler scheduler(g, fc::greedy_color(g, fc::Order::kIdentity));
+  const auto report = fco::run_schedule(scheduler, {.horizon = 3000});
+  bool some_aperiodic = false;
+  for (fg::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!report.detected_period[v].has_value()) {
+      some_aperiodic = true;
+    }
+  }
+  EXPECT_TRUE(some_aperiodic);
+  EXPECT_FALSE(scheduler.perfectly_periodic());
+}
+
+TEST(PhasedGreedy, ResetReplaysIdentically) {
+  const fg::Graph g = fg::gnp(60, 0.1, 17);
+  fco::PhasedGreedyScheduler scheduler(g, fc::greedy_color(g, fc::Order::kLargestFirst));
+  std::vector<std::vector<fg::NodeId>> first;
+  for (int i = 0; i < 50; ++i) {
+    first.push_back(scheduler.next_holiday());
+  }
+  scheduler.reset();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(scheduler.next_holiday(), first[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(PhasedGreedy, IsolatedNodeHappyEveryHoliday) {
+  fg::GraphBuilder b(3);
+  b.add_edge(0, 1);  // node 2 isolated
+  const fg::Graph g = std::move(b).build();
+  fco::PhasedGreedyScheduler scheduler(g, fc::greedy_color(g, fc::Order::kIdentity));
+  for (int t = 1; t <= 10; ++t) {
+    const auto happy = scheduler.next_holiday();
+    EXPECT_TRUE(std::find(happy.begin(), happy.end(), 2U) != happy.end()) << "holiday " << t;
+  }
+}
+
+// ------------------------------------------------------------ Prefix code --
+
+class PrefixCodeSchedulerTest
+    : public ::testing::TestWithParam<std::tuple<fcd::CodeFamily, int>> {
+ protected:
+  static fg::Graph make_graph(int index) {
+    switch (index) {
+      case 0:
+        return fg::gnp(100, 0.05, 23);
+      case 1:
+        return fg::complete_bipartite(8, 12);
+      case 2:
+        return fg::barabasi_albert(120, 2, 29);
+      default:
+        return fg::clique(8);
+    }
+  }
+};
+
+TEST_P(PrefixCodeSchedulerTest, PerfectlyPeriodicOneColorIndependent) {
+  const auto [family, graph_index] = GetParam();
+  const fg::Graph g = make_graph(graph_index);
+  const fc::Coloring coloring = fc::dsatur_color(g);
+  fco::PrefixCodeScheduler scheduler(g, coloring, family);
+
+  // Horizon: at least two periods of the slowest node.
+  std::uint64_t horizon = 64;
+  for (fg::NodeId v = 0; v < g.num_nodes(); ++v) {
+    horizon = std::max(horizon, 2 * scheduler.period_of(v).value());
+  }
+  const auto report = fco::run_schedule(scheduler, {.horizon = horizon, .coloring = &coloring});
+  EXPECT_TRUE(report.independence_ok);
+  EXPECT_TRUE(report.one_color_ok);  // Theorem 4.1 hypothesis holds by construction
+  EXPECT_TRUE(report.bounds_respected);
+  for (fg::NodeId v = 0; v < g.num_nodes(); ++v) {
+    // Perfect periodicity: every observed gap equals 2^|K(c)| exactly.
+    EXPECT_EQ(report.detected_period[v], scheduler.period_of(v)) << "node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesTimesGraphs, PrefixCodeSchedulerTest,
+    ::testing::Combine(::testing::Values(fcd::CodeFamily::kEliasGamma,
+                                         fcd::CodeFamily::kEliasDelta,
+                                         fcd::CodeFamily::kEliasOmega),
+                       ::testing::Range(0, 4)));
+
+TEST(PrefixCodeScheduler, OmegaPeriodMatchesRho) {
+  const fg::Graph g = fg::gnp(80, 0.08, 31);
+  const fc::Coloring coloring = fc::greedy_color(g, fc::Order::kLargestFirst);
+  fco::PrefixCodeScheduler scheduler(g, coloring, fcd::CodeFamily::kEliasOmega);
+  for (fg::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto c = coloring.color(v);
+    EXPECT_EQ(scheduler.period_of(v).value(),
+              std::uint64_t{1} << fcd::elias_omega_length(c));
+    // Theorem 4.2: period ≤ 2^{1+log* c} φ(c).
+    EXPECT_LE(static_cast<double>(scheduler.period_of(v).value()),
+              fcd::omega_period_bound(c) * (1 + 1e-9));
+  }
+}
+
+TEST(PrefixCodeScheduler, BipartiteSocietyAlternates) {
+  // The §1 motivating example: 2-colorable society → gamma code periods
+  // 2^1 = 2 and 2^3 = 8 for colors 1 and 2.
+  const fg::Graph g = fg::complete_bipartite(5, 5);
+  const fc::Coloring coloring = *fc::bipartite_color(g);
+  fco::PrefixCodeScheduler scheduler(g, coloring, fcd::CodeFamily::kEliasGamma);
+  for (fg::NodeId v = 0; v < 10; ++v) {
+    const std::uint64_t period = scheduler.period_of(v).value();
+    EXPECT_TRUE(period == 2 || period == 8) << "node " << v;
+  }
+}
+
+TEST(PrefixCodeScheduler, HappyAtAgreesWithNextHoliday) {
+  const fg::Graph g = fg::gnp(50, 0.1, 37);
+  const fc::Coloring coloring = fc::dsatur_color(g);
+  fco::PrefixCodeScheduler scheduler(g, coloring);
+  for (std::uint64_t t = 1; t <= 200; ++t) {
+    const auto happy = scheduler.next_holiday();
+    for (fg::NodeId v = 0; v < g.num_nodes(); ++v) {
+      const bool in_set = std::find(happy.begin(), happy.end(), v) != happy.end();
+      EXPECT_EQ(in_set, scheduler.happy_at(v, t));
+    }
+  }
+}
+
+// ----------------------------------------------------------- Degree bound --
+
+class DegreeBoundSchedulerTest : public ::testing::TestWithParam<int> {
+ protected:
+  static fg::Graph make_graph(int index) {
+    switch (index) {
+      case 0:
+        return fg::gnp(150, 0.04, 41);
+      case 1:
+        return fg::star(33);
+      case 2:
+        return fg::clique(9);
+      case 3:
+        return fg::barabasi_albert(200, 3, 43);
+      case 4:
+        return fg::caterpillar(15, 5);
+      default:
+        return fg::grid2d(12, 12);
+    }
+  }
+};
+
+TEST_P(DegreeBoundSchedulerTest, TheoremFiveThreePeriodBound) {
+  const fg::Graph g = make_graph(GetParam());
+  fco::DegreeBoundScheduler scheduler(g);
+
+  std::uint64_t horizon = 16;
+  for (fg::NodeId v = 0; v < g.num_nodes(); ++v) {
+    horizon = std::max(horizon, 3 * scheduler.period_of(v).value());
+  }
+  const auto report = fco::run_schedule(scheduler, {.horizon = horizon});
+  EXPECT_TRUE(report.independence_ok);
+  EXPECT_TRUE(report.bounds_respected);
+  for (fg::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const std::uint64_t d = g.degree(v);
+    const std::uint64_t period = scheduler.period_of(v).value();
+    EXPECT_EQ(period, std::uint64_t{1} << fcd::ceil_log2(d + 1));
+    if (d >= 1) {
+      EXPECT_LE(period, 2 * d);  // Theorem 5.3
+    }
+    EXPECT_EQ(report.detected_period[v], std::optional<std::uint64_t>(period));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, DegreeBoundSchedulerTest, ::testing::Range(0, 6));
+
+TEST(DegreeBound, LemmaFiveOneNoAdjacentCollision) {
+  const fg::Graph g = fg::gnp(200, 0.05, 47);
+  const auto slots = fco::assign_degree_bound_slots(g, fco::degree_bound_order(g));
+  EXPECT_TRUE(fco::slots_conflict_free(g, slots));
+}
+
+TEST(DegreeBound, BadOrderWithRandomPicksFails) {
+  // §6: letting low-degree nodes pick first exhausts the hub's residues.
+  // Increasing-degree order + random residue picks on a star must throw for
+  // some seed (leaves occupy both parities of the hub's modulus).
+  const fg::Graph g = fg::star(9);
+  std::vector<fg::NodeId> increasing = fco::degree_bound_order(g);
+  std::reverse(increasing.begin(), increasing.end());
+  bool failed = false;
+  for (std::uint64_t seed = 0; seed < 16 && !failed; ++seed) {
+    try {
+      const auto slots = fco::assign_degree_bound_slots(g, increasing,
+                                                        fco::ResiduePick::kRandomFree, seed);
+      // If it succeeded, the assignment must at least be conflict-free.
+      EXPECT_TRUE(fco::slots_conflict_free(g, slots));
+    } catch (const std::runtime_error&) {
+      failed = true;
+    }
+  }
+  EXPECT_TRUE(failed);
+}
+
+TEST(DegreeBound, IsolatedNodesHostEveryHoliday) {
+  const fg::Graph g(5);
+  fco::DegreeBoundScheduler scheduler(g);
+  for (int t = 1; t <= 4; ++t) {
+    EXPECT_EQ(scheduler.next_holiday().size(), 5U);
+  }
+}
+
+TEST(DegreeBound, RejectsConflictingSlots) {
+  const fg::Graph g = fg::path(2);
+  std::vector<fcd::ScheduleSlot> conflicting{{0, 1}, {0, 1}};  // same residue & period
+  EXPECT_THROW(fco::DegreeBoundScheduler(g, conflicting), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ FCFG ---
+
+TEST(Fcfg, HappyFrequencyMatchesOneOverDPlusOne) {
+  const fg::Graph g = fg::random_regular(60, 4, 53);
+  fco::FirstComeFirstGrabScheduler scheduler(g, /*seed=*/1);
+  constexpr std::uint64_t kHorizon = 20'000;
+  const auto report = fco::run_schedule(scheduler, {.horizon = kHorizon});
+  EXPECT_TRUE(report.independence_ok);
+  for (fg::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const double freq =
+        static_cast<double>(report.appearances[v]) / static_cast<double>(kHorizon);
+    EXPECT_NEAR(freq, 1.0 / 5.0, 0.02) << "node " << v;  // 1/(d+1), d = 4
+  }
+}
+
+TEST(Fcfg, DeterministicReplay) {
+  const fg::Graph g = fg::gnp(50, 0.1, 59);
+  fco::FirstComeFirstGrabScheduler a(g, 7);
+  fco::FirstComeFirstGrabScheduler b(g, 7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_holiday(), b.next_holiday());
+  }
+  fco::FirstComeFirstGrabScheduler c(g, 8);
+  c.reset();
+  bool any_different = false;
+  a.reset();
+  for (int i = 0; i < 100 && !any_different; ++i) {
+    any_different = a.next_holiday() != c.next_holiday();
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Fcfg, HappySetIsLocalMinima) {
+  const fg::Graph g = fg::clique(10);
+  fco::FirstComeFirstGrabScheduler scheduler(g, 3);
+  // In a clique exactly one parent grabs everything each holiday.
+  for (int t = 1; t <= 50; ++t) {
+    EXPECT_EQ(scheduler.next_holiday().size(), 1U);
+  }
+}
+
+TEST(Fcfg, NoGuaranteeMeansNoBound) {
+  const fg::Graph g = fg::cycle(8);
+  const fco::FirstComeFirstGrabScheduler scheduler(g, 5);
+  EXPECT_FALSE(scheduler.gap_bound(0).has_value());
+  EXPECT_FALSE(scheduler.perfectly_periodic());
+}
+
+// ----------------------------------------------------------------- driver --
+
+TEST(Driver, ThroughputAccounting) {
+  const fg::Graph g(4);  // no edges: everyone happy every holiday
+  const fc::Coloring coloring(std::vector<fc::Color>{1, 1, 1, 1});
+  fco::RoundRobinColorScheduler scheduler(g, coloring);
+  const auto report = fco::run_schedule(scheduler, {.horizon = 10});
+  EXPECT_EQ(report.total_happy, 40U);
+  EXPECT_EQ(report.max_happy_set, 4U);
+}
+
+TEST(Driver, ReportsSchedulerName) {
+  const fg::Graph g = fg::path(4);
+  fco::DegreeBoundScheduler scheduler(g);
+  const auto report = fco::run_schedule(scheduler, {.horizon = 8});
+  EXPECT_EQ(report.scheduler_name, "degree-bound");
+  EXPECT_EQ(report.horizon, 8U);
+}

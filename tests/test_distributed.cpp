@@ -1,0 +1,367 @@
+// Tests for fhg::distributed — the LOCAL-model simulator and the four
+// distributed algorithms (Johansson/palette coloring, Luby MIS, phased
+// greedy, degree-bound).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "fhg/coding/iterated_log.hpp"
+#include "fhg/coloring/greedy.hpp"
+#include "fhg/core/degree_bound.hpp"
+#include "fhg/core/phased_greedy.hpp"
+#include "fhg/distributed/degree_bound.hpp"
+#include "fhg/distributed/johansson.hpp"
+#include "fhg/distributed/luby.hpp"
+#include "fhg/distributed/network.hpp"
+#include "fhg/distributed/phased_greedy.hpp"
+#include "fhg/graph/generators.hpp"
+#include "fhg/graph/properties.hpp"
+
+namespace fg = fhg::graph;
+namespace fd = fhg::distributed;
+namespace fc = fhg::coloring;
+
+// ----------------------------------------------------------- SyncNetwork ---
+
+TEST(SyncNetwork, MessagesArriveNextRound) {
+  const fg::Graph g = fg::path(2);
+  fd::SyncNetwork net(g, 1);
+  std::vector<std::uint64_t> received(2, 0);
+  net.set_handler([&](fd::RoundContext& ctx) {
+    if (ctx.round() == 0) {
+      ctx.broadcast({ctx.self() + 100});
+    } else {
+      for (const fd::Message& m : ctx.inbox()) {
+        received[ctx.self()] = m.payload[0];
+      }
+      ctx.halt();
+    }
+  });
+  net.step();
+  EXPECT_EQ(received[0], 0U);  // nothing yet
+  net.step();
+  EXPECT_EQ(received[0], 101U);
+  EXPECT_EQ(received[1], 100U);
+  EXPECT_EQ(net.active_nodes(), 0U);
+}
+
+TEST(SyncNetwork, RejectsNonNeighborSend) {
+  const fg::Graph g = fg::path(3);  // 0-1-2; 0 and 2 not adjacent
+  fd::SyncNetwork net(g, 1);
+  net.set_handler([&](fd::RoundContext& ctx) {
+    if (ctx.self() == 0) {
+      EXPECT_THROW(ctx.send(2, {1}), std::invalid_argument);
+    }
+    ctx.halt();
+  });
+  net.step();
+}
+
+TEST(SyncNetwork, CountsMessagesAndWords) {
+  const fg::Graph g = fg::clique(4);
+  fd::SyncNetwork net(g, 1);
+  net.set_handler([](fd::RoundContext& ctx) {
+    if (ctx.round() == 0) {
+      ctx.broadcast({1, 2, 3});
+    } else {
+      ctx.halt();
+    }
+  });
+  net.step();
+  net.step();
+  EXPECT_EQ(net.stats().rounds, 2U);
+  EXPECT_EQ(net.stats().messages, 12U);  // 4 nodes × 3 neighbors
+  EXPECT_EQ(net.stats().words, 36U);
+}
+
+TEST(SyncNetwork, RunThrowsOnLivenessFailure) {
+  const fg::Graph g = fg::path(2);
+  fd::SyncNetwork net(g, 1);
+  net.set_handler([](fd::RoundContext&) { /* never halts */ });
+  EXPECT_THROW(net.run(5), std::runtime_error);
+}
+
+TEST(SyncNetwork, ParallelExecutionMatchesSerial) {
+  // A randomized protocol run twice — serial vs thread pool — must produce
+  // identical results (deterministic per-(node, round) RNG).
+  const fg::Graph g = fg::gnp(300, 0.02, 3);
+  const auto run = [&g](fhg::parallel::ThreadPool* pool) {
+    const fd::ColoringRun result = fd::johansson_color(g, /*seed=*/7, pool);
+    return std::vector<fc::Color>(result.coloring.colors().begin(),
+                                  result.coloring.colors().end());
+  };
+  fhg::parallel::ThreadPool pool(4);
+  EXPECT_EQ(run(nullptr), run(&pool));
+}
+
+TEST(SyncNetwork, InboxSortedBySender) {
+  const fg::Graph g = fg::star(5);
+  fd::SyncNetwork net(g, 1);
+  std::vector<fg::NodeId> senders;
+  net.set_handler([&](fd::RoundContext& ctx) {
+    if (ctx.round() == 0) {
+      ctx.broadcast({7});
+    } else {
+      if (ctx.self() == 0) {
+        for (const fd::Message& m : ctx.inbox()) {
+          senders.push_back(m.from);
+        }
+      }
+      ctx.halt();
+    }
+  });
+  net.step();
+  net.step();
+  EXPECT_TRUE(std::is_sorted(senders.begin(), senders.end()));
+  EXPECT_EQ(senders.size(), 4U);
+}
+
+// ------------------------------------------------------------ Johansson ----
+
+class JohanssonTest : public ::testing::TestWithParam<int> {
+ protected:
+  static fg::Graph make_graph(int index) {
+    switch (index) {
+      case 0:
+        return fg::gnp(400, 0.02, 5);
+      case 1:
+        return fg::clique(20);
+      case 2:
+        return fg::barabasi_albert(300, 4, 9);
+      case 3:
+        return fg::grid2d(15, 15);
+      default:
+        return fg::random_tree(200, 1);
+    }
+  }
+};
+
+TEST_P(JohanssonTest, ProducesProperDegreeBoundedColoring) {
+  const fg::Graph g = make_graph(GetParam());
+  const fd::ColoringRun run = fd::johansson_color(g, /*seed=*/42);
+  EXPECT_TRUE(run.coloring.complete());
+  EXPECT_TRUE(run.coloring.proper(g));
+  EXPECT_TRUE(run.coloring.degree_bounded(g));  // col(v) ≤ deg(v)+1: the [16] property
+  EXPECT_GT(run.stats.rounds, 0U);
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, JohanssonTest, ::testing::Range(0, 5));
+
+TEST(Johansson, RoundsGrowSlowly) {
+  // O(log n) w.h.p.: even at n = 4000 the 2-rounds-per-phase protocol should
+  // finish far below the generous engine cap.
+  const fg::Graph g = fg::gnp(4000, 0.002, 11);
+  const fd::ColoringRun run = fd::johansson_color(g, 1);
+  EXPECT_LT(run.stats.rounds, 64U);
+}
+
+TEST(Johansson, DeterministicForSeed) {
+  const fg::Graph g = fg::gnp(200, 0.03, 13);
+  const fd::ColoringRun a = fd::johansson_color(g, 99);
+  const fd::ColoringRun b = fd::johansson_color(g, 99);
+  EXPECT_TRUE(std::equal(a.coloring.colors().begin(), a.coloring.colors().end(),
+                         b.coloring.colors().begin()));
+}
+
+TEST(PaletteColor, RespectsRestrictedPalettes) {
+  // Color a cycle with palettes {10, 20, 30} — result must stay in-palette.
+  const fg::Graph g = fg::cycle(12);
+  std::vector<std::vector<fc::Color>> palettes(12, {10, 20, 30});
+  const fd::ColoringRun run =
+      fd::palette_color(g, palettes, std::vector<bool>(12, true), /*seed=*/3);
+  EXPECT_TRUE(run.coloring.proper(g));
+  for (fg::NodeId v = 0; v < 12; ++v) {
+    const fc::Color c = run.coloring.color(v);
+    EXPECT_TRUE(c == 10 || c == 20 || c == 30);
+  }
+}
+
+TEST(PaletteColor, NonParticipantsAreUntouchedAndUnconstraining) {
+  const fg::Graph g = fg::path(3);  // 0-1-2
+  std::vector<std::vector<fc::Color>> palettes{{1}, {}, {1}};
+  std::vector<bool> participate{true, false, true};
+  const fd::ColoringRun run = fd::palette_color(g, palettes, participate, 1);
+  // 0 and 2 are not adjacent, so both may take color 1; 1 stays uncolored.
+  EXPECT_EQ(run.coloring.color(0), 1U);
+  EXPECT_EQ(run.coloring.color(1), fc::kUncolored);
+  EXPECT_EQ(run.coloring.color(2), 1U);
+}
+
+TEST(PaletteColor, RejectsPigeonholeViolation) {
+  const fg::Graph g = fg::clique(3);
+  std::vector<std::vector<fc::Color>> palettes(3, {1, 2});  // 2 colors, 2 rivals
+  EXPECT_THROW(
+      static_cast<void>(fd::palette_color(g, palettes, std::vector<bool>(3, true), 1)),
+      std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- Luby ----
+
+class LubyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LubyTest, ProducesMaximalIndependentSet) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const fg::Graph g = fg::gnp(500, 0.01, seed + 100);
+  const fd::MisRun run = fd::luby_mis(g, seed);
+  EXPECT_TRUE(fg::is_independent_set(g, run.independent_set));
+  // Maximality: every node is in the set or adjacent to it.
+  std::vector<bool> covered(g.num_nodes(), false);
+  for (const fg::NodeId v : run.independent_set) {
+    covered[v] = true;
+    for (const fg::NodeId w : g.neighbors(v)) {
+      covered[w] = true;
+    }
+  }
+  EXPECT_TRUE(std::all_of(covered.begin(), covered.end(), [](bool b) { return b; }));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LubyTest, ::testing::Range(0, 5));
+
+TEST(Luby, CliqueYieldsSingleton) {
+  const fd::MisRun run = fd::luby_mis(fg::clique(15), 3);
+  EXPECT_EQ(run.independent_set.size(), 1U);
+}
+
+TEST(Luby, EmptyGraphTakesEveryone) {
+  const fd::MisRun run = fd::luby_mis(fg::Graph(10), 3);
+  EXPECT_EQ(run.independent_set.size(), 10U);
+}
+
+// -------------------------------------------------------- phased greedy ----
+
+TEST(DistributedPhasedGreedy, MatchesSequentialEngine) {
+  const fg::Graph g = fg::gnp(60, 0.1, 21);
+  const fc::Coloring initial = fc::greedy_color(g, fc::Order::kLargestFirst);
+  constexpr std::uint64_t kHolidays = 40;
+
+  const fd::PhasedGreedyRun dist = fd::run_phased_greedy(g, initial, kHolidays);
+
+  fhg::core::PhasedGreedyScheduler seq(g, initial);
+  for (std::uint64_t h = 0; h < kHolidays; ++h) {
+    EXPECT_EQ(seq.next_holiday(), dist.happy_sets[h]) << "holiday " << h + 1;
+  }
+}
+
+TEST(DistributedPhasedGreedy, GapBoundHolds) {
+  const fg::Graph g = fg::barabasi_albert(80, 2, 31);
+  const fc::Coloring initial = fc::greedy_color(g, fc::Order::kLargestFirst);
+  constexpr std::uint64_t kHolidays = 400;
+  const fd::PhasedGreedyRun run = fd::run_phased_greedy(g, initial, kHolidays);
+
+  std::vector<std::uint64_t> last(g.num_nodes(), 0);
+  for (std::uint64_t h = 1; h <= kHolidays; ++h) {
+    for (const fg::NodeId v : run.happy_sets[h - 1]) {
+      EXPECT_LE(h - last[v], g.degree(v) + 1) << "node " << v;
+      last[v] = h;
+    }
+  }
+  // Tail: everyone must appear in the final (d+1)-window too.
+  for (fg::NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_GE(last[v], kHolidays - g.degree(v)) << "node " << v;
+  }
+}
+
+TEST(DistributedPhasedGreedy, ConstantRoundsPerHoliday) {
+  const fg::Graph g = fg::gnp(50, 0.1, 41);
+  const fc::Coloring initial = fc::greedy_color(g, fc::Order::kLargestFirst);
+  const fd::PhasedGreedyRun run = fd::run_phased_greedy(g, initial, 25);
+  EXPECT_EQ(run.stats.rounds, 50U);  // exactly 2 per holiday
+}
+
+TEST(DistributedPhasedGreedy, RequiresProperColoring) {
+  const fg::Graph g = fg::path(3);
+  fc::Coloring bad(3);
+  bad.set_color(0, 1);
+  bad.set_color(1, 1);  // conflict
+  bad.set_color(2, 2);
+  EXPECT_THROW(static_cast<void>(fd::run_phased_greedy(g, bad, 5)), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- degree bound ---
+
+class DistributedDegreeBoundTest : public ::testing::TestWithParam<int> {
+ protected:
+  static fg::Graph make_graph(int index) {
+    switch (index) {
+      case 0:
+        return fg::gnp(300, 0.02, 51);
+      case 1:
+        return fg::star(40);
+      case 2:
+        return fg::barabasi_albert(250, 3, 53);
+      case 3:
+        return fg::clique(17);
+      default:
+        return fg::caterpillar(20, 4);
+    }
+  }
+};
+
+TEST_P(DistributedDegreeBoundTest, SlotsAreConflictFreeWithExactPeriods) {
+  const fg::Graph g = make_graph(GetParam());
+  const fd::DegreeBoundRun run = fd::distributed_degree_bound(g, /*seed=*/7);
+  ASSERT_EQ(run.slots.size(), g.num_nodes());
+  EXPECT_TRUE(fhg::core::slots_conflict_free(g, run.slots));
+  for (fg::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const std::uint64_t d = g.degree(v);
+    EXPECT_EQ(run.slots[v].length, fhg::coding::ceil_log2(d + 1));
+    if (d >= 1) {
+      EXPECT_LE(run.slots[v].period(), 2 * d);  // Theorem 5.3
+    } else {
+      EXPECT_EQ(run.slots[v].period(), 1U);  // isolated: host every holiday
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, DistributedDegreeBoundTest, ::testing::Range(0, 5));
+
+TEST(DistributedDegreeBound, PhasesMatchDegreeClasses) {
+  // Star: classes ⌈log(1+1)⌉ = 1 (leaves) and ⌈log(40)⌉ = 6 (hub) → 2 phases.
+  const fd::DegreeBoundRun run = fd::distributed_degree_bound(fg::star(40), 3);
+  EXPECT_EQ(run.phases, 2U);
+}
+
+TEST(DistributedDegreeBound, FeedsSchedulerWithoutConflict) {
+  const fg::Graph g = fg::gnp(150, 0.05, 61);
+  fd::DegreeBoundRun run = fd::distributed_degree_bound(g, 11);
+  // The scheduler constructor re-validates conflict-freedom.
+  EXPECT_NO_THROW({
+    fhg::core::DegreeBoundScheduler scheduler(g, std::move(run.slots));
+    (void)scheduler;
+  });
+}
+
+TEST(DistributedDegreeBound, ParallelExecutionMatchesSerial) {
+  const fg::Graph g = fg::gnp(400, 0.015, 71);
+  fhg::parallel::ThreadPool pool(4);
+  const fd::DegreeBoundRun serial = fd::distributed_degree_bound(g, 9, nullptr);
+  const fd::DegreeBoundRun parallel_run = fd::distributed_degree_bound(g, 9, &pool);
+  ASSERT_EQ(serial.slots.size(), parallel_run.slots.size());
+  for (std::size_t v = 0; v < serial.slots.size(); ++v) {
+    EXPECT_EQ(serial.slots[v], parallel_run.slots[v]) << "node " << v;
+  }
+}
+
+TEST(Luby, ParallelExecutionMatchesSerial) {
+  const fg::Graph g = fg::gnp(500, 0.01, 73);
+  fhg::parallel::ThreadPool pool(4);
+  EXPECT_EQ(fd::luby_mis(g, 5, nullptr).independent_set,
+            fd::luby_mis(g, 5, &pool).independent_set);
+}
+
+TEST(SyncNetwork, HandlerExceptionsPropagate) {
+  // Failure injection: a crashing protocol handler must surface to the
+  // caller (not deadlock or vanish), in both serial and parallel execution.
+  const fg::Graph g = fg::path(4);
+  for (const bool parallel_mode : {false, true}) {
+    fhg::parallel::ThreadPool pool(2);
+    fd::SyncNetwork net(g, 1, parallel_mode ? &pool : nullptr);
+    net.set_handler([](fd::RoundContext& ctx) {
+      if (ctx.self() == 2) {
+        throw std::runtime_error("injected node failure");
+      }
+    });
+    EXPECT_THROW(net.step(), std::runtime_error) << "parallel=" << parallel_mode;
+  }
+}

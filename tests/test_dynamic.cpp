@@ -1,0 +1,206 @@
+// Tests for fhg::dynamic — the §6 dynamic setting: insertions force targeted
+// recoloring, deletions trigger (optional) rate repair, and the schedule
+// stays conflict-free throughout.
+
+#include <gtest/gtest.h>
+
+#include "fhg/dynamic/dynamic_scheduler.hpp"
+#include "fhg/graph/dynamic_graph.hpp"
+#include "fhg/graph/generators.hpp"
+#include "fhg/graph/properties.hpp"
+#include "fhg/parallel/rng.hpp"
+
+namespace fg = fhg::graph;
+namespace fdy = fhg::dynamic;
+namespace fcd = fhg::coding;
+
+namespace {
+
+fg::DynamicGraph dynamic_from(const fg::Graph& g) { return fg::DynamicGraph(g); }
+
+}  // namespace
+
+TEST(DynamicScheduler, StartsProperAndPeriodic) {
+  fg::DynamicGraph g = dynamic_from(fg::gnp(60, 0.08, 3));
+  fdy::DynamicPrefixCodeScheduler scheduler(g);
+  EXPECT_TRUE(scheduler.coloring_proper());
+  for (fg::NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(scheduler.period_of(v),
+              std::uint64_t{1} << fcd::elias_omega_length(scheduler.color_of(v)));
+  }
+}
+
+TEST(DynamicScheduler, InsertionWithDistinctColorsIsFree) {
+  fg::DynamicGraph g(4);
+  fdy::DynamicPrefixCodeScheduler scheduler(g);
+  // All isolated → everyone has color 1.  Connect 0-1: a recolor must occur.
+  const auto first = scheduler.insert_edge(0, 1);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(scheduler.coloring_proper());
+  // Now connect 2-3 (both color 1): recolor again, but inserting 0-2 after
+  // that is free if their colors already differ.
+  static_cast<void>(scheduler.insert_edge(2, 3));
+  const bool differ = scheduler.color_of(0) != scheduler.color_of(2);
+  const auto maybe = scheduler.insert_edge(0, 2);
+  EXPECT_EQ(maybe.has_value(), !differ);
+  EXPECT_TRUE(scheduler.coloring_proper());
+}
+
+TEST(DynamicScheduler, InsertionRecolorsLowerDegreeEndpoint) {
+  fg::DynamicGraph g(5);
+  // Build a star around 0 first.
+  fdy::DynamicPrefixCodeScheduler scheduler(g);
+  static_cast<void>(scheduler.insert_edge(0, 1));
+  static_cast<void>(scheduler.insert_edge(0, 2));
+  static_cast<void>(scheduler.insert_edge(0, 3));
+  // Node 4 (degree 0) and hub 0: if they collide, 4 must be the one to move.
+  if (scheduler.color_of(4) == scheduler.color_of(0)) {
+    const auto event = scheduler.insert_edge(0, 4);
+    ASSERT_TRUE(event.has_value());
+    EXPECT_EQ(event->node, 4U);
+  } else {
+    EXPECT_FALSE(scheduler.insert_edge(0, 4).has_value());
+  }
+  EXPECT_TRUE(scheduler.coloring_proper());
+}
+
+TEST(DynamicScheduler, InsertionStormKeepsProperness) {
+  fg::DynamicGraph g(50);
+  fdy::DynamicPrefixCodeScheduler scheduler(g);
+  fhg::parallel::Rng rng(17);
+  std::size_t inserted = 0;
+  for (int i = 0; i < 400; ++i) {
+    const auto u = static_cast<fg::NodeId>(rng.uniform_below(50));
+    const auto v = static_cast<fg::NodeId>(rng.uniform_below(50));
+    if (u == v) {
+      continue;
+    }
+    static_cast<void>(scheduler.insert_edge(u, v));
+    ++inserted;
+    ASSERT_TRUE(scheduler.coloring_proper()) << "after insertion " << inserted;
+  }
+  // Colors stay degree-bounded: smallest-free recoloring keeps col ≤ deg+1.
+  for (fg::NodeId v = 0; v < 50; ++v) {
+    EXPECT_LE(scheduler.color_of(v), g.degree(v) + 1) << "node " << v;
+  }
+}
+
+TEST(DynamicScheduler, RecoveryWithinNewPeriodAfterQuiescence) {
+  fg::DynamicGraph g = dynamic_from(fg::gnp(40, 0.1, 7));
+  fdy::DynamicPrefixCodeScheduler scheduler(g);
+  // Run a while, then hit node with insertions, then verify it hosts within
+  // its (new) period after the last change — the §6 recovery guarantee.
+  for (int t = 0; t < 20; ++t) {
+    static_cast<void>(scheduler.next_holiday());
+  }
+  static_cast<void>(scheduler.insert_edge(0, 20));
+  static_cast<void>(scheduler.insert_edge(0, 21));
+  static_cast<void>(scheduler.insert_edge(0, 22));
+  EXPECT_TRUE(scheduler.coloring_proper());
+
+  const std::uint64_t period0 = scheduler.period_of(0);
+  bool hosted = false;
+  for (std::uint64_t i = 0; i < period0 && !hosted; ++i) {
+    const auto happy = scheduler.next_holiday();
+    hosted = std::find(happy.begin(), happy.end(), 0U) != happy.end();
+  }
+  EXPECT_TRUE(hosted) << "node 0 must host within one period (" << period0
+                      << " holidays) of quiescence";
+}
+
+TEST(DynamicScheduler, HappySetsAreAlwaysIndependent) {
+  fg::DynamicGraph g = dynamic_from(fg::gnp(40, 0.05, 11));
+  fdy::DynamicPrefixCodeScheduler scheduler(g);
+  fhg::parallel::Rng rng(23);
+  for (int t = 0; t < 300; ++t) {
+    // Interleave random mutations with holidays.
+    if (t % 3 == 0) {
+      const auto u = static_cast<fg::NodeId>(rng.uniform_below(40));
+      const auto v = static_cast<fg::NodeId>(rng.uniform_below(40));
+      if (u != v) {
+        if (rng.bernoulli(0.7)) {
+          static_cast<void>(scheduler.insert_edge(u, v));
+        } else {
+          static_cast<void>(scheduler.erase_edge(u, v));
+        }
+      }
+    }
+    const auto happy = scheduler.next_holiday();
+    const fg::Graph snapshot = g.snapshot();
+    ASSERT_TRUE(fg::is_independent_set(snapshot, happy)) << "holiday " << t + 1;
+  }
+}
+
+TEST(DynamicScheduler, DeletionRateRepairFires) {
+  // Build a hub with high color, then strip its edges: with slack 0 the hub
+  // must recolor down so its period tracks its shrunken degree.
+  fg::DynamicGraph g = dynamic_from(fg::clique(8));
+  fdy::DynamicPrefixCodeScheduler scheduler(g, fcd::CodeFamily::kEliasOmega,
+                                            /*deletion_slack=*/0);
+  // Find the node wearing the largest color (in a clique: color 8).
+  fg::NodeId top = 0;
+  for (fg::NodeId v = 1; v < 8; ++v) {
+    if (scheduler.color_of(v) > scheduler.color_of(top)) {
+      top = v;
+    }
+  }
+  EXPECT_EQ(scheduler.color_of(top), 8U);
+  // Remove all of top's edges.
+  std::size_t repairs = 0;
+  for (fg::NodeId v = 0; v < 8; ++v) {
+    if (v != top && scheduler.erase_edge(top, v).has_value()) {
+      ++repairs;
+    }
+  }
+  EXPECT_GT(repairs, 0U);
+  EXPECT_LE(scheduler.color_of(top), g.degree(top) + 1);
+  EXPECT_TRUE(scheduler.coloring_proper());
+}
+
+TEST(DynamicScheduler, SlackDefersRepair) {
+  fg::DynamicGraph g = dynamic_from(fg::clique(6));
+  fdy::DynamicPrefixCodeScheduler lazy(g, fcd::CodeFamily::kEliasOmega,
+                                       /*deletion_slack=*/100);
+  fg::NodeId top = 0;
+  for (fg::NodeId v = 1; v < 6; ++v) {
+    if (lazy.color_of(v) > lazy.color_of(top)) {
+      top = v;
+    }
+  }
+  for (fg::NodeId v = 0; v < 6; ++v) {
+    if (v != top) {
+      EXPECT_FALSE(lazy.erase_edge(top, v).has_value());  // slack swallows it
+    }
+  }
+  EXPECT_EQ(lazy.color_of(top), 6U);  // color kept; rate now disproportional
+}
+
+TEST(DynamicScheduler, AddNodeJoinsSociety) {
+  fg::DynamicGraph g(3);
+  fdy::DynamicPrefixCodeScheduler scheduler(g);
+  const fg::NodeId v = scheduler.add_node();
+  EXPECT_EQ(v, 3U);
+  EXPECT_EQ(scheduler.color_of(v), 1U);
+  static_cast<void>(scheduler.insert_edge(0, v));
+  EXPECT_TRUE(scheduler.coloring_proper());
+  // New node participates in holidays.
+  bool seen = false;
+  for (int t = 0; t < 8 && !seen; ++t) {
+    const auto happy = scheduler.next_holiday();
+    seen = std::find(happy.begin(), happy.end(), v) != happy.end();
+  }
+  EXPECT_TRUE(seen);
+}
+
+TEST(DynamicScheduler, HistoryRecordsEvents) {
+  fg::DynamicGraph g(4);
+  fdy::DynamicPrefixCodeScheduler scheduler(g);
+  static_cast<void>(scheduler.next_holiday());
+  static_cast<void>(scheduler.insert_edge(0, 1));  // forced collision: both color 1
+  ASSERT_FALSE(scheduler.history().empty());
+  const auto& event = scheduler.history().front();
+  EXPECT_EQ(event.holiday, 1U);
+  EXPECT_EQ(event.old_color, 1U);
+  EXPECT_NE(event.new_color, 1U);
+  EXPECT_TRUE(event.due_to_insertion);
+}

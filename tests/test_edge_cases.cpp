@@ -1,0 +1,269 @@
+// Edge-case and boundary tests across the library: degenerate graphs
+// (empty, singleton, no edges) through every scheduler, 64-bit boundaries in
+// the coding layer, concatenated-stream decoding, and RNG extremes.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+
+#include "fhg/coding/elias.hpp"
+#include "fhg/coding/iterated_log.hpp"
+#include "fhg/coding/prefix.hpp"
+#include "fhg/coloring/dsatur.hpp"
+#include "fhg/coloring/greedy.hpp"
+#include "fhg/core/degree_bound.hpp"
+#include "fhg/core/driver.hpp"
+#include "fhg/core/fcfg.hpp"
+#include "fhg/core/phased_greedy.hpp"
+#include "fhg/core/prefix_code_scheduler.hpp"
+#include "fhg/core/round_robin.hpp"
+#include "fhg/core/weighted.hpp"
+#include "fhg/distributed/degree_bound.hpp"
+#include "fhg/distributed/johansson.hpp"
+#include "fhg/graph/generators.hpp"
+#include "fhg/matching/satisfaction.hpp"
+#include "fhg/mis/exact.hpp"
+#include "fhg/parallel/rng.hpp"
+
+namespace fg = fhg::graph;
+namespace fc = fhg::coloring;
+namespace fco = fhg::core;
+namespace fcd = fhg::coding;
+
+// ------------------------------------------------- degenerate graphs -------
+
+namespace {
+
+std::vector<std::unique_ptr<fco::Scheduler>> all_schedulers(const fg::Graph& g) {
+  std::vector<std::unique_ptr<fco::Scheduler>> result;
+  const fc::Coloring greedy = fc::greedy_color(g, fc::Order::kLargestFirst);
+  if (g.num_nodes() > 0) {
+    result.push_back(std::make_unique<fco::RoundRobinColorScheduler>(g, greedy));
+    result.push_back(std::make_unique<fco::PhasedGreedyScheduler>(g, greedy));
+    result.push_back(std::make_unique<fco::PrefixCodeScheduler>(g, fc::dsatur_color(g)));
+  }
+  result.push_back(std::make_unique<fco::DegreeBoundScheduler>(g));
+  result.push_back(std::make_unique<fco::FirstComeFirstGrabScheduler>(g, 3));
+  result.push_back(std::make_unique<fco::WeightedPeriodicScheduler>(
+      g, std::vector<std::uint64_t>(g.num_nodes(), 8)));
+  return result;
+}
+
+}  // namespace
+
+TEST(EdgeCases, EmptyGraphSchedulers) {
+  const fg::Graph g(0);
+  for (auto& scheduler : all_schedulers(g)) {
+    for (int t = 0; t < 3; ++t) {
+      EXPECT_TRUE(scheduler->next_holiday().empty()) << scheduler->name();
+    }
+  }
+}
+
+TEST(EdgeCases, SingletonGraphSchedulers) {
+  // One parent, no in-laws: happy on a fixed cadence, never blocked.
+  const fg::Graph g(1);
+  for (auto& scheduler : all_schedulers(g)) {
+    const auto report = fco::run_schedule(*scheduler, {.horizon = 32});
+    EXPECT_TRUE(report.independence_ok) << scheduler->name();
+    EXPECT_TRUE(report.bounds_respected) << scheduler->name();
+    EXPECT_GT(report.appearances[0], 0U) << scheduler->name();
+  }
+}
+
+TEST(EdgeCases, EdgelessGraphEveryoneIndependent) {
+  const fg::Graph g(16);
+  fco::DegreeBoundScheduler scheduler(g);
+  // Degree 0 → period 1: all 16 parents happy every single holiday.
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_EQ(scheduler.next_holiday().size(), 16U);
+  }
+}
+
+TEST(EdgeCases, SingleEdgeAlternates) {
+  const fg::Graph g = fg::path(2);
+  fco::DegreeBoundScheduler scheduler(g);
+  // Both parents have degree 1 → period 2, opposite residues.
+  const auto h1 = scheduler.next_holiday();
+  const auto h2 = scheduler.next_holiday();
+  ASSERT_EQ(h1.size(), 1U);
+  ASSERT_EQ(h2.size(), 1U);
+  EXPECT_NE(h1[0], h2[0]);
+  EXPECT_EQ(scheduler.next_holiday(), h1);
+}
+
+TEST(EdgeCases, DistributedAlgorithmsOnDegenerateGraphs) {
+  EXPECT_EQ(fhg::distributed::johansson_color(fg::Graph(0), 1).coloring.num_nodes(), 0U);
+  const auto single = fhg::distributed::johansson_color(fg::Graph(1), 1);
+  EXPECT_EQ(single.coloring.color(0), 1U);
+  const auto slots = fhg::distributed::distributed_degree_bound(fg::Graph(3), 1);
+  for (const auto& slot : slots.slots) {
+    EXPECT_EQ(slot.period(), 1U);
+  }
+}
+
+TEST(EdgeCases, ExactMisOnDegenerateGraphs) {
+  EXPECT_TRUE(fhg::mis::exact_mis(fg::Graph(0))->independent_set.empty());
+  EXPECT_EQ(fhg::mis::exact_mis(fg::Graph(1))->independent_set.size(), 1U);
+}
+
+TEST(EdgeCases, SatisfactionOnSingleEdge) {
+  const fg::Graph g = fg::path(2);
+  EXPECT_EQ(fhg::matching::max_satisfaction_linear(g).value, 1U);
+  EXPECT_EQ(fhg::matching::max_satisfaction_matching(g).value, 1U);
+}
+
+// --------------------------------------------------- coding boundaries -----
+
+TEST(CodingBoundaries, LargeValueRoundTrips) {
+  // Encode/decode large and boundary values under every family (skipping
+  // unary, whose codewords would be astronomically long).
+  const std::uint64_t probes[] = {
+      1,       2,        3,         (1ULL << 31) - 1, 1ULL << 31,
+      1ULL << 32,        (1ULL << 62) - 1,            1ULL << 62,
+      std::numeric_limits<std::uint64_t>::max()};
+  for (const fcd::CodeFamily family :
+       {fcd::CodeFamily::kEliasGamma, fcd::CodeFamily::kEliasDelta,
+        fcd::CodeFamily::kEliasOmega}) {
+    for (const std::uint64_t x : probes) {
+      const fcd::BitString w = fcd::encode(family, x);
+      EXPECT_EQ(w.size(), fcd::code_length(family, x));
+      std::size_t cursor = 0;
+      const std::uint64_t decoded = fcd::decode(family, [&]() {
+        const bool bit = cursor < w.size() && w.bit(cursor);
+        ++cursor;
+        return bit;
+      });
+      EXPECT_EQ(decoded, x) << fcd::code_family_name(family);
+      EXPECT_EQ(cursor, w.size()) << "decoder must consume the exact codeword";
+    }
+  }
+}
+
+TEST(CodingBoundaries, ConcatenatedStreamDecodes) {
+  // A realistic decoder use: several codewords back to back in one stream.
+  const std::vector<std::uint64_t> values{9, 1, 100, 2, 65536, 7};
+  for (const fcd::CodeFamily family :
+       {fcd::CodeFamily::kEliasGamma, fcd::CodeFamily::kEliasDelta,
+        fcd::CodeFamily::kEliasOmega}) {
+    fcd::BitString stream;
+    for (const std::uint64_t x : values) {
+      stream.append(fcd::encode(family, x));
+    }
+    std::size_t cursor = 0;
+    const auto source = [&]() {
+      const bool bit = cursor < stream.size() && stream.bit(cursor);
+      ++cursor;
+      return bit;
+    };
+    for (const std::uint64_t x : values) {
+      EXPECT_EQ(fcd::decode(family, source), x) << fcd::code_family_name(family);
+    }
+    EXPECT_EQ(cursor, stream.size());
+  }
+}
+
+TEST(CodingBoundaries, RandomRoundTripFuzz) {
+  fhg::parallel::Rng rng(2718);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t x = rng() >> rng.uniform_below(63);  // varied magnitudes
+    const std::uint64_t value = std::max<std::uint64_t>(1, x);
+    for (const fcd::CodeFamily family :
+         {fcd::CodeFamily::kEliasGamma, fcd::CodeFamily::kEliasDelta,
+          fcd::CodeFamily::kEliasOmega}) {
+      const fcd::BitString w = fcd::encode(family, value);
+      std::size_t cursor = 0;
+      const std::uint64_t decoded = fcd::decode(family, [&]() {
+        const bool bit = cursor < w.size() && w.bit(cursor);
+        ++cursor;
+        return bit;
+      });
+      ASSERT_EQ(decoded, value) << fcd::code_family_name(family) << " value " << value;
+    }
+  }
+}
+
+TEST(CodingBoundaries, SixtyFourBitBitString) {
+  const fcd::BitString ones(std::string(64, '1'));
+  EXPECT_EQ(ones.to_uint_msb_first(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(ones.to_uint_lsb_first(), std::numeric_limits<std::uint64_t>::max());
+  const fcd::BitString too_long(std::string(65, '1'));
+  EXPECT_THROW(static_cast<void>(too_long.to_uint_msb_first()), std::length_error);
+}
+
+TEST(CodingBoundaries, SlotAtSixtyFourBits) {
+  // A 64-bit codeword still yields a working slot (mask path, no UB shift).
+  fcd::BitString w(std::string(63, '0'));
+  w.push_back(true);
+  const fcd::ScheduleSlot slot = fcd::slot_of(w);
+  EXPECT_EQ(slot.length, 64U);
+  EXPECT_TRUE(slot.matches(slot.residue));
+  EXPECT_FALSE(slot.matches(slot.residue + 1));
+}
+
+TEST(CodingBoundaries, LogStarAndPhiExtremes) {
+  EXPECT_EQ(fcd::log_star(0.5), 0U);
+  EXPECT_EQ(fcd::log_star(std::numeric_limits<double>::max()), 5U);
+  EXPECT_DOUBLE_EQ(fcd::phi(0.0), 1.0);
+  EXPECT_GT(fcd::phi(1e18), 1e18);  // phi(n) >= n
+}
+
+// ------------------------------------------------------- rng extremes ------
+
+TEST(RngBoundaries, UniformBelowOneIsAlwaysZero) {
+  fhg::parallel::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.uniform_below(1), 0U);
+  }
+}
+
+TEST(RngBoundaries, UniformBelowHugeBound) {
+  fhg::parallel::Rng rng(2);
+  const std::uint64_t bound = (std::uint64_t{1} << 63) + 12345;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(rng.uniform_below(bound), bound);
+  }
+}
+
+TEST(RngBoundaries, UniformIntFullRangeEndpoints) {
+  fhg::parallel::Rng rng(3);
+  bool saw_low = false;
+  bool saw_high = false;
+  for (int i = 0; i < 2000 && !(saw_low && saw_high); ++i) {
+    const auto x = rng.uniform_int(-1, 1);
+    saw_low = saw_low || x == -1;
+    saw_high = saw_high || x == 1;
+    EXPECT_GE(x, -1);
+    EXPECT_LE(x, 1);
+  }
+  EXPECT_TRUE(saw_low);
+  EXPECT_TRUE(saw_high);
+}
+
+TEST(RngBoundaries, EmptyAndSingletonShuffle) {
+  fhg::parallel::Rng rng(4);
+  std::vector<int> empty;
+  rng.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{7};
+  rng.shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{7});
+  EXPECT_TRUE(rng.permutation(0).empty());
+}
+
+// --------------------------------------------- weighted scheduler edges ----
+
+TEST(WeightedEdges, EmptyGraph) {
+  const fg::Graph g(0);
+  fco::WeightedPeriodicScheduler scheduler(g, std::vector<std::uint64_t>{});
+  EXPECT_TRUE(scheduler.next_holiday().empty());
+}
+
+TEST(WeightedEdges, PeriodOneOnIsolatedNodes) {
+  const fg::Graph g(4);
+  fco::WeightedPeriodicScheduler scheduler(g, std::vector<std::uint64_t>(4, 1));
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_EQ(scheduler.next_holiday().size(), 4U);
+  }
+}

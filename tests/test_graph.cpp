@@ -1,0 +1,434 @@
+// Tests for fhg::graph — CSR construction, dynamic graph, generators, IO and
+// structural properties.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "fhg/graph/dynamic_graph.hpp"
+#include "fhg/graph/generators.hpp"
+#include "fhg/graph/graph.hpp"
+#include "fhg/graph/io.hpp"
+#include "fhg/graph/properties.hpp"
+
+namespace fg = fhg::graph;
+
+// ------------------------------------------------------------- Graph -------
+
+TEST(Graph, EmptyGraph) {
+  const fg::Graph g(0);
+  EXPECT_EQ(g.num_nodes(), 0U);
+  EXPECT_EQ(g.num_edges(), 0U);
+  EXPECT_TRUE(g.empty());
+}
+
+TEST(Graph, IsolatedNodes) {
+  const fg::Graph g(5);
+  EXPECT_EQ(g.num_nodes(), 5U);
+  EXPECT_EQ(g.num_edges(), 0U);
+  for (fg::NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(g.degree(v), 0U);
+    EXPECT_TRUE(g.neighbors(v).empty());
+  }
+}
+
+TEST(Graph, BuildsTriangle) {
+  fg::GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  const fg::Graph g = std::move(b).build();
+  EXPECT_EQ(g.num_edges(), 3U);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_EQ(g.max_degree(), 2U);
+}
+
+TEST(Graph, DeduplicatesParallelEdges) {
+  fg::GraphBuilder b(2);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);
+  b.add_edge(0, 1);
+  const fg::Graph g = std::move(b).build();
+  EXPECT_EQ(g.num_edges(), 1U);
+  EXPECT_EQ(g.degree(0), 1U);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  fg::GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(1, 1), std::invalid_argument);
+}
+
+TEST(Graph, RejectsOutOfRange) {
+  fg::GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(0, 3), std::invalid_argument);
+}
+
+TEST(Graph, NeighborsAreSorted) {
+  fg::GraphBuilder b(6);
+  b.add_edge(3, 5);
+  b.add_edge(3, 1);
+  b.add_edge(3, 4);
+  b.add_edge(3, 0);
+  const fg::Graph g = std::move(b).build();
+  const auto nbrs = g.neighbors(3);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(nbrs.size(), 4U);
+}
+
+TEST(Graph, EdgesReturnsCanonicalOrder) {
+  fg::GraphBuilder b(4);
+  b.add_edge(2, 3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 3);
+  const fg::Graph g = std::move(b).build();
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 3U);
+  EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end()));
+  for (const auto& e : edges) {
+    EXPECT_LT(e.first, e.second);
+  }
+}
+
+// ------------------------------------------------------ DynamicGraph -------
+
+TEST(DynamicGraph, InsertAndErase) {
+  fg::DynamicGraph g(4);
+  EXPECT_TRUE(g.insert_edge(0, 1));
+  EXPECT_FALSE(g.insert_edge(1, 0));  // duplicate
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_EQ(g.num_edges(), 1U);
+  EXPECT_TRUE(g.erase_edge(0, 1));
+  EXPECT_FALSE(g.erase_edge(0, 1));
+  EXPECT_EQ(g.num_edges(), 0U);
+}
+
+TEST(DynamicGraph, SnapshotMatches) {
+  fg::DynamicGraph g(5);
+  g.insert_edge(0, 1);
+  g.insert_edge(1, 2);
+  g.insert_edge(3, 4);
+  const fg::Graph s = g.snapshot();
+  EXPECT_EQ(s.num_edges(), 3U);
+  EXPECT_TRUE(s.has_edge(1, 2));
+  EXPECT_FALSE(s.has_edge(0, 2));
+}
+
+TEST(DynamicGraph, RoundTripsThroughStaticGraph) {
+  const fg::Graph original = fg::cycle(7);
+  fg::DynamicGraph dyn(original);
+  EXPECT_EQ(dyn.num_edges(), original.num_edges());
+  const fg::Graph back = dyn.snapshot();
+  EXPECT_EQ(back.edges(), original.edges());
+}
+
+TEST(DynamicGraph, AddNodeGrows) {
+  fg::DynamicGraph g(2);
+  const fg::NodeId v = g.add_node();
+  EXPECT_EQ(v, 2U);
+  EXPECT_EQ(g.num_nodes(), 3U);
+  EXPECT_TRUE(g.insert_edge(0, v));
+}
+
+TEST(DynamicGraph, RejectsSelfLoop) {
+  fg::DynamicGraph g(3);
+  EXPECT_THROW(g.insert_edge(2, 2), std::invalid_argument);
+}
+
+// -------------------------------------------------------- generators -------
+
+TEST(Generators, CliqueHasAllPairs) {
+  const fg::Graph g = fg::clique(6);
+  EXPECT_EQ(g.num_edges(), 15U);
+  EXPECT_EQ(g.max_degree(), 5U);
+}
+
+TEST(Generators, CycleDegreesAreTwo) {
+  const fg::Graph g = fg::cycle(10);
+  EXPECT_EQ(g.num_edges(), 10U);
+  for (fg::NodeId v = 0; v < 10; ++v) {
+    EXPECT_EQ(g.degree(v), 2U);
+  }
+}
+
+TEST(Generators, PathEndpointsHaveDegreeOne) {
+  const fg::Graph g = fg::path(8);
+  EXPECT_EQ(g.num_edges(), 7U);
+  EXPECT_EQ(g.degree(0), 1U);
+  EXPECT_EQ(g.degree(7), 1U);
+  EXPECT_EQ(g.degree(3), 2U);
+}
+
+TEST(Generators, StarHubDegree) {
+  const fg::Graph g = fg::star(9);
+  EXPECT_EQ(g.degree(0), 8U);
+  for (fg::NodeId v = 1; v < 9; ++v) {
+    EXPECT_EQ(g.degree(v), 1U);
+  }
+}
+
+TEST(Generators, GnpZeroAndOne) {
+  EXPECT_EQ(fg::gnp(20, 0.0, 1).num_edges(), 0U);
+  EXPECT_EQ(fg::gnp(20, 1.0, 1).num_edges(), 190U);
+}
+
+TEST(Generators, GnpDensityIsPlausible) {
+  const fg::Graph g = fg::gnp(400, 0.05, 7);
+  const double expected = 0.05 * 400 * 399 / 2;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, expected * 0.2);
+}
+
+TEST(Generators, GnpIsDeterministic) {
+  const fg::Graph a = fg::gnp(100, 0.1, 42);
+  const fg::Graph b = fg::gnp(100, 0.1, 42);
+  EXPECT_EQ(a.edges(), b.edges());
+  const fg::Graph c = fg::gnp(100, 0.1, 43);
+  EXPECT_NE(a.edges(), c.edges());
+}
+
+TEST(Generators, GnmExactEdgeCount) {
+  const fg::Graph g = fg::gnm(50, 200, 3);
+  EXPECT_EQ(g.num_edges(), 200U);
+  EXPECT_THROW(fg::gnm(5, 11, 1), std::invalid_argument);
+}
+
+TEST(Generators, CompleteBipartiteIsBipartite) {
+  const fg::Graph g = fg::complete_bipartite(4, 6);
+  EXPECT_EQ(g.num_edges(), 24U);
+  EXPECT_TRUE(fg::bipartition(g).has_value());
+}
+
+TEST(Generators, RandomBipartiteIsBipartite) {
+  const fg::Graph g = fg::random_bipartite(30, 40, 0.2, 11);
+  EXPECT_TRUE(fg::bipartition(g).has_value());
+}
+
+TEST(Generators, CompleteKPartite) {
+  const fg::Graph g = fg::complete_kpartite(3, 4);  // 12 nodes
+  EXPECT_EQ(g.num_nodes(), 12U);
+  // Each node connects to the 8 nodes outside its group.
+  for (fg::NodeId v = 0; v < 12; ++v) {
+    EXPECT_EQ(g.degree(v), 8U);
+  }
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const fg::Graph g = fg::random_tree(50, seed);
+    EXPECT_EQ(g.num_edges(), 49U);
+    EXPECT_EQ(fg::connected_components(g).count, 1U);
+  }
+}
+
+TEST(Generators, CaterpillarShape) {
+  const fg::Graph g = fg::caterpillar(5, 3);
+  EXPECT_EQ(g.num_nodes(), 20U);
+  EXPECT_EQ(g.num_edges(), 4U + 15U);
+  EXPECT_EQ(g.degree(0), 1U + 3U);  // spine end: 1 spine edge + 3 legs
+  EXPECT_EQ(g.degree(2), 2U + 3U);  // interior spine
+}
+
+TEST(Generators, Grid2dDegrees) {
+  const fg::Graph g = fg::grid2d(4, 5);
+  EXPECT_EQ(g.num_nodes(), 20U);
+  EXPECT_EQ(g.num_edges(), 4U * 4U + 3U * 5U);  // horizontal + vertical
+  EXPECT_EQ(g.degree(0), 2U);                   // corner
+  EXPECT_EQ(g.max_degree(), 4U);
+}
+
+TEST(Generators, RandomRegularDegrees) {
+  const fg::Graph g = fg::random_regular(60, 4, 9);
+  for (fg::NodeId v = 0; v < 60; ++v) {
+    EXPECT_EQ(g.degree(v), 4U);
+  }
+  EXPECT_THROW(fg::random_regular(5, 3, 1), std::invalid_argument);  // n*d odd
+}
+
+TEST(Generators, BarabasiAlbertDegrees) {
+  const fg::Graph g = fg::barabasi_albert(200, 3, 5);
+  EXPECT_EQ(g.num_nodes(), 200U);
+  // Every node beyond the seed clique has degree >= m.
+  for (fg::NodeId v = 4; v < 200; ++v) {
+    EXPECT_GE(g.degree(v), 3U);
+  }
+  // Preferential attachment yields a hub well above the minimum.
+  EXPECT_GT(g.max_degree(), 10U);
+}
+
+TEST(Generators, DisjointUnionReplicates) {
+  const fg::Graph g = fg::disjoint_union(fg::cycle(5), 3);
+  EXPECT_EQ(g.num_nodes(), 15U);
+  EXPECT_EQ(g.num_edges(), 15U);
+  EXPECT_EQ(fg::connected_components(g).count, 3U);
+}
+
+// ------------------------------------------------------------ IO -----------
+
+TEST(GraphIo, EdgeListRoundTrip) {
+  const fg::Graph g = fg::gnp(30, 0.2, 1);
+  std::stringstream buffer;
+  fg::write_edge_list(buffer, g);
+  const fg::Graph back = fg::read_edge_list(buffer);
+  EXPECT_EQ(back.edges(), g.edges());
+  EXPECT_EQ(back.num_nodes(), g.num_nodes());
+}
+
+TEST(GraphIo, DimacsRoundTrip) {
+  const fg::Graph g = fg::barabasi_albert(40, 2, 3);
+  std::stringstream buffer;
+  fg::write_dimacs(buffer, g, "test graph");
+  const fg::Graph back = fg::read_dimacs(buffer);
+  EXPECT_EQ(back.edges(), g.edges());
+}
+
+TEST(GraphIo, EdgeListRejectsMalformed) {
+  std::stringstream missing_header("0 1\n");
+  EXPECT_THROW(fg::read_edge_list(missing_header), std::runtime_error);
+  std::stringstream bad_count("3 5\n0 1\n");
+  EXPECT_THROW(fg::read_edge_list(bad_count), std::runtime_error);
+  std::stringstream out_of_range("2 1\n0 5\n");
+  EXPECT_THROW(fg::read_edge_list(out_of_range), std::runtime_error);
+}
+
+TEST(GraphIo, DimacsRejectsMalformed) {
+  std::stringstream no_problem("e 1 2\n");
+  EXPECT_THROW(fg::read_dimacs(no_problem), std::runtime_error);
+  std::stringstream zero_based("p edge 3 1\ne 0 1\n");
+  EXPECT_THROW(fg::read_dimacs(zero_based), std::runtime_error);
+}
+
+TEST(GraphIo, CommentsAreSkipped) {
+  std::stringstream in("# a comment\n3 2\n# another\n0 1\n1 2\n");
+  const fg::Graph g = fg::read_edge_list(in);
+  EXPECT_EQ(g.num_edges(), 2U);
+}
+
+// ------------------------------------------------------- properties --------
+
+TEST(Properties, DegreeStats) {
+  const fg::Graph g = fg::star(5);
+  const auto stats = fg::degree_stats(g);
+  EXPECT_EQ(stats.min, 1U);
+  EXPECT_EQ(stats.max, 4U);
+  EXPECT_DOUBLE_EQ(stats.mean, 8.0 / 5.0);
+  ASSERT_EQ(stats.histogram.size(), 5U);
+  EXPECT_EQ(stats.histogram[1], 4U);
+  EXPECT_EQ(stats.histogram[4], 1U);
+}
+
+TEST(Properties, BipartitionOfEvenCycle) {
+  EXPECT_TRUE(fg::bipartition(fg::cycle(8)).has_value());
+  EXPECT_FALSE(fg::bipartition(fg::cycle(9)).has_value());
+}
+
+TEST(Properties, BipartitionSidesAreConsistent) {
+  const fg::Graph g = fg::complete_bipartite(3, 5);
+  const auto sides = fg::bipartition(g);
+  ASSERT_TRUE(sides.has_value());
+  for (const auto& e : g.edges()) {
+    EXPECT_NE((*sides)[e.first], (*sides)[e.second]);
+  }
+}
+
+TEST(Properties, ConnectedComponents) {
+  const fg::Graph g = fg::disjoint_union(fg::path(4), 5);
+  const auto comps = fg::connected_components(g);
+  EXPECT_EQ(comps.count, 5U);
+  EXPECT_EQ(comps.id[0], comps.id[3]);
+  EXPECT_NE(comps.id[0], comps.id[4]);
+}
+
+TEST(Properties, DegeneracyOfTreeIsOne) {
+  const auto result = fg::degeneracy_order(fg::random_tree(100, 4));
+  EXPECT_EQ(result.degeneracy, 1U);
+  EXPECT_EQ(result.order.size(), 100U);
+}
+
+TEST(Properties, DegeneracyOfCliqueIsNMinusOne) {
+  const auto result = fg::degeneracy_order(fg::clique(7));
+  EXPECT_EQ(result.degeneracy, 6U);
+}
+
+TEST(Properties, DegeneracyOfCycleIsTwo) {
+  EXPECT_EQ(fg::degeneracy_order(fg::cycle(20)).degeneracy, 2U);
+}
+
+TEST(Properties, TriangleCount) {
+  EXPECT_EQ(fg::triangle_count(fg::clique(5)), 10U);  // C(5,3)
+  EXPECT_EQ(fg::triangle_count(fg::cycle(6)), 0U);
+  EXPECT_EQ(fg::triangle_count(fg::complete_bipartite(4, 4)), 0U);
+}
+
+TEST(Properties, IsIndependentSet) {
+  const fg::Graph g = fg::cycle(6);
+  const std::vector<fg::NodeId> independent{0, 2, 4};
+  const std::vector<fg::NodeId> dependent{0, 1};
+  EXPECT_TRUE(fg::is_independent_set(g, independent));
+  EXPECT_FALSE(fg::is_independent_set(g, dependent));
+  EXPECT_TRUE(fg::is_independent_set(g, {}));
+}
+
+// ---------------------------------------------------------- subgraphs ------
+
+#include "fhg/graph/subgraph.hpp"
+
+TEST(Subgraph, InducedTriangleFromClique) {
+  const fg::Graph g = fg::clique(6);
+  const std::vector<fg::NodeId> pick{1, 3, 5};
+  const auto sub = fg::induced_subgraph(g, pick);
+  EXPECT_EQ(sub.graph.num_nodes(), 3U);
+  EXPECT_EQ(sub.graph.num_edges(), 3U);  // still a clique
+  EXPECT_EQ(sub.original, pick);
+}
+
+TEST(Subgraph, InducedDropsOutsideEdges) {
+  const fg::Graph g = fg::path(5);  // 0-1-2-3-4
+  const std::vector<fg::NodeId> pick{0, 2, 4};
+  const auto sub = fg::induced_subgraph(g, pick);
+  EXPECT_EQ(sub.graph.num_edges(), 0U);  // pairwise non-adjacent in the path
+}
+
+TEST(Subgraph, DeduplicatesAndValidates) {
+  const fg::Graph g = fg::cycle(4);
+  const std::vector<fg::NodeId> pick{2, 2, 1};
+  const auto sub = fg::induced_subgraph(g, pick);
+  EXPECT_EQ(sub.graph.num_nodes(), 2U);
+  EXPECT_EQ(sub.graph.num_edges(), 1U);
+  const std::vector<fg::NodeId> bad{9};
+  EXPECT_THROW(static_cast<void>(fg::induced_subgraph(g, bad)), std::invalid_argument);
+}
+
+TEST(Subgraph, ComplementOfCliqueIsEmpty) {
+  EXPECT_EQ(fg::complement(fg::clique(7)).num_edges(), 0U);
+  EXPECT_EQ(fg::complement(fg::Graph(7)).num_edges(), 21U);
+}
+
+TEST(Subgraph, ComplementIsInvolutive) {
+  const fg::Graph g = fg::gnp(40, 0.3, 9);
+  EXPECT_EQ(fg::complement(fg::complement(g)).edges(), g.edges());
+}
+
+TEST(Subgraph, ComplementEdgeCountsSum) {
+  const fg::Graph g = fg::gnp(30, 0.25, 11);
+  const fg::Graph co = fg::complement(g);
+  EXPECT_EQ(g.num_edges() + co.num_edges(), 30U * 29U / 2);
+}
+
+TEST(GraphIo, LoadGraphFileDispatchesOnExtension) {
+  const fg::Graph g = fg::gnp(25, 0.2, 13);
+  const std::string edge_path = ::testing::TempDir() + "/fhg_io_test.edges";
+  const std::string dimacs_path = ::testing::TempDir() + "/fhg_io_test.col";
+  {
+    std::ofstream out(edge_path);
+    fg::write_edge_list(out, g);
+    std::ofstream dim(dimacs_path);
+    fg::write_dimacs(dim, g, "round trip");
+  }
+  EXPECT_EQ(fg::load_graph_file(edge_path).edges(), g.edges());
+  EXPECT_EQ(fg::load_graph_file(dimacs_path).edges(), g.edges());
+  EXPECT_THROW(static_cast<void>(fg::load_graph_file("/nonexistent/nowhere.edges")),
+               std::runtime_error);
+}

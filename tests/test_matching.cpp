@@ -1,0 +1,300 @@
+// Tests for fhg::matching — Hopcroft–Karp and the Appendix A.3 satisfaction
+// algorithms (peeling/orientation vs matching, alternation schedule).
+
+#include <gtest/gtest.h>
+
+#include "fhg/graph/generators.hpp"
+#include "fhg/graph/properties.hpp"
+#include "fhg/matching/hopcroft_karp.hpp"
+#include "fhg/matching/satisfaction.hpp"
+#include "fhg/parallel/rng.hpp"
+
+namespace fg = fhg::graph;
+namespace fm = fhg::matching;
+
+// -------------------------------------------------------- Hopcroft–Karp ----
+
+TEST(HopcroftKarp, PerfectMatchingOnCompleteBipartite) {
+  fm::BipartiteGraph b;
+  b.left_count = 4;
+  b.right_count = 4;
+  b.adj.assign(4, {0, 1, 2, 3});
+  const fm::MatchingResult m = fm::hopcroft_karp(b);
+  EXPECT_EQ(m.size, 4U);
+  EXPECT_TRUE(fm::is_valid_matching(b, m));
+}
+
+TEST(HopcroftKarp, EmptyGraph) {
+  fm::BipartiteGraph b;
+  b.left_count = 3;
+  b.right_count = 3;
+  b.adj.assign(3, {});
+  const fm::MatchingResult m = fm::hopcroft_karp(b);
+  EXPECT_EQ(m.size, 0U);
+}
+
+TEST(HopcroftKarp, KnownAugmentingPathCase) {
+  // l0-{r0}, l1-{r0, r1}: maximum matching has size 2 and requires
+  // augmenting through l1.
+  fm::BipartiteGraph b;
+  b.left_count = 2;
+  b.right_count = 2;
+  b.adj = {{0}, {0, 1}};
+  const fm::MatchingResult m = fm::hopcroft_karp(b);
+  EXPECT_EQ(m.size, 2U);
+  EXPECT_EQ(m.match_left[0], 0U);
+  EXPECT_EQ(m.match_left[1], 1U);
+}
+
+TEST(HopcroftKarp, HallViolatorLimitsMatching) {
+  // Three left vertices all confined to the same single right vertex.
+  fm::BipartiteGraph b;
+  b.left_count = 3;
+  b.right_count = 3;
+  b.adj = {{1}, {1}, {1}};
+  EXPECT_EQ(fm::hopcroft_karp(b).size, 1U);
+}
+
+TEST(HopcroftKarp, MatchesGreedyLowerBoundOnRandom) {
+  // Maximum matching is ≥ any greedy matching; sanity on random instances.
+  fhg::parallel::Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    fm::BipartiteGraph b;
+    b.left_count = 30;
+    b.right_count = 30;
+    b.adj.assign(30, {});
+    for (std::uint32_t l = 0; l < 30; ++l) {
+      for (std::uint32_t r = 0; r < 30; ++r) {
+        if (rng.bernoulli(0.1)) {
+          b.adj[l].push_back(r);
+        }
+      }
+    }
+    // Greedy matching.
+    std::vector<bool> right_used(30, false);
+    std::size_t greedy = 0;
+    for (std::uint32_t l = 0; l < 30; ++l) {
+      for (const std::uint32_t r : b.adj[l]) {
+        if (!right_used[r]) {
+          right_used[r] = true;
+          ++greedy;
+          break;
+        }
+      }
+    }
+    const fm::MatchingResult m = fm::hopcroft_karp(b);
+    EXPECT_GE(m.size, greedy);
+    EXPECT_TRUE(fm::is_valid_matching(b, m));
+  }
+}
+
+// --------------------------------------------------------- satisfaction ----
+
+namespace {
+
+/// Checks internal consistency of a SatisfactionResult against g.
+void expect_consistent(const fg::Graph& g, const fm::SatisfactionResult& r) {
+  const auto edges = g.edges();
+  ASSERT_EQ(r.host_of_edge.size(), edges.size());
+  std::vector<bool> derived(g.num_nodes(), false);
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    EXPECT_TRUE(r.host_of_edge[k] == edges[k].first || r.host_of_edge[k] == edges[k].second)
+        << "edge " << k << " hosted by a non-endpoint";
+    derived[r.host_of_edge[k]] = true;
+  }
+  std::size_t count = 0;
+  for (fg::NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(derived[v], r.satisfied[v]) << "node " << v;
+    count += r.satisfied[v] ? 1 : 0;
+  }
+  EXPECT_EQ(count, r.value);
+}
+
+}  // namespace
+
+class SatisfactionTest : public ::testing::TestWithParam<int> {
+ protected:
+  static fg::Graph make_graph(int index) {
+    switch (index) {
+      case 0:
+        return fg::gnp(80, 0.03, 3);  // sparse: many tree components
+      case 1:
+        return fg::gnp(80, 0.1, 5);   // denser: cyclic components
+      case 2:
+        return fg::random_tree(60, 7);
+      case 3:
+        return fg::cycle(15);
+      case 4:
+        return fg::star(20);
+      case 5:
+        return fg::disjoint_union(fg::path(5), 6);
+      case 6:
+        return fg::clique(10);
+      default:
+        return fg::barabasi_albert(100, 2, 9);
+    }
+  }
+};
+
+TEST_P(SatisfactionTest, MatchingEqualsLinearEqualsOracle) {
+  const fg::Graph g = make_graph(GetParam());
+  const std::size_t oracle = fm::max_satisfaction_value(g);
+  const fm::SatisfactionResult via_matching = fm::max_satisfaction_matching(g);
+  const fm::SatisfactionResult via_linear = fm::max_satisfaction_linear(g);
+  EXPECT_EQ(via_matching.value, oracle);
+  EXPECT_EQ(via_linear.value, oracle);
+  expect_consistent(g, via_matching);
+  expect_consistent(g, via_linear);
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, SatisfactionTest, ::testing::Range(0, 8));
+
+TEST(Satisfaction, TreeLeavesExactlyOneUnsatisfied) {
+  const fg::Graph g = fg::random_tree(40, 13);
+  const fm::SatisfactionResult r = fm::max_satisfaction_linear(g);
+  EXPECT_EQ(r.value, 39U);  // min(n, n-1) = n-1
+}
+
+TEST(Satisfaction, CycleSatisfiesEveryone) {
+  const fm::SatisfactionResult r = fm::max_satisfaction_linear(fg::cycle(11));
+  EXPECT_EQ(r.value, 11U);
+}
+
+TEST(Satisfaction, IsolatedNodesNeverSatisfied) {
+  fg::GraphBuilder b(4);
+  b.add_edge(0, 1);
+  const fg::Graph g = std::move(b).build();
+  const fm::SatisfactionResult r = fm::max_satisfaction_linear(g);
+  EXPECT_EQ(r.value, 1U);  // one couple satisfies one of {0,1}; 2,3 hopeless
+  EXPECT_FALSE(r.satisfied[2]);
+  EXPECT_FALSE(r.satisfied[3]);
+}
+
+TEST(Satisfaction, EmptyGraph) {
+  const fg::Graph g(5);
+  EXPECT_EQ(fm::max_satisfaction_linear(g).value, 0U);
+  EXPECT_EQ(fm::max_satisfaction_matching(g).value, 0U);
+}
+
+// ----------------------------------------------------------- alternation ---
+
+TEST(Alternation, SatisfactionGapIsAtMostTwo) {
+  const fg::Graph g = fg::gnp(60, 0.08, 17);
+  std::vector<std::uint64_t> last(g.num_nodes(), 0);
+  for (std::uint64_t t = 1; t <= 20; ++t) {
+    for (const fg::NodeId v : fm::alternation_satisfied_set(g, t)) {
+      EXPECT_LE(t - last[v], 2U) << "node " << v;
+      last[v] = t;
+    }
+  }
+  for (fg::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) > 0) {
+      EXPECT_GE(last[v], 19U) << "node " << v;  // satisfied in the last window
+    } else {
+      EXPECT_EQ(last[v], 0U);
+    }
+  }
+}
+
+TEST(Alternation, PartitionsEdgeEndpointsOverTwoHolidays) {
+  const fg::Graph g = fg::path(4);
+  const auto odd = fm::alternation_satisfied_set(g, 1);
+  const auto even = fm::alternation_satisfied_set(g, 2);
+  // Odd holidays host at lower endpoints {0,1,2}; even at uppers {1,2,3}.
+  EXPECT_EQ(odd, (std::vector<fg::NodeId>{0, 1, 2}));
+  EXPECT_EQ(even, (std::vector<fg::NodeId>{1, 2, 3}));
+}
+
+TEST(Alternation, PeriodTwoExactly) {
+  const fg::Graph g = fg::cycle(6);
+  const auto t1 = fm::alternation_satisfied_set(g, 1);
+  const auto t3 = fm::alternation_satisfied_set(g, 3);
+  EXPECT_EQ(t1, t3);
+}
+
+// ------------------------------------------- satisfaction schedulers -------
+
+#include "fhg/matching/satisfaction_scheduler.hpp"
+
+namespace {
+
+fg::Graph scheduler_workload(std::uint64_t seed) { return fg::gnp(70, 0.05, seed); }
+
+}  // namespace
+
+class SatisfactionSchedulerTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SatisfactionSchedulerTest, AlternationGapTwoEverywhere) {
+  const fg::Graph g = scheduler_workload(GetParam());
+  fm::AlternationScheduler scheduler(g);
+  const auto report = fm::run_satisfaction(scheduler, 50);
+  EXPECT_TRUE(report.bounds_respected);
+  for (fg::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) > 0) {
+      EXPECT_LE(report.max_gap[v], 2U) << "node " << v;
+    }
+  }
+}
+
+TEST_P(SatisfactionSchedulerTest, MaxFlipGapTwoAndOptimalOddHolidays) {
+  const fg::Graph g = scheduler_workload(GetParam() + 50);
+  fm::MaxFlipScheduler scheduler(g);
+  const std::size_t optimum = fm::max_satisfaction_value(g);
+  EXPECT_EQ(scheduler.optimum(), optimum);
+  // Odd holidays achieve the one-shot optimum.
+  const auto first = scheduler.next_holiday();
+  EXPECT_EQ(first.size(), optimum);
+  const auto report = fm::run_satisfaction(scheduler, 51);
+  EXPECT_TRUE(report.bounds_respected);
+  for (fg::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) > 0) {
+      EXPECT_LE(report.max_gap[v], 2U) << "node " << v;
+    }
+  }
+}
+
+TEST_P(SatisfactionSchedulerTest, MaxFlipDominatesAlternationThroughput) {
+  const fg::Graph g = scheduler_workload(GetParam() + 100);
+  fm::AlternationScheduler alternation(g);
+  fm::MaxFlipScheduler max_flip(g);
+  const auto alt = fm::run_satisfaction(alternation, 100);
+  const auto flip = fm::run_satisfaction(max_flip, 100);
+  // Equal worst-case guarantee, but max-flip fits the optimum into odd
+  // holidays — its throughput is at least alternation's optimum share.
+  EXPECT_GE(flip.total_satisfied, 50 * fm::max_satisfaction_value(g));
+  EXPECT_TRUE(alt.bounds_respected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatisfactionSchedulerTest,
+                         ::testing::Range<std::uint64_t>(0, 5));
+
+TEST(StaticOptimumScheduler, WinnersEveryYearStarvedForever) {
+  const fg::Graph g = fg::random_tree(30, 3);  // exactly one starved parent
+  fm::StaticOptimumScheduler scheduler(g);
+  EXPECT_EQ(scheduler.optimum(), 29U);
+  const auto report = fm::run_satisfaction(scheduler, 20);
+  EXPECT_TRUE(report.bounds_respected);
+  std::size_t starved = 0;
+  for (fg::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (report.max_gap[v] == 21U) {  // horizon + 1: never satisfied
+      ++starved;
+      EXPECT_FALSE(scheduler.gap_bound(v).has_value());
+    } else {
+      EXPECT_EQ(report.max_gap[v], 1U);
+    }
+  }
+  EXPECT_EQ(starved, 1U);
+}
+
+TEST(SatisfactionSchedulers, ResetReplaysIdentically) {
+  const fg::Graph g = fg::gnp(40, 0.08, 9);
+  fm::MaxFlipScheduler scheduler(g);
+  std::vector<std::vector<fg::NodeId>> first_run;
+  for (int i = 0; i < 6; ++i) {
+    first_run.push_back(scheduler.next_holiday());
+  }
+  scheduler.reset();
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(scheduler.next_holiday(), first_run[static_cast<std::size_t>(i)]);
+  }
+}

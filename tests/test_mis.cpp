@@ -1,0 +1,192 @@
+// Tests for fhg::mis — exact branch & bound, greedy heuristic and the
+// Shapley sampler for the Appendix A.2 happiness coalition game.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "fhg/graph/generators.hpp"
+#include "fhg/graph/properties.hpp"
+#include "fhg/mis/exact.hpp"
+#include "fhg/mis/greedy.hpp"
+#include "fhg/mis/shapley.hpp"
+#include "fhg/parallel/rng.hpp"
+
+namespace fg = fhg::graph;
+namespace fm = fhg::mis;
+
+// --------------------------------------------------------------- exact -----
+
+TEST(ExactMis, KnownValues) {
+  EXPECT_EQ(fm::exact_mis(fg::clique(7))->independent_set.size(), 1U);
+  EXPECT_EQ(fm::exact_mis(fg::cycle(8))->independent_set.size(), 4U);
+  EXPECT_EQ(fm::exact_mis(fg::cycle(9))->independent_set.size(), 4U);  // ⌊9/2⌋
+  EXPECT_EQ(fm::exact_mis(fg::path(7))->independent_set.size(), 4U);   // ⌈7/2⌉
+  EXPECT_EQ(fm::exact_mis(fg::star(10))->independent_set.size(), 9U);  // all leaves
+  EXPECT_EQ(fm::exact_mis(fg::complete_bipartite(4, 9))->independent_set.size(), 9U);
+  EXPECT_EQ(fm::exact_mis(fg::Graph(6))->independent_set.size(), 6U);
+}
+
+TEST(ExactMis, GridValue) {
+  // 3x3 grid: independence number 5 (the corners + center pattern).
+  EXPECT_EQ(fm::exact_mis(fg::grid2d(3, 3))->independent_set.size(), 5U);
+  // 4x4 grid: 8 (checkerboard).
+  EXPECT_EQ(fm::exact_mis(fg::grid2d(4, 4))->independent_set.size(), 8U);
+}
+
+TEST(ExactMis, ResultIsIndependent) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const fg::Graph g = fg::gnp(40, 0.15, seed);
+    const auto result = fm::exact_mis(g);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_TRUE(fg::is_independent_set(g, result->independent_set));
+  }
+}
+
+TEST(ExactMis, BeatsOrMatchesGreedy) {
+  for (std::uint64_t seed = 10; seed < 16; ++seed) {
+    const fg::Graph g = fg::gnp(45, 0.12, seed);
+    const auto exact = fm::exact_mis(g);
+    const auto greedy = fm::greedy_mis(g);
+    ASSERT_TRUE(exact.has_value());
+    EXPECT_GE(exact->independent_set.size(), greedy.size());
+  }
+}
+
+TEST(ExactMis, BudgetTruncatesSearch) {
+  const fg::Graph g = fg::gnp(60, 0.3, 1);
+  EXPECT_FALSE(fm::exact_mis(g, /*node_budget=*/2).has_value());
+  const auto full = fm::exact_mis(g);
+  ASSERT_TRUE(full.has_value());
+  EXPECT_GT(full->branch_count, 2U);
+}
+
+TEST(ExactMisSmall, MatchesFullSolver) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const fg::Graph g = fg::gnp(18, 0.25, seed);
+    const std::uint64_t all = (std::uint64_t{1} << 18) - 1;
+    const auto full = fm::exact_mis(g);
+    ASSERT_TRUE(full.has_value());
+    EXPECT_EQ(fm::exact_mis_size_small(g, all), full->independent_set.size());
+  }
+}
+
+TEST(ExactMisSmall, SubsetMasksAreMonotone) {
+  const fg::Graph g = fg::gnp(14, 0.3, 3);
+  const std::uint64_t all = (std::uint64_t{1} << 14) - 1;
+  const std::uint32_t whole = fm::exact_mis_size_small(g, all);
+  // Removing a node can lower MIS by at most 1 and never raise it.
+  for (fg::NodeId v = 0; v < 14; ++v) {
+    const std::uint32_t without = fm::exact_mis_size_small(g, all & ~(std::uint64_t{1} << v));
+    EXPECT_LE(without, whole);
+    EXPECT_GE(without + 1, whole);
+  }
+}
+
+// --------------------------------------------------------------- greedy ----
+
+TEST(GreedyMis, ProducesMaximalIndependentSet) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const fg::Graph g = fg::barabasi_albert(200, 3, seed);
+    const auto mis = fm::greedy_mis(g);
+    EXPECT_TRUE(fg::is_independent_set(g, mis));
+    std::vector<bool> covered(g.num_nodes(), false);
+    for (const fg::NodeId v : mis) {
+      covered[v] = true;
+      for (const fg::NodeId w : g.neighbors(v)) {
+        covered[w] = true;
+      }
+    }
+    EXPECT_TRUE(std::all_of(covered.begin(), covered.end(), [](bool b) { return b; }));
+  }
+}
+
+TEST(GreedyMis, AchievesCaroWeiBound) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const fg::Graph g = fg::gnp(150, 0.05, seed + 40);
+    const auto mis = fm::greedy_mis(g);
+    EXPECT_GE(static_cast<double>(mis.size()), fm::caro_wei_bound(g) - 1e-9);
+  }
+}
+
+TEST(GreedyMis, OptimalOnStar) {
+  EXPECT_EQ(fm::greedy_mis(fg::star(12)).size(), 11U);
+}
+
+// -------------------------------------------------------------- Shapley ----
+
+TEST(Shapley, ValuesSumToMisSize) {
+  const fg::Graph g = fg::gnp(12, 0.3, 5);
+  const auto values = fm::shapley_estimate(g, /*samples=*/200, /*seed=*/3);
+  const double total = std::accumulate(values.begin(), values.end(), 0.0);
+  const auto mis = fm::exact_mis(g);
+  // Efficiency is exact per-sample (telescoping), so the sum is exact.
+  EXPECT_NEAR(total, static_cast<double>(mis->independent_set.size()), 1e-9);
+}
+
+TEST(Shapley, IsolatedNodeGetsFullShare) {
+  fg::GraphBuilder b(3);
+  b.add_edge(0, 1);  // node 2 isolated
+  const fg::Graph g = std::move(b).build();
+  const auto values = fm::shapley_estimate(g, 500, 7);
+  EXPECT_NEAR(values[2], 1.0, 1e-9);          // always contributes itself
+  EXPECT_NEAR(values[0], 0.5, 0.1);           // symmetric pair shares 1
+  EXPECT_NEAR(values[0], values[1], 0.15);
+}
+
+TEST(Shapley, CliqueSharesEqually) {
+  const fg::Graph g = fg::clique(6);
+  const auto values = fm::shapley_estimate(g, 2000, 11);
+  for (const double v : values) {
+    EXPECT_NEAR(v, 1.0 / 6.0, 0.05);  // v(S) = 1 for any nonempty S
+  }
+}
+
+TEST(Shapley, RejectsLargeGraphsAndZeroSamples) {
+  EXPECT_THROW(static_cast<void>(fm::shapley_estimate(fg::path(65), 10, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(fm::shapley_estimate(fg::path(5), 0, 1)),
+               std::invalid_argument);
+}
+
+// ----------------------------------------- coalition-game cross-checks -----
+
+#include "fhg/graph/subgraph.hpp"
+
+TEST(ExactMis, InducedSubgraphAgreesWithMaskOracle) {
+  // The Appendix A.2 coalition value two ways: exact MIS of the *materialized*
+  // induced subgraph vs the bitmask oracle used by the Shapley sampler.
+  const fg::Graph g = fg::gnp(18, 0.25, 21);
+  fhg::parallel::Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<fg::NodeId> coalition;
+    std::uint64_t mask = 0;
+    for (fg::NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (rng.bernoulli(0.5)) {
+        coalition.push_back(v);
+        mask |= std::uint64_t{1} << v;
+      }
+    }
+    const auto sub = fg::induced_subgraph(g, coalition);
+    const auto direct = fm::exact_mis(sub.graph);
+    ASSERT_TRUE(direct.has_value());
+    EXPECT_EQ(direct->independent_set.size(), fm::exact_mis_size_small(g, mask));
+  }
+}
+
+TEST(ExactMis, ComplementDualityOnSmallGraphs) {
+  // α(G) = ω(Ḡ): a maximum independent set of G is a maximum clique of the
+  // complement — checked via MIS on both sides using α(Ḡ) of the complement
+  // of the complement.
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const fg::Graph g = fg::gnp(16, 0.4, seed);
+    const auto mis = fm::exact_mis(g);
+    const fg::Graph co = fg::complement(g);
+    // The MIS nodes form a clique in the complement.
+    for (std::size_t i = 0; i < mis->independent_set.size(); ++i) {
+      for (std::size_t j = i + 1; j < mis->independent_set.size(); ++j) {
+        EXPECT_TRUE(co.has_edge(mis->independent_set[i], mis->independent_set[j]));
+      }
+    }
+  }
+}

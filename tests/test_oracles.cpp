@@ -1,0 +1,171 @@
+// Brute-force oracle tests: on tiny instances, exhaustively enumerate the
+// whole solution space and check the library's algorithms against it.
+// These are the strongest correctness checks in the suite — nothing is
+// assumed about the algorithms, only about the definitions.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "fhg/core/degree_bound.hpp"
+#include "fhg/core/gathering.hpp"
+#include "fhg/graph/generators.hpp"
+#include "fhg/graph/graph.hpp"
+#include "fhg/graph/properties.hpp"
+#include "fhg/matching/satisfaction.hpp"
+#include "fhg/mis/exact.hpp"
+#include "fhg/parallel/rng.hpp"
+
+namespace fg = fhg::graph;
+namespace fm = fhg::matching;
+
+namespace {
+
+/// Enumerates all 2^m orientations of a tiny graph and returns the maximum
+/// number of satisfied parents — the ground truth for Appendix A.3.
+std::size_t brute_force_max_satisfaction(const fg::Graph& g) {
+  const auto edges = g.edges();
+  const std::size_t m = edges.size();
+  EXPECT_LE(m, 20U) << "brute force limited to 2^20 orientations";
+  std::size_t best = 0;
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << m); ++mask) {
+    std::vector<bool> satisfied(g.num_nodes(), false);
+    for (std::size_t k = 0; k < m; ++k) {
+      const fg::NodeId host = ((mask >> k) & 1U) != 0 ? edges[k].second : edges[k].first;
+      satisfied[host] = true;
+    }
+    std::size_t count = 0;
+    for (const bool s : satisfied) {
+      count += s ? 1 : 0;
+    }
+    best = std::max(best, count);
+  }
+  return best;
+}
+
+/// Enumerates all subsets of a tiny graph and returns the maximum
+/// independent-set size — the ground truth for Appendix A.1.
+std::size_t brute_force_mis(const fg::Graph& g) {
+  const fg::NodeId n = g.num_nodes();
+  EXPECT_LE(n, 20U);
+  std::size_t best = 0;
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << n); ++mask) {
+    bool independent = true;
+    for (const auto& e : g.edges()) {
+      if (((mask >> e.first) & 1U) != 0 && ((mask >> e.second) & 1U) != 0) {
+        independent = false;
+        break;
+      }
+    }
+    if (independent) {
+      best = std::max<std::size_t>(best, static_cast<std::size_t>(std::popcount(mask)));
+    }
+  }
+  return best;
+}
+
+/// Enumerates all orientations and returns the max number of *happy*
+/// (all-children-home) parents — must equal the MIS size plus isolated
+/// nodes handled implicitly (isolated nodes are always happy).
+std::size_t brute_force_max_happiness(const fg::Graph& g) {
+  const auto edges = g.edges();
+  const std::size_t m = edges.size();
+  EXPECT_LE(m, 18U);
+  std::size_t best = 0;
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << m); ++mask) {
+    std::vector<std::uint32_t> incoming(g.num_nodes(), 0);
+    for (std::size_t k = 0; k < m; ++k) {
+      const fg::NodeId host = ((mask >> k) & 1U) != 0 ? edges[k].second : edges[k].first;
+      ++incoming[host];
+    }
+    std::size_t count = 0;
+    for (fg::NodeId v = 0; v < g.num_nodes(); ++v) {
+      count += incoming[v] == g.degree(v) ? 1 : 0;  // sink: all edges inward
+    }
+    best = std::max(best, count);
+  }
+  return best;
+}
+
+fg::Graph tiny_random_graph(std::uint64_t seed) {
+  fhg::parallel::Rng rng(seed, 0x6F7261);
+  const auto n = static_cast<fg::NodeId>(4 + rng.uniform_below(5));  // 4..8 nodes
+  fg::GraphBuilder builder(n);
+  for (fg::NodeId u = 0; u < n; ++u) {
+    for (fg::NodeId v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(0.4)) {
+        builder.add_edge(u, v);
+      }
+    }
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace
+
+class OracleTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OracleTest, SatisfactionMatchesBruteForce) {
+  const fg::Graph g = tiny_random_graph(GetParam());
+  if (g.num_edges() > 18) {
+    GTEST_SKIP() << "instance too dense for the oracle";
+  }
+  const std::size_t truth = brute_force_max_satisfaction(g);
+  EXPECT_EQ(fm::max_satisfaction_linear(g).value, truth);
+  EXPECT_EQ(fm::max_satisfaction_matching(g).value, truth);
+  EXPECT_EQ(fm::max_satisfaction_value(g), truth);
+}
+
+TEST_P(OracleTest, ExactMisMatchesBruteForce) {
+  const fg::Graph g = tiny_random_graph(GetParam() + 100);
+  const std::size_t truth = brute_force_mis(g);
+  EXPECT_EQ(fhg::mis::exact_mis(g)->independent_set.size(), truth);
+  const std::uint64_t all = (std::uint64_t{1} << g.num_nodes()) - 1;
+  EXPECT_EQ(fhg::mis::exact_mis_size_small(g, all), truth);
+}
+
+TEST_P(OracleTest, MaxHappinessEqualsMisOverOrientations) {
+  // Appendix A.1's observation, checked from first principles: the best
+  // one-holiday happiness over *all orientations* equals the MIS size.
+  const fg::Graph g = tiny_random_graph(GetParam() + 200);
+  if (g.num_edges() > 18) {
+    GTEST_SKIP() << "instance too dense for the oracle";
+  }
+  EXPECT_EQ(brute_force_max_happiness(g), brute_force_mis(g));
+}
+
+TEST_P(OracleTest, GatheringFromMisAchievesBruteForceOptimum) {
+  // Constructive side: from_happy_set on an exact MIS realizes the optimum.
+  const fg::Graph g = tiny_random_graph(GetParam() + 300);
+  if (g.num_edges() > 18) {
+    GTEST_SKIP() << "instance too dense for the oracle";
+  }
+  const auto mis = fhg::mis::exact_mis(g);
+  const auto gathering = fhg::core::Gathering::from_happy_set(g, mis->independent_set);
+  std::size_t happy = 0;
+  for (fg::NodeId v = 0; v < g.num_nodes(); ++v) {
+    happy += gathering.happy(v) ? 1 : 0;
+  }
+  EXPECT_GE(happy, mis->independent_set.size());
+  EXPECT_EQ(brute_force_max_happiness(g), mis->independent_set.size());
+}
+
+TEST_P(OracleTest, DegreeBoundSlotsNeverCollideOverFullPeriodWindow) {
+  // Exhaustive conflict check: simulate lcm of all periods and verify no
+  // edge ever has both endpoints hosting — brute-forcing Lemma 5.1.
+  const fg::Graph g = tiny_random_graph(GetParam() + 400);
+  const auto slots =
+      fhg::core::assign_degree_bound_slots(g, fhg::core::degree_bound_order(g));
+  std::uint64_t window = 1;
+  for (const auto& slot : slots) {
+    window = std::max(window, slot.period());  // periods are powers of two:
+  }                                            // max = lcm
+  for (std::uint64_t t = 1; t <= 2 * window; ++t) {
+    for (const auto& e : g.edges()) {
+      EXPECT_FALSE(slots[e.first].matches(t) && slots[e.second].matches(t))
+          << "edge {" << e.first << "," << e.second << "} collides at t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleTest, ::testing::Range<std::uint64_t>(0, 12));

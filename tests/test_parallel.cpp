@@ -1,0 +1,242 @@
+// Tests for fhg::parallel — deterministic RNG streams, thread pool, and the
+// data-parallel loop/reduce helpers.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "fhg/parallel/parallel_for.hpp"
+#include "fhg/parallel/rng.hpp"
+#include "fhg/parallel/thread_pool.hpp"
+
+namespace fp = fhg::parallel;
+
+// ---------------------------------------------------------------- rng -----
+
+TEST(Rng, SameSeedSameStreamReproduces) {
+  fp::Rng a(42, 7);
+  fp::Rng b(42, 7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentStreamsDiffer) {
+  fp::Rng a(42, 0);
+  fp::Rng b(42, 1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += a() == b() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  fp::Rng a(1, 0);
+  fp::Rng b(2, 0);
+  EXPECT_NE(a(), b());
+}
+
+TEST(Rng, UniformBelowIsInRange) {
+  fp::Rng rng(123);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.uniform_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, UniformBelowCoversAllValues) {
+  fp::Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    seen.insert(rng.uniform_below(7));
+  }
+  EXPECT_EQ(seen.size(), 7U);
+}
+
+TEST(Rng, UniformBelowIsApproximatelyUniform) {
+  fp::Rng rng(99);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80'000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.uniform_below(kBuckets)];
+  }
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (const int c : counts) {
+    EXPECT_NEAR(c, expected, expected * 0.1);
+  }
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  fp::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = rng.uniform_int(-5, 5);
+    EXPECT_GE(x, -5);
+    EXPECT_LE(x, 5);
+  }
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  fp::Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.uniform_real();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10'000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  fp::Rng rng(13);
+  int hits = 0;
+  constexpr int kDraws = 50'000;
+  for (int i = 0; i < kDraws; ++i) {
+    hits += rng.bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.02);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  fp::Rng rng(17);
+  const auto perm = rng.permutation(100);
+  std::set<std::uint32_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 100U);
+  EXPECT_EQ(*seen.begin(), 0U);
+  EXPECT_EQ(*seen.rbegin(), 99U);
+}
+
+TEST(Rng, SplitProducesIndependentChild) {
+  fp::Rng parent(42);
+  fp::Rng child1 = parent.split(1);
+  fp::Rng child2 = parent.split(2);
+  EXPECT_NE(child1(), child2());
+  // Splitting must not perturb the parent.
+  fp::Rng parent_again(42);
+  EXPECT_EQ(parent(), parent_again());
+}
+
+TEST(Rng, HashDrawIsPure) {
+  EXPECT_EQ(fp::hash_draw(1, 2, 3), fp::hash_draw(1, 2, 3));
+  EXPECT_NE(fp::hash_draw(1, 2, 3), fp::hash_draw(1, 2, 4));
+  EXPECT_NE(fp::hash_draw(1, 2, 3), fp::hash_draw(1, 3, 3));
+  EXPECT_NE(fp::hash_draw(1, 2, 3), fp::hash_draw(2, 2, 3));
+}
+
+TEST(Rng, ShuffleKeepsMultiset) {
+  fp::Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+// ---------------------------------------------------------- thread pool ----
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  fp::ThreadPool pool(4);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, RunsManyTasks) {
+  fp::ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) {
+    f.get();
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  fp::ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ForwardsArguments) {
+  fp::ThreadPool pool(2);
+  auto f = pool.submit([](int a, int b) { return a + b; }, 40, 2);
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SizeMatchesRequest) {
+  fp::ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3U);
+}
+
+// ----------------------------------------------------------- parallel_for --
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  fp::ThreadPool pool(4);
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::atomic<int>> visits(kN);
+  fp::parallel_for(pool, 0, kN, [&](std::size_t i) { visits[i].fetch_add(1); }, 64);
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  fp::ThreadPool pool(2);
+  bool touched = false;
+  fp::parallel_for(pool, 5, 5, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  fp::ThreadPool pool(2);
+  EXPECT_THROW(fp::parallel_for(
+                   pool, 0, 1000,
+                   [](std::size_t i) {
+                     if (i == 637) {
+                       throw std::runtime_error("body failure");
+                     }
+                   },
+                   16),
+               std::runtime_error);
+}
+
+TEST(ParallelReduce, SumsCorrectly) {
+  fp::ThreadPool pool(4);
+  const std::uint64_t total = fp::parallel_reduce<std::uint64_t>(
+      pool, 1, 10'001, 0ULL, [](std::size_t i) { return static_cast<std::uint64_t>(i); },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; }, 128);
+  EXPECT_EQ(total, 10'000ULL * 10'001ULL / 2);
+}
+
+TEST(ParallelReduce, DeterministicForFixedGrain) {
+  fp::ThreadPool pool(4);
+  const auto run = [&pool] {
+    return fp::parallel_reduce<double>(
+        pool, 0, 5000, 0.0, [](std::size_t i) { return std::sqrt(static_cast<double>(i)); },
+        [](double a, double b) { return a + b; }, 97);
+  };
+  const double first = run();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(first, run());  // bitwise equality, not approximate
+  }
+}
+
+TEST(ParallelReduce, MatchesSerialExecution) {
+  fp::ThreadPool pool(4);
+  const std::uint64_t parallel = fp::parallel_reduce<std::uint64_t>(
+      pool, 0, 1000, 0ULL, [](std::size_t i) { return static_cast<std::uint64_t>(i * i); },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; }, 10);
+  std::uint64_t serial = 0;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    serial += static_cast<std::uint64_t>(i * i);
+  }
+  EXPECT_EQ(parallel, serial);
+}

@@ -1,0 +1,193 @@
+// Tests for the weighted perfectly-periodic scheduler extension
+// (src/core/weighted.hpp) — §5 generalized to user-chosen demand periods.
+
+#include <gtest/gtest.h>
+
+#include "fhg/coding/iterated_log.hpp"
+#include "fhg/core/degree_bound.hpp"
+#include "fhg/core/driver.hpp"
+#include "fhg/core/weighted.hpp"
+#include "fhg/graph/generators.hpp"
+#include "fhg/parallel/rng.hpp"
+
+namespace fg = fhg::graph;
+namespace fco = fhg::core;
+
+TEST(RoundPeriodUp, PowersOfTwo) {
+  EXPECT_EQ(fco::round_period_up(1), 1U);
+  EXPECT_EQ(fco::round_period_up(2), 2U);
+  EXPECT_EQ(fco::round_period_up(3), 4U);
+  EXPECT_EQ(fco::round_period_up(5), 8U);
+  EXPECT_EQ(fco::round_period_up(1024), 1024U);
+  EXPECT_EQ(fco::round_period_up(1025), 2048U);
+  EXPECT_THROW(static_cast<void>(fco::round_period_up(0)), std::invalid_argument);
+}
+
+TEST(WeightedSlots, GrantsExactRequestsWhenFeasible) {
+  // Path 0-1-2 with periods 4, 2, 4: densities 3/4, 1, 3/4 — feasible.
+  const fg::Graph g = fg::path(3);
+  const std::vector<std::uint64_t> request{4, 2, 4};
+  const auto assignment = fco::assign_weighted_slots(g, request, fco::WeightedPolicy::kStrict);
+  EXPECT_TRUE(assignment.relaxed.empty());
+  EXPECT_EQ(assignment.slots[0].period(), 4U);
+  EXPECT_EQ(assignment.slots[1].period(), 2U);
+  EXPECT_EQ(assignment.slots[2].period(), 4U);
+  EXPECT_TRUE(fco::slots_conflict_free(g, assignment.slots));
+}
+
+TEST(WeightedSlots, StrictThrowsWhenOverloaded) {
+  // Triangle where everyone wants period 2: density 3/2 > 1.
+  const fg::Graph g = fg::clique(3);
+  const std::vector<std::uint64_t> request{2, 2, 2};
+  EXPECT_THROW(
+      static_cast<void>(fco::assign_weighted_slots(g, request, fco::WeightedPolicy::kStrict)),
+      std::runtime_error);
+}
+
+TEST(WeightedSlots, AutoRelaxResolvesOverload) {
+  const fg::Graph g = fg::clique(3);
+  const std::vector<std::uint64_t> request{2, 2, 2};
+  const auto assignment =
+      fco::assign_weighted_slots(g, request, fco::WeightedPolicy::kAutoRelax);
+  EXPECT_FALSE(assignment.relaxed.empty());
+  EXPECT_TRUE(fco::slots_conflict_free(g, assignment.slots));
+  // Everyone still gets scheduled; granted periods are powers of two ≥ 2.
+  for (const auto& slot : assignment.slots) {
+    EXPECT_GE(slot.period(), 2U);
+  }
+}
+
+TEST(WeightedSlots, DegreeFloorRequestsAlwaysGrantedStrictly) {
+  // Requests at (double) the §5 degree floor are feasible by the pigeonhole
+  // regardless of the load diagnostic: strict mode grants them verbatim.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const fg::Graph g = fg::gnp(60, 0.08, seed);
+    std::vector<std::uint64_t> request(g.num_nodes());
+    for (fg::NodeId v = 0; v < g.num_nodes(); ++v) {
+      request[v] = std::uint64_t{2} << fhg::coding::ceil_log2(g.degree(v) + 1);
+    }
+    const auto assignment =
+        fco::assign_weighted_slots(g, request, fco::WeightedPolicy::kStrict);
+    EXPECT_TRUE(assignment.relaxed.empty());
+    for (fg::NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(assignment.slots[v].period(), request[v]);
+    }
+  }
+}
+
+TEST(WeightedSlots, LoadAtMostOneImpliesNoRelaxation) {
+  // The documented sufficient condition: if schedule_load(v) ≤ 1 for all v,
+  // kAutoRelax changes nothing and every request is granted exactly.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const fg::Graph g = fg::gnp(50, 0.1, seed + 20);
+    std::vector<std::uint64_t> request(g.num_nodes());
+    for (fg::NodeId v = 0; v < g.num_nodes(); ++v) {
+      // Uniform period ≥ Δ+1 rounded: load = (d+1)/P ≤ 1 everywhere.
+      request[v] = fco::round_period_up(g.max_degree() + 1);
+    }
+    const auto loads = fco::schedule_load(g, request);
+    for (const double load : loads) {
+      ASSERT_LE(load, 1.0);
+    }
+    const auto assignment =
+        fco::assign_weighted_slots(g, request, fco::WeightedPolicy::kAutoRelax);
+    EXPECT_TRUE(assignment.relaxed.empty());
+    for (fg::NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(assignment.slots[v].period(), fco::round_period_up(g.max_degree() + 1));
+    }
+  }
+}
+
+TEST(WeightedSlots, DegreeBoundIsTheSpecialCase) {
+  // Requesting exactly 2^ceil(log(d+1)) reproduces §5's granted periods.
+  const fg::Graph g = fg::barabasi_albert(150, 3, 9);
+  std::vector<std::uint64_t> request(g.num_nodes());
+  for (fg::NodeId v = 0; v < g.num_nodes(); ++v) {
+    request[v] = std::uint64_t{1} << fhg::coding::ceil_log2(g.degree(v) + 1);
+  }
+  const auto weighted = fco::assign_weighted_slots(g, request, fco::WeightedPolicy::kStrict);
+  fco::DegreeBoundScheduler reference(g);
+  EXPECT_TRUE(weighted.relaxed.empty());
+  for (fg::NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(weighted.slots[v].period(), reference.period_of(v).value());
+  }
+}
+
+class WeightedSchedulerTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WeightedSchedulerTest, DrivenRunIsExactlyPeriodic) {
+  const std::uint64_t seed = GetParam();
+  const fg::Graph g = fg::gnp(80, 0.05, seed);
+  fhg::parallel::Rng rng(seed, 0x77);
+  std::vector<std::uint64_t> request(g.num_nodes());
+  for (fg::NodeId v = 0; v < g.num_nodes(); ++v) {
+    // Random demands above the degree-based floor (stays feasible often;
+    // auto-relax covers the rest).
+    const std::uint64_t floor_period =
+        std::uint64_t{1} << fhg::coding::ceil_log2(g.degree(v) + 1);
+    request[v] = floor_period << rng.uniform_below(3);
+  }
+  fco::WeightedPeriodicScheduler scheduler(g, request);
+  std::uint64_t horizon = 64;
+  for (fg::NodeId v = 0; v < g.num_nodes(); ++v) {
+    horizon = std::max(horizon, 3 * scheduler.period_of(v).value());
+  }
+  const auto report = fco::run_schedule(scheduler, {.horizon = horizon});
+  EXPECT_TRUE(report.independence_ok);
+  EXPECT_TRUE(report.bounds_respected);
+  for (fg::NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(report.detected_period[v], scheduler.period_of(v)) << "node " << v;
+    EXPECT_GE(scheduler.period_of(v).value(), fco::round_period_up(request[v]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeightedSchedulerTest, ::testing::Range<std::uint64_t>(0, 6));
+
+TEST(WeightedScheduler, HappyAtMatchesNextHoliday) {
+  const fg::Graph g = fg::cycle(12);
+  const std::vector<std::uint64_t> request(12, 4);
+  fco::WeightedPeriodicScheduler scheduler(g, request);
+  for (std::uint64_t t = 1; t <= 64; ++t) {
+    const auto happy = scheduler.next_holiday();
+    for (fg::NodeId v = 0; v < 12; ++v) {
+      const bool in_set = std::find(happy.begin(), happy.end(), v) != happy.end();
+      EXPECT_EQ(in_set, scheduler.happy_at(v, t));
+    }
+  }
+}
+
+TEST(WeightedScheduler, GoldSilverBronzeClasses) {
+  // The radio scenario: gold nodes demand period 2, others 8/16 — on a
+  // bipartite-ish graph the golds get their rate and nobody conflicts.
+  const fg::Graph g = fg::complete_bipartite(3, 5);
+  std::vector<std::uint64_t> request(8, 16);
+  request[0] = 2;  // gold on the small side
+  fco::WeightedPeriodicScheduler scheduler(g, request);
+  EXPECT_EQ(scheduler.period_of(0).value(), 2U);
+  const auto report = fco::run_schedule(scheduler, {.horizon = 256});
+  EXPECT_TRUE(report.independence_ok);
+}
+
+TEST(WeightedSlots, RejectsBadInput) {
+  const fg::Graph g = fg::path(2);
+  EXPECT_THROW(
+      static_cast<void>(fco::assign_weighted_slots(g, std::vector<std::uint64_t>{1},
+                                                   fco::WeightedPolicy::kStrict)),
+      std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(fco::assign_weighted_slots(
+                   g, std::vector<std::uint64_t>{1, std::uint64_t{1} << 30},
+                   fco::WeightedPolicy::kStrict)),
+               std::invalid_argument);
+}
+
+TEST(WeightedSlots, AdjacentPeriodOneIsImpossible) {
+  // Two adjacent nodes both demanding period 1 can never both be granted:
+  // strict throws, auto-relax separates them.
+  const fg::Graph g = fg::path(2);
+  const std::vector<std::uint64_t> request{1, 1};
+  EXPECT_THROW(
+      static_cast<void>(fco::assign_weighted_slots(g, request, fco::WeightedPolicy::kStrict)),
+      std::runtime_error);
+  const auto relaxed = fco::assign_weighted_slots(g, request, fco::WeightedPolicy::kAutoRelax);
+  EXPECT_TRUE(fco::slots_conflict_free(g, relaxed.slots));
+}
