@@ -1,0 +1,263 @@
+// engine_server — drive the multi-tenant fhg::engine from the command line.
+//
+// Loads a scenario file (one instance per line) or generates a synthetic
+// fleet, then runs a mixed step/query workload and prints throughput plus
+// fairness audits — the serving-layer view of the paper: schedules as
+// long-lived tenants answering membership queries in O(1).
+//
+// Usage:
+//   engine_server [--scenario FILE | --fleet N] [--steps N] [--queries N]
+//                 [--threads N] [--shards N] [--snapshot FILE] [--seed S]
+//
+// Scenario file format (blank lines and '#' comments ignored):
+//   <name> <kind> <graph-spec> [seed]
+// with kind one of: round-robin phased-greedy prefix-code degree-bound fcfg
+// and graph specs as in fhg_cli (gnp:n,p ba:n,m grid:r,c clique:n star:n
+// cycle:n tree:n regular:n,d — or a file path).
+//
+// Examples:
+//   engine_server --fleet 5000 --steps 256 --queries 1000000
+//   engine_server --scenario tenants.txt --snapshot state.fhgs
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fhg/analysis/table.hpp"
+#include "fhg/engine/engine.hpp"
+#include "fhg/graph/generators.hpp"
+#include "fhg/graph/io.hpp"
+#include "fhg/parallel/rng.hpp"
+
+namespace {
+
+using namespace fhg;
+using Clock = std::chrono::steady_clock;
+
+[[noreturn]] void usage(const std::string& error) {
+  std::cerr << "engine_server: " << error << "\n"
+            << "usage: engine_server [--scenario FILE | --fleet N] [--steps N] [--queries N]\n"
+            << "                     [--threads N] [--shards N] [--snapshot FILE] [--seed S]\n"
+            << "scenario lines: <name> <kind> <graph-spec> [seed]\n"
+            << "kinds: round-robin phased-greedy prefix-code degree-bound fcfg\n";
+  std::exit(2);
+}
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::vector<std::string> split(const std::string& s, char delim) {
+  std::vector<std::string> parts;
+  std::stringstream stream(s);
+  std::string part;
+  while (std::getline(stream, part, delim)) {
+    parts.push_back(part);
+  }
+  return parts;
+}
+
+graph::Graph make_graph(const std::string& spec, std::uint64_t seed) {
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos) {
+    return graph::load_graph_file(spec);
+  }
+  const std::string kind = spec.substr(0, colon);
+  const auto args = split(spec.substr(colon + 1), ',');
+  const auto arg = [&](std::size_t i) -> std::uint64_t {
+    if (i >= args.size()) {
+      usage("graph spec '" + spec + "' is missing parameter " + std::to_string(i + 1));
+    }
+    return std::strtoull(args[i].c_str(), nullptr, 10);
+  };
+  const auto farg = [&](std::size_t i) -> double {
+    if (i >= args.size()) {
+      usage("graph spec '" + spec + "' is missing parameter " + std::to_string(i + 1));
+    }
+    return std::strtod(args[i].c_str(), nullptr);
+  };
+  if (kind == "gnp") {
+    return graph::gnp(static_cast<graph::NodeId>(arg(0)), farg(1), seed);
+  }
+  if (kind == "ba") {
+    return graph::barabasi_albert(static_cast<graph::NodeId>(arg(0)),
+                                  static_cast<std::uint32_t>(arg(1)), seed);
+  }
+  if (kind == "grid") {
+    return graph::grid2d(static_cast<graph::NodeId>(arg(0)), static_cast<graph::NodeId>(arg(1)));
+  }
+  if (kind == "clique") {
+    return graph::clique(static_cast<graph::NodeId>(arg(0)));
+  }
+  if (kind == "star") {
+    return graph::star(static_cast<graph::NodeId>(arg(0)));
+  }
+  if (kind == "cycle") {
+    return graph::cycle(static_cast<graph::NodeId>(arg(0)));
+  }
+  if (kind == "tree") {
+    return graph::random_tree(static_cast<graph::NodeId>(arg(0)), seed);
+  }
+  if (kind == "regular") {
+    return graph::random_regular(static_cast<graph::NodeId>(arg(0)),
+                                 static_cast<std::uint32_t>(arg(1)), seed);
+  }
+  usage("unknown graph kind '" + kind + "'");
+}
+
+void load_scenario(engine::Engine& eng, const std::string& path, std::uint64_t default_seed) {
+  std::ifstream in(path);
+  if (!in) {
+    usage("cannot open scenario file '" + path + "'");
+  }
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream fields(line);
+    std::string name;
+    if (!(fields >> name) || name.starts_with('#')) {
+      continue;
+    }
+    std::string kind_name;
+    std::string graph_spec;
+    if (!(fields >> kind_name >> graph_spec)) {
+      usage("scenario line " + std::to_string(line_no) + ": expected <name> <kind> <graph-spec>");
+    }
+    const auto kind = engine::parse_scheduler_kind(kind_name);
+    if (!kind) {
+      usage("scenario line " + std::to_string(line_no) + ": unknown kind '" + kind_name + "'");
+    }
+    std::uint64_t seed = default_seed;
+    fields >> seed;
+    engine::InstanceSpec spec;
+    spec.kind = *kind;
+    spec.seed = seed;
+    try {
+      (void)eng.create_instance(name, make_graph(graph_spec, seed), std::move(spec));
+    } catch (const std::exception& e) {
+      // e.g. duplicate names, or a weighted spec (which needs per-node
+      // periods the scenario grammar cannot express).
+      usage("scenario line " + std::to_string(line_no) + ": " + e.what());
+    }
+  }
+}
+
+void build_fleet(engine::Engine& eng, std::size_t fleet, std::uint64_t seed) {
+  // A mixed synthetic tenancy: mostly periodic tenants (the fast path),
+  // with some aperiodic ones to exercise memoized replay.
+  const engine::SchedulerKind kinds[] = {
+      engine::SchedulerKind::kDegreeBound, engine::SchedulerKind::kDegreeBound,
+      engine::SchedulerKind::kPrefixCode, engine::SchedulerKind::kRoundRobin,
+      engine::SchedulerKind::kPhasedGreedy};
+  for (std::size_t i = 0; i < fleet; ++i) {
+    engine::InstanceSpec spec;
+    spec.kind = kinds[i % std::size(kinds)];
+    spec.seed = seed + i;
+    (void)eng.create_instance("tenant-" + std::to_string(i),
+                              graph::gnp(48, 0.1, seed + i % 32), std::move(spec));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> options;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      usage("expected an option, got '" + key + "'");
+    }
+    options[key.substr(2)] = argv[i + 1];
+  }
+  const auto uint_option = [&](const std::string& key, std::uint64_t fallback) {
+    return options.count(key) ? std::strtoull(options[key].c_str(), nullptr, 10) : fallback;
+  };
+  const std::uint64_t seed = uint_option("seed", 1);
+  const std::uint64_t steps = uint_option("steps", 128);
+  const std::uint64_t queries = uint_option("queries", 200'000);
+
+  engine::Engine eng({.shards = static_cast<std::size_t>(uint_option("shards", 32)),
+                      .threads = static_cast<std::size_t>(uint_option("threads", 0))});
+  const auto build_start = Clock::now();
+  if (options.count("scenario")) {
+    load_scenario(eng, options["scenario"], seed);
+  } else {
+    build_fleet(eng, uint_option("fleet", 1000), seed);
+  }
+  std::cout << "engine: " << eng.num_instances() << " instances ("
+            << seconds_since(build_start) << "s to build)\n";
+  if (eng.num_instances() == 0) {
+    usage("no instances (empty scenario?)");
+  }
+
+  // Step phase: advance every tenant in parallel.
+  const auto step_start = Clock::now();
+  const auto stats = eng.step_all(steps);
+  const double step_s = seconds_since(step_start);
+  std::cout << "step_all(" << steps << "): " << stats.holidays << " holidays, "
+            << stats.total_happy << " happy visits, "
+            << static_cast<double>(stats.holidays) / step_s << " holidays/sec\n";
+
+  // Query phase: random membership + next-gathering probes across tenants.
+  const auto instances = eng.registry().all_sorted();
+  parallel::Rng rng(seed);
+  std::uint64_t hits = 0;
+  std::uint64_t next_sum = 0;
+  const auto query_start = Clock::now();
+  for (std::uint64_t q = 0; q < queries; ++q) {
+    const auto& instance = instances[rng.uniform_below(instances.size())];
+    const auto v =
+        static_cast<graph::NodeId>(rng.uniform_below(instance->graph().num_nodes()));
+    if (q % 8 == 0) {
+      next_sum += instance->next_gathering(v, rng.uniform_below(steps)).value_or(0);
+    } else {
+      hits += instance->is_happy(v, 1 + rng.uniform_below(steps)) ? 1 : 0;
+    }
+  }
+  const double query_s = seconds_since(query_start);
+  std::cout << "queries: " << queries << " in " << query_s << "s ("
+            << static_cast<double>(queries) / query_s << " queries/sec), hit rate "
+            << static_cast<double>(hits) / static_cast<double>(queries) << "\n";
+
+  // Fairness audits for a sample of tenants.
+  analysis::Table audit_table(
+      {"instance", "scheduler", "periodic", "horizon", "jain", "throughput", "worst gap", "ok"});
+  for (std::size_t i = 0; i < instances.size(); i += std::max<std::size_t>(1, instances.size() / 8)) {
+    const auto audit = instances[i]->audit();
+    audit_table.row()
+        .add(instances[i]->name())
+        .add(instances[i]->scheduler_name())
+        .add(instances[i]->periodic())
+        .add(audit.horizon)
+        .add(audit.jain, 3)
+        .add(audit.throughput_ratio, 3)
+        .add(audit.worst_gap)
+        .add(audit.bounds_respected);
+  }
+  analysis::print_section(std::cout, "fairness audits (sampled tenants)");
+  audit_table.print(std::cout);
+
+  // Snapshot phase.
+  const auto bytes = eng.snapshot();
+  std::cout << "snapshot: " << bytes.size() << " bytes ("
+            << static_cast<double>(bytes.size()) / static_cast<double>(eng.num_instances())
+            << " bytes/instance)\n";
+  if (options.count("snapshot")) {
+    std::ofstream out(options["snapshot"], std::ios::binary);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    std::cout << "snapshot written to " << options["snapshot"] << "\n";
+  }
+  engine::Engine restored;
+  restored.load_snapshot(bytes);
+  const bool identical = restored.snapshot() == bytes;
+  std::cout << "restore check: " << restored.num_instances() << " instances, round trip "
+            << (identical ? "byte-identical" : "MISMATCH") << "\n";
+  return identical ? 0 : 1;
+}

@@ -35,6 +35,12 @@ struct ScheduleSlot {
     return (t & mask) == residue;
   }
 
+  /// The first 1-based holiday this slot matches — the schedule's *phase*.
+  /// Holidays are 1-based, so residue 0 is first hit at `t = period`.
+  [[nodiscard]] constexpr std::uint64_t first_holiday() const noexcept {
+    return residue == 0 ? period() : residue;
+  }
+
   friend constexpr bool operator==(const ScheduleSlot&, const ScheduleSlot&) noexcept = default;
 };
 

@@ -35,6 +35,8 @@ class FirstComeFirstGrabScheduler final : public SchedulerBase {
   [[nodiscard]] std::optional<std::uint64_t> gap_bound(graph::NodeId) const override {
     return std::nullopt;
   }
+  /// Randomness is a pure function of `(seed, holiday)`: skipping is O(1).
+  void advance_to(std::uint64_t t) override { skip_to(t); }
 
   /// The happy set of an arbitrary holiday (stateless; used by the parallel
   /// Monte-Carlo driver in E7).

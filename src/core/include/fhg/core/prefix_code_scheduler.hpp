@@ -38,6 +38,12 @@ class PrefixCodeScheduler final : public SchedulerBase {
   /// Exactly `2^{|K(c_v)|}`.
   [[nodiscard]] std::optional<std::uint64_t> period_of(graph::NodeId v) const override;
   [[nodiscard]] std::optional<std::uint64_t> gap_bound(graph::NodeId v) const override;
+  /// First happy holiday of `v`'s slot.
+  [[nodiscard]] std::optional<std::uint64_t> phase_of(graph::NodeId v) const override {
+    return slots_[v].first_holiday();
+  }
+  /// Stateless beyond the holiday counter: skipping is O(1).
+  void advance_to(std::uint64_t t) override { skip_to(t); }
 
   /// Stateless membership test for an arbitrary holiday.
   [[nodiscard]] bool happy_at(graph::NodeId v, std::uint64_t t) const noexcept {

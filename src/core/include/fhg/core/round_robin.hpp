@@ -26,6 +26,10 @@ class RoundRobinColorScheduler final : public SchedulerBase {
   [[nodiscard]] bool perfectly_periodic() const noexcept override { return true; }
   [[nodiscard]] std::optional<std::uint64_t> period_of(graph::NodeId v) const override;
   [[nodiscard]] std::optional<std::uint64_t> gap_bound(graph::NodeId v) const override;
+  /// First happy holiday = the node's color.
+  [[nodiscard]] std::optional<std::uint64_t> phase_of(graph::NodeId v) const override;
+  /// Stateless: the happy set is a pure function of `t`, so skipping is O(1).
+  void advance_to(std::uint64_t t) override { skip_to(t); }
 
   /// Membership test for an arbitrary holiday (stateless fast path).
   [[nodiscard]] bool happy_at(graph::NodeId v, std::uint64_t t) const noexcept;

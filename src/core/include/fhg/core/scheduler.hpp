@@ -11,6 +11,7 @@
 /// periodic schedulers additionally expose each node's exact period and can
 /// answer membership for arbitrary holidays.
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -52,6 +53,22 @@ class Scheduler {
   /// `v` (equals the period for perfectly periodic schedules); nullopt when
   /// the algorithm offers no worst-case guarantee (e.g. the random baseline).
   [[nodiscard]] virtual std::optional<std::uint64_t> gap_bound(graph::NodeId v) const = 0;
+
+  /// The *phase* of `v`: its first happy holiday, when the schedule is
+  /// perfectly periodic (then `v` is happy exactly at `phase, phase + period,
+  /// phase + 2·period, …`).  Nullopt for aperiodic schedulers.  Together with
+  /// `period_of` this is everything a serving layer needs to answer
+  /// membership for arbitrary holidays without running the schedule
+  /// (`fhg::engine::PeriodTable` materializes exactly this pair).
+  [[nodiscard]] virtual std::optional<std::uint64_t> phase_of(graph::NodeId v) const;
+
+  /// Advances internal state so that `current_holiday() == t`, without
+  /// returning the intervening happy sets.  No-op when `t` is not ahead of
+  /// the current holiday (schedules never rewind; use `reset()`).  The
+  /// default implementation replays holiday by holiday; stateless schedulers
+  /// (whose happy sets are pure functions of `t`) override it with an O(1)
+  /// counter skip.  Snapshot restore is built on this.
+  virtual void advance_to(std::uint64_t t);
 };
 
 /// Shared bookkeeping for schedulers over a fixed graph.
@@ -68,6 +85,10 @@ class SchedulerBase : public Scheduler {
   std::uint64_t advance() noexcept { return ++holiday_; }
 
   void rewind() noexcept { holiday_ = 0; }
+
+  /// Forwards the holiday counter (never backwards).  For schedulers whose
+  /// state *is* the counter this implements `advance_to` in O(1).
+  void skip_to(std::uint64_t t) noexcept { holiday_ = std::max(holiday_, t); }
 
  private:
   const graph::Graph* graph_;

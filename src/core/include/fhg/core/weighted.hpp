@@ -92,6 +92,12 @@ class WeightedPeriodicScheduler final : public SchedulerBase {
   [[nodiscard]] std::optional<std::uint64_t> gap_bound(graph::NodeId v) const override {
     return assignment_.slots[v].period();
   }
+  /// First happy holiday of `v`'s granted slot.
+  [[nodiscard]] std::optional<std::uint64_t> phase_of(graph::NodeId v) const override {
+    return assignment_.slots[v].first_holiday();
+  }
+  /// Stateless beyond the holiday counter: skipping is O(1).
+  void advance_to(std::uint64_t t) override { skip_to(t); }
 
   [[nodiscard]] bool happy_at(graph::NodeId v, std::uint64_t t) const noexcept {
     return assignment_.slots[v].matches(t);

@@ -37,4 +37,8 @@ std::optional<std::uint64_t> RoundRobinColorScheduler::gap_bound(graph::NodeId v
   return period_of(v);
 }
 
+std::optional<std::uint64_t> RoundRobinColorScheduler::phase_of(graph::NodeId v) const {
+  return num_colors_ == 0 ? std::optional<std::uint64_t>{} : coloring_.color(v);
+}
+
 }  // namespace fhg::core

@@ -4,4 +4,12 @@ namespace fhg::core {
 
 Scheduler::~Scheduler() = default;
 
+std::optional<std::uint64_t> Scheduler::phase_of(graph::NodeId) const { return std::nullopt; }
+
+void Scheduler::advance_to(std::uint64_t t) {
+  while (current_holiday() < t) {
+    (void)next_holiday();
+  }
+}
+
 }  // namespace fhg::core

@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file engine.hpp
+/// The multi-tenant scheduling engine: the library's serving layer.
+///
+/// One `Engine` owns a sharded `InstanceRegistry` of named scheduler
+/// instances, a thread pool, and a `BatchExecutor` that advances all of them
+/// concurrently.  Queries route through each instance's fast path — O(1)
+/// period-table arithmetic for perfectly periodic schedules (the paper's
+/// punchline made operational: a served schedule never has to be replayed),
+/// memoized replay otherwise.  `snapshot`/`load_snapshot` round-trip the
+/// whole tenancy through the Elias-coded wire format so engines survive
+/// restarts and state can be shipped between processes.
+///
+/// ```
+/// fhg::engine::Engine engine;
+/// engine.create_instance("acme", fhg::graph::gnp(500, 0.02, 1),
+///                        {.kind = fhg::engine::SchedulerKind::kDegreeBound});
+/// engine.step_all(1024);
+/// bool happy = engine.is_happy("acme", 7, 123456789);   // O(1), no replay
+/// auto bytes = engine.snapshot();                        // compact, canonical
+/// ```
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fhg/engine/executor.hpp"
+#include "fhg/engine/instance.hpp"
+#include "fhg/engine/registry.hpp"
+#include "fhg/engine/snapshot.hpp"
+#include "fhg/engine/spec.hpp"
+#include "fhg/parallel/thread_pool.hpp"
+
+namespace fhg::engine {
+
+struct EngineOptions {
+  std::size_t shards = 16;   ///< registry shard count
+  std::size_t threads = 0;   ///< worker threads (0 = hardware concurrency)
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] const EngineOptions& options() const noexcept { return options_; }
+
+  [[nodiscard]] InstanceRegistry& registry() noexcept { return registry_; }
+  [[nodiscard]] const InstanceRegistry& registry() const noexcept { return registry_; }
+
+  /// Creates a named instance.  Throws on duplicate names or malformed specs.
+  std::shared_ptr<Instance> create_instance(std::string name, graph::Graph g, InstanceSpec spec);
+
+  /// Looks up an instance; nullptr if absent.
+  [[nodiscard]] std::shared_ptr<Instance> find(std::string_view name) const {
+    return registry_.find(name);
+  }
+
+  /// Removes an instance; returns false if absent.
+  bool erase_instance(std::string_view name) { return registry_.erase(name); }
+
+  [[nodiscard]] std::size_t num_instances() const { return registry_.size(); }
+
+  /// Advances every instance by `n` holidays on the worker pool.
+  StepStats step_all(std::uint64_t n) { return executor_.step_all(n); }
+
+  /// Membership query on one instance.  Throws `std::out_of_range` for an
+  /// unknown instance name.
+  [[nodiscard]] bool is_happy(std::string_view instance, graph::NodeId v, std::uint64_t t);
+
+  /// First happy holiday of `v` strictly after `after` on one instance.
+  [[nodiscard]] std::optional<std::uint64_t> next_gathering(std::string_view instance,
+                                                            graph::NodeId v, std::uint64_t after);
+
+  /// Fairness audit of one instance.
+  [[nodiscard]] FairnessAudit audit(std::string_view instance);
+
+  /// Serializes every instance into the canonical Elias-coded format.
+  [[nodiscard]] std::vector<std::uint8_t> snapshot() const {
+    return snapshot_registry(registry_);
+  }
+
+  /// Replaces all instances with the snapshot's contents.
+  void load_snapshot(std::span<const std::uint8_t> bytes) {
+    restore_registry(registry_, bytes);
+  }
+
+ private:
+  [[nodiscard]] std::shared_ptr<Instance> require(std::string_view instance) const;
+
+  EngineOptions options_;
+  parallel::ThreadPool pool_;
+  InstanceRegistry registry_;
+  BatchExecutor executor_;
+};
+
+}  // namespace fhg::engine

@@ -1,0 +1,148 @@
+#pragma once
+
+/// \file instance.hpp
+/// One tenant of the engine: a named scheduler plus its serving state.
+///
+/// An `Instance` bundles a conflict graph (owned), the scheduler built from
+/// its `InstanceSpec`, a `GapTracker` for fairness audits, and one of two
+/// query paths:
+///
+///  * **periodic** — a `PeriodTable` materialized at construction; queries
+///    are O(1) arithmetic, lock-free, and independent of how far the
+///    instance has been stepped;
+///  * **aperiodic** — a `ReplayIndex` fed by every produced holiday; queries
+///    bind to the replayed prefix (extending it on demand) and cost
+///    `O(log appearances)`.
+///
+/// Stepping and aperiodic queries mutate scheduler state and are serialized
+/// by a per-instance mutex, so the `BatchExecutor` can advance thousands of
+/// instances from many threads while queries keep landing.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fhg/core/gap_tracker.hpp"
+#include "fhg/core/scheduler.hpp"
+#include "fhg/engine/period_table.hpp"
+#include "fhg/engine/replay_index.hpp"
+#include "fhg/engine/spec.hpp"
+#include "fhg/graph/graph.hpp"
+
+namespace fhg::engine {
+
+/// What one `step` call produced.
+struct StepResult {
+  std::uint64_t holidays = 0;     ///< holidays advanced
+  std::uint64_t total_happy = 0;  ///< Σ |happy set| over those holidays
+};
+
+/// Fairness report over everything an instance has observed so far.
+struct FairnessAudit {
+  std::uint64_t horizon = 0;       ///< holidays observed by the gap tracker
+  double jain = 0.0;               ///< Jain index over degree-normalized frequencies
+  double throughput_ratio = 0.0;   ///< mean happy-set size / Caro–Wei bound
+  std::uint64_t worst_gap = 0;     ///< max over nodes of max_gap_with_tail
+  bool bounds_respected = true;    ///< every observed gap within gap_bound()
+  std::vector<graph::NodeId> bound_violators;
+};
+
+class Instance {
+ public:
+  /// Builds the scheduler from `spec` and, when it is perfectly periodic,
+  /// materializes the O(1) period table.  The graph is copied in and owned.
+  Instance(std::string name, graph::Graph g, InstanceSpec spec);
+
+  Instance(const Instance&) = delete;
+  Instance& operator=(const Instance&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const graph::Graph& graph() const noexcept { return graph_; }
+  [[nodiscard]] const InstanceSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] std::string scheduler_name() const { return scheduler_->name(); }
+
+  /// True iff the instance serves queries from a `PeriodTable`.
+  [[nodiscard]] bool periodic() const noexcept { return table_.has_value(); }
+
+  /// The O(1) table, or nullptr for aperiodic instances.
+  [[nodiscard]] const PeriodTable* period_table() const noexcept {
+    return table_ ? &*table_ : nullptr;
+  }
+
+  /// The holiday the scheduler has advanced to (thread-safe).
+  [[nodiscard]] std::uint64_t current_holiday() const;
+
+  /// Advances `n` holidays, feeding the gap tracker (and, for aperiodic
+  /// instances, the replay index).  Thread-safe; concurrent steps serialize.
+  StepResult step(std::uint64_t n);
+
+  /// Advances `n` holidays, invoking `sink(t, happy)` for each — the
+  /// per-instance streaming interface.  Observations are recorded exactly as
+  /// in `step`.
+  StepResult stream(std::uint64_t n,
+                    const std::function<void(std::uint64_t, std::span<const graph::NodeId>)>& sink);
+
+  /// Default bound on how far a single query may extend an aperiodic
+  /// instance's replayed prefix — one query must not be able to stall the
+  /// whole engine by replaying an unbounded schedule under the instance lock.
+  static constexpr std::uint64_t kDefaultReplayLimit = 1'048'576;
+
+  /// Membership query.  Periodic instances answer in O(1) without locking;
+  /// aperiodic instances extend the replayed prefix to `t` if needed (under
+  /// the instance lock) and binary-search it.  Throws `std::out_of_range`
+  /// for an invalid node, and `std::runtime_error` when answering would
+  /// extend an aperiodic replay by more than `replay_limit` holidays.
+  [[nodiscard]] bool is_happy(graph::NodeId v, std::uint64_t t,
+                              std::uint64_t replay_limit = kDefaultReplayLimit);
+
+  /// First happy holiday of `v` strictly after `after`.  O(1) for periodic
+  /// instances.  Aperiodic instances search the replayed prefix, extending
+  /// it up to `after + search_limit` holidays before giving up (nullopt).
+  /// Throws `std::out_of_range` for an invalid node.
+  [[nodiscard]] std::optional<std::uint64_t> next_gathering(graph::NodeId v, std::uint64_t after,
+                                                            std::uint64_t search_limit = 65536);
+
+  /// Fairness audit (thread-safe).  Periodic instances are audited
+  /// *analytically* from the period table at the current holiday — exact,
+  /// O(n), and no observation cost on the stepping hot path.  Aperiodic
+  /// instances are audited from the gap tracker over the replayed prefix.
+  [[nodiscard]] FairnessAudit audit() const;
+
+  /// Σ |happy set| over all stepped holidays (thread-safe).
+  [[nodiscard]] std::uint64_t total_happy() const;
+
+  /// Snapshot restore: brings the instance to holiday `t`.  Periodic
+  /// instances skip in O(1) (their queries never depended on replay);
+  /// aperiodic instances replay from the start, rebuilding the replay index
+  /// and gap statistics exactly as they were when the snapshot was taken.
+  void fast_forward(std::uint64_t t);
+
+ private:
+  /// Throws `std::out_of_range` unless `v` is a node of this instance.
+  void check_node(graph::NodeId v) const;
+
+  /// Replays holidays until `scheduler_->current_holiday() >= t`.
+  /// Caller must hold `mutex_`.
+  void extend_locked(std::uint64_t t);
+
+  /// One holiday forward + bookkeeping.  Caller must hold `mutex_`.
+  std::vector<graph::NodeId> produce_locked();
+
+  mutable std::mutex mutex_;
+  std::string name_;
+  graph::Graph graph_;  ///< must outlive scheduler_ (declared first)
+  InstanceSpec spec_;
+  std::unique_ptr<core::Scheduler> scheduler_;
+  std::optional<PeriodTable> table_;
+  // Aperiodic instances only: appearance index + observed gap statistics.
+  std::unique_ptr<ReplayIndex> replay_;
+  std::unique_ptr<core::GapTracker> gaps_;
+  std::uint64_t total_happy_ = 0;
+};
+
+}  // namespace fhg::engine

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file period_table.hpp
+/// The engine's O(1) query path for perfectly periodic schedules.
+///
+/// A perfectly periodic scheduler makes node `v` happy exactly at
+/// `phase_v, phase_v + P_v, phase_v + 2·P_v, …` — so once `(P_v, phase_v)`
+/// are materialized, "is `v` happy on holiday `t`?" is one modulo and
+/// `next_gathering` is one division.  No scheduler state is touched, so the
+/// table can serve concurrent readers without any locking, regardless of
+/// which holiday the instance itself has been stepped to.  This is the
+/// serving-layer payoff of the paper's periodicity results: the schedule
+/// need not be replayed to be queried.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fhg/core/scheduler.hpp"
+#include "fhg/graph/graph.hpp"
+
+namespace fhg::engine {
+
+class PeriodTable {
+ public:
+  /// Materializes the table from a perfectly periodic scheduler.  Returns
+  /// nullopt when `s` is not perfectly periodic (or does not expose phases),
+  /// in which case the engine falls back to memoized replay.
+  [[nodiscard]] static std::optional<PeriodTable> build(const core::Scheduler& s);
+
+  [[nodiscard]] graph::NodeId num_nodes() const noexcept {
+    return static_cast<graph::NodeId>(rows_.size());
+  }
+
+  /// O(1): true iff `v` is happy on (1-based) holiday `t`.
+  [[nodiscard]] bool is_happy(graph::NodeId v, std::uint64_t t) const noexcept {
+    const Row& r = rows_[v];
+    return t >= 1 && t % r.period == r.residue;
+  }
+
+  /// O(1): the first happy holiday of `v` strictly after `after`.
+  [[nodiscard]] std::uint64_t next_gathering(graph::NodeId v, std::uint64_t after) const noexcept {
+    const Row& r = rows_[v];
+    const std::uint64_t delta = (r.residue + r.period - after % r.period) % r.period;
+    return after + (delta == 0 ? r.period : delta);
+  }
+
+  /// The exact period of `v`.
+  [[nodiscard]] std::uint64_t period(graph::NodeId v) const noexcept { return rows_[v].period; }
+
+  /// The first happy holiday of `v`.
+  [[nodiscard]] std::uint64_t phase(graph::NodeId v) const noexcept { return rows_[v].phase; }
+
+ private:
+  struct Row {
+    std::uint64_t period = 1;
+    std::uint64_t residue = 0;  ///< phase % period
+    std::uint64_t phase = 1;
+  };
+
+  explicit PeriodTable(std::vector<Row> rows) noexcept : rows_(std::move(rows)) {}
+
+  std::vector<Row> rows_;
+};
+
+}  // namespace fhg::engine

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file replay_index.hpp
+/// Memoized membership index for *aperiodic* schedules.
+///
+/// Aperiodic schedulers (phased greedy, first-come-first-grab) cannot be
+/// queried arithmetically, so the engine records each node's appearance
+/// times as holidays are produced and answers membership / next-gathering by
+/// binary search over the recorded prefix — `O(log appearances)` per query,
+/// with the schedule replayed at most once no matter how many queries
+/// arrive.  The owning `Instance` keeps a `GapTracker` alongside, so
+/// fairness audits over the same prefix are free.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fhg/graph/graph.hpp"
+
+namespace fhg::engine {
+
+class ReplayIndex {
+ public:
+  explicit ReplayIndex(graph::NodeId n) : appearances_(n) {}
+
+  /// Records the happy set of holiday `t`; `t` must be `horizon() + 1`.
+  void observe(std::uint64_t t, std::span<const graph::NodeId> happy);
+
+  /// Highest holiday recorded so far (0 before the first observe).
+  [[nodiscard]] std::uint64_t horizon() const noexcept { return horizon_; }
+
+  /// O(log): true iff `v` was happy at `t`.  Requires `t <= horizon()`.
+  [[nodiscard]] bool is_happy(graph::NodeId v, std::uint64_t t) const noexcept;
+
+  /// O(log): the first recorded happy holiday of `v` strictly after `after`,
+  /// or nullopt if none has been recorded yet (the caller may extend the
+  /// horizon and retry).
+  [[nodiscard]] std::optional<std::uint64_t> next_gathering(graph::NodeId v,
+                                                            std::uint64_t after) const noexcept;
+
+  /// All recorded appearance times of `v`, ascending.
+  [[nodiscard]] std::span<const std::uint64_t> appearances(graph::NodeId v) const noexcept {
+    return appearances_[v];
+  }
+
+ private:
+  std::vector<std::vector<std::uint64_t>> appearances_;
+  std::uint64_t horizon_ = 0;
+};
+
+}  // namespace fhg::engine

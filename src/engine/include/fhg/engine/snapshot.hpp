@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file snapshot.hpp
+/// Compact engine snapshots built on the `fhg::coding` Elias layer.
+///
+/// A snapshot stores, per instance, the *recipe* rather than raw scheduler
+/// state: name, `InstanceSpec`, the conflict graph (delta-encoded edge
+/// list), and the holiday counter.  Every integer is written as the Elias
+/// delta code of `value + 1` — the same universal code the §4 scheduler is
+/// built from, now earning its keep as a wire format: small values (the
+/// overwhelming majority: edge deltas, kinds, counts) cost a handful of
+/// bits.  Restore rebuilds each scheduler deterministically and fast-forwards
+/// it: O(1) counter skip for periodic instances, exact replay (including gap
+/// statistics and the replay index) for aperiodic ones.
+///
+/// The encoding is canonical — instances sorted by name, edges sorted
+/// lexicographically — so snapshot → restore → snapshot is byte-identical.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fhg/coding/elias.hpp"
+#include "fhg/engine/registry.hpp"
+
+namespace fhg::engine {
+
+/// Packs bits MSB-first into bytes; integers as Elias delta of `value + 1`.
+class BitWriter {
+ public:
+  void put_bit(bool b);
+  /// The low `width` bits of `v`, MSB first.
+  void put_bits(std::uint64_t v, std::uint32_t width);
+  /// Elias delta of `v + 1` (any `v < 2^64 - 1`).
+  void put_uint(std::uint64_t v);
+  /// Zero-pads to a byte boundary and returns the buffer.
+  [[nodiscard]] std::vector<std::uint8_t> finish();
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint32_t bit_pos_ = 0;  ///< bits used in the last byte (0 = full)
+};
+
+/// Mirror of `BitWriter`.  Throws `std::runtime_error` on truncated input.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> bytes) noexcept : bytes_(bytes) {}
+
+  [[nodiscard]] bool get_bit();
+  [[nodiscard]] std::uint64_t get_bits(std::uint32_t width);
+  [[nodiscard]] std::uint64_t get_uint();
+
+  /// Bits left to read — used to sanity-check decoded length fields before
+  /// allocating (a corrupt count can't claim more items than bits remain).
+  [[nodiscard]] std::uint64_t remaining_bits() const noexcept {
+    return bytes_.size() * 8 - next_bit_;
+  }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t next_bit_ = 0;
+};
+
+/// Serializes every instance of `registry` (names, specs, graphs, holiday
+/// counters) into a canonical byte string.
+[[nodiscard]] std::vector<std::uint8_t> snapshot_registry(const InstanceRegistry& registry);
+
+/// Clears `registry` and repopulates it from `bytes`, fast-forwarding each
+/// instance to its snapshotted holiday.  Throws `std::runtime_error` on a
+/// malformed snapshot.
+void restore_registry(InstanceRegistry& registry, std::span<const std::uint8_t> bytes);
+
+}  // namespace fhg::engine

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file spec.hpp
+/// Declarative scheduler recipes for the multi-tenant engine.
+///
+/// The engine never stores a scheduler's internal state in snapshots —
+/// it stores the *recipe* (`InstanceSpec`) plus the holiday counter, and
+/// rebuilds deterministically on restore.  That works because every
+/// scheduler in this library is a pure function of (graph, spec, holiday):
+/// colorings are computed by a fixed deterministic algorithm, residue
+/// assignments are deterministic, and randomized schedulers derive all
+/// randomness from `(seed, holiday)`.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fhg/coding/elias.hpp"
+#include "fhg/core/scheduler.hpp"
+#include "fhg/graph/graph.hpp"
+
+namespace fhg::engine {
+
+/// The scheduler families an engine instance can run.
+enum class SchedulerKind : std::uint8_t {
+  kRoundRobin = 0,         ///< §1 baseline: cycle the color classes
+  kPhasedGreedy = 1,       ///< §3: recolor-after-hosting (aperiodic)
+  kPrefixCode = 2,         ///< §4: prefix-free-code periodic schedule
+  kDegreeBound = 3,        ///< §5: power-of-two residues, period ≤ 2d
+  kFirstComeFirstGrab = 4, ///< §1 chaotic baseline (aperiodic, randomized)
+  kWeighted = 5,           ///< extension: user-chosen demand periods
+};
+
+/// Human-readable kind name ("round-robin", "phased-greedy", …).
+[[nodiscard]] std::string scheduler_kind_name(SchedulerKind kind);
+
+/// Parses a kind name; nullopt for unknown names.
+[[nodiscard]] std::optional<SchedulerKind> parse_scheduler_kind(std::string_view name);
+
+/// Everything needed to (re)build a scheduler for a given graph.
+struct InstanceSpec {
+  SchedulerKind kind = SchedulerKind::kPrefixCode;
+  /// Prefix-free code family (kPrefixCode only).
+  coding::CodeFamily code = coding::CodeFamily::kEliasOmega;
+  /// Randomness seed (kFirstComeFirstGrab only).
+  std::uint64_t seed = 1;
+  /// Requested per-node periods (kWeighted only; must have one entry per
+  /// node of the instance's graph).
+  std::vector<std::uint64_t> periods;
+
+  friend bool operator==(const InstanceSpec&, const InstanceSpec&) = default;
+};
+
+/// Builds the scheduler described by `spec` over `g`.  Colorings are always
+/// greedy largest-first — deterministic, so rebuilding from a snapshot
+/// reproduces the schedule bit for bit.  Throws `std::invalid_argument` on a
+/// malformed spec (e.g. a weighted spec whose period list does not match the
+/// graph).  `g` must outlive the returned scheduler.
+[[nodiscard]] std::unique_ptr<core::Scheduler> make_scheduler(const graph::Graph& g,
+                                                              const InstanceSpec& spec);
+
+}  // namespace fhg::engine

@@ -1,0 +1,37 @@
+#include "fhg/engine/engine.hpp"
+
+#include <stdexcept>
+
+namespace fhg::engine {
+
+Engine::Engine(EngineOptions options)
+    : options_(options),
+      pool_(options.threads),
+      registry_(options.shards),
+      executor_(registry_, pool_) {}
+
+std::shared_ptr<Instance> Engine::create_instance(std::string name, graph::Graph g,
+                                                  InstanceSpec spec) {
+  return registry_.create(std::move(name), std::move(g), std::move(spec));
+}
+
+std::shared_ptr<Instance> Engine::require(std::string_view instance) const {
+  auto found = registry_.find(instance);
+  if (!found) {
+    throw std::out_of_range("Engine: no instance named '" + std::string(instance) + "'");
+  }
+  return found;
+}
+
+bool Engine::is_happy(std::string_view instance, graph::NodeId v, std::uint64_t t) {
+  return require(instance)->is_happy(v, t);
+}
+
+std::optional<std::uint64_t> Engine::next_gathering(std::string_view instance, graph::NodeId v,
+                                                    std::uint64_t after) {
+  return require(instance)->next_gathering(v, after);
+}
+
+FairnessAudit Engine::audit(std::string_view instance) { return require(instance)->audit(); }
+
+}  // namespace fhg::engine

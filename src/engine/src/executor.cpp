@@ -1,0 +1,55 @@
+#include "fhg/engine/executor.hpp"
+
+#include <atomic>
+#include <future>
+#include <vector>
+
+namespace fhg::engine {
+
+StepStats BatchExecutor::step_all(std::uint64_t n) {
+  const std::size_t num_shards = registry_->num_shards();
+  std::vector<std::vector<std::shared_ptr<Instance>>> work(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    work[s] = registry_->shard_instances(s);
+  }
+
+  std::vector<std::atomic<std::size_t>> cursors(num_shards);
+  std::atomic<std::uint64_t> instances{0};
+  std::atomic<std::uint64_t> total_happy{0};
+
+  const std::size_t workers = pool_->size();
+  const auto drain = [&](std::size_t first_shard) {
+    std::uint64_t local_instances = 0;
+    std::uint64_t local_happy = 0;
+    for (std::size_t offset = 0; offset < num_shards; ++offset) {
+      const std::size_t s = (first_shard + offset) % num_shards;
+      for (;;) {
+        const std::size_t i = cursors[s].fetch_add(1, std::memory_order_relaxed);
+        if (i >= work[s].size()) {
+          break;
+        }
+        local_happy += work[s][i]->step(n).total_happy;
+        ++local_instances;
+      }
+    }
+    instances.fetch_add(local_instances, std::memory_order_relaxed);
+    total_happy.fetch_add(local_happy, std::memory_order_relaxed);
+  };
+
+  std::vector<std::future<void>> done;
+  done.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    done.push_back(pool_->submit(drain, w % num_shards));
+  }
+  for (auto& f : done) {
+    f.get();
+  }
+
+  StepStats stats;
+  stats.instances = instances.load();
+  stats.holidays = stats.instances * n;
+  stats.total_happy = total_happy.load();
+  return stats;
+}
+
+}  // namespace fhg::engine

@@ -1,0 +1,191 @@
+#include "fhg/engine/instance.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "fhg/analysis/fairness.hpp"
+
+namespace fhg::engine {
+
+Instance::Instance(std::string name, graph::Graph g, InstanceSpec spec)
+    : name_(std::move(name)), graph_(std::move(g)), spec_(std::move(spec)) {
+  scheduler_ = make_scheduler(graph_, spec_);
+  table_ = PeriodTable::build(*scheduler_);
+  if (!table_) {
+    replay_ = std::make_unique<ReplayIndex>(graph_.num_nodes());
+    gaps_ = std::make_unique<core::GapTracker>(graph_.num_nodes());
+  }
+}
+
+std::uint64_t Instance::current_holiday() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return scheduler_->current_holiday();
+}
+
+std::uint64_t Instance::total_happy() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_happy_;
+}
+
+std::vector<graph::NodeId> Instance::produce_locked() {
+  std::vector<graph::NodeId> happy = scheduler_->next_holiday();
+  const std::uint64_t t = scheduler_->current_holiday();
+  total_happy_ += happy.size();
+  if (replay_) {
+    replay_->observe(t, happy);
+    gaps_->observe(t, happy);
+  }
+  return happy;
+}
+
+void Instance::extend_locked(std::uint64_t t) {
+  while (scheduler_->current_holiday() < t) {
+    (void)produce_locked();
+  }
+}
+
+StepResult Instance::step(std::uint64_t n) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  StepResult result;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    result.total_happy += produce_locked().size();
+  }
+  result.holidays = n;
+  return result;
+}
+
+StepResult Instance::stream(
+    std::uint64_t n,
+    const std::function<void(std::uint64_t, std::span<const graph::NodeId>)>& sink) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  StepResult result;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::vector<graph::NodeId> happy = produce_locked();
+    result.total_happy += happy.size();
+    sink(scheduler_->current_holiday(), happy);
+  }
+  result.holidays = n;
+  return result;
+}
+
+void Instance::check_node(graph::NodeId v) const {
+  if (v >= graph_.num_nodes()) {
+    throw std::out_of_range("Instance '" + name_ + "': node " + std::to_string(v) +
+                            " out of range (n=" + std::to_string(graph_.num_nodes()) + ")");
+  }
+}
+
+bool Instance::is_happy(graph::NodeId v, std::uint64_t t, std::uint64_t replay_limit) {
+  check_node(v);
+  if (table_) {
+    return table_->is_happy(v, t);  // O(1), lock-free
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (t > replay_->horizon() && t - replay_->horizon() > replay_limit) {
+    throw std::runtime_error("Instance '" + name_ + "': is_happy(" + std::to_string(t) +
+                             ") would replay past the " + std::to_string(replay_limit) +
+                             "-holiday limit (horizon " + std::to_string(replay_->horizon()) +
+                             ")");
+  }
+  extend_locked(t);
+  return replay_->is_happy(v, t);
+}
+
+std::optional<std::uint64_t> Instance::next_gathering(graph::NodeId v, std::uint64_t after,
+                                                      std::uint64_t search_limit) {
+  check_node(v);
+  if (table_) {
+    return table_->next_gathering(v, after);  // O(1), lock-free
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto hit = replay_->next_gathering(v, after)) {
+    return hit;
+  }
+  const std::uint64_t cap = after + search_limit;
+  while (replay_->horizon() < cap) {
+    const std::vector<graph::NodeId> happy = produce_locked();
+    const std::uint64_t t = scheduler_->current_holiday();
+    if (t > after && std::binary_search(happy.begin(), happy.end(), v)) {
+      return t;
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Number of happy holidays of a `(period, phase)` slot in `[1, horizon]`.
+std::uint64_t periodic_appearances(std::uint64_t period, std::uint64_t phase,
+                                   std::uint64_t horizon) noexcept {
+  return horizon >= phase ? (horizon - phase) / period + 1 : 0;
+}
+
+}  // namespace
+
+FairnessAudit Instance::audit() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  FairnessAudit audit;
+  const graph::NodeId n = graph_.num_nodes();
+  std::vector<std::uint64_t> appearances(n, 0);
+
+  if (table_) {
+    // Analytic audit: the schedule is exactly (phase + k·period) per node.
+    const std::uint64_t h = scheduler_->current_holiday();
+    audit.horizon = h;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      const std::uint64_t period = table_->period(v);
+      const std::uint64_t phase = table_->phase(v);
+      appearances[v] = periodic_appearances(period, phase, h);
+      std::uint64_t worst = 0;
+      if (appearances[v] == 0) {
+        worst = h + 1;  // open-ended wait for the first gathering
+      } else {
+        const std::uint64_t last = phase + (appearances[v] - 1) * period;
+        worst = std::max(phase, h - last + 1);  // first-wait vs. open tail
+        if (appearances[v] >= 2) {
+          worst = std::max(worst, period);
+        }
+      }
+      audit.worst_gap = std::max(audit.worst_gap, worst);
+      if (const auto bound = scheduler_->gap_bound(v); bound && worst > *bound) {
+        audit.bounds_respected = false;
+        audit.bound_violators.push_back(v);
+      }
+    }
+  } else {
+    const std::uint64_t h = replay_->horizon();
+    audit.horizon = h;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      appearances[v] = gaps_->appearances(v);
+      const std::uint64_t worst = gaps_->max_gap_with_tail(v, h);
+      audit.worst_gap = std::max(audit.worst_gap, worst);
+      if (const auto bound = scheduler_->gap_bound(v); bound && worst > *bound) {
+        audit.bounds_respected = false;
+        audit.bound_violators.push_back(v);
+      }
+    }
+  }
+
+  if (audit.horizon > 0 && n > 0) {
+    audit.jain = analysis::jain_fairness(graph_, appearances, audit.horizon);
+    audit.throughput_ratio = analysis::throughput_ratio(graph_, appearances, audit.horizon);
+  }
+  return audit;
+}
+
+void Instance::fast_forward(std::uint64_t t) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (table_) {
+    scheduler_->advance_to(t);  // O(1) counter skip for periodic schedulers
+    // Reconstruct Σ|happy| analytically so stats survive the skip.
+    total_happy_ = 0;
+    for (graph::NodeId v = 0; v < graph_.num_nodes(); ++v) {
+      total_happy_ += periodic_appearances(table_->period(v), table_->phase(v), t);
+    }
+  } else {
+    extend_locked(t);  // exact replay rebuilds index + gap statistics
+  }
+}
+
+}  // namespace fhg::engine

@@ -1,0 +1,22 @@
+#include "fhg/engine/period_table.hpp"
+
+namespace fhg::engine {
+
+std::optional<PeriodTable> PeriodTable::build(const core::Scheduler& s) {
+  if (!s.perfectly_periodic()) {
+    return std::nullopt;
+  }
+  const graph::NodeId n = s.graph().num_nodes();
+  std::vector<Row> rows(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const auto period = s.period_of(v);
+    const auto phase = s.phase_of(v);
+    if (!period || !phase || *period == 0 || *phase == 0) {
+      return std::nullopt;
+    }
+    rows[v] = Row{.period = *period, .residue = *phase % *period, .phase = *phase};
+  }
+  return PeriodTable(std::move(rows));
+}
+
+}  // namespace fhg::engine

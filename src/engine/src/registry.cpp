@@ -1,0 +1,90 @@
+#include "fhg/engine/registry.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+namespace fhg::engine {
+
+InstanceRegistry::InstanceRegistry(std::size_t shards) {
+  shards_.reserve(std::max<std::size_t>(shards, 1));
+  for (std::size_t i = 0; i < std::max<std::size_t>(shards, 1); ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+InstanceRegistry::Shard& InstanceRegistry::shard_for(std::string_view name) const {
+  return *shards_[std::hash<std::string_view>{}(name) % shards_.size()];
+}
+
+std::shared_ptr<Instance> InstanceRegistry::create(std::string name, graph::Graph g,
+                                                   InstanceSpec spec) {
+  auto instance = std::make_shared<Instance>(name, std::move(g), std::move(spec));
+  Shard& shard = shard_for(name);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto [it, inserted] = shard.map.emplace(std::move(name), instance);
+  if (!inserted) {
+    throw std::invalid_argument("InstanceRegistry::create: duplicate instance '" + it->first +
+                                "'");
+  }
+  return instance;
+}
+
+std::shared_ptr<Instance> InstanceRegistry::find(std::string_view name) const {
+  Shard& shard = shard_for(name);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.map.find(name);  // transparent: no temporary string
+  return it == shard.map.end() ? nullptr : it->second;
+}
+
+bool InstanceRegistry::erase(std::string_view name) {
+  Shard& shard = shard_for(name);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.map.find(name);
+  if (it == shard.map.end()) {
+    return false;
+  }
+  shard.map.erase(it);
+  return true;
+}
+
+void InstanceRegistry::clear() {
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->map.clear();
+  }
+}
+
+std::size_t InstanceRegistry::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->map.size();
+  }
+  return total;
+}
+
+std::vector<std::shared_ptr<Instance>> InstanceRegistry::shard_instances(std::size_t shard) const {
+  std::vector<std::shared_ptr<Instance>> out;
+  const Shard& s = *shards_[shard];
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  out.reserve(s.map.size());
+  for (const auto& [name, instance] : s.map) {
+    out.push_back(instance);
+  }
+  return out;
+}
+
+std::vector<std::shared_ptr<Instance>> InstanceRegistry::all_sorted() const {
+  std::vector<std::shared_ptr<Instance>> out;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    auto chunk = shard_instances(i);
+    out.insert(out.end(), std::make_move_iterator(chunk.begin()),
+               std::make_move_iterator(chunk.end()));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a->name() < b->name(); });
+  return out;
+}
+
+}  // namespace fhg::engine

@@ -1,0 +1,31 @@
+#include "fhg/engine/replay_index.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fhg::engine {
+
+void ReplayIndex::observe(std::uint64_t t, std::span<const graph::NodeId> happy) {
+  assert(t == horizon_ + 1 && "ReplayIndex::observe: holidays must arrive in order");
+  horizon_ = t;
+  for (const graph::NodeId v : happy) {
+    appearances_[v].push_back(t);
+  }
+}
+
+bool ReplayIndex::is_happy(graph::NodeId v, std::uint64_t t) const noexcept {
+  const auto& a = appearances_[v];
+  return std::binary_search(a.begin(), a.end(), t);
+}
+
+std::optional<std::uint64_t> ReplayIndex::next_gathering(graph::NodeId v,
+                                                         std::uint64_t after) const noexcept {
+  const auto& a = appearances_[v];
+  const auto it = std::upper_bound(a.begin(), a.end(), after);
+  if (it == a.end()) {
+    return std::nullopt;
+  }
+  return *it;
+}
+
+}  // namespace fhg::engine

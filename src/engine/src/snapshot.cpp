@@ -1,0 +1,221 @@
+#include "fhg/engine/snapshot.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "fhg/coding/bitstring.hpp"
+
+namespace fhg::engine {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x46484753;  // "FHGS"
+constexpr std::uint64_t kVersion = 1;
+
+}  // namespace
+
+// ---------------------------------------------------------------- BitWriter --
+
+void BitWriter::put_bit(bool b) {
+  if (bit_pos_ == 0) {
+    bytes_.push_back(0);
+    bit_pos_ = 8;
+  }
+  --bit_pos_;
+  if (b) {
+    bytes_.back() |= static_cast<std::uint8_t>(1U << bit_pos_);
+  }
+}
+
+void BitWriter::put_bits(std::uint64_t v, std::uint32_t width) {
+  for (std::uint32_t i = width; i > 0; --i) {
+    put_bit(((v >> (i - 1)) & 1U) != 0);
+  }
+}
+
+void BitWriter::put_uint(std::uint64_t v) {
+  const coding::BitString code = coding::elias_delta(v + 1);
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    put_bit(code.bit(i));
+  }
+}
+
+std::vector<std::uint8_t> BitWriter::finish() {
+  bit_pos_ = 0;
+  return std::move(bytes_);
+}
+
+// ---------------------------------------------------------------- BitReader --
+
+bool BitReader::get_bit() {
+  if (next_bit_ >= bytes_.size() * 8) {
+    throw std::runtime_error("snapshot: truncated bit stream");
+  }
+  const std::uint8_t byte = bytes_[next_bit_ / 8];
+  const bool b = ((byte >> (7 - next_bit_ % 8)) & 1U) != 0;
+  ++next_bit_;
+  return b;
+}
+
+std::uint64_t BitReader::get_bits(std::uint32_t width) {
+  std::uint64_t v = 0;
+  for (std::uint32_t i = 0; i < width; ++i) {
+    v = (v << 1) | static_cast<std::uint64_t>(get_bit());
+  }
+  return v;
+}
+
+std::uint64_t BitReader::get_uint() {
+  return coding::decode_elias_delta([this] { return get_bit(); }) - 1;
+}
+
+// ----------------------------------------------------------------- snapshot --
+
+namespace {
+
+/// Guards a decoded length field: `count` items of at least `min_bits_each`
+/// cannot exceed what the stream still holds.  Prevents a corrupt count from
+/// triggering a huge allocation before truncation is detected.
+void check_count(const BitReader& r, std::uint64_t count, std::uint64_t min_bits_each,
+                 const char* what) {
+  if (count > r.remaining_bits() / min_bits_each) {
+    throw std::runtime_error(std::string("snapshot: implausible ") + what + " count " +
+                             std::to_string(count));
+  }
+}
+
+void write_graph(BitWriter& w, const graph::Graph& g) {
+  w.put_uint(g.num_nodes());
+  const std::vector<graph::Edge> edges = g.edges();  // sorted lexicographically
+  w.put_uint(edges.size());
+  graph::NodeId prev_first = 0;
+  for (const graph::Edge& e : edges) {
+    w.put_uint(e.first - prev_first);       // non-negative: edges are sorted
+    w.put_uint(e.second - e.first - 1);     // second > first always
+    prev_first = e.first;
+  }
+}
+
+graph::Graph read_graph(BitReader& r) {
+  const std::uint64_t n64 = r.get_uint();
+  if (n64 > std::numeric_limits<graph::NodeId>::max()) {
+    throw std::runtime_error("snapshot: node count " + std::to_string(n64) +
+                             " exceeds NodeId range");
+  }
+  const auto n = static_cast<graph::NodeId>(n64);
+  const std::uint64_t m = r.get_uint();
+  check_count(r, m, 2, "edge");  // each edge costs >= 2 bits (two codewords)
+  std::vector<graph::Edge> edges;
+  edges.reserve(m);
+  std::uint64_t prev_first = 0;
+  for (std::uint64_t i = 0; i < m; ++i) {
+    const std::uint64_t first = prev_first + r.get_uint();
+    const std::uint64_t second = first + 1 + r.get_uint();
+    if (second >= n64) {
+      throw std::runtime_error("snapshot: edge endpoint " + std::to_string(second) +
+                               " out of range for " + std::to_string(n64) + " nodes");
+    }
+    edges.push_back({static_cast<graph::NodeId>(first), static_cast<graph::NodeId>(second)});
+    prev_first = first;
+  }
+  return graph::Graph::from_edges(n, edges);
+}
+
+void write_spec(BitWriter& w, const InstanceSpec& spec) {
+  w.put_uint(static_cast<std::uint64_t>(spec.kind));
+  w.put_uint(static_cast<std::uint64_t>(spec.code));
+  w.put_uint(spec.seed);
+  w.put_uint(spec.periods.size());
+  for (const std::uint64_t p : spec.periods) {
+    w.put_uint(p);
+  }
+}
+
+InstanceSpec read_spec(BitReader& r) {
+  InstanceSpec spec;
+  spec.kind = static_cast<SchedulerKind>(r.get_uint());
+  spec.code = static_cast<coding::CodeFamily>(r.get_uint());
+  spec.seed = r.get_uint();
+  const std::uint64_t count = r.get_uint();
+  check_count(r, count, 1, "period");
+  spec.periods.resize(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    spec.periods[i] = r.get_uint();
+  }
+  return spec;
+}
+
+void write_name(BitWriter& w, const std::string& name) {
+  w.put_uint(name.size());
+  for (const char c : name) {
+    w.put_bits(static_cast<std::uint8_t>(c), 8);
+  }
+}
+
+std::string read_name(BitReader& r) {
+  const std::uint64_t length = r.get_uint();
+  check_count(r, length, 8, "name byte");
+  std::string name(length, '\0');
+  for (std::uint64_t i = 0; i < length; ++i) {
+    name[i] = static_cast<char>(r.get_bits(8));
+  }
+  return name;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> snapshot_registry(const InstanceRegistry& registry) {
+  BitWriter w;
+  w.put_bits(kMagic, 32);
+  w.put_uint(kVersion);
+  const auto instances = registry.all_sorted();
+  w.put_uint(instances.size());
+  for (const auto& instance : instances) {
+    write_name(w, instance->name());
+    write_spec(w, instance->spec());
+    write_graph(w, instance->graph());
+    w.put_uint(instance->current_holiday());
+  }
+  return w.finish();
+}
+
+void restore_registry(InstanceRegistry& registry, std::span<const std::uint8_t> bytes) {
+  BitReader r(bytes);
+  if (r.get_bits(32) != kMagic) {
+    throw std::runtime_error("snapshot: bad magic");
+  }
+  if (const std::uint64_t version = r.get_uint(); version != kVersion) {
+    throw std::runtime_error("snapshot: unsupported version " + std::to_string(version));
+  }
+  const std::uint64_t count = r.get_uint();
+  check_count(r, count, 8, "instance");
+
+  // Parse the whole stream before touching the registry, so a malformed
+  // snapshot cannot leave a half-restored tenancy (or destroy the old one).
+  struct Parsed {
+    std::string name;
+    InstanceSpec spec;
+    graph::Graph graph;
+    std::uint64_t holiday = 0;
+  };
+  std::vector<Parsed> parsed;
+  parsed.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Parsed p;
+    p.name = read_name(r);
+    p.spec = read_spec(r);
+    p.graph = read_graph(r);
+    p.holiday = r.get_uint();
+    parsed.push_back(std::move(p));
+  }
+
+  registry.clear();
+  for (auto& p : parsed) {
+    const auto instance =
+        registry.create(std::move(p.name), std::move(p.graph), std::move(p.spec));
+    instance->fast_forward(p.holiday);
+  }
+}
+
+}  // namespace fhg::engine

@@ -1,0 +1,83 @@
+#include "fhg/engine/spec.hpp"
+
+#include <stdexcept>
+
+#include "fhg/coloring/greedy.hpp"
+#include "fhg/core/degree_bound.hpp"
+#include "fhg/core/fcfg.hpp"
+#include "fhg/core/phased_greedy.hpp"
+#include "fhg/core/prefix_code_scheduler.hpp"
+#include "fhg/core/round_robin.hpp"
+#include "fhg/core/weighted.hpp"
+
+namespace fhg::engine {
+
+std::string scheduler_kind_name(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kRoundRobin:
+      return "round-robin";
+    case SchedulerKind::kPhasedGreedy:
+      return "phased-greedy";
+    case SchedulerKind::kPrefixCode:
+      return "prefix-code";
+    case SchedulerKind::kDegreeBound:
+      return "degree-bound";
+    case SchedulerKind::kFirstComeFirstGrab:
+      return "fcfg";
+    case SchedulerKind::kWeighted:
+      return "weighted";
+  }
+  return "unknown";
+}
+
+std::optional<SchedulerKind> parse_scheduler_kind(std::string_view name) {
+  if (name == "round-robin") {
+    return SchedulerKind::kRoundRobin;
+  }
+  if (name == "phased-greedy") {
+    return SchedulerKind::kPhasedGreedy;
+  }
+  if (name == "prefix-code" || name == "prefix") {
+    return SchedulerKind::kPrefixCode;
+  }
+  if (name == "degree-bound") {
+    return SchedulerKind::kDegreeBound;
+  }
+  if (name == "fcfg") {
+    return SchedulerKind::kFirstComeFirstGrab;
+  }
+  if (name == "weighted") {
+    return SchedulerKind::kWeighted;
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<core::Scheduler> make_scheduler(const graph::Graph& g, const InstanceSpec& spec) {
+  switch (spec.kind) {
+    case SchedulerKind::kRoundRobin:
+      return std::make_unique<core::RoundRobinColorScheduler>(
+          g, coloring::greedy_color(g, coloring::Order::kLargestFirst));
+    case SchedulerKind::kPhasedGreedy:
+      return std::make_unique<core::PhasedGreedyScheduler>(
+          g, coloring::greedy_color(g, coloring::Order::kLargestFirst));
+    case SchedulerKind::kPrefixCode:
+      return std::make_unique<core::PrefixCodeScheduler>(
+          g, coloring::greedy_color(g, coloring::Order::kLargestFirst), spec.code);
+    case SchedulerKind::kDegreeBound:
+      return std::make_unique<core::DegreeBoundScheduler>(g);
+    case SchedulerKind::kFirstComeFirstGrab:
+      return std::make_unique<core::FirstComeFirstGrabScheduler>(g, spec.seed);
+    case SchedulerKind::kWeighted:
+      if (spec.periods.size() != g.num_nodes()) {
+        throw std::invalid_argument(
+            "make_scheduler: weighted spec needs one period per node (got " +
+            std::to_string(spec.periods.size()) + " for " + std::to_string(g.num_nodes()) +
+            " nodes)");
+      }
+      return std::make_unique<core::WeightedPeriodicScheduler>(g, spec.periods,
+                                                               core::WeightedPolicy::kAutoRelax);
+  }
+  throw std::invalid_argument("make_scheduler: unknown scheduler kind");
+}
+
+}  // namespace fhg::engine

@@ -154,7 +154,8 @@ std::optional<ExactMisResult> exact_mis(const graph::Graph& g, std::uint64_t nod
       adjacency[v].set(w);
     }
   }
-  Searcher searcher{adjacency, node_budget};
+  Searcher searcher{.adjacency = adjacency, .budget = node_budget, .branches = 0,
+                    .exhausted = false, .best = {}, .current = {}};
   NodeSet all(n);
   for (graph::NodeId v = 0; v < n; ++v) {
     all.set(v);
