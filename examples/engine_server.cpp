@@ -1,13 +1,23 @@
 // engine_server — drive the multi-tenant fhg::engine from the command line.
 //
-// Loads a scenario file (one instance per line) or generates a synthetic
-// fleet, then runs a mixed step/query workload and prints throughput plus
-// fairness audits — the serving-layer view of the paper: schedules as
-// long-lived tenants answering membership queries in O(1).
+// Loads a scenario file (one instance per line) or generates a deterministic
+// `fhg::workload` fleet, then runs a mixed step/query workload — batched
+// through the lock-free query pipeline — and prints throughput plus fairness
+// audits: the serving-layer view of the paper, schedules as long-lived
+// tenants answering membership queries in O(1).
+//
+// Exits nonzero when any sampled fairness audit violates its gap bound or
+// the snapshot restore round trip is not byte-identical, so CI smoke steps
+// actually fail on a regression.
 //
 // Usage:
-//   engine_server [--scenario FILE | --fleet N] [--steps N] [--queries N]
+//   engine_server [--scenario FILE | --workload SPEC | --fleet N]
+//                 [--steps N] [--queries N] [--churn-rounds N]
 //                 [--threads N] [--shards N] [--snapshot FILE] [--seed S]
+//
+// Workload specs are `family[:key=value,...]` with families ring, grid,
+// power-law, random-geometric, gnp and keys fleet, nodes, seed, churn,
+// aperiodic, next, horizon (see fhg/workload/scenario.hpp).
 //
 // Scenario file format (blank lines and '#' comments ignored):
 //   <name> <kind> <graph-spec> [seed]
@@ -16,6 +26,7 @@
 // cycle:n tree:n regular:n,d — or a file path).
 //
 // Examples:
+//   engine_server --workload power-law:fleet=5000,churn=0.02 --steps 256
 //   engine_server --fleet 5000 --steps 256 --queries 1000000
 //   engine_server --scenario tenants.txt --snapshot state.fhgs
 
@@ -24,6 +35,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -33,6 +45,7 @@
 #include "fhg/graph/generators.hpp"
 #include "fhg/graph/io.hpp"
 #include "fhg/parallel/rng.hpp"
+#include "fhg/workload/scenario.hpp"
 
 namespace {
 
@@ -41,8 +54,11 @@ using Clock = std::chrono::steady_clock;
 
 [[noreturn]] void usage(const std::string& error) {
   std::cerr << "engine_server: " << error << "\n"
-            << "usage: engine_server [--scenario FILE | --fleet N] [--steps N] [--queries N]\n"
+            << "usage: engine_server [--scenario FILE | --workload SPEC | --fleet N]\n"
+            << "                     [--steps N] [--queries N] [--churn-rounds N]\n"
             << "                     [--threads N] [--shards N] [--snapshot FILE] [--seed S]\n"
+            << "workload specs: family[:key=value,...], families: ring grid power-law\n"
+            << "                random-geometric gnp\n"
             << "scenario lines: <name> <kind> <graph-spec> [seed]\n"
             << "kinds: round-robin phased-greedy prefix-code degree-bound fcfg\n";
   std::exit(2);
@@ -148,22 +164,6 @@ void load_scenario(engine::Engine& eng, const std::string& path, std::uint64_t d
   }
 }
 
-void build_fleet(engine::Engine& eng, std::size_t fleet, std::uint64_t seed) {
-  // A mixed synthetic tenancy: mostly periodic tenants (the fast path),
-  // with some aperiodic ones to exercise memoized replay.
-  const engine::SchedulerKind kinds[] = {
-      engine::SchedulerKind::kDegreeBound, engine::SchedulerKind::kDegreeBound,
-      engine::SchedulerKind::kPrefixCode, engine::SchedulerKind::kRoundRobin,
-      engine::SchedulerKind::kPhasedGreedy};
-  for (std::size_t i = 0; i < fleet; ++i) {
-    engine::InstanceSpec spec;
-    spec.kind = kinds[i % std::size(kinds)];
-    spec.seed = seed + i;
-    (void)eng.create_instance("tenant-" + std::to_string(i),
-                              graph::gnp(48, 0.1, seed + i % 32), std::move(spec));
-  }
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -181,14 +181,39 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = uint_option("seed", 1);
   const std::uint64_t steps = uint_option("steps", 128);
   const std::uint64_t queries = uint_option("queries", 200'000);
+  const std::uint64_t churn_rounds = uint_option("churn-rounds", 1);
 
   engine::Engine eng({.shards = static_cast<std::size_t>(uint_option("shards", 32)),
                       .threads = static_cast<std::size_t>(uint_option("threads", 0))});
+  std::optional<workload::ScenarioGenerator> generator;
   const auto build_start = Clock::now();
   if (options.count("scenario")) {
     load_scenario(eng, options["scenario"], seed);
   } else {
-    build_fleet(eng, uint_option("fleet", 1000), seed);
+    // Deterministic fhg::workload fleet: either an explicit scenario string
+    // or the default power-law family sized by --fleet.
+    auto spec = workload::parse_scenario(
+        options.count("workload") ? options["workload"] : "power-law");
+    if (!spec) {
+      usage("bad workload spec '" + options["workload"] + "'");
+    }
+    if (options.count("fleet")) {
+      spec->fleet = static_cast<std::size_t>(uint_option("fleet", 1000));
+    }
+    if (!options.count("workload") && !options.count("fleet")) {
+      spec->fleet = 1000;
+    }
+    // CLI flags fill in only what the workload string left unspecified —
+    // `seed=`/`horizon=` keys in the spec win over --seed/--steps.
+    if (options["workload"].find("seed=") == std::string::npos) {
+      spec->seed = seed;
+    }
+    if (options["workload"].find("horizon=") == std::string::npos) {
+      spec->horizon = std::max<std::uint64_t>(steps, 1);
+    }
+    generator.emplace(*spec);
+    generator->populate(eng);
+    std::cout << "workload: " << workload::scenario_name(generator->spec()) << "\n";
   }
   std::cout << "engine: " << eng.num_instances() << " instances ("
             << seconds_since(build_start) << "s to build)\n";
@@ -204,32 +229,66 @@ int main(int argc, char** argv) {
             << stats.total_happy << " happy visits, "
             << static_cast<double>(stats.holidays) / step_s << " holidays/sec\n";
 
-  // Query phase: random membership + next-gathering probes across tenants.
-  const auto instances = eng.registry().all_sorted();
-  parallel::Rng rng(seed);
-  std::uint64_t hits = 0;
-  std::uint64_t next_sum = 0;
-  const auto query_start = Clock::now();
-  for (std::uint64_t q = 0; q < queries; ++q) {
-    const auto& instance = instances[rng.uniform_below(instances.size())];
-    const auto v =
-        static_cast<graph::NodeId>(rng.uniform_below(instance->graph().num_nodes()));
-    if (q % 8 == 0) {
-      next_sum += instance->next_gathering(v, rng.uniform_below(steps)).value_or(0);
-    } else {
-      hits += instance->is_happy(v, 1 + rng.uniform_below(steps)) ? 1 : 0;
+  // Churn phase: replace a deterministic slice of the fleet, forcing the
+  // query snapshot to be republished at a new epoch.
+  if (generator && generator->spec().churn > 0.0) {
+    std::vector<std::uint64_t> generations(generator->spec().fleet, 0);
+    std::size_t replaced = 0;
+    for (std::uint64_t round = 0; round < churn_rounds; ++round) {
+      replaced += generator->churn_round(eng, round, generations);
     }
+    std::cout << "churn: " << replaced << " tenants replaced over " << churn_rounds
+              << " round(s)\n";
+  }
+
+  // Query phase: batched membership + next-gathering probes through the
+  // lock-free snapshot pipeline.
+  std::uint64_t hits = 0;
+  std::uint64_t answered = 0;
+  std::uint64_t total = 0;
+  const auto query_start = Clock::now();
+  const auto snapshot = eng.query_snapshot();
+  if (generator) {
+    const workload::ProbeRound round = generator->probes(*snapshot, queries);
+    const std::vector<std::uint8_t> members = eng.query_batch(round.membership);
+    const std::vector<std::uint64_t> nexts = eng.next_gathering_batch(round.next_gathering);
+    for (const std::uint8_t m : members) {
+      hits += m;
+    }
+    for (const std::uint64_t t : nexts) {
+      answered += t != engine::kNoGathering ? 1 : 0;
+    }
+    total = members.size() + nexts.size();
+  } else {
+    // Scenario files have no workload generator; probe uniformly.
+    parallel::Rng rng(seed);
+    std::vector<engine::Probe> probes(queries);
+    for (auto& probe : probes) {
+      probe.instance = static_cast<std::uint32_t>(rng.uniform_below(snapshot->size()));
+      probe.node = static_cast<graph::NodeId>(
+          rng.uniform_below(snapshot->instance(probe.instance)->graph().num_nodes()));
+      probe.holiday = 1 + rng.uniform_below(std::max<std::uint64_t>(steps, 1));
+    }
+    for (const std::uint8_t m : eng.query_batch(probes)) {
+      hits += m;
+    }
+    total = probes.size();
   }
   const double query_s = seconds_since(query_start);
-  std::cout << "queries: " << queries << " in " << query_s << "s ("
-            << static_cast<double>(queries) / query_s << " queries/sec), hit rate "
-            << static_cast<double>(hits) / static_cast<double>(queries) << "\n";
+  std::cout << "queries: " << total << " batched in " << query_s << "s ("
+            << static_cast<double>(total) / query_s << " queries/sec), hit rate "
+            << static_cast<double>(hits) / static_cast<double>(total)
+            << ", next-gathering answered " << answered << "\n";
 
-  // Fairness audits for a sample of tenants.
+  // Fairness audits for a sample of tenants.  A violated gap bound is a
+  // correctness failure and fails the run.
+  const auto instances = eng.registry().all_sorted();
+  bool audits_ok = true;
   analysis::Table audit_table(
       {"instance", "scheduler", "periodic", "horizon", "jain", "throughput", "worst gap", "ok"});
   for (std::size_t i = 0; i < instances.size(); i += std::max<std::size_t>(1, instances.size() / 8)) {
     const auto audit = instances[i]->audit();
+    audits_ok = audits_ok && audit.bounds_respected;
     audit_table.row()
         .add(instances[i]->name())
         .add(instances[i]->scheduler_name())
@@ -259,5 +318,11 @@ int main(int argc, char** argv) {
   const bool identical = restored.snapshot() == bytes;
   std::cout << "restore check: " << restored.num_instances() << " instances, round trip "
             << (identical ? "byte-identical" : "MISMATCH") << "\n";
-  return identical ? 0 : 1;
+  if (!audits_ok) {
+    std::cerr << "engine_server: FAIL — a sampled fairness audit violated its gap bound\n";
+  }
+  if (!identical) {
+    std::cerr << "engine_server: FAIL — snapshot restore round trip not byte-identical\n";
+  }
+  return audits_ok && identical ? 0 : 1;
 }

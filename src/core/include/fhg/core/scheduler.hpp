@@ -21,6 +21,16 @@
 
 namespace fhg::core {
 
+/// One node's `(period, phase)` pair as exposed by `period_phase_rows` —
+/// everything a serving layer needs to answer membership for that node.
+struct PeriodPhaseRow {
+  std::uint64_t period = 0;
+  std::uint64_t phase = 0;
+
+  friend constexpr bool operator==(const PeriodPhaseRow&, const PeriodPhaseRow&) noexcept =
+      default;
+};
+
 /// Abstract producer of the gathering sequence `H = h_1, h_2, …`.
 class Scheduler {
  public:
@@ -61,6 +71,14 @@ class Scheduler {
   /// membership for arbitrary holidays without running the schedule
   /// (`fhg::engine::PeriodTable` materializes exactly this pair).
   [[nodiscard]] virtual std::optional<std::uint64_t> phase_of(graph::NodeId v) const;
+
+  /// Batch-friendly accessor: the `(period, phase)` pair of every node in one
+  /// call, or an empty vector when the schedule is not perfectly periodic (or
+  /// does not expose phases).  The default implementation loops over
+  /// `period_of`/`phase_of`; schedulers that hold the pairs contiguously may
+  /// override it to a bulk copy.  Consumers building whole-table structures
+  /// (`fhg::engine::PeriodTable`) should prefer this over 2n virtual calls.
+  [[nodiscard]] virtual std::vector<PeriodPhaseRow> period_phase_rows() const;
 
   /// Advances internal state so that `current_holiday() == t`, without
   /// returning the intervening happy sets.  No-op when `t` is not ahead of

@@ -21,8 +21,10 @@
 /// auto bytes = engine.snapshot();                        // compact, canonical
 /// ```
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -31,6 +33,7 @@
 
 #include "fhg/engine/executor.hpp"
 #include "fhg/engine/instance.hpp"
+#include "fhg/engine/query_batch.hpp"
 #include "fhg/engine/registry.hpp"
 #include "fhg/engine/snapshot.hpp"
 #include "fhg/engine/spec.hpp"
@@ -82,6 +85,29 @@ class Engine {
   /// Fairness audit of one instance.
   [[nodiscard]] FairnessAudit audit(std::string_view instance);
 
+  /// The current lock-free query view: an immutable snapshot of the fleet,
+  /// rebuilt only when instances have been created or erased since the last
+  /// call.  After warm-up this is one atomic load + one epoch check.  The
+  /// returned snapshot stays valid (and answers consistently) however the
+  /// registry changes afterwards — resolve probe ids and run batches against
+  /// the same snapshot.
+  [[nodiscard]] std::shared_ptr<const QuerySnapshot> query_snapshot();
+
+  /// Batched membership: `result[i] = is_happy` for each (instance, family,
+  /// holiday) probe, answered against the *current* snapshot with
+  /// sorted-access locality.  Probe instance ids are snapshot indices
+  /// (`QuerySnapshot::id_of`) — only valid here while no create/erase has
+  /// intervened since they were resolved.  If membership can change
+  /// concurrently, hold the snapshot you resolved against and call its
+  /// `query_batch` directly; ids minted from a stale snapshot would
+  /// otherwise silently rebind to different tenants.
+  [[nodiscard]] std::vector<std::uint8_t> query_batch(std::span<const Probe> probes);
+
+  /// Batched next-gathering: `result[i]` is the first happy holiday strictly
+  /// after `probes[i].holiday`, or `kNoGathering` when an aperiodic search
+  /// gives up.  Same snapshot-validity contract as `query_batch`.
+  [[nodiscard]] std::vector<std::uint64_t> next_gathering_batch(std::span<const Probe> probes);
+
   /// Serializes every instance into the canonical Elias-coded format.
   [[nodiscard]] std::vector<std::uint8_t> snapshot() const {
     return snapshot_registry(registry_);
@@ -99,6 +125,11 @@ class Engine {
   parallel::ThreadPool pool_;
   InstanceRegistry registry_;
   BatchExecutor executor_;
+  /// Published query view (epoch/seqlock style): readers do a lock-free
+  /// atomic load; the rebuild after a membership change is serialized by
+  /// `view_mutex_` and re-validated against the registry epoch.
+  std::atomic<std::shared_ptr<const QuerySnapshot>> view_{nullptr};
+  std::mutex view_mutex_;
 };
 
 }  // namespace fhg::engine

@@ -67,12 +67,13 @@ class Instance {
   [[nodiscard]] std::string scheduler_name() const { return scheduler_->name(); }
 
   /// True iff the instance serves queries from a `PeriodTable`.
-  [[nodiscard]] bool periodic() const noexcept { return table_.has_value(); }
+  [[nodiscard]] bool periodic() const noexcept { return table_ != nullptr; }
 
-  /// The O(1) table, or nullptr for aperiodic instances.
-  [[nodiscard]] const PeriodTable* period_table() const noexcept {
-    return table_ ? &*table_ : nullptr;
-  }
+  /// The O(1) table, or nullptr for aperiodic instances.  Immutable and
+  /// content-interned: instances with identical schedules share one table.
+  /// The pointer stays valid as long as the instance does — `QuerySnapshot`
+  /// relies on this by holding the instance, not the table.
+  [[nodiscard]] const PeriodTable* period_table() const noexcept { return table_.get(); }
 
   /// The holiday the scheduler has advanced to (thread-safe).
   [[nodiscard]] std::uint64_t current_holiday() const;
@@ -138,7 +139,7 @@ class Instance {
   graph::Graph graph_;  ///< must outlive scheduler_ (declared first)
   InstanceSpec spec_;
   std::unique_ptr<core::Scheduler> scheduler_;
-  std::optional<PeriodTable> table_;
+  std::shared_ptr<const PeriodTable> table_;  ///< interned; shared across tenants
   // Aperiodic instances only: appearance index + observed gap statistics.
   std::unique_ptr<ReplayIndex> replay_;
   std::unique_ptr<core::GapTracker> gaps_;

@@ -11,8 +11,16 @@
 /// which holiday the instance itself has been stepped to.  This is the
 /// serving-layer payoff of the paper's periodicity results: the schedule
 /// need not be replayed to be queried.
+///
+/// Storage is structure-of-arrays: three parallel `uint64_t` vectors
+/// (`periods`, `residues`, `phases`) rather than an array of row structs.
+/// The batched query kernel streams the `periods`/`residues` arrays with
+/// unit stride, and fleets built from a small pool of topologies share one
+/// table per distinct schedule through `build_shared`'s content-addressed
+/// intern pool — 10k tenants over 16 topologies hold 16 tables, not 10k.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -28,39 +36,53 @@ class PeriodTable {
   /// in which case the engine falls back to memoized replay.
   [[nodiscard]] static std::optional<PeriodTable> build(const core::Scheduler& s);
 
+  /// Like `build`, but returns a content-interned shared table: two
+  /// schedulers producing identical `(period, phase)` vectors get the *same*
+  /// immutable table object, so a fleet of instances over a handful of
+  /// distinct topologies shares storage instead of duplicating it per
+  /// tenant.  Returns nullptr when `s` is not perfectly periodic.
+  [[nodiscard]] static std::shared_ptr<const PeriodTable> build_shared(const core::Scheduler& s);
+
   [[nodiscard]] graph::NodeId num_nodes() const noexcept {
-    return static_cast<graph::NodeId>(rows_.size());
+    return static_cast<graph::NodeId>(periods_.size());
   }
 
   /// O(1): true iff `v` is happy on (1-based) holiday `t`.
   [[nodiscard]] bool is_happy(graph::NodeId v, std::uint64_t t) const noexcept {
-    const Row& r = rows_[v];
-    return t >= 1 && t % r.period == r.residue;
+    return t >= 1 && t % periods_[v] == residues_[v];
   }
 
   /// O(1): the first happy holiday of `v` strictly after `after`.
   [[nodiscard]] std::uint64_t next_gathering(graph::NodeId v, std::uint64_t after) const noexcept {
-    const Row& r = rows_[v];
-    const std::uint64_t delta = (r.residue + r.period - after % r.period) % r.period;
-    return after + (delta == 0 ? r.period : delta);
+    const std::uint64_t period = periods_[v];
+    const std::uint64_t delta = (residues_[v] + period - after % period) % period;
+    return after + (delta == 0 ? period : delta);
   }
 
   /// The exact period of `v`.
-  [[nodiscard]] std::uint64_t period(graph::NodeId v) const noexcept { return rows_[v].period; }
+  [[nodiscard]] std::uint64_t period(graph::NodeId v) const noexcept { return periods_[v]; }
 
   /// The first happy holiday of `v`.
-  [[nodiscard]] std::uint64_t phase(graph::NodeId v) const noexcept { return rows_[v].phase; }
+  [[nodiscard]] std::uint64_t phase(graph::NodeId v) const noexcept { return phases_[v]; }
+
+  /// Structure-of-arrays views for batch kernels (all of length num_nodes).
+  [[nodiscard]] const std::vector<std::uint64_t>& periods() const noexcept { return periods_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& residues() const noexcept { return residues_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& phases() const noexcept { return phases_; }
+
+  /// Content equality: same `(period, phase)` for every node.
+  friend bool operator==(const PeriodTable&, const PeriodTable&) = default;
 
  private:
-  struct Row {
-    std::uint64_t period = 1;
-    std::uint64_t residue = 0;  ///< phase % period
-    std::uint64_t phase = 1;
-  };
+  PeriodTable(std::vector<std::uint64_t> periods, std::vector<std::uint64_t> residues,
+              std::vector<std::uint64_t> phases) noexcept
+      : periods_(std::move(periods)), residues_(std::move(residues)), phases_(std::move(phases)) {}
 
-  explicit PeriodTable(std::vector<Row> rows) noexcept : rows_(std::move(rows)) {}
+  [[nodiscard]] std::uint64_t content_hash() const noexcept;
 
-  std::vector<Row> rows_;
+  std::vector<std::uint64_t> periods_;
+  std::vector<std::uint64_t> residues_;  ///< phase % period, the modulo the hot path tests
+  std::vector<std::uint64_t> phases_;
 };
 
 }  // namespace fhg::engine

@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file query_batch.hpp
+/// The lock-free batched read path of the engine.
+///
+/// `QuerySnapshot` is an immutable, flat view of the registry at one epoch:
+/// instances sorted by name, with each periodic tenant's `PeriodTable`
+/// pointer pulled into a parallel array.  The engine publishes the current
+/// snapshot through an atomic `shared_ptr` and rebuilds it only when the
+/// registry's epoch has moved — so after warm-up (fleet built, first batch
+/// served) every `query_batch` call is: one atomic load, one relaxed epoch
+/// check, then pure table arithmetic.  No shard mutex, no name hashing, no
+/// per-probe allocation.
+///
+/// Probes address instances by their snapshot index (resolve names once via
+/// `id_of`, amortized over thousands of probes).  The batch kernel
+/// counting-sorts probe *indices* by instance id in O(probes + fleet), so
+/// all probes against one table run back-to-back over its
+/// structure-of-arrays storage — the sorted-access locality that makes
+/// batching ~an order of magnitude faster than calling `Engine::is_happy`
+/// per probe.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fhg/engine/instance.hpp"
+#include "fhg/graph/graph.hpp"
+
+namespace fhg::engine {
+
+class InstanceRegistry;
+
+/// One (instance, family, holiday) probe.  `holiday` is the queried holiday
+/// `t` for membership batches and the exclusive lower bound `after` for
+/// next-gathering batches.
+struct Probe {
+  std::uint32_t instance = 0;  ///< index into the snapshot (see `QuerySnapshot::id_of`)
+  graph::NodeId node = 0;      ///< the family asking
+  std::uint64_t holiday = 0;
+
+  friend constexpr bool operator==(const Probe&, const Probe&) noexcept = default;
+};
+
+/// Sentinel for "no gathering found within the search limit" in
+/// `next_gathering_batch` results (holidays are 1-based, so 0 is free).
+inline constexpr std::uint64_t kNoGathering = 0;
+
+class QuerySnapshot {
+ public:
+  /// Flattens the registry's current membership (sorted by name) and stamps
+  /// it with `epoch`.
+  [[nodiscard]] static std::shared_ptr<const QuerySnapshot> build(const InstanceRegistry& registry,
+                                                                  std::uint64_t epoch);
+
+  /// Registry epoch this snapshot was built at.
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+  /// Number of instances captured.
+  [[nodiscard]] std::size_t size() const noexcept { return instances_.size(); }
+
+  /// Snapshot index of `name`; nullopt if the instance was not present when
+  /// the snapshot was taken.  O(log n) binary search over the sorted names.
+  [[nodiscard]] std::optional<std::uint32_t> id_of(std::string_view name) const;
+
+  /// The instance at snapshot index `id` (shared ownership: stays valid even
+  /// if the registry has since erased it).
+  [[nodiscard]] const std::shared_ptr<Instance>& instance(std::uint32_t id) const {
+    return instances_[id];
+  }
+
+  /// Answers `out[i] = is_happy(probes[i])` for every probe.  Periodic
+  /// instances are answered lock-free from their period tables in sorted
+  /// order; aperiodic instances fall back to the per-instance replay path.
+  /// Throws `std::out_of_range` on an invalid instance index or node.
+  void query_batch(std::span<const Probe> probes, std::span<std::uint8_t> out) const;
+
+  /// Answers `out[i] = next_gathering(probes[i])` (first happy holiday
+  /// strictly after `probes[i].holiday`), or `kNoGathering` when an
+  /// aperiodic search gives up.  Same ordering and error contract as
+  /// `query_batch`.
+  void next_gathering_batch(std::span<const Probe> probes, std::span<std::uint64_t> out) const;
+
+ private:
+  QuerySnapshot() = default;
+
+  /// Probe indices grouped by instance id (counting sort, O(probes +
+  /// fleet)) — the shared iteration order of both batch kernels.  Also
+  /// validates every probe so the kernels can index unchecked.
+  [[nodiscard]] std::vector<std::uint32_t> sorted_order(std::span<const Probe> probes) const;
+
+  std::uint64_t epoch_ = 0;
+  std::vector<std::shared_ptr<Instance>> instances_;  ///< sorted by name
+  std::vector<std::string_view> names_;               ///< views into instances_' names
+  std::vector<const PeriodTable*> tables_;            ///< nullptr for aperiodic tenants
+  std::vector<graph::NodeId> num_nodes_;              ///< per-instance node counts
+};
+
+}  // namespace fhg::engine

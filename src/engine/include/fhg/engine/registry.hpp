@@ -11,7 +11,9 @@
 /// `shared_ptr`, so an instance being erased never invalidates a query in
 /// flight.
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -50,6 +52,14 @@ class InstanceRegistry {
 
   [[nodiscard]] std::size_t num_shards() const noexcept { return shards_.size(); }
 
+  /// Monotonic membership-change counter: bumped by every successful
+  /// create/erase/clear.  A `QuerySnapshot` stamps the epoch it was built at,
+  /// so readers can detect staleness with one relaxed atomic load instead of
+  /// walking the shards.
+  [[nodiscard]] std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
   /// All instances of one shard (shared ownership, unspecified order).
   [[nodiscard]] std::vector<std::shared_ptr<Instance>> shard_instances(std::size_t shard) const;
 
@@ -75,6 +85,7 @@ class InstanceRegistry {
   [[nodiscard]] Shard& shard_for(std::string_view name) const;
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> epoch_{0};
 };
 
 }  // namespace fhg::engine

@@ -34,4 +34,35 @@ std::optional<std::uint64_t> Engine::next_gathering(std::string_view instance, g
 
 FairnessAudit Engine::audit(std::string_view instance) { return require(instance)->audit(); }
 
+std::shared_ptr<const QuerySnapshot> Engine::query_snapshot() {
+  const std::uint64_t epoch = registry_.epoch();
+  auto view = view_.load(std::memory_order_acquire);
+  if (view && view->epoch() == epoch) {
+    return view;  // warm path: no locks taken
+  }
+  const std::lock_guard<std::mutex> lock(view_mutex_);
+  view = view_.load(std::memory_order_acquire);
+  // Re-read the epoch under the rebuild lock: a create/erase racing the
+  // rebuild bumps it again, and the next reader rebuilds once more.
+  const std::uint64_t current = registry_.epoch();
+  if (view && view->epoch() == current) {
+    return view;
+  }
+  view = QuerySnapshot::build(registry_, current);
+  view_.store(view, std::memory_order_release);
+  return view;
+}
+
+std::vector<std::uint8_t> Engine::query_batch(std::span<const Probe> probes) {
+  std::vector<std::uint8_t> out(probes.size());
+  query_snapshot()->query_batch(probes, out);
+  return out;
+}
+
+std::vector<std::uint64_t> Engine::next_gathering_batch(std::span<const Probe> probes) {
+  std::vector<std::uint64_t> out(probes.size());
+  query_snapshot()->next_gathering_batch(probes, out);
+  return out;
+}
+
 }  // namespace fhg::engine

@@ -11,7 +11,7 @@ namespace fhg::engine {
 Instance::Instance(std::string name, graph::Graph g, InstanceSpec spec)
     : name_(std::move(name)), graph_(std::move(g)), spec_(std::move(spec)) {
   scheduler_ = make_scheduler(graph_, spec_);
-  table_ = PeriodTable::build(*scheduler_);
+  table_ = PeriodTable::build_shared(*scheduler_);
   if (!table_) {
     replay_ = std::make_unique<ReplayIndex>(graph_.num_nodes());
     gaps_ = std::make_unique<core::GapTracker>(graph_.num_nodes());

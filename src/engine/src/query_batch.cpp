@@ -1,0 +1,119 @@
+#include "fhg/engine/query_batch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "fhg/engine/registry.hpp"
+
+namespace fhg::engine {
+
+std::shared_ptr<const QuerySnapshot> QuerySnapshot::build(const InstanceRegistry& registry,
+                                                          std::uint64_t epoch) {
+  auto snapshot = std::shared_ptr<QuerySnapshot>(new QuerySnapshot());
+  snapshot->epoch_ = epoch;
+  snapshot->instances_ = registry.all_sorted();
+  snapshot->names_.reserve(snapshot->instances_.size());
+  snapshot->tables_.reserve(snapshot->instances_.size());
+  snapshot->num_nodes_.reserve(snapshot->instances_.size());
+  for (const auto& instance : snapshot->instances_) {
+    snapshot->names_.push_back(instance->name());
+    snapshot->tables_.push_back(instance->period_table());
+    snapshot->num_nodes_.push_back(instance->graph().num_nodes());
+  }
+  return snapshot;
+}
+
+std::optional<std::uint32_t> QuerySnapshot::id_of(std::string_view name) const {
+  const auto it = std::lower_bound(names_.begin(), names_.end(), name);
+  if (it == names_.end() || *it != name) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint32_t>(it - names_.begin());
+}
+
+std::vector<std::uint32_t> QuerySnapshot::sorted_order(std::span<const Probe> probes) const {
+  const auto n = static_cast<std::uint32_t>(instances_.size());
+  // Histogram pass doubles as validation, so the kernels index unchecked.
+  std::vector<std::uint32_t> counts(static_cast<std::size_t>(n) + 1, 0);
+  for (const Probe& probe : probes) {
+    if (probe.instance >= n) {
+      throw std::out_of_range("QuerySnapshot: probe instance " + std::to_string(probe.instance) +
+                              " out of range (snapshot holds " + std::to_string(n) + ")");
+    }
+    if (probe.node >= num_nodes_[probe.instance]) {
+      throw std::out_of_range("QuerySnapshot: probe node " + std::to_string(probe.node) +
+                              " out of range for instance '" + std::string(names_[probe.instance]) +
+                              "'");
+    }
+    ++counts[probe.instance + 1];
+  }
+  for (std::uint32_t id = 1; id <= n; ++id) {
+    counts[id] += counts[id - 1];
+  }
+  std::vector<std::uint32_t> order(probes.size());
+  for (std::uint32_t i = 0; i < probes.size(); ++i) {
+    order[counts[probes[i].instance]++] = i;
+  }
+  return order;
+}
+
+void QuerySnapshot::query_batch(std::span<const Probe> probes, std::span<std::uint8_t> out) const {
+  if (out.size() < probes.size()) {
+    throw std::invalid_argument("QuerySnapshot::query_batch: output span too small");
+  }
+  const std::vector<std::uint32_t> order = sorted_order(probes);
+  std::size_t i = 0;
+  while (i < order.size()) {
+    const std::uint32_t id = probes[order[i]].instance;
+    // One run per instance: all its probes answered back-to-back.
+    std::size_t end = i;
+    while (end < order.size() && probes[order[end]].instance == id) {
+      ++end;
+    }
+    if (const PeriodTable* table = tables_[id]) {
+      for (std::size_t k = i; k < end; ++k) {
+        const Probe& probe = probes[order[k]];
+        out[order[k]] = table->is_happy(probe.node, probe.holiday) ? 1 : 0;
+      }
+    } else {
+      Instance& instance = *instances_[id];
+      for (std::size_t k = i; k < end; ++k) {
+        const Probe& probe = probes[order[k]];
+        out[order[k]] = instance.is_happy(probe.node, probe.holiday) ? 1 : 0;
+      }
+    }
+    i = end;
+  }
+}
+
+void QuerySnapshot::next_gathering_batch(std::span<const Probe> probes,
+                                         std::span<std::uint64_t> out) const {
+  if (out.size() < probes.size()) {
+    throw std::invalid_argument("QuerySnapshot::next_gathering_batch: output span too small");
+  }
+  const std::vector<std::uint32_t> order = sorted_order(probes);
+  std::size_t i = 0;
+  while (i < order.size()) {
+    const std::uint32_t id = probes[order[i]].instance;
+    std::size_t end = i;
+    while (end < order.size() && probes[order[end]].instance == id) {
+      ++end;
+    }
+    if (const PeriodTable* table = tables_[id]) {
+      for (std::size_t k = i; k < end; ++k) {
+        const Probe& probe = probes[order[k]];
+        out[order[k]] = table->next_gathering(probe.node, probe.holiday);
+      }
+    } else {
+      Instance& instance = *instances_[id];
+      for (std::size_t k = i; k < end; ++k) {
+        const Probe& probe = probes[order[k]];
+        out[order[k]] = instance.next_gathering(probe.node, probe.holiday).value_or(kNoGathering);
+      }
+    }
+    i = end;
+  }
+}
+
+}  // namespace fhg::engine

@@ -27,6 +27,7 @@ std::shared_ptr<Instance> InstanceRegistry::create(std::string name, graph::Grap
     throw std::invalid_argument("InstanceRegistry::create: duplicate instance '" + it->first +
                                 "'");
   }
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
   return instance;
 }
 
@@ -45,6 +46,7 @@ bool InstanceRegistry::erase(std::string_view name) {
     return false;
   }
   shard.map.erase(it);
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
   return true;
 }
 
@@ -53,6 +55,7 @@ void InstanceRegistry::clear() {
     const std::lock_guard<std::mutex> lock(shard->mutex);
     shard->map.clear();
   }
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 std::size_t InstanceRegistry::size() const {

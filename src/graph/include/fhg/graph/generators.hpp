@@ -73,6 +73,12 @@ namespace fhg::graph {
 /// distributions where per-degree bounds shine.
 [[nodiscard]] Graph barabasi_albert(NodeId n, std::uint32_t m, std::uint64_t seed);
 
+/// Random geometric graph: `n` points uniform in the unit square, an edge
+/// whenever two points are within Euclidean distance `radius`.  The standard
+/// model for radio-interference conflict graphs; grid-bucketed, `O(n + m)`
+/// expected time.
+[[nodiscard]] Graph random_geometric(NodeId n, double radius, std::uint64_t seed);
+
 /// Disjoint union of `parts` copies of `g` (useful for building societies of
 /// independent families).
 [[nodiscard]] Graph disjoint_union(const Graph& g, NodeId parts);

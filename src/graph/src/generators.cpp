@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "fhg/parallel/rng.hpp"
 
@@ -343,6 +345,66 @@ Graph barabasi_albert(NodeId n, std::uint32_t m, std::uint64_t seed) {
       edges.push_back(Edge{std::min(u, v), std::max(u, v)});
       targets.push_back(u);
       targets.push_back(v);
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph random_geometric(NodeId n, double radius, std::uint64_t seed) {
+  if (radius < 0.0) {
+    throw std::invalid_argument("random_geometric: radius must be non-negative");
+  }
+  Rng rng(seed, /*stream=*/0x726767);
+  std::vector<double> xs(n);
+  std::vector<double> ys(n);
+  for (NodeId v = 0; v < n; ++v) {
+    xs[v] = rng.uniform_real();
+    ys[v] = rng.uniform_real();
+  }
+  // Grid-bucket the points so the expected cost is O(n + m) instead of the
+  // all-pairs O(n²): only points within one cell of each other can be within
+  // `radius`.
+  const double r2 = radius * radius;
+  const auto cells = static_cast<std::uint64_t>(std::max(1.0, std::floor(1.0 / std::max(radius, 1e-9))));
+  std::unordered_map<std::uint64_t, std::vector<NodeId>> buckets;
+  const auto cell_coords = [&](NodeId v) {
+    const auto cx = std::min(cells - 1, static_cast<std::uint64_t>(xs[v] * static_cast<double>(cells)));
+    const auto cy = std::min(cells - 1, static_cast<std::uint64_t>(ys[v] * static_cast<double>(cells)));
+    return std::pair{cx, cy};
+  };
+  for (NodeId v = 0; v < n; ++v) {
+    const auto [cx, cy] = cell_coords(v);
+    buckets[cx * cells + cy].push_back(v);
+  }
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    const auto [ucx, ucy] = cell_coords(u);
+    const auto cx = static_cast<std::int64_t>(ucx);
+    const auto cy = static_cast<std::int64_t>(ucy);
+    for (std::int64_t dx = -1; dx <= 1; ++dx) {
+      for (std::int64_t dy = -1; dy <= 1; ++dy) {
+        const std::int64_t nx = cx + dx;
+        const std::int64_t ny = cy + dy;
+        if (nx < 0 || ny < 0 || nx >= static_cast<std::int64_t>(cells) ||
+            ny >= static_cast<std::int64_t>(cells)) {
+          continue;
+        }
+        const auto it = buckets.find(static_cast<std::uint64_t>(nx) * cells +
+                                     static_cast<std::uint64_t>(ny));
+        if (it == buckets.end()) {
+          continue;
+        }
+        for (const NodeId v : it->second) {
+          if (v <= u) {
+            continue;
+          }
+          const double ddx = xs[u] - xs[v];
+          const double ddy = ys[u] - ys[v];
+          if (ddx * ddx + ddy * ddy <= r2) {
+            edges.push_back(Edge{u, v});
+          }
+        }
+      }
     }
   }
   return Graph::from_edges(n, edges);

@@ -1,0 +1,144 @@
+#pragma once
+
+/// \file scenario.hpp
+/// Declarative workload scenarios for the serving layer.
+///
+/// A `ScenarioSpec` names a structured instance family (the graph topology
+/// every tenant runs on), a fleet size, a query mix, and a churn rate — the
+/// knobs that fair-periodic-assignment evaluations sweep.  The
+/// `ScenarioGenerator` expands a spec deterministically: tenant `i`'s graph,
+/// scheduler recipe, every probe of every query round, and every churn
+/// decision are pure functions of `(spec, i)`, so the engine, the
+/// `engine_server` example, and the benchmarks all consume *identical*
+/// workloads for a given spec, regardless of thread count or call order.
+/// `fingerprint()` serializes the whole expansion so determinism is
+/// byte-checkable in tests.
+///
+/// Scenario strings give the spec a one-line form shared by CLI flags and
+/// bench labels: `family:key=value,...`, e.g.
+/// `power-law:fleet=1000,nodes=48,seed=7,churn=0.05,next=0.125`.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fhg/engine/engine.hpp"
+#include "fhg/engine/query_batch.hpp"
+#include "fhg/engine/spec.hpp"
+#include "fhg/graph/graph.hpp"
+
+namespace fhg::workload {
+
+/// The structured conflict-graph families a scenario can run on.
+enum class GraphFamily : std::uint8_t {
+  kRing = 0,             ///< cycle C_n: bounded degree 2, long diameter
+  kGrid = 1,             ///< 2-D grid: planar radio-interference topology
+  kPowerLaw = 2,         ///< Barabási–Albert: heavy-tailed degrees
+  kRandomGeometric = 3,  ///< unit-square disc graph: clustered interference
+  kGnp = 4,              ///< Erdős–Rényi: the unstructured control
+};
+
+/// Human-readable family name ("ring", "grid", "power-law", …).
+[[nodiscard]] std::string graph_family_name(GraphFamily family);
+
+/// Parses a family name; nullopt for unknown names.
+[[nodiscard]] std::optional<GraphFamily> parse_graph_family(std::string_view name);
+
+/// All families, in enum order — for sweeps over the whole catalogue.
+[[nodiscard]] const std::vector<GraphFamily>& all_graph_families();
+
+/// How a query round splits between probe types.
+struct QueryMix {
+  /// Fraction of probes answered as `next_gathering` (the rest are
+  /// membership probes).  Clamped to [0, 1].
+  double next_gathering = 0.125;
+
+  friend bool operator==(const QueryMix&, const QueryMix&) = default;
+};
+
+/// Everything needed to expand a workload deterministically.
+struct ScenarioSpec {
+  GraphFamily family = GraphFamily::kPowerLaw;
+  std::size_t fleet = 1000;     ///< number of tenant instances
+  graph::NodeId nodes = 48;     ///< requested nodes per tenant (families round)
+  double churn = 0.0;           ///< fraction of the fleet replaced per churn round
+  double aperiodic = 0.2;       ///< fraction of tenants running aperiodic schedulers
+  QueryMix mix;
+  std::uint64_t seed = 1;       ///< master seed; everything derives from it
+  std::uint64_t horizon = 1024; ///< holiday depth that probes target
+
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
+};
+
+/// Parses a scenario string `family[:key=value,...]` with keys `fleet`,
+/// `nodes`, `seed`, `churn`, `aperiodic`, `next`, `horizon`.  Nullopt on an
+/// unknown family, unknown key, or malformed value.
+[[nodiscard]] std::optional<ScenarioSpec> parse_scenario(std::string_view text);
+
+/// The canonical one-line form of `spec` (parses back to an equal spec).
+[[nodiscard]] std::string scenario_name(const ScenarioSpec& spec);
+
+/// One tenant's expansion: the arguments `Engine::create_instance` wants.
+struct TenantSpec {
+  std::string name;
+  graph::Graph graph;
+  engine::InstanceSpec spec;
+};
+
+/// A deterministic probe round, split by query type so each half can go to
+/// the matching batch API.
+struct ProbeRound {
+  std::vector<engine::Probe> membership;      ///< for `query_batch`
+  std::vector<engine::Probe> next_gathering;  ///< for `next_gathering_batch`
+};
+
+class ScenarioGenerator {
+ public:
+  explicit ScenarioGenerator(ScenarioSpec spec);
+
+  [[nodiscard]] const ScenarioSpec& spec() const noexcept { return spec_; }
+
+  /// Tenant `i`'s name: "<family>-<i>".  Deliberately stable across churn
+  /// generations — `churn_round` erases and re-creates the *same* name, only
+  /// the graph/recipe behind it changes — so slot identity survives churn.
+  [[nodiscard]] std::string tenant_name(std::size_t i) const;
+
+  /// Expands tenant `i` (generation 0).  Pure function of `(spec, i)`.
+  [[nodiscard]] TenantSpec tenant(std::size_t i) const { return tenant_at(i, 0); }
+
+  /// Expands tenant `i` at churn generation `generation` (each churn
+  /// replacement bumps the slot's generation, re-deriving graph + recipe
+  /// from fresh sub-seeds).
+  [[nodiscard]] TenantSpec tenant_at(std::size_t i, std::uint64_t generation) const;
+
+  /// Creates the whole generation-0 fleet in `eng`.
+  void populate(engine::Engine& eng) const;
+
+  /// Deterministic probe round `round` with `count` probes total, split per
+  /// the query mix.  Probe instance ids index `snapshot`; probes target only
+  /// tenants present in it.  Throws `std::invalid_argument` on an empty
+  /// snapshot.
+  [[nodiscard]] ProbeRound probes(const engine::QuerySnapshot& snapshot, std::size_t count,
+                                  std::uint64_t round = 0) const;
+
+  /// Applies churn round `round`: deterministically picks `churn · fleet`
+  /// slots, erases each and re-creates it at the next generation.  Returns
+  /// the number of tenants replaced.  `generations` must map slot → current
+  /// generation and is updated in place (size `fleet`, all zeros initially).
+  std::size_t churn_round(engine::Engine& eng, std::uint64_t round,
+                          std::vector<std::uint64_t>& generations) const;
+
+  /// Byte-serialization of the full generation-0 expansion (spec, every
+  /// tenant's edges and recipe).  Two generators with equal specs produce
+  /// byte-identical fingerprints; any divergence in expansion shows up here.
+  [[nodiscard]] std::vector<std::uint8_t> fingerprint() const;
+
+ private:
+  [[nodiscard]] graph::Graph tenant_graph(std::uint64_t tenant_seed) const;
+
+  ScenarioSpec spec_;
+};
+
+}  // namespace fhg::workload

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""CI perf gate for Google-Benchmark JSON output.
+
+Compares a fresh benchmark run against a checked-in baseline and fails on a
+>Nx throughput regression (default 2x — wide enough to absorb runner-hardware
+variance, tight enough to catch a hot path falling off a cliff).  Can also
+assert a minimum speedup between two benchmarks of the *current* run, which
+is how the batched-vs-single-query acceptance ratio is enforced.
+
+Usage:
+  check_bench.py --current out.json [--baseline bench/baselines/bench_e18.json]
+                 [--max-regression 2.0]
+                 [--min-speedup FAST_NAME SLOW_NAME RATIO]
+
+Exit status: 0 when every gate passes, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_rates(path: str) -> dict[str, float]:
+    """Benchmark name -> items_per_second, skipping entries without a rate."""
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    rates = {}
+    for bench in doc.get("benchmarks", []):
+        rate = bench.get("items_per_second")
+        if rate is not None and bench.get("run_type", "iteration") == "iteration":
+            rates[bench["name"]] = float(rate)
+    return rates
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True, help="JSON from the fresh run")
+    parser.add_argument("--baseline", help="checked-in baseline JSON")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="fail when baseline/current throughput exceeds this (default 2.0)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        nargs=3,
+        metavar=("FAST", "SLOW", "RATIO"),
+        action="append",
+        default=[],
+        help="fail when current[FAST]/current[SLOW] < RATIO",
+    )
+    args = parser.parse_args()
+
+    current = load_rates(args.current)
+    if not current:
+        print(f"check_bench: no benchmarks with items_per_second in {args.current}")
+        return 1
+
+    failures = []
+
+    if args.baseline:
+        baseline = load_rates(args.baseline)
+        shared = sorted(set(current) & set(baseline))
+        if not shared:
+            print("check_bench: WARNING — no benchmark names shared with the baseline")
+        for name in shared:
+            ratio = baseline[name] / current[name]
+            status = "OK"
+            if ratio > args.max_regression:
+                status = "REGRESSION"
+                failures.append(
+                    f"{name}: {current[name]:.3g} items/s is {ratio:.2f}x below "
+                    f"baseline {baseline[name]:.3g} (limit {args.max_regression}x)"
+                )
+            print(
+                f"  {status:<10} {name}: current {current[name]:.3g}/s, "
+                f"baseline {baseline[name]:.3g}/s ({ratio:.2f}x)"
+            )
+        for name in sorted(set(current) - set(baseline)):
+            print(f"  NEW        {name}: {current[name]:.3g}/s (not in baseline)")
+
+    for fast, slow, ratio_text in args.min_speedup:
+        want = float(ratio_text)
+        missing = [n for n in (fast, slow) if n not in current]
+        if missing:
+            failures.append(f"speedup gate: benchmark(s) missing from current run: {missing}")
+            continue
+        got = current[fast] / current[slow]
+        status = "OK" if got >= want else "TOO SLOW"
+        print(f"  {status:<10} speedup {fast} / {slow} = {got:.2f}x (need >= {want}x)")
+        if got < want:
+            failures.append(f"{fast} is only {got:.2f}x of {slow}, need >= {want}x")
+
+    if failures:
+        print("\ncheck_bench: FAIL")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\ncheck_bench: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
