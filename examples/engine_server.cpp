@@ -6,18 +6,25 @@
 // audits: the serving-layer view of the paper, schedules as long-lived
 // tenants answering membership queries in O(1).
 //
-// Exits nonzero when any sampled fairness audit violates its gap bound or
-// the snapshot restore round trip is not byte-identical, so CI smoke steps
+// Exits nonzero when any sampled fairness audit violates its gap bound, the
+// snapshot restore round trip is not byte-identical, or the restored engine
+// answers a probe round differently from the original — so CI smoke steps
 // actually fail on a regression.
 //
 // Usage:
 //   engine_server [--scenario FILE | --workload SPEC | --fleet N]
-//                 [--steps N] [--queries N] [--churn-rounds N]
+//                 [--steps N] [--queries N]
+//                 [--churn-rounds N] [--mutation-rounds N]
 //                 [--threads N] [--shards N] [--snapshot FILE] [--seed S]
 //
 // Workload specs are `family[:key=value,...]` with families ring, grid,
 // power-law, random-geometric, gnp and keys fleet, nodes, seed, churn,
-// aperiodic, next, horizon (see fhg/workload/scenario.hpp).
+// aperiodic, dynamic, mutation, next, horizon (see
+// fhg/workload/scenario.hpp).  `--mutation-rounds` drives the in-place
+// topology-mutation path: each round sends every selected dynamic tenant a
+// seeded marry/divorce/add-node mix through `Engine::apply_mutations`
+// (`dynamic` > 0 and `mutation` > 0 required for it to do anything);
+// `--churn-rounds` remains the whole-tenant-replacement fallback.
 //
 // Scenario file format (blank lines and '#' comments ignored):
 //   <name> <kind> <graph-spec> [seed]
@@ -30,6 +37,7 @@
 //   engine_server --fleet 5000 --steps 256 --queries 1000000
 //   engine_server --scenario tenants.txt --snapshot state.fhgs
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -55,12 +63,21 @@ using Clock = std::chrono::steady_clock;
 [[noreturn]] void usage(const std::string& error) {
   std::cerr << "engine_server: " << error << "\n"
             << "usage: engine_server [--scenario FILE | --workload SPEC | --fleet N]\n"
-            << "                     [--steps N] [--queries N] [--churn-rounds N]\n"
+            << "                     [--steps N] [--queries N]\n"
+            << "                     [--churn-rounds N] [--mutation-rounds N]\n"
             << "                     [--threads N] [--shards N] [--snapshot FILE] [--seed S]\n"
             << "workload specs: family[:key=value,...], families: ring grid power-law\n"
             << "                random-geometric gnp\n"
+            << "                keys: fleet nodes seed churn aperiodic dynamic mutation\n"
+            << "                      next horizon\n"
+            << "  --mutation-rounds N  apply N rounds of in-place topology mutations\n"
+            << "                       (marry/divorce/add-node) to the `mutation` fraction\n"
+            << "                       of the fleet; needs dynamic>0 tenants\n"
+            << "  --churn-rounds N     whole-tenant replacement fallback for the `churn`\n"
+            << "                       fraction of the fleet\n"
             << "scenario lines: <name> <kind> <graph-spec> [seed]\n"
-            << "kinds: round-robin phased-greedy prefix-code degree-bound fcfg\n";
+            << "kinds: round-robin phased-greedy prefix-code degree-bound fcfg\n"
+            << "       dynamic-prefix-code\n";
   std::exit(2);
 }
 
@@ -182,6 +199,7 @@ int main(int argc, char** argv) {
   const std::uint64_t steps = uint_option("steps", 128);
   const std::uint64_t queries = uint_option("queries", 200'000);
   const std::uint64_t churn_rounds = uint_option("churn-rounds", 1);
+  const std::uint64_t mutation_rounds = uint_option("mutation-rounds", 0);
 
   engine::Engine eng({.shards = static_cast<std::size_t>(uint_option("shards", 32)),
                       .threads = static_cast<std::size_t>(uint_option("threads", 0))});
@@ -229,8 +247,21 @@ int main(int argc, char** argv) {
             << stats.total_happy << " happy visits, "
             << static_cast<double>(stats.holidays) / step_s << " holidays/sec\n";
 
-  // Churn phase: replace a deterministic slice of the fleet, forcing the
-  // query snapshot to be republished at a new epoch.
+  // Mutation phase: live topology mutations served in place — dynamic
+  // tenants recolor and republish their period tables at a new epoch, no
+  // tenant is destroyed, gap history survives.
+  if (generator && mutation_rounds > 0) {
+    std::size_t applied = 0;
+    const auto mutate_start = Clock::now();
+    for (std::uint64_t round = 0; round < mutation_rounds; ++round) {
+      applied += generator->mutation_round(eng, round);
+    }
+    std::cout << "mutations: " << applied << " commands applied in place over "
+              << mutation_rounds << " round(s) (" << seconds_since(mutate_start) << "s)\n";
+  }
+
+  // Churn phase (fallback mode): replace a deterministic slice of the fleet
+  // wholesale, forcing the query snapshot to be republished at a new epoch.
   if (generator && generator->spec().churn > 0.0) {
     std::vector<std::uint64_t> generations(generator->spec().fleet, 0);
     std::size_t replaced = 0;
@@ -318,11 +349,28 @@ int main(int argc, char** argv) {
   const bool identical = restored.snapshot() == bytes;
   std::cout << "restore check: " << restored.num_instances() << " instances, round trip "
             << (identical ? "byte-identical" : "MISMATCH") << "\n";
+
+  // Re-query check: the restored engine must answer a fresh probe round
+  // exactly like the original — including any schedule versions produced by
+  // in-place mutations (the restore replays each tenant's mutation log).
+  bool requery_ok = true;
+  if (generator) {
+    const std::size_t requery_count = static_cast<std::size_t>(std::min<std::uint64_t>(queries, 20'000));
+    const workload::ProbeRound round = generator->probes(*eng.query_snapshot(), requery_count, 1);
+    requery_ok = eng.query_batch(round.membership) == restored.query_batch(round.membership) &&
+                 eng.next_gathering_batch(round.next_gathering) ==
+                     restored.next_gathering_batch(round.next_gathering);
+    std::cout << "re-query check: " << requery_count << " probes "
+              << (requery_ok ? "match" : "MISMATCH") << " after restore\n";
+  }
   if (!audits_ok) {
     std::cerr << "engine_server: FAIL — a sampled fairness audit violated its gap bound\n";
   }
   if (!identical) {
     std::cerr << "engine_server: FAIL — snapshot restore round trip not byte-identical\n";
   }
-  return audits_ok && identical ? 0 : 1;
+  if (!requery_ok) {
+    std::cerr << "engine_server: FAIL — restored engine answers probes differently\n";
+  }
+  return audits_ok && identical && requery_ok ? 0 : 1;
 }

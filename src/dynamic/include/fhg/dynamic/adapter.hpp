@@ -1,0 +1,140 @@
+#pragma once
+
+/// \file adapter.hpp
+/// `core::Scheduler` facade over the §6 dynamic scheduler.
+///
+/// `DynamicSchedulerAdapter` lets the serving layer treat a mutable tenant
+/// like any other scheduler: between mutations the §4 prefix-code schedule is
+/// *perfectly periodic* (each node is happy exactly at its slot's residue
+/// class), so the adapter exposes `(period, phase)` rows and the engine can
+/// materialize its O(1) `PeriodTable` — it just has to re-materialize after
+/// every mutation batch, because a recolor moves the recolored node to a new
+/// residue class.
+///
+/// The adapter also owns the tenant's *mutation log*: every applied
+/// `MutationCommand`, stamped with the holiday it landed at.  Replaying the
+/// log over the initial topology reproduces coloring, slots, and schedule
+/// exactly (all recolor decisions are deterministic), which is the invariant
+/// the engine's snapshot-v2 restore path is built on.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fhg/coding/elias.hpp"
+#include "fhg/core/scheduler.hpp"
+#include "fhg/dynamic/dynamic_scheduler.hpp"
+#include "fhg/dynamic/mutation.hpp"
+#include "fhg/graph/dynamic_graph.hpp"
+#include "fhg/graph/graph.hpp"
+
+namespace fhg::dynamic {
+
+/// What applying one `MutationCommand` did.
+struct ApplyResult {
+  bool applied = false;                 ///< topology actually changed
+  std::optional<RecolorEvent> recolor;  ///< set when the command forced a recolor
+};
+
+class DynamicSchedulerAdapter final : public core::Scheduler {
+ public:
+  /// Starts from `initial` with a fresh degree-ordered greedy coloring (the
+  /// same deterministic construction every replay reproduces).
+  explicit DynamicSchedulerAdapter(const graph::Graph& initial,
+                                   coding::CodeFamily family = coding::CodeFamily::kEliasOmega,
+                                   std::uint32_t deletion_slack = 0);
+
+  DynamicSchedulerAdapter(const DynamicSchedulerAdapter&) = delete;
+  DynamicSchedulerAdapter& operator=(const DynamicSchedulerAdapter&) = delete;
+
+  // -- core::Scheduler --------------------------------------------------------
+
+  [[nodiscard]] std::string name() const override { return "dynamic-prefix-code"; }
+
+  /// CSR snapshot of the *current* topology (refreshed after every mutation;
+  /// grows under `kAddNode`).
+  [[nodiscard]] const graph::Graph& graph() const noexcept override { return current_; }
+
+  [[nodiscard]] std::vector<graph::NodeId> next_holiday() override {
+    return scheduler_.next_holiday();
+  }
+
+  [[nodiscard]] std::uint64_t current_holiday() const noexcept override {
+    return scheduler_.current_holiday();
+  }
+
+  /// Rewinds the holiday counter only.  Mutations are part of the tenant's
+  /// identity (recipe + log), not of its stepping state, so topology and
+  /// coloring are deliberately untouched — membership is a pure function of
+  /// the current slots and `t`, exactly as before the rewind.
+  void reset() override { scheduler_.rewind(); }
+
+  [[nodiscard]] bool perfectly_periodic() const noexcept override { return true; }
+
+  [[nodiscard]] std::optional<std::uint64_t> period_of(graph::NodeId v) const override {
+    return scheduler_.period_of(v);
+  }
+
+  [[nodiscard]] std::optional<std::uint64_t> gap_bound(graph::NodeId v) const override {
+    return scheduler_.period_of(v);
+  }
+
+  [[nodiscard]] std::optional<std::uint64_t> phase_of(graph::NodeId v) const override {
+    return scheduler_.slot_of(v).first_holiday();
+  }
+
+  [[nodiscard]] std::vector<core::PeriodPhaseRow> period_phase_rows() const override;
+
+  /// O(1): the happy set of holiday `t` depends only on slots, not history.
+  void advance_to(std::uint64_t t) override { scheduler_.skip_to(t); }
+
+  // -- Mutations --------------------------------------------------------------
+
+  /// Applies one command.  With `restamp` (the live path) the command is
+  /// stamped with `current_holiday()` before being logged; without it (the
+  /// replay path) the stamp is kept as-is.  Commands that change nothing
+  /// (inserting a present edge, erasing an absent one) are *not* logged.
+  /// Throws `std::invalid_argument` on out-of-range endpoints or self-loops.
+  ApplyResult apply(MutationCommand cmd, bool restamp = true);
+
+  /// Applies a batch in order (stamping each with the current holiday) and
+  /// refreshes the topology snapshot once.  Returns the number of commands
+  /// that changed topology.  The whole batch is validated *before* anything
+  /// applies, so a malformed command throws `std::invalid_argument` with the
+  /// topology, log, and schedule untouched — never half-applied.
+  std::size_t apply_batch(std::span<const MutationCommand> commands);
+
+  /// Restore path: replays a persisted log, landing each command at its own
+  /// holiday stamp (O(1) counter skips in between) and refreshing the
+  /// topology snapshot once at the end.  Same all-or-nothing validation as
+  /// `apply_batch`.
+  void replay_log(std::span<const MutationCommand> log);
+
+  /// Every applied command so far, in order, with non-decreasing stamps.
+  [[nodiscard]] const std::vector<MutationCommand>& mutation_log() const noexcept { return log_; }
+
+  /// Bumped once per applied command — the schedule-version counter the
+  /// engine folds into its table epoch.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
+  [[nodiscard]] const DynamicPrefixCodeScheduler& scheduler() const noexcept { return scheduler_; }
+
+ private:
+  ApplyResult apply_one(const MutationCommand& cmd);
+
+  /// Throws `std::invalid_argument` unless every command in `commands` has
+  /// in-range, non-loop endpoints (tracking add_node growth along the way).
+  void validate(std::span<const MutationCommand> commands) const;
+
+  // The recipe topology itself is not retained — the owning Instance keeps
+  // it (and the snapshot layer serializes it from there).
+  graph::DynamicGraph dynamic_;   ///< live topology (must precede scheduler_)
+  DynamicPrefixCodeScheduler scheduler_;
+  graph::Graph current_;          ///< CSR cache of dynamic_, kept fresh
+  std::vector<MutationCommand> log_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace fhg::dynamic

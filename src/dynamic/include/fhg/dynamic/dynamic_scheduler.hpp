@@ -20,6 +20,7 @@
 /// insertions retroactively violate.  Making it dynamic is the paper's main
 /// open problem.
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -55,6 +56,14 @@ class DynamicPrefixCodeScheduler {
   [[nodiscard]] std::vector<graph::NodeId> next_holiday();
 
   [[nodiscard]] std::uint64_t current_holiday() const noexcept { return holiday_; }
+
+  /// Rewinds the holiday counter.  Topology and coloring stay: membership is
+  /// a pure function of the current slots and `t`, so nothing else is state.
+  void rewind() noexcept { holiday_ = 0; }
+
+  /// Forwards the holiday counter to `t` (never backwards) without
+  /// materializing the intervening happy sets — O(1), same purity argument.
+  void skip_to(std::uint64_t t) noexcept { holiday_ = std::max(holiday_, t); }
 
   /// Marries children of `u` and `v` (inserts the conflict edge) effective
   /// immediately.  Returns the recolor event if one was needed.

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file mutation.hpp
+/// Topology mutations as first-class commands.
+///
+/// The §6 dynamic setting is a *stream of events* — marriages, divorces, new
+/// parents — arriving while holidays keep coming.  `MutationCommand` reifies
+/// one event: what happened, to whom, and at which holiday it landed.  A
+/// sequence of commands replayed in order over the same initial topology
+/// reproduces the same final coloring and schedule (every recolor decision is
+/// a deterministic function of the state accumulated so far), which is what
+/// lets the engine persist a dynamic tenant as *recipe + mutation log*
+/// instead of raw scheduler state.
+
+#include <cstdint>
+
+#include "fhg/graph/graph.hpp"
+
+namespace fhg::dynamic {
+
+/// What kind of topology event a command carries.
+enum class MutationOp : std::uint8_t {
+  kInsertEdge = 0,  ///< marriage: conflict edge {u, v} appears
+  kEraseEdge = 1,   ///< divorce: conflict edge {u, v} dissolves
+  kAddNode = 2,     ///< a new (isolated) parent joins; u/v unused
+};
+
+/// One topology event, stamped with the holiday it landed at.  Commands with
+/// `holiday == 0` landed before the first holiday; stamps are non-decreasing
+/// along a log.
+struct MutationCommand {
+  MutationOp op = MutationOp::kInsertEdge;
+  std::uint64_t holiday = 0;  ///< `current_holiday()` when the event applied
+  graph::NodeId u = 0;
+  graph::NodeId v = 0;
+
+  friend constexpr bool operator==(const MutationCommand&, const MutationCommand&) noexcept =
+      default;
+};
+
+/// Convenience constructors for the three ops (holiday stamped on apply).
+[[nodiscard]] constexpr MutationCommand insert_edge_command(graph::NodeId u,
+                                                            graph::NodeId v) noexcept {
+  return MutationCommand{MutationOp::kInsertEdge, 0, u, v};
+}
+
+[[nodiscard]] constexpr MutationCommand erase_edge_command(graph::NodeId u,
+                                                           graph::NodeId v) noexcept {
+  return MutationCommand{MutationOp::kEraseEdge, 0, u, v};
+}
+
+[[nodiscard]] constexpr MutationCommand add_node_command() noexcept {
+  return MutationCommand{MutationOp::kAddNode, 0, 0, 0};
+}
+
+}  // namespace fhg::dynamic

@@ -1,0 +1,123 @@
+#include "fhg/dynamic/adapter.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace fhg::dynamic {
+
+DynamicSchedulerAdapter::DynamicSchedulerAdapter(const graph::Graph& initial,
+                                                 coding::CodeFamily family,
+                                                 std::uint32_t deletion_slack)
+    : dynamic_(initial),
+      scheduler_(dynamic_, family, deletion_slack),
+      current_(initial) {}
+
+std::vector<core::PeriodPhaseRow> DynamicSchedulerAdapter::period_phase_rows() const {
+  std::vector<core::PeriodPhaseRow> rows(current_.num_nodes());
+  for (graph::NodeId v = 0; v < current_.num_nodes(); ++v) {
+    const coding::ScheduleSlot slot = scheduler_.slot_of(v);
+    rows[v] = {slot.period(), slot.first_holiday()};
+  }
+  return rows;
+}
+
+ApplyResult DynamicSchedulerAdapter::apply_one(const MutationCommand& cmd) {
+  ApplyResult result;
+  switch (cmd.op) {
+    case MutationOp::kInsertEdge:
+      if (!dynamic_.has_edge(cmd.u, cmd.v)) {
+        // insert_edge validates endpoints (throws on self-loop / range).
+        result.recolor = scheduler_.insert_edge(cmd.u, cmd.v);
+        result.applied = true;
+      }
+      return result;
+    case MutationOp::kEraseEdge:
+      if (cmd.u >= dynamic_.num_nodes() || cmd.v >= dynamic_.num_nodes() || cmd.u == cmd.v) {
+        throw std::invalid_argument("DynamicSchedulerAdapter: bad erase_edge endpoints " +
+                                    std::to_string(cmd.u) + "-" + std::to_string(cmd.v));
+      }
+      if (dynamic_.has_edge(cmd.u, cmd.v)) {
+        result.recolor = scheduler_.erase_edge(cmd.u, cmd.v);
+        result.applied = true;
+      }
+      return result;
+    case MutationOp::kAddNode:
+      (void)scheduler_.add_node();
+      result.applied = true;
+      return result;
+  }
+  throw std::invalid_argument("DynamicSchedulerAdapter: unknown mutation op");
+}
+
+ApplyResult DynamicSchedulerAdapter::apply(MutationCommand cmd, bool restamp) {
+  if (restamp) {
+    cmd.holiday = scheduler_.current_holiday();
+  }
+  const ApplyResult result = apply_one(cmd);
+  if (result.applied) {
+    log_.push_back(cmd);
+    ++version_;
+    current_ = dynamic_.snapshot();
+  }
+  return result;
+}
+
+void DynamicSchedulerAdapter::validate(std::span<const MutationCommand> commands) const {
+  // Track the node count across the batch so an add_node legitimately widens
+  // the range for later commands.
+  std::uint64_t n = dynamic_.num_nodes();
+  for (const MutationCommand& cmd : commands) {
+    switch (cmd.op) {
+      case MutationOp::kInsertEdge:
+      case MutationOp::kEraseEdge:
+        if (cmd.u >= n || cmd.v >= n || cmd.u == cmd.v) {
+          throw std::invalid_argument("DynamicSchedulerAdapter: bad edge endpoints " +
+                                      std::to_string(cmd.u) + "-" + std::to_string(cmd.v) +
+                                      " (n=" + std::to_string(n) + ")");
+        }
+        break;
+      case MutationOp::kAddNode:
+        ++n;
+        break;
+    }
+  }
+}
+
+std::size_t DynamicSchedulerAdapter::apply_batch(std::span<const MutationCommand> commands) {
+  // Validate up front so a malformed command cannot leave a half-applied
+  // batch: after this, no apply_one call below can throw.
+  validate(commands);
+  std::size_t applied = 0;
+  const std::uint64_t now = scheduler_.current_holiday();
+  for (MutationCommand cmd : commands) {
+    cmd.holiday = now;
+    const ApplyResult result = apply_one(cmd);
+    if (result.applied) {
+      log_.push_back(cmd);
+      ++version_;
+      ++applied;
+    }
+  }
+  if (applied > 0) {
+    current_ = dynamic_.snapshot();
+  }
+  return applied;
+}
+
+void DynamicSchedulerAdapter::replay_log(std::span<const MutationCommand> log) {
+  validate(log);
+  for (const MutationCommand& cmd : log) {
+    // Land each command at its persisted holiday: the happy sets in between
+    // are pure functions of the slots, so an O(1) counter skip is exact.
+    scheduler_.skip_to(cmd.holiday);
+    const ApplyResult result = apply_one(cmd);
+    if (result.applied) {
+      log_.push_back(cmd);
+      ++version_;
+    }
+  }
+  // One CSR refresh for the whole log, not one per command.
+  current_ = dynamic_.snapshot();
+}
+
+}  // namespace fhg::dynamic

@@ -85,6 +85,18 @@ class Engine {
   /// Fairness audit of one instance.
   [[nodiscard]] FairnessAudit audit(std::string_view instance);
 
+  /// Applies a batch of live topology mutations to a dynamic tenant
+  /// (`SchedulerKind::kDynamicPrefixCode`): edges appear/dissolve and nodes
+  /// join *in place*, recoloring per §6 instead of erasing and recreating
+  /// the tenant.  The instance republishes its period table at a new version
+  /// and, when anything actually changed, the registry epoch moves so the
+  /// next `query_snapshot()` call rebuilds the lock-free view — snapshots
+  /// taken earlier keep answering at their own (older) schedule version.
+  /// Throws `std::out_of_range` for an unknown instance, `std::logic_error`
+  /// for a non-dynamic one.
+  MutationResult apply_mutations(std::string_view instance,
+                                 std::span<const dynamic::MutationCommand> commands);
+
   /// The current lock-free query view: an immutable snapshot of the fleet,
   /// rebuilt only when instances have been created or erased since the last
   /// call.  After warm-up this is one atomic load + one epoch check.  The

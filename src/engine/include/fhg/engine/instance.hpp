@@ -3,9 +3,9 @@
 /// \file instance.hpp
 /// One tenant of the engine: a named scheduler plus its serving state.
 ///
-/// An `Instance` bundles a conflict graph (owned), the scheduler built from
-/// its `InstanceSpec`, a `GapTracker` for fairness audits, and one of two
-/// query paths:
+/// An `Instance` bundles a conflict graph (the construction-time *recipe*
+/// topology, owned), the scheduler built from its `InstanceSpec`, a
+/// `GapTracker` for fairness audits, and one of two query paths:
 ///
 ///  * **periodic** — a `PeriodTable` materialized at construction; queries
 ///    are O(1) arithmetic, lock-free, and independent of how far the
@@ -14,10 +14,21 @@
 ///    bind to the replayed prefix (extending it on demand) and cost
 ///    `O(log appearances)`.
 ///
-/// Stepping and aperiodic queries mutate scheduler state and are serialized
-/// by a per-instance mutex, so the `BatchExecutor` can advance thousands of
-/// instances from many threads while queries keep landing.
+/// Dynamic tenants (`SchedulerKind::kDynamicPrefixCode`) add a third
+/// dimension: `apply_mutations` recolors the live topology **in place** and
+/// republishes the period table at a new version.  The table is held behind
+/// an atomic `shared_ptr`, so lock-free readers either see the old table or
+/// the new one — never a torn or freed table — and a `QuerySnapshot` holding
+/// the old table keeps answering consistently at its own epoch.  The
+/// instance records every applied command in a mutation log; `recipe graph +
+/// spec + log` fully determines the schedule, which is what the v2 snapshot
+/// format persists.
+///
+/// Stepping, mutations, and aperiodic queries mutate scheduler state and are
+/// serialized by a per-instance mutex, so the `BatchExecutor` can advance
+/// thousands of instances from many threads while queries keep landing.
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -29,17 +40,34 @@
 
 #include "fhg/core/gap_tracker.hpp"
 #include "fhg/core/scheduler.hpp"
+#include "fhg/dynamic/mutation.hpp"
 #include "fhg/engine/period_table.hpp"
 #include "fhg/engine/replay_index.hpp"
 #include "fhg/engine/spec.hpp"
 #include "fhg/graph/graph.hpp"
 
+namespace fhg::dynamic {
+class DynamicSchedulerAdapter;
+}  // namespace fhg::dynamic
+
 namespace fhg::engine {
+
+class Engine;
+class InstanceRegistry;
+class Instance;
+void restore_registry(InstanceRegistry& registry, std::span<const std::uint8_t> bytes);
 
 /// What one `step` call produced.
 struct StepResult {
   std::uint64_t holidays = 0;     ///< holidays advanced
   std::uint64_t total_happy = 0;  ///< Σ |happy set| over those holidays
+};
+
+/// What one `apply_mutations` call did.
+struct MutationResult {
+  std::size_t applied = 0;            ///< commands that changed topology
+  std::size_t recolors = 0;           ///< recolor events those commands forced
+  std::uint64_t table_version = 0;    ///< table version after the batch
 };
 
 /// Fairness report over everything an instance has observed so far.
@@ -62,18 +90,43 @@ class Instance {
   Instance& operator=(const Instance&) = delete;
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// The construction-time recipe topology.  For dynamic tenants the live
+  /// topology diverges from it as mutations land — recipe + `mutation_log()`
+  /// is the persistent identity; `num_nodes()` tracks the live node count.
   [[nodiscard]] const graph::Graph& graph() const noexcept { return graph_; }
+
   [[nodiscard]] const InstanceSpec& spec() const noexcept { return spec_; }
   [[nodiscard]] std::string scheduler_name() const { return scheduler_->name(); }
 
   /// True iff the instance serves queries from a `PeriodTable`.
-  [[nodiscard]] bool periodic() const noexcept { return table_ != nullptr; }
+  [[nodiscard]] bool periodic() const noexcept { return table() != nullptr; }
 
-  /// The O(1) table, or nullptr for aperiodic instances.  Immutable and
-  /// content-interned: instances with identical schedules share one table.
-  /// The pointer stays valid as long as the instance does — `QuerySnapshot`
-  /// relies on this by holding the instance, not the table.
-  [[nodiscard]] const PeriodTable* period_table() const noexcept { return table_.get(); }
+  /// True iff the instance accepts live topology mutations.
+  [[nodiscard]] bool dynamic() const noexcept { return adapter_ != nullptr; }
+
+  /// The current O(1) table, or nullptr for aperiodic instances.  Immutable
+  /// and content-interned: instances with identical schedules share one
+  /// table.  Dynamic tenants republish a *new* table after each mutation
+  /// batch; holding the returned `shared_ptr` keeps the old version alive
+  /// (and consistent) for as long as a reader needs it — `QuerySnapshot`
+  /// relies on exactly that.
+  [[nodiscard]] std::shared_ptr<const PeriodTable> period_table_shared() const noexcept {
+    return table();
+  }
+
+  /// Monotonic version of the published table: 0 at construction, bumped by
+  /// every mutation batch that republishes.  Readers can detect a stale
+  /// table with one relaxed load.
+  [[nodiscard]] std::uint64_t table_version() const noexcept {
+    return table_version_.load(std::memory_order_acquire);
+  }
+
+  /// The live node count: grows under `kAddNode` mutations.  Lock-free.
+  [[nodiscard]] graph::NodeId num_nodes() const noexcept {
+    const auto t = table();
+    return t ? t->num_nodes() : graph_.num_nodes();
+  }
 
   /// The holiday the scheduler has advanced to (thread-safe).
   [[nodiscard]] std::uint64_t current_holiday() const;
@@ -87,6 +140,48 @@ class Instance {
   /// in `step`.
   StepResult stream(std::uint64_t n,
                     const std::function<void(std::uint64_t, std::span<const graph::NodeId>)>& sink);
+
+  /// Applies a batch of topology mutations in place: each command is stamped
+  /// with the current holiday, applied to the live graph (recoloring per §6
+  /// where needed), appended to the mutation log, and — once per batch — the
+  /// period table is republished at the next version.  Batches are
+  /// all-or-nothing: a malformed command anywhere rejects the whole batch
+  /// untouched.  Thread-safe against steps and other mutation batches;
+  /// lock-free readers keep answering against whichever table version they
+  /// loaded.  Throws `std::logic_error` on a non-dynamic instance and
+  /// `std::invalid_argument` on malformed commands (self-loops, out-of-range
+  /// endpoints).
+  ///
+  /// Private because republishing obliges the registry epoch to move (or
+  /// `Engine::query_snapshot` would keep serving the old table version);
+  /// `Engine::apply_mutations` is the entry point that maintains both.
+ private:
+  friend class Engine;
+  friend void restore_registry(InstanceRegistry& registry,
+                               std::span<const std::uint8_t> bytes);
+  MutationResult apply_mutations(std::span<const dynamic::MutationCommand> commands);
+
+  /// Snapshot-restore path: replays a persisted mutation log over the
+  /// freshly built recipe state, keeping the persisted holiday stamps.
+  /// Requires a dynamic instance with an empty log (i.e. straight after
+  /// construction); throws `std::logic_error` otherwise.
+  void replay_mutation_log(std::span<const dynamic::MutationCommand> log);
+
+ public:
+
+  /// Copy of the mutation log: every applied command, in order, stamped with
+  /// the holiday it landed at.  Empty for non-dynamic instances.
+  [[nodiscard]] std::vector<dynamic::MutationCommand> mutation_log() const;
+
+  /// What a snapshot persists beyond the recipe: the holiday counter and the
+  /// mutation log, read under *one* lock so the pair is always mutually
+  /// consistent (a log entry can never be stamped past the holiday) even
+  /// while the instance keeps stepping and mutating.
+  struct PersistedState {
+    std::uint64_t holiday = 0;
+    std::vector<dynamic::MutationCommand> log;
+  };
+  [[nodiscard]] PersistedState persisted_state() const;
 
   /// Default bound on how far a single query may extend an aperiodic
   /// instance's replayed prefix — one query must not be able to stall the
@@ -110,7 +205,9 @@ class Instance {
 
   /// Fairness audit (thread-safe).  Periodic instances are audited
   /// *analytically* from the period table at the current holiday — exact,
-  /// O(n), and no observation cost on the stepping hot path.  Aperiodic
+  /// O(n), and no observation cost on the stepping hot path.  For dynamic
+  /// tenants the analytic audit describes the *current* schedule version
+  /// as-if it had always held (past versions are not replayed).  Aperiodic
   /// instances are audited from the gap tracker over the replayed prefix.
   [[nodiscard]] FairnessAudit audit() const;
 
@@ -124,6 +221,27 @@ class Instance {
   void fast_forward(std::uint64_t t);
 
  private:
+  /// Acquire-load of the published table.
+  [[nodiscard]] std::shared_ptr<const PeriodTable> table() const noexcept {
+    return table_.load(std::memory_order_acquire);
+  }
+
+  /// The query-path table: the raw pointer for static tenants (their table
+  /// never changes, so no refcount traffic on the hot path), an owning load
+  /// for dynamic ones (`held` pins the version against a concurrent
+  /// republish).  Returns nullptr for aperiodic instances.
+  [[nodiscard]] const PeriodTable* query_table(std::shared_ptr<const PeriodTable>& held) const {
+    if (fixed_table_ != nullptr || adapter_ == nullptr) {
+      return fixed_table_;
+    }
+    held = table();
+    return held.get();
+  }
+
+  /// Rebuilds and republishes the table from the scheduler's current slots.
+  /// Caller must hold `mutex_`.
+  void republish_table_locked();
+
   /// Throws `std::out_of_range` unless `v` is a node of this instance.
   void check_node(graph::NodeId v) const;
 
@@ -136,10 +254,18 @@ class Instance {
 
   mutable std::mutex mutex_;
   std::string name_;
-  graph::Graph graph_;  ///< must outlive scheduler_ (declared first)
+  graph::Graph graph_;  ///< recipe topology; must outlive scheduler_ (declared first)
   InstanceSpec spec_;
   std::unique_ptr<core::Scheduler> scheduler_;
-  std::shared_ptr<const PeriodTable> table_;  ///< interned; shared across tenants
+  dynamic::DynamicSchedulerAdapter* adapter_ = nullptr;  ///< non-null iff dynamic
+  /// Published table (atomic so mutation batches can republish under
+  /// lock-free readers); interned and shared across tenants.
+  std::atomic<std::shared_ptr<const PeriodTable>> table_{nullptr};
+  /// Non-dynamic periodic tenants only: `table_` is immutable for the
+  /// instance's lifetime, so queries read this raw pointer instead of paying
+  /// shared_ptr refcount traffic per probe.
+  const PeriodTable* fixed_table_ = nullptr;
+  std::atomic<std::uint64_t> table_version_{0};
   // Aperiodic instances only: appearance index + observed gap statistics.
   std::unique_ptr<ReplayIndex> replay_;
   std::unique_ptr<core::GapTracker> gaps_;

@@ -96,8 +96,12 @@ class QuerySnapshot {
   std::uint64_t epoch_ = 0;
   std::vector<std::shared_ptr<Instance>> instances_;  ///< sorted by name
   std::vector<std::string_view> names_;               ///< views into instances_' names
-  std::vector<const PeriodTable*> tables_;            ///< nullptr for aperiodic tenants
-  std::vector<graph::NodeId> num_nodes_;              ///< per-instance node counts
+  /// Table *version* captured at build time, nullptr for aperiodic tenants.
+  /// Shared ownership, not raw pointers: a dynamic tenant republishes its
+  /// table on mutation, and this snapshot must keep serving the version it
+  /// captured — consistently and without dangling — until readers drop it.
+  std::vector<std::shared_ptr<const PeriodTable>> tables_;
+  std::vector<graph::NodeId> num_nodes_;              ///< per-instance node counts at build time
 };
 
 }  // namespace fhg::engine

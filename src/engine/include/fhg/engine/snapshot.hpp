@@ -13,8 +13,17 @@
 /// it: O(1) counter skip for periodic instances, exact replay (including gap
 /// statistics and the replay index) for aperiodic ones.
 ///
+/// **v2** extends the recipe with each tenant's *mutation log*: dynamic
+/// tenants are not pure functions of (graph, spec, holiday) — their schedule
+/// also depends on every topology mutation applied so far — so v2 persists
+/// the log (op, holiday stamp delta-coded, endpoints) and restore replays it
+/// command by command, landing on the identical coloring and slots before
+/// fast-forwarding.  v1 snapshots still load (version dispatch); writing v1
+/// is only possible for tenancies without dynamic instances.
+///
 /// The encoding is canonical — instances sorted by name, edges sorted
-/// lexicographically — so snapshot → restore → snapshot is byte-identical.
+/// lexicographically, logs in apply order — so snapshot → restore → snapshot
+/// is byte-identical, including mid-log.
 
 #include <cstdint>
 #include <span>
@@ -61,9 +70,18 @@ class BitReader {
   std::size_t next_bit_ = 0;
 };
 
+/// Wire-format versions.  v1: recipe + holiday only.  v2 (current): adds the
+/// per-instance mutation log and the `slack` spec field.
+inline constexpr std::uint64_t kSnapshotVersionV1 = 1;
+inline constexpr std::uint64_t kSnapshotVersionLatest = 2;
+
 /// Serializes every instance of `registry` (names, specs, graphs, holiday
-/// counters) into a canonical byte string.
-[[nodiscard]] std::vector<std::uint8_t> snapshot_registry(const InstanceRegistry& registry);
+/// counters, and — in v2 — mutation logs) into a canonical byte string.
+/// Throws `std::invalid_argument` when `version` is unknown, or when v1 is
+/// requested for a tenancy containing dynamic instances (v1 cannot carry a
+/// mutation log).
+[[nodiscard]] std::vector<std::uint8_t> snapshot_registry(
+    const InstanceRegistry& registry, std::uint64_t version = kSnapshotVersionLatest);
 
 /// Clears `registry` and repopulates it from `bytes`, fast-forwarding each
 /// instance to its snapshotted holiday.  Throws `std::runtime_error` on a

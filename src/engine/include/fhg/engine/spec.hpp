@@ -5,11 +5,19 @@
 ///
 /// The engine never stores a scheduler's internal state in snapshots —
 /// it stores the *recipe* (`InstanceSpec`) plus the holiday counter, and
-/// rebuilds deterministically on restore.  That works because every
-/// scheduler in this library is a pure function of (graph, spec, holiday):
+/// rebuilds deterministically on restore.  For the static kinds that works
+/// because every scheduler is a pure function of (graph, spec, holiday):
 /// colorings are computed by a fixed deterministic algorithm, residue
 /// assignments are deterministic, and randomized schedulers derive all
 /// randomness from `(seed, holiday)`.
+///
+/// `kDynamicPrefixCode` tenants deliberately break that invariant: their
+/// schedule is a function of (graph, spec, **mutation log**, holiday) — live
+/// topology mutations recolor nodes in place, so the recipe alone no longer
+/// determines the schedule.  The snapshot layer says so explicitly: its v2
+/// format persists each dynamic tenant's mutation log, and restore replays
+/// the log (every recolor decision is deterministic given the command order)
+/// to land on the identical coloring and slots.
 
 #include <cstdint>
 #include <memory>
@@ -32,6 +40,7 @@ enum class SchedulerKind : std::uint8_t {
   kDegreeBound = 3,        ///< §5: power-of-two residues, period ≤ 2d
   kFirstComeFirstGrab = 4, ///< §1 chaotic baseline (aperiodic, randomized)
   kWeighted = 5,           ///< extension: user-chosen demand periods
+  kDynamicPrefixCode = 6,  ///< §6: §4 schedule over a mutable topology
 };
 
 /// Human-readable kind name ("round-robin", "phased-greedy", …).
@@ -40,13 +49,19 @@ enum class SchedulerKind : std::uint8_t {
 /// Parses a kind name; nullopt for unknown names.
 [[nodiscard]] std::optional<SchedulerKind> parse_scheduler_kind(std::string_view name);
 
+/// All kinds, in enum order — for sweeps and name round-trip tests.
+[[nodiscard]] const std::vector<SchedulerKind>& all_scheduler_kinds();
+
 /// Everything needed to (re)build a scheduler for a given graph.
 struct InstanceSpec {
   SchedulerKind kind = SchedulerKind::kPrefixCode;
-  /// Prefix-free code family (kPrefixCode only).
+  /// Prefix-free code family (kPrefixCode and kDynamicPrefixCode).
   coding::CodeFamily code = coding::CodeFamily::kEliasOmega;
   /// Randomness seed (kFirstComeFirstGrab only).
   std::uint64_t seed = 1;
+  /// Deletion slack (kDynamicPrefixCode only): a node recolors after a
+  /// divorce once its color exceeds `deg + 1 + slack`.
+  std::uint32_t slack = 0;
   /// Requested per-node periods (kWeighted only; must have one entry per
   /// node of the instance's graph).
   std::vector<std::uint64_t> periods;

@@ -34,6 +34,15 @@ std::optional<std::uint64_t> Engine::next_gathering(std::string_view instance, g
 
 FairnessAudit Engine::audit(std::string_view instance) { return require(instance)->audit(); }
 
+MutationResult Engine::apply_mutations(std::string_view instance,
+                                       std::span<const dynamic::MutationCommand> commands) {
+  const MutationResult result = require(instance)->apply_mutations(commands);
+  if (result.applied > 0) {
+    registry_.note_mutation();  // stale snapshots must be republished
+  }
+  return result;
+}
+
 std::shared_ptr<const QuerySnapshot> Engine::query_snapshot() {
   const std::uint64_t epoch = registry_.epoch();
   auto view = view_.load(std::memory_order_acquire);

@@ -5,14 +5,20 @@
 #include <string>
 
 #include "fhg/analysis/fairness.hpp"
+#include "fhg/dynamic/adapter.hpp"
 
 namespace fhg::engine {
 
 Instance::Instance(std::string name, graph::Graph g, InstanceSpec spec)
     : name_(std::move(name)), graph_(std::move(g)), spec_(std::move(spec)) {
   scheduler_ = make_scheduler(graph_, spec_);
-  table_ = PeriodTable::build_shared(*scheduler_);
-  if (!table_) {
+  adapter_ = dynamic_cast<dynamic::DynamicSchedulerAdapter*>(scheduler_.get());
+  auto built = PeriodTable::build_shared(*scheduler_);
+  if (!adapter_) {
+    fixed_table_ = built.get();  // never republished: raw fast path is safe
+  }
+  table_.store(std::move(built), std::memory_order_release);
+  if (!table()) {
     replay_ = std::make_unique<ReplayIndex>(graph_.num_nodes());
     gaps_ = std::make_unique<core::GapTracker>(graph_.num_nodes());
   }
@@ -69,7 +75,65 @@ StepResult Instance::stream(
   return result;
 }
 
+void Instance::republish_table_locked() {
+  table_.store(PeriodTable::build_shared(*scheduler_), std::memory_order_release);
+  table_version_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+MutationResult Instance::apply_mutations(std::span<const dynamic::MutationCommand> commands) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!adapter_) {
+    throw std::logic_error("Instance '" + name_ +
+                           "': apply_mutations on a non-dynamic instance (kind " +
+                           scheduler_kind_name(spec_.kind) + ")");
+  }
+  MutationResult result;
+  const std::size_t recolors_before = adapter_->scheduler().history().size();
+  result.applied = adapter_->apply_batch(commands);
+  result.recolors = adapter_->scheduler().history().size() - recolors_before;
+  if (result.applied > 0) {
+    republish_table_locked();
+  }
+  result.table_version = table_version_.load(std::memory_order_acquire);
+  return result;
+}
+
+std::vector<dynamic::MutationCommand> Instance::mutation_log() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!adapter_) {
+    return {};
+  }
+  return adapter_->mutation_log();
+}
+
+Instance::PersistedState Instance::persisted_state() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  PersistedState state;
+  state.holiday = scheduler_->current_holiday();
+  if (adapter_) {
+    state.log = adapter_->mutation_log();
+  }
+  return state;
+}
+
+void Instance::replay_mutation_log(std::span<const dynamic::MutationCommand> log) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!adapter_) {
+    throw std::logic_error("Instance '" + name_ +
+                           "': replay_mutation_log on a non-dynamic instance");
+  }
+  if (!adapter_->mutation_log().empty() || scheduler_->current_holiday() != 0) {
+    throw std::logic_error("Instance '" + name_ +
+                           "': replay_mutation_log needs a freshly built instance");
+  }
+  adapter_->replay_log(log);
+  republish_table_locked();
+}
+
 void Instance::check_node(graph::NodeId v) const {
+  // Only reachable on the aperiodic fall-through (the table paths validate
+  // against their loaded table inline), and aperiodic instances are never
+  // dynamic — the recipe graph is exact, no atomic table load needed.
   if (v >= graph_.num_nodes()) {
     throw std::out_of_range("Instance '" + name_ + "': node " + std::to_string(v) +
                             " out of range (n=" + std::to_string(graph_.num_nodes()) + ")");
@@ -77,10 +141,17 @@ void Instance::check_node(graph::NodeId v) const {
 }
 
 bool Instance::is_happy(graph::NodeId v, std::uint64_t t, std::uint64_t replay_limit) {
-  check_node(v);
-  if (table_) {
-    return table_->is_happy(v, t);  // O(1), lock-free
+  std::shared_ptr<const PeriodTable> held;
+  if (const PeriodTable* table = query_table(held)) {
+    // Validate against the loaded table itself, so a probe racing a
+    // mutation batch stays internally consistent with one version.
+    if (v >= table->num_nodes()) {
+      throw std::out_of_range("Instance '" + name_ + "': node " + std::to_string(v) +
+                              " out of range (n=" + std::to_string(table->num_nodes()) + ")");
+    }
+    return table->is_happy(v, t);  // O(1), lock-free
   }
+  check_node(v);
   const std::lock_guard<std::mutex> lock(mutex_);
   if (t > replay_->horizon() && t - replay_->horizon() > replay_limit) {
     throw std::runtime_error("Instance '" + name_ + "': is_happy(" + std::to_string(t) +
@@ -94,10 +165,15 @@ bool Instance::is_happy(graph::NodeId v, std::uint64_t t, std::uint64_t replay_l
 
 std::optional<std::uint64_t> Instance::next_gathering(graph::NodeId v, std::uint64_t after,
                                                       std::uint64_t search_limit) {
-  check_node(v);
-  if (table_) {
-    return table_->next_gathering(v, after);  // O(1), lock-free
+  std::shared_ptr<const PeriodTable> held;
+  if (const PeriodTable* table = query_table(held)) {
+    if (v >= table->num_nodes()) {
+      throw std::out_of_range("Instance '" + name_ + "': node " + std::to_string(v) +
+                              " out of range (n=" + std::to_string(table->num_nodes()) + ")");
+    }
+    return table->next_gathering(v, after);  // O(1), lock-free
   }
+  check_node(v);
   const std::lock_guard<std::mutex> lock(mutex_);
   if (const auto hit = replay_->next_gathering(v, after)) {
     return hit;
@@ -126,16 +202,17 @@ std::uint64_t periodic_appearances(std::uint64_t period, std::uint64_t phase,
 FairnessAudit Instance::audit() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   FairnessAudit audit;
-  const graph::NodeId n = graph_.num_nodes();
+  const auto table = this->table();
+  const graph::NodeId n = table ? table->num_nodes() : graph_.num_nodes();
   std::vector<std::uint64_t> appearances(n, 0);
 
-  if (table_) {
+  if (table) {
     // Analytic audit: the schedule is exactly (phase + k·period) per node.
     const std::uint64_t h = scheduler_->current_holiday();
     audit.horizon = h;
     for (graph::NodeId v = 0; v < n; ++v) {
-      const std::uint64_t period = table_->period(v);
-      const std::uint64_t phase = table_->phase(v);
+      const std::uint64_t period = table->period(v);
+      const std::uint64_t phase = table->phase(v);
       appearances[v] = periodic_appearances(period, phase, h);
       std::uint64_t worst = 0;
       if (appearances[v] == 0) {
@@ -168,20 +245,24 @@ FairnessAudit Instance::audit() const {
   }
 
   if (audit.horizon > 0 && n > 0) {
-    audit.jain = analysis::jain_fairness(graph_, appearances, audit.horizon);
-    audit.throughput_ratio = analysis::throughput_ratio(graph_, appearances, audit.horizon);
+    // For dynamic tenants `scheduler_->graph()` is the live topology (the
+    // one the appearance counts are measured against); for everything else
+    // it is the recipe graph.
+    audit.jain = analysis::jain_fairness(scheduler_->graph(), appearances, audit.horizon);
+    audit.throughput_ratio =
+        analysis::throughput_ratio(scheduler_->graph(), appearances, audit.horizon);
   }
   return audit;
 }
 
 void Instance::fast_forward(std::uint64_t t) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  if (table_) {
+  if (const auto table = this->table()) {
     scheduler_->advance_to(t);  // O(1) counter skip for periodic schedulers
     // Reconstruct Σ|happy| analytically so stats survive the skip.
     total_happy_ = 0;
-    for (graph::NodeId v = 0; v < graph_.num_nodes(); ++v) {
-      total_happy_ += periodic_appearances(table_->period(v), table_->phase(v), t);
+    for (graph::NodeId v = 0; v < table->num_nodes(); ++v) {
+      total_happy_ += periodic_appearances(table->period(v), table->phase(v), t);
     }
   } else {
     extend_locked(t);  // exact replay rebuilds index + gap statistics

@@ -18,8 +18,13 @@ std::shared_ptr<const QuerySnapshot> QuerySnapshot::build(const InstanceRegistry
   snapshot->num_nodes_.reserve(snapshot->instances_.size());
   for (const auto& instance : snapshot->instances_) {
     snapshot->names_.push_back(instance->name());
-    snapshot->tables_.push_back(instance->period_table());
-    snapshot->num_nodes_.push_back(instance->graph().num_nodes());
+    snapshot->tables_.push_back(instance->period_table_shared());
+    // Derive the probe-validation bound from the captured table itself, so a
+    // mutation batch racing this build cannot let a probe index past the
+    // version we actually hold.  Aperiodic tenants are never dynamic; their
+    // recipe graph is immutable.
+    const auto& table = snapshot->tables_.back();
+    snapshot->num_nodes_.push_back(table ? table->num_nodes() : instance->graph().num_nodes());
   }
   return snapshot;
 }
@@ -71,7 +76,7 @@ void QuerySnapshot::query_batch(std::span<const Probe> probes, std::span<std::ui
     while (end < order.size() && probes[order[end]].instance == id) {
       ++end;
     }
-    if (const PeriodTable* table = tables_[id]) {
+    if (const PeriodTable* table = tables_[id].get()) {
       for (std::size_t k = i; k < end; ++k) {
         const Probe& probe = probes[order[k]];
         out[order[k]] = table->is_happy(probe.node, probe.holiday) ? 1 : 0;
@@ -100,7 +105,7 @@ void QuerySnapshot::next_gathering_batch(std::span<const Probe> probes,
     while (end < order.size() && probes[order[end]].instance == id) {
       ++end;
     }
-    if (const PeriodTable* table = tables_[id]) {
+    if (const PeriodTable* table = tables_[id].get()) {
       for (std::size_t k = i; k < end; ++k) {
         const Probe& probe = probes[order[k]];
         out[order[k]] = table->next_gathering(probe.node, probe.holiday);

@@ -11,7 +11,6 @@ namespace fhg::engine {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x46484753;  // "FHGS"
-constexpr std::uint64_t kVersion = 1;
 
 }  // namespace
 
@@ -122,21 +121,39 @@ graph::Graph read_graph(BitReader& r) {
   return graph::Graph::from_edges(n, edges);
 }
 
-void write_spec(BitWriter& w, const InstanceSpec& spec) {
+void write_spec(BitWriter& w, const InstanceSpec& spec, std::uint64_t version) {
   w.put_uint(static_cast<std::uint64_t>(spec.kind));
   w.put_uint(static_cast<std::uint64_t>(spec.code));
   w.put_uint(spec.seed);
+  if (version >= 2) {
+    w.put_uint(spec.slack);
+  }
   w.put_uint(spec.periods.size());
   for (const std::uint64_t p : spec.periods) {
     w.put_uint(p);
   }
 }
 
-InstanceSpec read_spec(BitReader& r) {
+InstanceSpec read_spec(BitReader& r, std::uint64_t version) {
   InstanceSpec spec;
-  spec.kind = static_cast<SchedulerKind>(r.get_uint());
-  spec.code = static_cast<coding::CodeFamily>(r.get_uint());
+  const std::uint64_t kind = r.get_uint();
+  if (kind > static_cast<std::uint64_t>(SchedulerKind::kDynamicPrefixCode)) {
+    throw std::runtime_error("snapshot: unknown scheduler kind " + std::to_string(kind));
+  }
+  spec.kind = static_cast<SchedulerKind>(kind);
+  const std::uint64_t code = r.get_uint();
+  if (code > static_cast<std::uint64_t>(coding::CodeFamily::kEliasOmega)) {
+    throw std::runtime_error("snapshot: unknown code family " + std::to_string(code));
+  }
+  spec.code = static_cast<coding::CodeFamily>(code);
   spec.seed = r.get_uint();
+  if (version >= 2) {
+    const std::uint64_t slack = r.get_uint();
+    if (slack > std::numeric_limits<std::uint32_t>::max()) {
+      throw std::runtime_error("snapshot: slack " + std::to_string(slack) + " out of range");
+    }
+    spec.slack = static_cast<std::uint32_t>(slack);
+  }
   const std::uint64_t count = r.get_uint();
   check_count(r, count, 1, "period");
   spec.periods.resize(count);
@@ -144,6 +161,48 @@ InstanceSpec read_spec(BitReader& r) {
     spec.periods[i] = r.get_uint();
   }
   return spec;
+}
+
+/// Mutation log: count, then per command (op, holiday delta, endpoints).
+/// Stamps are non-decreasing along a log, so delta coding keeps them small.
+void write_log(BitWriter& w, std::span<const dynamic::MutationCommand> log) {
+  w.put_uint(log.size());
+  std::uint64_t prev_holiday = 0;
+  for (const dynamic::MutationCommand& cmd : log) {
+    w.put_uint(static_cast<std::uint64_t>(cmd.op));
+    w.put_uint(cmd.holiday - prev_holiday);
+    w.put_uint(cmd.u);
+    w.put_uint(cmd.v);
+    prev_holiday = cmd.holiday;
+  }
+}
+
+std::vector<dynamic::MutationCommand> read_log(BitReader& r) {
+  const std::uint64_t count = r.get_uint();
+  check_count(r, count, 4, "mutation");  // four codewords of >= 1 bit each
+  std::vector<dynamic::MutationCommand> log;
+  log.reserve(count);
+  std::uint64_t prev_holiday = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    dynamic::MutationCommand cmd;
+    const std::uint64_t op = r.get_uint();
+    if (op > static_cast<std::uint64_t>(dynamic::MutationOp::kAddNode)) {
+      throw std::runtime_error("snapshot: unknown mutation op " + std::to_string(op));
+    }
+    cmd.op = static_cast<dynamic::MutationOp>(op);
+    cmd.holiday = prev_holiday + r.get_uint();
+    const std::uint64_t u = r.get_uint();
+    const std::uint64_t v = r.get_uint();
+    if (u > std::numeric_limits<graph::NodeId>::max() ||
+        v > std::numeric_limits<graph::NodeId>::max()) {
+      throw std::runtime_error("snapshot: mutation endpoint out of NodeId range");
+    }
+    cmd.u = static_cast<graph::NodeId>(u);
+    cmd.v = static_cast<graph::NodeId>(v);
+    prev_holiday = cmd.holiday;
+    log.push_back(cmd);
+  }
+  return log;
 }
 
 void write_name(BitWriter& w, const std::string& name) {
@@ -165,17 +224,31 @@ std::string read_name(BitReader& r) {
 
 }  // namespace
 
-std::vector<std::uint8_t> snapshot_registry(const InstanceRegistry& registry) {
+std::vector<std::uint8_t> snapshot_registry(const InstanceRegistry& registry,
+                                            std::uint64_t version) {
+  if (version < kSnapshotVersionV1 || version > kSnapshotVersionLatest) {
+    throw std::invalid_argument("snapshot_registry: unknown version " + std::to_string(version));
+  }
   BitWriter w;
   w.put_bits(kMagic, 32);
-  w.put_uint(kVersion);
+  w.put_uint(version);
   const auto instances = registry.all_sorted();
   w.put_uint(instances.size());
   for (const auto& instance : instances) {
+    if (version < 2 && instance->dynamic()) {
+      throw std::invalid_argument("snapshot_registry: instance '" + instance->name() +
+                                  "' is dynamic; its mutation log needs format v2");
+    }
     write_name(w, instance->name());
-    write_spec(w, instance->spec());
+    write_spec(w, instance->spec(), version);
     write_graph(w, instance->graph());
-    w.put_uint(instance->current_holiday());
+    // One locked read for (holiday, log): a tenant stepping and mutating
+    // concurrently can never tear the pair a restore replays from.
+    const Instance::PersistedState state = instance->persisted_state();
+    w.put_uint(state.holiday);
+    if (version >= 2) {
+      write_log(w, state.log);
+    }
   }
   return w.finish();
 }
@@ -185,7 +258,8 @@ void restore_registry(InstanceRegistry& registry, std::span<const std::uint8_t> 
   if (r.get_bits(32) != kMagic) {
     throw std::runtime_error("snapshot: bad magic");
   }
-  if (const std::uint64_t version = r.get_uint(); version != kVersion) {
+  const std::uint64_t version = r.get_uint();
+  if (version < kSnapshotVersionV1 || version > kSnapshotVersionLatest) {
     throw std::runtime_error("snapshot: unsupported version " + std::to_string(version));
   }
   const std::uint64_t count = r.get_uint();
@@ -198,15 +272,23 @@ void restore_registry(InstanceRegistry& registry, std::span<const std::uint8_t> 
     InstanceSpec spec;
     graph::Graph graph;
     std::uint64_t holiday = 0;
+    std::vector<dynamic::MutationCommand> log;
   };
   std::vector<Parsed> parsed;
   parsed.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
     Parsed p;
     p.name = read_name(r);
-    p.spec = read_spec(r);
+    p.spec = read_spec(r, version);
     p.graph = read_graph(r);
     p.holiday = r.get_uint();
+    if (version >= 2) {
+      p.log = read_log(r);
+      if (!p.log.empty() && p.spec.kind != SchedulerKind::kDynamicPrefixCode) {
+        throw std::runtime_error("snapshot: mutation log on non-dynamic instance '" + p.name +
+                                 "'");
+      }
+    }
     parsed.push_back(std::move(p));
   }
 
@@ -214,6 +296,12 @@ void restore_registry(InstanceRegistry& registry, std::span<const std::uint8_t> 
   for (auto& p : parsed) {
     const auto instance =
         registry.create(std::move(p.name), std::move(p.graph), std::move(p.spec));
+    if (!p.log.empty()) {
+      // Replay the mutation log over the freshly built recipe state: every
+      // recolor decision is deterministic, so this lands on the identical
+      // coloring and slots the snapshotted tenant had.
+      instance->replay_mutation_log(p.log);
+    }
     instance->fast_forward(p.holiday);
   }
 }

@@ -9,6 +9,7 @@
 #include "fhg/core/prefix_code_scheduler.hpp"
 #include "fhg/core/round_robin.hpp"
 #include "fhg/core/weighted.hpp"
+#include "fhg/dynamic/adapter.hpp"
 
 namespace fhg::engine {
 
@@ -26,6 +27,8 @@ std::string scheduler_kind_name(SchedulerKind kind) {
       return "fcfg";
     case SchedulerKind::kWeighted:
       return "weighted";
+    case SchedulerKind::kDynamicPrefixCode:
+      return "dynamic-prefix-code";
   }
   return "unknown";
 }
@@ -49,7 +52,19 @@ std::optional<SchedulerKind> parse_scheduler_kind(std::string_view name) {
   if (name == "weighted") {
     return SchedulerKind::kWeighted;
   }
+  if (name == "dynamic-prefix-code" || name == "dynamic") {
+    return SchedulerKind::kDynamicPrefixCode;
+  }
   return std::nullopt;
+}
+
+const std::vector<SchedulerKind>& all_scheduler_kinds() {
+  static const std::vector<SchedulerKind> kinds{
+      SchedulerKind::kRoundRobin,     SchedulerKind::kPhasedGreedy,
+      SchedulerKind::kPrefixCode,     SchedulerKind::kDegreeBound,
+      SchedulerKind::kFirstComeFirstGrab, SchedulerKind::kWeighted,
+      SchedulerKind::kDynamicPrefixCode};
+  return kinds;
 }
 
 std::unique_ptr<core::Scheduler> make_scheduler(const graph::Graph& g, const InstanceSpec& spec) {
@@ -76,6 +91,10 @@ std::unique_ptr<core::Scheduler> make_scheduler(const graph::Graph& g, const Ins
       }
       return std::make_unique<core::WeightedPeriodicScheduler>(g, spec.periods,
                                                                core::WeightedPolicy::kAutoRelax);
+    case SchedulerKind::kDynamicPrefixCode:
+      // Copies `g` in as the recipe topology; the adapter owns the mutable
+      // graph and the mutation log from here on.
+      return std::make_unique<dynamic::DynamicSchedulerAdapter>(g, spec.code, spec.slack);
   }
   throw std::invalid_argument("make_scheduler: unknown scheduler kind");
 }

@@ -24,6 +24,7 @@
 #include <string_view>
 #include <vector>
 
+#include "fhg/dynamic/mutation.hpp"
 #include "fhg/engine/engine.hpp"
 #include "fhg/engine/query_batch.hpp"
 #include "fhg/engine/spec.hpp"
@@ -65,6 +66,11 @@ struct ScenarioSpec {
   graph::NodeId nodes = 48;     ///< requested nodes per tenant (families round)
   double churn = 0.0;           ///< fraction of the fleet replaced per churn round
   double aperiodic = 0.2;       ///< fraction of tenants running aperiodic schedulers
+  /// Fraction of tenants running the §6 dynamic scheduler.  Takes precedence
+  /// over `aperiodic` when the fractions overlap (`dynamic=1` is always a
+  /// fully dynamic fleet).
+  double dynamic_share = 0.0;
+  double mutation = 0.0;        ///< fraction of the fleet mutated per mutation round
   QueryMix mix;
   std::uint64_t seed = 1;       ///< master seed; everything derives from it
   std::uint64_t horizon = 1024; ///< holiday depth that probes target
@@ -73,8 +79,9 @@ struct ScenarioSpec {
 };
 
 /// Parses a scenario string `family[:key=value,...]` with keys `fleet`,
-/// `nodes`, `seed`, `churn`, `aperiodic`, `next`, `horizon`.  Nullopt on an
-/// unknown family, unknown key, or malformed value.
+/// `nodes`, `seed`, `churn`, `aperiodic`, `dynamic`, `mutation`, `next`,
+/// `horizon`.  Nullopt on an unknown family, unknown key, or malformed
+/// value.
 [[nodiscard]] std::optional<ScenarioSpec> parse_scenario(std::string_view text);
 
 /// The canonical one-line form of `spec` (parses back to an equal spec).
@@ -124,11 +131,29 @@ class ScenarioGenerator {
                                   std::uint64_t round = 0) const;
 
   /// Applies churn round `round`: deterministically picks `churn · fleet`
-  /// slots, erases each and re-creates it at the next generation.  Returns
-  /// the number of tenants replaced.  `generations` must map slot → current
-  /// generation and is updated in place (size `fleet`, all zeros initially).
+  /// slots, erases each and re-creates it at the next generation — the
+  /// whole-tenant-replacement *fallback* for topology change.  Loses the
+  /// slot's gap history and pays a full rebuild; prefer `mutation_round` for
+  /// tenants that can mutate in place.  Returns the number of tenants
+  /// replaced.  `generations` must map slot → current generation and is
+  /// updated in place (size `fleet`, all zeros initially).
   std::size_t churn_round(engine::Engine& eng, std::uint64_t round,
                           std::vector<std::uint64_t>& generations) const;
+
+  /// The seeded marry/divorce/add-node command mix slot `i` receives at
+  /// mutation round `round`, with edge endpoints drawn from `[0, nodes)` —
+  /// a pure function of `(spec, i, round, nodes)`, so every consumer
+  /// (engine_server, tests, benchmarks) derives identical event streams.
+  [[nodiscard]] std::vector<dynamic::MutationCommand> mutation_commands(
+      std::size_t i, std::uint64_t round, graph::NodeId nodes) const;
+
+  /// Applies mutation round `round`: deterministically picks
+  /// `mutation · fleet` slots and routes each slot's `mutation_commands`
+  /// through `Engine::apply_mutations` — edge-level topology change served
+  /// *in place* (recolor, republish table), no tenant replacement.  Slots
+  /// whose tenant is missing or not dynamic are skipped.  Returns the number
+  /// of commands that changed topology.
+  std::size_t mutation_round(engine::Engine& eng, std::uint64_t round) const;
 
   /// Byte-serialization of the full generation-0 expansion (spec, every
   /// tenant's edges and recipe).  Two generators with equal specs produce

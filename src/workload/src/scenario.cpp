@@ -135,6 +135,18 @@ std::optional<ScenarioSpec> parse_scenario(std::string_view text) {
         return std::nullopt;
       }
       spec.aperiodic = *v;
+    } else if (key == "dynamic") {
+      const auto v = parse_double(value);
+      if (!v) {
+        return std::nullopt;
+      }
+      spec.dynamic_share = *v;
+    } else if (key == "mutation") {
+      const auto v = parse_double(value);
+      if (!v) {
+        return std::nullopt;
+      }
+      spec.mutation = *v;
     } else if (key == "next") {
       const auto v = parse_double(value);
       if (!v) {
@@ -153,6 +165,8 @@ std::string scenario_name(const ScenarioSpec& spec) {
   out << graph_family_name(spec.family) << ":fleet=" << spec.fleet << ",nodes=" << spec.nodes
       << ",seed=" << spec.seed << ",horizon=" << spec.horizon
       << ",churn=" << format_double(spec.churn) << ",aperiodic=" << format_double(spec.aperiodic)
+      << ",dynamic=" << format_double(spec.dynamic_share)
+      << ",mutation=" << format_double(spec.mutation)
       << ",next=" << format_double(spec.mix.next_gathering);
   return out.str();
 }
@@ -166,6 +180,8 @@ ScenarioGenerator::ScenarioGenerator(ScenarioSpec spec) : spec_(spec) {
   }
   spec_.churn = std::clamp(spec_.churn, 0.0, 1.0);
   spec_.aperiodic = std::clamp(spec_.aperiodic, 0.0, 1.0);
+  spec_.dynamic_share = std::clamp(spec_.dynamic_share, 0.0, 1.0);
+  spec_.mutation = std::clamp(spec_.mutation, 0.0, 1.0);
   spec_.mix.next_gathering = std::clamp(spec_.mix.next_gathering, 0.0, 1.0);
 }
 
@@ -202,12 +218,17 @@ TenantSpec ScenarioGenerator::tenant_at(std::size_t i, std::uint64_t generation)
       parallel::mix_keys(spec_.seed, parallel::mix_keys(i, generation));
   engine::InstanceSpec recipe;
   recipe.seed = tenant_seed;
-  // Deterministic kind choice: an `aperiodic` fraction of slots run the
-  // stateful schedulers (memoized replay), the rest rotate the periodic
-  // catalogue (O(1) period-table path).
+  // Deterministic kind choice: a `dynamic` fraction of slots run the §6
+  // scheduler (mutable topology, recolor in place), an `aperiodic` fraction
+  // the stateful schedulers (memoized replay), the rest rotate the periodic
+  // catalogue (O(1) period-table path).  `dynamic` takes precedence when the
+  // fractions overlap — `dynamic=1` always means a fully dynamic fleet —
+  // and with `dynamic=0` the bands are exactly the pre-mutation expansion.
   const double roll = static_cast<double>(parallel::hash_draw(tenant_seed, 0xA9E2, 0) >> 11) *
                       0x1.0p-53;
-  if (roll < spec_.aperiodic) {
+  if (roll < spec_.dynamic_share) {
+    recipe.kind = engine::SchedulerKind::kDynamicPrefixCode;
+  } else if (roll < spec_.dynamic_share + spec_.aperiodic) {
     recipe.kind = (tenant_seed >> 8) % 2 == 0 ? engine::SchedulerKind::kPhasedGreedy
                                               : engine::SchedulerKind::kFirstComeFirstGrab;
   } else {
@@ -274,6 +295,52 @@ std::size_t ScenarioGenerator::churn_round(engine::Engine& eng, std::uint64_t ro
   return slots.size();
 }
 
+std::vector<dynamic::MutationCommand> ScenarioGenerator::mutation_commands(
+    std::size_t i, std::uint64_t round, graph::NodeId nodes) const {
+  /// Commands each mutated tenant receives per round — enough to usually
+  /// force at least one recolor without rewriting the whole topology.
+  constexpr std::size_t kCommandsPerTenant = 4;
+  Rng rng(spec_.seed, parallel::mix_keys(0x6D757478, parallel::mix_keys(i, round)));
+  std::vector<dynamic::MutationCommand> commands;
+  commands.reserve(kCommandsPerTenant);
+  for (std::size_t c = 0; c < kCommandsPerTenant && nodes >= 2; ++c) {
+    const double roll = rng.uniform_real();
+    if (roll < 0.1) {
+      commands.push_back(dynamic::add_node_command());
+      continue;
+    }
+    // Distinct endpoints within the recipe node range, so the stream stays a
+    // pure function of the inputs whatever earlier rounds did.
+    const auto u = static_cast<graph::NodeId>(rng.uniform_below(nodes));
+    auto v = static_cast<graph::NodeId>(rng.uniform_below(nodes - 1));
+    v = v >= u ? v + 1 : v;
+    commands.push_back(roll < 0.55 ? dynamic::insert_edge_command(u, v)
+                                   : dynamic::erase_edge_command(u, v));
+  }
+  return commands;
+}
+
+std::size_t ScenarioGenerator::mutation_round(engine::Engine& eng, std::uint64_t round) const {
+  const auto mutated =
+      static_cast<std::size_t>(spec_.mutation * static_cast<double>(spec_.fleet));
+  Rng rng(spec_.seed, parallel::mix_keys(0x6D757461, round));
+  std::set<std::size_t> slots;
+  while (slots.size() < std::min(mutated, spec_.fleet)) {
+    slots.insert(static_cast<std::size_t>(rng.uniform_below(spec_.fleet)));
+  }
+  std::size_t applied = 0;
+  for (const std::size_t slot : slots) {
+    const std::string name = tenant_name(slot);
+    const auto instance = eng.find(name);
+    if (!instance || !instance->dynamic()) {
+      continue;  // churned into a non-dynamic recipe, or erased outright
+    }
+    const auto commands = mutation_commands(slot, round, instance->graph().num_nodes());
+    applied += eng.apply_mutations(name, commands).applied;
+  }
+  return applied;
+}
+
 namespace {
 
 void put_u64(std::vector<std::uint8_t>& bytes, std::uint64_t v) {
@@ -303,6 +370,7 @@ std::vector<std::uint8_t> ScenarioGenerator::fingerprint() const {
     put_u64(bytes, static_cast<std::uint64_t>(t.spec.kind));
     put_u64(bytes, static_cast<std::uint64_t>(t.spec.code));
     put_u64(bytes, t.spec.seed);
+    put_u64(bytes, t.spec.slack);
     put_u64(bytes, t.spec.periods.size());
     for (const std::uint64_t p : t.spec.periods) {
       put_u64(bytes, p);

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include "fhg/dynamic/adapter.hpp"
 #include "fhg/dynamic/dynamic_scheduler.hpp"
+#include "fhg/dynamic/mutation.hpp"
 #include "fhg/graph/dynamic_graph.hpp"
 #include "fhg/graph/generators.hpp"
 #include "fhg/graph/properties.hpp"
@@ -203,4 +205,161 @@ TEST(DynamicScheduler, HistoryRecordsEvents) {
   EXPECT_EQ(event.old_color, 1U);
   EXPECT_NE(event.new_color, 1U);
   EXPECT_TRUE(event.due_to_insertion);
+}
+
+// ------------------------------------------------- §6 edge cases (PR 3) ----
+
+TEST(DynamicScheduler, DeletionSlackBoundaryIsExact) {
+  // K4 colors greedily as 1,2,3,4 (equal degrees, stable id order), so node
+  // 3 sits at col == deg + 1.  After one divorce its degree drops to 2:
+  //   slack = 1  →  col 4 == deg + 1 + slack  →  *no* repair (boundary held)
+  //   slack = 0  →  col 4 is one past deg + 1 + slack  →  repair fires
+  {
+    fg::DynamicGraph g = dynamic_from(fg::clique(4));
+    fdy::DynamicPrefixCodeScheduler with_slack(g, fcd::CodeFamily::kEliasOmega,
+                                               /*deletion_slack=*/1);
+    ASSERT_EQ(with_slack.color_of(3), 4U);
+    EXPECT_FALSE(with_slack.erase_edge(0, 3).has_value());
+    EXPECT_EQ(with_slack.color_of(3), 4U);  // kept: exactly at the boundary
+  }
+  {
+    fg::DynamicGraph g = dynamic_from(fg::clique(4));
+    fdy::DynamicPrefixCodeScheduler eager(g, fcd::CodeFamily::kEliasOmega,
+                                          /*deletion_slack=*/0);
+    ASSERT_EQ(eager.color_of(3), 4U);
+    const auto event = eager.erase_edge(0, 3);
+    ASSERT_TRUE(event.has_value());  // one past the boundary: repair
+    EXPECT_EQ(event->node, 3U);
+    EXPECT_FALSE(event->due_to_insertion);
+    EXPECT_LE(eager.color_of(3), g.degree(3) + 1);
+    EXPECT_TRUE(eager.coloring_proper());
+  }
+}
+
+TEST(DynamicScheduler, AddNodeThenImmediateInsertEdge) {
+  fg::DynamicGraph g(2);
+  fdy::DynamicPrefixCodeScheduler scheduler(g);
+  const fg::NodeId v = scheduler.add_node();
+  EXPECT_EQ(v, 2U);
+  EXPECT_EQ(scheduler.color_of(v), 1U);
+  // Marrying the brand-new node into a color-1 household must recolor one
+  // endpoint immediately — no holiday needs to pass in between.
+  ASSERT_EQ(scheduler.color_of(0), 1U);
+  const auto event = scheduler.insert_edge(v, 0);
+  ASSERT_TRUE(event.has_value());
+  EXPECT_TRUE(scheduler.coloring_proper());
+  // The recolored node's slot tracks its new color's codeword.
+  const auto& moved = *event;
+  EXPECT_EQ(scheduler.slot_of(moved.node),
+            fcd::slot_of(fcd::encode(fcd::CodeFamily::kEliasOmega,
+                                     scheduler.color_of(moved.node))));
+  EXPECT_EQ(scheduler.period_of(moved.node),
+            std::uint64_t{1} << fcd::elias_omega_length(scheduler.color_of(moved.node)));
+}
+
+TEST(DynamicScheduler, EraseOfNonexistentEdgeIsANoOp) {
+  fg::DynamicGraph g(4);
+  fdy::DynamicPrefixCodeScheduler scheduler(g);
+  static_cast<void>(scheduler.insert_edge(0, 1));
+  const std::size_t history_before = scheduler.history().size();
+  const std::size_t edges_before = g.num_edges();
+  EXPECT_FALSE(scheduler.erase_edge(2, 3).has_value());   // never married
+  EXPECT_FALSE(scheduler.erase_edge(0, 99).has_value());  // out of range
+  EXPECT_EQ(g.num_edges(), edges_before);
+  EXPECT_EQ(scheduler.history().size(), history_before);
+  EXPECT_TRUE(scheduler.coloring_proper());
+}
+
+TEST(DynamicScheduler, RewindAndSkipMoveOnlyTheCounter) {
+  fg::DynamicGraph g = dynamic_from(fg::cycle(8));
+  fdy::DynamicPrefixCodeScheduler scheduler(g);
+  const auto first = scheduler.next_holiday();
+  static_cast<void>(scheduler.next_holiday());
+  scheduler.rewind();
+  EXPECT_EQ(scheduler.current_holiday(), 0U);
+  EXPECT_EQ(scheduler.next_holiday(), first);  // pure function of slots + t
+  scheduler.skip_to(100);
+  EXPECT_EQ(scheduler.current_holiday(), 100U);
+  scheduler.skip_to(50);  // never backwards
+  EXPECT_EQ(scheduler.current_holiday(), 100U);
+}
+
+// ------------------------------------------------ Scheduler adapter (§6) ----
+
+TEST(DynamicAdapter, ConformsToSchedulerAndBuildsPeriodRows) {
+  const fg::Graph initial = fg::gnp(30, 0.12, 11);
+  fdy::DynamicSchedulerAdapter adapter(initial);
+  EXPECT_EQ(adapter.name(), "dynamic-prefix-code");
+  EXPECT_TRUE(adapter.perfectly_periodic());
+  const auto rows = adapter.period_phase_rows();
+  ASSERT_EQ(rows.size(), initial.num_nodes());
+  // Rows agree with a replay: node v is happy exactly at phase + k·period.
+  for (std::uint64_t t = 1; t <= 64; ++t) {
+    const auto happy = adapter.next_holiday();
+    for (fg::NodeId v = 0; v < initial.num_nodes(); ++v) {
+      const bool truth = std::binary_search(happy.begin(), happy.end(), v);
+      const bool row_says = t >= rows[v].phase && (t - rows[v].phase) % rows[v].period == 0;
+      ASSERT_EQ(row_says, truth) << "node " << v << " holiday " << t;
+    }
+  }
+}
+
+TEST(DynamicAdapter, LogsOnlyAppliedCommandsAndStamps) {
+  fdy::DynamicSchedulerAdapter adapter(fg::Graph(4));
+  for (int t = 0; t < 5; ++t) {
+    static_cast<void>(adapter.next_holiday());
+  }
+  EXPECT_TRUE(adapter.apply(fdy::insert_edge_command(0, 1)).applied);
+  EXPECT_FALSE(adapter.apply(fdy::insert_edge_command(0, 1)).applied);  // already married
+  EXPECT_FALSE(adapter.apply(fdy::erase_edge_command(2, 3)).applied);   // never married
+  EXPECT_TRUE(adapter.apply(fdy::add_node_command()).applied);
+  EXPECT_THROW((void)adapter.apply(fdy::insert_edge_command(1, 1)), std::invalid_argument);
+  ASSERT_EQ(adapter.mutation_log().size(), 2U);
+  EXPECT_EQ(adapter.version(), 2U);
+  for (const auto& cmd : adapter.mutation_log()) {
+    EXPECT_EQ(cmd.holiday, 5U);  // stamped with the holiday they landed at
+  }
+  EXPECT_EQ(adapter.graph().num_nodes(), 5U);  // live topology grew
+}
+
+TEST(DynamicAdapter, LogReplayReproducesScheduleExactly) {
+  const fg::Graph initial = fg::gnp(24, 0.1, 17);
+  fdy::DynamicSchedulerAdapter live(initial);
+  fhg::parallel::Rng rng(23);
+  // A mixed life: holidays pass, marriages and divorces land in between.
+  for (int phase = 0; phase < 6; ++phase) {
+    for (int t = 0; t < 4; ++t) {
+      static_cast<void>(live.next_holiday());
+    }
+    std::vector<fdy::MutationCommand> mix;
+    for (int c = 0; c < 5; ++c) {
+      const auto u = static_cast<fg::NodeId>(rng.uniform_below(24));
+      auto v = static_cast<fg::NodeId>(rng.uniform_below(23));
+      v = v >= u ? v + 1 : v;
+      mix.push_back(rng.bernoulli(0.6) ? fdy::insert_edge_command(u, v)
+                                       : fdy::erase_edge_command(u, v));
+    }
+    static_cast<void>(live.apply_batch(mix));
+  }
+  ASSERT_FALSE(live.mutation_log().empty());
+
+  // Replay the log over a fresh adapter, landing each command at its stamp.
+  fdy::DynamicSchedulerAdapter replayed(initial);
+  for (const auto& cmd : live.mutation_log()) {
+    replayed.advance_to(cmd.holiday);
+    const auto result = replayed.apply(cmd, /*restamp=*/false);
+    EXPECT_TRUE(result.applied);  // logged commands re-apply deterministically
+  }
+  replayed.advance_to(live.current_holiday());
+
+  EXPECT_EQ(replayed.mutation_log(), live.mutation_log());
+  EXPECT_EQ(replayed.period_phase_rows(), live.period_phase_rows());
+  EXPECT_EQ(replayed.graph().edges(), live.graph().edges());
+  for (fg::NodeId v = 0; v < live.graph().num_nodes(); ++v) {
+    EXPECT_EQ(replayed.scheduler().color_of(v), live.scheduler().color_of(v)) << "node " << v;
+  }
+  // And the two produce identical futures.
+  for (int t = 0; t < 16; ++t) {
+    EXPECT_EQ(replayed.next_holiday(), live.next_holiday());
+  }
 }

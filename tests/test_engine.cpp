@@ -6,10 +6,12 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "fhg/core/prefix_code_scheduler.hpp"
 #include "fhg/coloring/greedy.hpp"
+#include "fhg/dynamic/mutation.hpp"
 #include "fhg/engine/engine.hpp"
 #include "fhg/engine/period_table.hpp"
 #include "fhg/engine/replay_index.hpp"
@@ -21,6 +23,7 @@
 namespace fg = fhg::graph;
 namespace fe = fhg::engine;
 namespace fco = fhg::core;
+namespace fdy = fhg::dynamic;
 
 namespace {
 
@@ -278,7 +281,7 @@ TEST(Registry, ErasedInstanceSurvivesInFlightHandles) {
   auto handle = registry.create("x", g, spec_of(fe::SchedulerKind::kDegreeBound));
   EXPECT_TRUE(registry.erase("x"));
   // The shared_ptr keeps the instance alive and usable.
-  EXPECT_TRUE(handle->is_happy(0, handle->period_table()->phase(0)));
+  EXPECT_TRUE(handle->is_happy(0, handle->period_table_shared()->phase(0)));
 }
 
 // -------------------------------------------------- BatchExecutor sweep ----
@@ -426,12 +429,13 @@ TEST(Snapshot, RestorePreservesStateAndQueries) {
 // ------------------------------------------------------------------ Spec ----
 
 TEST(Spec, KindNamesRoundTrip) {
-  for (const auto kind : {fe::SchedulerKind::kRoundRobin, fe::SchedulerKind::kPhasedGreedy,
-                          fe::SchedulerKind::kPrefixCode, fe::SchedulerKind::kDegreeBound,
-                          fe::SchedulerKind::kFirstComeFirstGrab, fe::SchedulerKind::kWeighted}) {
+  // Every kind — sweeping the catalogue, so a freshly added kind cannot
+  // silently break name parsing (or be forgotten here).
+  for (const auto kind : fe::all_scheduler_kinds()) {
     const auto parsed = fe::parse_scheduler_kind(fe::scheduler_kind_name(kind));
-    ASSERT_TRUE(parsed.has_value());
-    EXPECT_EQ(*parsed, kind);
+    ASSERT_TRUE(parsed.has_value()) << fe::scheduler_kind_name(kind);
+    EXPECT_EQ(*parsed, kind) << fe::scheduler_kind_name(kind);
+    EXPECT_NE(fe::scheduler_kind_name(kind), "unknown");
   }
   EXPECT_EQ(fe::parse_scheduler_kind("nope"), std::nullopt);
 }
@@ -441,4 +445,209 @@ TEST(Spec, WeightedSpecValidatesPeriodCount) {
   EXPECT_THROW(
       (void)fe::make_scheduler(g, spec_of(fe::SchedulerKind::kWeighted, 1, {2, 4})),
       std::invalid_argument);
+}
+
+// ------------------------------------------- Dynamic tenants + mutations ----
+
+TEST(EngineMutation, DynamicTenantServesAcrossRecolor) {
+  fe::Engine eng({.shards = 2, .threads = 2});
+  // Four isolated parents: everyone starts at color 1, so the first marriage
+  // is guaranteed to collide and force a recolor.
+  (void)eng.create_instance("dyn", fg::Graph(4), spec_of(fe::SchedulerKind::kDynamicPrefixCode));
+  const auto handle = eng.find("dyn");
+  ASSERT_TRUE(handle->dynamic());
+  ASSERT_TRUE(handle->periodic());
+  EXPECT_EQ(handle->table_version(), 0U);
+  (void)eng.step_all(8);
+
+  const auto before = eng.query_snapshot();
+  const bool before_0_happy_16 = eng.is_happy("dyn", 0, 16);
+
+  const std::vector<fdy::MutationCommand> cmds{fdy::insert_edge_command(0, 1)};
+  const auto result = eng.apply_mutations("dyn", cmds);
+  EXPECT_EQ(result.applied, 1U);
+  EXPECT_EQ(result.recolors, 1U);
+  EXPECT_EQ(result.table_version, 1U);
+  EXPECT_EQ(handle->table_version(), 1U);
+
+  // The registry epoch moved, so the engine republishes its lock-free view;
+  // the old snapshot keeps answering at its own (pre-mutation) version.
+  const auto after = eng.query_snapshot();
+  EXPECT_NE(before.get(), after.get());
+  fe::Probe probe{0, 0, 16};
+  std::uint8_t old_answer = 0;
+  before->query_batch(std::span(&probe, 1), std::span(&old_answer, 1));
+  EXPECT_EQ(old_answer != 0, before_0_happy_16);
+
+  // Ground truth: step the tenant onward and compare every produced happy
+  // set against the served answers — across the recolor boundary.
+  const auto log = handle->mutation_log();
+  ASSERT_EQ(log.size(), 1U);
+  EXPECT_EQ(log[0].holiday, 8U);
+  (void)handle->stream(64, [&](std::uint64_t t, std::span<const fg::NodeId> happy) {
+    for (fg::NodeId v = 0; v < 4; ++v) {
+      const bool truth = std::binary_search(happy.begin(), happy.end(), v);
+      EXPECT_EQ(eng.is_happy("dyn", v, t), truth) << "node " << v << " holiday " << t;
+    }
+  });
+  // next_gathering agrees with membership on the post-mutation schedule.
+  for (fg::NodeId v = 0; v < 4; ++v) {
+    const auto next = eng.next_gathering("dyn", v, 100);
+    ASSERT_TRUE(next.has_value());
+    EXPECT_TRUE(eng.is_happy("dyn", v, *next));
+    for (std::uint64_t t = 101; t < *next; ++t) {
+      EXPECT_FALSE(eng.is_happy("dyn", v, t));
+    }
+  }
+}
+
+TEST(EngineMutation, RejectsNonDynamicInstancesAndBadCommands) {
+  fe::Engine eng;
+  (void)eng.create_instance("static", fg::cycle(8), spec_of(fe::SchedulerKind::kPrefixCode));
+  (void)eng.create_instance("dyn", fg::cycle(8), spec_of(fe::SchedulerKind::kDynamicPrefixCode));
+  const std::vector<fdy::MutationCommand> cmds{fdy::insert_edge_command(0, 2)};
+  EXPECT_THROW((void)eng.apply_mutations("static", cmds), std::logic_error);
+  EXPECT_THROW((void)eng.apply_mutations("missing", cmds), std::out_of_range);
+  const std::vector<fdy::MutationCommand> bad{fdy::insert_edge_command(3, 3)};
+  EXPECT_THROW((void)eng.apply_mutations("dyn", bad), std::invalid_argument);
+  const std::vector<fdy::MutationCommand> out_of_range{fdy::erase_edge_command(0, 99)};
+  EXPECT_THROW((void)eng.apply_mutations("dyn", out_of_range), std::invalid_argument);
+
+  // Batches are all-or-nothing: a malformed command anywhere rejects the
+  // whole batch with nothing applied, logged, or republished.
+  const auto handle = eng.find("dyn");
+  const std::vector<fdy::MutationCommand> half_bad{fdy::insert_edge_command(0, 2),
+                                                   fdy::erase_edge_command(0, 99)};
+  EXPECT_THROW((void)eng.apply_mutations("dyn", half_bad), std::invalid_argument);
+  EXPECT_TRUE(handle->mutation_log().empty());
+  EXPECT_EQ(handle->table_version(), 0U);
+  EXPECT_NO_THROW((void)eng.is_happy("dyn", 0, 1));  // still serving
+}
+
+TEST(EngineMutation, AddNodeGrowsServedTenant) {
+  fe::Engine eng;
+  (void)eng.create_instance("dyn", fg::cycle(6), spec_of(fe::SchedulerKind::kDynamicPrefixCode));
+  const auto handle = eng.find("dyn");
+  EXPECT_EQ(handle->num_nodes(), 6U);
+  const std::vector<fdy::MutationCommand> cmds{fdy::add_node_command(),
+                                               fdy::insert_edge_command(6, 0)};
+  const auto result = eng.apply_mutations("dyn", cmds);
+  EXPECT_EQ(result.applied, 2U);
+  EXPECT_EQ(handle->num_nodes(), 7U);
+  // The recipe graph is unchanged; only the live topology grew.
+  EXPECT_EQ(handle->graph().num_nodes(), 6U);
+  // The new node is served like any other.
+  const auto next = eng.next_gathering("dyn", 6, 0);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_TRUE(eng.is_happy("dyn", 6, *next));
+}
+
+TEST(SnapshotV2, MidLogRestoreIsByteIdentical) {
+  fe::Engine eng({.shards = 4, .threads = 2});
+  (void)eng.create_instance("dyn-a", fg::gnp(24, 0.1, 5),
+                            spec_of(fe::SchedulerKind::kDynamicPrefixCode));
+  (void)eng.create_instance("dyn-b", fg::cycle(16),
+                            spec_of(fe::SchedulerKind::kDynamicPrefixCode));
+  (void)eng.create_instance("static", fg::clique(6), spec_of(fe::SchedulerKind::kDegreeBound));
+  (void)eng.create_instance("aper", fg::gnp(20, 0.1, 6),
+                            spec_of(fe::SchedulerKind::kPhasedGreedy));
+
+  // Mutations land at different holidays: mid-log, mid-history.
+  (void)eng.step_all(8);
+  (void)eng.apply_mutations(
+      "dyn-a", std::vector{fdy::insert_edge_command(0, 1), fdy::erase_edge_command(2, 3),
+                           fdy::add_node_command()});
+  (void)eng.step_all(8);
+  (void)eng.apply_mutations(
+      "dyn-a", std::vector{fdy::insert_edge_command(24, 4)});  // touches the added node
+  (void)eng.apply_mutations(
+      "dyn-b", std::vector{fdy::insert_edge_command(0, 2), fdy::insert_edge_command(0, 4)});
+  (void)eng.step_all(8);
+
+  const auto bytes = eng.snapshot();
+  fe::Engine restored({.shards = 2, .threads = 1});
+  restored.load_snapshot(bytes);
+  EXPECT_EQ(restored.snapshot(), bytes);  // byte-identical re-snapshot, mid-log
+
+  // The restored dynamic tenants carry the same log and answer identically.
+  for (const auto* name : {"dyn-a", "dyn-b"}) {
+    const auto original = eng.find(name);
+    const auto copy = restored.find(name);
+    ASSERT_NE(copy, nullptr) << name;
+    EXPECT_EQ(original->mutation_log(), copy->mutation_log()) << name;
+    EXPECT_EQ(original->current_holiday(), copy->current_holiday()) << name;
+    EXPECT_EQ(original->num_nodes(), copy->num_nodes()) << name;
+    for (fg::NodeId v = 0; v < original->num_nodes(); ++v) {
+      for (std::uint64_t t = 1; t <= 64; ++t) {
+        ASSERT_EQ(original->is_happy(v, t), copy->is_happy(v, t))
+            << name << " node " << v << " holiday " << t;
+      }
+    }
+  }
+}
+
+TEST(SnapshotV2, V1StillLoadsAndDynamicTenancyRejectsV1) {
+  fe::InstanceRegistry registry(4);
+  (void)registry.create("a", fg::gnp(30, 0.1, 7), spec_of(fe::SchedulerKind::kPrefixCode));
+  (void)registry.create("b", fg::cycle(10), spec_of(fe::SchedulerKind::kDegreeBound));
+
+  const auto v1 = fe::snapshot_registry(registry, fe::kSnapshotVersionV1);
+  const auto v2 = fe::snapshot_registry(registry);
+  EXPECT_NE(v1, v2);  // version byte (and v2 fields) differ on the wire
+
+  fe::InstanceRegistry out(2);
+  fe::restore_registry(out, v1);  // version dispatch: v1 still loads
+  EXPECT_EQ(out.size(), 2U);
+  EXPECT_EQ(fe::snapshot_registry(out), v2);  // same tenancy, canonical v2
+
+  // A tenancy with a dynamic instance cannot be written as v1 (no log slot).
+  (void)registry.create("dyn", fg::Graph(4), spec_of(fe::SchedulerKind::kDynamicPrefixCode));
+  EXPECT_THROW((void)fe::snapshot_registry(registry, fe::kSnapshotVersionV1),
+               std::invalid_argument);
+  EXPECT_THROW((void)fe::snapshot_registry(registry, 99), std::invalid_argument);
+}
+
+TEST(SnapshotV2, TruncationAndCorruptionFailTyped) {
+  fe::Engine eng;
+  (void)eng.create_instance("dyn", fg::cycle(8), spec_of(fe::SchedulerKind::kDynamicPrefixCode));
+  (void)eng.step_all(4);
+  (void)eng.apply_mutations("dyn", std::vector{fdy::insert_edge_command(0, 2)});
+  const auto bytes = eng.snapshot();
+
+  // Every proper prefix either fails with a typed error or — for cuts that
+  // only drop zero padding — restores cleanly.  Nothing else is acceptable.
+  std::size_t threw = 0;
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    fe::InstanceRegistry scratch(2);
+    try {
+      fe::restore_registry(scratch, std::span(bytes.data(), len));
+    } catch (const std::runtime_error&) {
+      ++threw;
+    } catch (const std::invalid_argument&) {
+      ++threw;
+    }
+  }
+  EXPECT_GE(threw, bytes.size() - 2);
+
+  // Single-bit corruption: typed error or a well-formed (different) tenancy;
+  // never UB — the sanitizer job keeps this honest.
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    auto corrupt = bytes;
+    corrupt[pos] ^= 0x10;
+    fe::InstanceRegistry scratch(2);
+    try {
+      fe::restore_registry(scratch, corrupt);
+    } catch (const std::runtime_error&) {
+    } catch (const std::invalid_argument&) {
+    }
+  }
+
+  // Deterministic garbage with a valid magic still fails typed.
+  fhg::parallel::Rng rng(99);
+  std::vector<std::uint8_t> garbage{0x46, 0x48, 0x47, 0x53};
+  for (int i = 0; i < 64; ++i) {
+    garbage.push_back(static_cast<std::uint8_t>(rng.uniform_below(256)));
+  }
+  fe::InstanceRegistry scratch(2);
+  EXPECT_THROW(fe::restore_registry(scratch, garbage), std::runtime_error);
 }

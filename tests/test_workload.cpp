@@ -238,13 +238,13 @@ TEST(PeriodTableIntern, IdenticalSchedulesShareOneTable) {
   const auto b = eng.create_instance("b", g, spec);
   ASSERT_TRUE(a->periodic());
   ASSERT_TRUE(b->periodic());
-  EXPECT_EQ(a->period_table(), b->period_table());  // same interned object
+  EXPECT_EQ(a->period_table_shared(), b->period_table_shared());  // same interned object
 
   fe::InstanceSpec other;
   other.kind = fe::SchedulerKind::kRoundRobin;
   const auto c = eng.create_instance("c", g, other);
   ASSERT_TRUE(c->periodic());
-  EXPECT_NE(a->period_table(), c->period_table());
+  EXPECT_NE(a->period_table_shared(), c->period_table_shared());
 }
 
 TEST(WorkloadGraph, RandomGeometricIsDeterministicAndSimple) {
@@ -256,4 +256,113 @@ TEST(WorkloadGraph, RandomGeometricIsDeterministicAndSimple) {
   // radius 0 ⇒ no edges; radius sqrt(2) ⇒ complete.
   EXPECT_EQ(fg::random_geometric(50, 0.0, 1).num_edges(), 0U);
   EXPECT_EQ(fg::random_geometric(20, 1.5, 1).num_edges(), 190U);
+}
+
+// ------------------------------------------------- mutation rounds (§6) ----
+
+TEST(WorkloadMutation, ScenarioStringRoundTripsDynamicKeys) {
+  fw::ScenarioSpec spec = small_spec(fw::GraphFamily::kPowerLaw, 5);
+  spec.dynamic_share = 0.375;
+  spec.mutation = 0.25;
+  const auto parsed = fw::parse_scenario(fw::scenario_name(spec));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, spec);
+  const auto explicit_keys = fw::parse_scenario("ring:dynamic=0.5,mutation=0.1");
+  ASSERT_TRUE(explicit_keys.has_value());
+  EXPECT_DOUBLE_EQ(explicit_keys->dynamic_share, 0.5);
+  EXPECT_DOUBLE_EQ(explicit_keys->mutation, 0.1);
+}
+
+TEST(WorkloadMutation, DynamicShareProducesDynamicTenants) {
+  fw::ScenarioSpec spec = small_spec(fw::GraphFamily::kPowerLaw);
+  spec.fleet = 48;
+  spec.dynamic_share = 0.5;
+  const fw::ScenarioGenerator gen(spec);
+  std::size_t dynamic_count = 0;
+  for (std::size_t i = 0; i < spec.fleet; ++i) {
+    dynamic_count += gen.tenant(i).spec.kind == fe::SchedulerKind::kDynamicPrefixCode ? 1 : 0;
+  }
+  EXPECT_GT(dynamic_count, 0U);
+  EXPECT_LT(dynamic_count, spec.fleet);
+
+  // dynamic=0 leaves the catalogue exactly as before — no accidental drift
+  // in existing scenario expansions.
+  fw::ScenarioSpec plain = spec;
+  plain.dynamic_share = 0.0;
+  const fw::ScenarioGenerator plain_gen(plain);
+  for (std::size_t i = 0; i < spec.fleet; ++i) {
+    EXPECT_NE(plain_gen.tenant(i).spec.kind, fe::SchedulerKind::kDynamicPrefixCode);
+  }
+}
+
+TEST(WorkloadMutation, MutationCommandsArePureFunctions) {
+  fw::ScenarioSpec spec = small_spec(fw::GraphFamily::kGrid, 11);
+  spec.dynamic_share = 1.0;
+  spec.mutation = 0.5;
+  const fw::ScenarioGenerator a(spec);
+  const fw::ScenarioGenerator b(spec);
+  for (std::size_t slot = 0; slot < spec.fleet; ++slot) {
+    for (std::uint64_t round = 0; round < 4; ++round) {
+      EXPECT_EQ(a.mutation_commands(slot, round, 16), b.mutation_commands(slot, round, 16));
+    }
+  }
+  // Different rounds decide differently (the streams are not frozen).
+  bool diverged = false;
+  for (std::size_t slot = 0; slot < spec.fleet && !diverged; ++slot) {
+    diverged = a.mutation_commands(slot, 0, 16) != a.mutation_commands(slot, 1, 16);
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(WorkloadMutation, MutationRoundsAreDeterministicAcrossEngines) {
+  fw::ScenarioSpec spec = small_spec(fw::GraphFamily::kPowerLaw, 19);
+  spec.dynamic_share = 0.75;
+  spec.mutation = 0.5;
+  const fw::ScenarioGenerator gen(spec);
+  fe::Engine a({.shards = 2, .threads = 2});
+  fe::Engine b({.shards = 8, .threads = 1});
+  gen.populate(a);
+  gen.populate(b);
+  (void)a.step_all(32);
+  (void)b.step_all(32);
+  for (std::uint64_t round = 0; round < 3; ++round) {
+    const std::size_t applied_a = gen.mutation_round(a, round);
+    const std::size_t applied_b = gen.mutation_round(b, round);
+    EXPECT_EQ(applied_a, applied_b) << "round " << round;
+    EXPECT_GT(applied_a, 0U) << "round " << round;
+  }
+  // Identical mutation histories ⇒ byte-identical snapshots, shard layout
+  // and thread count notwithstanding.
+  EXPECT_EQ(a.snapshot(), b.snapshot());
+}
+
+TEST(WorkloadMutation, MutationRoundSkipsNonDynamicFleets) {
+  fw::ScenarioSpec spec = small_spec(fw::GraphFamily::kRing);
+  spec.dynamic_share = 0.0;
+  spec.mutation = 1.0;
+  const fw::ScenarioGenerator gen(spec);
+  fe::Engine eng;
+  gen.populate(eng);
+  EXPECT_EQ(gen.mutation_round(eng, 0), 0U);  // nothing dynamic to mutate
+}
+
+TEST(WorkloadMutation, InPlaceMutationPreservesTenantIdentity) {
+  // The point of the mutation path vs churn: the tenant object (and its
+  // stepped history) survives topology change.
+  fw::ScenarioSpec spec = small_spec(fw::GraphFamily::kPowerLaw, 3);
+  spec.dynamic_share = 1.0;
+  spec.mutation = 1.0;
+  const fw::ScenarioGenerator gen(spec);
+  fe::Engine eng;
+  gen.populate(eng);
+  (void)eng.step_all(16);
+  std::vector<std::shared_ptr<fe::Instance>> handles;
+  for (std::size_t i = 0; i < spec.fleet; ++i) {
+    handles.push_back(eng.find(gen.tenant_name(i)));
+  }
+  (void)gen.mutation_round(eng, 0);
+  for (std::size_t i = 0; i < spec.fleet; ++i) {
+    EXPECT_EQ(eng.find(gen.tenant_name(i)), handles[i]) << "slot " << i;
+    EXPECT_EQ(handles[i]->current_holiday(), 16U) << "slot " << i;
+  }
 }

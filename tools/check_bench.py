@@ -5,7 +5,21 @@ Compares a fresh benchmark run against a checked-in baseline and fails on a
 >Nx throughput regression (default 2x — wide enough to absorb runner-hardware
 variance, tight enough to catch a hot path falling off a cliff).  Can also
 assert a minimum speedup between two benchmarks of the *current* run, which
-is how the batched-vs-single-query acceptance ratio is enforced.
+is how the batched-vs-single-query and inplace-vs-recreate acceptance ratios
+are enforced.
+
+Benchmarks missing from the baseline (e.g. a freshly added binary whose
+baseline has not been regenerated yet) are *skipped with a warning*, never
+failed: a new benchmark must not brick the gate before its baseline lands.
+A missing baseline file is likewise a warning, not an error.
+
+Regenerate a baseline after an intentional perf change (from a Release
+build, so numbers are comparable to CI) with:
+
+  ./build/bench/bench_e18_query_pipeline --benchmark_min_time=0.05 \\
+      --benchmark_format=json > bench/baselines/bench_e18.json
+  ./build/bench/bench_e19_mutation --benchmark_min_time=0.3 \\
+      --benchmark_format=json > bench/baselines/bench_e19.json
 
 Usage:
   check_bench.py --current out.json [--baseline bench/baselines/bench_e18.json]
@@ -19,6 +33,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -61,7 +76,12 @@ def main() -> int:
 
     failures = []
 
-    if args.baseline:
+    if args.baseline and not os.path.exists(args.baseline):
+        print(
+            f"check_bench: WARNING — baseline file {args.baseline} does not exist; "
+            "no baseline, skipping regression gate (regen command in the file header)"
+        )
+    elif args.baseline:
         baseline = load_rates(args.baseline)
         shared = sorted(set(current) & set(baseline))
         if not shared:
@@ -80,7 +100,7 @@ def main() -> int:
                 f"baseline {baseline[name]:.3g}/s ({ratio:.2f}x)"
             )
         for name in sorted(set(current) - set(baseline)):
-            print(f"  NEW        {name}: {current[name]:.3g}/s (not in baseline)")
+            print(f"  WARNING    {name}: {current[name]:.3g}/s — no baseline, skipping")
 
     for fast, slow, ratio_text in args.min_speedup:
         want = float(ratio_text)
