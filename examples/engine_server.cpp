@@ -6,15 +6,25 @@
 // audits: the serving-layer view of the paper, schedules as long-lived
 // tenants answering membership queries in O(1).
 //
+// In workload mode the server then becomes a closed-loop multi-threaded
+// load generator for the `fhg::service` asynchronous front-end: `--clients`
+// threads submit the deterministic request stream (queries plus, when the
+// spec has `dynamic`/`mutation` tenants, in-place topology mutations) with
+// a bounded window each, the sharded service coalesces them into engine
+// batches, and a verification pass re-submits a sample through a fresh
+// service and compares every answer against the direct synchronous path.
+//
 // Exits nonzero when any sampled fairness audit violates its gap bound, the
-// snapshot restore round trip is not byte-identical, or the restored engine
-// answers a probe round differently from the original — so CI smoke steps
-// actually fail on a regression.
+// snapshot restore round trip is not byte-identical, the restored engine
+// answers a probe round differently from the original, or the service phase
+// loses a request or answers one differently from the direct path — so CI
+// smoke steps actually fail on a regression.
 //
 // Usage:
 //   engine_server [--scenario FILE | --workload SPEC | --fleet N]
 //                 [--steps N] [--queries N]
 //                 [--churn-rounds N] [--mutation-rounds N]
+//                 [--service-requests N] [--service-shards N] [--clients N]
 //                 [--threads N] [--shards N] [--snapshot FILE] [--seed S]
 //
 // Workload specs are `family[:key=value,...]` with families ring, grid,
@@ -38,6 +48,7 @@
 //   engine_server --scenario tenants.txt --snapshot state.fhgs
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -46,6 +57,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "fhg/analysis/table.hpp"
@@ -53,6 +65,7 @@
 #include "fhg/graph/generators.hpp"
 #include "fhg/graph/io.hpp"
 #include "fhg/parallel/rng.hpp"
+#include "fhg/service/service.hpp"
 #include "fhg/workload/scenario.hpp"
 
 namespace {
@@ -65,6 +78,7 @@ using Clock = std::chrono::steady_clock;
             << "usage: engine_server [--scenario FILE | --workload SPEC | --fleet N]\n"
             << "                     [--steps N] [--queries N]\n"
             << "                     [--churn-rounds N] [--mutation-rounds N]\n"
+            << "                     [--service-requests N] [--service-shards N] [--clients N]\n"
             << "                     [--threads N] [--shards N] [--snapshot FILE] [--seed S]\n"
             << "workload specs: family[:key=value,...], families: ring grid power-law\n"
             << "                random-geometric gnp\n"
@@ -75,6 +89,11 @@ using Clock = std::chrono::steady_clock;
             << "                       of the fleet; needs dynamic>0 tenants\n"
             << "  --churn-rounds N     whole-tenant replacement fallback for the `churn`\n"
             << "                       fraction of the fleet\n"
+            << "  --service-requests N closed-loop requests through the fhg::service\n"
+            << "                       front-end (default: --queries; 0 disables;\n"
+            << "                       workload mode only)\n"
+            << "  --service-shards N   service shard/worker count (default 4)\n"
+            << "  --clients N          load-generator client threads (default 4)\n"
             << "scenario lines: <name> <kind> <graph-spec> [seed]\n"
             << "kinds: round-robin phased-greedy prefix-code degree-bound fcfg\n"
             << "       dynamic-prefix-code\n";
@@ -179,6 +198,193 @@ void load_scenario(engine::Engine& eng, const std::string& path, std::uint64_t d
       usage("scenario line " + std::to_string(line_no) + ": " + e.what());
     }
   }
+}
+
+/// Closed-loop multi-threaded load generation through the `fhg::service`
+/// front-end: each client thread submits its own deterministic request
+/// stream with a bounded window of outstanding requests (callback flavor),
+/// the sharded service coalesces them into engine batches, and after the
+/// drain a verification pass re-submits a sample of pure queries (future
+/// flavor, fresh service) and compares every answer against the direct
+/// synchronous path.  Returns false when a request was lost, failed
+/// unexpectedly, or answered differently from the direct path.
+bool run_service_phase(engine::Engine& eng, const workload::ScenarioGenerator& generator,
+                       std::uint64_t requests, std::size_t shards, std::size_t clients) {
+  constexpr std::size_t kWindow = 256;  ///< outstanding requests per client
+  // Serve exactly `requests`: an even share per client, the last client
+  // absorbing the remainder.
+  const std::uint64_t total = std::max<std::uint64_t>(requests, clients);
+  const std::uint64_t per_client = total / clients;
+  const graph::NodeId nodes = generator.spec().nodes;
+
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> answered{0};
+  std::atomic<std::uint64_t> mutations_applied{0};
+  std::atomic<std::uint64_t> mutations_refused{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> failed{0};
+
+  service::Service service(eng, {.shards = shards});
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const std::uint64_t share =
+          c + 1 == clients ? total - per_client * (clients - 1) : per_client;
+      const auto stream = generator.request_stream(static_cast<std::size_t>(share), 1 + c);
+      std::atomic<std::uint64_t> outstanding{0};
+      const auto settle = [&](bool ok) {
+        completed.fetch_add(1, std::memory_order_relaxed);
+        if (!ok) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+        outstanding.fetch_sub(1, std::memory_order_acq_rel);
+      };
+      for (const workload::ServiceRequest& request : stream) {
+        while (outstanding.load(std::memory_order_acquire) >= kWindow) {
+          std::this_thread::yield();
+        }
+        const std::string name = generator.tenant_name(request.slot);
+        outstanding.fetch_add(1, std::memory_order_acq_rel);
+        for (;;) {
+          std::optional<service::Reject> reject;
+          switch (request.kind) {
+            case workload::ServiceRequest::Kind::kIsHappy:
+              reject = service.is_happy(name, request.node, request.holiday,
+                                        [&](service::Outcome<bool> outcome) {
+                                          if (outcome.ok() && *outcome.value) {
+                                            hits.fetch_add(1, std::memory_order_relaxed);
+                                          }
+                                          settle(outcome.ok());
+                                        });
+              break;
+            case workload::ServiceRequest::Kind::kNextGathering:
+              reject = service.next_gathering(
+                  name, request.node, request.holiday,
+                  [&](service::Outcome<std::uint64_t> outcome) {
+                    if (outcome.ok() && *outcome.value != engine::kNoGathering) {
+                      answered.fetch_add(1, std::memory_order_relaxed);
+                    }
+                    settle(outcome.ok());
+                  });
+              break;
+            case workload::ServiceRequest::Kind::kMutate:
+              // A refused mutation is not fatal: churn may have replaced the
+              // slot with a non-dynamic recipe since the stream was derived.
+              reject = service.apply_mutations(
+                  name, generator.mutation_commands(request.slot, request.mutation_round, nodes),
+                  [&](service::Outcome<engine::MutationResult> outcome) {
+                    if (outcome.ok()) {
+                      mutations_applied.fetch_add(outcome.value->applied,
+                                                  std::memory_order_relaxed);
+                    } else {
+                      mutations_refused.fetch_add(1, std::memory_order_relaxed);
+                    }
+                    settle(true);
+                  });
+              break;
+          }
+          if (!reject) {
+            break;  // admitted
+          }
+          if (*reject == service::Reject::kStopped) {
+            outstanding.fetch_sub(1, std::memory_order_acq_rel);
+            failed.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+          std::this_thread::yield();  // backpressure: closed loop waits and retries
+        }
+      }
+      while (outstanding.load(std::memory_order_acquire) > 0) {
+        std::this_thread::yield();
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  const double load_s = seconds_since(start);
+  service.drain();
+
+  std::cout << "service: " << total << " requests via " << clients << " clients x " << shards
+            << " shards in " << load_s << "s (" << static_cast<double>(total) / load_s
+            << " requests/sec), hit rate "
+            << static_cast<double>(hits.load()) / static_cast<double>(std::max<std::uint64_t>(total, 1))
+            << ", next-gathering answered " << answered.load() << ", mutation commands applied "
+            << mutations_applied.load() << " (" << mutations_refused.load()
+            << " batches refused)\n";
+
+  const service::ServiceMetrics metrics = service.metrics();
+  const service::ShardMetrics totals = metrics.totals();
+  analysis::Table shard_table({"shard", "accepted", "rej full", "batches", "mean batch",
+                               "queue high-water", "failed"});
+  for (std::size_t s = 0; s < metrics.shards.size(); ++s) {
+    const service::ShardMetrics& m = metrics.shards[s];
+    shard_table.row()
+        .add(s)
+        .add(m.accepted)
+        .add(m.rejected_full)
+        .add(m.batches)
+        .add(m.batches > 0 ? static_cast<double>(m.accepted) / static_cast<double>(m.batches)
+                           : 0.0,
+             1)
+        .add(m.queue_high_water)
+        .add(m.failed);
+  }
+  analysis::print_section(std::cout, "service shard metrics");
+  shard_table.print(std::cout);
+
+  bool ok = true;
+  if (completed.load() != totals.accepted) {
+    std::cerr << "engine_server: FAIL — service completed " << completed.load() << " of "
+              << totals.accepted << " accepted requests\n";
+    ok = false;
+  }
+  if (failed.load() != 0) {
+    std::cerr << "engine_server: FAIL — " << failed.load()
+              << " service requests failed or were dropped\n";
+    ok = false;
+  }
+
+  // Verification pass: a fresh sample of pure queries through a fresh
+  // service (future flavor), compared answer-by-answer against the direct
+  // synchronous path.  No mutations are in flight, so both must agree.
+  const auto sample = generator.request_stream(
+      static_cast<std::size_t>(std::min<std::uint64_t>(total, 5'000)), 424242);
+  service::Service checker(eng, {.shards = 2});
+  std::size_t verified = 0;
+  std::size_t mismatched = 0;
+  for (const workload::ServiceRequest& request : sample) {
+    if (request.kind == workload::ServiceRequest::Kind::kMutate) {
+      continue;
+    }
+    const std::string name = generator.tenant_name(request.slot);
+    if (request.kind == workload::ServiceRequest::Kind::kIsHappy) {
+      auto pending = checker.is_happy(name, request.node, request.holiday);
+      if (!pending.accepted() ||
+          pending.future.get() != eng.is_happy(name, request.node, request.holiday)) {
+        ++mismatched;
+      }
+    } else {
+      auto pending = checker.next_gathering(name, request.node, request.holiday);
+      const auto direct = eng.next_gathering(name, request.node, request.holiday);
+      if (!pending.accepted() ||
+          pending.future.get() != direct.value_or(engine::kNoGathering)) {
+        ++mismatched;
+      }
+    }
+    ++verified;
+  }
+  checker.drain();
+  std::cout << "service check: " << verified << " sampled answers "
+            << (mismatched == 0 ? "match" : "MISMATCH") << " the direct path\n";
+  if (mismatched != 0) {
+    std::cerr << "engine_server: FAIL — " << mismatched
+              << " service answers diverged from the direct path\n";
+    ok = false;
+  }
+  return ok;
 }
 
 }  // namespace
@@ -311,6 +517,17 @@ int main(int argc, char** argv) {
             << static_cast<double>(hits) / static_cast<double>(total)
             << ", next-gathering answered " << answered << "\n";
 
+  // Service phase: the same engine behind the sharded asynchronous
+  // front-end, driven closed-loop from multiple client threads.
+  bool service_ok = true;
+  const std::uint64_t service_requests = uint_option("service-requests", queries);
+  if (generator && service_requests > 0) {
+    service_ok = run_service_phase(
+        eng, *generator, service_requests,
+        static_cast<std::size_t>(uint_option("service-shards", 4)),
+        std::max<std::size_t>(1, static_cast<std::size_t>(uint_option("clients", 4))));
+  }
+
   // Fairness audits for a sample of tenants.  A violated gap bound is a
   // correctness failure and fails the run.
   const auto instances = eng.registry().all_sorted();
@@ -372,5 +589,5 @@ int main(int argc, char** argv) {
   if (!requery_ok) {
     std::cerr << "engine_server: FAIL — restored engine answers probes differently\n";
   }
-  return audits_ok && identical && requery_ok ? 0 : 1;
+  return audits_ok && identical && requery_ok && service_ok ? 0 : 1;
 }

@@ -41,21 +41,33 @@
 
 namespace fhg::engine {
 
+/// Construction-time sizing of an `Engine`.
 struct EngineOptions {
   std::size_t shards = 16;   ///< registry shard count
   std::size_t threads = 0;   ///< worker threads (0 = hardware concurrency)
 };
 
+/// The multi-tenant serving engine: a sharded registry of named scheduler
+/// instances, a worker pool advancing them in parallel, and the lock-free
+/// batched query pipeline.  Thread-safe throughout; see the member docs for
+/// the exact contract of each path.  The asynchronous front-end
+/// (`fhg::service::Service`) layers request queues and coalescing on top of
+/// this class without the engine knowing about it.
 class Engine {
  public:
+  /// Builds an empty engine: `options.shards` registry shards and a pool of
+  /// `options.threads` workers (0 means hardware concurrency).
   explicit Engine(EngineOptions options = {});
 
-  Engine(const Engine&) = delete;
-  Engine& operator=(const Engine&) = delete;
+  Engine(const Engine&) = delete;             ///< non-copyable (owns threads)
+  Engine& operator=(const Engine&) = delete;  ///< non-assignable
 
+  /// The options the engine was built with.
   [[nodiscard]] const EngineOptions& options() const noexcept { return options_; }
 
+  /// The underlying sharded instance registry.
   [[nodiscard]] InstanceRegistry& registry() noexcept { return registry_; }
+  /// Const view of the underlying sharded instance registry.
   [[nodiscard]] const InstanceRegistry& registry() const noexcept { return registry_; }
 
   /// Creates a named instance.  Throws on duplicate names or malformed specs.
@@ -69,6 +81,8 @@ class Engine {
   /// Removes an instance; returns false if absent.
   bool erase_instance(std::string_view name) { return registry_.erase(name); }
 
+  /// Number of registered instances (a racing snapshot; see
+  /// `InstanceRegistry::size`).
   [[nodiscard]] std::size_t num_instances() const { return registry_.size(); }
 
   /// Advances every instance by `n` holidays on the worker pool.

@@ -26,6 +26,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "fhg/engine/instance.hpp"
@@ -64,7 +65,10 @@ class QuerySnapshot {
   [[nodiscard]] std::size_t size() const noexcept { return instances_.size(); }
 
   /// Snapshot index of `name`; nullopt if the instance was not present when
-  /// the snapshot was taken.  O(log n) binary search over the sorted names.
+  /// the snapshot was taken.  O(1): the build indexes every name in a hash
+  /// map, so per-request name resolution (the `fhg::service` front-end
+  /// resolves each queued request exactly once) costs one hash, not a
+  /// binary search.
   [[nodiscard]] std::optional<std::uint32_t> id_of(std::string_view name) const;
 
   /// The instance at snapshot index `id` (shared ownership: stays valid even
@@ -72,6 +76,16 @@ class QuerySnapshot {
   [[nodiscard]] const std::shared_ptr<Instance>& instance(std::uint32_t id) const {
     return instances_[id];
   }
+
+  /// Name of the instance at snapshot index `id`.
+  [[nodiscard]] std::string_view name(std::uint32_t id) const { return names_[id]; }
+
+  /// Node count of instance `id` as captured at build time — the bound the
+  /// batch kernels validate probes against.  Batch-entry hook: callers that
+  /// coalesce independent requests (the service layer) pre-validate each
+  /// probe against this bound so one malformed request is rejected alone
+  /// instead of poisoning the whole batch with an exception.
+  [[nodiscard]] graph::NodeId num_nodes(std::uint32_t id) const { return num_nodes_[id]; }
 
   /// Answers `out[i] = is_happy(probes[i])` for every probe.  Periodic
   /// instances are answered lock-free from their period tables in sorted
@@ -93,9 +107,20 @@ class QuerySnapshot {
   /// validates every probe so the kernels can index unchecked.
   [[nodiscard]] std::vector<std::uint32_t> sorted_order(std::span<const Probe> probes) const;
 
+  /// Transparent hashing so `id_of` takes a string_view without allocating.
+  struct NameHash {
+    using is_transparent = void;
+    [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   std::uint64_t epoch_ = 0;
   std::vector<std::shared_ptr<Instance>> instances_;  ///< sorted by name
   std::vector<std::string_view> names_;               ///< views into instances_' names
+  /// name → snapshot index; keys view into instances_' names (stable: the
+  /// shared_ptrs above keep every instance alive for the snapshot's life).
+  std::unordered_map<std::string_view, std::uint32_t, NameHash, std::equal_to<>> ids_;
   /// Table *version* captured at build time, nullptr for aperiodic tenants.
   /// Shared ownership, not raw pointers: a dynamic tenant republishes its
   /// table on mutation, and this snapshot must keep serving the version it

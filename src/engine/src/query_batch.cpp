@@ -1,6 +1,5 @@
 #include "fhg/engine/query_batch.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 #include <string>
 
@@ -16,8 +15,11 @@ std::shared_ptr<const QuerySnapshot> QuerySnapshot::build(const InstanceRegistry
   snapshot->names_.reserve(snapshot->instances_.size());
   snapshot->tables_.reserve(snapshot->instances_.size());
   snapshot->num_nodes_.reserve(snapshot->instances_.size());
+  snapshot->ids_.reserve(snapshot->instances_.size());
   for (const auto& instance : snapshot->instances_) {
     snapshot->names_.push_back(instance->name());
+    snapshot->ids_.emplace(snapshot->names_.back(),
+                           static_cast<std::uint32_t>(snapshot->names_.size() - 1));
     snapshot->tables_.push_back(instance->period_table_shared());
     // Derive the probe-validation bound from the captured table itself, so a
     // mutation batch racing this build cannot let a probe index past the
@@ -30,11 +32,11 @@ std::shared_ptr<const QuerySnapshot> QuerySnapshot::build(const InstanceRegistry
 }
 
 std::optional<std::uint32_t> QuerySnapshot::id_of(std::string_view name) const {
-  const auto it = std::lower_bound(names_.begin(), names_.end(), name);
-  if (it == names_.end() || *it != name) {
+  const auto it = ids_.find(name);  // transparent: no temporary string
+  if (it == ids_.end()) {
     return std::nullopt;
   }
-  return static_cast<std::uint32_t>(it - names_.begin());
+  return it->second;
 }
 
 std::vector<std::uint32_t> QuerySnapshot::sorted_order(std::span<const Probe> probes) const {

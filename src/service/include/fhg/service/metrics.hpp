@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Plain-struct observability for the sharded service front-end.
+///
+/// Every shard of a `fhg::service::Service` tracks what flowed through it:
+/// how many requests were admitted or refused, how large the coalesced
+/// engine batches were, how long requests waited end to end, and how deep
+/// the queue ever got.  The structs here are deliberately plain — no atomics
+/// and no methods with side effects beyond their own fields — so a caller
+/// can snapshot them (`Service::metrics()`), diff two snapshots, ship them
+/// to any telemetry system, or print them with nothing but field access.
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fhg::service {
+
+/// A power-of-two bucketed histogram of unsigned values.
+///
+/// Bucket 0 counts the value 0; bucket `i > 0` counts values in
+/// `[2^(i-1), 2^i)`; the last bucket absorbs everything at or above
+/// `2^(kBuckets-2)`.  Recording is one `bit_width` and one increment, so the
+/// shard workers can afford it per batch and per request.
+struct Histogram {
+  /// Number of buckets (values up to ~2^18 resolve exactly; larger clamp).
+  static constexpr std::size_t kBuckets = 20;
+
+  /// Per-bucket observation counts.
+  std::array<std::uint64_t, kBuckets> buckets{};
+
+  /// The bucket `value` falls into.
+  [[nodiscard]] static constexpr std::size_t bucket_of(std::uint64_t value) noexcept {
+    const auto width = static_cast<std::size_t>(std::bit_width(value));
+    return width < kBuckets ? width : kBuckets - 1;
+  }
+
+  /// Inclusive lower bound of `bucket` (0, 1, 2, 4, 8, ...).
+  [[nodiscard]] static constexpr std::uint64_t bucket_floor(std::size_t bucket) noexcept {
+    return bucket == 0 ? 0 : std::uint64_t{1} << (bucket - 1);
+  }
+
+  /// Counts one observation of `value`.
+  constexpr void record(std::uint64_t value) noexcept { ++buckets[bucket_of(value)]; }
+
+  /// Total number of observations across all buckets.
+  [[nodiscard]] constexpr std::uint64_t total() const noexcept {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t count : buckets) {
+      sum += count;
+    }
+    return sum;
+  }
+
+  /// Adds every bucket of `other` into this histogram.
+  constexpr void merge(const Histogram& other) noexcept {
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      buckets[i] += other.buckets[i];
+    }
+  }
+};
+
+/// Counters for one shard of the service.
+///
+/// Admission counters (`accepted`, `rejected_*`, `queue_high_water`) are
+/// maintained by submitting threads; serving counters (`queries`,
+/// `next_gatherings`, `mutations`, `failed`, `batches`, the histograms) by
+/// the shard's worker.  `Service::metrics()` returns a consistent copy.
+struct ShardMetrics {
+  std::uint64_t accepted = 0;          ///< requests admitted to the queue
+  std::uint64_t rejected_full = 0;     ///< refused: queue at capacity
+  std::uint64_t rejected_stopped = 0;  ///< refused: service draining/stopped
+  std::uint64_t queries = 0;           ///< membership requests completed
+  std::uint64_t next_gatherings = 0;   ///< next-gathering requests completed
+  std::uint64_t mutations = 0;         ///< mutation batches applied
+  std::uint64_t failed = 0;            ///< requests completed with an error
+  std::uint64_t batches = 0;           ///< coalesced engine batch calls
+  std::uint64_t queue_high_water = 0;  ///< deepest queue ever observed
+  Histogram batch_size;                ///< requests per coalesced batch
+  Histogram latency_us;                ///< submit→completion latency (µs)
+
+  /// Accumulates `other` into this struct: counters add, the high-water mark
+  /// takes the max, histograms merge bucket-wise.
+  constexpr void merge(const ShardMetrics& other) noexcept {
+    accepted += other.accepted;
+    rejected_full += other.rejected_full;
+    rejected_stopped += other.rejected_stopped;
+    queries += other.queries;
+    next_gatherings += other.next_gatherings;
+    mutations += other.mutations;
+    failed += other.failed;
+    batches += other.batches;
+    queue_high_water =
+        queue_high_water > other.queue_high_water ? queue_high_water : other.queue_high_water;
+    batch_size.merge(other.batch_size);
+    latency_us.merge(other.latency_us);
+  }
+};
+
+/// A point-in-time copy of every shard's counters.
+struct ServiceMetrics {
+  /// One entry per shard, in shard order.
+  std::vector<ShardMetrics> shards;
+
+  /// Fleet-wide aggregate: counters summed, high-water maxed.
+  [[nodiscard]] ShardMetrics totals() const noexcept {
+    ShardMetrics sum;
+    for (const ShardMetrics& shard : shards) {
+      sum.merge(shard);
+    }
+    return sum;
+  }
+};
+
+}  // namespace fhg::service

@@ -1,0 +1,251 @@
+#pragma once
+
+/// \file service.hpp
+/// The sharded asynchronous request pipeline over `fhg::engine`.
+///
+/// `Engine` answers queries synchronously on the caller's thread; the fast
+/// path is the *batched* one (`query_batch` amortizes snapshot access and
+/// streams each period table with locality), but a front-end receiving one
+/// request at a time cannot use it directly.  `Service` closes that gap: it
+/// owns N shards, each with a bounded MPSC request queue and one worker
+/// thread that drains whatever has accumulated and coalesces it into
+/// `QuerySnapshot::query_batch` / `next_gathering_batch` calls — so callers
+/// submitting single requests transparently get batched throughput.
+///
+/// Requests address instances by *name* and are routed to a shard by name
+/// hash (`std::hash<std::string_view>`, the same function
+/// `InstanceRegistry` shards by), which gives the pipeline its ordering
+/// unit: everything about one instance lands in one queue.  Mutation
+/// requests ride the same queue as queries, so a shard's mutations
+/// serialize against that shard's queries in submission order — no global
+/// lock anywhere.  Queries submitted after a mutation of the same instance
+/// observe the post-mutation schedule; other shards proceed independently.
+///
+/// Admission control is a bounded queue with a typed reject: when a shard
+/// is at capacity the submission returns `Reject::kQueueFull` immediately
+/// (backpressure the caller can act on) instead of blocking or buffering
+/// without bound.  `drain()` stops admission, completes everything already
+/// accepted, and joins the workers; the destructor drains too.
+///
+/// ```
+/// fhg::service::Service service(engine, {.shards = 4});
+/// auto pending = service.is_happy("acme", 7, 123456789);     // future flavor
+/// if (pending.accepted()) { bool happy = pending.future.get(); }
+/// service.next_gathering("acme", 7, 0, [](auto outcome) {    // callback flavor
+///   if (outcome.ok()) use(*outcome.value);
+/// });
+/// service.drain();                                           // graceful shutdown
+/// ```
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "fhg/dynamic/mutation.hpp"
+#include "fhg/engine/engine.hpp"
+#include "fhg/graph/graph.hpp"
+#include "fhg/service/metrics.hpp"
+
+namespace fhg::service {
+
+/// Why a submission was refused at admission.
+enum class Reject : std::uint8_t {
+  kQueueFull = 0,  ///< the owning shard's queue is at capacity (backpressure)
+  kStopped = 1,    ///< the service is draining or has been drained
+};
+
+/// Human-readable reject name ("queue-full", "stopped").
+[[nodiscard]] std::string_view reject_name(Reject reject);
+
+/// What one asynchronously served request produced (callback flavor).
+template <typename T>
+struct Outcome {
+  std::optional<T> value;  ///< engaged iff the request succeeded
+  std::string error;       ///< failure description; empty on success
+
+  /// True iff the request succeeded and `value` is engaged.
+  [[nodiscard]] bool ok() const noexcept { return value.has_value(); }
+};
+
+/// Completion callback, invoked exactly once on the shard's worker thread.
+/// Callbacks must be fast and must not re-enter the service with a blocking
+/// wait (the worker they would wait on is the one running them).
+template <typename T>
+using Callback = std::function<void(Outcome<T>)>;
+
+/// A future-flavor submission: accepted with a future, or rejected typed.
+template <typename T>
+struct Submission {
+  /// Fulfilled by the shard worker iff `accepted()`.  After a reject the
+  /// future holds a broken promise — check `accepted()` before waiting.
+  std::future<T> future;
+  std::optional<Reject> reject;  ///< engaged iff the request was refused
+
+  /// True iff the request was admitted and `future` will be fulfilled.
+  [[nodiscard]] bool accepted() const noexcept { return !reject.has_value(); }
+};
+
+/// Construction-time sizing of a `Service`.
+struct ServiceOptions {
+  std::size_t shards = 4;             ///< shard (worker/queue) count, min 1
+  std::size_t queue_capacity = 4096;  ///< per-shard admission bound, min 1
+  /// Spawn the shard workers in the constructor.  `false` defers to
+  /// `start()`: submissions are admitted (up to capacity) but nothing is
+  /// served — useful for tests that need a deterministically full queue.
+  bool start = true;
+};
+
+/// The sharded asynchronous serving front-end.  Thread-safe: any thread may
+/// submit; each accepted request is completed exactly once (future fulfilled
+/// or callback invoked) by its shard's worker, including during `drain()`.
+class Service {
+ public:
+  /// Builds the front-end over `engine` (not owned; must outlive the
+  /// service) and, unless `options.start` is false, spawns one worker
+  /// thread per shard.
+  explicit Service(engine::Engine& engine, ServiceOptions options = {});
+
+  /// Drains: refuses new work, completes accepted work, joins workers.
+  ~Service();
+
+  Service(const Service&) = delete;             ///< non-copyable (owns threads)
+  Service& operator=(const Service&) = delete;  ///< non-assignable
+
+  /// The options the service was built with (after clamping to minimums).
+  [[nodiscard]] const ServiceOptions& options() const noexcept { return options_; }
+
+  /// Number of shards (== worker threads once started).
+  [[nodiscard]] std::size_t num_shards() const noexcept { return shards_.size(); }
+
+  /// The shard `instance` routes to: `std::hash<std::string_view>` modulo
+  /// the shard count — the same hash `InstanceRegistry` shards by, so one
+  /// instance's requests always serialize through one queue.
+  [[nodiscard]] std::size_t shard_of(std::string_view instance) const noexcept {
+    return std::hash<std::string_view>{}(instance) % shards_.size();
+  }
+
+  /// Spawns the shard workers if they are not running yet (no-op when the
+  /// service was constructed with `options.start == true`).
+  void start();
+
+  /// Graceful shutdown: stops admission (subsequent submissions return
+  /// `Reject::kStopped`), serves every request already accepted, then joins
+  /// the workers.  Starts them first if the service never started, so
+  /// deferred-start services still complete their backlog.  Idempotent.
+  void drain();
+
+  /// True once `drain()` has begun: new submissions will be refused.
+  [[nodiscard]] bool stopped() const noexcept {
+    return stopped_.load(std::memory_order_acquire);
+  }
+
+  /// Asynchronous membership query: is `v` happy on holiday `t` of
+  /// `instance`?  Future flavor; failures (unknown instance, node out of
+  /// range, replay limit) surface as `std::runtime_error` on the future.
+  [[nodiscard]] Submission<bool> is_happy(std::string instance, graph::NodeId v, std::uint64_t t);
+
+  /// Callback-flavor membership query: `done` receives the `Outcome` on the
+  /// shard worker.  Returns the reject reason if refused (then `done` is
+  /// never invoked), nullopt if accepted.
+  std::optional<Reject> is_happy(std::string instance, graph::NodeId v, std::uint64_t t,
+                                 Callback<bool> done);
+
+  /// Asynchronous next-gathering query: first happy holiday of `v` strictly
+  /// after `after`, or `engine::kNoGathering` when an aperiodic search gives
+  /// up.  Future flavor.
+  [[nodiscard]] Submission<std::uint64_t> next_gathering(std::string instance, graph::NodeId v,
+                                                         std::uint64_t after);
+
+  /// Callback-flavor next-gathering query.
+  std::optional<Reject> next_gathering(std::string instance, graph::NodeId v, std::uint64_t after,
+                                       Callback<std::uint64_t> done);
+
+  /// Asynchronous topology mutation of a dynamic instance.  Routed through
+  /// the owning shard's queue, so it serializes against that shard's queries
+  /// in submission order; queries of the same instance submitted afterwards
+  /// observe the post-mutation schedule.  Future flavor.
+  [[nodiscard]] Submission<engine::MutationResult> apply_mutations(
+      std::string instance, std::vector<dynamic::MutationCommand> commands);
+
+  /// Callback-flavor topology mutation.
+  std::optional<Reject> apply_mutations(std::string instance,
+                                        std::vector<dynamic::MutationCommand> commands,
+                                        Callback<engine::MutationResult> done);
+
+  /// A consistent copy of every shard's counters (each shard's admission and
+  /// serving counters are read under that shard's lock).
+  [[nodiscard]] ServiceMetrics metrics() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// What a queued request asks for.
+  enum class Kind : std::uint8_t { kIsHappy, kNextGathering, kMutate };
+
+  /// How a queued request reports back — exactly one alternative is active.
+  using Completion =
+      std::variant<std::promise<bool>, Callback<bool>, std::promise<std::uint64_t>,
+                   Callback<std::uint64_t>, std::promise<engine::MutationResult>,
+                   Callback<engine::MutationResult>>;
+
+  struct Request {
+    Kind kind = Kind::kIsHappy;
+    std::string instance;
+    graph::NodeId node = 0;
+    std::uint64_t holiday = 0;
+    std::vector<dynamic::MutationCommand> commands;  ///< Kind::kMutate only
+    Clock::time_point enqueued;
+    Completion done;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Request> queue;
+    bool stop = false;  ///< set under `mutex` by drain()
+    ShardMetrics metrics;
+    std::thread worker;
+  };
+
+  /// Admission: route to the owning shard, reject typed when stopped or
+  /// full, otherwise enqueue and wake the worker if it may be sleeping.
+  std::optional<Reject> enqueue(Request request);
+
+  /// Per-shard worker: drain the queue, coalesce query runs into batch
+  /// calls, serialize mutations between them; exit once stopped and empty.
+  void worker_loop(Shard& shard);
+
+  /// Serves one drained batch in submission order.
+  void process(Shard& shard, std::deque<Request>& batch);
+
+  /// Coalesces `run` (query requests only) into batched snapshot calls.
+  void flush_queries(std::vector<Request*>& run, ShardMetrics& local);
+
+  /// Applies one mutation request through the engine.
+  void serve_mutation(Request& request, ShardMetrics& local);
+
+  /// Completes `request` with `outcome`, recording latency as of `now`.
+  template <typename T>
+  void finish(Request& request, Outcome<T> outcome, Clock::time_point now, ShardMetrics& local);
+
+  engine::Engine& engine_;
+  ServiceOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::mutex lifecycle_mutex_;  ///< serializes start()/drain()
+  bool started_ = false;        ///< guarded by lifecycle_mutex_
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace fhg::service

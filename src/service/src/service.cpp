@@ -1,0 +1,344 @@
+#include "fhg/service/service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "fhg/engine/query_batch.hpp"
+
+namespace fhg::service {
+
+std::string_view reject_name(Reject reject) {
+  switch (reject) {
+    case Reject::kQueueFull:
+      return "queue-full";
+    case Reject::kStopped:
+      return "stopped";
+  }
+  return "unknown";
+}
+
+Service::Service(engine::Engine& engine, ServiceOptions options)
+    : engine_(engine), options_(options) {
+  options_.shards = std::max<std::size_t>(options_.shards, 1);
+  options_.queue_capacity = std::max<std::size_t>(options_.queue_capacity, 1);
+  shards_.reserve(options_.shards);
+  for (std::size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  if (options_.start) {
+    start();
+  }
+}
+
+Service::~Service() { drain(); }
+
+void Service::start() {
+  const std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  for (const auto& shard : shards_) {
+    shard->worker = std::thread([this, &shard = *shard] { worker_loop(shard); });
+  }
+}
+
+void Service::drain() {
+  // Deferred-start services still owe completions for everything accepted:
+  // bring the workers up so the backlog is served before the stop lands.
+  start();
+  // Joining under the lifecycle lock makes drain idempotent *and* blocking:
+  // a second caller waits until the first drain has finished.  Workers never
+  // take this lock, so there is no deadlock path.
+  const std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
+  for (const auto& shard : shards_) {
+    {
+      // The stop flag must move under the shard mutex: a worker that just
+      // found the queue empty re-checks the flag before sleeping, so the
+      // wakeup below cannot slip between its check and its wait.
+      const std::lock_guard<std::mutex> shard_lock(shard->mutex);
+      shard->stop = true;
+    }
+    shard->cv.notify_all();
+  }
+  for (const auto& shard : shards_) {
+    if (shard->worker.joinable()) {
+      shard->worker.join();
+    }
+  }
+}
+
+std::optional<Reject> Service::enqueue(Request request) {
+  Shard& shard = *shards_[shard_of(request.instance)];
+  // Stamped outside the lock: the clock read must not lengthen the critical
+  // section every submitter serializes on.
+  request.enqueued = Clock::now();
+  bool wake = false;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.stop || stopped_.load(std::memory_order_acquire)) {
+      ++shard.metrics.rejected_stopped;
+      return Reject::kStopped;
+    }
+    if (shard.queue.size() >= options_.queue_capacity) {
+      ++shard.metrics.rejected_full;
+      return Reject::kQueueFull;
+    }
+    wake = shard.queue.empty();
+    shard.queue.push_back(std::move(request));
+    ++shard.metrics.accepted;
+    shard.metrics.queue_high_water =
+        std::max<std::uint64_t>(shard.metrics.queue_high_water, shard.queue.size());
+  }
+  if (wake) {
+    // Only the empty→non-empty transition can find the worker asleep; every
+    // other push happens while it is still draining earlier work.
+    shard.cv.notify_one();
+  }
+  return std::nullopt;
+}
+
+void Service::worker_loop(Shard& shard) {
+  for (;;) {
+    std::deque<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(shard.mutex);
+      shard.cv.wait(lock, [&] { return shard.stop || !shard.queue.empty(); });
+      if (shard.queue.empty()) {
+        return;  // stop requested and nothing left: graceful exit
+      }
+      batch.swap(shard.queue);
+    }
+    process(shard, batch);
+  }
+}
+
+void Service::process(Shard& shard, std::deque<Request>& batch) {
+  // Serving counters accumulate locally and merge under the shard lock once
+  // per drained batch, so submitters never contend on per-request updates.
+  ShardMetrics local;
+  std::vector<Request*> run;
+  run.reserve(batch.size());
+  for (Request& request : batch) {
+    if (request.kind == Kind::kMutate) {
+      // Preserve submission order around the mutation: queries queued before
+      // it are answered against the pre-mutation schedule, queries after it
+      // against the republished one (each flush takes a fresh snapshot).
+      flush_queries(run, local);
+      serve_mutation(request, local);
+    } else {
+      run.push_back(&request);
+    }
+  }
+  flush_queries(run, local);
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.metrics.merge(local);
+  }
+}
+
+template <typename T>
+void Service::finish(Request& request, Outcome<T> outcome, Clock::time_point now,
+                     ShardMetrics& local) {
+  const auto waited = std::chrono::duration_cast<std::chrono::microseconds>(
+      now - request.enqueued);
+  local.latency_us.record(static_cast<std::uint64_t>(waited.count()));
+  if (!outcome.ok()) {
+    ++local.failed;
+  }
+  if (auto* promise = std::get_if<std::promise<T>>(&request.done)) {
+    if (outcome.ok()) {
+      promise->set_value(std::move(*outcome.value));
+    } else {
+      promise->set_exception(std::make_exception_ptr(std::runtime_error(outcome.error)));
+    }
+    return;
+  }
+  auto& callback = std::get<Callback<T>>(request.done);
+  if (callback) {
+    callback(std::move(outcome));
+  }
+}
+
+void Service::flush_queries(std::vector<Request*>& run, ShardMetrics& local) {
+  if (run.empty()) {
+    return;
+  }
+  const auto snapshot = engine_.query_snapshot();
+  ++local.batches;
+  local.batch_size.record(run.size());
+  // Resolve and validate each request individually, so one unknown instance
+  // or out-of-range node fails that request alone instead of poisoning the
+  // whole coalesced batch (the kernels throw on any invalid probe).
+  const auto fail_query = [&](Request& request, std::string error) {
+    const auto now = Clock::now();
+    if (request.kind == Kind::kIsHappy) {
+      finish(request, Outcome<bool>{.value = std::nullopt, .error = std::move(error)}, now,
+             local);
+      ++local.queries;
+    } else {
+      finish(request, Outcome<std::uint64_t>{.value = std::nullopt, .error = std::move(error)},
+             now, local);
+      ++local.next_gatherings;
+    }
+  };
+  std::vector<engine::Probe> member_probes;
+  std::vector<Request*> member_requests;
+  std::vector<engine::Probe> next_probes;
+  std::vector<Request*> next_requests;
+  for (Request* request : run) {
+    const auto id = snapshot->id_of(request->instance);
+    if (!id) {
+      fail_query(*request, "no instance named '" + request->instance + "'");
+      continue;
+    }
+    if (request->node >= snapshot->num_nodes(*id)) {
+      fail_query(*request, "node " + std::to_string(request->node) +
+                               " out of range for instance '" + request->instance + "'");
+      continue;
+    }
+    const engine::Probe probe{.instance = *id, .node = request->node,
+                              .holiday = request->holiday};
+    if (request->kind == Kind::kIsHappy) {
+      member_probes.push_back(probe);
+      member_requests.push_back(request);
+    } else {
+      next_probes.push_back(probe);
+      next_requests.push_back(request);
+    }
+  }
+  if (!member_probes.empty()) {
+    std::vector<std::uint8_t> answers(member_probes.size());
+    try {
+      snapshot->query_batch(member_probes, answers);
+      const auto now = Clock::now();
+      for (std::size_t i = 0; i < member_requests.size(); ++i) {
+        finish(*member_requests[i], Outcome<bool>{.value = answers[i] != 0, .error = {}}, now,
+               local);
+      }
+    } catch (const std::exception&) {
+      // A batch kernel can fail as a whole (e.g. an aperiodic tenant hitting
+      // its replay limit).  Fall back to serving each request singly via the
+      // engine so only the offenders fail.
+      const auto now = Clock::now();
+      for (Request* request : member_requests) {
+        try {
+          const bool happy = engine_.is_happy(request->instance, request->node, request->holiday);
+          finish(*request, Outcome<bool>{.value = happy, .error = {}}, now, local);
+        } catch (const std::exception& single) {
+          finish(*request, Outcome<bool>{.value = std::nullopt, .error = single.what()}, now,
+                 local);
+        }
+      }
+    }
+    local.queries += member_requests.size();
+  }
+  if (!next_probes.empty()) {
+    std::vector<std::uint64_t> answers(next_probes.size());
+    try {
+      snapshot->next_gathering_batch(next_probes, answers);
+      const auto now = Clock::now();
+      for (std::size_t i = 0; i < next_requests.size(); ++i) {
+        finish(*next_requests[i], Outcome<std::uint64_t>{.value = answers[i], .error = {}}, now,
+               local);
+      }
+    } catch (const std::exception&) {
+      const auto now = Clock::now();
+      for (Request* request : next_requests) {
+        try {
+          const auto next =
+              engine_.next_gathering(request->instance, request->node, request->holiday);
+          finish(*request,
+                 Outcome<std::uint64_t>{.value = next.value_or(engine::kNoGathering), .error = {}},
+                 now, local);
+        } catch (const std::exception& single) {
+          finish(*request, Outcome<std::uint64_t>{.value = std::nullopt, .error = single.what()},
+                 now, local);
+        }
+      }
+    }
+    local.next_gatherings += next_requests.size();
+  }
+  run.clear();
+}
+
+void Service::serve_mutation(Request& request, ShardMetrics& local) {
+  ++local.mutations;
+  try {
+    const engine::MutationResult result = engine_.apply_mutations(request.instance,
+                                                                  request.commands);
+    finish(request, Outcome<engine::MutationResult>{.value = result, .error = {}}, Clock::now(),
+           local);
+  } catch (const std::exception& e) {
+    finish(request, Outcome<engine::MutationResult>{.value = std::nullopt, .error = e.what()},
+           Clock::now(), local);
+  }
+}
+
+Submission<bool> Service::is_happy(std::string instance, graph::NodeId v, std::uint64_t t) {
+  std::promise<bool> promise;
+  Submission<bool> submission{.future = promise.get_future(), .reject = std::nullopt};
+  submission.reject = enqueue(Request{.kind = Kind::kIsHappy, .instance = std::move(instance),
+                                      .node = v, .holiday = t, .commands = {}, .enqueued = {},
+                                      .done = std::move(promise)});
+  return submission;
+}
+
+std::optional<Reject> Service::is_happy(std::string instance, graph::NodeId v, std::uint64_t t,
+                                        Callback<bool> done) {
+  return enqueue(Request{.kind = Kind::kIsHappy, .instance = std::move(instance), .node = v,
+                         .holiday = t, .commands = {}, .enqueued = {}, .done = std::move(done)});
+}
+
+Submission<std::uint64_t> Service::next_gathering(std::string instance, graph::NodeId v,
+                                                  std::uint64_t after) {
+  std::promise<std::uint64_t> promise;
+  Submission<std::uint64_t> submission{.future = promise.get_future(), .reject = std::nullopt};
+  submission.reject = enqueue(Request{.kind = Kind::kNextGathering,
+                                      .instance = std::move(instance), .node = v,
+                                      .holiday = after, .commands = {}, .enqueued = {},
+                                      .done = std::move(promise)});
+  return submission;
+}
+
+std::optional<Reject> Service::next_gathering(std::string instance, graph::NodeId v,
+                                              std::uint64_t after, Callback<std::uint64_t> done) {
+  return enqueue(Request{.kind = Kind::kNextGathering, .instance = std::move(instance), .node = v,
+                         .holiday = after, .commands = {}, .enqueued = {},
+                         .done = std::move(done)});
+}
+
+Submission<engine::MutationResult> Service::apply_mutations(
+    std::string instance, std::vector<dynamic::MutationCommand> commands) {
+  std::promise<engine::MutationResult> promise;
+  Submission<engine::MutationResult> submission{.future = promise.get_future(),
+                                                .reject = std::nullopt};
+  submission.reject = enqueue(Request{.kind = Kind::kMutate, .instance = std::move(instance),
+                                      .node = 0, .holiday = 0, .commands = std::move(commands),
+                                      .enqueued = {}, .done = std::move(promise)});
+  return submission;
+}
+
+std::optional<Reject> Service::apply_mutations(std::string instance,
+                                               std::vector<dynamic::MutationCommand> commands,
+                                               Callback<engine::MutationResult> done) {
+  return enqueue(Request{.kind = Kind::kMutate, .instance = std::move(instance), .node = 0,
+                         .holiday = 0, .commands = std::move(commands), .enqueued = {},
+                         .done = std::move(done)});
+}
+
+ServiceMetrics Service::metrics() const {
+  ServiceMetrics out;
+  out.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    out.shards.push_back(shard->metrics);
+  }
+  return out;
+}
+
+}  // namespace fhg::service

@@ -101,6 +101,28 @@ struct ProbeRound {
   std::vector<engine::Probe> next_gathering;  ///< for `next_gathering_batch`
 };
 
+/// One request of a deterministic service-layer stream, addressed by tenant
+/// *slot* (resolve the name via `tenant_name(slot)`).  This is the shape
+/// `fhg::service::Service` consumes: name-addressed single requests, which
+/// the service coalesces into engine batches — so load generators and
+/// benchmarks drive the asynchronous front-end with byte-identical streams.
+struct ServiceRequest {
+  /// Which service entry point the request exercises.
+  enum class Kind : std::uint8_t {
+    kIsHappy = 0,        ///< membership query
+    kNextGathering = 1,  ///< next-gathering query
+    kMutate = 2,         ///< topology mutation batch (dynamic slots only)
+  };
+
+  Kind kind = Kind::kIsHappy;
+  std::size_t slot = 0;              ///< tenant slot; name via `tenant_name`
+  graph::NodeId node = 0;            ///< the family asked about (queries)
+  std::uint64_t holiday = 0;         ///< queried holiday / exclusive lower bound
+  std::uint64_t mutation_round = 0;  ///< kMutate: round fed to `mutation_commands`
+
+  friend bool operator==(const ServiceRequest&, const ServiceRequest&) = default;
+};
+
 class ScenarioGenerator {
  public:
   explicit ScenarioGenerator(ScenarioSpec spec);
@@ -119,6 +141,11 @@ class ScenarioGenerator {
   /// replacement bumps the slot's generation, re-deriving graph + recipe
   /// from fresh sub-seeds).
   [[nodiscard]] TenantSpec tenant_at(std::size_t i, std::uint64_t generation) const;
+
+  /// The scheduler recipe slot `i` runs at `generation` — `tenant_at`
+  /// without building the graph.  Cheap (a few hash mixes), so consumers
+  /// can ask per request, e.g. whether a rolled slot is dynamic.
+  [[nodiscard]] engine::InstanceSpec recipe_at(std::size_t i, std::uint64_t generation) const;
 
   /// Creates the whole generation-0 fleet in `eng`.
   void populate(engine::Engine& eng) const;
@@ -139,6 +166,18 @@ class ScenarioGenerator {
   /// updated in place (size `fleet`, all zeros initially).
   std::size_t churn_round(engine::Engine& eng, std::uint64_t round,
                           std::vector<std::uint64_t>& generations) const;
+
+  /// Deterministic service request stream `round` with `count` requests: a
+  /// `mutation` fraction of the rolls attempt a mutation batch (kept only
+  /// when the rolled slot's generation-0 recipe is dynamic — otherwise the
+  /// roll degrades to a query), a `mix.next_gathering` fraction of the rest
+  /// are next-gathering probes, the remainder membership probes.  Query
+  /// nodes are drawn below `spec.nodes`, which every family's tenant graph
+  /// meets or exceeds, so requests stay valid whatever the live topology.
+  /// Pure function of `(spec, count, round)` — every consumer (engine
+  /// server, benches, tests) derives identical streams.
+  [[nodiscard]] std::vector<ServiceRequest> request_stream(std::size_t count,
+                                                           std::uint64_t round = 0) const;
 
   /// The seeded marry/divorce/add-node command mix slot `i` receives at
   /// mutation round `round`, with edge endpoints drawn from `[0, nodes)` —

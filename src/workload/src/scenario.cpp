@@ -213,7 +213,7 @@ graph::Graph ScenarioGenerator::tenant_graph(std::uint64_t tenant_seed) const {
   throw std::invalid_argument("ScenarioGenerator: unknown graph family");
 }
 
-TenantSpec ScenarioGenerator::tenant_at(std::size_t i, std::uint64_t generation) const {
+engine::InstanceSpec ScenarioGenerator::recipe_at(std::size_t i, std::uint64_t generation) const {
   const std::uint64_t tenant_seed =
       parallel::mix_keys(spec_.seed, parallel::mix_keys(i, generation));
   engine::InstanceSpec recipe;
@@ -237,7 +237,12 @@ TenantSpec ScenarioGenerator::tenant_at(std::size_t i, std::uint64_t generation)
                                                    engine::SchedulerKind::kRoundRobin};
     recipe.kind = kPeriodic[(tenant_seed >> 8) % std::size(kPeriodic)];
   }
-  return TenantSpec{.name = tenant_name(i), .graph = tenant_graph(tenant_seed),
+  return recipe;
+}
+
+TenantSpec ScenarioGenerator::tenant_at(std::size_t i, std::uint64_t generation) const {
+  engine::InstanceSpec recipe = recipe_at(i, generation);
+  return TenantSpec{.name = tenant_name(i), .graph = tenant_graph(recipe.seed),
                     .spec = std::move(recipe)};
 }
 
@@ -293,6 +298,36 @@ std::size_t ScenarioGenerator::churn_round(engine::Engine& eng, std::uint64_t ro
     (void)eng.create_instance(std::move(t.name), std::move(t.graph), std::move(t.spec));
   }
   return slots.size();
+}
+
+std::vector<ServiceRequest> ScenarioGenerator::request_stream(std::size_t count,
+                                                              std::uint64_t round) const {
+  Rng rng(spec_.seed, parallel::mix_keys(0x73657276, round));  // "serv"
+  std::vector<ServiceRequest> out;
+  out.reserve(count);
+  for (std::size_t q = 0; q < count; ++q) {
+    ServiceRequest request;
+    request.slot = static_cast<std::size_t>(rng.uniform_below(spec_.fleet));
+    if (spec_.mutation > 0.0 && rng.uniform_real() < spec_.mutation &&
+        recipe_at(request.slot, 0).kind == engine::SchedulerKind::kDynamicPrefixCode) {
+      request.kind = ServiceRequest::Kind::kMutate;
+      // A distinct command round per request keeps the marry/divorce mixes
+      // from repeating within one stream.
+      request.mutation_round = parallel::mix_keys(round, q);
+      out.push_back(request);
+      continue;
+    }
+    request.node = static_cast<graph::NodeId>(rng.uniform_below(spec_.nodes));
+    if (rng.uniform_real() < spec_.mix.next_gathering) {
+      request.kind = ServiceRequest::Kind::kNextGathering;
+      request.holiday = rng.uniform_below(spec_.horizon);  // `after` may be 0
+    } else {
+      request.kind = ServiceRequest::Kind::kIsHappy;
+      request.holiday = 1 + rng.uniform_below(spec_.horizon);
+    }
+    out.push_back(request);
+  }
+  return out;
 }
 
 std::vector<dynamic::MutationCommand> ScenarioGenerator::mutation_commands(

@@ -20,6 +20,10 @@ build, so numbers are comparable to CI) with:
       --benchmark_format=json > bench/baselines/bench_e18.json
   ./build/bench/bench_e19_mutation --benchmark_min_time=0.3 \\
       --benchmark_format=json > bench/baselines/bench_e19.json
+  ./build/bench/bench_e20_service --benchmark_min_time=0.05 \\
+      --benchmark_format=json > bench/baselines/bench_e20.json
+
+(Newer Google Benchmark wants a unit suffix: --benchmark_min_time=0.05s.)
 
 Usage:
   check_bench.py --current out.json [--baseline bench/baselines/bench_e18.json]
