@@ -33,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "fhg/api/protocol.hpp"
 #include "fhg/engine/engine.hpp"
 #include "fhg/service/service.hpp"
 #include "fhg/workload/scenario.hpp"
@@ -48,24 +49,20 @@ constexpr std::size_t kStreamLength = 65'536;  ///< requests per iteration
 constexpr std::size_t kClients = 2;
 constexpr std::size_t kWindow = 2048;          ///< outstanding requests per client
 
-/// One fully built fleet plus the prebuilt request stream (requests and
-/// resolved tenant names), shared by every strategy so they serve an
-/// identical workload.
+/// One fully built fleet plus the prebuilt request stream (name-addressed
+/// `api::Request` values), shared by every strategy so they serve an
+/// identical workload.  The acceptance stream is query-only, so each
+/// request is either `IsHappyRequest` or `NextGatheringRequest`.
 struct Fleet {
   explicit Fleet(const workload::ScenarioSpec& spec) : generator(spec) {
     engine = std::make_unique<engine::Engine>(engine::EngineOptions{.shards = 64, .threads = 0});
     generator.populate(*engine);
     requests = generator.request_stream(kStreamLength, 0);
-    names.reserve(requests.size());
-    for (const workload::ServiceRequest& request : requests) {
-      names.push_back(generator.tenant_name(request.slot));
-    }
   }
 
   workload::ScenarioGenerator generator;
   std::unique_ptr<engine::Engine> engine;
-  std::vector<workload::ServiceRequest> requests;
-  std::vector<std::string> names;  ///< names[i] resolves requests[i].slot
+  std::vector<api::Request> requests;
 };
 
 Fleet& fleet_for(const std::string& scenario) {
@@ -87,13 +84,13 @@ void BM_Direct(benchmark::State& state, const std::string& scenario) {
   Fleet& fleet = fleet_for(scenario);
   std::uint64_t hits = 0;
   for (auto _ : state) {
-    for (std::size_t i = 0; i < fleet.requests.size(); ++i) {
-      const workload::ServiceRequest& request = fleet.requests[i];
-      if (request.kind == workload::ServiceRequest::Kind::kNextGathering) {
-        hits += fleet.engine->next_gathering(fleet.names[i], request.node, request.holiday)
+    for (const api::Request& request : fleet.requests) {
+      if (const auto* next = std::get_if<api::NextGatheringRequest>(&request)) {
+        hits += fleet.engine->next_gathering(next->instance, next->node, next->after)
                     .value_or(engine::kNoGathering) != engine::kNoGathering;
       } else {
-        hits += fleet.engine->is_happy(fleet.names[i], request.node, request.holiday);
+        const auto& happy = std::get<api::IsHappyRequest>(request);
+        hits += fleet.engine->is_happy(happy.instance, happy.node, happy.holiday);
       }
     }
   }
@@ -119,15 +116,15 @@ void BM_Service(benchmark::State& state, const std::string& scenario, std::size_
         const std::size_t end = c + 1 == kClients ? fleet.requests.size() : begin + per_client;
         std::atomic<std::uint64_t> outstanding{0};
         for (std::size_t i = begin; i < end; ++i) {
-          const workload::ServiceRequest& request = fleet.requests[i];
+          const api::Request& request = fleet.requests[i];
           while (outstanding.load(std::memory_order_acquire) >= kWindow) {
             std::this_thread::yield();
           }
           outstanding.fetch_add(1, std::memory_order_acq_rel);
           for (;;) {
             std::optional<service::Reject> reject;
-            if (request.kind == workload::ServiceRequest::Kind::kNextGathering) {
-              reject = service.next_gathering(fleet.names[i], request.node, request.holiday,
+            if (const auto* next = std::get_if<api::NextGatheringRequest>(&request)) {
+              reject = service.next_gathering(next->instance, next->node, next->after,
                                               [&](service::Outcome<std::uint64_t> outcome) {
                                                 if (!outcome.ok()) {
                                                   failures.fetch_add(1,
@@ -137,7 +134,8 @@ void BM_Service(benchmark::State& state, const std::string& scenario, std::size_
                                                                       std::memory_order_acq_rel);
                                               });
             } else {
-              reject = service.is_happy(fleet.names[i], request.node, request.holiday,
+              const auto& happy = std::get<api::IsHappyRequest>(request);
+              reject = service.is_happy(happy.instance, happy.node, happy.holiday,
                                         [&](service::Outcome<bool> outcome) {
                                           if (!outcome.ok()) {
                                             failures.fetch_add(1, std::memory_order_relaxed);

@@ -1,0 +1,158 @@
+// E21 — one protocol, two transports: the unified `fhg::api` client driving
+// an identical fleet through the in-process transport vs a real TCP loopback
+// socket (google-benchmark; emits machine-readable JSON for the CI perf
+// gate).
+//
+// Both strategies serve the same deterministic `fhg::workload` request
+// stream through the same sharded `fhg::service` pipeline; the only variable
+// is the wire:
+//
+//   inproc-N — `api::Client` over `InProcessTransport`: encode → decode →
+//              shard FIFO → coalesced engine batch → encode → decode, all in
+//              one process.  This is the codec + service overhead an
+//              embedded front-end pays.
+//   socket-N — the same frames over TCP loopback into a `SocketServer`,
+//              one connection per client thread, synchronous roundtrips.
+//              This adds two kernel crossings and TCP framing per request —
+//              the floor for a networked deployment.
+//
+// The CI gate (tools/check_bench.py against bench/baselines/bench_e21.json)
+// holds both within the standard 2x regression bound; the in-process rate is
+// the one that must keep pace with the PR 4 service numbers, since it is the
+// same pipeline plus the codec.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fhg/api/client.hpp"
+#include "fhg/api/protocol.hpp"
+#include "fhg/api/socket.hpp"
+#include "fhg/api/transport.hpp"
+#include "fhg/engine/engine.hpp"
+#include "fhg/service/service.hpp"
+#include "fhg/workload/scenario.hpp"
+
+namespace {
+
+using namespace fhg;
+
+constexpr std::size_t kStreamLength = 16'384;  ///< requests per iteration
+constexpr std::size_t kClients = 4;            ///< client threads (connections)
+constexpr std::size_t kServiceShards = 4;
+
+/// One fully built fleet plus the prebuilt request stream, shared by both
+/// strategies so they serve an identical workload.
+struct Fleet {
+  explicit Fleet(const workload::ScenarioSpec& spec) : generator(spec) {
+    engine = std::make_unique<engine::Engine>(engine::EngineOptions{.shards = 64, .threads = 0});
+    generator.populate(*engine);
+    requests = generator.request_stream(kStreamLength, 0);
+  }
+
+  workload::ScenarioGenerator generator;
+  std::unique_ptr<engine::Engine> engine;
+  std::vector<api::Request> requests;
+};
+
+Fleet& fleet_for(const std::string& scenario) {
+  static std::map<std::string, std::unique_ptr<Fleet>> cache;
+  auto& slot = cache[scenario];
+  if (!slot) {
+    const auto spec = workload::parse_scenario(scenario);
+    if (!spec) {
+      throw std::invalid_argument("bench_e21: bad scenario '" + scenario + "'");
+    }
+    slot = std::make_unique<Fleet>(*spec);
+  }
+  return *slot;
+}
+
+/// Drives the fleet's stream through `kClients` concurrent clients, each
+/// with its own transport from `make_transport`.  Aborts the benchmark on
+/// any failed request (the stream is valid by construction).
+template <typename MakeTransport>
+void run_clients(benchmark::State& state, Fleet& fleet, MakeTransport make_transport) {
+  std::atomic<std::uint64_t> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      // Contiguous slice per client; the last client absorbs the remainder.
+      const std::size_t per_client = fleet.requests.size() / kClients;
+      const std::size_t begin = c * per_client;
+      const std::size_t end = c + 1 == kClients ? fleet.requests.size() : begin + per_client;
+      api::Client client(make_transport());
+      for (std::size_t i = begin; i < end; ++i) {
+        if (!client.call(fleet.requests[i]).ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) {
+    client.join();
+  }
+  if (failures.load() != 0) {
+    state.SkipWithError("request failed on a valid stream");
+  }
+}
+
+void BM_InProcess(benchmark::State& state, const std::string& scenario) {
+  Fleet& fleet = fleet_for(scenario);
+  for (auto _ : state) {
+    service::Service service(*fleet.engine, {.shards = kServiceShards});
+    run_clients(state, fleet,
+                [&service] { return std::make_unique<api::InProcessTransport>(service); });
+    service.drain();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * fleet.requests.size()));
+}
+
+void BM_Socket(benchmark::State& state, const std::string& scenario) {
+  Fleet& fleet = fleet_for(scenario);
+  for (auto _ : state) {
+    service::Service service(*fleet.engine, {.shards = kServiceShards});
+    api::SocketServer server(service, {});
+    run_clients(state, fleet, [&server] {
+      return std::make_unique<api::SocketTransport>(server.host(), server.port());
+    });
+    server.stop();
+    service.drain();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * fleet.requests.size()));
+}
+
+/// Acceptance configuration: 2k periodic tenants, query-only stream — small
+/// enough for CI runners, large enough that coalescing matters.
+const char* kAcceptance = "power-law:fleet=2000,nodes=48,aperiodic=0,horizon=1024";
+
+void register_all() {
+  // Wall-clock rates: the work happens on client and shard-worker threads.
+  benchmark::RegisterBenchmark("inproc-4/acceptance-2k", [](benchmark::State& s) {
+    BM_InProcess(s, kAcceptance);
+  })->UseRealTime();
+  benchmark::RegisterBenchmark("socket-4/acceptance-2k", [](benchmark::State& s) {
+    BM_Socket(s, kAcceptance);
+  })->UseRealTime();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

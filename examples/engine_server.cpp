@@ -7,12 +7,14 @@
 // tenants answering membership queries in O(1).
 //
 // In workload mode the server then becomes a closed-loop multi-threaded
-// load generator for the `fhg::service` asynchronous front-end: `--clients`
-// threads submit the deterministic request stream (queries plus, when the
-// spec has `dynamic`/`mutation` tenants, in-place topology mutations) with
-// a bounded window each, the sharded service coalesces them into engine
-// batches, and a verification pass re-submits a sample through a fresh
-// service and compares every answer against the direct synchronous path.
+// load generator for the unified `fhg::api` protocol: `--clients` threads
+// each drive an `api::Client` over an `InProcessTransport` wrapping the
+// sharded `fhg::service` front-end, so every request round-trips the full
+// wire codec (encode → decode → shard FIFO → coalesced engine batch →
+// encode → decode) exactly as a TCP client's would — see `fhg_serve` for
+// the socket twin of this loop.  A verification pass then re-submits a
+// sample through a fresh service and compares every answer against the
+// direct synchronous path.
 //
 // Exits nonzero when any sampled fairness audit violates its gap bound, the
 // snapshot restore round trip is not byte-identical, the restored engine
@@ -61,6 +63,9 @@
 #include <vector>
 
 #include "fhg/analysis/table.hpp"
+#include "fhg/api/client.hpp"
+#include "fhg/api/protocol.hpp"
+#include "fhg/api/transport.hpp"
 #include "fhg/engine/engine.hpp"
 #include "fhg/graph/generators.hpp"
 #include "fhg/graph/io.hpp"
@@ -200,14 +205,16 @@ void load_scenario(engine::Engine& eng, const std::string& path, std::uint64_t d
   }
 }
 
-/// Closed-loop multi-threaded load generation through the `fhg::service`
-/// front-end: each client thread submits its own deterministic request
-/// stream with a bounded window of outstanding requests (callback flavor),
-/// the sharded service coalesces them into engine batches, and after the
-/// drain a verification pass re-submits a sample of pure queries (future
-/// flavor, fresh service) and compares every answer against the direct
-/// synchronous path.  Returns false when a request was lost, failed
-/// unexpectedly, or answered differently from the direct path.
+/// Closed-loop multi-threaded load generation through the unified protocol:
+/// each client thread submits its deterministic `api::Request` stream into
+/// `Service::handle` with a bounded window of outstanding requests, so the
+/// shard workers actually accumulate queues to coalesce and the typed
+/// `kQueueFull` backpressure/retry path stays exercised.  After the drain a
+/// verification pass re-submits a sample of pure queries through an
+/// `api::Client` over `InProcessTransport` (the full wire-codec path) and
+/// compares every answer against the direct synchronous path.  Returns
+/// false when a request failed unexpectedly or answered differently from
+/// the direct path.
 bool run_service_phase(engine::Engine& eng, const workload::ScenarioGenerator& generator,
                        std::uint64_t requests, std::size_t shards, std::size_t clients) {
   constexpr std::size_t kWindow = 256;  ///< outstanding requests per client
@@ -215,7 +222,6 @@ bool run_service_phase(engine::Engine& eng, const workload::ScenarioGenerator& g
   // absorbing the remainder.
   const std::uint64_t total = std::max<std::uint64_t>(requests, clients);
   const std::uint64_t per_client = total / clients;
-  const graph::NodeId nodes = generator.spec().nodes;
 
   std::atomic<std::uint64_t> hits{0};
   std::atomic<std::uint64_t> answered{0};
@@ -234,63 +240,47 @@ bool run_service_phase(engine::Engine& eng, const workload::ScenarioGenerator& g
           c + 1 == clients ? total - per_client * (clients - 1) : per_client;
       const auto stream = generator.request_stream(static_cast<std::size_t>(share), 1 + c);
       std::atomic<std::uint64_t> outstanding{0};
-      const auto settle = [&](bool ok) {
-        completed.fetch_add(1, std::memory_order_relaxed);
-        if (!ok) {
-          failed.fetch_add(1, std::memory_order_relaxed);
-        }
-        outstanding.fetch_sub(1, std::memory_order_acq_rel);
-      };
-      for (const workload::ServiceRequest& request : stream) {
+      for (const api::Request& request : stream) {
         while (outstanding.load(std::memory_order_acquire) >= kWindow) {
           std::this_thread::yield();
         }
-        const std::string name = generator.tenant_name(request.slot);
+        const bool is_mutation = std::holds_alternative<api::ApplyMutationsRequest>(request);
         outstanding.fetch_add(1, std::memory_order_acq_rel);
         for (;;) {
-          std::optional<service::Reject> reject;
-          switch (request.kind) {
-            case workload::ServiceRequest::Kind::kIsHappy:
-              reject = service.is_happy(name, request.node, request.holiday,
-                                        [&](service::Outcome<bool> outcome) {
-                                          if (outcome.ok() && *outcome.value) {
-                                            hits.fetch_add(1, std::memory_order_relaxed);
-                                          }
-                                          settle(outcome.ok());
-                                        });
-              break;
-            case workload::ServiceRequest::Kind::kNextGathering:
-              reject = service.next_gathering(
-                  name, request.node, request.holiday,
-                  [&](service::Outcome<std::uint64_t> outcome) {
-                    if (outcome.ok() && *outcome.value != engine::kNoGathering) {
-                      answered.fetch_add(1, std::memory_order_relaxed);
-                    }
-                    settle(outcome.ok());
-                  });
-              break;
-            case workload::ServiceRequest::Kind::kMutate:
-              // A refused mutation is not fatal: churn may have replaced the
-              // slot with a non-dynamic recipe since the stream was derived.
-              reject = service.apply_mutations(
-                  name, generator.mutation_commands(request.slot, request.mutation_round, nodes),
-                  [&](service::Outcome<engine::MutationResult> outcome) {
-                    if (outcome.ok()) {
-                      mutations_applied.fetch_add(outcome.value->applied,
-                                                  std::memory_order_relaxed);
-                    } else {
-                      mutations_refused.fetch_add(1, std::memory_order_relaxed);
-                    }
-                    settle(true);
-                  });
-              break;
-          }
-          if (!reject) {
-            break;  // admitted
-          }
-          if (*reject == service::Reject::kStopped) {
+          // `kQueueFull` responses are delivered synchronously on this
+          // thread before `handle` returns, so `queue_full` is safe to read
+          // right after; accepted requests complete later on the shard
+          // worker, whose callback path touches only the long-lived atomics
+          // and the by-value `is_mutation` flag.
+          bool queue_full = false;
+          service.handle(request, [&hits, &answered, &mutations_applied, &mutations_refused,
+                                   &completed, &failed, &outstanding, &queue_full,
+                                   is_mutation](api::Response response) {
+            if (response.status.code == api::StatusCode::kQueueFull) {
+              queue_full = true;  // synchronous reject: retry without settling
+              return;
+            }
+            completed.fetch_add(1, std::memory_order_relaxed);
+            if (const auto* happy = std::get_if<api::IsHappyResponse>(&response.payload)) {
+              hits.fetch_add(happy->happy ? 1 : 0, std::memory_order_relaxed);
+            } else if (const auto* next =
+                           std::get_if<api::NextGatheringResponse>(&response.payload)) {
+              answered.fetch_add(next->holiday != engine::kNoGathering ? 1 : 0,
+                                 std::memory_order_relaxed);
+            } else if (const auto* mutated =
+                           std::get_if<api::ApplyMutationsResponse>(&response.payload)) {
+              mutations_applied.fetch_add(mutated->applied, std::memory_order_relaxed);
+            } else if (!response.ok() && is_mutation) {
+              // A refused mutation is not fatal: churn may have replaced
+              // the slot with a non-dynamic recipe since the stream was
+              // derived.
+              mutations_refused.fetch_add(1, std::memory_order_relaxed);
+            } else if (!response.ok()) {
+              failed.fetch_add(1, std::memory_order_relaxed);
+            }
             outstanding.fetch_sub(1, std::memory_order_acq_rel);
-            failed.fetch_add(1, std::memory_order_relaxed);
+          });
+          if (!queue_full) {
             break;
           }
           std::this_thread::yield();  // backpressure: closed loop waits and retries
@@ -307,9 +297,9 @@ bool run_service_phase(engine::Engine& eng, const workload::ScenarioGenerator& g
   const double load_s = seconds_since(start);
   service.drain();
 
-  std::cout << "service: " << total << " requests via " << clients << " clients x " << shards
-            << " shards in " << load_s << "s (" << static_cast<double>(total) / load_s
-            << " requests/sec), hit rate "
+  std::cout << "service: " << total << " protocol requests via " << clients << " clients x "
+            << shards << " shards in " << load_s << "s ("
+            << static_cast<double>(total) / load_s << " requests/sec), hit rate "
             << static_cast<double>(hits.load()) / static_cast<double>(std::max<std::uint64_t>(total, 1))
             << ", next-gathering answered " << answered.load() << ", mutation commands applied "
             << mutations_applied.load() << " (" << mutations_refused.load()
@@ -348,31 +338,29 @@ bool run_service_phase(engine::Engine& eng, const workload::ScenarioGenerator& g
   }
 
   // Verification pass: a fresh sample of pure queries through a fresh
-  // service (future flavor), compared answer-by-answer against the direct
-  // synchronous path.  No mutations are in flight, so both must agree.
+  // service, compared answer-by-answer against the direct synchronous path.
+  // No mutations are in flight, so both must agree.
   const auto sample = generator.request_stream(
       static_cast<std::size_t>(std::min<std::uint64_t>(total, 5'000)), 424242);
   service::Service checker(eng, {.shards = 2});
+  api::Client check_client(std::make_unique<api::InProcessTransport>(checker));
   std::size_t verified = 0;
   std::size_t mismatched = 0;
-  for (const workload::ServiceRequest& request : sample) {
-    if (request.kind == workload::ServiceRequest::Kind::kMutate) {
-      continue;
-    }
-    const std::string name = generator.tenant_name(request.slot);
-    if (request.kind == workload::ServiceRequest::Kind::kIsHappy) {
-      auto pending = checker.is_happy(name, request.node, request.holiday);
-      if (!pending.accepted() ||
-          pending.future.get() != eng.is_happy(name, request.node, request.holiday)) {
+  for (const api::Request& request : sample) {
+    if (const auto* happy = std::get_if<api::IsHappyRequest>(&request)) {
+      const auto served = check_client.is_happy(happy->instance, happy->node, happy->holiday);
+      if (!served.ok() ||
+          served.value != eng.is_happy(happy->instance, happy->node, happy->holiday)) {
+        ++mismatched;
+      }
+    } else if (const auto* next = std::get_if<api::NextGatheringRequest>(&request)) {
+      const auto served = check_client.next_gathering(next->instance, next->node, next->after);
+      const auto direct = eng.next_gathering(next->instance, next->node, next->after);
+      if (!served.ok() || served.value != direct.value_or(engine::kNoGathering)) {
         ++mismatched;
       }
     } else {
-      auto pending = checker.next_gathering(name, request.node, request.holiday);
-      const auto direct = eng.next_gathering(name, request.node, request.holiday);
-      if (!pending.accepted() ||
-          pending.future.get() != direct.value_or(engine::kNoGathering)) {
-        ++mismatched;
-      }
+      continue;  // mutations are not re-applied during verification
     }
     ++verified;
   }

@@ -1,0 +1,449 @@
+// fhg_serve — the fhg scheduling system as a network service, plus the
+// matching load generator: the two halves engine_server's in-process service
+// phase splits into once a real wire is involved.
+//
+// Three modes:
+//
+//   serve     Build a deterministic `fhg::workload` fleet, put the sharded
+//             `fhg::service` pipeline in front of it, and listen for
+//             `fhg::api` protocol frames on TCP.  Runs until SIGINT/SIGTERM
+//             (or --duration elapses).  With --port 0 the kernel picks an
+//             ephemeral port; --port-file publishes whatever was bound so
+//             scripts can connect without racing the listener.
+//
+//   load      Drive a running server: --clients threads each open their own
+//             connection (`api::SocketTransport` + `api::Client`) and submit
+//             the deterministic request stream for the same workload spec —
+//             queries plus, when the spec has dynamic/mutation tenants,
+//             in-place topology mutations.  Exits nonzero when any request
+//             fails unexpectedly (refused mutations on churned slots are
+//             expected and only counted).
+//
+//   loopback  The CI divergence gate, self-contained in one process: builds
+//             two identical fleets, serves one over a real TCP loopback
+//             socket and the other through the in-process transport, drives
+//             both with identical request streams, and byte-compares every
+//             encoded response frame — "one protocol, two transports" made
+//             falsifiable.  Then hammers the socket server from --clients
+//             concurrent connections for completeness.  Exits nonzero on
+//             any divergence or unexpected failure.
+//
+// Usage:
+//   fhg_serve serve    [--host H] [--port P] [--port-file PATH]
+//                      [--workload SPEC | --fleet N] [--steps N]
+//                      [--shards N] [--threads N] [--service-shards N]
+//                      [--duration SECS] [--seed S]
+//   fhg_serve load     --connect HOST:PORT [--workload SPEC | --fleet N]
+//                      [--requests N] [--clients N] [--round R] [--seed S]
+//   fhg_serve loopback [--workload SPEC | --fleet N] [--steps N]
+//                      [--requests N] [--clients N] [--service-shards N]
+//                      [--seed S]
+//
+// Workload specs are `family[:key=value,...]` exactly as in engine_server;
+// the load generator must be given the *same* spec the server was started
+// with, or its tenant names will miss.
+//
+// Examples:
+//   fhg_serve serve --workload power-law:fleet=1000 --port 7421 &
+//   fhg_serve load --connect 127.0.0.1:7421 --workload power-law:fleet=1000
+//   fhg_serve loopback --workload power-law:fleet=300,dynamic=0.3,mutation=0.1
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fhg/api/client.hpp"
+#include "fhg/api/codec.hpp"
+#include "fhg/api/protocol.hpp"
+#include "fhg/api/socket.hpp"
+#include "fhg/api/transport.hpp"
+#include "fhg/engine/engine.hpp"
+#include "fhg/service/service.hpp"
+#include "fhg/workload/scenario.hpp"
+
+namespace {
+
+using namespace fhg;
+using Clock = std::chrono::steady_clock;
+
+[[noreturn]] void usage(const std::string& error) {
+  std::cerr << "fhg_serve: " << error << "\n"
+            << "usage: fhg_serve serve    [--host H] [--port P] [--port-file PATH]\n"
+            << "                          [--workload SPEC | --fleet N] [--steps N]\n"
+            << "                          [--shards N] [--threads N] [--service-shards N]\n"
+            << "                          [--duration SECS] [--seed S]\n"
+            << "       fhg_serve load     --connect HOST:PORT [--workload SPEC | --fleet N]\n"
+            << "                          [--requests N] [--clients N] [--round R] [--seed S]\n"
+            << "       fhg_serve loopback [--workload SPEC | --fleet N] [--steps N]\n"
+            << "                          [--requests N] [--clients N] [--service-shards N]\n"
+            << "                          [--seed S]\n"
+            << "workload specs: family[:key=value,...] as in engine_server\n";
+  std::exit(2);
+}
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// `--key value` option map over `argv[first..]`.
+std::map<std::string, std::string> parse_options(int argc, char** argv, int first) {
+  std::map<std::string, std::string> options;
+  for (int i = first; i + 1 < argc; i += 2) {
+    const std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      usage("expected an option, got '" + key + "'");
+    }
+    options[key.substr(2)] = argv[i + 1];
+  }
+  return options;
+}
+
+std::uint64_t uint_option(std::map<std::string, std::string>& options, const std::string& key,
+                          std::uint64_t fallback) {
+  return options.count(key) ? std::strtoull(options[key].c_str(), nullptr, 10) : fallback;
+}
+
+/// The workload spec shared by all three modes: an explicit scenario string,
+/// or the default power-law family sized by --fleet.
+workload::ScenarioSpec workload_spec(std::map<std::string, std::string>& options,
+                                     std::uint64_t steps) {
+  auto spec =
+      workload::parse_scenario(options.count("workload") ? options["workload"] : "power-law");
+  if (!spec) {
+    usage("bad workload spec '" + options["workload"] + "'");
+  }
+  if (options.count("fleet")) {
+    spec->fleet = static_cast<std::size_t>(uint_option(options, "fleet", 1000));
+  }
+  if (options["workload"].find("seed=") == std::string::npos) {
+    spec->seed = uint_option(options, "seed", 1);
+  }
+  if (options["workload"].find("horizon=") == std::string::npos) {
+    spec->horizon = std::max<std::uint64_t>(steps, 1);
+  }
+  return *spec;
+}
+
+/// Builds and steps one fleet.
+std::unique_ptr<engine::Engine> build_fleet(const workload::ScenarioGenerator& generator,
+                                            std::size_t shards, std::size_t threads,
+                                            std::uint64_t steps) {
+  auto engine = std::make_unique<engine::Engine>(
+      engine::EngineOptions{.shards = shards, .threads = threads});
+  generator.populate(*engine);
+  (void)engine->step_all(steps);
+  return engine;
+}
+
+/// Per-request tallies of one client's pass over a stream.
+struct LoadTally {
+  std::uint64_t completed = 0;
+  std::uint64_t hits = 0;                ///< membership answers that were happy
+  std::uint64_t answered = 0;            ///< next-gatherings that found a holiday
+  std::uint64_t mutations_applied = 0;   ///< mutation commands that changed topology
+  std::uint64_t mutations_refused = 0;   ///< refused batches (churned slots: expected)
+  std::uint64_t failed = 0;              ///< unexpected failures (gate to zero)
+};
+
+/// Drives one request stream through one client, tallying outcomes.
+LoadTally drive(api::Client& client, const std::vector<api::Request>& stream) {
+  LoadTally tally;
+  for (const api::Request& request : stream) {
+    const api::Response response = client.call(request);
+    ++tally.completed;
+    if (const auto* happy = std::get_if<api::IsHappyResponse>(&response.payload)) {
+      tally.hits += happy->happy ? 1 : 0;
+    } else if (const auto* next = std::get_if<api::NextGatheringResponse>(&response.payload)) {
+      tally.answered += next->holiday != engine::kNoGathering ? 1 : 0;
+    } else if (const auto* mutated =
+                   std::get_if<api::ApplyMutationsResponse>(&response.payload)) {
+      tally.mutations_applied += mutated->applied;
+    } else if (!response.ok() && std::holds_alternative<api::ApplyMutationsRequest>(request)) {
+      ++tally.mutations_refused;  // churned to a non-dynamic recipe: expected
+    } else if (!response.ok()) {
+      ++tally.failed;
+    }
+  }
+  return tally;
+}
+
+void merge(LoadTally& into, const LoadTally& from) {
+  into.completed += from.completed;
+  into.hits += from.hits;
+  into.answered += from.answered;
+  into.mutations_applied += from.mutations_applied;
+  into.mutations_refused += from.mutations_refused;
+  into.failed += from.failed;
+}
+
+void print_tally(const std::string& label, const LoadTally& tally, double elapsed_s) {
+  std::cout << label << ": " << tally.completed << " requests in " << elapsed_s << "s ("
+            << static_cast<double>(tally.completed) / elapsed_s << " requests/sec), "
+            << tally.hits << " happy, " << tally.answered << " next-gatherings answered, "
+            << tally.mutations_applied << " mutation commands applied ("
+            << tally.mutations_refused << " batches refused), " << tally.failed
+            << " unexpected failures\n";
+}
+
+/// Multi-threaded load over a transport factory: `clients` threads, each
+/// with its own client and stream round.  Returns the merged tally.
+template <typename MakeTransport>
+LoadTally fan_out(const workload::ScenarioGenerator& generator, std::uint64_t requests,
+                  std::size_t clients, std::uint64_t base_round, MakeTransport make_transport) {
+  const std::uint64_t total = std::max<std::uint64_t>(requests, clients);
+  const std::uint64_t per_client = total / clients;
+  std::vector<LoadTally> tallies(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const std::uint64_t share =
+          c + 1 == clients ? total - per_client * (clients - 1) : per_client;
+      const auto stream =
+          generator.request_stream(static_cast<std::size_t>(share), base_round + c);
+      try {
+        api::Client client(make_transport());
+        tallies[c] = drive(client, stream);
+      } catch (const std::exception& e) {
+        // e.g. the connection could not be established: the whole share
+        // counts as failed instead of tearing the process down.
+        std::cerr << "fhg_serve: client " << c << ": " << e.what() << "\n";
+        tallies[c].failed += share;
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  LoadTally total_tally;
+  for (const LoadTally& tally : tallies) {
+    merge(total_tally, tally);
+  }
+  return total_tally;
+}
+
+// ------------------------------------------------------------------- serve --
+
+int run_serve(std::map<std::string, std::string> options) {
+  // Block the shutdown signals *before* any thread exists (engine pool,
+  // service shards, socket accept loop): every thread inherits the mask, so
+  // SIGINT/SIGTERM can only ever be consumed by the sigwait below instead of
+  // killing a worker with the default action.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  const std::uint64_t steps = uint_option(options, "steps", 128);
+  const workload::ScenarioGenerator generator(workload_spec(options, steps));
+  const auto build_start = Clock::now();
+  auto engine = build_fleet(
+      generator, static_cast<std::size_t>(uint_option(options, "shards", 32)),
+      static_cast<std::size_t>(uint_option(options, "threads", 0)), steps);
+  std::cout << "fhg_serve: fleet " << workload::scenario_name(generator.spec()) << " ("
+            << engine->num_instances() << " instances, " << seconds_since(build_start)
+            << "s to build)\n";
+
+  service::Service service(
+      *engine,
+      {.shards = static_cast<std::size_t>(uint_option(options, "service-shards", 4))});
+  api::SocketServerOptions socket_options;
+  if (options.count("host")) {
+    socket_options.host = options["host"];
+  }
+  socket_options.port = static_cast<std::uint16_t>(uint_option(options, "port", 0));
+  api::SocketServer server(service, socket_options);
+  std::cout << "fhg_serve: listening on " << server.host() << ":" << server.port()
+            << " (protocol v" << api::kProtocolVersion << ", " << service.num_shards()
+            << " service shards)\n"
+            << std::flush;
+  if (options.count("port-file")) {
+    std::ofstream out(options["port-file"]);
+    out << server.port() << "\n";
+  }
+
+  if (options.count("duration")) {
+    // The shutdown signals are blocked in every thread, so plain sleeping
+    // would make the server uninterruptible for the whole duration; wait
+    // *on the signals* with a deadline instead.
+    const auto deadline = Clock::now() +
+                          std::chrono::seconds(uint_option(options, "duration", 0));
+    for (;;) {
+      const auto left =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(deadline - Clock::now());
+      if (left <= std::chrono::nanoseconds::zero()) {
+        break;
+      }
+      timespec wait{};
+      wait.tv_sec = static_cast<time_t>(left.count() / 1'000'000'000);
+      wait.tv_nsec = static_cast<long>(left.count() % 1'000'000'000);
+      const int caught = sigtimedwait(&signals, nullptr, &wait);
+      if (caught > 0) {
+        std::cout << "fhg_serve: signal " << caught << ", shutting down\n";
+        break;
+      }
+      if (errno != EAGAIN && errno != EINTR) {
+        break;
+      }
+    }
+  } else {
+    // Foreground or backgrounded alike: park until SIGINT/SIGTERM.
+    int caught = 0;
+    sigwait(&signals, &caught);
+    std::cout << "fhg_serve: signal " << caught << ", shutting down\n";
+  }
+  server.stop();
+  service.drain();
+  std::cout << "fhg_serve: served " << server.connections_accepted() << " connections, "
+            << service.metrics().totals().accepted << " accepted requests\n";
+  return 0;
+}
+
+// -------------------------------------------------------------------- load --
+
+int run_load(std::map<std::string, std::string> options) {
+  if (!options.count("connect")) {
+    usage("load mode needs --connect HOST:PORT");
+  }
+  const std::string target = options["connect"];
+  const auto colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    usage("--connect wants HOST:PORT, got '" + target + "'");
+  }
+  const std::string host = target.substr(0, colon);
+  const auto port = static_cast<std::uint16_t>(
+      std::strtoul(target.substr(colon + 1).c_str(), nullptr, 10));
+
+  // --steps mirrors the server's flag so the derived horizon (and hence the
+  // request stream) matches what the server was started with.
+  const workload::ScenarioGenerator generator(
+      workload_spec(options, uint_option(options, "steps", 128)));
+  const std::uint64_t requests = uint_option(options, "requests", 100'000);
+  const auto clients =
+      std::max<std::size_t>(1, static_cast<std::size_t>(uint_option(options, "clients", 4)));
+  const std::uint64_t base_round = uint_option(options, "round", 1);
+
+  const auto start = Clock::now();
+  const LoadTally tally = fan_out(generator, requests, clients, base_round, [&] {
+    return std::make_unique<api::SocketTransport>(host, port);
+  });
+  print_tally("load (" + std::to_string(clients) + " connections to " + target + ")", tally,
+              seconds_since(start));
+  if (tally.failed != 0) {
+    std::cerr << "fhg_serve: FAIL — " << tally.failed << " requests failed unexpectedly\n";
+    return 1;
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------- loopback --
+
+int run_loopback(std::map<std::string, std::string> options) {
+  const std::uint64_t steps = uint_option(options, "steps", 64);
+  const workload::ScenarioSpec spec = workload_spec(options, steps);
+  const workload::ScenarioGenerator generator(spec);
+  const auto service_shards =
+      static_cast<std::size_t>(uint_option(options, "service-shards", 4));
+  const std::uint64_t requests = uint_option(options, "requests", 20'000);
+  const auto clients =
+      std::max<std::size_t>(1, static_cast<std::size_t>(uint_option(options, "clients", 4)));
+
+  // Two identical fleets: one behind TCP loopback, one behind the
+  // in-process transport.  Identical request streams must yield
+  // byte-identical response frames — the "one protocol, two transports"
+  // acceptance gate.
+  auto socket_engine = build_fleet(generator, 32, 0, steps);
+  auto inproc_engine = build_fleet(generator, 32, 0, steps);
+  service::Service socket_service(*socket_engine, {.shards = service_shards});
+  service::Service inproc_service(*inproc_engine, {.shards = service_shards});
+  api::SocketServer server(socket_service, {});
+  std::cout << "fhg_serve loopback: " << workload::scenario_name(spec) << ", socket on "
+            << server.host() << ":" << server.port() << "\n";
+
+  api::SocketTransport socket_transport(server.host(), server.port());
+  api::InProcessTransport inproc_transport(inproc_service);
+
+  // Phase 1 — single-threaded equivalence sweep over every request kind:
+  // the seeded stream (queries + mutations) plus a lifecycle cycle
+  // (create → query → list → snapshot → erase), frame-compared.
+  auto stream = generator.request_stream(
+      static_cast<std::size_t>(std::min<std::uint64_t>(requests, 20'000)), 7);
+  const std::string probe = "loopback-probe";
+  stream.push_back(api::CreateInstanceRequest{
+      probe, 8, {{0, 1}, {1, 2}, {2, 3}}, engine::InstanceSpec{}});
+  stream.push_back(api::IsHappyRequest{probe, 1, 3});
+  stream.push_back(api::NextGatheringRequest{probe, 2, 0});
+  stream.push_back(api::ListInstancesRequest{});
+  stream.push_back(api::SnapshotRequest{});
+  stream.push_back(api::EraseInstanceRequest{probe});
+  stream.push_back(api::EraseInstanceRequest{probe});  // second erase: typed kNotFound
+  const auto equivalence_start = Clock::now();
+  std::uint64_t diverged = 0;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const auto frame = api::encode_request(i + 1, stream[i]);
+    std::vector<std::uint8_t> socket_reply;
+    std::vector<std::uint8_t> inproc_reply;
+    const api::Status socket_status = socket_transport.roundtrip(frame, socket_reply);
+    const api::Status inproc_status = inproc_transport.roundtrip(frame, inproc_reply);
+    if (!socket_status.ok() || !inproc_status.ok() || socket_reply != inproc_reply) {
+      ++diverged;
+    }
+  }
+  std::cout << "equivalence: " << stream.size() << " frames in "
+            << seconds_since(equivalence_start) << "s, " << diverged << " diverged\n";
+
+  // Phase 2 — concurrent completeness: hammer the socket server from
+  // `clients` connections; every request must complete without an
+  // unexpected failure.
+  const auto load_start = Clock::now();
+  const LoadTally tally = fan_out(generator, requests, clients, 100, [&] {
+    return std::make_unique<api::SocketTransport>(server.host(), server.port());
+  });
+  print_tally("socket load (" + std::to_string(clients) + " connections)", tally,
+              seconds_since(load_start));
+
+  server.stop();
+  socket_service.drain();
+  inproc_service.drain();
+  if (diverged != 0) {
+    std::cerr << "fhg_serve: FAIL — " << diverged
+              << " response frames diverged between transports\n";
+  }
+  if (tally.failed != 0) {
+    std::cerr << "fhg_serve: FAIL — " << tally.failed
+              << " socket requests failed unexpectedly\n";
+  }
+  return diverged == 0 && tally.failed == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage("missing mode (serve | load | loopback)");
+  }
+  const std::string mode = argv[1];
+  auto options = parse_options(argc, argv, 2);
+  if (mode == "serve") {
+    return run_serve(std::move(options));
+  }
+  if (mode == "load") {
+    return run_load(std::move(options));
+  }
+  if (mode == "loopback") {
+    return run_loopback(std::move(options));
+  }
+  usage("unknown mode '" + mode + "'");
+}

@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file client.hpp
+/// The transport-agnostic typed client — the one front door of the system.
+///
+/// A `Client` owns a `Transport` and turns typed calls into wire frames and
+/// back: it assigns monotonically increasing request ids, encodes through
+/// the versioned codec, round-trips the frame, and validates the response
+/// (id echo, payload kind).  The same code drives an engine in this process
+/// (`InProcessTransport`) or across TCP (`SocketTransport`) — swap the
+/// transport, keep the calls.
+///
+/// ```
+/// fhg::engine::Engine engine;
+/// fhg::service::Service service(engine);
+/// fhg::api::Client client(
+///     std::make_unique<fhg::api::InProcessTransport>(service));
+/// client.create_instance("acme", /*nodes=*/500, edges,
+///                        {.kind = fhg::engine::SchedulerKind::kDegreeBound});
+/// auto happy = client.is_happy("acme", 7, 123456789);
+/// if (happy.status.ok() && happy.value) { plan_the_gathering(); }
+/// ```
+///
+/// Not thread-safe: use one client (with its own transport) per thread.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fhg/api/codec.hpp"
+#include "fhg/api/protocol.hpp"
+#include "fhg/api/transport.hpp"
+#include "fhg/dynamic/mutation.hpp"
+#include "fhg/engine/spec.hpp"
+#include "fhg/graph/graph.hpp"
+
+namespace fhg::api {
+
+/// A typed call's outcome: a status, and a value that is meaningful iff the
+/// status is ok.
+template <typename T>
+struct Result {
+  Status status;  ///< the typed verdict
+  T value{};      ///< meaningful iff `status.ok()`
+
+  /// True iff the call succeeded and `value` is meaningful.
+  [[nodiscard]] bool ok() const noexcept { return status.ok(); }
+};
+
+/// The typed request/response client over an owned transport.
+class Client {
+ public:
+  /// Takes ownership of `transport`.  `version` is the protocol version
+  /// every frame is encoded at (override only to test version negotiation).
+  explicit Client(std::unique_ptr<Transport> transport,
+                  std::uint64_t version = kProtocolVersion)
+      : transport_(std::move(transport)), version_(version) {}
+
+  /// Round-trips one typed request: encode, transport, decode, validate the
+  /// id echo.  Transport and decode failures come back as a `Response` with
+  /// the corresponding typed status — `call` never throws.
+  [[nodiscard]] Response call(const Request& request);
+
+  /// The id the next `call` will stamp (ids start at 1 and increment).
+  [[nodiscard]] std::uint64_t next_request_id() const noexcept { return next_id_; }
+
+  // -- Typed convenience wrappers (one per request kind) ----------------------
+
+  /// Membership query: is `node` happy on holiday `holiday` of `instance`?
+  [[nodiscard]] Result<bool> is_happy(std::string instance, graph::NodeId node,
+                                      std::uint64_t holiday);
+
+  /// First happy holiday of `node` strictly after `after`, or
+  /// `engine::kNoGathering` when an aperiodic search gave up.
+  [[nodiscard]] Result<std::uint64_t> next_gathering(std::string instance, graph::NodeId node,
+                                                     std::uint64_t after);
+
+  /// Applies a topology mutation batch to a dynamic tenant.
+  [[nodiscard]] Result<ApplyMutationsResponse> apply_mutations(
+      std::string instance, std::vector<dynamic::MutationCommand> commands);
+
+  /// Creates a named tenant over an edge list with a scheduler recipe.
+  [[nodiscard]] Status create_instance(std::string instance, graph::NodeId nodes,
+                                       std::vector<graph::Edge> edges,
+                                       engine::InstanceSpec spec);
+
+  /// Removes a named tenant.
+  [[nodiscard]] Status erase_instance(std::string instance);
+
+  /// Every tenant, sorted by name.
+  [[nodiscard]] Result<std::vector<InstanceInfo>> list_instances();
+
+  /// The canonical Elias-coded snapshot of the whole tenancy.
+  [[nodiscard]] Result<std::vector<std::uint8_t>> snapshot();
+
+  /// Replaces the tenancy with a snapshot; the value is the restored tenant
+  /// count.
+  [[nodiscard]] Result<std::uint64_t> restore(std::vector<std::uint8_t> bytes);
+
+ private:
+  /// Runs `call` and unwraps a payload of type `P` into `Result<T>` via
+  /// `project` (defaults to identity for `T == P`).
+  template <typename P, typename T, typename Project>
+  [[nodiscard]] Result<T> unwrap(const Request& request, Project project);
+
+  std::unique_ptr<Transport> transport_;
+  std::uint64_t version_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace fhg::api

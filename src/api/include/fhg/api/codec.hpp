@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file codec.hpp
+/// The versioned binary wire codec of the `fhg::api` protocol.
+///
+/// Every message — request or response — travels as one *frame*:
+///
+/// ```
+/// offset  size  field
+/// 0       4     magic "FHGA" (0x46 0x48 0x47 0x41)
+/// 4       4     payload length in bytes, big-endian (<= kMaxFramePayload)
+/// 8       n     payload: a coding::BitWriter stream
+/// ```
+///
+/// The payload prologue is version-invariant — `protocol version` then
+/// `request id`, both Elias-delta varints — so a peer can always recover the
+/// id to address an `unsupported-version` reply; the message body (a kind
+/// tag, then the kind's fields) may change shape between versions.  See
+/// `src/api/README.md` for the full field-by-field layout and the version
+/// negotiation rules.
+///
+/// Decoding is strict and total: truncated frames, bad magic, oversized
+/// length prefixes, unknown tags, out-of-range enum values and implausible
+/// length fields all fail with a typed `Status` (`kDecodeError` /
+/// `kUnsupportedVersion`) — never UB, never an exception across the API
+/// boundary, and never an allocation proportional to an unvalidated count.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fhg/api/protocol.hpp"
+#include "fhg/api/status.hpp"
+
+namespace fhg::api {
+
+/// Frame magic, byte order on the wire: 'F' 'H' 'G' 'A'.
+inline constexpr std::uint32_t kFrameMagic = 0x46484741;
+
+/// Bytes before the payload: magic (4) + big-endian payload length (4).
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+
+/// The protocol version this build speaks (and the only one it accepts).
+inline constexpr std::uint64_t kProtocolVersion = 1;
+
+/// Hard bound on one frame's payload size.  A length prefix past this is
+/// rejected before any allocation — the defense against a hostile peer
+/// claiming a multi-gigabyte frame.
+inline constexpr std::size_t kMaxFramePayload = std::size_t{1} << 26;  // 64 MiB
+
+/// A decoded request frame.
+struct DecodedRequest {
+  std::uint64_t protocol_version = 0;  ///< version the peer encoded at
+  std::uint64_t request_id = 0;        ///< caller-chosen correlation id
+  Request request;                     ///< the typed request
+};
+
+/// A decoded response frame.
+struct DecodedResponse {
+  std::uint64_t protocol_version = 0;  ///< version the peer encoded at
+  std::uint64_t request_id = 0;        ///< echoes the request's id
+  Response response;                   ///< the typed response
+};
+
+/// Encodes one request as a complete frame (header + payload).  `version`
+/// is written into the prologue verbatim — passing a version other than
+/// `kProtocolVersion` produces a frame peers will refuse typed, which is
+/// exactly what the version-negotiation tests exercise.
+[[nodiscard]] std::vector<std::uint8_t> encode_request(std::uint64_t request_id,
+                                                       const Request& request,
+                                                       std::uint64_t version = kProtocolVersion);
+
+/// Encodes one response as a complete frame (header + payload).
+[[nodiscard]] std::vector<std::uint8_t> encode_response(std::uint64_t request_id,
+                                                        const Response& response,
+                                                        std::uint64_t version = kProtocolVersion);
+
+/// Decodes one complete request frame.  On failure returns `kDecodeError`
+/// or `kUnsupportedVersion` and leaves `out.request` default-constructed;
+/// `out.request_id` is still filled when the prologue was readable, so
+/// servers can address their error reply.
+[[nodiscard]] Status decode_request(std::span<const std::uint8_t> frame, DecodedRequest& out);
+
+/// Decodes one complete response frame; same contract as `decode_request`.
+[[nodiscard]] Status decode_response(std::span<const std::uint8_t> frame, DecodedResponse& out);
+
+/// Reassembles frames from an arbitrary byte stream (the socket read loop).
+///
+/// Feed whatever arrived; pop complete frames.  Header validation happens as
+/// soon as eight bytes are buffered, so bad magic or an oversized length
+/// prefix poisons the assembler immediately (`error()` turns non-ok and
+/// stays that way) instead of waiting for a bogus frame to "complete".
+class FrameAssembler {
+ public:
+  /// `max_payload` bounds accepted frames (default `kMaxFramePayload`).
+  explicit FrameAssembler(std::size_t max_payload = kMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  /// Appends `bytes` to the buffer and validates any newly complete header.
+  /// Returns the assembler's (sticky) error status.
+  Status feed(std::span<const std::uint8_t> bytes);
+
+  /// Pops the next complete frame (header included), or nullopt when more
+  /// bytes are needed or the assembler is poisoned.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> next();
+
+  /// The sticky error status (`kOk` while the stream is well-framed).
+  [[nodiscard]] const Status& error() const noexcept { return error_; }
+
+  /// Bytes buffered but not yet popped as frames.
+  [[nodiscard]] std::size_t buffered() const noexcept { return buffer_.size(); }
+
+ private:
+  /// Validates the magic and length of the header at the buffer's front.
+  void validate_front();
+
+  std::vector<std::uint8_t> buffer_;
+  std::size_t max_payload_;
+  Status error_;
+};
+
+}  // namespace fhg::api

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file handler.hpp
+/// The server-side seam of the protocol: anything that can execute a typed
+/// `api::Request` and complete it with a typed `api::Response`.
+///
+/// `fhg::service::Service` is the production implementation (sharded queues,
+/// coalesced engine batches); transports — in-process and socket — are
+/// written against this interface, so the wire layer never names the service
+/// and the dependency arrow points one way: `service → api`, never back.
+
+#include <functional>
+
+#include "fhg/api/protocol.hpp"
+
+namespace fhg::api {
+
+/// Completion callback for one request; invoked exactly once.
+using ResponseCallback = std::function<void(Response)>;
+
+/// Executes typed requests.  Implementations must invoke `done` exactly once
+/// per `handle` call — possibly synchronously on the calling thread (e.g.
+/// admission rejects) or later on a worker thread.
+class Handler {
+ public:
+  virtual ~Handler() = default;
+
+  /// Executes `request` and completes `done` with the typed outcome.
+  /// Failures of any kind (admission, validation, serving) surface as a
+  /// `Response` whose status is non-ok; implementations do not throw.
+  virtual void handle(Request request, ResponseCallback done) = 0;
+};
+
+}  // namespace fhg::api

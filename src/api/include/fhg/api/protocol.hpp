@@ -1,0 +1,217 @@
+#pragma once
+
+/// \file protocol.hpp
+/// The typed request/response surface of the fhg serving stack.
+///
+/// The paper's scheduler answers exactly two online questions — "does family
+/// `v` celebrate on holiday `t`?" and "when is `v`'s next gathering?" — plus
+/// live marriage/divorce updates.  This header reifies that surface (and the
+/// tenancy-management operations around it) as one closed set of request and
+/// response types: every way into the system, whether from the same process
+/// or over a socket, is one of the eight `Request` alternatives, and every
+/// answer is a `Response` carrying a unified `Status` plus the matching
+/// payload.  The variant order is wire-stable — the codec writes the variant
+/// index as the frame tag — so alternatives must only ever be appended.
+///
+/// ```
+/// fhg::api::Request request = fhg::api::IsHappyRequest{"acme", 7, 123456789};
+/// handler.handle(std::move(request), [](fhg::api::Response response) {
+///   if (response.status.ok()) {
+///     use(std::get<fhg::api::IsHappyResponse>(response.payload).happy);
+///   }
+/// });
+/// ```
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "fhg/api/status.hpp"
+#include "fhg/dynamic/mutation.hpp"
+#include "fhg/engine/spec.hpp"
+#include "fhg/graph/graph.hpp"
+
+namespace fhg::api {
+
+// -- Requests -----------------------------------------------------------------
+
+/// Membership query: is `node` happy on holiday `holiday` of `instance`?
+struct IsHappyRequest {
+  std::string instance;          ///< tenant name
+  graph::NodeId node = 0;        ///< the family asking
+  std::uint64_t holiday = 0;     ///< the queried holiday (1-based)
+
+  friend bool operator==(const IsHappyRequest&, const IsHappyRequest&) = default;
+};
+
+/// Next-gathering query: first happy holiday of `node` strictly after `after`.
+struct NextGatheringRequest {
+  std::string instance;          ///< tenant name
+  graph::NodeId node = 0;        ///< the family asking
+  std::uint64_t after = 0;       ///< exclusive lower bound (0 = from the start)
+
+  friend bool operator==(const NextGatheringRequest&, const NextGatheringRequest&) = default;
+};
+
+/// Live topology mutation batch for a dynamic tenant (§6): marriages,
+/// divorces and new parents applied in place, all-or-nothing.
+struct ApplyMutationsRequest {
+  std::string instance;                            ///< tenant name (must be dynamic)
+  std::vector<dynamic::MutationCommand> commands;  ///< applied in order
+
+  friend bool operator==(const ApplyMutationsRequest&, const ApplyMutationsRequest&) = default;
+};
+
+/// Creates a named tenant from a scheduler recipe and an edge list.
+struct CreateInstanceRequest {
+  std::string instance;            ///< tenant name (must be unused)
+  graph::NodeId nodes = 0;         ///< node count of the conflict graph
+  std::vector<graph::Edge> edges;  ///< undirected edges, `first < second`
+  engine::InstanceSpec spec;       ///< the scheduler recipe to build
+
+  friend bool operator==(const CreateInstanceRequest&, const CreateInstanceRequest&) = default;
+};
+
+/// Removes a named tenant.  In-flight queries holding the instance finish
+/// safely; the name becomes available again.
+struct EraseInstanceRequest {
+  std::string instance;  ///< tenant name
+
+  friend bool operator==(const EraseInstanceRequest&, const EraseInstanceRequest&) = default;
+};
+
+/// Lists every tenant, sorted by name (the registry's canonical order).
+struct ListInstancesRequest {
+  friend bool operator==(const ListInstancesRequest&, const ListInstancesRequest&) = default;
+};
+
+/// Serializes the whole tenancy into the canonical Elias-coded snapshot.
+struct SnapshotRequest {
+  friend bool operator==(const SnapshotRequest&, const SnapshotRequest&) = default;
+};
+
+/// Replaces the whole tenancy with a previously taken snapshot.
+struct RestoreRequest {
+  std::vector<std::uint8_t> bytes;  ///< a `SnapshotResponse::bytes` blob
+
+  friend bool operator==(const RestoreRequest&, const RestoreRequest&) = default;
+};
+
+/// Every way into the system.  The alternative index is the wire tag
+/// (append-only; never reorder).
+using Request = std::variant<IsHappyRequest, NextGatheringRequest, ApplyMutationsRequest,
+                             CreateInstanceRequest, EraseInstanceRequest, ListInstancesRequest,
+                             SnapshotRequest, RestoreRequest>;
+
+/// Number of request alternatives (the decode-time tag bound).
+inline constexpr std::uint64_t kNumRequestKinds = std::variant_size_v<Request>;
+
+/// Short request kind name by wire tag ("is-happy", "next-gathering", …);
+/// "unknown" past the end.  For logs and bench labels.
+[[nodiscard]] std::string_view request_kind_name(std::size_t tag) noexcept;
+
+/// The instance a request addresses, or empty for the tenancy-wide kinds
+/// (`ListInstances`, `Snapshot`, `Restore`).  This is the service layer's
+/// routing key: everything about one instance serializes through one shard.
+[[nodiscard]] std::string_view routing_instance(const Request& request) noexcept;
+
+// -- Responses ----------------------------------------------------------------
+
+/// Answer to `IsHappyRequest`.
+struct IsHappyResponse {
+  bool happy = false;  ///< true iff the node celebrates on the queried holiday
+
+  friend bool operator==(const IsHappyResponse&, const IsHappyResponse&) = default;
+};
+
+/// Answer to `NextGatheringRequest`.
+struct NextGatheringResponse {
+  /// First happy holiday strictly after `after`, or `engine::kNoGathering`
+  /// (0) when an aperiodic search gave up within its limit.
+  std::uint64_t holiday = 0;
+
+  friend bool operator==(const NextGatheringResponse&, const NextGatheringResponse&) = default;
+};
+
+/// Answer to `ApplyMutationsRequest` (mirror of `engine::MutationResult`).
+struct ApplyMutationsResponse {
+  std::uint64_t applied = 0;        ///< commands that changed topology
+  std::uint64_t recolors = 0;       ///< recolor events those commands forced
+  std::uint64_t table_version = 0;  ///< period-table version after the batch
+
+  friend bool operator==(const ApplyMutationsResponse&, const ApplyMutationsResponse&) = default;
+};
+
+/// Answer to `CreateInstanceRequest` (success carries no data).
+struct CreateInstanceResponse {
+  friend bool operator==(const CreateInstanceResponse&, const CreateInstanceResponse&) = default;
+};
+
+/// Answer to `EraseInstanceRequest` (success carries no data).
+struct EraseInstanceResponse {
+  friend bool operator==(const EraseInstanceResponse&, const EraseInstanceResponse&) = default;
+};
+
+/// One tenant's row in a `ListInstancesResponse`.
+struct InstanceInfo {
+  std::string name;                                          ///< tenant name
+  engine::SchedulerKind kind = engine::SchedulerKind::kPrefixCode;  ///< recipe kind
+  graph::NodeId nodes = 0;   ///< live node count (grows under add-node mutations)
+  bool periodic = false;     ///< serves queries from an O(1) period table
+  bool dynamic = false;      ///< accepts live topology mutations
+
+  friend bool operator==(const InstanceInfo&, const InstanceInfo&) = default;
+};
+
+/// Answer to `ListInstancesRequest`: every tenant, sorted by name.
+struct ListInstancesResponse {
+  std::vector<InstanceInfo> instances;  ///< canonical (name-sorted) order
+
+  friend bool operator==(const ListInstancesResponse&, const ListInstancesResponse&) = default;
+};
+
+/// Answer to `SnapshotRequest`.
+struct SnapshotResponse {
+  std::vector<std::uint8_t> bytes;  ///< canonical Elias-coded snapshot
+
+  friend bool operator==(const SnapshotResponse&, const SnapshotResponse&) = default;
+};
+
+/// Answer to `RestoreRequest`.
+struct RestoreResponse {
+  std::uint64_t instances = 0;  ///< tenants in the restored registry
+
+  friend bool operator==(const RestoreResponse&, const RestoreResponse&) = default;
+};
+
+/// The payload of a `Response`: `std::monostate` on failure, otherwise the
+/// alternative matching the request kind (same order, offset by one).  The
+/// alternative index is the wire tag (append-only; never reorder).
+using ResponsePayload =
+    std::variant<std::monostate, IsHappyResponse, NextGatheringResponse, ApplyMutationsResponse,
+                 CreateInstanceResponse, EraseInstanceResponse, ListInstancesResponse,
+                 SnapshotResponse, RestoreResponse>;
+
+/// Number of response payload alternatives (the decode-time tag bound).
+inline constexpr std::uint64_t kNumResponseKinds = std::variant_size_v<ResponsePayload>;
+
+/// What one served request produced: a typed status, and — iff the status is
+/// ok — the payload matching the request kind.
+struct Response {
+  Status status;            ///< the typed verdict
+  ResponsePayload payload;  ///< engaged (non-monostate) iff `status.ok()`
+
+  /// True iff the request succeeded.
+  [[nodiscard]] bool ok() const noexcept { return status.ok(); }
+
+  /// A failure response with no payload.
+  [[nodiscard]] static Response error(StatusCode code, std::string detail) {
+    return Response{Status::error(code, std::move(detail)), std::monostate{}};
+  }
+
+  friend bool operator==(const Response&, const Response&) = default;
+};
+
+}  // namespace fhg::api

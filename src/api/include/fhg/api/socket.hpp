@@ -1,0 +1,133 @@
+#pragma once
+
+/// \file socket.hpp
+/// The TCP face of the protocol: a minimal loopback-friendly listener and
+/// the matching client transport.
+///
+/// `SocketServer` accepts connections and serves frames: each connection
+/// gets a thread that drains bytes through a `FrameAssembler` and answers
+/// every complete frame via `serve_frame` — requests on one connection are
+/// served in order, so a synchronous client sees responses in submission
+/// order and the transport-equivalence guarantee holds.  Concurrency comes
+/// from connections: each client (or client thread) opens its own.
+///
+/// `SocketTransport` is the client half: one blocking TCP connection,
+/// `roundtrip` = send frame, reassemble exactly one response frame.
+///
+/// POSIX sockets only (the project targets Linux); both ends are designed
+/// for loopback smoke tests and benchmarks, not for the open internet — the
+/// server binds 127.0.0.1 by default and speaks plaintext.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fhg/api/handler.hpp"
+#include "fhg/api/status.hpp"
+#include "fhg/api/transport.hpp"
+
+namespace fhg::api {
+
+/// Construction-time options of a `SocketServer`.
+struct SocketServerOptions {
+  std::string host = "127.0.0.1";  ///< address to bind (loopback by default)
+  std::uint16_t port = 0;          ///< port to bind (0 = ephemeral, see `port()`)
+  int backlog = 64;                ///< listen(2) backlog
+};
+
+/// A minimal TCP listener that drains request frames into a `Handler`.
+class SocketServer {
+ public:
+  /// Binds, listens, and starts the accept loop.  Throws
+  /// `std::runtime_error` when the socket cannot be bound.  `handler` is not
+  /// owned and must outlive the server.
+  explicit SocketServer(Handler& handler, SocketServerOptions options = {});
+
+  /// Stops accepting, closes every connection, joins all threads.
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;             ///< non-copyable (owns threads)
+  SocketServer& operator=(const SocketServer&) = delete;  ///< non-assignable
+
+  /// The bound port — the ephemeral one the kernel picked when
+  /// `options.port` was 0.
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// The bound address ("127.0.0.1" unless overridden).
+  [[nodiscard]] const std::string& host() const noexcept { return host_; }
+
+  /// Connections accepted so far.
+  [[nodiscard]] std::uint64_t connections_accepted() const noexcept {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+
+  /// Stops accepting, shuts every live connection down, joins all threads.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+ private:
+  /// One accepted connection: its socket and the thread serving it.  The
+  /// serve loop flags `done` on exit; the fd is closed (and the thread
+  /// joined) by `reap_finished` or `stop`, never by the serve loop itself —
+  /// keeping fd ownership in one place rules out close/shutdown races.
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};  ///< set by the serve loop on exit
+  };
+
+  /// Accept loop body (runs on `accept_thread_`).  Transient accept
+  /// failures (aborted handshakes, momentary fd exhaustion) are retried;
+  /// only a closed listener ends the loop.
+  void accept_loop();
+
+  /// Per-connection serve loop: reassemble frames, answer each in order.
+  void serve_connection(Connection& connection);
+
+  /// Joins and closes connections whose serve loop has finished — called
+  /// from the accept loop so long-running servers do not accumulate dead
+  /// fds and thread handles while clients come and go.
+  void reap_finished();
+
+  Handler& handler_;
+  std::string host_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::mutex stop_mutex_;  ///< serializes stop(); a second caller blocks until done
+  bool stopped_ = false;   ///< guarded by stop_mutex_
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::thread accept_thread_;
+  std::mutex connections_mutex_;  ///< guards the connection list
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+/// The TCP client transport: one blocking connection to a `SocketServer`.
+class SocketTransport final : public Transport {
+ public:
+  /// Connects to `host:port`.  Throws `std::runtime_error` when the
+  /// connection cannot be established.
+  SocketTransport(const std::string& host, std::uint16_t port);
+
+  /// Closes the connection.
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;             ///< non-copyable (owns the fd)
+  SocketTransport& operator=(const SocketTransport&) = delete;  ///< non-assignable
+
+  /// Sends the frame, then blocks until one complete response frame is
+  /// reassembled.  Non-ok on connection loss or a mis-framed peer.
+  [[nodiscard]] Status roundtrip(std::span<const std::uint8_t> request_frame,
+                                 std::vector<std::uint8_t>& response_frame) override;
+
+ private:
+  int fd_ = -1;
+  FrameAssembler assembler_;  ///< carries partial bytes across roundtrips
+};
+
+}  // namespace fhg::api

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file transport.hpp
+/// The client-side seam of the protocol: anything that can carry one encoded
+/// request frame to a server and bring back the encoded response frame.
+///
+/// Transports move *bytes*, not typed values — the `Client` encodes before
+/// and decodes after, so every path through the system exercises the same
+/// codec and identical request streams produce byte-identical response
+/// frames whether the server is in this process (`InProcessTransport`) or
+/// across a socket (`SocketTransport`).  The transport-equivalence tests
+/// assert exactly that.
+
+#include <span>
+#include <vector>
+
+#include "fhg/api/codec.hpp"
+#include "fhg/api/handler.hpp"
+#include "fhg/api/status.hpp"
+
+namespace fhg::api {
+
+/// Carries encoded frames to a server and back.  Implementations are *not*
+/// required to be thread-safe; use one transport (and one `Client`) per
+/// thread.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Sends one complete request frame and fills `response_frame` with the
+  /// complete response frame.  Returns non-ok only on *transport* failure
+  /// (connection lost, peer mis-framed); protocol-level failures travel
+  /// inside the response frame as a typed `Response::status`.
+  [[nodiscard]] virtual Status roundtrip(std::span<const std::uint8_t> request_frame,
+                                         std::vector<std::uint8_t>& response_frame) = 0;
+};
+
+/// Server-side glue shared by every transport: decodes one request frame,
+/// executes it on `handler` (blocking until the completion lands), and
+/// returns the encoded response frame.  Malformed frames come back as
+/// encoded error responses (`kDecodeError` / `kUnsupportedVersion`)
+/// addressed to the request id when the prologue was readable, id 0
+/// otherwise — so a client always gets a typed answer, never silence.
+///
+/// Blocks the calling thread; must not be invoked from a handler completion
+/// callback (the worker it would wait on is the one running it).
+[[nodiscard]] std::vector<std::uint8_t> serve_frame(Handler& handler,
+                                                    std::span<const std::uint8_t> frame);
+
+/// The in-process transport: `roundtrip` is `serve_frame` against a local
+/// handler.  Requests still pass through the full encode → decode → execute
+/// → encode → decode pipeline, so in-process callers exercise (and validate)
+/// the identical wire path the socket transport uses.
+class InProcessTransport final : public Transport {
+ public:
+  /// Wraps `handler` (not owned; must outlive the transport).
+  explicit InProcessTransport(Handler& handler) : handler_(handler) {}
+
+  /// Serves the frame synchronously; the transport itself cannot fail.
+  [[nodiscard]] Status roundtrip(std::span<const std::uint8_t> request_frame,
+                                 std::vector<std::uint8_t>& response_frame) override;
+
+ private:
+  Handler& handler_;
+};
+
+}  // namespace fhg::api

@@ -1,0 +1,101 @@
+#include "fhg/api/client.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace fhg::api {
+
+Response Client::call(const Request& request) {
+  const std::uint64_t id = next_id_++;
+  std::vector<std::uint8_t> frame;
+  try {
+    frame = encode_request(id, request, version_);
+  } catch (const std::length_error&) {
+    // The request (e.g. a Restore carrying a giant snapshot) exceeds the
+    // frame bound; `call` promises typed failures, never exceptions.
+    return Response::error(StatusCode::kInvalidArgument,
+                           "request exceeds the frame payload bound");
+  }
+  std::vector<std::uint8_t> response_frame;
+  if (Status status = transport_->roundtrip(frame, response_frame); !status.ok()) {
+    return Response{std::move(status), std::monostate{}};
+  }
+  DecodedResponse decoded;
+  if (Status status = decode_response(response_frame, decoded); !status.ok()) {
+    return Response{std::move(status), std::monostate{}};
+  }
+  if (decoded.request_id != id) {
+    return Response::error(StatusCode::kInternal,
+                           "response id " + std::to_string(decoded.request_id) +
+                               " does not echo request id " + std::to_string(id));
+  }
+  return std::move(decoded.response);
+}
+
+template <typename P, typename T, typename Project>
+Result<T> Client::unwrap(const Request& request, Project project) {
+  Response response = call(request);
+  if (!response.ok()) {
+    return Result<T>{std::move(response.status), T{}};
+  }
+  auto* payload = std::get_if<P>(&response.payload);
+  if (payload == nullptr) {
+    return Result<T>{Status::error(StatusCode::kInternal,
+                                   "response payload does not match the request kind"),
+                     T{}};
+  }
+  return Result<T>{Status::good(), project(std::move(*payload))};
+}
+
+Result<bool> Client::is_happy(std::string instance, graph::NodeId node, std::uint64_t holiday) {
+  return unwrap<IsHappyResponse, bool>(
+      IsHappyRequest{std::move(instance), node, holiday},
+      [](IsHappyResponse p) { return p.happy; });
+}
+
+Result<std::uint64_t> Client::next_gathering(std::string instance, graph::NodeId node,
+                                             std::uint64_t after) {
+  return unwrap<NextGatheringResponse, std::uint64_t>(
+      NextGatheringRequest{std::move(instance), node, after},
+      [](NextGatheringResponse p) { return p.holiday; });
+}
+
+Result<ApplyMutationsResponse> Client::apply_mutations(
+    std::string instance, std::vector<dynamic::MutationCommand> commands) {
+  return unwrap<ApplyMutationsResponse, ApplyMutationsResponse>(
+      ApplyMutationsRequest{std::move(instance), std::move(commands)},
+      [](ApplyMutationsResponse p) { return p; });
+}
+
+Status Client::create_instance(std::string instance, graph::NodeId nodes,
+                               std::vector<graph::Edge> edges, engine::InstanceSpec spec) {
+  return unwrap<CreateInstanceResponse, CreateInstanceResponse>(
+             CreateInstanceRequest{std::move(instance), nodes, std::move(edges),
+                                   std::move(spec)},
+             [](CreateInstanceResponse p) { return p; })
+      .status;
+}
+
+Status Client::erase_instance(std::string instance) {
+  return unwrap<EraseInstanceResponse, EraseInstanceResponse>(
+             EraseInstanceRequest{std::move(instance)},
+             [](EraseInstanceResponse p) { return p; })
+      .status;
+}
+
+Result<std::vector<InstanceInfo>> Client::list_instances() {
+  return unwrap<ListInstancesResponse, std::vector<InstanceInfo>>(
+      ListInstancesRequest{}, [](ListInstancesResponse p) { return std::move(p.instances); });
+}
+
+Result<std::vector<std::uint8_t>> Client::snapshot() {
+  return unwrap<SnapshotResponse, std::vector<std::uint8_t>>(
+      SnapshotRequest{}, [](SnapshotResponse p) { return std::move(p.bytes); });
+}
+
+Result<std::uint64_t> Client::restore(std::vector<std::uint8_t> bytes) {
+  return unwrap<RestoreResponse, std::uint64_t>(RestoreRequest{std::move(bytes)},
+                                                [](RestoreResponse p) { return p.instances; });
+}
+
+}  // namespace fhg::api

@@ -1,0 +1,531 @@
+#include "fhg/api/codec.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "fhg/coding/bitio.hpp"
+
+namespace fhg::api {
+
+namespace {
+
+using coding::BitReader;
+using coding::BitWriter;
+
+/// Thrown inside the decoders to carry a typed failure out to the catch in
+/// `decode_request`/`decode_response` (where it becomes a `Status`).
+struct DecodeFailure : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] void fail(const std::string& what) { throw DecodeFailure("api codec: " + what); }
+
+using coding::check_count;
+
+std::uint64_t checked_enum(BitReader& r, std::uint64_t bound, const char* what) {
+  const std::uint64_t value = r.get_uint();
+  if (value >= bound) {
+    fail(std::string("unknown ") + what + " " + std::to_string(value));
+  }
+  return value;
+}
+
+graph::NodeId read_node(BitReader& r) {
+  const std::uint64_t v = r.get_uint();
+  if (v > std::numeric_limits<graph::NodeId>::max()) {
+    fail("node id " + std::to_string(v) + " out of NodeId range");
+  }
+  return static_cast<graph::NodeId>(v);
+}
+
+// Strings and blobs are byte-aligned on the wire (length varint, zero-pad
+// to the next byte boundary, then the raw bytes): multi-megabyte snapshot
+// payloads move at memcpy speed instead of eight branchy bit calls per
+// byte, for at most seven padding bits per field.
+
+void write_string(BitWriter& w, std::string_view s) {
+  w.put_uint(s.size());
+  w.put_bytes({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+}
+
+std::string read_string(BitReader& r, const char* what) {
+  const std::uint64_t length = r.get_uint();
+  check_count(r, length, 8, what);
+  std::string s(static_cast<std::size_t>(length), '\0');
+  r.get_bytes({reinterpret_cast<std::uint8_t*>(s.data()), s.size()});
+  return s;
+}
+
+void write_blob(BitWriter& w, std::span<const std::uint8_t> bytes) {
+  w.put_uint(bytes.size());
+  w.put_bytes(bytes);
+}
+
+std::vector<std::uint8_t> read_blob(BitReader& r, const char* what) {
+  const std::uint64_t length = r.get_uint();
+  check_count(r, length, 8, what);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(length));
+  r.get_bytes(bytes);
+  return bytes;
+}
+
+void write_commands(BitWriter& w, std::span<const dynamic::MutationCommand> commands) {
+  w.put_uint(commands.size());
+  for (const dynamic::MutationCommand& cmd : commands) {
+    w.put_uint(static_cast<std::uint64_t>(cmd.op));
+    w.put_uint(cmd.holiday);
+    w.put_uint(cmd.u);
+    w.put_uint(cmd.v);
+  }
+}
+
+std::vector<dynamic::MutationCommand> read_commands(BitReader& r) {
+  const std::uint64_t count = r.get_uint();
+  check_count(r, count, 4, "mutation command");  // four codewords of >= 1 bit
+  std::vector<dynamic::MutationCommand> commands;
+  commands.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    dynamic::MutationCommand cmd;
+    cmd.op = static_cast<dynamic::MutationOp>(
+        checked_enum(r, static_cast<std::uint64_t>(dynamic::MutationOp::kAddNode) + 1,
+                     "mutation op"));
+    cmd.holiday = r.get_uint();
+    cmd.u = read_node(r);
+    cmd.v = read_node(r);
+    commands.push_back(cmd);
+  }
+  return commands;
+}
+
+void write_spec(BitWriter& w, const engine::InstanceSpec& spec) {
+  w.put_uint(static_cast<std::uint64_t>(spec.kind));
+  w.put_uint(static_cast<std::uint64_t>(spec.code));
+  w.put_uint(spec.seed);
+  w.put_uint(spec.slack);
+  w.put_uint(spec.periods.size());
+  for (const std::uint64_t p : spec.periods) {
+    w.put_uint(p);
+  }
+}
+
+engine::InstanceSpec read_spec(BitReader& r) {
+  engine::InstanceSpec spec;
+  spec.kind = static_cast<engine::SchedulerKind>(checked_enum(
+      r, static_cast<std::uint64_t>(engine::SchedulerKind::kDynamicPrefixCode) + 1,
+      "scheduler kind"));
+  spec.code = static_cast<coding::CodeFamily>(
+      checked_enum(r, static_cast<std::uint64_t>(coding::CodeFamily::kEliasOmega) + 1,
+                   "code family"));
+  spec.seed = r.get_uint();
+  const std::uint64_t slack = r.get_uint();
+  if (slack > std::numeric_limits<std::uint32_t>::max()) {
+    fail("slack " + std::to_string(slack) + " out of range");
+  }
+  spec.slack = static_cast<std::uint32_t>(slack);
+  const std::uint64_t periods = r.get_uint();
+  check_count(r, periods, 1, "period");
+  spec.periods.resize(static_cast<std::size_t>(periods));
+  for (std::uint64_t i = 0; i < periods; ++i) {
+    spec.periods[static_cast<std::size_t>(i)] = r.get_uint();
+  }
+  return spec;
+}
+
+void write_edges(BitWriter& w, std::span<const graph::Edge> edges) {
+  w.put_uint(edges.size());
+  for (const graph::Edge& e : edges) {
+    w.put_uint(e.first);
+    w.put_uint(e.second);
+  }
+}
+
+std::vector<graph::Edge> read_edges(BitReader& r) {
+  const std::uint64_t count = r.get_uint();
+  check_count(r, count, 2, "edge");  // two codewords of >= 1 bit each
+  std::vector<graph::Edge> edges;
+  edges.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const graph::NodeId first = read_node(r);
+    const graph::NodeId second = read_node(r);
+    edges.push_back({first, second});
+  }
+  return edges;
+}
+
+// -- Request bodies -----------------------------------------------------------
+
+void write_request_body(BitWriter& w, const Request& request) {
+  w.put_uint(request.index());
+  std::visit(
+      [&w](const auto& r) {
+        using R = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<R, IsHappyRequest>) {
+          write_string(w, r.instance);
+          w.put_uint(r.node);
+          w.put_uint(r.holiday);
+        } else if constexpr (std::is_same_v<R, NextGatheringRequest>) {
+          write_string(w, r.instance);
+          w.put_uint(r.node);
+          w.put_uint(r.after);
+        } else if constexpr (std::is_same_v<R, ApplyMutationsRequest>) {
+          write_string(w, r.instance);
+          write_commands(w, r.commands);
+        } else if constexpr (std::is_same_v<R, CreateInstanceRequest>) {
+          write_string(w, r.instance);
+          w.put_uint(r.nodes);
+          write_edges(w, r.edges);
+          write_spec(w, r.spec);
+        } else if constexpr (std::is_same_v<R, EraseInstanceRequest>) {
+          write_string(w, r.instance);
+        } else if constexpr (std::is_same_v<R, RestoreRequest>) {
+          write_blob(w, r.bytes);
+        } else {
+          // ListInstances / Snapshot carry no fields beyond the tag.
+          static_assert(std::is_same_v<R, ListInstancesRequest> ||
+                        std::is_same_v<R, SnapshotRequest>);
+        }
+      },
+      request);
+}
+
+Request read_request_body(BitReader& r) {
+  const std::uint64_t tag = r.get_uint();
+  switch (tag) {
+    case 0: {
+      IsHappyRequest req;
+      req.instance = read_string(r, "instance name byte");
+      req.node = read_node(r);
+      req.holiday = r.get_uint();
+      return req;
+    }
+    case 1: {
+      NextGatheringRequest req;
+      req.instance = read_string(r, "instance name byte");
+      req.node = read_node(r);
+      req.after = r.get_uint();
+      return req;
+    }
+    case 2: {
+      ApplyMutationsRequest req;
+      req.instance = read_string(r, "instance name byte");
+      req.commands = read_commands(r);
+      return req;
+    }
+    case 3: {
+      CreateInstanceRequest req;
+      req.instance = read_string(r, "instance name byte");
+      req.nodes = read_node(r);
+      req.edges = read_edges(r);
+      req.spec = read_spec(r);
+      return req;
+    }
+    case 4: {
+      EraseInstanceRequest req;
+      req.instance = read_string(r, "instance name byte");
+      return req;
+    }
+    case 5:
+      return ListInstancesRequest{};
+    case 6:
+      return SnapshotRequest{};
+    case 7: {
+      RestoreRequest req;
+      req.bytes = read_blob(r, "snapshot byte");
+      return req;
+    }
+    default:
+      fail("unknown request tag " + std::to_string(tag));
+  }
+}
+
+// -- Response bodies ----------------------------------------------------------
+
+void write_response_body(BitWriter& w, const Response& response) {
+  w.put_uint(static_cast<std::uint64_t>(response.status.code));
+  write_string(w, response.status.detail);
+  w.put_uint(response.payload.index());
+  std::visit(
+      [&w](const auto& p) {
+        using P = std::decay_t<decltype(p)>;
+        if constexpr (std::is_same_v<P, IsHappyResponse>) {
+          w.put_bit(p.happy);
+        } else if constexpr (std::is_same_v<P, NextGatheringResponse>) {
+          w.put_uint(p.holiday);
+        } else if constexpr (std::is_same_v<P, ApplyMutationsResponse>) {
+          w.put_uint(p.applied);
+          w.put_uint(p.recolors);
+          w.put_uint(p.table_version);
+        } else if constexpr (std::is_same_v<P, ListInstancesResponse>) {
+          w.put_uint(p.instances.size());
+          for (const InstanceInfo& info : p.instances) {
+            write_string(w, info.name);
+            w.put_uint(static_cast<std::uint64_t>(info.kind));
+            w.put_uint(info.nodes);
+            w.put_bit(info.periodic);
+            w.put_bit(info.dynamic);
+          }
+        } else if constexpr (std::is_same_v<P, SnapshotResponse>) {
+          write_blob(w, p.bytes);
+        } else if constexpr (std::is_same_v<P, RestoreResponse>) {
+          w.put_uint(p.instances);
+        } else {
+          // monostate / Create / Erase carry no fields beyond the tag.
+          static_assert(std::is_same_v<P, std::monostate> ||
+                        std::is_same_v<P, CreateInstanceResponse> ||
+                        std::is_same_v<P, EraseInstanceResponse>);
+        }
+      },
+      response.payload);
+}
+
+Response read_response_body(BitReader& r) {
+  Response response;
+  response.status.code =
+      static_cast<StatusCode>(checked_enum(r, kNumStatusCodes, "status code"));
+  response.status.detail = read_string(r, "status detail byte");
+  const std::uint64_t tag = r.get_uint();
+  switch (tag) {
+    case 0:
+      response.payload = std::monostate{};
+      break;
+    case 1: {
+      IsHappyResponse p;
+      p.happy = r.get_bit();
+      response.payload = p;
+      break;
+    }
+    case 2: {
+      NextGatheringResponse p;
+      p.holiday = r.get_uint();
+      response.payload = p;
+      break;
+    }
+    case 3: {
+      ApplyMutationsResponse p;
+      p.applied = r.get_uint();
+      p.recolors = r.get_uint();
+      p.table_version = r.get_uint();
+      response.payload = p;
+      break;
+    }
+    case 4:
+      response.payload = CreateInstanceResponse{};
+      break;
+    case 5:
+      response.payload = EraseInstanceResponse{};
+      break;
+    case 6: {
+      ListInstancesResponse p;
+      const std::uint64_t count = r.get_uint();
+      check_count(r, count, 5, "instance info");  // name len + 2 uints + 2 bits
+      p.instances.reserve(static_cast<std::size_t>(count));
+      for (std::uint64_t i = 0; i < count; ++i) {
+        InstanceInfo info;
+        info.name = read_string(r, "instance name byte");
+        info.kind = static_cast<engine::SchedulerKind>(checked_enum(
+            r, static_cast<std::uint64_t>(engine::SchedulerKind::kDynamicPrefixCode) + 1,
+            "scheduler kind"));
+        info.nodes = read_node(r);
+        info.periodic = r.get_bit();
+        info.dynamic = r.get_bit();
+        p.instances.push_back(std::move(info));
+      }
+      response.payload = std::move(p);
+      break;
+    }
+    case 7: {
+      SnapshotResponse p;
+      p.bytes = read_blob(r, "snapshot byte");
+      response.payload = std::move(p);
+      break;
+    }
+    case 8: {
+      RestoreResponse p;
+      p.instances = r.get_uint();
+      response.payload = p;
+      break;
+    }
+    default:
+      fail("unknown response tag " + std::to_string(tag));
+  }
+  return response;
+}
+
+// -- Framing ------------------------------------------------------------------
+
+/// Wraps a finished payload in the 8-byte header.
+std::vector<std::uint8_t> frame_payload(std::vector<std::uint8_t> payload) {
+  if (payload.size() > kMaxFramePayload) {
+    throw std::length_error("api codec: payload of " + std::to_string(payload.size()) +
+                            " bytes exceeds kMaxFramePayload");
+  }
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    frame.push_back(static_cast<std::uint8_t>(kFrameMagic >> shift));
+  }
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    frame.push_back(static_cast<std::uint8_t>(length >> shift));
+  }
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+/// Validates the header of a complete frame and returns the payload span.
+/// Non-ok statuses mirror `FrameAssembler`'s framing errors.
+Status framed_payload(std::span<const std::uint8_t> frame,
+                      std::span<const std::uint8_t>& payload) {
+  if (frame.size() < kFrameHeaderBytes) {
+    return Status::error(StatusCode::kDecodeError,
+                         "frame of " + std::to_string(frame.size()) +
+                             " bytes is shorter than the 8-byte header");
+  }
+  std::uint32_t magic = 0;
+  std::uint32_t length = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    magic = (magic << 8) | frame[i];
+    length = (length << 8) | frame[4 + i];
+  }
+  if (magic != kFrameMagic) {
+    return Status::error(StatusCode::kDecodeError, "bad frame magic");
+  }
+  if (length > kMaxFramePayload) {
+    return Status::error(StatusCode::kDecodeError,
+                         "length prefix " + std::to_string(length) + " exceeds the " +
+                             std::to_string(kMaxFramePayload) + "-byte frame bound");
+  }
+  if (length != frame.size() - kFrameHeaderBytes) {
+    return Status::error(StatusCode::kDecodeError,
+                         "length prefix " + std::to_string(length) + " does not match the " +
+                             std::to_string(frame.size() - kFrameHeaderBytes) +
+                             " payload bytes present");
+  }
+  payload = frame.subspan(kFrameHeaderBytes);
+  return Status::good();
+}
+
+/// Shared prologue decode: version then request id.  Fills `version` and
+/// `request_id` (best effort) and returns non-ok for unsupported versions.
+Status decode_prologue(BitReader& r, std::uint64_t& version, std::uint64_t& request_id) {
+  version = r.get_uint();
+  request_id = r.get_uint();
+  if (version != kProtocolVersion) {
+    return Status::error(StatusCode::kUnsupportedVersion,
+                         "peer speaks protocol version " + std::to_string(version) +
+                             "; this build supports exactly version " +
+                             std::to_string(kProtocolVersion));
+  }
+  return Status::good();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_request(std::uint64_t request_id, const Request& request,
+                                         std::uint64_t version) {
+  BitWriter w;
+  w.put_uint(version);
+  w.put_uint(request_id);
+  write_request_body(w, request);
+  return frame_payload(w.finish());
+}
+
+std::vector<std::uint8_t> encode_response(std::uint64_t request_id, const Response& response,
+                                          std::uint64_t version) {
+  BitWriter w;
+  w.put_uint(version);
+  w.put_uint(request_id);
+  write_response_body(w, response);
+  return frame_payload(w.finish());
+}
+
+Status decode_request(std::span<const std::uint8_t> frame, DecodedRequest& out) {
+  out = DecodedRequest{};
+  std::span<const std::uint8_t> payload;
+  if (Status status = framed_payload(frame, payload); !status.ok()) {
+    return status;
+  }
+  BitReader r(payload);
+  try {
+    if (Status status = decode_prologue(r, out.protocol_version, out.request_id);
+        !status.ok()) {
+      return status;
+    }
+    out.request = read_request_body(r);
+  } catch (const std::runtime_error& e) {
+    return Status::error(StatusCode::kDecodeError, e.what());
+  }
+  return Status::good();
+}
+
+Status decode_response(std::span<const std::uint8_t> frame, DecodedResponse& out) {
+  out = DecodedResponse{};
+  std::span<const std::uint8_t> payload;
+  if (Status status = framed_payload(frame, payload); !status.ok()) {
+    return status;
+  }
+  BitReader r(payload);
+  try {
+    if (Status status = decode_prologue(r, out.protocol_version, out.request_id);
+        !status.ok()) {
+      return status;
+    }
+    out.response = read_response_body(r);
+  } catch (const std::runtime_error& e) {
+    return Status::error(StatusCode::kDecodeError, e.what());
+  }
+  return Status::good();
+}
+
+// ------------------------------------------------------------ FrameAssembler --
+
+Status FrameAssembler::feed(std::span<const std::uint8_t> bytes) {
+  if (!error_.ok()) {
+    return error_;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  validate_front();
+  return error_;
+}
+
+void FrameAssembler::validate_front() {
+  if (!error_.ok() || buffer_.size() < kFrameHeaderBytes) {
+    return;
+  }
+  std::uint32_t magic = 0;
+  std::uint32_t length = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    magic = (magic << 8) | buffer_[i];
+    length = (length << 8) | buffer_[4 + i];
+  }
+  if (magic != kFrameMagic) {
+    error_ = Status::error(StatusCode::kDecodeError, "bad frame magic");
+  } else if (length > max_payload_) {
+    error_ = Status::error(StatusCode::kDecodeError,
+                           "length prefix " + std::to_string(length) + " exceeds the " +
+                               std::to_string(max_payload_) + "-byte frame bound");
+  }
+}
+
+std::optional<std::vector<std::uint8_t>> FrameAssembler::next() {
+  if (!error_.ok() || buffer_.size() < kFrameHeaderBytes) {
+    return std::nullopt;
+  }
+  std::uint32_t length = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    length = (length << 8) | buffer_[4 + i];
+  }
+  const std::size_t total = kFrameHeaderBytes + length;
+  if (buffer_.size() < total) {
+    return std::nullopt;
+  }
+  std::vector<std::uint8_t> frame(buffer_.begin(),
+                                  buffer_.begin() + static_cast<std::ptrdiff_t>(total));
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(total));
+  validate_front();  // the next frame's header may already be buffered
+  return frame;
+}
+
+}  // namespace fhg::api

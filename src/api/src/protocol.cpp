@@ -1,0 +1,25 @@
+#include "fhg/api/protocol.hpp"
+
+namespace fhg::api {
+
+std::string_view request_kind_name(std::size_t tag) noexcept {
+  constexpr std::string_view kNames[] = {"is-happy",        "next-gathering", "apply-mutations",
+                                         "create-instance", "erase-instance", "list-instances",
+                                         "snapshot",        "restore"};
+  static_assert(std::size(kNames) == kNumRequestKinds);
+  return tag < std::size(kNames) ? kNames[tag] : "unknown";
+}
+
+std::string_view routing_instance(const Request& request) noexcept {
+  return std::visit(
+      [](const auto& r) -> std::string_view {
+        if constexpr (requires { r.instance; }) {
+          return r.instance;
+        } else {
+          return {};
+        }
+      },
+      request);
+}
+
+}  // namespace fhg::api

@@ -1,0 +1,284 @@
+#include "fhg/api/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace fhg::api {
+
+namespace {
+
+/// Read chunk size of the serve and roundtrip loops.
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error("fhg::api socket: " + what + ": " + std::strerror(errno));
+}
+
+/// Parses a dotted-quad address into a loopback-or-any sockaddr.
+sockaddr_in make_address(const std::string& host, std::uint16_t port) {
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+    throw std::runtime_error("fhg::api socket: '" + host +
+                             "' is not a dotted-quad IPv4 address");
+  }
+  return address;
+}
+
+/// Sends the whole buffer, retrying on EINTR and partial writes.
+bool send_all(int fd, std::span<const std::uint8_t> bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// One recv, retrying on EINTR.  Returns -1 on error, 0 on orderly EOF.
+ssize_t recv_some(int fd, std::uint8_t* buffer, std::size_t size) {
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, size, 0);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return n;
+  }
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- SocketServer --
+
+SocketServer::SocketServer(Handler& handler, SocketServerOptions options)
+    : handler_(handler), host_(std::move(options.host)) {
+  const sockaddr_in address = make_address(host_, options.port);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw_errno("socket");
+  }
+  const int enable = 1;
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    errno = saved;
+    throw_errno("bind " + host_ + ":" + std::to_string(options.port));
+  }
+  if (::listen(listen_fd_, options.backlog) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    errno = saved;
+    throw_errno("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_size = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_size) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    errno = saved;
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+SocketServer::~SocketServer() { stop(); }
+
+void SocketServer::accept_loop() {
+  for (;;) {
+    reap_finished();
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) {
+        return;  // listen socket closed by stop()
+      }
+      if (errno == EINTR || errno == ECONNABORTED || errno == EPROTO) {
+        continue;  // aborted handshake: the listener is fine, keep serving
+      }
+      if (errno == EMFILE || errno == ENFILE) {
+        // Momentary fd exhaustion: reaping just freed what it could; back
+        // off briefly instead of abandoning the port forever.
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      return;  // the listener itself is unusable
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    const int enable = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+    // Registration and thread start happen under the lock as one unit, so
+    // stop() either sees a fully registered connection (and joins it) or
+    // runs before this block (and the re-check below closes the socket).
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    auto connection = std::make_unique<Connection>();
+    connection->fd = fd;
+    Connection& ref = *connection;  // unique_ptr: address stable under vector growth
+    connections_.push_back(std::move(connection));
+    ref.thread = std::thread([this, &ref] { serve_connection(ref); });
+  }
+}
+
+void SocketServer::serve_connection(Connection& connection) {
+  const int fd = connection.fd;
+  FrameAssembler assembler;
+  std::uint8_t chunk[kReadChunk];
+  for (;;) {
+    const ssize_t n = recv_some(fd, chunk, sizeof(chunk));
+    if (n <= 0) {
+      break;  // EOF, connection reset, or shutdown via stop()
+    }
+    if (!assembler.feed({chunk, static_cast<std::size_t>(n)}).ok()) {
+      // The stream is irrecoverably mis-framed (bad magic / oversized
+      // length): answer typed once, then hang up — resynchronization is
+      // impossible without frame boundaries.
+      const auto reply =
+          encode_response(0, Response{assembler.error(), std::monostate{}});
+      (void)send_all(fd, reply);
+      break;
+    }
+    bool sending_ok = true;
+    while (auto frame = assembler.next()) {
+      if (!send_all(fd, serve_frame(handler_, *frame))) {
+        sending_ok = false;
+        break;
+      }
+    }
+    if (!sending_ok) {
+      break;
+    }
+  }
+  // The reaper (or stop) joins this thread and closes the fd.
+  connection.done.store(true, std::memory_order_release);
+}
+
+void SocketServer::reap_finished() {
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const auto& connection : finished) {
+    if (connection->thread.joinable()) {
+      connection->thread.join();
+    }
+    ::close(connection->fd);
+  }
+}
+
+void SocketServer::stop() {
+  // Serialized and blocking: a second caller waits until the first stop has
+  // finished tearing everything down, then returns immediately.
+  const std::lock_guard<std::mutex> lock(stop_mutex_);
+  if (stopped_) {
+    return;
+  }
+  stopped_ = true;
+  stopping_.store(true, std::memory_order_release);
+  // Closing the listen socket fails the blocking accept(2) and ends the
+  // accept loop; shutting down the connection sockets fails their recv(2).
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  std::vector<std::unique_ptr<Connection>> live;
+  {
+    const std::lock_guard<std::mutex> connections_lock(connections_mutex_);
+    live.swap(connections_);
+  }
+  for (const auto& connection : live) {
+    ::shutdown(connection->fd, SHUT_RDWR);
+  }
+  for (const auto& connection : live) {
+    if (connection->thread.joinable()) {
+      connection->thread.join();
+    }
+    ::close(connection->fd);
+  }
+}
+
+// ------------------------------------------------------------ SocketTransport --
+
+SocketTransport::SocketTransport(const std::string& host, std::uint16_t port) {
+  const sockaddr_in address = make_address(host, port);
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw_errno("socket");
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("connect " + host + ":" + std::to_string(port));
+  }
+  const int enable = 1;
+  (void)::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+}
+
+SocketTransport::~SocketTransport() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Status SocketTransport::roundtrip(std::span<const std::uint8_t> request_frame,
+                                  std::vector<std::uint8_t>& response_frame) {
+  if (!send_all(fd_, request_frame)) {
+    return Status::error(StatusCode::kInternal,
+                         std::string("send failed: ") + std::strerror(errno));
+  }
+  for (;;) {
+    if (auto frame = assembler_.next()) {
+      response_frame = std::move(*frame);
+      return Status::good();
+    }
+    if (!assembler_.error().ok()) {
+      return assembler_.error();
+    }
+    std::uint8_t chunk[kReadChunk];
+    const ssize_t n = recv_some(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      return Status::error(StatusCode::kInternal,
+                           std::string("recv failed: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::error(StatusCode::kInternal,
+                           "connection closed before a complete response frame arrived");
+    }
+    if (Status status = assembler_.feed({chunk, static_cast<std::size_t>(n)}); !status.ok()) {
+      return status;
+    }
+  }
+}
+
+}  // namespace fhg::api

@@ -1,0 +1,40 @@
+#include "fhg/api/transport.hpp"
+
+#include <future>
+#include <stdexcept>
+#include <utility>
+
+namespace fhg::api {
+
+std::vector<std::uint8_t> serve_frame(Handler& handler, std::span<const std::uint8_t> frame) {
+  DecodedRequest decoded;
+  if (Status status = decode_request(frame, decoded); !status.ok()) {
+    // A mis-framed or mis-versioned request still earns a typed reply; the
+    // id is whatever the prologue yielded (0 when unreadable).
+    return encode_response(decoded.request_id,
+                           Response{std::move(status), std::monostate{}});
+  }
+  std::promise<Response> promise;
+  std::future<Response> pending = promise.get_future();
+  handler.handle(std::move(decoded.request),
+                 [&promise](Response response) { promise.set_value(std::move(response)); });
+  try {
+    return encode_response(decoded.request_id, pending.get());
+  } catch (const std::length_error&) {
+    // The response (e.g. a huge tenancy's snapshot) exceeds the frame
+    // bound.  Answer typed instead of letting the exception escape a
+    // connection thread and take the whole server down with it.
+    return encode_response(
+        decoded.request_id,
+        Response::error(StatusCode::kResourceExhausted,
+                        "response exceeds the frame payload bound"));
+  }
+}
+
+Status InProcessTransport::roundtrip(std::span<const std::uint8_t> request_frame,
+                                     std::vector<std::uint8_t>& response_frame) {
+  response_frame = serve_frame(handler_, request_frame);
+  return Status::good();
+}
+
+}  // namespace fhg::api

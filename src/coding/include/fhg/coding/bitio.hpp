@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file bitio.hpp
+/// Bit-packed byte streams with Elias-delta varints — the library's wire
+/// primitive.
+///
+/// `BitWriter`/`BitReader` pack bits MSB-first into bytes and write every
+/// unsigned integer as the Elias delta code of `value + 1` — the same
+/// universal code the §4 scheduler is built from, earning its keep as a
+/// serialization format: small values (tags, counts, deltas — the
+/// overwhelming majority) cost a handful of bits.  Both the engine snapshot
+/// format (`fhg/engine/snapshot.hpp`) and the `fhg::api` request/response
+/// wire codec (`fhg/api/codec.hpp`) are built on this pair.
+///
+/// Decoding is defensive by construction: reading past the end of the input
+/// throws `std::runtime_error` (never reads out of bounds), and
+/// `remaining_bits()` lets format layers sanity-check decoded length fields
+/// *before* allocating — a corrupt count can never claim more items than the
+/// stream still holds bits.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fhg::coding {
+
+/// Packs bits MSB-first into bytes; integers as Elias delta of `value + 1`.
+class BitWriter {
+ public:
+  /// Appends one bit.
+  void put_bit(bool b);
+  /// Appends the low `width` bits of `v`, MSB first.
+  void put_bits(std::uint64_t v, std::uint32_t width);
+  /// Appends the Elias delta code of `v + 1` (any `v < 2^64 - 1`).
+  void put_uint(std::uint64_t v);
+  /// Zero-pads to the next byte boundary (no-op when already aligned).
+  void align() noexcept { bit_pos_ = 0; }
+  /// Aligns to a byte boundary, then appends `bytes` verbatim — the bulk
+  /// path for strings and blobs (memcpy speed instead of 8 `put_bit` calls
+  /// per byte).
+  void put_bytes(std::span<const std::uint8_t> bytes);
+  /// Zero-pads to a byte boundary and returns the buffer.
+  [[nodiscard]] std::vector<std::uint8_t> finish();
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint32_t bit_pos_ = 0;  ///< bits used in the last byte (0 = full)
+};
+
+/// Mirror of `BitWriter`.  Throws `std::runtime_error` on truncated input.
+class BitReader {
+ public:
+  /// Reads from `bytes` (not owned; must outlive the reader).
+  explicit BitReader(std::span<const std::uint8_t> bytes) noexcept : bytes_(bytes) {}
+
+  /// Consumes one bit.
+  [[nodiscard]] bool get_bit();
+  /// Consumes `width` bits, MSB first.
+  [[nodiscard]] std::uint64_t get_bits(std::uint32_t width);
+  /// Consumes one Elias-delta codeword and returns the coded value minus 1.
+  [[nodiscard]] std::uint64_t get_uint();
+  /// Skips to the next byte boundary (no-op when already aligned).
+  void align() noexcept { next_bit_ = (next_bit_ + 7) / 8 * 8; }
+  /// Aligns to a byte boundary, then copies `out.size()` bytes verbatim —
+  /// the mirror of `BitWriter::put_bytes`.  Throws on truncated input.
+  void get_bytes(std::span<std::uint8_t> out);
+
+  /// Bits left to read — used to sanity-check decoded length fields before
+  /// allocating (a corrupt count can't claim more items than bits remain).
+  [[nodiscard]] std::uint64_t remaining_bits() const noexcept {
+    return bytes_.size() * 8 - next_bit_;
+  }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t next_bit_ = 0;
+};
+
+/// Guards a decoded length field: `count` items of at least `min_bits_each`
+/// cannot exceed what the stream still holds.  Throws `std::runtime_error`
+/// naming `what` otherwise — the shared defense (engine snapshots, the api
+/// wire codec) against a corrupt count triggering a huge allocation before
+/// truncation is detected.
+void check_count(const BitReader& reader, std::uint64_t count, std::uint64_t min_bits_each,
+                 const char* what);
+
+}  // namespace fhg::coding

@@ -1,0 +1,91 @@
+#include "fhg/coding/bitio.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "fhg/coding/bitstring.hpp"
+#include "fhg/coding/elias.hpp"
+
+namespace fhg::coding {
+
+// ---------------------------------------------------------------- BitWriter --
+
+void BitWriter::put_bit(bool b) {
+  if (bit_pos_ == 0) {
+    bytes_.push_back(0);
+    bit_pos_ = 8;
+  }
+  --bit_pos_;
+  if (b) {
+    bytes_.back() |= static_cast<std::uint8_t>(1U << bit_pos_);
+  }
+}
+
+void BitWriter::put_bits(std::uint64_t v, std::uint32_t width) {
+  for (std::uint32_t i = width; i > 0; --i) {
+    put_bit(((v >> (i - 1)) & 1U) != 0);
+  }
+}
+
+void BitWriter::put_uint(std::uint64_t v) {
+  const BitString code = elias_delta(v + 1);
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    put_bit(code.bit(i));
+  }
+}
+
+void BitWriter::put_bytes(std::span<const std::uint8_t> bytes) {
+  align();
+  bytes_.insert(bytes_.end(), bytes.begin(), bytes.end());
+}
+
+std::vector<std::uint8_t> BitWriter::finish() {
+  bit_pos_ = 0;
+  return std::move(bytes_);
+}
+
+// ---------------------------------------------------------------- BitReader --
+
+bool BitReader::get_bit() {
+  if (next_bit_ >= bytes_.size() * 8) {
+    throw std::runtime_error("bitio: truncated bit stream");
+  }
+  const std::uint8_t byte = bytes_[next_bit_ / 8];
+  const bool b = ((byte >> (7 - next_bit_ % 8)) & 1U) != 0;
+  ++next_bit_;
+  return b;
+}
+
+std::uint64_t BitReader::get_bits(std::uint32_t width) {
+  std::uint64_t v = 0;
+  for (std::uint32_t i = 0; i < width; ++i) {
+    v = (v << 1) | static_cast<std::uint64_t>(get_bit());
+  }
+  return v;
+}
+
+std::uint64_t BitReader::get_uint() {
+  return decode_elias_delta([this] { return get_bit(); }) - 1;
+}
+
+void BitReader::get_bytes(std::span<std::uint8_t> out) {
+  align();
+  const std::size_t first = next_bit_ / 8;
+  if (out.size() > bytes_.size() - first) {
+    throw std::runtime_error("bitio: truncated bit stream");
+  }
+  std::copy_n(bytes_.begin() + static_cast<std::ptrdiff_t>(first), out.size(), out.begin());
+  next_bit_ += out.size() * 8;
+}
+
+void check_count(const BitReader& reader, std::uint64_t count, std::uint64_t min_bits_each,
+                 const char* what) {
+  if (count > reader.remaining_bits() / min_bits_each) {
+    throw std::runtime_error(std::string("bitio: implausible ") + what + " count " +
+                             std::to_string(count));
+  }
+}
+
+}  // namespace fhg::coding

@@ -31,6 +31,7 @@
 #include <string_view>
 #include <vector>
 
+#include "fhg/api/status.hpp"
 #include "fhg/engine/executor.hpp"
 #include "fhg/engine/instance.hpp"
 #include "fhg/engine/query_batch.hpp"
@@ -70,7 +71,15 @@ class Engine {
   /// Const view of the underlying sharded instance registry.
   [[nodiscard]] const InstanceRegistry& registry() const noexcept { return registry_; }
 
-  /// Creates a named instance.  Throws on duplicate names or malformed specs.
+  /// Creates a named instance with a typed verdict instead of an exception:
+  /// `kInvalidArgument` for a malformed spec, `kAlreadyExists` for a taken
+  /// name.  On success `*created` (when non-null) receives the new instance.
+  api::Status try_create_instance(std::string name, graph::Graph g, InstanceSpec spec,
+                                  std::shared_ptr<Instance>* created = nullptr);
+
+  /// Creates a named instance.  Thin shim over `try_create_instance` kept
+  /// for construction-time call sites that treat failure as fatal: throws
+  /// `std::invalid_argument` on duplicate names or malformed specs.
   std::shared_ptr<Instance> create_instance(std::string name, graph::Graph g, InstanceSpec spec);
 
   /// Looks up an instance; nullptr if absent.
@@ -78,8 +87,9 @@ class Engine {
     return registry_.find(name);
   }
 
-  /// Removes an instance; returns false if absent.
-  bool erase_instance(std::string_view name) { return registry_.erase(name); }
+  /// Removes an instance.  `kNotFound` when no such tenant exists; in-flight
+  /// queries holding the instance finish safely either way.
+  api::Status erase_instance(std::string_view name);
 
   /// Number of registered instances (a racing snapshot; see
   /// `InstanceRegistry::size`).

@@ -37,6 +37,11 @@ class InstanceRegistry {
   /// the name is already taken.
   std::shared_ptr<Instance> create(std::string name, graph::Graph g, InstanceSpec spec);
 
+  /// Registers an already built instance under its own name.  Returns false
+  /// (and leaves the registry untouched) when the name is taken — the
+  /// non-throwing half of `create`, for callers that report typed statuses.
+  bool insert(std::shared_ptr<Instance> instance);
+
   /// Looks up an instance; nullptr if absent.
   [[nodiscard]] std::shared_ptr<Instance> find(std::string_view name) const;
 

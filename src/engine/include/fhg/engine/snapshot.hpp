@@ -29,46 +29,17 @@
 #include <span>
 #include <vector>
 
+#include "fhg/coding/bitio.hpp"
 #include "fhg/coding/elias.hpp"
 #include "fhg/engine/registry.hpp"
 
 namespace fhg::engine {
 
-/// Packs bits MSB-first into bytes; integers as Elias delta of `value + 1`.
-class BitWriter {
- public:
-  void put_bit(bool b);
-  /// The low `width` bits of `v`, MSB first.
-  void put_bits(std::uint64_t v, std::uint32_t width);
-  /// Elias delta of `v + 1` (any `v < 2^64 - 1`).
-  void put_uint(std::uint64_t v);
-  /// Zero-pads to a byte boundary and returns the buffer.
-  [[nodiscard]] std::vector<std::uint8_t> finish();
-
- private:
-  std::vector<std::uint8_t> bytes_;
-  std::uint32_t bit_pos_ = 0;  ///< bits used in the last byte (0 = full)
-};
-
-/// Mirror of `BitWriter`.  Throws `std::runtime_error` on truncated input.
-class BitReader {
- public:
-  explicit BitReader(std::span<const std::uint8_t> bytes) noexcept : bytes_(bytes) {}
-
-  [[nodiscard]] bool get_bit();
-  [[nodiscard]] std::uint64_t get_bits(std::uint32_t width);
-  [[nodiscard]] std::uint64_t get_uint();
-
-  /// Bits left to read — used to sanity-check decoded length fields before
-  /// allocating (a corrupt count can't claim more items than bits remain).
-  [[nodiscard]] std::uint64_t remaining_bits() const noexcept {
-    return bytes_.size() * 8 - next_bit_;
-  }
-
- private:
-  std::span<const std::uint8_t> bytes_;
-  std::size_t next_bit_ = 0;
-};
+/// The snapshot bit stream (lives in `fhg::coding` now; the `fhg::api` wire
+/// codec shares it).  Kept as aliases for source compatibility.
+using BitWriter = coding::BitWriter;
+/// Mirror of `BitWriter`; see `fhg::coding::BitReader`.
+using BitReader = coding::BitReader;
 
 /// Wire-format versions.  v1: recipe + holiday only.  v2 (current): adds the
 /// per-instance mutation log and the `slack` spec field.

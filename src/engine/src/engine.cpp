@@ -10,9 +10,49 @@ Engine::Engine(EngineOptions options)
       registry_(options.shards),
       executor_(registry_, pool_) {}
 
+api::Status Engine::try_create_instance(std::string name, graph::Graph g, InstanceSpec spec,
+                                        std::shared_ptr<Instance>* created) {
+  // Build first — a malformed spec (unknown kind, weighted period mismatch)
+  // surfaces as `std::invalid_argument` from the scheduler factory — then
+  // insert, where the only failure left is a name collision.
+  std::shared_ptr<Instance> instance;
+  try {
+    instance = std::make_shared<Instance>(std::move(name), std::move(g), std::move(spec));
+  } catch (const std::invalid_argument& e) {
+    return api::Status::error(api::StatusCode::kInvalidArgument, e.what());
+  } catch (const std::bad_alloc&) {
+    return api::Status::error(api::StatusCode::kResourceExhausted,
+                              "instance too large to allocate");
+  } catch (const std::exception& e) {
+    return api::Status::error(api::StatusCode::kInternal, e.what());
+  }
+  if (!registry_.insert(instance)) {
+    return api::Status::error(api::StatusCode::kAlreadyExists,
+                              "instance '" + instance->name() + "' already exists");
+  }
+  if (created != nullptr) {
+    *created = std::move(instance);
+  }
+  return api::Status::good();
+}
+
 std::shared_ptr<Instance> Engine::create_instance(std::string name, graph::Graph g,
                                                   InstanceSpec spec) {
-  return registry_.create(std::move(name), std::move(g), std::move(spec));
+  std::shared_ptr<Instance> created;
+  const api::Status status =
+      try_create_instance(std::move(name), std::move(g), std::move(spec), &created);
+  if (!status.ok()) {
+    throw std::invalid_argument("Engine::create_instance: " + status.detail);
+  }
+  return created;
+}
+
+api::Status Engine::erase_instance(std::string_view name) {
+  if (!registry_.erase(name)) {
+    return api::Status::error(api::StatusCode::kNotFound,
+                              "no instance named '" + std::string(name) + "'");
+  }
+  return api::Status::good();
 }
 
 std::shared_ptr<Instance> Engine::require(std::string_view instance) const {

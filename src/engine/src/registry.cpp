@@ -19,16 +19,23 @@ InstanceRegistry::Shard& InstanceRegistry::shard_for(std::string_view name) cons
 
 std::shared_ptr<Instance> InstanceRegistry::create(std::string name, graph::Graph g,
                                                    InstanceSpec spec) {
-  auto instance = std::make_shared<Instance>(name, std::move(g), std::move(spec));
-  Shard& shard = shard_for(name);
+  auto instance = std::make_shared<Instance>(std::move(name), std::move(g), std::move(spec));
+  if (!insert(instance)) {
+    throw std::invalid_argument("InstanceRegistry::create: duplicate instance '" +
+                                instance->name() + "'");
+  }
+  return instance;
+}
+
+bool InstanceRegistry::insert(std::shared_ptr<Instance> instance) {
+  Shard& shard = shard_for(instance->name());
   const std::lock_guard<std::mutex> lock(shard.mutex);
-  const auto [it, inserted] = shard.map.emplace(std::move(name), instance);
+  const auto [it, inserted] = shard.map.emplace(instance->name(), instance);
   if (!inserted) {
-    throw std::invalid_argument("InstanceRegistry::create: duplicate instance '" + it->first +
-                                "'");
+    return false;
   }
   epoch_.fetch_add(1, std::memory_order_acq_rel);
-  return instance;
+  return true;
 }
 
 std::shared_ptr<Instance> InstanceRegistry::find(std::string_view name) const {

@@ -12,77 +12,9 @@ namespace {
 
 constexpr std::uint32_t kMagic = 0x46484753;  // "FHGS"
 
-}  // namespace
-
-// ---------------------------------------------------------------- BitWriter --
-
-void BitWriter::put_bit(bool b) {
-  if (bit_pos_ == 0) {
-    bytes_.push_back(0);
-    bit_pos_ = 8;
-  }
-  --bit_pos_;
-  if (b) {
-    bytes_.back() |= static_cast<std::uint8_t>(1U << bit_pos_);
-  }
-}
-
-void BitWriter::put_bits(std::uint64_t v, std::uint32_t width) {
-  for (std::uint32_t i = width; i > 0; --i) {
-    put_bit(((v >> (i - 1)) & 1U) != 0);
-  }
-}
-
-void BitWriter::put_uint(std::uint64_t v) {
-  const coding::BitString code = coding::elias_delta(v + 1);
-  for (std::size_t i = 0; i < code.size(); ++i) {
-    put_bit(code.bit(i));
-  }
-}
-
-std::vector<std::uint8_t> BitWriter::finish() {
-  bit_pos_ = 0;
-  return std::move(bytes_);
-}
-
-// ---------------------------------------------------------------- BitReader --
-
-bool BitReader::get_bit() {
-  if (next_bit_ >= bytes_.size() * 8) {
-    throw std::runtime_error("snapshot: truncated bit stream");
-  }
-  const std::uint8_t byte = bytes_[next_bit_ / 8];
-  const bool b = ((byte >> (7 - next_bit_ % 8)) & 1U) != 0;
-  ++next_bit_;
-  return b;
-}
-
-std::uint64_t BitReader::get_bits(std::uint32_t width) {
-  std::uint64_t v = 0;
-  for (std::uint32_t i = 0; i < width; ++i) {
-    v = (v << 1) | static_cast<std::uint64_t>(get_bit());
-  }
-  return v;
-}
-
-std::uint64_t BitReader::get_uint() {
-  return coding::decode_elias_delta([this] { return get_bit(); }) - 1;
-}
-
-// ----------------------------------------------------------------- snapshot --
-
-namespace {
-
-/// Guards a decoded length field: `count` items of at least `min_bits_each`
-/// cannot exceed what the stream still holds.  Prevents a corrupt count from
-/// triggering a huge allocation before truncation is detected.
-void check_count(const BitReader& r, std::uint64_t count, std::uint64_t min_bits_each,
-                 const char* what) {
-  if (count > r.remaining_bits() / min_bits_each) {
-    throw std::runtime_error(std::string("snapshot: implausible ") + what + " count " +
-                             std::to_string(count));
-  }
-}
+// The length-field plausibility guard is shared with the api wire codec:
+// see coding::check_count beside BitReader in fhg/coding/bitio.hpp.
+using coding::check_count;
 
 void write_graph(BitWriter& w, const graph::Graph& g) {
   w.put_uint(g.num_nodes());
@@ -289,13 +221,25 @@ void restore_registry(InstanceRegistry& registry, std::span<const std::uint8_t> 
                                  "'");
       }
     }
+    // The canonical encoding is strictly name-sorted; enforcing it here
+    // also rules out duplicate names before the destructive phase below.
+    if (!parsed.empty() && parsed.back().name >= p.name) {
+      throw std::runtime_error("snapshot: instances out of canonical name order at '" + p.name +
+                               "'");
+    }
     parsed.push_back(std::move(p));
   }
 
-  registry.clear();
+  // Build, replay, and fast-forward every instance *before* touching the
+  // registry: scheduler construction and log replay are the paths that can
+  // still throw on a pathological snapshot, so they must run while the old
+  // tenancy is intact.  After this loop the destructive phase is
+  // exception-free and the registry can never be left half-restored.
+  std::vector<std::shared_ptr<Instance>> instances;
+  instances.reserve(parsed.size());
   for (auto& p : parsed) {
-    const auto instance =
-        registry.create(std::move(p.name), std::move(p.graph), std::move(p.spec));
+    auto instance =
+        std::make_shared<Instance>(std::move(p.name), std::move(p.graph), std::move(p.spec));
     if (!p.log.empty()) {
       // Replay the mutation log over the freshly built recipe state: every
       // recolor decision is deterministic, so this lands on the identical
@@ -303,6 +247,17 @@ void restore_registry(InstanceRegistry& registry, std::span<const std::uint8_t> 
       instance->replay_mutation_log(p.log);
     }
     instance->fast_forward(p.holiday);
+    instances.push_back(std::move(instance));
+  }
+
+  registry.clear();
+  for (auto& instance : instances) {
+    // A create racing the restore on another shard can take a snapshotted
+    // name between the clear and this insert; the restore wins
+    // deterministically (last writer is the snapshot's tenant).
+    while (!registry.insert(instance)) {
+      (void)registry.erase(instance->name());
+    }
   }
 }
 

@@ -76,6 +76,7 @@ struct ShardMetrics {
   std::uint64_t queries = 0;           ///< membership requests completed
   std::uint64_t next_gatherings = 0;   ///< next-gathering requests completed
   std::uint64_t mutations = 0;         ///< mutation batches applied
+  std::uint64_t admin = 0;             ///< lifecycle / tenancy-wide requests served
   std::uint64_t failed = 0;            ///< requests completed with an error
   std::uint64_t batches = 0;           ///< coalesced engine batch calls
   std::uint64_t queue_high_water = 0;  ///< deepest queue ever observed
@@ -91,6 +92,7 @@ struct ShardMetrics {
     queries += other.queries;
     next_gatherings += other.next_gatherings;
     mutations += other.mutations;
+    admin += other.admin;
     failed += other.failed;
     batches += other.batches;
     queue_high_water =

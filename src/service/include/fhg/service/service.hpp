@@ -1,7 +1,8 @@
 #pragma once
 
 /// \file service.hpp
-/// The sharded asynchronous request pipeline over `fhg::engine`.
+/// The sharded asynchronous request pipeline over `fhg::engine` — the
+/// production implementation of the `fhg::api` protocol.
 ///
 /// `Engine` answers queries synchronously on the caller's thread; the fast
 /// path is the *batched* one (`query_batch` amortizes snapshot access and
@@ -12,28 +13,35 @@
 /// `QuerySnapshot::query_batch` / `next_gathering_batch` calls — so callers
 /// submitting single requests transparently get batched throughput.
 ///
-/// Requests address instances by *name* and are routed to a shard by name
-/// hash (`std::hash<std::string_view>`, the same function
+/// The service executes every `api::Request` kind (it implements
+/// `api::Handler`, which is what the in-process and socket transports are
+/// written against).  Requests that address an instance are routed to a
+/// shard by name hash (`std::hash<std::string_view>`, the same function
 /// `InstanceRegistry` shards by), which gives the pipeline its ordering
-/// unit: everything about one instance lands in one queue.  Mutation
-/// requests ride the same queue as queries, so a shard's mutations
-/// serialize against that shard's queries in submission order — no global
-/// lock anywhere.  Queries submitted after a mutation of the same instance
-/// observe the post-mutation schedule; other shards proceed independently.
+/// unit: *everything* about one instance — queries, mutations, and since
+/// this revision the lifecycle operations `CreateInstance`/`EraseInstance`
+/// too — lands in one queue and serializes in submission order.  A query
+/// submitted after a create of the same name observes the new tenant; after
+/// an erase, a typed `kNotFound`.  Tenancy-wide requests (`ListInstances`,
+/// `Snapshot`, `Restore`) route to shard 0 and serialize only with shard-0
+/// traffic; the engine's own locking keeps them safe against the rest.
 ///
-/// Admission control is a bounded queue with a typed reject: when a shard
-/// is at capacity the submission returns `Reject::kQueueFull` immediately
-/// (backpressure the caller can act on) instead of blocking or buffering
-/// without bound.  `drain()` stops admission, completes everything already
-/// accepted, and joins the workers; the destructor drains too.
+/// Admission control is a bounded queue with a typed verdict folded into
+/// the protocol's status model: when a shard is at capacity a submission
+/// reports `api::StatusCode::kQueueFull` immediately (backpressure the
+/// caller can act on) instead of blocking or buffering without bound, and a
+/// draining service reports `kStopped`.  `drain()` stops admission,
+/// completes everything already accepted, and joins the workers; the
+/// destructor drains too.
 ///
 /// ```
 /// fhg::service::Service service(engine, {.shards = 4});
 /// auto pending = service.is_happy("acme", 7, 123456789);     // future flavor
 /// if (pending.accepted()) { bool happy = pending.future.get(); }
-/// service.next_gathering("acme", 7, 0, [](auto outcome) {    // callback flavor
-///   if (outcome.ok()) use(*outcome.value);
-/// });
+/// service.handle(fhg::api::IsHappyRequest{"acme", 7, 1},     // protocol flavor
+///                [](fhg::api::Response response) {
+///                  if (response.ok()) { /* typed payload */ }
+///                });
 /// service.drain();                                           // graceful shutdown
 /// ```
 
@@ -53,6 +61,9 @@
 #include <variant>
 #include <vector>
 
+#include "fhg/api/handler.hpp"
+#include "fhg/api/protocol.hpp"
+#include "fhg/api/status.hpp"
 #include "fhg/dynamic/mutation.hpp"
 #include "fhg/engine/engine.hpp"
 #include "fhg/graph/graph.hpp"
@@ -60,20 +71,27 @@
 
 namespace fhg::service {
 
-/// Why a submission was refused at admission.
-enum class Reject : std::uint8_t {
-  kQueueFull = 0,  ///< the owning shard's queue is at capacity (backpressure)
-  kStopped = 1,    ///< the service is draining or has been drained
-};
+/// Why a submission was refused at admission.  Folded into the protocol's
+/// unified status vocabulary: the old `Reject` enum is now an alias for
+/// `api::StatusCode`, whose `kQueueFull`/`kStopped` members carry the exact
+/// semantics (and `api::status_name` the exact spellings) `Reject` had.
+using Reject = api::StatusCode;
 
-/// Human-readable reject name ("queue-full", "stopped").
-[[nodiscard]] std::string_view reject_name(Reject reject);
+/// Human-readable reject name ("queue-full", "stopped").  Deprecated alias
+/// for `api::status_name`, kept so existing call sites keep compiling.
+[[nodiscard]] inline std::string_view reject_name(Reject reject) {
+  return api::status_name(reject);
+}
 
 /// What one asynchronously served request produced (callback flavor).
 template <typename T>
 struct Outcome {
   std::optional<T> value;  ///< engaged iff the request succeeded
   std::string error;       ///< failure description; empty on success
+  /// The typed failure reason (`kOk` on success) — the same vocabulary the
+  /// wire protocol speaks, so callback callers branch without string
+  /// matching.
+  api::StatusCode code = api::StatusCode::kOk;
 
   /// True iff the request succeeded and `value` is engaged.
   [[nodiscard]] bool ok() const noexcept { return value.has_value(); }
@@ -110,7 +128,7 @@ struct ServiceOptions {
 /// The sharded asynchronous serving front-end.  Thread-safe: any thread may
 /// submit; each accepted request is completed exactly once (future fulfilled
 /// or callback invoked) by its shard's worker, including during `drain()`.
-class Service {
+class Service : public api::Handler {
  public:
   /// Builds the front-end over `engine` (not owned; must outlive the
   /// service) and, unless `options.start` is false, spawns one worker
@@ -118,7 +136,7 @@ class Service {
   explicit Service(engine::Engine& engine, ServiceOptions options = {});
 
   /// Drains: refuses new work, completes accepted work, joins workers.
-  ~Service();
+  ~Service() override;
 
   Service(const Service&) = delete;             ///< non-copyable (owns threads)
   Service& operator=(const Service&) = delete;  ///< non-assignable
@@ -131,18 +149,19 @@ class Service {
 
   /// The shard `instance` routes to: `std::hash<std::string_view>` modulo
   /// the shard count — the same hash `InstanceRegistry` shards by, so one
-  /// instance's requests always serialize through one queue.
+  /// instance's requests always serialize through one queue.  Tenancy-wide
+  /// requests (empty routing key) go to shard 0.
   [[nodiscard]] std::size_t shard_of(std::string_view instance) const noexcept {
-    return std::hash<std::string_view>{}(instance) % shards_.size();
+    return instance.empty() ? 0 : std::hash<std::string_view>{}(instance) % shards_.size();
   }
 
   /// Spawns the shard workers if they are not running yet (no-op when the
   /// service was constructed with `options.start == true`).
   void start();
 
-  /// Graceful shutdown: stops admission (subsequent submissions return
-  /// `Reject::kStopped`), serves every request already accepted, then joins
-  /// the workers.  Starts them first if the service never started, so
+  /// Graceful shutdown: stops admission (subsequent submissions report
+  /// `kStopped`), serves every request already accepted, then joins the
+  /// workers.  Starts them first if the service never started, so
   /// deferred-start services still complete their backlog.  Idempotent.
   void drain();
 
@@ -150,6 +169,21 @@ class Service {
   [[nodiscard]] bool stopped() const noexcept {
     return stopped_.load(std::memory_order_acquire);
   }
+
+  // -- The protocol entry point (api::Handler) --------------------------------
+
+  /// Executes any `api::Request` through the owning shard's FIFO and
+  /// completes `done` with a typed `api::Response` — including admission
+  /// failures, which arrive as `kQueueFull`/`kStopped` responses invoked
+  /// synchronously on the calling thread.  `done` runs on the shard worker
+  /// otherwise and must not re-enter the service with a blocking wait.
+  void handle(api::Request request, api::ResponseCallback done) override;
+
+  /// Future flavor of `handle`: always yields a response (rejects included,
+  /// as typed statuses — the future never holds a broken promise).
+  [[nodiscard]] std::future<api::Response> submit(api::Request request);
+
+  // -- Typed single-call flavors (thin shims over the same queue) -------------
 
   /// Asynchronous membership query: is `v` happy on holiday `t` of
   /// `instance`?  Future flavor; failures (unknown instance, node out of
@@ -191,21 +225,16 @@ class Service {
  private:
   using Clock = std::chrono::steady_clock;
 
-  /// What a queued request asks for.
-  enum class Kind : std::uint8_t { kIsHappy, kNextGathering, kMutate };
-
   /// How a queued request reports back — exactly one alternative is active.
+  /// The typed single-call flavors complete promises/`Outcome` callbacks;
+  /// requests that entered through `handle` complete an `api::Response`.
   using Completion =
       std::variant<std::promise<bool>, Callback<bool>, std::promise<std::uint64_t>,
                    Callback<std::uint64_t>, std::promise<engine::MutationResult>,
-                   Callback<engine::MutationResult>>;
+                   Callback<engine::MutationResult>, api::ResponseCallback>;
 
   struct Request {
-    Kind kind = Kind::kIsHappy;
-    std::string instance;
-    graph::NodeId node = 0;
-    std::uint64_t holiday = 0;
-    std::vector<dynamic::MutationCommand> commands;  ///< Kind::kMutate only
+    api::Request body;  ///< the typed request; the variant index is the kind
     Clock::time_point enqueued;
     Completion done;
   };
@@ -221,10 +250,13 @@ class Service {
 
   /// Admission: route to the owning shard, reject typed when stopped or
   /// full, otherwise enqueue and wake the worker if it may be sleeping.
-  std::optional<Reject> enqueue(Request request);
+  /// `request` is consumed only on success — on a reject the caller keeps
+  /// it, so `handle` can still deliver the typed reject response.
+  std::optional<Reject> enqueue(Request& request);
 
   /// Per-shard worker: drain the queue, coalesce query runs into batch
-  /// calls, serialize mutations between them; exit once stopped and empty.
+  /// calls, serialize mutations and admin requests between them; exit once
+  /// stopped and empty.
   void worker_loop(Shard& shard);
 
   /// Serves one drained batch in submission order.
@@ -236,9 +268,21 @@ class Service {
   /// Applies one mutation request through the engine.
   void serve_mutation(Request& request, ShardMetrics& local);
 
-  /// Completes `request` with `outcome`, recording latency as of `now`.
-  template <typename T>
-  void finish(Request& request, Outcome<T> outcome, Clock::time_point now, ShardMetrics& local);
+  /// Serves one lifecycle / tenancy-wide request (`CreateInstance`,
+  /// `EraseInstance`, `ListInstances`, `Snapshot`, `Restore`) through the
+  /// engine's typed entry points.
+  void serve_admin(Request& request, ShardMetrics& local);
+
+  /// Completes `request` with (status, value), recording latency as of
+  /// `now`.  `make_payload` lifts a value into the matching
+  /// `api::ResponsePayload` alternative for protocol-flavor completions.
+  template <typename T, typename MakePayload>
+  void finish(Request& request, api::Status status, std::optional<T> value,
+              Clock::time_point now, ShardMetrics& local, MakePayload make_payload);
+
+  /// Completes an admin request (always protocol-flavor) with `response`.
+  void finish_admin(Request& request, api::Response response, Clock::time_point now,
+                    ShardMetrics& local);
 
   engine::Engine& engine_;
   ServiceOptions options_;

@@ -8,15 +8,32 @@
 
 namespace fhg::service {
 
-std::string_view reject_name(Reject reject) {
-  switch (reject) {
-    case Reject::kQueueFull:
-      return "queue-full";
-    case Reject::kStopped:
-      return "stopped";
-  }
-  return "unknown";
+namespace {
+
+/// The admission-failure detail carried in protocol-flavor reject responses.
+std::string reject_detail(Reject reject) {
+  return reject == api::StatusCode::kQueueFull
+             ? "the owning shard's queue is at capacity"
+             : "the service is draining or has been drained";
 }
+
+/// The uniform view `flush_queries` needs of the two query kinds.
+struct QueryView {
+  std::string_view instance;
+  graph::NodeId node = 0;
+  std::uint64_t holiday = 0;  ///< queried holiday, or the `after` bound
+  bool membership = false;    ///< true = IsHappy, false = NextGathering
+};
+
+QueryView view_of(const api::Request& body) {
+  if (const auto* q = std::get_if<api::IsHappyRequest>(&body)) {
+    return {q->instance, q->node, q->holiday, true};
+  }
+  const auto& n = std::get<api::NextGatheringRequest>(body);
+  return {n.instance, n.node, n.after, false};
+}
+
+}  // namespace
 
 Service::Service(engine::Engine& engine, ServiceOptions options)
     : engine_(engine), options_(options) {
@@ -72,8 +89,8 @@ void Service::drain() {
   }
 }
 
-std::optional<Reject> Service::enqueue(Request request) {
-  Shard& shard = *shards_[shard_of(request.instance)];
+std::optional<Reject> Service::enqueue(Request& request) {
+  Shard& shard = *shards_[shard_of(api::routing_instance(request.body))];
   // Stamped outside the lock: the clock read must not lengthen the critical
   // section every submitter serializes on.
   request.enqueued = Clock::now();
@@ -82,11 +99,11 @@ std::optional<Reject> Service::enqueue(Request request) {
     const std::lock_guard<std::mutex> lock(shard.mutex);
     if (shard.stop || stopped_.load(std::memory_order_acquire)) {
       ++shard.metrics.rejected_stopped;
-      return Reject::kStopped;
+      return api::StatusCode::kStopped;
     }
     if (shard.queue.size() >= options_.queue_capacity) {
       ++shard.metrics.rejected_full;
-      return Reject::kQueueFull;
+      return api::StatusCode::kQueueFull;
     }
     wake = shard.queue.empty();
     shard.queue.push_back(std::move(request));
@@ -124,14 +141,26 @@ void Service::process(Shard& shard, std::deque<Request>& batch) {
   std::vector<Request*> run;
   run.reserve(batch.size());
   for (Request& request : batch) {
-    if (request.kind == Kind::kMutate) {
-      // Preserve submission order around the mutation: queries queued before
-      // it are answered against the pre-mutation schedule, queries after it
-      // against the republished one (each flush takes a fresh snapshot).
-      flush_queries(run, local);
-      serve_mutation(request, local);
-    } else {
-      run.push_back(&request);
+    switch (request.body.index()) {
+      case 0:  // IsHappy
+      case 1:  // NextGathering
+        run.push_back(&request);
+        break;
+      case 2:  // ApplyMutations
+        // Preserve submission order around the mutation: queries queued
+        // before it are answered against the pre-mutation schedule, queries
+        // after it against the republished one (each flush takes a fresh
+        // snapshot).
+        flush_queries(run, local);
+        serve_mutation(request, local);
+        break;
+      default:  // Create / Erase / List / Snapshot / Restore
+        // Lifecycle ops serialize through the same FIFO: a query queued
+        // after a create of the same name must observe the new tenant, and
+        // one queued after an erase must fail typed.
+        flush_queries(run, local);
+        serve_admin(request, local);
+        break;
     }
   }
   flush_queries(run, local);
@@ -141,26 +170,54 @@ void Service::process(Shard& shard, std::deque<Request>& batch) {
   }
 }
 
-template <typename T>
-void Service::finish(Request& request, Outcome<T> outcome, Clock::time_point now,
-                     ShardMetrics& local) {
+template <typename T, typename MakePayload>
+void Service::finish(Request& request, api::Status status, std::optional<T> value,
+                     Clock::time_point now, ShardMetrics& local, MakePayload make_payload) {
   const auto waited = std::chrono::duration_cast<std::chrono::microseconds>(
       now - request.enqueued);
   local.latency_us.record(static_cast<std::uint64_t>(waited.count()));
-  if (!outcome.ok()) {
+  if (!status.ok()) {
     ++local.failed;
   }
   if (auto* promise = std::get_if<std::promise<T>>(&request.done)) {
-    if (outcome.ok()) {
-      promise->set_value(std::move(*outcome.value));
+    if (status.ok()) {
+      promise->set_value(std::move(*value));
     } else {
-      promise->set_exception(std::make_exception_ptr(std::runtime_error(outcome.error)));
+      promise->set_exception(std::make_exception_ptr(std::runtime_error(status.detail)));
     }
     return;
   }
-  auto& callback = std::get<Callback<T>>(request.done);
-  if (callback) {
-    callback(std::move(outcome));
+  if (auto* callback = std::get_if<Callback<T>>(&request.done)) {
+    if (*callback) {
+      (*callback)(Outcome<T>{std::move(value), std::move(status.detail), status.code});
+    }
+    return;
+  }
+  // Protocol flavor: the completion is an api::ResponseCallback.
+  auto& respond = std::get<api::ResponseCallback>(request.done);
+  if (respond) {
+    api::Response response;
+    if (status.ok()) {
+      response.payload = make_payload(std::move(*value));
+    }
+    response.status = std::move(status);
+    respond(std::move(response));
+  }
+}
+
+void Service::finish_admin(Request& request, api::Response response, Clock::time_point now,
+                           ShardMetrics& local) {
+  const auto waited = std::chrono::duration_cast<std::chrono::microseconds>(
+      now - request.enqueued);
+  local.latency_us.record(static_cast<std::uint64_t>(waited.count()));
+  if (!response.ok()) {
+    ++local.failed;
+  }
+  // Admin kinds are only reachable through `handle`, so the completion is
+  // always the protocol flavor.
+  auto& respond = std::get<api::ResponseCallback>(request.done);
+  if (respond) {
+    respond(std::move(response));
   }
 }
 
@@ -171,18 +228,20 @@ void Service::flush_queries(std::vector<Request*>& run, ShardMetrics& local) {
   const auto snapshot = engine_.query_snapshot();
   ++local.batches;
   local.batch_size.record(run.size());
+  const auto make_happy = [](bool happy) { return api::IsHappyResponse{happy}; };
+  const auto make_next = [](std::uint64_t holiday) {
+    return api::NextGatheringResponse{holiday};
+  };
   // Resolve and validate each request individually, so one unknown instance
   // or out-of-range node fails that request alone instead of poisoning the
   // whole coalesced batch (the kernels throw on any invalid probe).
-  const auto fail_query = [&](Request& request, std::string error) {
+  const auto fail_query = [&](Request& request, const QueryView& view, api::Status status) {
     const auto now = Clock::now();
-    if (request.kind == Kind::kIsHappy) {
-      finish(request, Outcome<bool>{.value = std::nullopt, .error = std::move(error)}, now,
-             local);
+    if (view.membership) {
+      finish<bool>(request, std::move(status), std::nullopt, now, local, make_happy);
       ++local.queries;
     } else {
-      finish(request, Outcome<std::uint64_t>{.value = std::nullopt, .error = std::move(error)},
-             now, local);
+      finish<std::uint64_t>(request, std::move(status), std::nullopt, now, local, make_next);
       ++local.next_gatherings;
     }
   };
@@ -191,19 +250,24 @@ void Service::flush_queries(std::vector<Request*>& run, ShardMetrics& local) {
   std::vector<engine::Probe> next_probes;
   std::vector<Request*> next_requests;
   for (Request* request : run) {
-    const auto id = snapshot->id_of(request->instance);
+    const QueryView view = view_of(request->body);
+    const auto id = snapshot->id_of(view.instance);
     if (!id) {
-      fail_query(*request, "no instance named '" + request->instance + "'");
+      fail_query(*request, view,
+                 api::Status::error(api::StatusCode::kNotFound,
+                                    "no instance named '" + std::string(view.instance) + "'"));
       continue;
     }
-    if (request->node >= snapshot->num_nodes(*id)) {
-      fail_query(*request, "node " + std::to_string(request->node) +
-                               " out of range for instance '" + request->instance + "'");
+    if (view.node >= snapshot->num_nodes(*id)) {
+      fail_query(*request, view,
+                 api::Status::error(api::StatusCode::kInvalidArgument,
+                                    "node " + std::to_string(view.node) +
+                                        " out of range for instance '" +
+                                        std::string(view.instance) + "'"));
       continue;
     }
-    const engine::Probe probe{.instance = *id, .node = request->node,
-                              .holiday = request->holiday};
-    if (request->kind == Kind::kIsHappy) {
+    const engine::Probe probe{.instance = *id, .node = view.node, .holiday = view.holiday};
+    if (view.membership) {
       member_probes.push_back(probe);
       member_requests.push_back(request);
     } else {
@@ -211,27 +275,39 @@ void Service::flush_queries(std::vector<Request*>& run, ShardMetrics& local) {
       next_requests.push_back(request);
     }
   }
+  // A batch kernel can fail as a whole (e.g. an aperiodic tenant hitting its
+  // replay limit).  Fall back to serving each request singly via the engine
+  // so only the offenders fail — with the exception type mapped to the
+  // protocol's status vocabulary.
+  const auto single_status = [](const std::exception& e) {
+    if (dynamic_cast<const std::out_of_range*>(&e) != nullptr) {
+      // Pre-validation passed against the snapshot, so an out-of-range here
+      // means the tenant vanished between snapshot and fallback.
+      return api::Status::error(api::StatusCode::kNotFound, e.what());
+    }
+    if (dynamic_cast<const std::runtime_error*>(&e) != nullptr) {
+      return api::Status::error(api::StatusCode::kResourceExhausted, e.what());
+    }
+    return api::Status::error(api::StatusCode::kInternal, e.what());
+  };
   if (!member_probes.empty()) {
     std::vector<std::uint8_t> answers(member_probes.size());
     try {
       snapshot->query_batch(member_probes, answers);
       const auto now = Clock::now();
       for (std::size_t i = 0; i < member_requests.size(); ++i) {
-        finish(*member_requests[i], Outcome<bool>{.value = answers[i] != 0, .error = {}}, now,
-               local);
+        finish<bool>(*member_requests[i], api::Status::good(), answers[i] != 0, now, local,
+                     make_happy);
       }
     } catch (const std::exception&) {
-      // A batch kernel can fail as a whole (e.g. an aperiodic tenant hitting
-      // its replay limit).  Fall back to serving each request singly via the
-      // engine so only the offenders fail.
       const auto now = Clock::now();
       for (Request* request : member_requests) {
+        const QueryView view = view_of(request->body);
         try {
-          const bool happy = engine_.is_happy(request->instance, request->node, request->holiday);
-          finish(*request, Outcome<bool>{.value = happy, .error = {}}, now, local);
+          const bool happy = engine_.is_happy(view.instance, view.node, view.holiday);
+          finish<bool>(*request, api::Status::good(), happy, now, local, make_happy);
         } catch (const std::exception& single) {
-          finish(*request, Outcome<bool>{.value = std::nullopt, .error = single.what()}, now,
-                 local);
+          finish<bool>(*request, single_status(single), std::nullopt, now, local, make_happy);
         }
       }
     }
@@ -243,21 +319,20 @@ void Service::flush_queries(std::vector<Request*>& run, ShardMetrics& local) {
       snapshot->next_gathering_batch(next_probes, answers);
       const auto now = Clock::now();
       for (std::size_t i = 0; i < next_requests.size(); ++i) {
-        finish(*next_requests[i], Outcome<std::uint64_t>{.value = answers[i], .error = {}}, now,
-               local);
+        finish<std::uint64_t>(*next_requests[i], api::Status::good(), answers[i], now, local,
+                              make_next);
       }
     } catch (const std::exception&) {
       const auto now = Clock::now();
       for (Request* request : next_requests) {
+        const QueryView view = view_of(request->body);
         try {
-          const auto next =
-              engine_.next_gathering(request->instance, request->node, request->holiday);
-          finish(*request,
-                 Outcome<std::uint64_t>{.value = next.value_or(engine::kNoGathering), .error = {}},
-                 now, local);
+          const auto next = engine_.next_gathering(view.instance, view.node, view.holiday);
+          finish<std::uint64_t>(*request, api::Status::good(),
+                                next.value_or(engine::kNoGathering), now, local, make_next);
         } catch (const std::exception& single) {
-          finish(*request, Outcome<std::uint64_t>{.value = std::nullopt, .error = single.what()},
-                 now, local);
+          finish<std::uint64_t>(*request, single_status(single), std::nullopt, now, local,
+                                make_next);
         }
       }
     }
@@ -268,48 +343,139 @@ void Service::flush_queries(std::vector<Request*>& run, ShardMetrics& local) {
 
 void Service::serve_mutation(Request& request, ShardMetrics& local) {
   ++local.mutations;
+  auto& mutate = std::get<api::ApplyMutationsRequest>(request.body);
+  const auto make_payload = [](engine::MutationResult result) {
+    return api::ApplyMutationsResponse{result.applied, result.recolors, result.table_version};
+  };
+  api::Status status;
+  std::optional<engine::MutationResult> result;
   try {
-    const engine::MutationResult result = engine_.apply_mutations(request.instance,
-                                                                  request.commands);
-    finish(request, Outcome<engine::MutationResult>{.value = result, .error = {}}, Clock::now(),
-           local);
+    result = engine_.apply_mutations(mutate.instance, mutate.commands);
+  } catch (const std::out_of_range& e) {
+    status = api::Status::error(api::StatusCode::kNotFound, e.what());
+  } catch (const std::invalid_argument& e) {
+    status = api::Status::error(api::StatusCode::kInvalidArgument, e.what());
+  } catch (const std::logic_error& e) {
+    // Engine::apply_mutations throws logic_error for non-dynamic tenants.
+    status = api::Status::error(api::StatusCode::kFailedPrecondition, e.what());
   } catch (const std::exception& e) {
-    finish(request, Outcome<engine::MutationResult>{.value = std::nullopt, .error = e.what()},
-           Clock::now(), local);
+    status = api::Status::error(api::StatusCode::kInternal, e.what());
   }
+  finish<engine::MutationResult>(request, std::move(status), std::move(result), Clock::now(),
+                                 local, make_payload);
+}
+
+void Service::serve_admin(Request& request, ShardMetrics& local) {
+  ++local.admin;
+  api::Response response;
+  if (auto* create = std::get_if<api::CreateInstanceRequest>(&request.body)) {
+    try {
+      graph::Graph g = graph::Graph::from_edges(create->nodes, create->edges);
+      api::Status status = engine_.try_create_instance(std::move(create->instance),
+                                                       std::move(g), std::move(create->spec));
+      if (status.ok()) {
+        response.payload = api::CreateInstanceResponse{};
+      }
+      response.status = std::move(status);
+    } catch (const std::invalid_argument& e) {
+      // Graph::from_edges rejects self-loops and out-of-range endpoints.
+      response = api::Response::error(api::StatusCode::kInvalidArgument, e.what());
+    } catch (const std::bad_alloc&) {
+      // The codec admits node counts up to the NodeId range; a request
+      // asking for a graph this machine cannot hold must fail typed, not
+      // escape the shard worker and terminate the server.
+      response = api::Response::error(api::StatusCode::kResourceExhausted,
+                                      "instance too large to allocate");
+    } catch (const std::exception& e) {
+      response = api::Response::error(api::StatusCode::kInternal, e.what());
+    }
+  } else if (const auto* erase = std::get_if<api::EraseInstanceRequest>(&request.body)) {
+    api::Status status = engine_.erase_instance(erase->instance);
+    if (status.ok()) {
+      response.payload = api::EraseInstanceResponse{};
+    }
+    response.status = std::move(status);
+  } else if (std::holds_alternative<api::ListInstancesRequest>(request.body)) {
+    api::ListInstancesResponse list;
+    const auto instances = engine_.registry().all_sorted();
+    list.instances.reserve(instances.size());
+    for (const auto& instance : instances) {
+      list.instances.push_back(api::InstanceInfo{.name = instance->name(),
+                                                 .kind = instance->spec().kind,
+                                                 .nodes = instance->num_nodes(),
+                                                 .periodic = instance->periodic(),
+                                                 .dynamic = instance->dynamic()});
+    }
+    response.payload = std::move(list);
+  } else if (std::holds_alternative<api::SnapshotRequest>(request.body)) {
+    try {
+      response.payload = api::SnapshotResponse{engine_.snapshot()};
+    } catch (const std::exception& e) {
+      response = api::Response::error(api::StatusCode::kInternal, e.what());
+    }
+  } else {
+    const auto& restore = std::get<api::RestoreRequest>(request.body);
+    try {
+      engine_.load_snapshot(restore.bytes);
+      response.payload = api::RestoreResponse{engine_.num_instances()};
+    } catch (const std::exception& e) {
+      // restore_registry parses the whole stream before touching the
+      // registry, so a malformed snapshot leaves the old tenancy in place.
+      response = api::Response::error(api::StatusCode::kInvalidArgument, e.what());
+    }
+  }
+  finish_admin(request, std::move(response), Clock::now(), local);
+}
+
+void Service::handle(api::Request request, api::ResponseCallback done) {
+  Request internal{std::move(request), {}, std::move(done)};
+  if (const auto reject = enqueue(internal)) {
+    // The unified contract: rejects are typed responses too, delivered
+    // synchronously on the submitting thread.
+    auto& respond = std::get<api::ResponseCallback>(internal.done);
+    if (respond) {
+      respond(api::Response::error(*reject, reject_detail(*reject)));
+    }
+  }
+}
+
+std::future<api::Response> Service::submit(api::Request request) {
+  auto promise = std::make_shared<std::promise<api::Response>>();
+  std::future<api::Response> future = promise->get_future();
+  handle(std::move(request),
+         [promise](api::Response response) { promise->set_value(std::move(response)); });
+  return future;
 }
 
 Submission<bool> Service::is_happy(std::string instance, graph::NodeId v, std::uint64_t t) {
   std::promise<bool> promise;
   Submission<bool> submission{.future = promise.get_future(), .reject = std::nullopt};
-  submission.reject = enqueue(Request{.kind = Kind::kIsHappy, .instance = std::move(instance),
-                                      .node = v, .holiday = t, .commands = {}, .enqueued = {},
-                                      .done = std::move(promise)});
+  Request request{api::IsHappyRequest{std::move(instance), v, t}, {}, std::move(promise)};
+  submission.reject = enqueue(request);
   return submission;
 }
 
 std::optional<Reject> Service::is_happy(std::string instance, graph::NodeId v, std::uint64_t t,
                                         Callback<bool> done) {
-  return enqueue(Request{.kind = Kind::kIsHappy, .instance = std::move(instance), .node = v,
-                         .holiday = t, .commands = {}, .enqueued = {}, .done = std::move(done)});
+  Request request{api::IsHappyRequest{std::move(instance), v, t}, {}, std::move(done)};
+  return enqueue(request);
 }
 
 Submission<std::uint64_t> Service::next_gathering(std::string instance, graph::NodeId v,
                                                   std::uint64_t after) {
   std::promise<std::uint64_t> promise;
   Submission<std::uint64_t> submission{.future = promise.get_future(), .reject = std::nullopt};
-  submission.reject = enqueue(Request{.kind = Kind::kNextGathering,
-                                      .instance = std::move(instance), .node = v,
-                                      .holiday = after, .commands = {}, .enqueued = {},
-                                      .done = std::move(promise)});
+  Request request{api::NextGatheringRequest{std::move(instance), v, after}, {},
+                  std::move(promise)};
+  submission.reject = enqueue(request);
   return submission;
 }
 
 std::optional<Reject> Service::next_gathering(std::string instance, graph::NodeId v,
                                               std::uint64_t after, Callback<std::uint64_t> done) {
-  return enqueue(Request{.kind = Kind::kNextGathering, .instance = std::move(instance), .node = v,
-                         .holiday = after, .commands = {}, .enqueued = {},
-                         .done = std::move(done)});
+  Request request{api::NextGatheringRequest{std::move(instance), v, after}, {},
+                  std::move(done)};
+  return enqueue(request);
 }
 
 Submission<engine::MutationResult> Service::apply_mutations(
@@ -317,18 +483,18 @@ Submission<engine::MutationResult> Service::apply_mutations(
   std::promise<engine::MutationResult> promise;
   Submission<engine::MutationResult> submission{.future = promise.get_future(),
                                                 .reject = std::nullopt};
-  submission.reject = enqueue(Request{.kind = Kind::kMutate, .instance = std::move(instance),
-                                      .node = 0, .holiday = 0, .commands = std::move(commands),
-                                      .enqueued = {}, .done = std::move(promise)});
+  Request request{api::ApplyMutationsRequest{std::move(instance), std::move(commands)}, {},
+                  std::move(promise)};
+  submission.reject = enqueue(request);
   return submission;
 }
 
 std::optional<Reject> Service::apply_mutations(std::string instance,
                                                std::vector<dynamic::MutationCommand> commands,
                                                Callback<engine::MutationResult> done) {
-  return enqueue(Request{.kind = Kind::kMutate, .instance = std::move(instance), .node = 0,
-                         .holiday = 0, .commands = std::move(commands), .enqueued = {},
-                         .done = std::move(done)});
+  Request request{api::ApplyMutationsRequest{std::move(instance), std::move(commands)}, {},
+                  std::move(done)};
+  return enqueue(request);
 }
 
 ServiceMetrics Service::metrics() const {

@@ -24,6 +24,7 @@
 #include <string_view>
 #include <vector>
 
+#include "fhg/api/protocol.hpp"
 #include "fhg/dynamic/mutation.hpp"
 #include "fhg/engine/engine.hpp"
 #include "fhg/engine/query_batch.hpp"
@@ -101,28 +102,6 @@ struct ProbeRound {
   std::vector<engine::Probe> next_gathering;  ///< for `next_gathering_batch`
 };
 
-/// One request of a deterministic service-layer stream, addressed by tenant
-/// *slot* (resolve the name via `tenant_name(slot)`).  This is the shape
-/// `fhg::service::Service` consumes: name-addressed single requests, which
-/// the service coalesces into engine batches — so load generators and
-/// benchmarks drive the asynchronous front-end with byte-identical streams.
-struct ServiceRequest {
-  /// Which service entry point the request exercises.
-  enum class Kind : std::uint8_t {
-    kIsHappy = 0,        ///< membership query
-    kNextGathering = 1,  ///< next-gathering query
-    kMutate = 2,         ///< topology mutation batch (dynamic slots only)
-  };
-
-  Kind kind = Kind::kIsHappy;
-  std::size_t slot = 0;              ///< tenant slot; name via `tenant_name`
-  graph::NodeId node = 0;            ///< the family asked about (queries)
-  std::uint64_t holiday = 0;         ///< queried holiday / exclusive lower bound
-  std::uint64_t mutation_round = 0;  ///< kMutate: round fed to `mutation_commands`
-
-  friend bool operator==(const ServiceRequest&, const ServiceRequest&) = default;
-};
-
 class ScenarioGenerator {
  public:
   explicit ScenarioGenerator(ScenarioSpec spec);
@@ -167,17 +146,22 @@ class ScenarioGenerator {
   std::size_t churn_round(engine::Engine& eng, std::uint64_t round,
                           std::vector<std::uint64_t>& generations) const;
 
-  /// Deterministic service request stream `round` with `count` requests: a
-  /// `mutation` fraction of the rolls attempt a mutation batch (kept only
-  /// when the rolled slot's generation-0 recipe is dynamic — otherwise the
-  /// roll degrades to a query), a `mix.next_gathering` fraction of the rest
-  /// are next-gathering probes, the remainder membership probes.  Query
-  /// nodes are drawn below `spec.nodes`, which every family's tenant graph
-  /// meets or exceeds, so requests stay valid whatever the live topology.
-  /// Pure function of `(spec, count, round)` — every consumer (engine
-  /// server, benches, tests) derives identical streams.
-  [[nodiscard]] std::vector<ServiceRequest> request_stream(std::size_t count,
-                                                           std::uint64_t round = 0) const;
+  /// Deterministic protocol request stream `round` with `count` requests —
+  /// ready-to-send `api::Request` values addressed by tenant *name*, the
+  /// shape every consumer of the unified protocol speaks (`api::Client`
+  /// over either transport, `service::Service::handle`, load generators,
+  /// benches, tests).  A `mutation` fraction of the rolls attempt an
+  /// `ApplyMutations` batch (kept only when the rolled slot's generation-0
+  /// recipe is dynamic — otherwise the roll degrades to a query; commands
+  /// come from `mutation_commands` with the recipe node range), a
+  /// `mix.next_gathering` fraction of the rest are next-gathering probes,
+  /// the remainder membership probes.  Query nodes are drawn below
+  /// `spec.nodes`, which every family's tenant graph meets or exceeds, so
+  /// requests stay valid whatever the live topology.  Pure function of
+  /// `(spec, count, round)` — identical streams everywhere, which is what
+  /// the transport-equivalence tests byte-compare.
+  [[nodiscard]] std::vector<api::Request> request_stream(std::size_t count,
+                                                         std::uint64_t round = 0) const;
 
   /// The seeded marry/divorce/add-node command mix slot `i` receives at
   /// mutation round `round`, with edge endpoints drawn from `[0, nodes)` —

@@ -300,32 +300,31 @@ std::size_t ScenarioGenerator::churn_round(engine::Engine& eng, std::uint64_t ro
   return slots.size();
 }
 
-std::vector<ServiceRequest> ScenarioGenerator::request_stream(std::size_t count,
-                                                              std::uint64_t round) const {
+std::vector<api::Request> ScenarioGenerator::request_stream(std::size_t count,
+                                                            std::uint64_t round) const {
   Rng rng(spec_.seed, parallel::mix_keys(0x73657276, round));  // "serv"
-  std::vector<ServiceRequest> out;
+  std::vector<api::Request> out;
   out.reserve(count);
   for (std::size_t q = 0; q < count; ++q) {
-    ServiceRequest request;
-    request.slot = static_cast<std::size_t>(rng.uniform_below(spec_.fleet));
+    const auto slot = static_cast<std::size_t>(rng.uniform_below(spec_.fleet));
     if (spec_.mutation > 0.0 && rng.uniform_real() < spec_.mutation &&
-        recipe_at(request.slot, 0).kind == engine::SchedulerKind::kDynamicPrefixCode) {
-      request.kind = ServiceRequest::Kind::kMutate;
+        recipe_at(slot, 0).kind == engine::SchedulerKind::kDynamicPrefixCode) {
       // A distinct command round per request keeps the marry/divorce mixes
-      // from repeating within one stream.
-      request.mutation_round = parallel::mix_keys(round, q);
-      out.push_back(request);
+      // from repeating within one stream.  Endpoints are drawn from the
+      // recipe node range, which every generation's live topology covers.
+      out.push_back(api::ApplyMutationsRequest{
+          tenant_name(slot), mutation_commands(slot, parallel::mix_keys(round, q),
+                                               spec_.nodes)});
       continue;
     }
-    request.node = static_cast<graph::NodeId>(rng.uniform_below(spec_.nodes));
+    const auto node = static_cast<graph::NodeId>(rng.uniform_below(spec_.nodes));
     if (rng.uniform_real() < spec_.mix.next_gathering) {
-      request.kind = ServiceRequest::Kind::kNextGathering;
-      request.holiday = rng.uniform_below(spec_.horizon);  // `after` may be 0
+      out.push_back(api::NextGatheringRequest{
+          tenant_name(slot), node, rng.uniform_below(spec_.horizon)});  // `after` may be 0
     } else {
-      request.kind = ServiceRequest::Kind::kIsHappy;
-      request.holiday = 1 + rng.uniform_below(spec_.horizon);
+      out.push_back(api::IsHappyRequest{tenant_name(slot), node,
+                                        1 + rng.uniform_below(spec_.horizon)});
     }
-    out.push_back(request);
   }
   return out;
 }

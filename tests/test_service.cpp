@@ -8,13 +8,17 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <thread>
+#include <tuple>
 #include <utility>
 #include <vector>
 
+#include "fhg/api/protocol.hpp"
 #include "fhg/dynamic/mutation.hpp"
 #include "fhg/engine/engine.hpp"
 #include "fhg/graph/generators.hpp"
@@ -22,6 +26,7 @@
 #include "fhg/service/service.hpp"
 #include "fhg/workload/scenario.hpp"
 
+namespace fa = fhg::api;
 namespace fd = fhg::dynamic;
 namespace fe = fhg::engine;
 namespace fg = fhg::graph;
@@ -185,14 +190,14 @@ TEST(Service, DrainCompletesEveryAcceptedRequest) {
   std::atomic<std::uint64_t> completed{0};
   std::uint64_t accepted = 0;
   const auto stream = generator.request_stream(2000, 3);
-  for (const fw::ServiceRequest& request : stream) {
-    const std::string name = generator.tenant_name(request.slot);
+  for (const fa::Request& request : stream) {
     std::optional<fs::Reject> reject;
-    if (request.kind == fw::ServiceRequest::Kind::kNextGathering) {
-      reject = service.next_gathering(name, request.node, request.holiday,
+    if (const auto* next = std::get_if<fa::NextGatheringRequest>(&request)) {
+      reject = service.next_gathering(next->instance, next->node, next->after,
                                       [&](fs::Outcome<std::uint64_t>) { ++completed; });
     } else {
-      reject = service.is_happy(name, request.node, request.holiday,
+      const auto& happy = std::get<fa::IsHappyRequest>(request);
+      reject = service.is_happy(happy.instance, happy.node, happy.holiday,
                                 [&](fs::Outcome<bool>) { ++completed; });
     }
     accepted += reject.has_value() ? 0 : 1;
@@ -279,32 +284,31 @@ TEST(Service, AnswersMatchDirectEngineAcrossShardCounts) {
 
   for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
     fs::Service service(*engine, {.shards = shards, .queue_capacity = 4096});
-    std::vector<std::pair<const fw::ServiceRequest*, fs::Submission<bool>>> memberships;
-    std::vector<std::pair<const fw::ServiceRequest*, fs::Submission<std::uint64_t>>> nexts;
-    for (const fw::ServiceRequest& request : stream) {
-      const std::string name = generator.tenant_name(request.slot);
-      if (request.kind == fw::ServiceRequest::Kind::kIsHappy) {
-        auto pending = service.is_happy(name, request.node, request.holiday);
+    std::vector<std::pair<const fa::IsHappyRequest*, fs::Submission<bool>>> memberships;
+    std::vector<std::pair<const fa::NextGatheringRequest*, fs::Submission<std::uint64_t>>> nexts;
+    for (const fa::Request& request : stream) {
+      if (const auto* happy = std::get_if<fa::IsHappyRequest>(&request)) {
+        auto pending = service.is_happy(happy->instance, happy->node, happy->holiday);
         ASSERT_TRUE(pending.accepted());
-        memberships.emplace_back(&request, std::move(pending));
+        memberships.emplace_back(happy, std::move(pending));
       } else {
-        auto pending = service.next_gathering(name, request.node, request.holiday);
+        const auto& next = std::get<fa::NextGatheringRequest>(request);
+        auto pending = service.next_gathering(next.instance, next.node, next.after);
         ASSERT_TRUE(pending.accepted());
-        nexts.emplace_back(&request, std::move(pending));
+        nexts.emplace_back(&next, std::move(pending));
       }
     }
     service.drain();
     for (auto& [request, pending] : memberships) {
-      const std::string name = generator.tenant_name(request->slot);
-      EXPECT_EQ(pending.future.get(), engine->is_happy(name, request->node, request->holiday))
-          << shards << " shards, slot " << request->slot;
+      EXPECT_EQ(pending.future.get(),
+                engine->is_happy(request->instance, request->node, request->holiday))
+          << shards << " shards, instance " << request->instance;
     }
     for (auto& [request, pending] : nexts) {
-      const std::string name = generator.tenant_name(request->slot);
       EXPECT_EQ(pending.future.get(),
-                engine->next_gathering(name, request->node, request->holiday)
+                engine->next_gathering(request->instance, request->node, request->after)
                     .value_or(fe::kNoGathering))
-          << shards << " shards, slot " << request->slot;
+          << shards << " shards, instance " << request->instance;
     }
   }
 }
@@ -323,10 +327,20 @@ TEST(Service, ConcurrentSubmittersAllComplete) {
   for (std::size_t c = 0; c < kClients; ++c) {
     clients.emplace_back([&, c] {
       const auto stream = generator.request_stream(kPerClient, 100 + c);
-      for (const fw::ServiceRequest& request : stream) {
-        const std::string name = generator.tenant_name(request.slot);
+      for (const fa::Request& request : stream) {
+        // Every request degrades to a membership probe here: the test
+        // exercises admission under contention, not answer shapes.
+        const auto [name, node, holiday] = [&] {
+          if (const auto* next = std::get_if<fa::NextGatheringRequest>(&request)) {
+            return std::tuple<std::string, fg::NodeId, std::uint64_t>(next->instance,
+                                                                      next->node, next->after);
+          }
+          const auto& happy = std::get<fa::IsHappyRequest>(request);
+          return std::tuple<std::string, fg::NodeId, std::uint64_t>(happy.instance, happy.node,
+                                                                    happy.holiday);
+        }();
         for (;;) {
-          const auto reject = service.is_happy(name, request.node, request.holiday,
+          const auto reject = service.is_happy(name, node, holiday,
                                                [&](fs::Outcome<bool>) { ++completed; });
           if (!reject) {
             ++submitted;
@@ -358,24 +372,32 @@ TEST(Workload, RequestStreamIsDeterministicAndRespectsShares) {
   EXPECT_EQ(stream_a, b.request_stream(4000, 5));
   EXPECT_NE(stream_a, a.request_stream(4000, 6)) << "rounds must differ";
 
+  // Requests are addressed by tenant name ("<family>-<slot>"); recover the
+  // slot to cross-check the recipe the roll was kept for.
+  const auto slot_of = [](std::string_view name) {
+    return static_cast<std::size_t>(
+        std::strtoull(std::string(name.substr(name.rfind('-') + 1)).c_str(), nullptr, 10));
+  };
   std::size_t mutates = 0;
   std::size_t nexts = 0;
-  for (const fw::ServiceRequest& request : stream_a) {
-    ASSERT_LT(request.slot, spec.fleet);
-    switch (request.kind) {
-      case fw::ServiceRequest::Kind::kMutate:
-        // Only dynamic slots may be asked to mutate.
-        EXPECT_EQ(a.recipe_at(request.slot, 0).kind, fe::SchedulerKind::kDynamicPrefixCode);
-        ++mutates;
-        break;
-      case fw::ServiceRequest::Kind::kNextGathering:
-        ++nexts;
-        ASSERT_LT(request.node, spec.nodes);
-        break;
-      case fw::ServiceRequest::Kind::kIsHappy:
-        ASSERT_LT(request.node, spec.nodes);
-        ASSERT_GE(request.holiday, 1u);
-        break;
+  for (const fa::Request& request : stream_a) {
+    if (const auto* mutate = std::get_if<fa::ApplyMutationsRequest>(&request)) {
+      const std::size_t slot = slot_of(mutate->instance);
+      ASSERT_LT(slot, spec.fleet);
+      // Only dynamic slots may be asked to mutate, and the commands are
+      // materialized into the request itself.
+      EXPECT_EQ(a.recipe_at(slot, 0).kind, fe::SchedulerKind::kDynamicPrefixCode);
+      EXPECT_FALSE(mutate->commands.empty());
+      ++mutates;
+    } else if (const auto* next = std::get_if<fa::NextGatheringRequest>(&request)) {
+      ASSERT_LT(slot_of(next->instance), spec.fleet);
+      ASSERT_LT(next->node, spec.nodes);
+      ++nexts;
+    } else {
+      const auto& happy = std::get<fa::IsHappyRequest>(request);
+      ASSERT_LT(slot_of(happy.instance), spec.fleet);
+      ASSERT_LT(happy.node, spec.nodes);
+      ASSERT_GE(happy.holiday, 1u);
     }
   }
   EXPECT_GT(mutates, 0u);

@@ -193,7 +193,7 @@ TEST(QuerySnapshot, OldSnapshotSurvivesErase) {
   const auto snapshot = eng.query_snapshot();
   const auto id = snapshot->id_of("victim");
   ASSERT_TRUE(id.has_value());
-  ASSERT_TRUE(eng.erase_instance("victim"));
+  ASSERT_TRUE(eng.erase_instance("victim").ok());
   // The old snapshot still answers: shared ownership keeps the instance (and
   // its interned period table) alive for in-flight batches.
   std::vector<fe::Probe> probes(4);
