@@ -69,6 +69,7 @@
 #include "fhg/engine/engine.hpp"
 #include "fhg/graph/generators.hpp"
 #include "fhg/graph/io.hpp"
+#include "fhg/obs/format.hpp"
 #include "fhg/parallel/rng.hpp"
 #include "fhg/service/service.hpp"
 #include "fhg/workload/scenario.hpp"
@@ -305,25 +306,13 @@ bool run_service_phase(engine::Engine& eng, const workload::ScenarioGenerator& g
             << mutations_applied.load() << " (" << mutations_refused.load()
             << " batches refused)\n";
 
-  const service::ServiceMetrics metrics = service.metrics();
-  const service::ShardMetrics totals = metrics.totals();
-  analysis::Table shard_table({"shard", "accepted", "rej full", "batches", "mean batch",
-                               "queue high-water", "failed"});
-  for (std::size_t s = 0; s < metrics.shards.size(); ++s) {
-    const service::ShardMetrics& m = metrics.shards[s];
-    shard_table.row()
-        .add(s)
-        .add(m.accepted)
-        .add(m.rejected_full)
-        .add(m.batches)
-        .add(m.batches > 0 ? static_cast<double>(m.accepted) / static_cast<double>(m.batches)
-                           : 0.0,
-             1)
-        .add(m.queue_high_water)
-        .add(m.failed);
-  }
-  analysis::print_section(std::cout, "service shard metrics");
-  shard_table.print(std::cout);
+  const service::ShardMetrics totals = service.metrics().totals();
+  // The same per-shard counters the GetStats protocol request serves,
+  // through the shared fhg::obs formatter — not a bespoke table.
+  api::GetStatsRequest stats_request;
+  stats_request.include_traces = false;
+  analysis::print_section(std::cout, "service metrics");
+  std::cout << obs::to_text(service.stats(stats_request).metrics);
 
   bool ok = true;
   if (completed.load() != totals.accepted) {

@@ -28,16 +28,28 @@
 //             concurrent connections for completeness.  Exits nonzero on
 //             any divergence or unexpected failure.
 //
+//   stats     One-shot scrape of a running server over the protocol itself:
+//             sends a GetStats request and prints the returned registry
+//             snapshot (and slowest-trace table) with the shared fhg::obs
+//             text formatter.
+//
+// Observability (serve mode): --stats-port starts a Prometheus text
+// exposition endpoint (GET /metrics) serving the engine+service registry
+// plus the process-global transport metrics; --stats-interval SECS logs the
+// same snapshot to stdout periodically while serving.
+//
 // Usage:
 //   fhg_serve serve    [--host H] [--port P] [--port-file PATH]
 //                      [--workload SPEC | --fleet N] [--steps N]
 //                      [--shards N] [--threads N] [--service-shards N]
 //                      [--duration SECS] [--seed S]
+//                      [--stats-port P] [--stats-interval SECS]
 //   fhg_serve load     --connect HOST:PORT [--workload SPEC | --fleet N]
 //                      [--requests N] [--clients N] [--round R] [--seed S]
 //   fhg_serve loopback [--workload SPEC | --fleet N] [--steps N]
 //                      [--requests N] [--clients N] [--service-shards N]
 //                      [--seed S]
+//   fhg_serve stats    --connect HOST:PORT [--histograms 0|1] [--traces 0|1]
 //
 // Workload specs are `family[:key=value,...]` exactly as in engine_server;
 // the load generator must be given the *same* spec the server was started
@@ -48,6 +60,7 @@
 //   fhg_serve load --connect 127.0.0.1:7421 --workload power-law:fleet=1000
 //   fhg_serve loopback --workload power-law:fleet=300,dynamic=0.3,mutation=0.1
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -69,6 +82,9 @@
 #include "fhg/api/socket.hpp"
 #include "fhg/api/transport.hpp"
 #include "fhg/engine/engine.hpp"
+#include "fhg/obs/format.hpp"
+#include "fhg/obs/http.hpp"
+#include "fhg/obs/registry.hpp"
 #include "fhg/service/service.hpp"
 #include "fhg/workload/scenario.hpp"
 
@@ -83,11 +99,13 @@ using Clock = std::chrono::steady_clock;
             << "                          [--workload SPEC | --fleet N] [--steps N]\n"
             << "                          [--shards N] [--threads N] [--service-shards N]\n"
             << "                          [--duration SECS] [--seed S]\n"
+            << "                          [--stats-port P] [--stats-interval SECS]\n"
             << "       fhg_serve load     --connect HOST:PORT [--workload SPEC | --fleet N]\n"
             << "                          [--requests N] [--clients N] [--round R] [--seed S]\n"
             << "       fhg_serve loopback [--workload SPEC | --fleet N] [--steps N]\n"
             << "                          [--requests N] [--clients N] [--service-shards N]\n"
             << "                          [--seed S]\n"
+            << "       fhg_serve stats    --connect HOST:PORT [--histograms 0|1] [--traces 0|1]\n"
             << "workload specs: family[:key=value,...] as in engine_server\n";
   std::exit(2);
 }
@@ -233,6 +251,23 @@ LoadTally fan_out(const workload::ScenarioGenerator& generator, std::uint64_t re
   return total_tally;
 }
 
+/// The full serving-side picture: the engine+service registry (what GetStats
+/// serves over the wire) merged with the process-global transport metrics
+/// (codec and socket counters, which GetStats deliberately excludes so that
+/// serving the stats cannot perturb the stats), sorted back into one list.
+std::vector<obs::MetricSample> serving_samples(const service::Service& service) {
+  api::GetStatsRequest everything;
+  everything.include_traces = false;  // traces are printed separately
+  std::vector<obs::MetricSample> samples = service.stats(everything).metrics;
+  const std::vector<obs::MetricSample> transport = obs::Registry::global().snapshot();
+  samples.insert(samples.end(), transport.begin(), transport.end());
+  std::sort(samples.begin(), samples.end(),
+            [](const obs::MetricSample& a, const obs::MetricSample& b) {
+              return a.name < b.name;
+            });
+  return samples;
+}
+
 // ------------------------------------------------------------------- serve --
 
 int run_serve(std::map<std::string, std::string> options) {
@@ -274,18 +309,53 @@ int run_serve(std::map<std::string, std::string> options) {
     out << server.port() << "\n";
   }
 
-  if (options.count("duration")) {
+  // Optional Prometheus exposition: GET /metrics serves the same registry
+  // snapshot GetStats serves over the protocol, plus the transport metrics.
+  std::unique_ptr<obs::StatsHttpServer> stats_server;
+  if (options.count("stats-port")) {
+    obs::StatsHttpOptions stats_options;
+    if (options.count("host")) {
+      stats_options.host = options["host"];
+    }
+    stats_options.port = static_cast<std::uint16_t>(uint_option(options, "stats-port", 0));
+    stats_server = std::make_unique<obs::StatsHttpServer>(
+        [&service] { return obs::to_prometheus(serving_samples(service)); }, stats_options);
+    std::cout << "fhg_serve: metrics on http://" << stats_options.host << ":"
+              << stats_server->port() << "/metrics\n"
+              << std::flush;
+  }
+
+  const std::uint64_t stats_interval = uint_option(options, "stats-interval", 0);
+  const bool timed = options.count("duration") != 0;
+  if (!timed && stats_interval == 0) {
+    // Foreground or backgrounded alike: park until SIGINT/SIGTERM.
+    int caught = 0;
+    sigwait(&signals, &caught);
+    std::cout << "fhg_serve: signal " << caught << ", shutting down\n";
+  } else {
     // The shutdown signals are blocked in every thread, so plain sleeping
-    // would make the server uninterruptible for the whole duration; wait
-    // *on the signals* with a deadline instead.
-    const auto deadline = Clock::now() +
-                          std::chrono::seconds(uint_option(options, "duration", 0));
+    // would make the server uninterruptible; wait *on the signals* with a
+    // deadline instead — the earlier of --duration and the next stats tick.
+    const auto deadline =
+        Clock::now() + std::chrono::seconds(uint_option(options, "duration", 0));
+    auto next_stats = Clock::now() + std::chrono::seconds(stats_interval);
     for (;;) {
-      const auto left =
-          std::chrono::duration_cast<std::chrono::nanoseconds>(deadline - Clock::now());
-      if (left <= std::chrono::nanoseconds::zero()) {
+      const auto now = Clock::now();
+      if (timed && now >= deadline) {
         break;
       }
+      if (stats_interval != 0 && now >= next_stats) {
+        std::cout << "fhg_serve: stats after " << server.connections_accepted()
+                  << " connections\n"
+                  << obs::to_text(serving_samples(service)) << std::flush;
+        next_stats += std::chrono::seconds(stats_interval);
+        continue;
+      }
+      auto wake = stats_interval != 0 ? next_stats : deadline;
+      if (timed && deadline < wake) {
+        wake = deadline;
+      }
+      const auto left = std::chrono::duration_cast<std::chrono::nanoseconds>(wake - now);
       timespec wait{};
       wait.tv_sec = static_cast<time_t>(left.count() / 1'000'000'000);
       wait.tv_nsec = static_cast<long>(left.count() % 1'000'000'000);
@@ -298,16 +368,22 @@ int run_serve(std::map<std::string, std::string> options) {
         break;
       }
     }
-  } else {
-    // Foreground or backgrounded alike: park until SIGINT/SIGTERM.
-    int caught = 0;
-    sigwait(&signals, &caught);
-    std::cout << "fhg_serve: signal " << caught << ", shutting down\n";
   }
   server.stop();
+  if (stats_server) {
+    stats_server->stop();
+  }
   service.drain();
   std::cout << "fhg_serve: served " << server.connections_accepted() << " connections, "
-            << service.metrics().totals().accepted << " accepted requests\n";
+            << service.metrics().totals().accepted << " accepted requests";
+  if (stats_server) {
+    std::cout << ", " << stats_server->scrapes() << " scrapes";
+  }
+  std::cout << "\n" << obs::to_text(serving_samples(service));
+  const std::vector<obs::TraceSample> traces = service.traces().snapshot();
+  if (!traces.empty()) {
+    std::cout << "slowest traces:\n" << obs::to_text(traces);
+  }
   return 0;
 }
 
@@ -341,8 +417,49 @@ int run_load(std::map<std::string, std::string> options) {
   });
   print_tally("load (" + std::to_string(clients) + " connections to " + target + ")", tally,
               seconds_since(start));
+  // The client side's own wire telemetry (codec + socket counters live on
+  // the process-global registry), through the same shared formatter the
+  // server uses — not a second hand-rolled table.
+  std::cout << "client wire metrics:\n" << obs::to_text(obs::Registry::global().snapshot());
   if (tally.failed != 0) {
     std::cerr << "fhg_serve: FAIL — " << tally.failed << " requests failed unexpectedly\n";
+    return 1;
+  }
+  return 0;
+}
+
+// ------------------------------------------------------------------- stats --
+
+int run_stats(std::map<std::string, std::string> options) {
+  if (!options.count("connect")) {
+    usage("stats mode needs --connect HOST:PORT");
+  }
+  const std::string target = options["connect"];
+  const auto colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    usage("--connect wants HOST:PORT, got '" + target + "'");
+  }
+  const std::string host = target.substr(0, colon);
+  const auto port = static_cast<std::uint16_t>(
+      std::strtoul(target.substr(colon + 1).c_str(), nullptr, 10));
+
+  api::GetStatsRequest request;
+  request.include_histograms = uint_option(options, "histograms", 1) != 0;
+  request.include_traces = uint_option(options, "traces", 1) != 0;
+  try {
+    api::Client client(std::make_unique<api::SocketTransport>(host, port));
+    const api::Result<api::GetStatsResponse> result = client.get_stats(request);
+    if (!result.ok()) {
+      std::cerr << "fhg_serve: GetStats failed: " << result.status.name() << " ("
+                << result.status.detail << ")\n";
+      return 1;
+    }
+    std::cout << obs::to_text(result.value.metrics);
+    if (!result.value.traces.empty()) {
+      std::cout << "slowest traces:\n" << obs::to_text(result.value.traces);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "fhg_serve: " << e.what() << "\n";
     return 1;
   }
   return 0;
@@ -432,7 +549,7 @@ int run_loopback(std::map<std::string, std::string> options) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    usage("missing mode (serve | load | loopback)");
+    usage("missing mode (serve | load | loopback | stats)");
   }
   const std::string mode = argv[1];
   auto options = parse_options(argc, argv, 2);
@@ -444,6 +561,9 @@ int main(int argc, char** argv) {
   }
   if (mode == "loopback") {
     return run_loopback(std::move(options));
+  }
+  if (mode == "stats") {
+    return run_stats(std::move(options));
   }
   usage("unknown mode '" + mode + "'");
 }

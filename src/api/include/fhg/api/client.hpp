@@ -66,6 +66,21 @@ class Client {
   /// The id the next `call` will stamp (ids start at 1 and increment).
   [[nodiscard]] std::uint64_t next_request_id() const noexcept { return next_id_; }
 
+  /// Enables or disables trace minting (on by default).  While enabled,
+  /// every `call` stamps `trace_base() + request_id` into the request
+  /// envelope, so the server's slowest-N ring can name the exact call.
+  /// Disabling writes no envelope — frames stay byte-identical to the
+  /// pre-envelope encoding.
+  void set_tracing(bool enabled) noexcept { tracing_ = enabled; }
+
+  /// Offsets minted trace ids (default 0, i.e. trace id == request id).
+  /// Give each client of a fleet a distinct base to keep ids globally
+  /// unique across connections.
+  void set_trace_base(std::uint64_t base) noexcept { trace_base_ = base; }
+
+  /// The base added to request ids when minting trace ids.
+  [[nodiscard]] std::uint64_t trace_base() const noexcept { return trace_base_; }
+
   // -- Typed convenience wrappers (one per request kind) ----------------------
 
   /// Membership query: is `node` happy on holiday `holiday` of `instance`?
@@ -99,6 +114,10 @@ class Client {
   /// count.
   [[nodiscard]] Result<std::uint64_t> restore(std::vector<std::uint8_t> bytes);
 
+  /// The serving side's telemetry: registry snapshot plus slowest-request
+  /// traces (see `GetStatsRequest` for the determinism flags).
+  [[nodiscard]] Result<GetStatsResponse> get_stats(GetStatsRequest options = {});
+
  private:
   /// Runs `call` and unwraps a payload of type `P` into `Result<T>` via
   /// `project` (defaults to identity for `T == P`).
@@ -108,6 +127,8 @@ class Client {
   std::unique_ptr<Transport> transport_;
   std::uint64_t version_;
   std::uint64_t next_id_ = 1;
+  bool tracing_ = true;
+  std::uint64_t trace_base_ = 0;
 };
 
 }  // namespace fhg::api

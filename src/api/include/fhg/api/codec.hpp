@@ -19,6 +19,15 @@
 /// `src/api/README.md` for the full field-by-field layout and the version
 /// negotiation rules.
 ///
+/// Request frames may carry a trailing *envelope*: byte-aligned after the
+/// body, a field count followed by (tag, varint value) pairs.  Version 1
+/// defines tag 1 = trace id; unknown tags are skipped (their value is read
+/// and discarded), so newer peers can append fields without breaking this
+/// decoder.  An absent envelope decodes as trace id 0 — frames from
+/// pre-envelope encoders (whose payload simply ends at the body) remain
+/// valid version-1 frames, and an untraced request writes no envelope at
+/// all, keeping its frame byte-identical to the pre-envelope encoding.
+///
 /// Decoding is strict and total: truncated frames, bad magic, oversized
 /// length prefixes, unknown tags, out-of-range enum values and implausible
 /// length fields all fail with a typed `Status` (`kDecodeError` /
@@ -49,10 +58,14 @@ inline constexpr std::uint64_t kProtocolVersion = 1;
 /// claiming a multi-gigabyte frame.
 inline constexpr std::size_t kMaxFramePayload = std::size_t{1} << 26;  // 64 MiB
 
+/// Envelope field tags (append-only).  Tag 1 carries the request's trace id.
+inline constexpr std::uint64_t kEnvelopeTraceId = 1;
+
 /// A decoded request frame.
 struct DecodedRequest {
   std::uint64_t protocol_version = 0;  ///< version the peer encoded at
   std::uint64_t request_id = 0;        ///< caller-chosen correlation id
+  std::uint64_t trace_id = 0;          ///< envelope trace id (0 = untraced / absent)
   Request request;                     ///< the typed request
 };
 
@@ -66,10 +79,13 @@ struct DecodedResponse {
 /// Encodes one request as a complete frame (header + payload).  `version`
 /// is written into the prologue verbatim — passing a version other than
 /// `kProtocolVersion` produces a frame peers will refuse typed, which is
-/// exactly what the version-negotiation tests exercise.
+/// exactly what the version-negotiation tests exercise.  A nonzero
+/// `trace_id` is appended as the trailing envelope; zero writes no envelope
+/// (the frame stays byte-identical to the pre-envelope encoding).
 [[nodiscard]] std::vector<std::uint8_t> encode_request(std::uint64_t request_id,
                                                        const Request& request,
-                                                       std::uint64_t version = kProtocolVersion);
+                                                       std::uint64_t version = kProtocolVersion,
+                                                       std::uint64_t trace_id = 0);
 
 /// Encodes one response as a complete frame (header + payload).
 [[nodiscard]] std::vector<std::uint8_t> encode_response(std::uint64_t request_id,

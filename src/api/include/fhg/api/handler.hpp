@@ -9,7 +9,9 @@
 /// written against this interface, so the wire layer never names the service
 /// and the dependency arrow points one way: `service → api`, never back.
 
+#include <cstdint>
 #include <functional>
+#include <utility>
 
 #include "fhg/api/protocol.hpp"
 
@@ -17,6 +19,16 @@ namespace fhg::api {
 
 /// Completion callback for one request; invoked exactly once.
 using ResponseCallback = std::function<void(Response)>;
+
+/// Wire-level context travelling alongside one request: the correlation id
+/// from the frame prologue, and the trace id from the optional envelope
+/// (zero when the caller did not trace the request).  Carried out-of-band —
+/// not inside `Request` — so the typed request surface stays exactly the
+/// paper's query surface and existing handlers need not know tracing exists.
+struct RequestContext {
+  std::uint64_t trace_id = 0;    ///< envelope trace id (0 = untraced)
+  std::uint64_t request_id = 0;  ///< frame correlation id
+};
 
 /// Executes typed requests.  Implementations must invoke `done` exactly once
 /// per `handle` call — possibly synchronously on the calling thread (e.g.
@@ -29,6 +41,14 @@ class Handler {
   /// Failures of any kind (admission, validation, serving) surface as a
   /// `Response` whose status is non-ok; implementations do not throw.
   virtual void handle(Request request, ResponseCallback done) = 0;
+
+  /// As above, with the wire context.  Transports call this overload; the
+  /// default forwards to the context-free `handle`, so handlers that do not
+  /// trace (tests, adapters) implement only the pure virtual and still work.
+  virtual void handle(Request request, const RequestContext& context, ResponseCallback done) {
+    (void)context;
+    handle(std::move(request), std::move(done));
+  }
 };
 
 }  // namespace fhg::api

@@ -8,7 +8,7 @@
 /// live marriage/divorce updates.  This header reifies that surface (and the
 /// tenancy-management operations around it) as one closed set of request and
 /// response types: every way into the system, whether from the same process
-/// or over a socket, is one of the eight `Request` alternatives, and every
+/// or over a socket, is one of the nine `Request` alternatives, and every
 /// answer is a `Response` carrying a unified `Status` plus the matching
 /// payload.  The variant order is wire-stable — the codec writes the variant
 /// index as the frame tag — so alternatives must only ever be appended.
@@ -32,6 +32,8 @@
 #include "fhg/dynamic/mutation.hpp"
 #include "fhg/engine/spec.hpp"
 #include "fhg/graph/graph.hpp"
+#include "fhg/obs/registry.hpp"
+#include "fhg/obs/trace.hpp"
 
 namespace fhg::api {
 
@@ -99,11 +101,26 @@ struct RestoreRequest {
   friend bool operator==(const RestoreRequest&, const RestoreRequest&) = default;
 };
 
+/// Telemetry scrape: the serving side's full registry snapshot (engine
+/// counters and gauges plus the per-shard service metrics re-expressed as
+/// labeled samples) and, optionally, the slowest-request trace ring.
+///
+/// The two flags exist for determinism as much as for size: timing
+/// histograms and traces are inherently run-dependent, so a caller that
+/// wants two stacks fed identical workloads to produce byte-identical
+/// snapshots (the transport-equivalence tests do) turns both off.
+struct GetStatsRequest {
+  bool include_histograms = true;  ///< include histogram-kind samples
+  bool include_traces = true;      ///< include the slowest-N trace ring
+
+  friend bool operator==(const GetStatsRequest&, const GetStatsRequest&) = default;
+};
+
 /// Every way into the system.  The alternative index is the wire tag
 /// (append-only; never reorder).
 using Request = std::variant<IsHappyRequest, NextGatheringRequest, ApplyMutationsRequest,
                              CreateInstanceRequest, EraseInstanceRequest, ListInstancesRequest,
-                             SnapshotRequest, RestoreRequest>;
+                             SnapshotRequest, RestoreRequest, GetStatsRequest>;
 
 /// Number of request alternatives (the decode-time tag bound).
 inline constexpr std::uint64_t kNumRequestKinds = std::variant_size_v<Request>;
@@ -186,13 +203,23 @@ struct RestoreResponse {
   friend bool operator==(const RestoreResponse&, const RestoreResponse&) = default;
 };
 
+/// Answer to `GetStatsRequest`: the registry snapshot (name-sorted; see
+/// `obs::Registry::snapshot`) and the slowest-request traces (slowest
+/// first).  Vectors are empty when the matching request flag was off.
+struct GetStatsResponse {
+  std::vector<obs::MetricSample> metrics;  ///< name-sorted registry snapshot
+  std::vector<obs::TraceSample> traces;    ///< slowest-N, slowest first
+
+  friend bool operator==(const GetStatsResponse&, const GetStatsResponse&) = default;
+};
+
 /// The payload of a `Response`: `std::monostate` on failure, otherwise the
 /// alternative matching the request kind (same order, offset by one).  The
 /// alternative index is the wire tag (append-only; never reorder).
 using ResponsePayload =
     std::variant<std::monostate, IsHappyResponse, NextGatheringResponse, ApplyMutationsResponse,
                  CreateInstanceResponse, EraseInstanceResponse, ListInstancesResponse,
-                 SnapshotResponse, RestoreResponse>;
+                 SnapshotResponse, RestoreResponse, GetStatsResponse>;
 
 /// Number of response payload alternatives (the decode-time tag bound).
 inline constexpr std::uint64_t kNumResponseKinds = std::variant_size_v<ResponsePayload>;

@@ -9,7 +9,7 @@ Response Client::call(const Request& request) {
   const std::uint64_t id = next_id_++;
   std::vector<std::uint8_t> frame;
   try {
-    frame = encode_request(id, request, version_);
+    frame = encode_request(id, request, version_, tracing_ ? trace_base_ + id : 0);
   } catch (const std::length_error&) {
     // The request (e.g. a Restore carrying a giant snapshot) exceeds the
     // frame bound; `call` promises typed failures, never exceptions.
@@ -96,6 +96,11 @@ Result<std::vector<std::uint8_t>> Client::snapshot() {
 Result<std::uint64_t> Client::restore(std::vector<std::uint8_t> bytes) {
   return unwrap<RestoreResponse, std::uint64_t>(RestoreRequest{std::move(bytes)},
                                                 [](RestoreResponse p) { return p.instances; });
+}
+
+Result<GetStatsResponse> Client::get_stats(GetStatsRequest options) {
+  return unwrap<GetStatsResponse, GetStatsResponse>(options,
+                                                    [](GetStatsResponse p) { return p; });
 }
 
 }  // namespace fhg::api

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "fhg/coding/bitio.hpp"
+#include "fhg/obs/registry.hpp"
 
 namespace fhg::api {
 
@@ -13,6 +14,45 @@ namespace {
 
 using coding::BitReader;
 using coding::BitWriter;
+
+// -- Codec telemetry ----------------------------------------------------------
+//
+// Bytes and frames through the codec land on the process-wide registry
+// (`obs::Registry::global()`), *not* on any engine's registry: the /metrics
+// endpoint scrapes them, but GetStats deliberately excludes them so that
+// serving a stats request does not perturb the stats it reports.  The hot
+// counters are cached once (Meyers statics); decode errors are rare enough
+// to pay a registry lookup per occurrence, which buys a per-cause label.
+
+obs::Counter& bytes_encoded_counter() {
+  static obs::Counter& counter =
+      obs::Registry::global().counter("fhg_api_bytes_encoded_total");
+  return counter;
+}
+
+obs::Counter& frames_encoded_counter() {
+  static obs::Counter& counter =
+      obs::Registry::global().counter("fhg_api_frames_encoded_total");
+  return counter;
+}
+
+obs::Counter& bytes_decoded_counter() {
+  static obs::Counter& counter =
+      obs::Registry::global().counter("fhg_api_bytes_decoded_total");
+  return counter;
+}
+
+obs::Counter& frames_decoded_counter() {
+  static obs::Counter& counter =
+      obs::Registry::global().counter("fhg_api_frames_decoded_total");
+  return counter;
+}
+
+void count_decode_error(const char* cause) {
+  obs::Registry::global()
+      .counter(std::string("fhg_api_decode_errors_total{cause=\"") + cause + "\"}")
+      .increment();
+}
 
 /// Thrown inside the decoders to carry a typed failure out to the catch in
 /// `decode_request`/`decode_response` (where it becomes a `Status`).
@@ -154,6 +194,155 @@ std::vector<graph::Edge> read_edges(BitReader& r) {
   return edges;
 }
 
+// -- Stats payloads -----------------------------------------------------------
+
+/// Gauges can be negative; zigzag keeps small magnitudes small on the wire
+/// (and keeps the varint out of the astronomically long two's-complement
+/// encodings a negative value would otherwise produce).
+std::uint64_t zigzag(std::int64_t value) noexcept {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t value) noexcept {
+  return static_cast<std::int64_t>((value >> 1) ^ (~(value & 1) + 1));
+}
+
+void write_histogram(BitWriter& w, const obs::Histogram& hist) {
+  w.put_uint(obs::Histogram::kBuckets);
+  for (const std::uint64_t count : hist.buckets) {
+    w.put_uint(count);
+  }
+}
+
+obs::Histogram read_histogram(BitReader& r) {
+  const std::uint64_t buckets = r.get_uint();
+  if (buckets != obs::Histogram::kBuckets) {
+    fail("histogram with " + std::to_string(buckets) + " buckets; this build has " +
+         std::to_string(obs::Histogram::kBuckets));
+  }
+  obs::Histogram hist;
+  for (std::size_t i = 0; i < obs::Histogram::kBuckets; ++i) {
+    hist.buckets[i] = r.get_uint();
+  }
+  return hist;
+}
+
+void write_metric_samples(BitWriter& w, std::span<const obs::MetricSample> samples) {
+  w.put_uint(samples.size());
+  for (const obs::MetricSample& sample : samples) {
+    write_string(w, sample.name);
+    w.put_uint(static_cast<std::uint64_t>(sample.kind));
+    switch (sample.kind) {
+      case obs::MetricKind::kCounter:
+        w.put_uint(sample.value);
+        break;
+      case obs::MetricKind::kGauge:
+        w.put_uint(zigzag(static_cast<std::int64_t>(sample.value)));
+        break;
+      case obs::MetricKind::kHistogram:
+        write_histogram(w, sample.histogram);
+        break;
+    }
+  }
+}
+
+std::vector<obs::MetricSample> read_metric_samples(BitReader& r) {
+  const std::uint64_t count = r.get_uint();
+  check_count(r, count, 3, "metric sample");  // name len + kind + >= 1 value bit
+  std::vector<obs::MetricSample> samples;
+  samples.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    obs::MetricSample sample;
+    sample.name = read_string(r, "metric name byte");
+    sample.kind = static_cast<obs::MetricKind>(
+        checked_enum(r, static_cast<std::uint64_t>(obs::MetricKind::kHistogram) + 1,
+                     "metric kind"));
+    switch (sample.kind) {
+      case obs::MetricKind::kCounter:
+        sample.value = r.get_uint();
+        break;
+      case obs::MetricKind::kGauge:
+        sample.value = static_cast<std::uint64_t>(unzigzag(r.get_uint()));
+        break;
+      case obs::MetricKind::kHistogram:
+        sample.histogram = read_histogram(r);
+        sample.value = sample.histogram.total();
+        break;
+    }
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+void write_trace_samples(BitWriter& w, std::span<const obs::TraceSample> traces) {
+  w.put_uint(traces.size());
+  for (const obs::TraceSample& trace : traces) {
+    w.put_uint(trace.trace_id);
+    w.put_uint(trace.request_id);
+    w.put_uint(trace.kind);
+    w.put_uint(trace.queue_us);
+    w.put_uint(trace.serve_us);
+    w.put_uint(trace.total_us);
+  }
+}
+
+std::vector<obs::TraceSample> read_trace_samples(BitReader& r) {
+  const std::uint64_t count = r.get_uint();
+  check_count(r, count, 6, "trace sample");  // six codewords of >= 1 bit
+  std::vector<obs::TraceSample> traces;
+  traces.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    obs::TraceSample trace;
+    trace.trace_id = r.get_uint();
+    trace.request_id = r.get_uint();
+    trace.kind = static_cast<std::uint8_t>(
+        checked_enum(r, kNumRequestKinds, "trace request kind"));
+    trace.queue_us = r.get_uint();
+    trace.serve_us = r.get_uint();
+    trace.total_us = r.get_uint();
+    traces.push_back(trace);
+  }
+  return traces;
+}
+
+// -- Request envelope ---------------------------------------------------------
+//
+// Byte-aligned after the body: a field count, then (tag, varint value)
+// pairs.  Alignment is what makes "absent" unambiguous — after the reader
+// aligns past the body's zero padding, an envelope-free payload has exactly
+// zero bits left, while the smallest possible envelope spans at least one
+// full byte.  Unknown tags are skipped for forward compatibility.
+
+void write_envelope(BitWriter& w, std::uint64_t trace_id) {
+  if (trace_id == 0) {
+    return;  // no envelope: the frame stays byte-identical to pre-envelope encoders
+  }
+  w.align();
+  w.put_uint(1);  // field count
+  w.put_uint(kEnvelopeTraceId);
+  w.put_uint(trace_id);
+}
+
+std::uint64_t read_envelope(BitReader& r) {
+  r.align();
+  if (r.remaining_bits() < 8) {
+    return 0;  // no envelope present
+  }
+  std::uint64_t trace_id = 0;
+  const std::uint64_t fields = r.get_uint();
+  check_count(r, fields, 2, "envelope field");  // tag + value, >= 1 bit each
+  for (std::uint64_t i = 0; i < fields; ++i) {
+    const std::uint64_t tag = r.get_uint();
+    const std::uint64_t value = r.get_uint();
+    if (tag == kEnvelopeTraceId) {
+      trace_id = value;
+    }
+    // Unknown tags: value read and discarded (forward compatibility).
+  }
+  return trace_id;
+}
+
 // -- Request bodies -----------------------------------------------------------
 
 void write_request_body(BitWriter& w, const Request& request) {
@@ -181,6 +370,9 @@ void write_request_body(BitWriter& w, const Request& request) {
           write_string(w, r.instance);
         } else if constexpr (std::is_same_v<R, RestoreRequest>) {
           write_blob(w, r.bytes);
+        } else if constexpr (std::is_same_v<R, GetStatsRequest>) {
+          w.put_bit(r.include_histograms);
+          w.put_bit(r.include_traces);
         } else {
           // ListInstances / Snapshot carry no fields beyond the tag.
           static_assert(std::is_same_v<R, ListInstancesRequest> ||
@@ -235,6 +427,12 @@ Request read_request_body(BitReader& r) {
       req.bytes = read_blob(r, "snapshot byte");
       return req;
     }
+    case 8: {
+      GetStatsRequest req;
+      req.include_histograms = r.get_bit();
+      req.include_traces = r.get_bit();
+      return req;
+    }
     default:
       fail("unknown request tag " + std::to_string(tag));
   }
@@ -270,6 +468,9 @@ void write_response_body(BitWriter& w, const Response& response) {
           write_blob(w, p.bytes);
         } else if constexpr (std::is_same_v<P, RestoreResponse>) {
           w.put_uint(p.instances);
+        } else if constexpr (std::is_same_v<P, GetStatsResponse>) {
+          write_metric_samples(w, p.metrics);
+          write_trace_samples(w, p.traces);
         } else {
           // monostate / Create / Erase carry no fields beyond the tag.
           static_assert(std::is_same_v<P, std::monostate> ||
@@ -347,6 +548,13 @@ Response read_response_body(BitReader& r) {
       response.payload = p;
       break;
     }
+    case 9: {
+      GetStatsResponse p;
+      p.metrics = read_metric_samples(r);
+      p.traces = read_trace_samples(r);
+      response.payload = std::move(p);
+      break;
+    }
     default:
       fail("unknown response tag " + std::to_string(tag));
   }
@@ -375,10 +583,12 @@ std::vector<std::uint8_t> frame_payload(std::vector<std::uint8_t> payload) {
 }
 
 /// Validates the header of a complete frame and returns the payload span.
-/// Non-ok statuses mirror `FrameAssembler`'s framing errors.
+/// Non-ok statuses mirror `FrameAssembler`'s framing errors; `cause` names
+/// the failure for the per-cause decode-error counter.
 Status framed_payload(std::span<const std::uint8_t> frame,
-                      std::span<const std::uint8_t>& payload) {
+                      std::span<const std::uint8_t>& payload, const char*& cause) {
   if (frame.size() < kFrameHeaderBytes) {
+    cause = "short-frame";
     return Status::error(StatusCode::kDecodeError,
                          "frame of " + std::to_string(frame.size()) +
                              " bytes is shorter than the 8-byte header");
@@ -390,14 +600,17 @@ Status framed_payload(std::span<const std::uint8_t> frame,
     length = (length << 8) | frame[4 + i];
   }
   if (magic != kFrameMagic) {
+    cause = "bad-magic";
     return Status::error(StatusCode::kDecodeError, "bad frame magic");
   }
   if (length > kMaxFramePayload) {
+    cause = "oversized";
     return Status::error(StatusCode::kDecodeError,
                          "length prefix " + std::to_string(length) + " exceeds the " +
                              std::to_string(kMaxFramePayload) + "-byte frame bound");
   }
   if (length != frame.size() - kFrameHeaderBytes) {
+    cause = "length-mismatch";
     return Status::error(StatusCode::kDecodeError,
                          "length prefix " + std::to_string(length) + " does not match the " +
                              std::to_string(frame.size() - kFrameHeaderBytes) +
@@ -424,12 +637,16 @@ Status decode_prologue(BitReader& r, std::uint64_t& version, std::uint64_t& requ
 }  // namespace
 
 std::vector<std::uint8_t> encode_request(std::uint64_t request_id, const Request& request,
-                                         std::uint64_t version) {
+                                         std::uint64_t version, std::uint64_t trace_id) {
   BitWriter w;
   w.put_uint(version);
   w.put_uint(request_id);
   write_request_body(w, request);
-  return frame_payload(w.finish());
+  write_envelope(w, trace_id);
+  std::vector<std::uint8_t> frame = frame_payload(w.finish());
+  bytes_encoded_counter().add(frame.size());
+  frames_encoded_counter().increment();
+  return frame;
 }
 
 std::vector<std::uint8_t> encode_response(std::uint64_t request_id, const Response& response,
@@ -438,44 +655,60 @@ std::vector<std::uint8_t> encode_response(std::uint64_t request_id, const Respon
   w.put_uint(version);
   w.put_uint(request_id);
   write_response_body(w, response);
-  return frame_payload(w.finish());
+  std::vector<std::uint8_t> frame = frame_payload(w.finish());
+  bytes_encoded_counter().add(frame.size());
+  frames_encoded_counter().increment();
+  return frame;
 }
 
 Status decode_request(std::span<const std::uint8_t> frame, DecodedRequest& out) {
   out = DecodedRequest{};
   std::span<const std::uint8_t> payload;
-  if (Status status = framed_payload(frame, payload); !status.ok()) {
+  const char* cause = "frame";
+  if (Status status = framed_payload(frame, payload, cause); !status.ok()) {
+    count_decode_error(cause);
     return status;
   }
   BitReader r(payload);
   try {
     if (Status status = decode_prologue(r, out.protocol_version, out.request_id);
         !status.ok()) {
+      count_decode_error("version");
       return status;
     }
     out.request = read_request_body(r);
+    out.trace_id = read_envelope(r);
   } catch (const std::runtime_error& e) {
+    count_decode_error("body");
     return Status::error(StatusCode::kDecodeError, e.what());
   }
+  bytes_decoded_counter().add(frame.size());
+  frames_decoded_counter().increment();
   return Status::good();
 }
 
 Status decode_response(std::span<const std::uint8_t> frame, DecodedResponse& out) {
   out = DecodedResponse{};
   std::span<const std::uint8_t> payload;
-  if (Status status = framed_payload(frame, payload); !status.ok()) {
+  const char* cause = "frame";
+  if (Status status = framed_payload(frame, payload, cause); !status.ok()) {
+    count_decode_error(cause);
     return status;
   }
   BitReader r(payload);
   try {
     if (Status status = decode_prologue(r, out.protocol_version, out.request_id);
         !status.ok()) {
+      count_decode_error("version");
       return status;
     }
     out.response = read_response_body(r);
   } catch (const std::runtime_error& e) {
+    count_decode_error("body");
     return Status::error(StatusCode::kDecodeError, e.what());
   }
+  bytes_decoded_counter().add(frame.size());
+  frames_decoded_counter().increment();
   return Status::good();
 }
 

@@ -13,12 +13,37 @@
 #include <string>
 #include <utility>
 
+#include "fhg/obs/registry.hpp"
+
 namespace fhg::api {
 
 namespace {
 
 /// Read chunk size of the serve and roundtrip loops.
 constexpr std::size_t kReadChunk = 64 * 1024;
+
+// Socket-layer telemetry lands on the process-wide registry (scraped by
+// /metrics, excluded from GetStats — see the codec's registry note).
+// Handles are cached once; the serve loop pays relaxed increments only.
+
+struct SocketCounters {
+  obs::Counter& connections =
+      obs::Registry::global().counter("fhg_socket_connections_total");
+  obs::Counter& connections_reaped =
+      obs::Registry::global().counter("fhg_socket_connections_reaped_total");
+  obs::Counter& frames = obs::Registry::global().counter("fhg_socket_frames_total");
+  obs::Counter& bytes_read =
+      obs::Registry::global().counter("fhg_socket_bytes_read_total");
+  obs::Counter& bytes_written =
+      obs::Registry::global().counter("fhg_socket_bytes_written_total");
+  obs::HistogramCell& frame_us =
+      obs::Registry::global().histogram("fhg_socket_frame_us");
+};
+
+SocketCounters& socket_counters() {
+  static SocketCounters counters;
+  return counters;
+}
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw std::runtime_error("fhg::api socket: " + what + ": " + std::strerror(errno));
@@ -122,6 +147,7 @@ void SocketServer::accept_loop() {
       return;  // the listener itself is unusable
     }
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    socket_counters().connections.increment();
     const int enable = 1;
     (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
     // Registration and thread start happen under the lock as one unit, so
@@ -142,6 +168,7 @@ void SocketServer::accept_loop() {
 
 void SocketServer::serve_connection(Connection& connection) {
   const int fd = connection.fd;
+  SocketCounters& counters = socket_counters();
   FrameAssembler assembler;
   std::uint8_t chunk[kReadChunk];
   for (;;) {
@@ -149,6 +176,7 @@ void SocketServer::serve_connection(Connection& connection) {
     if (n <= 0) {
       break;  // EOF, connection reset, or shutdown via stop()
     }
+    counters.bytes_read.add(static_cast<std::uint64_t>(n));
     if (!assembler.feed({chunk, static_cast<std::size_t>(n)}).ok()) {
       // The stream is irrecoverably mis-framed (bad magic / oversized
       // length): answer typed once, then hang up — resynchronization is
@@ -160,7 +188,16 @@ void SocketServer::serve_connection(Connection& connection) {
     }
     bool sending_ok = true;
     while (auto frame = assembler.next()) {
-      if (!send_all(fd, serve_frame(handler_, *frame))) {
+      const auto start = std::chrono::steady_clock::now();
+      const auto reply = serve_frame(handler_, *frame);
+      const bool sent = send_all(fd, reply);
+      counters.frames.increment();
+      counters.bytes_written.add(reply.size());
+      counters.frame_us.record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count()));
+      if (!sent) {
         sending_ok = false;
         break;
       }
@@ -191,6 +228,7 @@ void SocketServer::reap_finished() {
       connection->thread.join();
     }
     ::close(connection->fd);
+    socket_counters().connections_reaped.increment();
   }
 }
 

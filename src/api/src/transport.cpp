@@ -16,7 +16,8 @@ std::vector<std::uint8_t> serve_frame(Handler& handler, std::span<const std::uin
   }
   std::promise<Response> promise;
   std::future<Response> pending = promise.get_future();
-  handler.handle(std::move(decoded.request),
+  const RequestContext context{decoded.trace_id, decoded.request_id};
+  handler.handle(std::move(decoded.request), context,
                  [&promise](Response response) { promise.set_value(std::move(response)); });
   try {
     return encode_response(decoded.request_id, pending.get());

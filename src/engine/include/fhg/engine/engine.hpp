@@ -38,6 +38,7 @@
 #include "fhg/engine/registry.hpp"
 #include "fhg/engine/snapshot.hpp"
 #include "fhg/engine/spec.hpp"
+#include "fhg/obs/registry.hpp"
 #include "fhg/parallel/thread_pool.hpp"
 
 namespace fhg::engine {
@@ -145,19 +146,56 @@ class Engine {
   [[nodiscard]] std::vector<std::uint64_t> next_gathering_batch(std::span<const Probe> probes);
 
   /// Serializes every instance into the canonical Elias-coded format.
-  [[nodiscard]] std::vector<std::uint8_t> snapshot() const {
-    return snapshot_registry(registry_);
-  }
+  [[nodiscard]] std::vector<std::uint8_t> snapshot() const;
 
   /// Replaces all instances with the snapshot's contents.
-  void load_snapshot(std::span<const std::uint8_t> bytes) {
-    restore_registry(registry_, bytes);
-  }
+  void load_snapshot(std::span<const std::uint8_t> bytes);
+
+  /// The engine's telemetry registry (`fhg_engine_*` counters, gauges and
+  /// timing histograms).  Per-engine rather than process-global, so twin
+  /// engines fed identical workloads produce identical counter snapshots —
+  /// the property the GetStats transport-equivalence tests rest on.  The
+  /// service layer registers its per-shard metrics here too, making this
+  /// registry the one scrape domain `GetStats` serves.
+  [[nodiscard]] obs::Registry& metrics() noexcept { return metrics_; }
+
+  /// Recomputes the fleet-shape gauges (`fhg_engine_instances`,
+  /// `fhg_engine_nodes`, `fhg_engine_table_versions`) from the registry.
+  /// Called by stats serving just before a snapshot; cheap (one pass over
+  /// the instance list), so scraping pays for freshness, not the hot path.
+  void refresh_gauges();
 
  private:
   [[nodiscard]] std::shared_ptr<Instance> require(std::string_view instance) const;
 
+  /// Cached registry handles: registered once at construction, recorded via
+  /// relaxed atomics on the serving paths.  Reference members, so const
+  /// paths (e.g. `snapshot()`) can record without the registry being
+  /// mutable.
+  struct Telemetry {
+    explicit Telemetry(obs::Registry& registry);
+    obs::Counter& queries;            ///< single-call is_happy / next_gathering
+    obs::Counter& batches;            ///< batched query kernel invocations
+    obs::Counter& batch_probes;       ///< probes answered by batch kernels
+    obs::Counter& mutation_batches;   ///< apply_mutations calls
+    obs::Counter& mutation_commands;  ///< commands across those calls
+    obs::Counter& recolors;           ///< recolor events mutations forced
+    obs::Counter& instances_created;  ///< successful creates
+    obs::Counter& instances_erased;   ///< successful erases
+    obs::Counter& snapshots;          ///< snapshot() calls
+    obs::Counter& snapshot_bytes;     ///< bytes across those snapshots
+    obs::Counter& restores;           ///< load_snapshot() calls
+    obs::HistogramCell& query_batch_us;  ///< batch kernel wall time (µs)
+    obs::HistogramCell& mutation_us;     ///< apply_mutations wall time (µs)
+    obs::Gauge& instances;               ///< live tenant count (refresh_gauges)
+    obs::Gauge& nodes;                   ///< total nodes across tenants
+    obs::Gauge& table_versions;          ///< summed period-table versions
+    obs::Gauge& last_snapshot_bytes;     ///< size of the latest snapshot
+  };
+
   EngineOptions options_;
+  obs::Registry metrics_;  ///< must precede telemetry_ (handles point into it)
+  Telemetry telemetry_;
   parallel::ThreadPool pool_;
   InstanceRegistry registry_;
   BatchExecutor executor_;

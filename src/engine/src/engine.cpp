@@ -1,11 +1,43 @@
 #include "fhg/engine/engine.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 namespace fhg::engine {
 
+namespace {
+
+/// Microseconds elapsed since `start`, saturated at zero.
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point start) {
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+  return us.count() > 0 ? static_cast<std::uint64_t>(us.count()) : 0;
+}
+
+}  // namespace
+
+Engine::Telemetry::Telemetry(obs::Registry& registry)
+    : queries(registry.counter("fhg_engine_queries_total")),
+      batches(registry.counter("fhg_engine_batches_total")),
+      batch_probes(registry.counter("fhg_engine_batch_probes_total")),
+      mutation_batches(registry.counter("fhg_engine_mutation_batches_total")),
+      mutation_commands(registry.counter("fhg_engine_mutation_commands_total")),
+      recolors(registry.counter("fhg_engine_recolors_total")),
+      instances_created(registry.counter("fhg_engine_instances_created_total")),
+      instances_erased(registry.counter("fhg_engine_instances_erased_total")),
+      snapshots(registry.counter("fhg_engine_snapshots_total")),
+      snapshot_bytes(registry.counter("fhg_engine_snapshot_bytes_total")),
+      restores(registry.counter("fhg_engine_restores_total")),
+      query_batch_us(registry.histogram("fhg_engine_query_batch_us")),
+      mutation_us(registry.histogram("fhg_engine_mutation_us")),
+      instances(registry.gauge("fhg_engine_instances")),
+      nodes(registry.gauge("fhg_engine_nodes")),
+      table_versions(registry.gauge("fhg_engine_table_versions")),
+      last_snapshot_bytes(registry.gauge("fhg_engine_snapshot_bytes")) {}
+
 Engine::Engine(EngineOptions options)
     : options_(options),
+      telemetry_(metrics_),
       pool_(options.threads),
       registry_(options.shards),
       executor_(registry_, pool_) {}
@@ -33,6 +65,7 @@ api::Status Engine::try_create_instance(std::string name, graph::Graph g, Instan
   if (created != nullptr) {
     *created = std::move(instance);
   }
+  telemetry_.instances_created.increment();
   return api::Status::good();
 }
 
@@ -52,6 +85,7 @@ api::Status Engine::erase_instance(std::string_view name) {
     return api::Status::error(api::StatusCode::kNotFound,
                               "no instance named '" + std::string(name) + "'");
   }
+  telemetry_.instances_erased.increment();
   return api::Status::good();
 }
 
@@ -64,11 +98,13 @@ std::shared_ptr<Instance> Engine::require(std::string_view instance) const {
 }
 
 bool Engine::is_happy(std::string_view instance, graph::NodeId v, std::uint64_t t) {
+  telemetry_.queries.increment();
   return require(instance)->is_happy(v, t);
 }
 
 std::optional<std::uint64_t> Engine::next_gathering(std::string_view instance, graph::NodeId v,
                                                     std::uint64_t after) {
+  telemetry_.queries.increment();
   return require(instance)->next_gathering(v, after);
 }
 
@@ -76,10 +112,15 @@ FairnessAudit Engine::audit(std::string_view instance) { return require(instance
 
 MutationResult Engine::apply_mutations(std::string_view instance,
                                        std::span<const dynamic::MutationCommand> commands) {
+  const auto start = std::chrono::steady_clock::now();
   const MutationResult result = require(instance)->apply_mutations(commands);
   if (result.applied > 0) {
     registry_.note_mutation();  // stale snapshots must be republished
   }
+  telemetry_.mutation_batches.increment();
+  telemetry_.mutation_commands.add(commands.size());
+  telemetry_.recolors.add(result.recolors);
+  telemetry_.mutation_us.record(elapsed_us(start));
   return result;
 }
 
@@ -103,15 +144,50 @@ std::shared_ptr<const QuerySnapshot> Engine::query_snapshot() {
 }
 
 std::vector<std::uint8_t> Engine::query_batch(std::span<const Probe> probes) {
+  const auto start = std::chrono::steady_clock::now();
   std::vector<std::uint8_t> out(probes.size());
   query_snapshot()->query_batch(probes, out);
+  telemetry_.batches.increment();
+  telemetry_.batch_probes.add(probes.size());
+  telemetry_.query_batch_us.record(elapsed_us(start));
   return out;
 }
 
 std::vector<std::uint64_t> Engine::next_gathering_batch(std::span<const Probe> probes) {
+  const auto start = std::chrono::steady_clock::now();
   std::vector<std::uint64_t> out(probes.size());
   query_snapshot()->next_gathering_batch(probes, out);
+  telemetry_.batches.increment();
+  telemetry_.batch_probes.add(probes.size());
+  telemetry_.query_batch_us.record(elapsed_us(start));
   return out;
+}
+
+std::vector<std::uint8_t> Engine::snapshot() const {
+  std::vector<std::uint8_t> bytes = snapshot_registry(registry_);
+  telemetry_.snapshots.increment();
+  telemetry_.snapshot_bytes.add(bytes.size());
+  telemetry_.last_snapshot_bytes.set(static_cast<std::int64_t>(bytes.size()));
+  return bytes;
+}
+
+void Engine::load_snapshot(std::span<const std::uint8_t> bytes) {
+  restore_registry(registry_, bytes);
+  telemetry_.restores.increment();
+}
+
+void Engine::refresh_gauges() {
+  std::int64_t instances = 0;
+  std::int64_t nodes = 0;
+  std::int64_t versions = 0;
+  for (const auto& instance : registry_.all_sorted()) {
+    ++instances;
+    nodes += static_cast<std::int64_t>(instance->num_nodes());
+    versions += static_cast<std::int64_t>(instance->table_version());
+  }
+  telemetry_.instances.set(instances);
+  telemetry_.nodes.set(nodes);
+  telemetry_.table_versions.set(versions);
 }
 
 }  // namespace fhg::engine

@@ -1,0 +1,129 @@
+#pragma once
+
+/// \file histogram.hpp
+/// A power-of-two bucketed histogram of unsigned values — the telemetry
+/// primitive shared by every layer of the serving stack.
+///
+/// Promoted out of `fhg::service` (where it counted shard latencies and
+/// batch sizes) into `fhg::obs` so the engine, the wire codec and the socket
+/// layer can all speak the same distribution type, and so one quantile
+/// estimator and one exposition formatter serve them all.  Recording is one
+/// `bit_width` and one increment; the struct stays plain — no atomics, no
+/// hidden state — so it can be snapshotted, diffed, merged and shipped over
+/// the wire with nothing but field access.  (The lock-free recording flavor
+/// lives in `fhg::obs::HistogramCell`; it snapshots into this struct.)
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace fhg::obs {
+
+/// A power-of-two bucketed histogram of unsigned values.
+///
+/// Bucket 0 counts the value 0; bucket `i > 0` counts values in
+/// `[2^(i-1), 2^i)`; the last bucket absorbs everything at or above
+/// `2^(kBuckets-2)`.  That top bucket is a *clamp*: once observations land
+/// there the true tail is unknowable, which is why `saturated()` exists —
+/// exposition layers must flag clipped tails instead of silently reporting
+/// a quantile that is really just the clamp boundary.
+struct Histogram {
+  /// Number of buckets (values up to ~2^18 resolve exactly; larger clamp).
+  static constexpr std::size_t kBuckets = 20;
+
+  /// Per-bucket observation counts.
+  std::array<std::uint64_t, kBuckets> buckets{};
+
+  /// The bucket `value` falls into.
+  [[nodiscard]] static constexpr std::size_t bucket_of(std::uint64_t value) noexcept {
+    const auto width = static_cast<std::size_t>(std::bit_width(value));
+    return width < kBuckets ? width : kBuckets - 1;
+  }
+
+  /// Inclusive lower bound of `bucket` (0, 1, 2, 4, 8, ...).
+  [[nodiscard]] static constexpr std::uint64_t bucket_floor(std::size_t bucket) noexcept {
+    return bucket == 0 ? 0 : std::uint64_t{1} << (bucket - 1);
+  }
+
+  /// Exclusive upper bound of `bucket` (1, 2, 4, 8, ...); the top bucket has
+  /// no true upper bound and reports twice its floor for interpolation.
+  [[nodiscard]] static constexpr std::uint64_t bucket_ceiling(std::size_t bucket) noexcept {
+    return bucket == 0 ? 1 : std::uint64_t{1} << bucket;
+  }
+
+  /// Counts one observation of `value`.
+  constexpr void record(std::uint64_t value) noexcept { ++buckets[bucket_of(value)]; }
+
+  /// Total number of observations across all buckets.
+  [[nodiscard]] constexpr std::uint64_t total() const noexcept {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t count : buckets) {
+      sum += count;
+    }
+    return sum;
+  }
+
+  /// True when observations hit the clamped top bucket: every value at or
+  /// above `bucket_floor(kBuckets - 1)` was folded into it, so quantiles
+  /// that land there understate the true tail.
+  [[nodiscard]] constexpr bool saturated() const noexcept {
+    return buckets[kBuckets - 1] != 0;
+  }
+
+  /// Estimates the `q`-quantile (`q` clamped to [0, 1]): the value below
+  /// which a `q` fraction of observations fall, linearly interpolated inside
+  /// the bucket the quantile lands in.  Returns 0 for an empty histogram.
+  /// When the quantile lands in the saturated top bucket the estimate is the
+  /// bucket floor — a *lower bound* on the truth; check `saturated()`.
+  [[nodiscard]] constexpr std::uint64_t quantile(double q) const noexcept {
+    const std::uint64_t count = total();
+    if (count == 0) {
+      return 0;
+    }
+    q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+    // Rank of the wanted observation (1-based, ceiling so q=1 is the max).
+    const double exact = q * static_cast<double>(count);
+    std::uint64_t rank = static_cast<std::uint64_t>(exact);
+    if (static_cast<double>(rank) < exact || rank == 0) {
+      ++rank;
+    }
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      if (buckets[b] == 0) {
+        continue;
+      }
+      seen += buckets[b];
+      if (seen >= rank) {
+        if (b + 1 == kBuckets) {
+          return bucket_floor(b);  // clamped tail: the floor is all we know
+        }
+        // Interpolate by the rank's position inside this bucket, clamped to
+        // the largest integer the bucket holds (its ceiling is exclusive —
+        // bucket 0 holds only the value 0 and must report 0).
+        const std::uint64_t into = buckets[b] - (seen - rank);  // 1..buckets[b]
+        const double fraction =
+            static_cast<double>(into) / static_cast<double>(buckets[b]);
+        const std::uint64_t floor = bucket_floor(b);
+        const std::uint64_t width = bucket_ceiling(b) - floor;
+        std::uint64_t offset = static_cast<std::uint64_t>(fraction * static_cast<double>(width));
+        if (offset >= width) {
+          offset = width - 1;
+        }
+        return floor + offset;
+      }
+    }
+    return bucket_floor(kBuckets - 1);  // unreachable: seen == count >= rank
+  }
+
+  /// Adds every bucket of `other` into this histogram.
+  constexpr void merge(const Histogram& other) noexcept {
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      buckets[i] += other.buckets[i];
+    }
+  }
+
+  friend bool operator==(const Histogram&, const Histogram&) = default;
+};
+
+}  // namespace fhg::obs

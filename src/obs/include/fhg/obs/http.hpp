@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file http.hpp
+/// A minimal HTTP/1.1 stats endpoint: GET /metrics, Prometheus text format.
+///
+/// Hand-rolled over POSIX sockets — the project's wire protocol is binary
+/// frames, but Prometheus (and `curl`) speak HTTP, so the exposition
+/// endpoint does too.  Deliberately tiny: one accept thread serves each
+/// connection inline (scrapes are rare, responses small), every response
+/// closes the connection, and a receive timeout bounds how long a silent
+/// client can stall the loop.  Anything that is not a GET for the served
+/// path gets a 404.  Loopback plaintext, like the frame server — this is an
+/// operator port, not an internet-facing one.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace fhg::obs {
+
+/// Construction-time options of a `StatsHttpServer`.
+struct StatsHttpOptions {
+  std::string host = "127.0.0.1";  ///< address to bind (loopback by default)
+  std::uint16_t port = 0;          ///< port to bind (0 = ephemeral, see `port()`)
+  std::string path = "/metrics";   ///< the one path that answers 200
+};
+
+/// Serves `render()`'s output as `text/plain` on GET /metrics.
+class StatsHttpServer {
+ public:
+  /// Produces the response body for one scrape (called per request, on the
+  /// server thread).  Must be callable until `stop()` returns.
+  using Render = std::function<std::string()>;
+
+  /// Binds, listens, and starts the serve loop.  Throws
+  /// `std::runtime_error` when the socket cannot be bound.
+  explicit StatsHttpServer(Render render, StatsHttpOptions options = {});
+
+  /// Stops serving and joins the server thread.
+  ~StatsHttpServer();
+
+  StatsHttpServer(const StatsHttpServer&) = delete;             ///< non-copyable (owns a thread)
+  StatsHttpServer& operator=(const StatsHttpServer&) = delete;  ///< non-assignable
+
+  /// The bound port — the ephemeral one the kernel picked when
+  /// `options.port` was 0.
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Scrapes served so far (200 responses).
+  [[nodiscard]] std::uint64_t scrapes() const noexcept {
+    return scrapes_.load(std::memory_order_relaxed);
+  }
+
+  /// Stops serving, closes the listener, joins the thread.  Idempotent.
+  void stop();
+
+ private:
+  void serve_loop();
+  void serve_client(int fd);
+
+  Render render_;
+  std::string path_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::mutex stop_mutex_;  ///< serializes stop(); a second caller blocks until done
+  bool stopped_ = false;   ///< guarded by stop_mutex_
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> scrapes_{0};
+  std::thread thread_;
+};
+
+}  // namespace fhg::obs

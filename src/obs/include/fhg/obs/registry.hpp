@@ -1,0 +1,149 @@
+#pragma once
+
+/// \file registry.hpp
+/// Lock-free metrics registry: named counters, gauges and histograms.
+///
+/// Registration is the slow path (mutex-guarded, name-keyed, idempotent) and
+/// hands back a stable pointer into a node-based map; recording through that
+/// handle is the fast path — one relaxed atomic RMW, no lock, no lookup.
+/// Layers register their metrics once at construction, cache the handles,
+/// and bump them from hot loops.  `snapshot()` reads everything with relaxed
+/// loads into plain `MetricSample`s, sorted by name so two registries that
+/// saw the same events produce byte-identical snapshots regardless of
+/// registration order.
+///
+/// Naming convention (see src/obs/README.md): `fhg_<layer>_<name>` with a
+/// `_total` suffix for counters, `_bytes`/`_us` unit suffixes where they
+/// apply, and Prometheus-style labels baked into the name string itself,
+/// e.g. `fhg_service_accepted_total{shard="0"}`.  The registry treats names
+/// as opaque; the exposition formatter understands the `{...}` suffix.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fhg/obs/histogram.hpp"
+
+namespace fhg::obs {
+
+/// A monotonically increasing counter.  Relaxed increments: counters are
+/// statistics, not synchronization — readers tolerate momentary skew between
+/// related counters but each value is always exact.
+class Counter {
+ public:
+  /// Adds `delta` (relaxed; exact under concurrency).
+  void add(std::uint64_t delta) noexcept { value_.fetch_add(delta, std::memory_order_relaxed); }
+  /// Adds one.
+  void increment() noexcept { add(1); }
+  /// The current value (relaxed read).
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A gauge: a value that can go up and down (queue depths, live counts).
+class Gauge {
+ public:
+  /// Overwrites the value (relaxed).
+  void set(std::int64_t value) noexcept { value_.store(value, std::memory_order_relaxed); }
+  /// Adds `delta`, which may be negative (relaxed; exact under concurrency).
+  void add(std::int64_t delta) noexcept { value_.fetch_add(delta, std::memory_order_relaxed); }
+  /// The current value (relaxed read).
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// The lock-free recording flavor of `Histogram`: one relaxed atomic
+/// increment per observation.  Snapshots into the plain struct; concurrent
+/// records during a snapshot may or may not be included (each bucket is
+/// individually exact, the cross-bucket view is only approximately a point
+/// in time — fine for statistics).
+class HistogramCell {
+ public:
+  /// Counts one observation of `value` (relaxed; each bucket stays exact).
+  void record(std::uint64_t value) noexcept {
+    buckets_[Histogram::bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Reads every bucket into the plain value type.
+  [[nodiscard]] Histogram snapshot() const noexcept {
+    Histogram out;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      out.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[Histogram::kBuckets]{};
+};
+
+/// What kind of metric a `MetricSample` carries.  Values are wire tags
+/// (serialized by the api codec in GetStats responses): append-only.
+enum class MetricKind : std::uint8_t {
+  kCounter = 0,    ///< monotonically increasing count
+  kGauge = 1,      ///< point-in-time value, may be negative
+  kHistogram = 2,  ///< power-of-two bucketed distribution
+};
+
+/// A plain point-in-time reading of one metric, suitable for diffing,
+/// merging and shipping over the wire.  `value` holds the counter value or
+/// the gauge value (two's-complement for negative gauges); `histogram` is
+/// empty unless `kind == kHistogram`.
+struct MetricSample {
+  std::string name;                        ///< full metric name, labels included
+  MetricKind kind = MetricKind::kCounter;  ///< what `value`/`histogram` mean
+  std::uint64_t value = 0;                 ///< counter / gauge value (two's complement)
+  Histogram histogram{};                   ///< buckets; empty unless histogram-kind
+
+  friend bool operator==(const MetricSample&, const MetricSample&) = default;  ///< field-wise
+};
+
+/// A named collection of metrics.  One registry per scrape domain: the
+/// engine owns one (served over the wire via GetStats, deterministic under a
+/// deterministic workload), and `global()` holds process-wide transport
+/// metrics (codec bytes, socket frames) that only the /metrics endpoint
+/// exposes — kept out of GetStats so serving the stats request does not
+/// perturb the stats.
+class Registry {
+ public:
+  Registry() = default;                         ///< an empty registry
+  Registry(const Registry&) = delete;           ///< non-copyable (handles are stable refs)
+  Registry& operator=(const Registry&) = delete;  ///< non-assignable
+
+  /// Returns the counter registered under `name`, creating it on first use.
+  /// The returned reference is stable for the registry's lifetime.
+  Counter& counter(std::string_view name);
+
+  /// Returns the gauge registered under `name`, creating it on first use.
+  Gauge& gauge(std::string_view name);
+
+  /// Returns the histogram cell registered under `name`, creating it on
+  /// first use.
+  HistogramCell& histogram(std::string_view name);
+
+  /// Reads every registered metric into plain samples, sorted by name.
+  [[nodiscard]] std::vector<MetricSample> snapshot() const;
+
+  /// The process-wide registry for transport-layer metrics.
+  static Registry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, HistogramCell, std::less<>> histograms_;
+};
+
+}  // namespace fhg::obs

@@ -1,0 +1,169 @@
+#include "fhg/obs/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace fhg::obs {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error("fhg::obs http: " + what + ": " + std::strerror(errno));
+}
+
+/// Sends the whole buffer, retrying on EINTR and partial writes.
+bool send_all(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+StatsHttpServer::StatsHttpServer(Render render, StatsHttpOptions options)
+    : render_(std::move(render)), path_(std::move(options.path)) {
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.host.c_str(), &address.sin_addr) != 1) {
+    throw std::runtime_error("fhg::obs http: '" + options.host +
+                             "' is not a dotted-quad IPv4 address");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw_errno("socket");
+  }
+  const int enable = 1;
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    errno = saved;
+    throw_errno("bind " + options.host + ":" + std::to_string(options.port));
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    errno = saved;
+    throw_errno("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_size = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_size) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    errno = saved;
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+StatsHttpServer::~StatsHttpServer() { stop(); }
+
+void StatsHttpServer::serve_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) {
+        return;  // listener closed by stop()
+      }
+      if (errno == EINTR || errno == ECONNABORTED || errno == EPROTO) {
+        continue;
+      }
+      return;  // the listener itself is unusable
+    }
+    // Bound how long a silent client can hold the (single) serve loop.
+    timeval timeout{.tv_sec = 2, .tv_usec = 0};
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    serve_client(fd);
+    ::close(fd);
+  }
+}
+
+void StatsHttpServer::serve_client(int fd) {
+  // Read until the end of the request head.  Bodies are ignored (a GET has
+  // none), and a request head over 8 KiB is rejected by the size cap.
+  std::string head;
+  char chunk[1024];
+  while (head.find("\r\n\r\n") == std::string::npos && head.size() < 8192) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      return;  // timeout, reset, or EOF before a full request
+    }
+    head.append(chunk, static_cast<std::size_t>(n));
+  }
+
+  // Request line: METHOD SP PATH SP VERSION.
+  const std::size_t method_end = head.find(' ');
+  const std::size_t path_end =
+      method_end == std::string::npos ? std::string::npos : head.find(' ', method_end + 1);
+  const bool is_get = method_end != std::string::npos && head.compare(0, method_end, "GET") == 0;
+  std::string path;
+  if (is_get && path_end != std::string::npos) {
+    path = head.substr(method_end + 1, path_end - method_end - 1);
+    // Strip a query string; Prometheus may append one.
+    if (const std::size_t query = path.find('?'); query != std::string::npos) {
+      path.resize(query);
+    }
+  }
+
+  std::string response;
+  if (is_get && path == path_) {
+    const std::string body = render_();
+    scrapes_.fetch_add(1, std::memory_order_relaxed);
+    response =
+        "HTTP/1.1 200 OK\r\n"
+        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+        "Content-Length: " +
+        std::to_string(body.size()) +
+        "\r\n"
+        "Connection: close\r\n"
+        "\r\n" +
+        body;
+  } else {
+    response =
+        "HTTP/1.1 404 Not Found\r\n"
+        "Content-Type: text/plain; charset=utf-8\r\n"
+        "Content-Length: 10\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+        "not found\n";
+  }
+  (void)send_all(fd, response);
+}
+
+void StatsHttpServer::stop() {
+  // Serialized and blocking, like SocketServer::stop: a second caller waits
+  // for the first teardown to finish, then returns.
+  const std::lock_guard<std::mutex> lock(stop_mutex_);
+  if (stopped_) {
+    return;
+  }
+  stopped_ = true;
+  stopping_.store(true, std::memory_order_release);
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+}  // namespace fhg::obs

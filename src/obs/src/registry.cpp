@@ -1,0 +1,61 @@
+#include "fhg/obs/registry.hpp"
+
+#include <algorithm>
+
+namespace fhg::obs {
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) {
+    return it->second;
+  }
+  return counters_.try_emplace(std::string(name)).first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) {
+    return it->second;
+  }
+  return gauges_.try_emplace(std::string(name)).first->second;
+}
+
+HistogramCell& Registry::histogram(std::string_view name) {
+  const std::lock_guard lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    return it->second;
+  }
+  return histograms_.try_emplace(std::string(name)).first->second;
+}
+
+std::vector<MetricSample> Registry::snapshot() const {
+  std::vector<MetricSample> out;
+  const std::lock_guard lock(mutex_);
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.push_back({name, MetricKind::kCounter, counter.value(), {}});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out.push_back({name, MetricKind::kGauge, static_cast<std::uint64_t>(gauge.value()), {}});
+  }
+  for (const auto& [name, cell] : histograms_) {
+    MetricSample sample{name, MetricKind::kHistogram, 0, cell.snapshot()};
+    sample.value = sample.histogram.total();
+    out.push_back(std::move(sample));
+  }
+  // The three maps are each sorted; one merge-sort pass by name keeps the
+  // combined snapshot in a canonical order independent of metric kind.
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) { return a.name < b.name; });
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace fhg::obs

@@ -10,58 +10,21 @@
 /// and no methods with side effects beyond their own fields — so a caller
 /// can snapshot them (`Service::metrics()`), diff two snapshots, ship them
 /// to any telemetry system, or print them with nothing but field access.
+///
+/// The histogram type itself was promoted into `fhg::obs` (it now carries a
+/// quantile estimator and a saturation flag, and every layer shares it);
+/// the alias below keeps the original `fhg::service::Histogram` spelling
+/// working for existing callers.
 
-#include <array>
-#include <bit>
-#include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "fhg/obs/histogram.hpp"
+
 namespace fhg::service {
 
-/// A power-of-two bucketed histogram of unsigned values.
-///
-/// Bucket 0 counts the value 0; bucket `i > 0` counts values in
-/// `[2^(i-1), 2^i)`; the last bucket absorbs everything at or above
-/// `2^(kBuckets-2)`.  Recording is one `bit_width` and one increment, so the
-/// shard workers can afford it per batch and per request.
-struct Histogram {
-  /// Number of buckets (values up to ~2^18 resolve exactly; larger clamp).
-  static constexpr std::size_t kBuckets = 20;
-
-  /// Per-bucket observation counts.
-  std::array<std::uint64_t, kBuckets> buckets{};
-
-  /// The bucket `value` falls into.
-  [[nodiscard]] static constexpr std::size_t bucket_of(std::uint64_t value) noexcept {
-    const auto width = static_cast<std::size_t>(std::bit_width(value));
-    return width < kBuckets ? width : kBuckets - 1;
-  }
-
-  /// Inclusive lower bound of `bucket` (0, 1, 2, 4, 8, ...).
-  [[nodiscard]] static constexpr std::uint64_t bucket_floor(std::size_t bucket) noexcept {
-    return bucket == 0 ? 0 : std::uint64_t{1} << (bucket - 1);
-  }
-
-  /// Counts one observation of `value`.
-  constexpr void record(std::uint64_t value) noexcept { ++buckets[bucket_of(value)]; }
-
-  /// Total number of observations across all buckets.
-  [[nodiscard]] constexpr std::uint64_t total() const noexcept {
-    std::uint64_t sum = 0;
-    for (const std::uint64_t count : buckets) {
-      sum += count;
-    }
-    return sum;
-  }
-
-  /// Adds every bucket of `other` into this histogram.
-  constexpr void merge(const Histogram& other) noexcept {
-    for (std::size_t i = 0; i < kBuckets; ++i) {
-      buckets[i] += other.buckets[i];
-    }
-  }
-};
+/// The shared power-of-two bucketed histogram (see fhg/obs/histogram.hpp).
+using Histogram = obs::Histogram;
 
 /// Counters for one shard of the service.
 ///
@@ -100,6 +63,8 @@ struct ShardMetrics {
     batch_size.merge(other.batch_size);
     latency_us.merge(other.latency_us);
   }
+
+  friend bool operator==(const ShardMetrics&, const ShardMetrics&) = default;
 };
 
 /// A point-in-time copy of every shard's counters.
@@ -115,6 +80,8 @@ struct ServiceMetrics {
     }
     return sum;
   }
+
+  friend bool operator==(const ServiceMetrics&, const ServiceMetrics&) = default;
 };
 
 }  // namespace fhg::service

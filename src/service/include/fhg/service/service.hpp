@@ -67,6 +67,8 @@
 #include "fhg/dynamic/mutation.hpp"
 #include "fhg/engine/engine.hpp"
 #include "fhg/graph/graph.hpp"
+#include "fhg/obs/registry.hpp"
+#include "fhg/obs/trace.hpp"
 #include "fhg/service/metrics.hpp"
 
 namespace fhg::service {
@@ -179,6 +181,12 @@ class Service : public api::Handler {
   /// otherwise and must not re-enter the service with a blocking wait.
   void handle(api::Request request, api::ResponseCallback done) override;
 
+  /// Context-carrying flavor of `handle`, invoked by the transports: stamps
+  /// the request's trace id so the per-stage span clocks (queue wait, serve
+  /// time, end-to-end) land in the slowest-trace ring when it is nonzero.
+  void handle(api::Request request, const api::RequestContext& context,
+              api::ResponseCallback done) override;
+
   /// Future flavor of `handle`: always yields a response (rejects included,
   /// as typed statuses — the future never holds a broken promise).
   [[nodiscard]] std::future<api::Response> submit(api::Request request);
@@ -222,6 +230,19 @@ class Service : public api::Handler {
   /// serving counters are read under that shard's lock).
   [[nodiscard]] ServiceMetrics metrics() const;
 
+  /// Builds the full stats snapshot `GetStats` serves: the engine registry
+  /// (gauges refreshed first) plus every shard's `ShardMetrics` re-expressed
+  /// as labeled samples (`fhg_service_accepted_total{shard="0"}` …), sorted
+  /// by name; plus the slowest-trace ring.  `options.include_histograms` /
+  /// `options.include_traces` drop the timing-dependent parts, leaving a
+  /// snapshot that is a deterministic function of the served workload — the
+  /// transport-equivalence tests compare those byte for byte.  Thread-safe;
+  /// also callable directly (bypassing the queue) by exposition endpoints.
+  [[nodiscard]] api::GetStatsResponse stats(const api::GetStatsRequest& options) const;
+
+  /// The ring of slowest traced requests observed so far.
+  [[nodiscard]] const obs::TraceRing& traces() const noexcept { return trace_ring_; }
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -235,7 +256,10 @@ class Service : public api::Handler {
 
   struct Request {
     api::Request body;  ///< the typed request; the variant index is the kind
-    Clock::time_point enqueued;
+    std::uint64_t trace_id = 0;    ///< nonzero = report spans to the trace ring
+    std::uint64_t request_id = 0;  ///< wire request id (0 for typed flavors)
+    Clock::time_point enqueued{};  ///< admission time (span start)
+    Clock::time_point dequeued{};  ///< when the worker drained it (queue span end)
     Completion done;
   };
 
@@ -245,6 +269,10 @@ class Service : public api::Handler {
     std::deque<Request> queue;
     bool stop = false;  ///< set under `mutex` by drain()
     ShardMetrics metrics;
+    /// Live queue depth, registered on the engine's registry as
+    /// `fhg_service_queue_depth{shard="i"}`.  Maintained as +1 per admit and
+    /// −batch per drain, both while the shard mutex is already held.
+    obs::Gauge* queue_depth = nullptr;
     std::thread worker;
   };
 
@@ -284,9 +312,21 @@ class Service : public api::Handler {
   void finish_admin(Request& request, api::Response response, Clock::time_point now,
                     ShardMetrics& local);
 
+  /// Offers a completed traced request's spans to the slowest-trace ring
+  /// (no-op when `request.trace_id` is zero).
+  void offer_trace(const Request& request, Clock::time_point now);
+
   engine::Engine& engine_;
   ServiceOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  obs::TraceRing trace_ring_;  ///< slowest traced requests, fleet-wide
+  /// Cached handles into the engine registry for the batch kernels the
+  /// service runs directly on held snapshots — that path bypasses
+  /// `Engine::query_batch`, so the engine-level batch counters would
+  /// otherwise never move under serving load.
+  obs::Counter& engine_batches_;
+  obs::Counter& engine_batch_probes_;
+  obs::HistogramCell& engine_query_batch_us_;
   std::mutex lifecycle_mutex_;  ///< serializes start()/drain()
   bool started_ = false;        ///< guarded by lifecycle_mutex_
   std::atomic<bool> stopped_{false};

@@ -36,12 +36,20 @@ QueryView view_of(const api::Request& body) {
 }  // namespace
 
 Service::Service(engine::Engine& engine, ServiceOptions options)
-    : engine_(engine), options_(options) {
+    : engine_(engine),
+      options_(options),
+      engine_batches_(engine.metrics().counter("fhg_engine_batches_total")),
+      engine_batch_probes_(engine.metrics().counter("fhg_engine_batch_probes_total")),
+      engine_query_batch_us_(engine.metrics().histogram("fhg_engine_query_batch_us")) {
   options_.shards = std::max<std::size_t>(options_.shards, 1);
   options_.queue_capacity = std::max<std::size_t>(options_.queue_capacity, 1);
   shards_.reserve(options_.shards);
   for (std::size_t i = 0; i < options_.shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
+    // Depth gauges live on the engine's registry so GetStats and /metrics
+    // see them alongside the engine counters.
+    shards_.back()->queue_depth = &engine_.metrics().gauge(
+        "fhg_service_queue_depth{shard=\"" + std::to_string(i) + "\"}");
   }
   if (options_.start) {
     start();
@@ -110,6 +118,7 @@ std::optional<Reject> Service::enqueue(Request& request) {
     ++shard.metrics.accepted;
     shard.metrics.queue_high_water =
         std::max<std::uint64_t>(shard.metrics.queue_high_water, shard.queue.size());
+    shard.queue_depth->add(1);
   }
   if (wake) {
     // Only the empty→non-empty transition can find the worker asleep; every
@@ -129,6 +138,13 @@ void Service::worker_loop(Shard& shard) {
         return;  // stop requested and nothing left: graceful exit
       }
       batch.swap(shard.queue);
+      shard.queue_depth->add(-static_cast<std::int64_t>(batch.size()));
+    }
+    // One clock read stamps the whole drained batch: the queue span of each
+    // request ends here, its serve span begins.
+    const auto dequeued = Clock::now();
+    for (Request& request : batch) {
+      request.dequeued = dequeued;
     }
     process(shard, batch);
   }
@@ -170,6 +186,23 @@ void Service::process(Shard& shard, std::deque<Request>& batch) {
   }
 }
 
+void Service::offer_trace(const Request& request, Clock::time_point now) {
+  if (request.trace_id == 0) {
+    return;
+  }
+  const auto us = [](Clock::duration d) {
+    const auto v = std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+    return v > 0 ? static_cast<std::uint64_t>(v) : std::uint64_t{0};
+  };
+  trace_ring_.offer(obs::TraceSample{
+      .trace_id = request.trace_id,
+      .request_id = request.request_id,
+      .kind = static_cast<std::uint8_t>(request.body.index()),
+      .queue_us = us(request.dequeued - request.enqueued),
+      .serve_us = us(now - request.dequeued),
+      .total_us = us(now - request.enqueued)});
+}
+
 template <typename T, typename MakePayload>
 void Service::finish(Request& request, api::Status status, std::optional<T> value,
                      Clock::time_point now, ShardMetrics& local, MakePayload make_payload) {
@@ -179,6 +212,7 @@ void Service::finish(Request& request, api::Status status, std::optional<T> valu
   if (!status.ok()) {
     ++local.failed;
   }
+  offer_trace(request, now);
   if (auto* promise = std::get_if<std::promise<T>>(&request.done)) {
     if (status.ok()) {
       promise->set_value(std::move(*value));
@@ -213,6 +247,7 @@ void Service::finish_admin(Request& request, api::Response response, Clock::time
   if (!response.ok()) {
     ++local.failed;
   }
+  offer_trace(request, now);
   // Admin kinds are only reachable through `handle`, so the completion is
   // always the protocol flavor.
   auto& respond = std::get<api::ResponseCallback>(request.done);
@@ -290,7 +325,18 @@ void Service::flush_queries(std::vector<Request*>& run, ShardMetrics& local) {
     }
     return api::Status::error(api::StatusCode::kInternal, e.what());
   };
+  // The kernel invocations below are the engine's batch pipeline even though
+  // they run on a held snapshot: count them on the engine registry exactly
+  // as Engine::query_batch would.
+  const auto count_kernel = [&](std::size_t probes, Clock::time_point start) {
+    engine_batches_.increment();
+    engine_batch_probes_.add(probes);
+    const auto us =
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start);
+    engine_query_batch_us_.record(us.count() > 0 ? static_cast<std::uint64_t>(us.count()) : 0);
+  };
   if (!member_probes.empty()) {
+    const auto kernel_start = Clock::now();
     std::vector<std::uint8_t> answers(member_probes.size());
     try {
       snapshot->query_batch(member_probes, answers);
@@ -312,8 +358,10 @@ void Service::flush_queries(std::vector<Request*>& run, ShardMetrics& local) {
       }
     }
     local.queries += member_requests.size();
+    count_kernel(member_probes.size(), kernel_start);
   }
   if (!next_probes.empty()) {
+    const auto kernel_start = Clock::now();
     std::vector<std::uint64_t> answers(next_probes.size());
     try {
       snapshot->next_gathering_batch(next_probes, answers);
@@ -337,6 +385,7 @@ void Service::flush_queries(std::vector<Request*>& run, ShardMetrics& local) {
       }
     }
     local.next_gatherings += next_requests.size();
+    count_kernel(next_probes.size(), kernel_start);
   }
   run.clear();
 }
@@ -413,6 +462,12 @@ void Service::serve_admin(Request& request, ShardMetrics& local) {
     } catch (const std::exception& e) {
       response = api::Response::error(api::StatusCode::kInternal, e.what());
     }
+  } else if (const auto* get_stats = std::get_if<api::GetStatsRequest>(&request.body)) {
+    try {
+      response.payload = stats(*get_stats);
+    } catch (const std::exception& e) {
+      response = api::Response::error(api::StatusCode::kInternal, e.what());
+    }
   } else {
     const auto& restore = std::get<api::RestoreRequest>(request.body);
     try {
@@ -428,7 +483,15 @@ void Service::serve_admin(Request& request, ShardMetrics& local) {
 }
 
 void Service::handle(api::Request request, api::ResponseCallback done) {
-  Request internal{std::move(request), {}, std::move(done)};
+  handle(std::move(request), api::RequestContext{}, std::move(done));
+}
+
+void Service::handle(api::Request request, const api::RequestContext& context,
+                     api::ResponseCallback done) {
+  Request internal{.body = std::move(request),
+                   .trace_id = context.trace_id,
+                   .request_id = context.request_id,
+                   .done = std::move(done)};
   if (const auto reject = enqueue(internal)) {
     // The unified contract: rejects are typed responses too, delivered
     // synchronously on the submitting thread.
@@ -450,14 +513,16 @@ std::future<api::Response> Service::submit(api::Request request) {
 Submission<bool> Service::is_happy(std::string instance, graph::NodeId v, std::uint64_t t) {
   std::promise<bool> promise;
   Submission<bool> submission{.future = promise.get_future(), .reject = std::nullopt};
-  Request request{api::IsHappyRequest{std::move(instance), v, t}, {}, std::move(promise)};
+  Request request{.body = api::IsHappyRequest{std::move(instance), v, t},
+                  .done = std::move(promise)};
   submission.reject = enqueue(request);
   return submission;
 }
 
 std::optional<Reject> Service::is_happy(std::string instance, graph::NodeId v, std::uint64_t t,
                                         Callback<bool> done) {
-  Request request{api::IsHappyRequest{std::move(instance), v, t}, {}, std::move(done)};
+  Request request{.body = api::IsHappyRequest{std::move(instance), v, t},
+                  .done = std::move(done)};
   return enqueue(request);
 }
 
@@ -465,16 +530,16 @@ Submission<std::uint64_t> Service::next_gathering(std::string instance, graph::N
                                                   std::uint64_t after) {
   std::promise<std::uint64_t> promise;
   Submission<std::uint64_t> submission{.future = promise.get_future(), .reject = std::nullopt};
-  Request request{api::NextGatheringRequest{std::move(instance), v, after}, {},
-                  std::move(promise)};
+  Request request{.body = api::NextGatheringRequest{std::move(instance), v, after},
+                  .done = std::move(promise)};
   submission.reject = enqueue(request);
   return submission;
 }
 
 std::optional<Reject> Service::next_gathering(std::string instance, graph::NodeId v,
                                               std::uint64_t after, Callback<std::uint64_t> done) {
-  Request request{api::NextGatheringRequest{std::move(instance), v, after}, {},
-                  std::move(done)};
+  Request request{.body = api::NextGatheringRequest{std::move(instance), v, after},
+                  .done = std::move(done)};
   return enqueue(request);
 }
 
@@ -483,8 +548,8 @@ Submission<engine::MutationResult> Service::apply_mutations(
   std::promise<engine::MutationResult> promise;
   Submission<engine::MutationResult> submission{.future = promise.get_future(),
                                                 .reject = std::nullopt};
-  Request request{api::ApplyMutationsRequest{std::move(instance), std::move(commands)}, {},
-                  std::move(promise)};
+  Request request{.body = api::ApplyMutationsRequest{std::move(instance), std::move(commands)},
+                  .done = std::move(promise)};
   submission.reject = enqueue(request);
   return submission;
 }
@@ -492,8 +557,8 @@ Submission<engine::MutationResult> Service::apply_mutations(
 std::optional<Reject> Service::apply_mutations(std::string instance,
                                                std::vector<dynamic::MutationCommand> commands,
                                                Callback<engine::MutationResult> done) {
-  Request request{api::ApplyMutationsRequest{std::move(instance), std::move(commands)}, {},
-                  std::move(done)};
+  Request request{.body = api::ApplyMutationsRequest{std::move(instance), std::move(commands)},
+                  .done = std::move(done)};
   return enqueue(request);
 }
 
@@ -503,6 +568,58 @@ ServiceMetrics Service::metrics() const {
   for (const auto& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard->mutex);
     out.shards.push_back(shard->metrics);
+  }
+  return out;
+}
+
+api::GetStatsResponse Service::stats(const api::GetStatsRequest& options) const {
+  engine_.refresh_gauges();
+  api::GetStatsResponse out;
+  out.metrics = engine_.metrics().snapshot();
+  // Re-express each shard's plain-struct counters as labeled samples, so the
+  // wire carries one uniform metric vocabulary.
+  const ServiceMetrics service = metrics();
+  const auto counter = [&](std::string name, std::size_t shard, std::uint64_t value) {
+    name += "{shard=\"" + std::to_string(shard) + "\"}";
+    out.metrics.push_back(obs::MetricSample{
+        .name = std::move(name), .kind = obs::MetricKind::kCounter, .value = value});
+  };
+  for (std::size_t i = 0; i < service.shards.size(); ++i) {
+    const ShardMetrics& shard = service.shards[i];
+    counter("fhg_service_accepted_total", i, shard.accepted);
+    counter("fhg_service_admin_total", i, shard.admin);
+    counter("fhg_service_batches_total", i, shard.batches);
+    counter("fhg_service_failed_total", i, shard.failed);
+    counter("fhg_service_mutations_total", i, shard.mutations);
+    counter("fhg_service_next_gatherings_total", i, shard.next_gatherings);
+    counter("fhg_service_queries_total", i, shard.queries);
+    counter("fhg_service_rejected_full_total", i, shard.rejected_full);
+    counter("fhg_service_rejected_stopped_total", i, shard.rejected_stopped);
+    out.metrics.push_back(obs::MetricSample{
+        .name = "fhg_service_queue_high_water{shard=\"" + std::to_string(i) + "\"}",
+        .kind = obs::MetricKind::kGauge,
+        .value = shard.queue_high_water});
+    if (options.include_histograms) {
+      const auto histogram = [&](std::string name, const Histogram& h) {
+        name += "{shard=\"" + std::to_string(i) + "\"}";
+        out.metrics.push_back(obs::MetricSample{.name = std::move(name),
+                                                .kind = obs::MetricKind::kHistogram,
+                                                .value = h.total(),
+                                                .histogram = h});
+      };
+      histogram("fhg_service_batch_size", shard.batch_size);
+      histogram("fhg_service_latency_us", shard.latency_us);
+    }
+  }
+  if (!options.include_histograms) {
+    std::erase_if(out.metrics, [](const obs::MetricSample& sample) {
+      return sample.kind == obs::MetricKind::kHistogram;
+    });
+  }
+  std::sort(out.metrics.begin(), out.metrics.end(),
+            [](const obs::MetricSample& a, const obs::MetricSample& b) { return a.name < b.name; });
+  if (options.include_traces) {
+    out.traces = trace_ring_.snapshot();
   }
   return out;
 }

@@ -17,6 +17,8 @@
 #include "fhg/coding/bitio.hpp"
 #include "fhg/dynamic/mutation.hpp"
 #include "fhg/engine/spec.hpp"
+#include "fhg/obs/registry.hpp"
+#include "fhg/obs/trace.hpp"
 
 namespace fa = fhg::api;
 namespace fc = fhg::coding;
@@ -61,6 +63,7 @@ std::vector<fa::Request> all_request_kinds() {
       fa::ListInstancesRequest{},
       fa::SnapshotRequest{},
       fa::RestoreRequest{{0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x42}},
+      fa::GetStatsRequest{.include_histograms = false, .include_traces = true},
   };
 }
 
@@ -91,6 +94,28 @@ std::vector<fa::Response> all_response_kinds() {
   responses.push_back(success(std::move(list)));
   responses.push_back(success(fa::SnapshotResponse{{1, 2, 3, 255, 0}}));
   responses.push_back(success(fa::RestoreResponse{512}));
+  fa::GetStatsResponse stats;
+  stats.metrics.push_back(fhg::obs::MetricSample{.name = "fhg_engine_queries_total",
+                                                 .kind = fhg::obs::MetricKind::kCounter,
+                                                 .value = 12345});
+  stats.metrics.push_back(fhg::obs::MetricSample{.name = "fhg_engine_nodes",
+                                                 .kind = fhg::obs::MetricKind::kGauge,
+                                                 .value = static_cast<std::uint64_t>(-42)});
+  fhg::obs::Histogram latency;
+  latency.record(0);
+  latency.record(17);
+  latency.record(1u << 19);  // saturates the top bucket
+  stats.metrics.push_back(fhg::obs::MetricSample{.name = "fhg_service_latency_us{shard=\"1\"}",
+                                                 .kind = fhg::obs::MetricKind::kHistogram,
+                                                 .value = latency.total(),
+                                                 .histogram = latency});
+  stats.traces.push_back(fhg::obs::TraceSample{.trace_id = 7001,
+                                               .request_id = 31,
+                                               .kind = 0,
+                                               .queue_us = 12,
+                                               .serve_us = 90,
+                                               .total_us = 102});
+  responses.push_back(success(std::move(stats)));
   responses.push_back(fa::Response::error(fa::StatusCode::kNotFound, "no instance named 'x'"));
   responses.push_back(fa::Response::error(fa::StatusCode::kQueueFull,
                                           "the owning shard's queue is at capacity"));
@@ -125,6 +150,7 @@ TEST(ApiProtocol, KindNamesAndRoutingInstance) {
   ASSERT_EQ(requests.size(), fa::kNumRequestKinds);
   EXPECT_EQ(fa::request_kind_name(0), "is-happy");
   EXPECT_EQ(fa::request_kind_name(7), "restore");
+  EXPECT_EQ(fa::request_kind_name(8), "get-stats");
   EXPECT_EQ(fa::request_kind_name(99), "unknown");
   // Instance-addressed kinds route by name; tenancy-wide kinds route empty.
   EXPECT_EQ(fa::routing_instance(requests[0]), "acme");
@@ -133,6 +159,7 @@ TEST(ApiProtocol, KindNamesAndRoutingInstance) {
   EXPECT_EQ(fa::routing_instance(requests[5]), "");
   EXPECT_EQ(fa::routing_instance(requests[6]), "");
   EXPECT_EQ(fa::routing_instance(requests[7]), "");
+  EXPECT_EQ(fa::routing_instance(requests[8]), "");
 }
 
 // --------------------------------------------------------- round trips -----
@@ -337,4 +364,68 @@ TEST(ApiFrameAssembler, ValidatesTheHeaderBehindAPoppedFrame) {
   // ...but popping the valid frame exposes — and condemns — the bad header.
   EXPECT_EQ(assembler.error().code, fa::StatusCode::kDecodeError);
   EXPECT_FALSE(assembler.next().has_value());
+}
+
+// ------------------------------------------------------- trace envelope ----
+
+TEST(ApiEnvelope, TraceIdRoundTripsThroughTheCodec) {
+  const fa::Request request = fa::IsHappyRequest{"acme", 7, 123456789};
+  const auto frame = fa::encode_request(42, request, fa::kProtocolVersion, 0xABCDEF12345ULL);
+  fa::DecodedRequest decoded;
+  ASSERT_TRUE(fa::decode_request(frame, decoded).ok());
+  EXPECT_EQ(decoded.trace_id, 0xABCDEF12345ULL);
+  EXPECT_EQ(decoded.request_id, 42u);
+  EXPECT_EQ(decoded.request, request);
+}
+
+TEST(ApiEnvelope, AbsentEnvelopeDecodesAsUntraced) {
+  // Trace id zero writes no envelope at all: the frame is byte-identical to
+  // what a pre-envelope encoder produced, and decodes as untraced.
+  const fa::Request request = fa::NextGatheringRequest{"acme", 3, 42};
+  const auto untraced = fa::encode_request(7, request, fa::kProtocolVersion, 0);
+  const auto default_encoded = fa::encode_request(7, request);
+  EXPECT_EQ(untraced, default_encoded);
+  fa::DecodedRequest decoded;
+  ASSERT_TRUE(fa::decode_request(untraced, decoded).ok());
+  EXPECT_EQ(decoded.trace_id, 0u);
+  // A traced frame is strictly longer: the envelope is a real suffix.
+  const auto traced = fa::encode_request(7, request, fa::kProtocolVersion, 99);
+  EXPECT_GT(traced.size(), untraced.size());
+}
+
+TEST(ApiEnvelope, UnknownEnvelopeFieldsAreSkippedForForwardCompat) {
+  // A future peer may append envelope fields this decoder has never heard
+  // of.  Hand-build such an envelope: two fields, the first with an unknown
+  // tag, the second the trace id.  The decoder must skip the stranger and
+  // still capture the trace.
+  const fa::Request request = fa::SnapshotRequest{};
+  const auto plain = fa::encode_request(5, request);  // no envelope
+  std::vector<std::uint8_t> payload(plain.begin() + fa::kFrameHeaderBytes, plain.end());
+  fc::BitWriter envelope;
+  envelope.put_uint(2);       // field count
+  envelope.put_uint(777);     // unknown tag...
+  envelope.put_uint(424242);  // ...with a value to skip
+  envelope.put_uint(fa::kEnvelopeTraceId);
+  envelope.put_uint(31337);
+  const auto extra = envelope.finish();
+  payload.insert(payload.end(), extra.begin(), extra.end());
+  fa::DecodedRequest decoded;
+  ASSERT_TRUE(fa::decode_request(frame_of(payload), decoded).ok());
+  EXPECT_EQ(decoded.trace_id, 31337u);
+  EXPECT_EQ(decoded.request, request);
+}
+
+TEST(ApiEnvelope, TruncatedEnvelopeFailsTyped) {
+  const fa::Request request = fa::SnapshotRequest{};
+  const auto plain = fa::encode_request(5, request);
+  std::vector<std::uint8_t> payload(plain.begin() + fa::kFrameHeaderBytes, plain.end());
+  fc::BitWriter envelope;
+  envelope.put_uint(3);  // claims three fields, delivers one
+  envelope.put_uint(fa::kEnvelopeTraceId);
+  envelope.put_uint(1);
+  const auto extra = envelope.finish();
+  payload.insert(payload.end(), extra.begin(), extra.end());
+  fa::DecodedRequest decoded;
+  EXPECT_EQ(fa::decode_request(frame_of(payload), decoded).code,
+            fa::StatusCode::kDecodeError);
 }

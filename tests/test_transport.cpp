@@ -268,3 +268,148 @@ TEST(Transport, SnapshotRestoresIntoAFreshServerOverTheWire) {
   }
   server.stop();
 }
+
+// ------------------------------------------------------------- GetStats ----
+
+TEST(Transport, GetStatsSnapshotsAreByteIdenticalAcrossTransports) {
+  // Two identical fleets served the same request stream over the socket and
+  // in process must expose byte-identical stats snapshots: the engine
+  // registry is per-engine and deterministic under a deterministic workload,
+  // and the timing-dependent parts (histograms, traces) are excluded by the
+  // request flags.  Transport-layer metrics live on the process-global
+  // registry precisely so they cannot leak in here.
+  const fw::ScenarioSpec spec = mixed_spec();
+  auto socket_engine = make_fleet(spec);
+  auto inproc_engine = make_fleet(spec);
+  fs::Service socket_service(*socket_engine, {.shards = 3});
+  fs::Service inproc_service(*inproc_engine, {.shards = 3});
+  fa::SocketServer server(socket_service, {});
+  fa::SocketTransport socket_transport(server.host(), server.port());
+  fa::InProcessTransport inproc_transport(inproc_service);
+
+  const fw::ScenarioGenerator generator(spec);
+  auto stream = generator.request_stream(400, 5);
+  for (fa::Request& request : admin_cycle("stats-probe")) {
+    stream.push_back(std::move(request));
+  }
+  stream.push_back(fa::GetStatsRequest{.include_histograms = false, .include_traces = false});
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const auto frame = fa::encode_request(i + 1, stream[i]);
+    std::vector<std::uint8_t> socket_reply;
+    std::vector<std::uint8_t> inproc_reply;
+    ASSERT_TRUE(socket_transport.roundtrip(frame, socket_reply).ok()) << i;
+    ASSERT_TRUE(inproc_transport.roundtrip(frame, inproc_reply).ok()) << i;
+    ASSERT_EQ(socket_reply, inproc_reply)
+        << "request " << i << " (" << fa::request_kind_name(stream[i].index()) << ")";
+  }
+  // The final frames really were stats: decode one and spot-check content.
+  const auto frame = fa::encode_request(9999, fa::Request{fa::GetStatsRequest{
+                                                  .include_histograms = false,
+                                                  .include_traces = false}});
+  std::vector<std::uint8_t> reply;
+  ASSERT_TRUE(socket_transport.roundtrip(frame, reply).ok());
+  fa::DecodedResponse decoded;
+  ASSERT_TRUE(fa::decode_response(reply, decoded).ok());
+  const auto* stats = std::get_if<fa::GetStatsResponse>(&decoded.response.payload);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_FALSE(stats->metrics.empty());
+  EXPECT_TRUE(stats->traces.empty());  // excluded by the flag
+  for (const auto& sample : stats->metrics) {
+    EXPECT_NE(sample.kind, fhg::obs::MetricKind::kHistogram) << sample.name;
+    EXPECT_EQ(sample.name.compare(0, 4, "fhg_"), 0) << sample.name;
+  }
+  server.stop();
+}
+
+TEST(Transport, StatsCountersAreMonotoneAcrossALoadBurst) {
+  const fw::ScenarioSpec spec = mixed_spec();
+  auto engine = make_fleet(spec);
+  fs::Service service(*engine, {.shards = 2});
+  fa::SocketServer server(service, {});
+  fa::Client client(std::make_unique<fa::SocketTransport>(server.host(), server.port()));
+
+  const auto counter_value = [](const fa::GetStatsResponse& stats, std::string_view name) {
+    std::uint64_t sum = 0;
+    for (const auto& sample : stats.metrics) {
+      // Sum across shard labels: "name" or "name{shard=...}".
+      const std::string_view sample_name(sample.name);
+      if (sample_name == name || (sample_name.size() > name.size() &&
+                                  sample_name.substr(0, name.size()) == name &&
+                                  sample_name[name.size()] == '{')) {
+        sum += sample.value;
+      }
+    }
+    return sum;
+  };
+
+  auto before = client.get_stats();
+  ASSERT_TRUE(before.ok()) << before.status.detail;
+  const fw::ScenarioGenerator generator(spec);
+  std::size_t queries = 0;
+  for (const fa::Request& request : generator.request_stream(200, 21)) {
+    if (const auto* happy = std::get_if<fa::IsHappyRequest>(&request)) {
+      ++queries;
+      ASSERT_TRUE(client.is_happy(happy->instance, happy->node, happy->holiday).ok());
+    }
+  }
+  ASSERT_GT(queries, 0u);
+  auto after = client.get_stats();
+  ASSERT_TRUE(after.ok()) << after.status.detail;
+
+  for (const std::string_view name :
+       {"fhg_service_accepted_total", "fhg_service_queries_total",
+        "fhg_engine_batch_probes_total"}) {
+    const std::uint64_t was = counter_value(before.value, name);
+    const std::uint64_t now = counter_value(after.value, name);
+    EXPECT_GE(now, was + queries) << name;
+  }
+  // Histograms ride along by default and the burst recorded latencies.
+  const auto latency = std::find_if(
+      after.value.metrics.begin(), after.value.metrics.end(), [](const auto& sample) {
+        return sample.kind == fhg::obs::MetricKind::kHistogram &&
+               sample.name.find("fhg_service_latency_us") != std::string::npos &&
+               sample.histogram.total() > 0;
+      });
+  EXPECT_NE(latency, after.value.metrics.end());
+  server.stop();
+}
+
+TEST(Transport, ClientTraceIdsReachTheSlowestTraceRing) {
+  const fw::ScenarioSpec spec = mixed_spec();
+  auto engine = make_fleet(spec);
+  fs::Service service(*engine, {.shards = 2});
+  fa::SocketServer server(service, {});
+  fa::Client client(std::make_unique<fa::SocketTransport>(server.host(), server.port()));
+  client.set_trace_base(0x50000000ULL);  // tracing is on by default
+
+  const fw::ScenarioGenerator generator(spec);
+  std::size_t sent = 0;
+  for (const fa::Request& request : generator.request_stream(100, 33)) {
+    if (const auto* happy = std::get_if<fa::IsHappyRequest>(&request)) {
+      ++sent;
+      ASSERT_TRUE(client.is_happy(happy->instance, happy->node, happy->holiday).ok());
+    }
+  }
+  ASSERT_GT(sent, 0u);
+  auto stats = client.get_stats();
+  ASSERT_TRUE(stats.ok()) << stats.status.detail;
+  ASSERT_FALSE(stats.value.traces.empty());
+  for (const auto& trace : stats.value.traces) {
+    // Every trace was minted by this client: base + request id, echoed back.
+    EXPECT_GT(trace.trace_id, 0x50000000ULL);
+    EXPECT_EQ(trace.trace_id - 0x50000000ULL, trace.request_id);
+    EXPECT_LT(trace.kind, fa::kNumRequestKinds);
+    EXPECT_GE(trace.total_us, trace.serve_us);
+  }
+  // Disabling tracing stops new entries: the ring size stabilizes.
+  client.set_tracing(false);
+  const std::size_t ring_size = stats.value.traces.size();
+  EXPECT_EQ(service.traces().snapshot().size(), ring_size);  // direct accessor agrees
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(client.list_instances().ok());
+  }
+  auto again = client.get_stats();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value.traces.size(), ring_size);
+  server.stop();
+}

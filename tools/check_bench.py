@@ -42,14 +42,25 @@ import sys
 
 
 def load_rates(path: str) -> dict[str, float]:
-    """Benchmark name -> items_per_second, skipping entries without a rate."""
+    """Benchmark name -> items_per_second, skipping entries without a rate.
+
+    A run made with --benchmark_repetitions produces several iteration
+    entries per name (plus aggregates, which are ignored); the *fastest*
+    repetition is used.  Shared-runner noise is one-sided — interference
+    only ever slows a repetition down — so the max is the cleanest sample
+    of each benchmark and the stablest basis for ratio gates.  Pair it with
+    --benchmark_enable_random_interleaving so no benchmark systematically
+    runs during the hot/busy tail of the process.
+    """
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
-    rates = {}
+    rates: dict[str, float] = {}
     for bench in doc.get("benchmarks", []):
         rate = bench.get("items_per_second")
-        if rate is not None and bench.get("run_type", "iteration") == "iteration":
-            rates[bench["name"]] = float(rate)
+        if rate is None or bench.get("run_type", "iteration") != "iteration":
+            continue
+        name = bench.get("run_name", bench["name"])
+        rates[name] = max(rates.get(name, 0.0), float(rate))
     return rates
 
 
@@ -85,11 +96,24 @@ def main() -> int:
             f"check_bench: WARNING — baseline file {args.baseline} does not exist; "
             "no baseline, skipping regression gate (regen command in the file header)"
         )
+        for name in sorted(current):
+            print(f"  WARNING    {name}: ungated (no baseline file)")
     elif args.baseline:
         baseline = load_rates(args.baseline)
         shared = sorted(set(current) & set(baseline))
         if not shared:
-            print("check_bench: WARNING — no benchmark names shared with the baseline")
+            print(
+                "check_bench: WARNING — no benchmark names shared with the baseline\n"
+                f"  current run has:  {sorted(current)}\n"
+                f"  baseline has:     {sorted(baseline)}"
+            )
+        # A baseline entry the fresh run no longer produces is how a renamed
+        # benchmark silently drops out of the gate — name the dropouts.
+        for name in sorted(set(baseline) - set(current)):
+            print(
+                f"  WARNING    {name}: in baseline ({baseline[name]:.3g}/s) but "
+                "missing from the current run — renamed or removed?"
+            )
         for name in shared:
             ratio = baseline[name] / current[name]
             status = "OK"
@@ -104,7 +128,10 @@ def main() -> int:
                 f"baseline {baseline[name]:.3g}/s ({ratio:.2f}x)"
             )
         for name in sorted(set(current) - set(baseline)):
-            print(f"  WARNING    {name}: {current[name]:.3g}/s — no baseline, skipping")
+            print(
+                f"  WARNING    {name}: {current[name]:.3g}/s — missing from baseline "
+                f"{args.baseline}, skipping (regenerate the baseline to gate it)"
+            )
 
     for fast, slow, ratio_text in args.min_speedup:
         want = float(ratio_text)

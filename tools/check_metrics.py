@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""CI gate for a Prometheus /metrics scrape.
+
+Validates that a scraped exposition (from fhg_serve --stats-port, or any
+other fhg::obs `to_prometheus` output) is well-formed and that the metrics
+the serving stack must emit are present — and, for counters that a load
+burst must have moved, nonzero.  Series are summed across label variants
+(`fhg_service_accepted_total{shard="0"}` and `{shard="1"}` both count
+toward `fhg_service_accepted_total`), so shard layout does not matter.
+
+Usage:
+  check_metrics.py --file scrape.txt
+                   [--require NAME ...]          # present (any value)
+                   [--require-nonzero NAME ...]  # present and summing > 0
+
+Exit status: 0 when every requirement holds, 1 otherwise (with the offending
+names and a scrape summary on stdout).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+
+# One sample line: name, optional {labels}, numeric value (int, float, +Inf).
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r"\s+(?P<value>[-+]?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|Inf|NaN))$"
+)
+
+
+def load_series(path: str) -> tuple[dict[str, float], list[str]]:
+    """Base metric name -> summed value, plus any malformed lines."""
+    series: dict[str, float] = {}
+    malformed: list[str] = []
+    with open(path, encoding="utf-8") as f:
+        for raw in f:
+            line = raw.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            match = SAMPLE.match(line)
+            if not match:
+                malformed.append(line)
+                continue
+            value = match.group("value")
+            number = float("inf") if value.endswith("Inf") else float(value)
+            series[match.group("name")] = series.get(match.group("name"), 0.0) + number
+    return series, malformed
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--file", required=True, help="the scraped exposition text")
+    parser.add_argument(
+        "--require", nargs="*", default=[], help="metric names that must be present"
+    )
+    parser.add_argument(
+        "--require-nonzero",
+        nargs="*",
+        default=[],
+        help="metric names that must be present and sum to a nonzero value",
+    )
+    args = parser.parse_args()
+
+    series, malformed = load_series(args.file)
+    failures = []
+    for line in malformed:
+        failures.append(f"malformed exposition line: {line!r}")
+    if not series:
+        failures.append(f"no metric samples found in {args.file}")
+
+    for name in args.require:
+        if name not in series:
+            failures.append(f"required metric missing: {name}")
+        else:
+            print(f"  OK         {name} present ({series[name]:g})")
+    for name in args.require_nonzero:
+        if name not in series:
+            failures.append(f"required metric missing: {name}")
+        elif series[name] == 0:
+            failures.append(f"required metric is zero: {name}")
+        else:
+            print(f"  OK         {name} = {series[name]:g}")
+
+    if failures:
+        print(f"\ncheck_metrics: FAIL ({len(series)} series scraped)")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\ncheck_metrics: PASS ({len(series)} series scraped)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
