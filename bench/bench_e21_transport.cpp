@@ -16,14 +16,21 @@
 //              This adds two kernel crossings and TCP framing per request —
 //              the floor for a networked deployment.
 //
+// Every request is individually timed: each series reports `p50_us` and
+// `p99_us` user counters next to its throughput, because tail latency is a
+// fairness property of the serving layer — a high-throughput transport that
+// stalls its slowest percentile is still failing some caller periodically.
 // The CI gate (tools/check_bench.py against bench/baselines/bench_e21.json)
-// holds both within the standard 2x regression bound; the in-process rate is
-// the one that must keep pace with the PR 4 service numbers, since it is the
-// same pipeline plus the codec.
+// holds throughput within the standard 2x regression bound and the latency
+// counters within --max-latency-regression; the in-process rate is the one
+// that must keep pace with the PR 4 service numbers, since it is the same
+// pipeline plus the codec.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -76,11 +83,14 @@ Fleet& fleet_for(const std::string& scenario) {
 }
 
 /// Drives the fleet's stream through `kClients` concurrent clients, each
-/// with its own transport from `make_transport`.  Aborts the benchmark on
-/// any failed request (the stream is valid by construction).
+/// with its own transport from `make_transport`, timing every roundtrip
+/// into `latencies_us`.  Aborts the benchmark on any failed request (the
+/// stream is valid by construction).
 template <typename MakeTransport>
-void run_clients(benchmark::State& state, Fleet& fleet, MakeTransport make_transport) {
+void run_clients(benchmark::State& state, Fleet& fleet, MakeTransport make_transport,
+                 std::vector<std::uint64_t>& latencies_us) {
   std::atomic<std::uint64_t> failures{0};
+  std::vector<std::vector<std::uint64_t>> samples(kClients);
   std::vector<std::thread> clients;
   clients.reserve(kClients);
   for (std::size_t c = 0; c < kClients; ++c) {
@@ -89,9 +99,16 @@ void run_clients(benchmark::State& state, Fleet& fleet, MakeTransport make_trans
       const std::size_t per_client = fleet.requests.size() / kClients;
       const std::size_t begin = c * per_client;
       const std::size_t end = c + 1 == kClients ? fleet.requests.size() : begin + per_client;
+      samples[c].reserve(end - begin);
       api::Client client(make_transport());
       for (std::size_t i = begin; i < end; ++i) {
-        if (!client.call(fleet.requests[i]).ok()) {
+        const auto start = std::chrono::steady_clock::now();
+        const bool ok = client.call(fleet.requests[i]).ok();
+        samples[c].push_back(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count()));
+        if (!ok) {
           failures.fetch_add(1, std::memory_order_relaxed);
         }
       }
@@ -100,33 +117,57 @@ void run_clients(benchmark::State& state, Fleet& fleet, MakeTransport make_trans
   for (std::thread& client : clients) {
     client.join();
   }
+  for (const auto& client_samples : samples) {
+    latencies_us.insert(latencies_us.end(), client_samples.begin(), client_samples.end());
+  }
   if (failures.load() != 0) {
     state.SkipWithError("request failed on a valid stream");
   }
 }
 
+/// Publishes p50/p99 of the accumulated per-request latencies as user
+/// counters, so the JSON the CI gate reads carries tail latency next to
+/// throughput.
+void report_latency(benchmark::State& state, std::vector<std::uint64_t>& latencies_us) {
+  if (latencies_us.empty()) {
+    return;
+  }
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const auto percentile = [&](double q) {
+    const auto rank = static_cast<std::size_t>(q * static_cast<double>(latencies_us.size() - 1));
+    return static_cast<double>(latencies_us[rank]);
+  };
+  state.counters["p50_us"] = benchmark::Counter(percentile(0.50));
+  state.counters["p99_us"] = benchmark::Counter(percentile(0.99));
+}
+
 void BM_InProcess(benchmark::State& state, const std::string& scenario) {
   Fleet& fleet = fleet_for(scenario);
+  std::vector<std::uint64_t> latencies_us;
   for (auto _ : state) {
     service::Service service(*fleet.engine, {.shards = kServiceShards});
     run_clients(state, fleet,
-                [&service] { return std::make_unique<api::InProcessTransport>(service); });
+                [&service] { return std::make_unique<api::InProcessTransport>(service); },
+                latencies_us);
     service.drain();
   }
+  report_latency(state, latencies_us);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * fleet.requests.size()));
 }
 
 void BM_Socket(benchmark::State& state, const std::string& scenario) {
   Fleet& fleet = fleet_for(scenario);
+  std::vector<std::uint64_t> latencies_us;
   for (auto _ : state) {
     service::Service service(*fleet.engine, {.shards = kServiceShards});
     api::SocketServer server(service, {});
     run_clients(state, fleet, [&server] {
       return std::make_unique<api::SocketTransport>(server.host(), server.port());
-    });
+    }, latencies_us);
     server.stop();
     service.drain();
   }
+  report_latency(state, latencies_us);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * fleet.requests.size()));
 }
 

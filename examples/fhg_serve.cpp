@@ -19,6 +19,15 @@
 //             fails unexpectedly (refused mutations on churned slots are
 //             expected and only counted).
 //
+//             Connection-scaling mode: --idle-connections N additionally
+//             opens N connections *before* the hot clients run, probes each
+//             once (one ListInstances roundtrip), parks them — open, silent —
+//             for the whole hot phase, then revalidates a sample and closes
+//             them.  Thousands of mostly-idle connections plus a few hot
+//             ones is exactly the shape the epoll server is built for; the
+//             serve-scale CI job runs this at 10k connections and asserts
+//             the server's fhg_socket_connections_peak high-water saw them.
+//
 //   loopback  The CI divergence gate, self-contained in one process: builds
 //             two identical fleets, serves one over a real TCP loopback
 //             socket and the other through the in-process transport, drives
@@ -46,6 +55,7 @@
 //                      [--stats-port P] [--stats-interval SECS]
 //   fhg_serve load     --connect HOST:PORT [--workload SPEC | --fleet N]
 //                      [--requests N] [--clients N] [--round R] [--seed S]
+//                      [--idle-connections N] [--openers N]
 //   fhg_serve loopback [--workload SPEC | --fleet N] [--steps N]
 //                      [--requests N] [--clients N] [--service-shards N]
 //                      [--seed S]
@@ -102,6 +112,7 @@ using Clock = std::chrono::steady_clock;
             << "                          [--stats-port P] [--stats-interval SECS]\n"
             << "       fhg_serve load     --connect HOST:PORT [--workload SPEC | --fleet N]\n"
             << "                          [--requests N] [--clients N] [--round R] [--seed S]\n"
+            << "                          [--idle-connections N] [--openers N]\n"
             << "       fhg_serve loopback [--workload SPEC | --fleet N] [--steps N]\n"
             << "                          [--requests N] [--clients N] [--service-shards N]\n"
             << "                          [--seed S]\n"
@@ -387,6 +398,78 @@ int run_serve(std::map<std::string, std::string> options) {
   return 0;
 }
 
+/// The connection-scaling pool: `count` open-but-idle connections held for
+/// the whole hot phase.  Each is probed once on open (one ListInstances
+/// roundtrip over the raw transport, so the connection is proven live before
+/// it goes quiet); `revalidate` probes a 1-in-16 sample again after sitting
+/// idle, proving the server kept every parked connection serviceable.
+class IdlePool {
+ public:
+  IdlePool(std::string host, std::uint16_t port, std::size_t count, std::size_t openers)
+      : host_(std::move(host)), port_(port), transports_(count) {
+    if (count == 0) {
+      return;
+    }
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> threads;
+    threads.reserve(openers);
+    for (std::size_t t = 0; t < std::max<std::size_t>(1, openers); ++t) {
+      threads.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1); i < transports_.size();
+             i = next.fetch_add(1)) {
+          try {
+            auto transport = std::make_unique<api::SocketTransport>(host_, port_);
+            if (!probe(*transport, i + 1)) {
+              failed_.fetch_add(1, std::memory_order_relaxed);
+              continue;
+            }
+            transports_[i] = std::move(transport);
+          } catch (const std::exception&) {
+            failed_.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+  }
+
+  /// Probes every 16th parked connection again; stale or dead ones count as
+  /// failures.  Call after the hot phase, before the pool closes.
+  void revalidate() {
+    for (std::size_t i = 0; i < transports_.size(); i += 16) {
+      if (!transports_[i] || !probe(*transports_[i], 1'000'000 + i)) {
+        failed_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        revalidated_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return transports_.size(); }
+  [[nodiscard]] std::uint64_t failed() const noexcept { return failed_.load(); }
+  [[nodiscard]] std::uint64_t revalidated() const noexcept { return revalidated_.load(); }
+
+ private:
+  static bool probe(api::SocketTransport& transport, std::uint64_t request_id) {
+    const auto frame = api::encode_request(request_id, api::Request{api::ListInstancesRequest{}});
+    std::vector<std::uint8_t> reply;
+    if (!transport.roundtrip(frame, reply).ok()) {
+      return false;
+    }
+    api::DecodedResponse decoded;
+    return api::decode_response(reply, decoded).ok() && decoded.response.ok() &&
+           decoded.request_id == request_id;
+  }
+
+  std::string host_;
+  std::uint16_t port_;
+  std::vector<std::unique_ptr<api::SocketTransport>> transports_;
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> revalidated_{0};
+};
+
 // -------------------------------------------------------------------- load --
 
 int run_load(std::map<std::string, std::string> options) {
@@ -410,6 +493,18 @@ int run_load(std::map<std::string, std::string> options) {
   const auto clients =
       std::max<std::size_t>(1, static_cast<std::size_t>(uint_option(options, "clients", 4)));
   const std::uint64_t base_round = uint_option(options, "round", 1);
+  const auto idle_connections =
+      static_cast<std::size_t>(uint_option(options, "idle-connections", 0));
+  const auto openers = static_cast<std::size_t>(uint_option(options, "openers", 16));
+
+  // Connection-scaling phase 1: park the idle pool first, so the hot
+  // clients below run against a server already holding every connection.
+  const auto idle_start = Clock::now();
+  IdlePool idle(host, port, idle_connections, openers);
+  if (idle.size() != 0) {
+    std::cout << "idle pool: " << idle.size() << " connections opened and probed in "
+              << seconds_since(idle_start) << "s (" << idle.failed() << " failures)\n";
+  }
 
   const auto start = Clock::now();
   const LoadTally tally = fan_out(generator, requests, clients, base_round, [&] {
@@ -417,12 +512,26 @@ int run_load(std::map<std::string, std::string> options) {
   });
   print_tally("load (" + std::to_string(clients) + " connections to " + target + ")", tally,
               seconds_since(start));
+
+  // Phase 2: the parked connections sat silent through the whole hot burst;
+  // a sample must still answer.
+  if (idle.size() != 0) {
+    idle.revalidate();
+    std::cout << "idle pool: " << idle.revalidated()
+              << " parked connections revalidated after the hot phase ("
+              << idle.failed() << " total failures)\n";
+  }
   // The client side's own wire telemetry (codec + socket counters live on
   // the process-global registry), through the same shared formatter the
   // server uses — not a second hand-rolled table.
   std::cout << "client wire metrics:\n" << obs::to_text(obs::Registry::global().snapshot());
   if (tally.failed != 0) {
     std::cerr << "fhg_serve: FAIL — " << tally.failed << " requests failed unexpectedly\n";
+    return 1;
+  }
+  if (idle.failed() != 0) {
+    std::cerr << "fhg_serve: FAIL — " << idle.failed()
+              << " idle-pool connections failed to open, probe, or revalidate\n";
     return 1;
   }
   return 0;

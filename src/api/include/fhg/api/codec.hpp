@@ -92,6 +92,14 @@ struct DecodedResponse {
                                                         const Response& response,
                                                         std::uint64_t version = kProtocolVersion);
 
+/// As `encode_response`, but into a caller-provided buffer whose capacity
+/// is reused (the event-driven server recycles response buffers through a
+/// pool instead of allocating one per frame).  Clears `frame` first; throws
+/// `std::length_error` when the payload exceeds `kMaxFramePayload`.
+void encode_response_into(std::uint64_t request_id, const Response& response,
+                          std::vector<std::uint8_t>& frame,
+                          std::uint64_t version = kProtocolVersion);
+
 /// Decodes one complete request frame.  On failure returns `kDecodeError`
 /// or `kUnsupportedVersion` and leaves `out.request` default-constructed;
 /// `out.request_id` is still filled when the prologue was readable, so

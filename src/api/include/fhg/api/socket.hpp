@@ -1,22 +1,30 @@
 #pragma once
 
 /// \file socket.hpp
-/// The TCP face of the protocol: a minimal loopback-friendly listener and
-/// the matching client transport.
+/// The TCP face of the protocol: an event-driven epoll listener built for
+/// large connection counts, and the matching client transport.
 ///
-/// `SocketServer` accepts connections and serves frames: each connection
-/// gets a thread that drains bytes through a `FrameAssembler` and answers
-/// every complete frame via `serve_frame` — requests on one connection are
-/// served in order, so a synchronous client sees responses in submission
-/// order and the transport-equivalence guarantee holds.  Concurrency comes
-/// from connections: each client (or client thread) opens its own.
+/// `SocketServer` is one acceptor thread plus a small pool of epoll event
+/// loops.  Connections are nonblocking and owned by exactly one loop; each
+/// is a state machine that drains bytes through a `FrameAssembler`
+/// (zero-copy for frames that arrive whole), dispatches decoded requests
+/// asynchronously into the `Handler`, and writes responses back *in request
+/// order* — completions may arrive out of order from the handler's worker
+/// shards, but a per-connection sequence window reorders them, so a
+/// synchronous client sees responses in submission order and the
+/// transport-equivalence guarantee holds.  A slow reader exerts
+/// backpressure: when the kernel send buffer fills, the remaining bytes
+/// park in the connection's outbox and the loop re-arms for `EPOLLOUT`
+/// instead of blocking a thread.  Concurrency comes from connections; no
+/// thread is ever parked on any single one of them, which is what lets one
+/// process hold 10k+ mostly-idle connections open.
 ///
 /// `SocketTransport` is the client half: one blocking TCP connection,
 /// `roundtrip` = send frame, reassemble exactly one response frame.
 ///
-/// POSIX sockets only (the project targets Linux); both ends are designed
-/// for loopback smoke tests and benchmarks, not for the open internet — the
-/// server binds 127.0.0.1 by default and speaks plaintext.
+/// POSIX sockets only (the project targets Linux); both ends speak
+/// plaintext and the server binds 127.0.0.1 by default — loopback gates,
+/// benchmarks and trusted networks, not the open internet.
 
 #include <atomic>
 #include <cstdint>
@@ -37,18 +45,28 @@ namespace fhg::api {
 struct SocketServerOptions {
   std::string host = "127.0.0.1";  ///< address to bind (loopback by default)
   std::uint16_t port = 0;          ///< port to bind (0 = ephemeral, see `port()`)
-  int backlog = 64;                ///< listen(2) backlog
+  int backlog = 512;               ///< listen(2) backlog (connection storms queue here)
+  /// Event-loop worker count; 0 picks a small pool sized to the hardware
+  /// (min(4, cores)).  Workers multiplex *all* connections — they are not
+  /// per-connection threads — so a handful is enough for tens of thousands.
+  std::size_t workers = 0;
+  /// SO_SNDBUF for accepted connections; 0 keeps the kernel's autotuned
+  /// default (which grows to megabytes on loopback).  Bounding it makes
+  /// write backpressure kick in at a predictable depth — tests use this to
+  /// exercise the EAGAIN → EPOLLOUT path deterministically, and deployments
+  /// can use it to cap per-connection kernel memory at high fan-in.
+  int send_buffer_bytes = 0;
 };
 
-/// A minimal TCP listener that drains request frames into a `Handler`.
+/// An event-driven TCP listener that drains request frames into a `Handler`.
 class SocketServer {
  public:
-  /// Binds, listens, and starts the accept loop.  Throws
-  /// `std::runtime_error` when the socket cannot be bound.  `handler` is not
-  /// owned and must outlive the server.
+  /// Binds, listens, and starts the acceptor and event-loop workers.
+  /// Throws `std::runtime_error` when the socket cannot be bound.
+  /// `handler` is not owned and must outlive the server.
   explicit SocketServer(Handler& handler, SocketServerOptions options = {});
 
-  /// Stops accepting, closes every connection, joins all threads.
+  /// Stops accepting, drains in-flight requests, joins all threads.
   ~SocketServer();
 
   SocketServer(const SocketServer&) = delete;             ///< non-copyable (owns threads)
@@ -66,35 +84,46 @@ class SocketServer {
     return connections_accepted_.load(std::memory_order_relaxed);
   }
 
-  /// Stops accepting, shuts every live connection down, joins all threads.
+  /// Event-loop workers serving connections.
+  [[nodiscard]] std::size_t num_workers() const noexcept { return workers_.size(); }
+
+  /// Stops accepting, shuts every live connection down, waits for every
+  /// dispatched request's completion to land, joins all threads.
   /// Idempotent; the destructor calls it.
   void stop();
 
  private:
-  /// One accepted connection: its socket and the thread serving it.  The
-  /// serve loop flags `done` on exit; the fd is closed (and the thread
-  /// joined) by `reap_finished` or `stop`, never by the serve loop itself —
-  /// keeping fd ownership in one place rules out close/shutdown races.
-  struct Connection {
-    int fd = -1;
-    std::thread thread;
-    std::atomic<bool> done{false};  ///< set by the serve loop on exit
-  };
+  struct Connection;
+  struct Worker;
 
   /// Accept loop body (runs on `accept_thread_`).  Transient accept
-  /// failures (aborted handshakes, momentary fd exhaustion) are retried;
-  /// only a closed listener ends the loop.
+  /// failures (aborted handshakes, momentary fd exhaustion) are counted
+  /// and retried; only a closed listener ends the loop.
   void accept_loop();
 
-  /// Per-connection serve loop: reassemble frames, answer each in order.
-  void serve_connection(Connection& connection);
+  /// Event loop body (one per worker): epoll_wait, then read / flush /
+  /// complete until told to stop and the last in-flight completion landed.
+  void event_loop(Worker& worker);
 
-  /// Joins and closes connections whose serve loop has finished — called
-  /// from the accept loop so long-running servers do not accumulate dead
-  /// fds and thread handles while clients come and go.
-  void reap_finished();
+  /// Reads a ready connection until EAGAIN/EOF, dispatching every complete
+  /// frame into the handler.
+  void on_readable(Worker& worker, const std::shared_ptr<Connection>& connection);
+
+  /// Dispatches one complete frame (decode → handle) with an ordered
+  /// per-connection sequence slot.
+  void dispatch_frame(Worker& worker, const std::shared_ptr<Connection>& connection,
+                      std::span<const std::uint8_t> frame);
+
+  /// Moves ready in-order responses into the outbox and writes until the
+  /// kernel buffer fills (arming EPOLLOUT) or everything is flushed.
+  void flush(Worker& worker, const std::shared_ptr<Connection>& connection);
+
+  /// Tears one connection down: deregister, close, forget.  Late
+  /// completions for it are dropped on arrival.
+  void close_connection(Worker& worker, const std::shared_ptr<Connection>& connection);
 
   Handler& handler_;
+  SocketServerOptions options_;  ///< post-construction: tuning knobs only (host/port resolved)
   std::string host_;
   std::uint16_t port_ = 0;
   int listen_fd_ = -1;
@@ -102,9 +131,9 @@ class SocketServer {
   bool stopped_ = false;   ///< guarded by stop_mutex_
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::size_t> next_worker_{0};  ///< round-robin connection placement
   std::thread accept_thread_;
-  std::mutex connections_mutex_;  ///< guards the connection list
-  std::vector<std::unique_ptr<Connection>> connections_;
+  std::vector<std::unique_ptr<Worker>> workers_;
 };
 
 /// The TCP client transport: one blocking connection to a `SocketServer`.

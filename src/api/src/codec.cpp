@@ -651,14 +651,34 @@ std::vector<std::uint8_t> encode_request(std::uint64_t request_id, const Request
 
 std::vector<std::uint8_t> encode_response(std::uint64_t request_id, const Response& response,
                                           std::uint64_t version) {
+  std::vector<std::uint8_t> frame;
+  encode_response_into(request_id, response, frame, version);
+  return frame;
+}
+
+void encode_response_into(std::uint64_t request_id, const Response& response,
+                          std::vector<std::uint8_t>& frame, std::uint64_t version) {
   BitWriter w;
   w.put_uint(version);
   w.put_uint(request_id);
   write_response_body(w, response);
-  std::vector<std::uint8_t> frame = frame_payload(w.finish());
+  const std::vector<std::uint8_t> payload = w.finish();
+  if (payload.size() > kMaxFramePayload) {
+    throw std::length_error("api codec: payload of " + std::to_string(payload.size()) +
+                            " bytes exceeds kMaxFramePayload");
+  }
+  frame.clear();
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    frame.push_back(static_cast<std::uint8_t>(kFrameMagic >> shift));
+  }
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    frame.push_back(static_cast<std::uint8_t>(length >> shift));
+  }
+  frame.insert(frame.end(), payload.begin(), payload.end());
   bytes_encoded_counter().add(frame.size());
   frames_encoded_counter().increment();
-  return frame;
 }
 
 Status decode_request(std::span<const std::uint8_t> frame, DecodedRequest& out) {

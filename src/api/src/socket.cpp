@@ -1,36 +1,64 @@
 #include "fhg/api/socket.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <deque>
+#include <map>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <utility>
 
+#include "fhg/api/codec.hpp"
 #include "fhg/obs/registry.hpp"
 
 namespace fhg::api {
 
 namespace {
 
-/// Read chunk size of the serve and roundtrip loops.
+using Clock = std::chrono::steady_clock;
+
+/// Read chunk size of the event-loop and roundtrip read paths.
 constexpr std::size_t kReadChunk = 64 * 1024;
+
+/// epoll_wait batch size per wakeup.
+constexpr int kEpollBatch = 256;
+
+/// Pooled response buffers kept per server (and the capacity bound above
+/// which a buffer is returned to the allocator instead of the pool, so one
+/// giant snapshot response does not pin megabytes forever).
+constexpr std::size_t kPoolMaxBuffers = 256;
+constexpr std::size_t kPoolMaxBufferBytes = 256 * 1024;
 
 // Socket-layer telemetry lands on the process-wide registry (scraped by
 // /metrics, excluded from GetStats — see the codec's registry note).
-// Handles are cached once; the serve loop pays relaxed increments only.
+// Handles are cached once; the event loop pays relaxed increments only.
 
 struct SocketCounters {
   obs::Counter& connections =
       obs::Registry::global().counter("fhg_socket_connections_total");
   obs::Counter& connections_reaped =
       obs::Registry::global().counter("fhg_socket_connections_reaped_total");
+  obs::Gauge& connections_open = obs::Registry::global().gauge("fhg_socket_connections");
+  obs::Gauge& connections_peak =
+      obs::Registry::global().gauge("fhg_socket_connections_peak");
+  obs::Counter& accept_errors =
+      obs::Registry::global().counter("fhg_socket_accept_errors_total");
+  obs::Counter& epoll_wakes =
+      obs::Registry::global().counter("fhg_socket_epoll_wakes_total");
+  obs::Counter& write_stalls =
+      obs::Registry::global().counter("fhg_socket_write_stalls_total");
   obs::Counter& frames = obs::Registry::global().counter("fhg_socket_frames_total");
   obs::Counter& bytes_read =
       obs::Registry::global().counter("fhg_socket_bytes_read_total");
@@ -61,7 +89,14 @@ sockaddr_in make_address(const std::string& host, std::uint16_t port) {
   return address;
 }
 
-/// Sends the whole buffer, retrying on EINTR and partial writes.
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Sends the whole buffer on a *blocking* socket, retrying on EINTR and
+/// partial writes.  MSG_NOSIGNAL keeps a dead peer an errno (EPIPE), never
+/// a process-killing SIGPIPE.
 bool send_all(int fd, std::span<const std::uint8_t> bytes) {
   std::size_t sent = 0;
   while (sent < bytes.size()) {
@@ -88,12 +123,121 @@ ssize_t recv_some(int fd, std::uint8_t* buffer, std::size_t size) {
   }
 }
 
+/// Reads the big-endian length prefix of a frame header, or npos when the
+/// header is not a valid one (the assembler re-checks and poisons).
+constexpr std::size_t kBadHeader = static_cast<std::size_t>(-1);
+std::size_t whole_frame_size(std::span<const std::uint8_t> bytes, std::size_t max_payload) {
+  if (bytes.size() < kFrameHeaderBytes) {
+    return kBadHeader;
+  }
+  const std::uint32_t magic = (std::uint32_t{bytes[0]} << 24) | (std::uint32_t{bytes[1]} << 16) |
+                              (std::uint32_t{bytes[2]} << 8) | std::uint32_t{bytes[3]};
+  if (magic != kFrameMagic) {
+    return kBadHeader;
+  }
+  const std::size_t payload = (std::size_t{bytes[4]} << 24) | (std::size_t{bytes[5]} << 16) |
+                              (std::size_t{bytes[6]} << 8) | std::size_t{bytes[7]};
+  if (payload > max_payload) {
+    return kBadHeader;
+  }
+  return kFrameHeaderBytes + payload;
+}
+
 }  // namespace
 
-// --------------------------------------------------------------- SocketServer --
+// ------------------------------------------------------------- event loop --
+
+/// One accepted connection: a state machine owned by exactly one event-loop
+/// worker.  All fields are touched only on that worker's thread — handler
+/// completions never mutate a connection directly; they post to the owning
+/// worker's inbox and the worker applies them.
+struct SocketServer::Connection {
+  int fd = -1;
+  std::size_t worker = 0;  ///< owning event loop (index into workers_)
+  FrameAssembler assembler;
+
+  // The ordering window: requests get sequence numbers as they decode;
+  // completions may land out of order but responses are written strictly in
+  // sequence, so pipelined clients see answers in submission order.
+  std::uint64_t next_dispatch_seq = 0;  ///< next request sequence to assign
+  std::uint64_t next_write_seq = 0;     ///< next response sequence to write
+  std::map<std::uint64_t, std::vector<std::uint8_t>> ready;  ///< out-of-order completions
+  std::size_t inflight = 0;  ///< dispatched requests whose completion has not landed
+
+  std::deque<std::vector<std::uint8_t>> outbox;  ///< response bytes awaiting the kernel
+  std::size_t outbox_offset = 0;                 ///< sent prefix of outbox.front()
+
+  bool want_write = false;        ///< EPOLLOUT armed (kernel buffer was full)
+  bool read_open = true;          ///< still reading (no EOF, not poisoned)
+  bool hangup_after_flush = false;  ///< close once every pending response is out
+  bool closed = false;            ///< fd closed; late completions are dropped
+};
+
+/// A worker's cross-thread mailbox.  Held by `shared_ptr` from the worker,
+/// the acceptor and every in-flight completion callback, so a completion
+/// landing after the server stopped finds a flagged-closed inbox instead of
+/// a dangling pointer or a recycled eventfd.
+struct SocketServer::Worker {
+  struct Inbox {
+    std::mutex mutex;
+    bool closed = false;  ///< set after the worker exits; wake() becomes a no-op
+    int event_fd = -1;
+    std::vector<int> incoming;  ///< freshly accepted fds awaiting registration
+
+    struct Completion {
+      std::shared_ptr<Connection> connection;
+      std::uint64_t seq = 0;
+      std::vector<std::uint8_t> bytes;
+    };
+    std::vector<Completion> completions;
+
+    /// Recycled response buffers: completion callbacks (on handler worker
+    /// threads) acquire, the event loop releases after the bytes hit the
+    /// kernel.  Bounded in count and per-buffer capacity.
+    std::vector<std::vector<std::uint8_t>> pool;
+
+    std::vector<std::uint8_t> acquire_buffer() {
+      const std::lock_guard<std::mutex> lock(mutex);
+      if (pool.empty()) {
+        return {};
+      }
+      std::vector<std::uint8_t> buffer = std::move(pool.back());
+      pool.pop_back();
+      return buffer;
+    }
+
+    void release_buffer(std::vector<std::uint8_t>&& buffer) {
+      if (buffer.capacity() > kPoolMaxBufferBytes) {
+        return;  // oversized one-offs go back to the allocator
+      }
+      buffer.clear();
+      const std::lock_guard<std::mutex> lock(mutex);
+      if (pool.size() < kPoolMaxBuffers) {
+        pool.push_back(std::move(buffer));
+      }
+    }
+
+    /// Wakes the event loop (one relaxed eventfd write).  Safe at any time,
+    /// from any thread, including after the worker exited.
+    void wake() {
+      const std::lock_guard<std::mutex> lock(mutex);
+      if (!closed) {
+        const std::uint64_t one = 1;
+        [[maybe_unused]] const ssize_t n = ::write(event_fd, &one, sizeof(one));
+      }
+    }
+  };
+
+  int epoll_fd = -1;
+  std::shared_ptr<Inbox> inbox = std::make_shared<Inbox>();
+  std::thread thread;
+  std::unordered_map<int, std::shared_ptr<Connection>> connections;  ///< by fd
+  std::size_t inflight = 0;  ///< dispatched-not-yet-applied completions (loop thread only)
+  std::vector<std::uint8_t> read_buffer = std::vector<std::uint8_t>(kReadChunk);
+};
 
 SocketServer::SocketServer(Handler& handler, SocketServerOptions options)
-    : handler_(handler), host_(std::move(options.host)) {
+    : handler_(handler), options_(options), host_(std::move(options.host)) {
   const sockaddr_in address = make_address(host_, options.port);
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
@@ -122,114 +266,392 @@ SocketServer::SocketServer(Handler& handler, SocketServerOptions options)
     throw_errno("getsockname");
   }
   port_ = ntohs(bound.sin_port);
+
+  std::size_t workers = options.workers;
+  if (workers == 0) {
+    workers = std::min<std::size_t>(4, std::max(1u, std::thread::hardware_concurrency()));
+  }
+  workers_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    auto worker = std::make_unique<Worker>();
+    worker->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (worker->epoll_fd < 0) {
+      throw_errno("epoll_create1");
+    }
+    worker->inbox->event_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (worker->inbox->event_fd < 0) {
+      throw_errno("eventfd");
+    }
+    epoll_event wake_event{};
+    wake_event.events = EPOLLIN;
+    wake_event.data.fd = worker->inbox->event_fd;
+    if (::epoll_ctl(worker->epoll_fd, EPOLL_CTL_ADD, worker->inbox->event_fd, &wake_event) != 0) {
+      throw_errno("epoll_ctl eventfd");
+    }
+    workers_.push_back(std::move(worker));
+  }
+  for (auto& worker : workers_) {
+    Worker& ref = *worker;
+    ref.thread = std::thread([this, &ref] { event_loop(ref); });
+  }
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
 SocketServer::~SocketServer() { stop(); }
 
 void SocketServer::accept_loop() {
+  SocketCounters& counters = socket_counters();
   for (;;) {
-    reap_finished();
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (stopping_.load(std::memory_order_acquire)) {
         return;  // listen socket closed by stop()
       }
       if (errno == EINTR || errno == ECONNABORTED || errno == EPROTO) {
+        counters.accept_errors.increment();
         continue;  // aborted handshake: the listener is fine, keep serving
       }
       if (errno == EMFILE || errno == ENFILE) {
-        // Momentary fd exhaustion: reaping just freed what it could; back
-        // off briefly instead of abandoning the port forever.
+        // Momentary fd exhaustion: back off briefly instead of abandoning
+        // the port forever — connections close and free fds all the time.
+        counters.accept_errors.increment();
         std::this_thread::sleep_for(std::chrono::milliseconds(10));
         continue;
       }
       return;  // the listener itself is unusable
     }
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-    socket_counters().connections.increment();
+    counters.connections.increment();
+    counters.connections_open.add(1);
+    counters.connections_peak.record_max(counters.connections_open.value());
     const int enable = 1;
     (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
-    // Registration and thread start happen under the lock as one unit, so
-    // stop() either sees a fully registered connection (and joins it) or
-    // runs before this block (and the re-check below closes the socket).
-    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    if (options_.send_buffer_bytes > 0) {
+      (void)::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.send_buffer_bytes,
+                         sizeof(options_.send_buffer_bytes));
+    }
+    set_nonblocking(fd);
+    // Round-robin placement; the owning worker registers the fd in its own
+    // epoll set, so connection state never crosses threads.
+    Worker& worker = *workers_[next_worker_.fetch_add(1, std::memory_order_relaxed) %
+                              workers_.size()];
+    {
+      const std::lock_guard<std::mutex> lock(worker.inbox->mutex);
+      if (worker.inbox->closed) {
+        ::close(fd);  // raced with stop(): the loop is gone, refuse politely
+        counters.connections_open.add(-1);
+        return;
+      }
+      worker.inbox->incoming.push_back(fd);
+      const std::uint64_t one = 1;
+      [[maybe_unused]] const ssize_t n = ::write(worker.inbox->event_fd, &one, sizeof(one));
+    }
+  }
+}
+
+void SocketServer::event_loop(Worker& worker) {
+  SocketCounters& counters = socket_counters();
+  epoll_event events[kEpollBatch];
+  std::vector<int> incoming;
+  std::vector<Worker::Inbox::Completion> completions;
+  // The loop outlives stop() long enough to apply every in-flight handler
+  // completion: callbacks hold shared state (inbox, connections), so exiting
+  // with inflight > 0 would strand them; exiting only at zero means every
+  // completion has fully run by the time stop() joins this thread.
+  while (!stopping_.load(std::memory_order_acquire) || worker.inflight > 0) {
+    const int ready = ::epoll_wait(worker.epoll_fd, events, kEpollBatch, -1);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;  // the epoll fd itself failed: unrecoverable
+    }
+    counters.epoll_wakes.increment();
+
+    // 1. Drain the inbox: register fresh connections, apply completions.
+    bool inbox_signaled = false;
+    for (int i = 0; i < ready; ++i) {
+      inbox_signaled |= events[i].data.fd == worker.inbox->event_fd;
+    }
+    if (inbox_signaled) {
+      std::uint64_t drained = 0;
+      [[maybe_unused]] const ssize_t n =
+          ::read(worker.inbox->event_fd, &drained, sizeof(drained));
+      {
+        const std::lock_guard<std::mutex> lock(worker.inbox->mutex);
+        incoming.swap(worker.inbox->incoming);
+        completions.swap(worker.inbox->completions);
+      }
+      const bool draining = stopping_.load(std::memory_order_acquire);
+      for (const int fd : incoming) {
+        if (draining) {
+          ::close(fd);
+          counters.connections_open.add(-1);
+          counters.connections_reaped.increment();
+          continue;
+        }
+        auto connection = std::make_shared<Connection>();
+        connection->fd = fd;
+        epoll_event event{};
+        event.events = EPOLLIN;
+        event.data.fd = fd;
+        if (::epoll_ctl(worker.epoll_fd, EPOLL_CTL_ADD, fd, &event) != 0) {
+          ::close(fd);
+          counters.connections_open.add(-1);
+          counters.connections_reaped.increment();
+          continue;
+        }
+        worker.connections.emplace(fd, std::move(connection));
+      }
+      incoming.clear();
+      for (auto& completion : completions) {
+        --worker.inflight;
+        const std::shared_ptr<Connection>& connection = completion.connection;
+        --connection->inflight;
+        if (connection->closed) {
+          continue;  // the peer is gone; the response has no one to go to
+        }
+        connection->ready.emplace(completion.seq, std::move(completion.bytes));
+        flush(worker, connection);
+      }
+      completions.clear();
+    }
+
+    // 2. Socket readiness.  Look connections up by fd: a connection closed
+    // earlier in this batch (or replaced after an fd reuse) simply misses.
+    for (int i = 0; i < ready; ++i) {
+      if (events[i].data.fd == worker.inbox->event_fd) {
+        continue;
+      }
+      const auto it = worker.connections.find(events[i].data.fd);
+      if (it == worker.connections.end()) {
+        continue;
+      }
+      const std::shared_ptr<Connection> connection = it->second;
+      if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0) {
+        close_connection(worker, connection);
+        continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0 && !connection->closed) {
+        flush(worker, connection);
+      }
+      if ((events[i].events & EPOLLIN) != 0 && !connection->closed &&
+          connection->read_open) {
+        on_readable(worker, connection);
+      }
+    }
+
+    // Entering shutdown: fail every connection's pending I/O once.  The
+    // loop then spins on the inbox until the last completion lands.
     if (stopping_.load(std::memory_order_acquire)) {
-      ::close(fd);
+      std::vector<std::shared_ptr<Connection>> live;
+      live.reserve(worker.connections.size());
+      for (const auto& [fd, connection] : worker.connections) {
+        live.push_back(connection);
+      }
+      for (const auto& connection : live) {
+        close_connection(worker, connection);
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Re-arms a connection's epoll interest to match its state machine: read
+/// while the stream is open, write while the outbox is parked on a full
+/// kernel buffer.  A mask of zero is valid (EPOLLERR/EPOLLHUP still fire) —
+/// crucially, a drained EOF connection must *not* stay EPOLLIN-armed, or
+/// level-triggered readiness would spin the loop.
+void update_interest(int epoll_fd, int fd, bool read_open, bool want_write) {
+  epoll_event event{};
+  event.events = (read_open ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+  event.data.fd = fd;
+  (void)::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, fd, &event);
+}
+
+}  // namespace
+
+void SocketServer::on_readable(Worker& worker, const std::shared_ptr<Connection>& connection) {
+  SocketCounters& counters = socket_counters();
+  for (;;) {
+    const ssize_t n = recv_some(connection->fd, worker.read_buffer.data(), kReadChunk);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return;  // drained; epoll will call again
+      }
+      close_connection(worker, connection);  // ECONNRESET and friends
       return;
     }
-    auto connection = std::make_unique<Connection>();
-    connection->fd = fd;
-    Connection& ref = *connection;  // unique_ptr: address stable under vector growth
-    connections_.push_back(std::move(connection));
-    ref.thread = std::thread([this, &ref] { serve_connection(ref); });
-  }
-}
-
-void SocketServer::serve_connection(Connection& connection) {
-  const int fd = connection.fd;
-  SocketCounters& counters = socket_counters();
-  FrameAssembler assembler;
-  std::uint8_t chunk[kReadChunk];
-  for (;;) {
-    const ssize_t n = recv_some(fd, chunk, sizeof(chunk));
-    if (n <= 0) {
-      break;  // EOF, connection reset, or shutdown via stop()
+    if (n == 0) {
+      // Orderly EOF: stop reading, let pending responses flush, then close.
+      connection->read_open = false;
+      connection->hangup_after_flush = true;
+      update_interest(worker.epoll_fd, connection->fd, false, connection->want_write);
+      flush(worker, connection);
+      return;
     }
     counters.bytes_read.add(static_cast<std::uint64_t>(n));
-    if (!assembler.feed({chunk, static_cast<std::size_t>(n)}).ok()) {
-      // The stream is irrecoverably mis-framed (bad magic / oversized
-      // length): answer typed once, then hang up — resynchronization is
-      // impossible without frame boundaries.
-      const auto reply =
-          encode_response(0, Response{assembler.error(), std::monostate{}});
-      (void)send_all(fd, reply);
-      break;
-    }
-    bool sending_ok = true;
-    while (auto frame = assembler.next()) {
-      const auto start = std::chrono::steady_clock::now();
-      const auto reply = serve_frame(handler_, *frame);
-      const bool sent = send_all(fd, reply);
-      counters.frames.increment();
-      counters.bytes_written.add(reply.size());
-      counters.frame_us.record(static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::microseconds>(
-              std::chrono::steady_clock::now() - start)
-              .count()));
-      if (!sent) {
-        sending_ok = false;
-        break;
+    std::span<const std::uint8_t> bytes{worker.read_buffer.data(), static_cast<std::size_t>(n)};
+
+    // Zero-copy fast path: frames that arrived whole in this read are
+    // dispatched straight from the read buffer; only a trailing partial
+    // frame (or a mid-frame carryover) pays the assembler's copy.
+    if (connection->assembler.buffered() == 0) {
+      while (!bytes.empty()) {
+        const std::size_t frame_size = whole_frame_size(bytes, kMaxFramePayload);
+        if (frame_size == kBadHeader || frame_size > bytes.size()) {
+          break;  // partial or mis-framed: the assembler takes over
+        }
+        dispatch_frame(worker, connection, bytes.subspan(0, frame_size));
+        bytes = bytes.subspan(frame_size);
+        if (connection->closed || !connection->read_open) {
+          return;
+        }
+      }
+      if (bytes.empty()) {
+        flush(worker, connection);
+        continue;
       }
     }
-    if (!sending_ok) {
-      break;
+    if (!connection->assembler.feed(bytes).ok()) {
+      // The stream is irrecoverably mis-framed (bad magic / oversized
+      // length): answer typed once — as the connection's final, ordered
+      // response — then hang up; resynchronization is impossible without
+      // frame boundaries.
+      const std::uint64_t seq = connection->next_dispatch_seq++;
+      connection->ready.emplace(
+          seq, encode_response(0, Response{connection->assembler.error(), std::monostate{}}));
+      connection->read_open = false;
+      connection->hangup_after_flush = true;
+      update_interest(worker.epoll_fd, connection->fd, false, connection->want_write);
+      flush(worker, connection);
+      return;
     }
+    while (auto frame = connection->assembler.next()) {
+      dispatch_frame(worker, connection, *frame);
+      if (connection->closed || !connection->read_open) {
+        return;
+      }
+    }
+    flush(worker, connection);
   }
-  // The reaper (or stop) joins this thread and closes the fd.
-  connection.done.store(true, std::memory_order_release);
 }
 
-void SocketServer::reap_finished() {
-  std::vector<std::unique_ptr<Connection>> finished;
-  {
-    const std::lock_guard<std::mutex> lock(connections_mutex_);
-    for (auto it = connections_.begin(); it != connections_.end();) {
-      if ((*it)->done.load(std::memory_order_acquire)) {
-        finished.push_back(std::move(*it));
-        it = connections_.erase(it);
-      } else {
-        ++it;
+void SocketServer::dispatch_frame(Worker& worker, const std::shared_ptr<Connection>& connection,
+                                  std::span<const std::uint8_t> frame) {
+  DecodedRequest decoded;
+  if (Status status = decode_request(frame, decoded); !status.ok()) {
+    // Well-framed but undecodable: a typed reply addressed to whatever id
+    // the prologue yielded, and the stream continues — framing is intact.
+    const std::uint64_t seq = connection->next_dispatch_seq++;
+    connection->ready.emplace(seq, encode_response(decoded.request_id,
+                                                   Response{std::move(status), std::monostate{}}));
+    return;
+  }
+  const std::uint64_t seq = connection->next_dispatch_seq++;
+  ++connection->inflight;
+  ++worker.inflight;
+  const RequestContext context{decoded.trace_id, decoded.request_id};
+  // The completion may run synchronously (admission rejects) or later on a
+  // handler worker thread; either way it only touches the shared inbox —
+  // the event loop applies it to the connection on its own thread.
+  handler_.handle(
+      std::move(decoded.request), context,
+      [inbox = worker.inbox, connection, seq, request_id = decoded.request_id,
+       start = Clock::now()](Response response) {
+        std::vector<std::uint8_t> bytes = inbox->acquire_buffer();
+        try {
+          encode_response_into(request_id, response, bytes);
+        } catch (const std::length_error&) {
+          // The response (e.g. a huge tenancy's snapshot) exceeds the frame
+          // bound.  Answer typed instead of letting the exception escape.
+          bytes.clear();
+          encode_response_into(
+              request_id,
+              Response::error(StatusCode::kResourceExhausted,
+                              "response exceeds the frame payload bound"),
+              bytes);
+        }
+        socket_counters().frame_us.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start)
+                .count()));
+        const std::lock_guard<std::mutex> lock(inbox->mutex);
+        inbox->completions.push_back({connection, seq, std::move(bytes)});
+        if (!inbox->closed) {
+          const std::uint64_t one = 1;
+          [[maybe_unused]] const ssize_t n = ::write(inbox->event_fd, &one, sizeof(one));
+        }
+      });
+}
+
+void SocketServer::flush(Worker& worker, const std::shared_ptr<Connection>& connection) {
+  if (connection->closed) {
+    return;
+  }
+  SocketCounters& counters = socket_counters();
+  // Promote contiguously ready responses into the outbox, in order.
+  while (!connection->ready.empty() &&
+         connection->ready.begin()->first == connection->next_write_seq) {
+    connection->outbox.push_back(std::move(connection->ready.begin()->second));
+    connection->ready.erase(connection->ready.begin());
+    ++connection->next_write_seq;
+  }
+  // Write until the kernel stops taking bytes.
+  while (!connection->outbox.empty()) {
+    std::vector<std::uint8_t>& front = connection->outbox.front();
+    const ssize_t n = ::send(connection->fd, front.data() + connection->outbox_offset,
+                             front.size() - connection->outbox_offset, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
       }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Backpressure: the reader is slower than the handler.  Park the
+        // bytes and let EPOLLOUT call back when the buffer drains.
+        counters.write_stalls.increment();
+        if (!connection->want_write) {
+          connection->want_write = true;
+          update_interest(worker.epoll_fd, connection->fd, connection->read_open, true);
+        }
+        return;
+      }
+      close_connection(worker, connection);  // EPIPE / ECONNRESET: peer is gone
+      return;
+    }
+    counters.bytes_written.add(static_cast<std::uint64_t>(n));
+    connection->outbox_offset += static_cast<std::size_t>(n);
+    if (connection->outbox_offset == front.size()) {
+      counters.frames.increment();
+      worker.inbox->release_buffer(std::move(front));
+      connection->outbox.pop_front();
+      connection->outbox_offset = 0;
     }
   }
-  for (const auto& connection : finished) {
-    if (connection->thread.joinable()) {
-      connection->thread.join();
-    }
-    ::close(connection->fd);
-    socket_counters().connections_reaped.increment();
+  if (connection->want_write) {
+    connection->want_write = false;
+    update_interest(worker.epoll_fd, connection->fd, connection->read_open, false);
   }
+  // Drained, and no more input is coming: the connection is complete.
+  if (connection->hangup_after_flush && connection->inflight == 0 &&
+      connection->ready.empty()) {
+    close_connection(worker, connection);
+  }
+}
+
+void SocketServer::close_connection(Worker& worker,
+                                    const std::shared_ptr<Connection>& connection) {
+  if (connection->closed) {
+    return;
+  }
+  connection->closed = true;
+  (void)::epoll_ctl(worker.epoll_fd, EPOLL_CTL_DEL, connection->fd, nullptr);
+  ::close(connection->fd);
+  connection->outbox.clear();
+  connection->ready.clear();
+  worker.connections.erase(connection->fd);
+  socket_counters().connections_open.add(-1);
+  socket_counters().connections_reaped.increment();
 }
 
 void SocketServer::stop() {
@@ -242,25 +664,34 @@ void SocketServer::stop() {
   stopped_ = true;
   stopping_.store(true, std::memory_order_release);
   // Closing the listen socket fails the blocking accept(2) and ends the
-  // accept loop; shutting down the connection sockets fails their recv(2).
+  // accept loop.
   ::shutdown(listen_fd_, SHUT_RDWR);
   ::close(listen_fd_);
   if (accept_thread_.joinable()) {
     accept_thread_.join();
   }
-  std::vector<std::unique_ptr<Connection>> live;
-  {
-    const std::lock_guard<std::mutex> connections_lock(connections_mutex_);
-    live.swap(connections_);
+  // Wake every event loop: each closes its connections, then drains its
+  // in-flight completions before exiting (so no callback is left running
+  // against freed state).
+  for (auto& worker : workers_) {
+    worker->inbox->wake();
   }
-  for (const auto& connection : live) {
-    ::shutdown(connection->fd, SHUT_RDWR);
-  }
-  for (const auto& connection : live) {
-    if (connection->thread.joinable()) {
-      connection->thread.join();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) {
+      worker->thread.join();
     }
-    ::close(connection->fd);
+    {
+      // Flag the inbox closed under its lock: completion callbacks that
+      // somehow straggle (there are none once inflight hit zero, but the
+      // flag makes that a guarantee, not an argument) see `closed` and
+      // skip the eventfd.
+      const std::lock_guard<std::mutex> inbox_lock(worker->inbox->mutex);
+      worker->inbox->closed = true;
+      ::close(worker->inbox->event_fd);
+      worker->inbox->event_fd = -1;
+    }
+    ::close(worker->epoll_fd);
+    worker->epoll_fd = -1;
   }
 }
 

@@ -55,6 +55,14 @@ class Gauge {
   void set(std::int64_t value) noexcept { value_.store(value, std::memory_order_relaxed); }
   /// Adds `delta`, which may be negative (relaxed; exact under concurrency).
   void add(std::int64_t delta) noexcept { value_.fetch_add(delta, std::memory_order_relaxed); }
+  /// Raises the value to `candidate` if it is larger — an atomic running
+  /// maximum (high-water marks: peak connections, deepest queue).
+  void record_max(std::int64_t candidate) noexcept {
+    std::int64_t current = value_.load(std::memory_order_relaxed);
+    while (candidate > current &&
+           !value_.compare_exchange_weak(current, candidate, std::memory_order_relaxed)) {
+    }
+  }
   /// The current value (relaxed read).
   [[nodiscard]] std::int64_t value() const noexcept {
     return value_.load(std::memory_order_relaxed);

@@ -122,6 +122,30 @@ TEST(ObsRegistry, HandlesAreStableAndIdempotent) {
   registry.histogram("fhg_test_us").record(100);
 }
 
+TEST(ObsRegistry, GaugeRecordMaxIsARunningMaximumUnderConcurrency) {
+  fo::Gauge gauge;
+  gauge.record_max(7);
+  EXPECT_EQ(gauge.value(), 7);
+  gauge.record_max(3);  // lower candidates never pull the high-water mark down
+  EXPECT_EQ(gauge.value(), 7);
+  gauge.record_max(7);  // equal candidates are a no-op, not a CAS loop
+  EXPECT_EQ(gauge.value(), 7);
+
+  // Racing recorders must converge on the true maximum (the CAS retry path).
+  std::vector<std::thread> recorders;
+  for (int t = 0; t < 4; ++t) {
+    recorders.emplace_back([&gauge, t] {
+      for (std::int64_t i = 0; i < 10'000; ++i) {
+        gauge.record_max(i * 4 + t);
+      }
+    });
+  }
+  for (std::thread& recorder : recorders) {
+    recorder.join();
+  }
+  EXPECT_EQ(gauge.value(), 9'999 * 4 + 3);
+}
+
 TEST(ObsRegistry, SnapshotIsSortedByNameAndTyped) {
   fo::Registry registry;
   registry.counter("fhg_z_total").add(1);

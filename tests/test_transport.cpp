@@ -6,11 +6,19 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <span>
 #include <string>
+#include <string_view>
+#include <thread>
 #include <variant>
 #include <vector>
 
@@ -21,6 +29,7 @@
 #include "fhg/api/transport.hpp"
 #include "fhg/engine/engine.hpp"
 #include "fhg/graph/generators.hpp"
+#include "fhg/obs/registry.hpp"
 #include "fhg/service/service.hpp"
 #include "fhg/workload/scenario.hpp"
 
@@ -64,6 +73,76 @@ std::vector<fa::Request> admin_cycle(const std::string& name) {
       fa::EraseInstanceRequest{name},
       fa::EraseInstanceRequest{name},  // second erase: typed kNotFound
   };
+}
+
+/// A TCP client below `SocketTransport`: raw sends with caller-chosen
+/// boundaries and pacing, so tests can place frame splits exactly where the
+/// event loop must reassemble them — and *not* read, to provoke
+/// backpressure.  `SocketTransport` can do neither (it always ships whole
+/// frames and reads every reply).
+class RawClient {
+ public:
+  RawClient(const std::string& host, std::uint16_t port, int rcvbuf_bytes = 0) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    if (rcvbuf_bytes > 0) {
+      // Must be set before connect so the advertised window is small from
+      // the SYN onward — the knob the backpressure test turns.
+      (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes, sizeof(rcvbuf_bytes));
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    EXPECT_EQ(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr), 1);
+    EXPECT_EQ(::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0);
+  }
+  ~RawClient() { close(); }
+  RawClient(const RawClient&) = delete;
+  RawClient& operator=(const RawClient&) = delete;
+
+  void close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  void send_all(std::span<const std::uint8_t> bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0) << "send failed: " << errno;
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  void recv_exact(std::uint8_t* out, std::size_t want) {
+    std::size_t got = 0;
+    while (got < want) {
+      const ssize_t n = ::recv(fd_, out + got, want - got, 0);
+      ASSERT_GT(n, 0) << "peer closed or errored mid-read: " << errno;
+      got += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Reads one complete frame (header + payload) off the stream.
+  std::vector<std::uint8_t> recv_frame() {
+    std::vector<std::uint8_t> frame(fa::kFrameHeaderBytes);
+    recv_exact(frame.data(), frame.size());
+    const std::size_t payload = (std::size_t{frame[4]} << 24) | (std::size_t{frame[5]} << 16) |
+                                (std::size_t{frame[6]} << 8) | std::size_t{frame[7]};
+    frame.resize(fa::kFrameHeaderBytes + payload);
+    recv_exact(frame.data() + fa::kFrameHeaderBytes, payload);
+    return frame;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+std::uint64_t global_counter(std::string_view name) {
+  return fhg::obs::Registry::global().counter(name).value();
 }
 
 }  // namespace
@@ -411,5 +490,160 @@ TEST(Transport, ClientTraceIdsReachTheSlowestTraceRing) {
   auto again = client.get_stats();
   ASSERT_TRUE(again.ok());
   EXPECT_EQ(again.value.traces.size(), ring_size);
+  server.stop();
+}
+
+// ----------------------------------------------------- event-loop edges ----
+//
+// The epoll server's failure modes live below what SocketTransport can
+// reach: partial frames across wakeups, peers vanishing mid-frame, peers
+// that stop reading.  RawClient drives each one directly.
+
+TEST(Transport, FrameSplitAcrossManyEpollWakeupsStillDecodes) {
+  fe::Engine engine;
+  (void)engine.create_instance("split-probe", fg::cycle(6), fe::InstanceSpec{});
+  fs::Service service(engine, {.shards = 1});
+  fa::SocketServer server(service, {});
+  RawClient raw(server.host(), server.port());
+
+  // One byte per send, paced so the kernel delivers them as separate
+  // readable events: the frame crosses many wakeups and the assembler must
+  // carry the partial frame between them.
+  const std::uint64_t wakes_before = global_counter("fhg_socket_epoll_wakes_total");
+  const auto frame = fa::encode_request(77, fa::Request{fa::ListInstancesRequest{}});
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    raw.send_all(std::span<const std::uint8_t>(&frame[i], 1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto reply = raw.recv_frame();
+  fa::DecodedResponse decoded;
+  ASSERT_TRUE(fa::decode_response(reply, decoded).ok());
+  EXPECT_EQ(decoded.request_id, 77u);
+  ASSERT_TRUE(decoded.response.ok()) << decoded.response.status.detail;
+  const auto* listed = std::get_if<fa::ListInstancesResponse>(&decoded.response.payload);
+  ASSERT_NE(listed, nullptr);
+  ASSERT_EQ(listed->instances.size(), 1u);
+  EXPECT_EQ(listed->instances[0].name, "split-probe");
+  // The drip-feed genuinely exercised reassembly across wakeups, not one
+  // coalesced read (one wake covers at most a few coalesced bytes).
+  EXPECT_GT(global_counter("fhg_socket_epoll_wakes_total"), wakes_before + 5);
+  server.stop();
+}
+
+TEST(Transport, DisconnectMidFrameReapsTheConnectionCleanly) {
+  fe::Engine engine;
+  (void)engine.create_instance("reap-probe", fg::cycle(6), fe::InstanceSpec{});
+  fs::Service service(engine, {.shards = 1});
+  fa::SocketServer server(service, {});
+  const std::uint64_t reaped_before = global_counter("fhg_socket_connections_reaped_total");
+
+  {
+    // Ship the header plus a sliver of payload, then vanish: the server
+    // must notice EOF with a partial frame buffered and reap the
+    // connection instead of waiting for a completion that never comes.
+    RawClient raw(server.host(), server.port());
+    const auto frame = fa::encode_request(1, fa::Request{fa::ListInstancesRequest{}});
+    ASSERT_GT(frame.size(), fa::kFrameHeaderBytes + 1);
+    raw.send_all(std::span<const std::uint8_t>(frame.data(), fa::kFrameHeaderBytes + 1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    raw.close();
+  }
+  // The reap is asynchronous (next wakeup on the owning worker): poll.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (global_counter("fhg_socket_connections_reaped_total") == reaped_before &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(global_counter("fhg_socket_connections_reaped_total"), reaped_before);
+
+  // The server is unharmed: a fresh, well-behaved client gets served.
+  fa::Client client(std::make_unique<fa::SocketTransport>(server.host(), server.port()));
+  const auto listed = client.list_instances();
+  ASSERT_TRUE(listed.ok()) << listed.status.detail;
+  EXPECT_EQ(listed.value.size(), 1u);
+  server.stop();
+}
+
+TEST(Transport, SlowReaderTriggersWriteBackpressureAndNothingIsLost) {
+  fe::Engine engine;
+  // A fat ListInstances response (many tenants, long names) times a deep
+  // pipeline of unread requests overflows every kernel buffer in the path,
+  // forcing the server through its EAGAIN → park → EPOLLOUT → resume arc.
+  for (int i = 0; i < 192; ++i) {
+    const std::string name =
+        "backpressure-tenant-with-a-deliberately-long-name-" + std::to_string(i);
+    ASSERT_NE(engine.create_instance(name, fg::cycle(4), fe::InstanceSpec{}), nullptr);
+  }
+  fs::Service service(engine, {.shards = 2});
+  // Bound the server-side send buffer: the kernel's autotuned loopback
+  // buffer grows to megabytes and would absorb the whole pipeline without
+  // a single EAGAIN.
+  fa::SocketServer server(service, {.send_buffer_bytes = 4096});
+  const std::uint64_t stalls_before = global_counter("fhg_socket_write_stalls_total");
+
+  constexpr std::size_t kPipelined = 160;
+  RawClient raw(server.host(), server.port(), /*rcvbuf_bytes=*/4096);
+  for (std::size_t i = 0; i < kPipelined; ++i) {
+    raw.send_all(fa::encode_request(i + 1, fa::Request{fa::ListInstancesRequest{}}));
+  }
+  // Don't read yet: let the responses pile into the tiny receive window
+  // until the server's writes genuinely stall.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_GT(global_counter("fhg_socket_write_stalls_total"), stalls_before)
+      << "the pipeline never overflowed the socket buffers";
+
+  // Now drain: every response arrives intact, in submission order — parked
+  // bytes were neither dropped nor reordered by the stall/resume cycle.
+  for (std::size_t i = 0; i < kPipelined; ++i) {
+    const auto reply = raw.recv_frame();
+    fa::DecodedResponse decoded;
+    ASSERT_TRUE(fa::decode_response(reply, decoded).ok()) << "reply " << i;
+    ASSERT_EQ(decoded.request_id, i + 1);
+    const auto* listed = std::get_if<fa::ListInstancesResponse>(&decoded.response.payload);
+    ASSERT_NE(listed, nullptr) << "reply " << i;
+    EXPECT_EQ(listed->instances.size(), 192u);
+  }
+  server.stop();
+}
+
+TEST(Transport, ManyIdleConnectionsServeInterleavedRequests) {
+  fe::Engine engine;
+  (void)engine.create_instance("idle-probe", fg::cycle(6), fe::InstanceSpec{});
+  fs::Service service(engine, {.shards = 2});
+  fa::SocketServer server(service, {});
+  const std::uint64_t accepted_before = global_counter("fhg_socket_connections_total");
+
+  // A small-scale model of the 10k CI run (sized for TSan): most
+  // connections sit idle in the epoll set while a rotating few make
+  // requests, so idle fds must cost nothing and never starve active ones.
+  constexpr std::size_t kConnections = 96;
+  std::vector<std::unique_ptr<fa::Client>> clients;
+  clients.reserve(kConnections);
+  for (std::size_t i = 0; i < kConnections; ++i) {
+    clients.push_back(std::make_unique<fa::Client>(
+        std::make_unique<fa::SocketTransport>(server.host(), server.port())));
+  }
+  // connect(2) completes out of the kernel backlog before the acceptor has
+  // necessarily accept(2)ed, so the counter can lag the constructors: poll.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (global_counter("fhg_socket_connections_total") < accepted_before + kConnections &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(global_counter("fhg_socket_connections_total"), accepted_before + kConnections);
+  for (std::size_t round = 0; round < 4; ++round) {
+    for (std::size_t i = round; i < kConnections; i += 7) {
+      const auto listed = clients[i]->list_instances();
+      ASSERT_TRUE(listed.ok()) << "round " << round << " client " << i << ": "
+                               << listed.status.detail;
+      ASSERT_EQ(listed.value.size(), 1u);
+      EXPECT_EQ(listed.value[0].name, "idle-probe");
+    }
+  }
+  // Every connection — including ones idle through all four rounds — is
+  // still live and serviceable.
+  for (std::size_t i = 0; i < kConnections; ++i) {
+    ASSERT_TRUE(clients[i]->list_instances().ok()) << "client " << i;
+  }
   server.stop();
 }

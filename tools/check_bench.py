@@ -25,10 +25,19 @@ build, so numbers are comparable to CI) with:
 
 (Newer Google Benchmark wants a unit suffix: --benchmark_min_time=0.05s.)
 
+Latency gating: benchmarks may publish per-request latency percentiles as
+user counters (bench_e21 emits `p50_us` / `p99_us`).  Passing
+`--latency-counter NAME` (repeatable) gates each named counter against the
+baseline with `--max-latency-regression` — latency is lower-is-better, so
+the failing direction is current/baseline exceeding the limit, the inverse
+of the throughput gate.  Counters missing from either side are skipped with
+a warning, mirroring the throughput behavior.
+
 Usage:
   check_bench.py --current out.json [--baseline bench/baselines/bench_e18.json]
                  [--max-regression 2.0]
                  [--min-speedup FAST_NAME SLOW_NAME RATIO]
+                 [--latency-counter p50_us] [--max-latency-regression 2.0]
 
 Exit status: 0 when every gate passes, 1 otherwise.
 """
@@ -64,6 +73,30 @@ def load_rates(path: str) -> dict[str, float]:
     return rates
 
 
+def load_counters(path: str, counter_names: list[str]) -> dict[tuple[str, str], float]:
+    """(benchmark name, counter name) -> counter value for the named counters.
+
+    Latency counters are lower-is-better and their noise is one-sided the
+    other way round from throughput — interference only ever *inflates* a
+    repetition's tail — so the *minimum* over repetitions is the cleanest
+    sample and the stablest basis for the regression ratio.
+    """
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    values: dict[tuple[str, str], float] = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        name = bench.get("run_name", bench["name"])
+        for counter in counter_names:
+            value = bench.get(counter)
+            if value is None:
+                continue
+            key = (name, counter)
+            values[key] = min(values.get(key, float("inf")), float(value))
+    return values
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--current", required=True, help="JSON from the fresh run")
@@ -81,6 +114,19 @@ def main() -> int:
         action="append",
         default=[],
         help="fail when current[FAST]/current[SLOW] < RATIO",
+    )
+    parser.add_argument(
+        "--latency-counter",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="user counter (e.g. p50_us) to gate against the baseline; repeatable",
+    )
+    parser.add_argument(
+        "--max-latency-regression",
+        type=float,
+        default=2.0,
+        help="fail when current/baseline latency exceeds this (default 2.0)",
     )
     args = parser.parse_args()
 
@@ -132,6 +178,38 @@ def main() -> int:
                 f"  WARNING    {name}: {current[name]:.3g}/s — missing from baseline "
                 f"{args.baseline}, skipping (regenerate the baseline to gate it)"
             )
+
+    if args.latency_counter and args.baseline and os.path.exists(args.baseline):
+        current_lat = load_counters(args.current, args.latency_counter)
+        baseline_lat = load_counters(args.baseline, args.latency_counter)
+        for name, counter in sorted(set(current_lat) & set(baseline_lat)):
+            cur = current_lat[(name, counter)]
+            base = baseline_lat[(name, counter)]
+            # A zero baseline (sub-microsecond percentile) makes the ratio
+            # meaningless; treat it as 1us so the gate stays finite.
+            ratio = cur / max(base, 1.0)
+            status = "OK"
+            if ratio > args.max_latency_regression:
+                status = "REGRESSION"
+                failures.append(
+                    f"{name} {counter}: {cur:.3g}us is {ratio:.2f}x above "
+                    f"baseline {base:.3g}us (limit {args.max_latency_regression}x)"
+                )
+            print(
+                f"  {status:<10} {name} {counter}: current {cur:.3g}us, "
+                f"baseline {base:.3g}us ({ratio:.2f}x)"
+            )
+        for name, counter in sorted(set(current_lat) ^ set(baseline_lat)):
+            side = "current run" if (name, counter) in baseline_lat else "baseline"
+            print(
+                f"  WARNING    {name} {counter}: missing from the {side}, "
+                "skipping latency gate"
+            )
+    elif args.latency_counter:
+        print(
+            "check_bench: WARNING — latency counters requested but no baseline "
+            "file; skipping latency gate"
+        )
 
     for fast, slow, ratio_text in args.min_speedup:
         want = float(ratio_text)

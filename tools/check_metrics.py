@@ -10,8 +10,12 @@ toward `fhg_service_accepted_total`), so shard layout does not matter.
 
 Usage:
   check_metrics.py --file scrape.txt
-                   [--require NAME ...]          # present (any value)
-                   [--require-nonzero NAME ...]  # present and summing > 0
+                   [--require NAME ...]            # present (any value)
+                   [--require-nonzero NAME ...]    # present and summing > 0
+                   [--require-at-least NAME VALUE] # present and summing >= VALUE
+                                                   # (repeatable; how the 10k-
+                                                   # connection job asserts the
+                                                   # connection high-water mark)
 
 Exit status: 0 when every requirement holds, 1 otherwise (with the offending
 names and a scrape summary on stdout).
@@ -62,6 +66,14 @@ def main() -> int:
         default=[],
         help="metric names that must be present and sum to a nonzero value",
     )
+    parser.add_argument(
+        "--require-at-least",
+        nargs=2,
+        metavar=("NAME", "VALUE"),
+        action="append",
+        default=[],
+        help="metric that must be present and sum to >= VALUE; repeatable",
+    )
     args = parser.parse_args()
 
     series, malformed = load_series(args.file)
@@ -83,6 +95,14 @@ def main() -> int:
             failures.append(f"required metric is zero: {name}")
         else:
             print(f"  OK         {name} = {series[name]:g}")
+    for name, floor_text in args.require_at_least:
+        floor = float(floor_text)
+        if name not in series:
+            failures.append(f"required metric missing: {name}")
+        elif series[name] < floor:
+            failures.append(f"metric below floor: {name} = {series[name]:g} < {floor:g}")
+        else:
+            print(f"  OK         {name} = {series[name]:g} (>= {floor:g})")
 
     if failures:
         print(f"\ncheck_metrics: FAIL ({len(series)} series scraped)")
