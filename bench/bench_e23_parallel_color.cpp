@@ -1,0 +1,165 @@
+// E23 — parallel speculative coloring: Jones–Plassmann vs serial greedy
+// (google-benchmark; emits machine-readable JSON for the CI perf gate).
+//
+// Three ways to build the initial coloring of one million-node tenant, over
+// the `fhg::workload` presets `powerlaw-1m` (Barabási–Albert, heavy-tailed
+// hubs) and `geometric-1m` (random-geometric, clustered):
+//
+//   serial-greedy — `coloring::greedy_color` largest-first, the pre-crossover
+//                   baseline every small instance still uses;
+//   serial-jp     — the Jones–Plassmann rounds on a 1-worker pool: the same
+//                   propose/resolve/commit work as the parallel run, minus
+//                   the parallelism.  The parallel8/serial-jp ratio is the
+//                   pure speedup of running the rounds on 8 workers;
+//   parallel8     — the same rounds on an 8-worker pool.
+//
+// Determinism is asserted at startup (1-worker and 8-worker colorings of a
+// small power-law graph must be identical), so a run that would publish
+// numbers for a nondeterministic kernel aborts instead.  The CI gate
+// requires parallel8/powerlaw-1m >= 3x serial-jp/powerlaw-1m
+// (tools/check_bench.py --ratio-num/--ratio-den/--min-ratio); the checked-in
+// baseline gates regressions on every entry.  Rate = nodes colored per
+// second; `jp_rounds` / `jp_conflicts` ride along as counters.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "fhg/coloring/coloring.hpp"
+#include "fhg/coloring/greedy.hpp"
+#include "fhg/coloring/parallel_jp.hpp"
+#include "fhg/graph/generators.hpp"
+#include "fhg/graph/graph.hpp"
+#include "fhg/parallel/thread_pool.hpp"
+#include "fhg/workload/scenario.hpp"
+
+namespace {
+
+using namespace fhg;
+
+/// The preset graphs, built once and shared across benchmarks (a 2^20-node
+/// Barabási–Albert build costs seconds; pay it once per process).
+const graph::Graph& preset_graph(const std::string& scenario) {
+  static std::map<std::string, std::unique_ptr<graph::Graph>> cache;
+  auto& slot = cache[scenario];
+  if (!slot) {
+    const auto spec = workload::parse_scenario(scenario);
+    if (!spec) {
+      throw std::invalid_argument("bench_e23: bad scenario '" + scenario + "'");
+    }
+    slot = std::make_unique<graph::Graph>(workload::ScenarioGenerator(*spec).tenant(0).graph);
+  }
+  return *slot;
+}
+
+void BM_SerialGreedy(benchmark::State& state, const std::string& scenario) {
+  const graph::Graph& g = preset_graph(scenario);
+  std::uint64_t colored = 0;
+  for (auto _ : state) {
+    const coloring::Coloring colors = coloring::greedy_color(g, coloring::Order::kLargestFirst);
+    benchmark::DoNotOptimize(colors.max_color());
+    colored += g.num_nodes();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(colored));
+}
+
+void BM_JonesPlassmann(benchmark::State& state, const std::string& scenario,
+                       std::size_t workers) {
+  const graph::Graph& g = preset_graph(scenario);
+  parallel::ThreadPool pool(workers);
+  coloring::JpOptions options;
+  options.pool = &pool;
+  coloring::JpStats stats;
+  std::uint64_t colored = 0;
+  for (auto _ : state) {
+    const coloring::Coloring colors = coloring::parallel_jp_color(g, options, &stats);
+    benchmark::DoNotOptimize(colors.max_color());
+    colored += g.num_nodes();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(colored));
+  state.counters["jp_rounds"] = static_cast<double>(stats.rounds);
+  state.counters["jp_conflicts"] = static_cast<double>(stats.conflicts);
+}
+
+/// Thread-count independence, checked before any number is published: the
+/// whole point of the seeded-priority design is that 1 worker and 8 workers
+/// land on the identical coloring.
+void assert_deterministic() {
+  const graph::Graph g = graph::barabasi_albert(4096, 3, 7);
+  parallel::ThreadPool one(1);
+  parallel::ThreadPool eight(8);
+  coloring::JpOptions options;
+  options.pool = &one;
+  const coloring::Coloring serial = coloring::parallel_jp_color(g, options);
+  options.pool = &eight;
+  const coloring::Coloring parallel = coloring::parallel_jp_color(g, options);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (serial.color(v) != parallel.color(v)) {
+      std::fprintf(stderr,
+                   "bench_e23: Jones-Plassmann coloring depends on the worker count "
+                   "(node %u: 1-worker color %u vs 8-worker color %u) - refusing to "
+                   "publish numbers for a nondeterministic kernel\n",
+                   static_cast<unsigned>(v), static_cast<unsigned>(serial.color(v)),
+                   static_cast<unsigned>(parallel.color(v)));
+      std::abort();
+    }
+  }
+}
+
+/// The full-size presets plus 128k variants (quick local runs; CI gates the
+/// 1m pair).
+const char* kScenarios[] = {
+    "powerlaw-1m",
+    "geometric-1m",
+    "powerlaw-1m:nodes=131072",
+    "geometric-1m:nodes=131072",
+};
+
+std::string label_of(const char* scenario) {
+  const std::string text(scenario);
+  const auto colon = text.find(':');
+  return colon == std::string::npos ? text
+                                    : text.substr(0, text.find('-')) + "-128k";
+}
+
+void register_all() {
+  // Wall-clock rates: the parallel variants do their work on pool threads,
+  // so the default CPU-time rate would measure the idle main thread and
+  // fabricate a speedup.  Real time is what the ratio gate must compare.
+  for (const char* scenario : kScenarios) {
+    const std::string label = label_of(scenario);
+    benchmark::RegisterBenchmark(("serial-greedy/" + label).c_str(),
+                                 [scenario](benchmark::State& s) {
+                                   BM_SerialGreedy(s, scenario);
+                                 })
+        ->UseRealTime();
+    benchmark::RegisterBenchmark(("serial-jp/" + label).c_str(),
+                                 [scenario](benchmark::State& s) {
+                                   BM_JonesPlassmann(s, scenario, 1);
+                                 })
+        ->UseRealTime();
+    benchmark::RegisterBenchmark(("parallel8/" + label).c_str(),
+                                 [scenario](benchmark::State& s) {
+                                   BM_JonesPlassmann(s, scenario, 8);
+                                 })
+        ->UseRealTime();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  assert_deterministic();
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

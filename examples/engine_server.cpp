@@ -89,7 +89,10 @@ using Clock = std::chrono::steady_clock;
             << "workload specs: family[:key=value,...], families: ring grid power-law\n"
             << "                random-geometric gnp\n"
             << "                keys: fleet nodes seed churn aperiodic dynamic mutation\n"
-            << "                      next horizon\n"
+            << "                      next horizon cmds\n"
+            << "                presets (single large dynamic tenant; overrides apply):\n"
+            << "                      powerlaw-1m geometric-1m\n"
+            << "                      e.g. powerlaw-1m:nodes=131072,cmds=512\n"
             << "  --mutation-rounds N  apply N rounds of in-place topology mutations\n"
             << "                       (marry/divorce/add-node) to the `mutation` fraction\n"
             << "                       of the fleet; needs dynamic>0 tenants\n"

@@ -39,6 +39,10 @@ class Coloring {
 
   void set_color(graph::NodeId v, Color c) noexcept { colors_[v] = c; }
 
+  /// Grows (or shrinks) the assignment to `n` nodes; new nodes start
+  /// uncolored.  Existing colors are preserved.
+  void resize(graph::NodeId n) { colors_.resize(n, kUncolored); }
+
   [[nodiscard]] std::span<const Color> colors() const noexcept { return colors_; }
 
   /// Largest color used (0 if none).

@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file parallel_jp.hpp
+/// Parallel speculative coloring in the Jones–Plassmann style.
+///
+/// Every node draws a random priority as a pure function of
+/// `(seed, node_id)` (a counter-based `fhg::parallel::hash_draw`, no shared
+/// RNG state).  The pass then runs in rounds over the still-uncolored
+/// *active set*:
+///
+///  1. **propose** — every active node speculatively picks the smallest
+///     color ≥ 1 unused by any already-*committed* neighbor (committed =
+///     colored before this round; other proposals are invisible);
+///  2. **resolve** — a node wins its proposal iff no active neighbor
+///     proposed the *same* color with a higher `(priority, id)` pair;
+///  3. **commit** — winners publish their color; losers are re-queued for
+///     the next round and counted as conflicts.
+///
+/// Each phase is a `parallel_for_dynamic` over the active array with a
+/// barrier in between, so no phase ever reads state another thread is
+/// writing (TSan-clean by construction).  Every decision of a round is a
+/// pure function of the colors committed before the round plus the static
+/// priorities, so the resulting coloring — and even the per-round conflict
+/// counts — are **identical at any thread count**, including 1.  That is
+/// the property that lets the engine use this pass under its snapshot /
+/// replay / divergence-gate machinery: rebuilding from a recipe reproduces
+/// the schedule bit for bit no matter how many workers the rebuilding host
+/// has.
+///
+/// Termination and quality: the active node with the globally largest
+/// priority always wins its round, so every round commits at least one node
+/// (in practice the active set shrinks geometrically — expected O(log n)
+/// rounds on bounded-degree graphs).  A proposal is the smallest color free
+/// among ≤ deg(v) committed neighbors, hence `col(v) ≤ deg(v) + 1` — the
+/// degree-bounded palette the paper's schedule derivation requires
+/// (`Coloring::degree_bounded`), and at most `Δ + 1` colors overall.
+
+#include <cstdint>
+#include <span>
+
+#include "fhg/coloring/coloring.hpp"
+#include "fhg/graph/graph.hpp"
+#include "fhg/parallel/thread_pool.hpp"
+
+namespace fhg::coloring {
+
+/// Default node count at or above which callers (the engine's instance
+/// build, the dynamic scheduler's initial coloring) switch from the serial
+/// greedy pass to this parallel one.  Below it the serial pass wins on
+/// constant factors; the value is exposed in `engine::InstanceSpec` so
+/// tenants can tune or disable the crossover per recipe.
+inline constexpr std::uint32_t kDefaultParallelCrossover = 1u << 16;
+
+/// Tuning knobs for one Jones–Plassmann pass.
+struct JpOptions {
+  /// Priority seed: priorities are `hash_draw(seed, node)`.  Different seeds
+  /// give different (all valid) colorings; equal seeds give identical ones.
+  std::uint64_t seed = 1;
+  /// Worker pool; nullptr uses `ThreadPool::shared()`.  The pool size never
+  /// affects the output, only the wall clock.
+  parallel::ThreadPool* pool = nullptr;
+  /// Chunk size for the dynamic chunk claiming inside each round.  Small
+  /// chunks keep a power-law hub from serializing a round behind one worker.
+  std::size_t chunk = 512;
+};
+
+/// What one pass did — deterministic for a given (graph, targets, seed),
+/// independent of thread count.
+struct JpStats {
+  std::uint64_t rounds = 0;     ///< propose/resolve/commit rounds run
+  std::uint64_t conflicts = 0;  ///< speculative losers re-queued (Σ over rounds)
+  std::uint64_t colored = 0;    ///< nodes this pass assigned a color to
+
+  friend bool operator==(const JpStats&, const JpStats&) = default;
+};
+
+/// The priority node `v` draws under `seed` — exposed so tests can verify
+/// the resolve rule independently.
+[[nodiscard]] std::uint64_t jp_priority(std::uint64_t seed, graph::NodeId v) noexcept;
+
+/// Colors every node of `g` from scratch.  Proper, complete, and
+/// degree-bounded (`col(v) ≤ deg(v) + 1`); identical output for any pool.
+[[nodiscard]] Coloring parallel_jp_color(const graph::Graph& g, const JpOptions& options = {},
+                                         JpStats* stats = nullptr);
+
+/// Recolors exactly the nodes of `targets` in `coloring`, holding every
+/// other node's color fixed — the engine's bulk-mutation repair: uncolor the
+/// conflicted set, then run the rounds against the fixed boundary.
+///
+/// `targets` must be sorted, duplicate-free, in range, and *uncolored* in
+/// `coloring` (callers uncolor them first; a colored target throws
+/// `std::invalid_argument`).  On return every target is colored, no target
+/// conflicts with any neighbor (fixed or target), and
+/// `col(v) ≤ deg(v) + 1` holds for every target.
+void parallel_jp_recolor(const graph::Graph& g, Coloring& coloring,
+                         std::span<const graph::NodeId> targets, const JpOptions& options = {},
+                         JpStats* stats = nullptr);
+
+}  // namespace fhg::coloring

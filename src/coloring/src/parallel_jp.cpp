@@ -1,0 +1,179 @@
+#include "fhg/coloring/parallel_jp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fhg/parallel/parallel_for.hpp"
+#include "fhg/parallel/rng.hpp"
+
+namespace fhg::coloring {
+
+namespace {
+
+/// Versioned mark buffer for the smallest-free scan: `marks_[c] == stamp_`
+/// means color `c` is taken by a committed neighbor of the node currently
+/// being scanned.  Bumping the stamp invalidates the whole buffer in O(1),
+/// so one scan costs O(deg) with no clearing.  One buffer per worker thread
+/// (thread_local), so concurrent proposals never share scratch state.
+class FreeColorScratch {
+ public:
+  Color smallest_free(const graph::Graph& g, const Coloring& colors, graph::NodeId v) {
+    const auto nbrs = g.neighbors(v);
+    const std::size_t cap = nbrs.size() + 2;  // colors 1..deg+1 all representable
+    if (marks_.size() < cap) {
+      marks_.resize(cap, 0);
+    }
+    if (++stamp_ == 0) {  // stamp wrapped: old marks could alias, clear once
+      std::fill(marks_.begin(), marks_.end(), 0);
+      stamp_ = 1;
+    }
+    for (const graph::NodeId w : nbrs) {
+      const Color c = colors.color(w);
+      if (c >= 1 && c < cap) {
+        marks_[c] = stamp_;
+      }
+    }
+    for (Color c = 1; c < cap; ++c) {
+      if (marks_[c] != stamp_) {
+        return c;
+      }
+    }
+    return static_cast<Color>(cap);  // unreachable: pigeonhole over deg+1 colors
+  }
+
+ private:
+  std::vector<std::uint32_t> marks_;
+  std::uint32_t stamp_ = 0;
+};
+
+thread_local FreeColorScratch t_scratch;
+
+/// The resolve-phase total order: higher `(priority, id)` wins a color tie.
+bool outranks(std::uint64_t seed, graph::NodeId a, graph::NodeId b) noexcept {
+  const std::uint64_t pa = jp_priority(seed, a);
+  const std::uint64_t pb = jp_priority(seed, b);
+  return pa != pb ? pa > pb : a > b;
+}
+
+}  // namespace
+
+std::uint64_t jp_priority(std::uint64_t seed, graph::NodeId v) noexcept {
+  // Stream 'JP': one counter-based draw per node, nothing shared.
+  return parallel::hash_draw(seed, 0x4A50, v);
+}
+
+void parallel_jp_recolor(const graph::Graph& g, Coloring& coloring,
+                         std::span<const graph::NodeId> targets, const JpOptions& options,
+                         JpStats* stats) {
+  const graph::NodeId n = g.num_nodes();
+  if (coloring.num_nodes() != n) {
+    throw std::invalid_argument("parallel_jp_recolor: coloring covers " +
+                                std::to_string(coloring.num_nodes()) + " nodes, graph has " +
+                                std::to_string(n));
+  }
+  JpStats local;
+  if (targets.empty()) {
+    if (stats != nullptr) {
+      *stats = local;
+    }
+    return;
+  }
+
+  std::vector<std::uint8_t> in_target(n, 0);
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const graph::NodeId v = targets[i];
+    if (v >= n) {
+      throw std::invalid_argument("parallel_jp_recolor: target " + std::to_string(v) +
+                                  " out of range (n=" + std::to_string(n) + ")");
+    }
+    if (i > 0 && targets[i - 1] >= v) {
+      throw std::invalid_argument("parallel_jp_recolor: targets must be sorted and unique");
+    }
+    if (coloring.color(v) != kUncolored) {
+      throw std::invalid_argument("parallel_jp_recolor: target " + std::to_string(v) +
+                                  " is still colored; uncolor targets first");
+    }
+    in_target[v] = 1;
+  }
+
+  parallel::ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : parallel::ThreadPool::shared();
+  const std::uint64_t seed = options.seed;
+  const std::size_t chunk = options.chunk;
+
+  std::vector<graph::NodeId> active(targets.begin(), targets.end());
+  std::vector<Color> proposal(n, kUncolored);
+  std::vector<std::uint8_t> win;
+
+  while (!active.empty()) {
+    ++local.rounds;
+    // Phase 1 — propose: smallest color free among *committed* neighbors.
+    // Reads colors, writes only proposal[v] for distinct v; the barrier at
+    // the end of the parallel_for separates it from the commit writes below.
+    parallel::parallel_for_dynamic(
+        pool, 0, active.size(),
+        [&](std::size_t i) {
+          const graph::NodeId v = active[i];
+          proposal[v] = t_scratch.smallest_free(g, coloring, v);
+        },
+        chunk);
+
+    // Phase 2 — resolve: v wins unless a still-active neighbor proposed the
+    // same color and outranks it.  Pure reads of proposal/colors; writes
+    // only win[i].
+    win.assign(active.size(), 0);
+    parallel::parallel_for_dynamic(
+        pool, 0, active.size(),
+        [&](std::size_t i) {
+          const graph::NodeId v = active[i];
+          const Color mine = proposal[v];
+          for (const graph::NodeId w : g.neighbors(v)) {
+            if (in_target[w] != 0 && coloring.color(w) == kUncolored && proposal[w] == mine &&
+                outranks(seed, w, v)) {
+              return;  // w takes this color this round; v retries next round
+            }
+          }
+          win[i] = 1;
+        },
+        chunk);
+
+    // Phase 3 — commit winners (writes colors of distinct nodes), then
+    // compact the losers into the next round's active set, in order, so the
+    // array stays sorted and every round's input is deterministic.
+    parallel::parallel_for_dynamic(
+        pool, 0, active.size(),
+        [&](std::size_t i) {
+          if (win[i] != 0) {
+            coloring.set_color(active[i], proposal[active[i]]);
+          }
+        },
+        chunk);
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      if (win[i] == 0) {
+        active[kept++] = active[i];
+      }
+    }
+    local.conflicts += kept;
+    local.colored += active.size() - kept;
+    active.resize(kept);
+  }
+
+  if (stats != nullptr) {
+    *stats = local;
+  }
+}
+
+Coloring parallel_jp_color(const graph::Graph& g, const JpOptions& options, JpStats* stats) {
+  Coloring coloring(g.num_nodes());
+  std::vector<graph::NodeId> targets(g.num_nodes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    targets[v] = v;
+  }
+  parallel_jp_recolor(g, coloring, targets, options, stats);
+  return coloring;
+}
+
+}  // namespace fhg::coloring

@@ -38,6 +38,29 @@ struct ApplyResult {
   std::optional<RecolorEvent> recolor;  ///< set when the command forced a recolor
 };
 
+/// What applying one batch did.
+struct BatchResult {
+  std::size_t applied = 0;  ///< commands that changed topology
+  bool bulk = false;        ///< true when the batch took the bulk-recolor path
+  coloring::JpStats jp;     ///< repair-pass stats (zero on the per-command path)
+};
+
+/// Construction-time tuning of a dynamic tenant, mirrored from the engine's
+/// `InstanceSpec` so it survives snapshot round trips.
+struct DynamicOptions {
+  coding::CodeFamily family = coding::CodeFamily::kEliasOmega;
+  /// A node recolors after deletions once `col > deg + 1 + slack`.
+  std::uint32_t deletion_slack = 0;
+  /// Node count at or above which the *initial* coloring runs the parallel
+  /// Jones–Plassmann pass (0 = always serial greedy).
+  std::uint32_t parallel_crossover = 0;
+  /// Command count at or above which `apply_batch` routes through the bulk
+  /// recolor instead of per-command recoloring (0 = never bulk).
+  std::uint32_t bulk_threshold = 0;
+  /// Seed of the Jones–Plassmann priorities (initial coloring and repairs).
+  std::uint64_t jp_seed = 1;
+};
+
 class DynamicSchedulerAdapter final : public core::Scheduler {
  public:
   /// Starts from `initial` with a fresh degree-ordered greedy coloring (the
@@ -45,6 +68,10 @@ class DynamicSchedulerAdapter final : public core::Scheduler {
   explicit DynamicSchedulerAdapter(const graph::Graph& initial,
                                    coding::CodeFamily family = coding::CodeFamily::kEliasOmega,
                                    std::uint32_t deletion_slack = 0);
+
+  /// Full-tuning constructor: crossover-gated parallel initial coloring and
+  /// threshold-gated bulk batches (see `DynamicOptions`).
+  DynamicSchedulerAdapter(const graph::Graph& initial, const DynamicOptions& options);
 
   DynamicSchedulerAdapter(const DynamicSchedulerAdapter&) = delete;
   DynamicSchedulerAdapter& operator=(const DynamicSchedulerAdapter&) = delete;
@@ -100,20 +127,35 @@ class DynamicSchedulerAdapter final : public core::Scheduler {
   ApplyResult apply(MutationCommand cmd, bool restamp = true);
 
   /// Applies a batch in order (stamping each with the current holiday) and
-  /// refreshes the topology snapshot once.  Returns the number of commands
-  /// that changed topology.  The whole batch is validated *before* anything
-  /// applies, so a malformed command throws `std::invalid_argument` with the
-  /// topology, log, and schedule untouched — never half-applied.
-  std::size_t apply_batch(std::span<const MutationCommand> commands);
+  /// refreshes the topology snapshot once.  Batches of at least
+  /// `bulk_threshold` commands (when the threshold is nonzero) take the bulk
+  /// path: topology first, then one parallel Jones–Plassmann repair over the
+  /// affected nodes; smaller batches recolor per command as before.  The
+  /// whole batch is validated *before* anything applies, so a malformed
+  /// command throws `std::invalid_argument` with the topology, log, and
+  /// schedule untouched — never half-applied.  Which path ran is recorded in
+  /// `batch_records()` (and returned), because the two policies land on
+  /// different (each deterministic) colorings.
+  BatchResult apply_batch(std::span<const MutationCommand> commands);
 
-  /// Restore path: replays a persisted log, landing each command at its own
-  /// holiday stamp (O(1) counter skips in between) and refreshing the
-  /// topology snapshot once at the end.  Same all-or-nothing validation as
-  /// `apply_batch`.
-  void replay_log(std::span<const MutationCommand> log);
+  /// Restore path: replays a persisted log segmented by `records` — each
+  /// segment lands at its commands' holiday stamps and goes through the
+  /// path its record names, reproducing the live coloring exactly even when
+  /// thresholds have changed since the snapshot was taken.  Empty `records`
+  /// means the pre-segmentation format: every command replays as its own
+  /// per-command batch.  Same all-or-nothing validation as `apply_batch`;
+  /// also throws `std::invalid_argument` when record sizes do not sum to
+  /// the log length.
+  void replay_log(std::span<const MutationCommand> log,
+                  std::span<const BatchRecord> records = {});
 
   /// Every applied command so far, in order, with non-decreasing stamps.
   [[nodiscard]] const std::vector<MutationCommand>& mutation_log() const noexcept { return log_; }
+
+  /// How the log divides into applied batches (sizes sum to the log length).
+  [[nodiscard]] const std::vector<BatchRecord>& batch_records() const noexcept {
+    return batches_;
+  }
 
   /// Bumped once per applied command — the schedule-version counter the
   /// engine folds into its table epoch.
@@ -124,6 +166,11 @@ class DynamicSchedulerAdapter final : public core::Scheduler {
  private:
   ApplyResult apply_one(const MutationCommand& cmd);
 
+  /// The bulk path body: topology + one repair pass, log + record appended.
+  /// With `restamp` every logged command is stamped with the current
+  /// holiday; without it (replay) the persisted stamps are kept.
+  BatchResult apply_bulk(std::span<const MutationCommand> commands, bool restamp);
+
   /// Throws `std::invalid_argument` unless every command in `commands` has
   /// in-range, non-loop endpoints (tracking add_node growth along the way).
   void validate(std::span<const MutationCommand> commands) const;
@@ -132,8 +179,10 @@ class DynamicSchedulerAdapter final : public core::Scheduler {
   // it (and the snapshot layer serializes it from there).
   graph::DynamicGraph dynamic_;   ///< live topology (must precede scheduler_)
   DynamicPrefixCodeScheduler scheduler_;
+  std::uint32_t bulk_threshold_ = 0;
   graph::Graph current_;          ///< CSR cache of dynamic_, kept fresh
   std::vector<MutationCommand> log_;
+  std::vector<BatchRecord> batches_;  ///< how log_ divides into applied batches
   std::uint64_t version_ = 0;
 };
 

@@ -38,6 +38,20 @@ struct MutationCommand {
       default;
 };
 
+/// How one applied batch is segmented inside a mutation log.  The log alone
+/// no longer determines the final coloring once large batches can take the
+/// bulk-recolor path (whose repair policy deliberately differs from applying
+/// the same commands one by one), so the adapter records, per batch, how
+/// many log entries it contributed and which path it took — and replay
+/// routes each segment through the *recorded* path rather than re-deriving
+/// it from a threshold that may since have changed.  Sizes along a log sum
+/// to the log's length.
+struct BatchRecord {
+  std::uint32_t size = 0;  ///< applied commands this batch appended to the log
+  bool bulk = false;       ///< true = bulk Jones–Plassmann repair, false = per-command
+  friend constexpr bool operator==(const BatchRecord&, const BatchRecord&) noexcept = default;
+};
+
 /// Convenience constructors for the three ops (holiday stamped on apply).
 [[nodiscard]] constexpr MutationCommand insert_edge_command(graph::NodeId u,
                                                             graph::NodeId v) noexcept {

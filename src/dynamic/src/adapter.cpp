@@ -12,6 +12,14 @@ DynamicSchedulerAdapter::DynamicSchedulerAdapter(const graph::Graph& initial,
       scheduler_(dynamic_, family, deletion_slack),
       current_(initial) {}
 
+DynamicSchedulerAdapter::DynamicSchedulerAdapter(const graph::Graph& initial,
+                                                 const DynamicOptions& options)
+    : dynamic_(initial),
+      scheduler_(dynamic_, options.family, options.deletion_slack, options.parallel_crossover,
+                 options.jp_seed),
+      bulk_threshold_(options.bulk_threshold),
+      current_(initial) {}
+
 std::vector<core::PeriodPhaseRow> DynamicSchedulerAdapter::period_phase_rows() const {
   std::vector<core::PeriodPhaseRow> rows(current_.num_nodes());
   for (graph::NodeId v = 0; v < current_.num_nodes(); ++v) {
@@ -56,6 +64,7 @@ ApplyResult DynamicSchedulerAdapter::apply(MutationCommand cmd, bool restamp) {
   const ApplyResult result = apply_one(cmd);
   if (result.applied) {
     log_.push_back(cmd);
+    batches_.push_back({1, false});
     ++version_;
     current_ = dynamic_.snapshot();
   }
@@ -83,37 +92,99 @@ void DynamicSchedulerAdapter::validate(std::span<const MutationCommand> commands
   }
 }
 
-std::size_t DynamicSchedulerAdapter::apply_batch(std::span<const MutationCommand> commands) {
+BatchResult DynamicSchedulerAdapter::apply_bulk(std::span<const MutationCommand> commands,
+                                                bool restamp) {
+  BatchResult result;
+  result.bulk = true;
+  const std::uint64_t now = scheduler_.current_holiday();
+  BulkOutcome outcome = scheduler_.bulk_apply(commands);
+  result.jp = outcome.jp;
+  for (std::size_t i = 0; i < commands.size(); ++i) {
+    if (outcome.applied[i] == 0) {
+      continue;
+    }
+    MutationCommand cmd = commands[i];
+    if (restamp) {
+      cmd.holiday = now;
+    }
+    log_.push_back(cmd);
+    ++version_;
+    ++result.applied;
+  }
+  if (result.applied > 0) {
+    batches_.push_back({static_cast<std::uint32_t>(result.applied), true});
+    current_ = std::move(outcome.topology);
+  }
+  return result;
+}
+
+BatchResult DynamicSchedulerAdapter::apply_batch(std::span<const MutationCommand> commands) {
   // Validate up front so a malformed command cannot leave a half-applied
-  // batch: after this, no apply_one call below can throw.
+  // batch: after this, nothing below can throw.
   validate(commands);
-  std::size_t applied = 0;
+  if (bulk_threshold_ > 0 && commands.size() >= bulk_threshold_) {
+    return apply_bulk(commands, /*restamp=*/true);
+  }
+  BatchResult result;
   const std::uint64_t now = scheduler_.current_holiday();
   for (MutationCommand cmd : commands) {
     cmd.holiday = now;
-    const ApplyResult result = apply_one(cmd);
-    if (result.applied) {
+    if (apply_one(cmd).applied) {
       log_.push_back(cmd);
       ++version_;
-      ++applied;
+      ++result.applied;
     }
   }
-  if (applied > 0) {
+  if (result.applied > 0) {
+    batches_.push_back({static_cast<std::uint32_t>(result.applied), false});
     current_ = dynamic_.snapshot();
   }
-  return applied;
+  return result;
 }
 
-void DynamicSchedulerAdapter::replay_log(std::span<const MutationCommand> log) {
+void DynamicSchedulerAdapter::replay_log(std::span<const MutationCommand> log,
+                                         std::span<const BatchRecord> records) {
   validate(log);
-  for (const MutationCommand& cmd : log) {
-    // Land each command at its persisted holiday: the happy sets in between
-    // are pure functions of the slots, so an O(1) counter skip is exact.
-    scheduler_.skip_to(cmd.holiday);
-    const ApplyResult result = apply_one(cmd);
-    if (result.applied) {
-      log_.push_back(cmd);
-      ++version_;
+  std::size_t total = 0;
+  for (const BatchRecord& record : records) {
+    total += record.size;
+  }
+  if (!records.empty() && total != log.size()) {
+    throw std::invalid_argument("DynamicSchedulerAdapter: batch records cover " +
+                                std::to_string(total) + " commands, log has " +
+                                std::to_string(log.size()));
+  }
+  std::size_t offset = 0;
+  const auto replay_segment = [this, log](std::size_t lo, std::size_t size, bool bulk) {
+    const auto segment = log.subspan(lo, size);
+    if (bulk) {
+      // The whole batch landed at one holiday on the live path; land there
+      // first, then re-run the identical bulk policy with stamps kept.
+      scheduler_.skip_to(segment.front().holiday);
+      (void)apply_bulk(segment, /*restamp=*/false);
+      return;
+    }
+    for (const MutationCommand& cmd : segment) {
+      // Land each command at its persisted holiday: the happy sets in
+      // between are pure functions of the slots, so an O(1) skip is exact.
+      scheduler_.skip_to(cmd.holiday);
+      if (apply_one(cmd).applied) {
+        log_.push_back(cmd);
+        ++version_;
+      }
+    }
+    batches_.push_back({static_cast<std::uint32_t>(size), false});
+  };
+  if (records.empty()) {
+    // Pre-segmentation logs (snapshot v2): every command was logged from
+    // the per-command path, one batch each.
+    for (std::size_t i = 0; i < log.size(); ++i) {
+      replay_segment(i, 1, false);
+    }
+  } else {
+    for (const BatchRecord& record : records) {
+      replay_segment(offset, record.size, record.bulk);
+      offset += record.size;
     }
   }
   // One CSR refresh for the whole log, not one per command.

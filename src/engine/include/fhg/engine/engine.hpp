@@ -180,6 +180,12 @@ class Engine {
     obs::Counter& mutation_batches;   ///< apply_mutations calls
     obs::Counter& mutation_commands;  ///< commands across those calls
     obs::Counter& recolors;           ///< recolor events mutations forced
+    obs::Counter& bulk_batches;       ///< mutation batches on the bulk path
+    obs::Counter& inplace_batches;    ///< mutation batches on the per-command path
+    obs::Counter& parallel_rounds;    ///< Jones–Plassmann rounds (builds + bulk repairs)
+    obs::Counter& coloring_conflicts; ///< JP proposals lost to a higher priority
+    obs::Counter& builds_parallel;    ///< instance colorings built by the JP pass
+    obs::Counter& builds_serial;      ///< instance colorings built serial-greedy
     obs::Counter& instances_created;  ///< successful creates
     obs::Counter& instances_erased;   ///< successful erases
     obs::Counter& snapshots;          ///< snapshot() calls

@@ -68,6 +68,9 @@ struct MutationResult {
   std::size_t applied = 0;            ///< commands that changed topology
   std::size_t recolors = 0;           ///< recolor events those commands forced
   std::uint64_t table_version = 0;    ///< table version after the batch
+  bool bulk = false;                  ///< batch took the bulk-recolor path
+  std::uint64_t jp_rounds = 0;        ///< Jones–Plassmann rounds (bulk only)
+  std::uint64_t jp_conflicts = 0;     ///< proposals lost to priority (bulk only)
 };
 
 /// Fairness report over everything an instance has observed so far.
@@ -162,10 +165,13 @@ class Instance {
   MutationResult apply_mutations(std::span<const dynamic::MutationCommand> commands);
 
   /// Snapshot-restore path: replays a persisted mutation log over the
-  /// freshly built recipe state, keeping the persisted holiday stamps.
+  /// freshly built recipe state, keeping the persisted holiday stamps and
+  /// routing each batch segment through the path its record names (empty
+  /// `records` = pre-segmentation log, one per-command batch per entry).
   /// Requires a dynamic instance with an empty log (i.e. straight after
   /// construction); throws `std::logic_error` otherwise.
-  void replay_mutation_log(std::span<const dynamic::MutationCommand> log);
+  void replay_mutation_log(std::span<const dynamic::MutationCommand> log,
+                           std::span<const dynamic::BatchRecord> records = {});
 
  public:
 
@@ -173,15 +179,21 @@ class Instance {
   /// the holiday it landed at.  Empty for non-dynamic instances.
   [[nodiscard]] std::vector<dynamic::MutationCommand> mutation_log() const;
 
-  /// What a snapshot persists beyond the recipe: the holiday counter and the
-  /// mutation log, read under *one* lock so the pair is always mutually
-  /// consistent (a log entry can never be stamped past the holiday) even
-  /// while the instance keeps stepping and mutating.
+  /// What a snapshot persists beyond the recipe: the holiday counter, the
+  /// mutation log, and the log's batch segmentation, read under *one* lock
+  /// so the triple is always mutually consistent (a log entry can never be
+  /// stamped past the holiday) even while the instance keeps stepping and
+  /// mutating.
   struct PersistedState {
     std::uint64_t holiday = 0;
     std::vector<dynamic::MutationCommand> log;
+    std::vector<dynamic::BatchRecord> batches;
   };
   [[nodiscard]] PersistedState persisted_state() const;
+
+  /// How `make_scheduler` built this instance's initial coloring (default
+  /// stats for kinds without one).
+  [[nodiscard]] const ColoringBuildStats& build_stats() const noexcept { return build_stats_; }
 
   /// Default bound on how far a single query may extend an aperiodic
   /// instance's replayed prefix — one query must not be able to stall the
@@ -256,6 +268,7 @@ class Instance {
   std::string name_;
   graph::Graph graph_;  ///< recipe topology; must outlive scheduler_ (declared first)
   InstanceSpec spec_;
+  ColoringBuildStats build_stats_;
   std::unique_ptr<core::Scheduler> scheduler_;
   dynamic::DynamicSchedulerAdapter* adapter_ = nullptr;  ///< non-null iff dynamic
   /// Published table (atomic so mutation batches can republish under

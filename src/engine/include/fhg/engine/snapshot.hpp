@@ -21,6 +21,16 @@
 /// fast-forwarding.  v1 snapshots still load (version dispatch); writing v1
 /// is only possible for tenancies without dynamic instances.
 ///
+/// **v3** adds the parallel-coloring recipe knobs (`parallel_crossover`,
+/// `bulk_threshold`) and each log's *batch segmentation*: once large batches
+/// can take the bulk Jones–Plassmann path — whose repair policy deliberately
+/// differs from per-command recoloring — the log alone no longer determines
+/// the coloring, so v3 records per batch how many commands it applied and
+/// which path it took, and restore replays each segment through the recorded
+/// path.  v1/v2 snapshots still load (fields default to 0 = serial greedy,
+/// per-command replay — exactly how those tenants were built); writing v2 is
+/// only possible when no instance used the parallel builder or a bulk batch.
+///
 /// The encoding is canonical — instances sorted by name, edges sorted
 /// lexicographically, logs in apply order — so snapshot → restore → snapshot
 /// is byte-identical, including mid-log.
@@ -41,16 +51,20 @@ using BitWriter = coding::BitWriter;
 /// Mirror of `BitWriter`; see `fhg::coding::BitReader`.
 using BitReader = coding::BitReader;
 
-/// Wire-format versions.  v1: recipe + holiday only.  v2 (current): adds the
-/// per-instance mutation log and the `slack` spec field.
+/// Wire-format versions.  v1: recipe + holiday only.  v2: adds the
+/// per-instance mutation log and the `slack` spec field.  v3 (current): adds
+/// the parallel-coloring spec fields and the log's batch segmentation.
 inline constexpr std::uint64_t kSnapshotVersionV1 = 1;
-inline constexpr std::uint64_t kSnapshotVersionLatest = 2;
+inline constexpr std::uint64_t kSnapshotVersionV2 = 2;
+inline constexpr std::uint64_t kSnapshotVersionLatest = 3;
 
 /// Serializes every instance of `registry` (names, specs, graphs, holiday
-/// counters, and — in v2 — mutation logs) into a canonical byte string.
-/// Throws `std::invalid_argument` when `version` is unknown, or when v1 is
-/// requested for a tenancy containing dynamic instances (v1 cannot carry a
-/// mutation log).
+/// counters, and — from v2 — mutation logs, from v3 batch records) into a
+/// canonical byte string.  Throws `std::invalid_argument` when `version` is
+/// unknown, when v1 is requested for a tenancy containing dynamic instances
+/// (v1 cannot carry a mutation log), or when v2 is requested for a tenancy
+/// where some instance built its coloring with the parallel pass or applied
+/// a bulk batch (v2 cannot carry the fields a faithful rebuild needs).
 [[nodiscard]] std::vector<std::uint8_t> snapshot_registry(
     const InstanceRegistry& registry, std::uint64_t version = kSnapshotVersionLatest);
 

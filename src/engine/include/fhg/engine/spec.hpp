@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "fhg/coding/elias.hpp"
+#include "fhg/coloring/parallel_jp.hpp"
 #include "fhg/core/scheduler.hpp"
 #include "fhg/graph/graph.hpp"
 
@@ -52,16 +53,31 @@ enum class SchedulerKind : std::uint8_t {
 /// All kinds, in enum order — for sweeps and name round-trip tests.
 [[nodiscard]] const std::vector<SchedulerKind>& all_scheduler_kinds();
 
+/// Default `InstanceSpec::bulk_threshold`: mutation batches of at least this
+/// many commands route through the bulk Jones–Plassmann repair.
+inline constexpr std::uint32_t kDefaultBulkThreshold = 256;
+
 /// Everything needed to (re)build a scheduler for a given graph.
 struct InstanceSpec {
   SchedulerKind kind = SchedulerKind::kPrefixCode;
   /// Prefix-free code family (kPrefixCode and kDynamicPrefixCode).
   coding::CodeFamily code = coding::CodeFamily::kEliasOmega;
-  /// Randomness seed (kFirstComeFirstGrab only).
+  /// Randomness seed (kFirstComeFirstGrab; also the Jones–Plassmann priority
+  /// seed for coloring kinds built above `parallel_crossover`).
   std::uint64_t seed = 1;
   /// Deletion slack (kDynamicPrefixCode only): a node recolors after a
   /// divorce once its color exceeds `deg + 1 + slack`.
   std::uint32_t slack = 0;
+  /// Node count at or above which coloring-based kinds build their initial
+  /// coloring with the parallel Jones–Plassmann pass instead of serial
+  /// greedy (0 = always greedy).  Both algorithms are deterministic — the
+  /// JP result additionally does not depend on the worker count — so either
+  /// way rebuild-from-recipe stays exact; the choice is part of the recipe
+  /// because the two algorithms land on different colorings.
+  std::uint32_t parallel_crossover = coloring::kDefaultParallelCrossover;
+  /// Command count at or above which a mutation batch routes through the
+  /// bulk recolor path (kDynamicPrefixCode only; 0 = never bulk).
+  std::uint32_t bulk_threshold = kDefaultBulkThreshold;
   /// Requested per-node periods (kWeighted only; must have one entry per
   /// node of the instance's graph).
   std::vector<std::uint64_t> periods;
@@ -69,12 +85,22 @@ struct InstanceSpec {
   friend bool operator==(const InstanceSpec&, const InstanceSpec&) = default;
 };
 
-/// Builds the scheduler described by `spec` over `g`.  Colorings are always
-/// greedy largest-first — deterministic, so rebuilding from a snapshot
-/// reproduces the schedule bit for bit.  Throws `std::invalid_argument` on a
+/// How `make_scheduler` built the initial coloring (kinds without a coloring
+/// report the default: serial, zero stats).
+struct ColoringBuildStats {
+  bool parallel = false;   ///< true = parallel Jones–Plassmann, false = greedy
+  coloring::JpStats jp;    ///< rounds/conflicts/colored of the JP pass
+};
+
+/// Builds the scheduler described by `spec` over `g`.  Colorings are greedy
+/// largest-first below `spec.parallel_crossover` nodes and parallel
+/// Jones–Plassmann at or above it — both deterministic, so rebuilding from a
+/// snapshot reproduces the schedule bit for bit.  Fills `*stats` (when given)
+/// with which path built the coloring.  Throws `std::invalid_argument` on a
 /// malformed spec (e.g. a weighted spec whose period list does not match the
 /// graph).  `g` must outlive the returned scheduler.
 [[nodiscard]] std::unique_ptr<core::Scheduler> make_scheduler(const graph::Graph& g,
-                                                              const InstanceSpec& spec);
+                                                              const InstanceSpec& spec,
+                                                              ColoringBuildStats* stats = nullptr);
 
 }  // namespace fhg::engine

@@ -23,6 +23,12 @@ Engine::Telemetry::Telemetry(obs::Registry& registry)
       mutation_batches(registry.counter("fhg_engine_mutation_batches_total")),
       mutation_commands(registry.counter("fhg_engine_mutation_commands_total")),
       recolors(registry.counter("fhg_engine_recolors_total")),
+      bulk_batches(registry.counter("fhg_coloring_bulk_batches_total")),
+      inplace_batches(registry.counter("fhg_coloring_inplace_batches_total")),
+      parallel_rounds(registry.counter("fhg_coloring_parallel_rounds_total")),
+      coloring_conflicts(registry.counter("fhg_coloring_conflicts_total")),
+      builds_parallel(registry.counter("fhg_coloring_build_parallel_total")),
+      builds_serial(registry.counter("fhg_coloring_build_serial_total")),
       instances_created(registry.counter("fhg_engine_instances_created_total")),
       instances_erased(registry.counter("fhg_engine_instances_erased_total")),
       snapshots(registry.counter("fhg_engine_snapshots_total")),
@@ -61,6 +67,16 @@ api::Status Engine::try_create_instance(std::string name, graph::Graph g, Instan
   if (!registry_.insert(instance)) {
     return api::Status::error(api::StatusCode::kAlreadyExists,
                               "instance '" + instance->name() + "' already exists");
+  }
+  // Which path built the initial coloring, plus the JP round/conflict totals
+  // when it was the parallel one — the observable trace of the crossover.
+  const ColoringBuildStats& build = instance->build_stats();
+  if (build.parallel) {
+    telemetry_.builds_parallel.increment();
+    telemetry_.parallel_rounds.add(build.jp.rounds);
+    telemetry_.coloring_conflicts.add(build.jp.conflicts);
+  } else {
+    telemetry_.builds_serial.increment();
   }
   if (created != nullptr) {
     *created = std::move(instance);
@@ -120,6 +136,13 @@ MutationResult Engine::apply_mutations(std::string_view instance,
   telemetry_.mutation_batches.increment();
   telemetry_.mutation_commands.add(commands.size());
   telemetry_.recolors.add(result.recolors);
+  if (result.bulk) {
+    telemetry_.bulk_batches.increment();
+    telemetry_.parallel_rounds.add(result.jp_rounds);
+    telemetry_.coloring_conflicts.add(result.jp_conflicts);
+  } else {
+    telemetry_.inplace_batches.increment();
+  }
   telemetry_.mutation_us.record(elapsed_us(start));
   return result;
 }

@@ -11,7 +11,7 @@ namespace fhg::engine {
 
 Instance::Instance(std::string name, graph::Graph g, InstanceSpec spec)
     : name_(std::move(name)), graph_(std::move(g)), spec_(std::move(spec)) {
-  scheduler_ = make_scheduler(graph_, spec_);
+  scheduler_ = make_scheduler(graph_, spec_, &build_stats_);
   adapter_ = dynamic_cast<dynamic::DynamicSchedulerAdapter*>(scheduler_.get());
   auto built = PeriodTable::build_shared(*scheduler_);
   if (!adapter_) {
@@ -89,7 +89,11 @@ MutationResult Instance::apply_mutations(std::span<const dynamic::MutationComman
   }
   MutationResult result;
   const std::size_t recolors_before = adapter_->scheduler().history().size();
-  result.applied = adapter_->apply_batch(commands);
+  const dynamic::BatchResult batch = adapter_->apply_batch(commands);
+  result.applied = batch.applied;
+  result.bulk = batch.bulk;
+  result.jp_rounds = batch.jp.rounds;
+  result.jp_conflicts = batch.jp.conflicts;
   result.recolors = adapter_->scheduler().history().size() - recolors_before;
   if (result.applied > 0) {
     republish_table_locked();
@@ -112,11 +116,13 @@ Instance::PersistedState Instance::persisted_state() const {
   state.holiday = scheduler_->current_holiday();
   if (adapter_) {
     state.log = adapter_->mutation_log();
+    state.batches = adapter_->batch_records();
   }
   return state;
 }
 
-void Instance::replay_mutation_log(std::span<const dynamic::MutationCommand> log) {
+void Instance::replay_mutation_log(std::span<const dynamic::MutationCommand> log,
+                                   std::span<const dynamic::BatchRecord> records) {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (!adapter_) {
     throw std::logic_error("Instance '" + name_ +
@@ -126,7 +132,7 @@ void Instance::replay_mutation_log(std::span<const dynamic::MutationCommand> log
     throw std::logic_error("Instance '" + name_ +
                            "': replay_mutation_log needs a freshly built instance");
   }
-  adapter_->replay_log(log);
+  adapter_->replay_log(log, records);
   republish_table_locked();
 }
 

@@ -60,6 +60,10 @@ void write_spec(BitWriter& w, const InstanceSpec& spec, std::uint64_t version) {
   if (version >= 2) {
     w.put_uint(spec.slack);
   }
+  if (version >= 3) {
+    w.put_uint(spec.parallel_crossover);
+    w.put_uint(spec.bulk_threshold);
+  }
   w.put_uint(spec.periods.size());
   for (const std::uint64_t p : spec.periods) {
     w.put_uint(p);
@@ -85,6 +89,21 @@ InstanceSpec read_spec(BitReader& r, std::uint64_t version) {
       throw std::runtime_error("snapshot: slack " + std::to_string(slack) + " out of range");
     }
     spec.slack = static_cast<std::uint32_t>(slack);
+  }
+  if (version >= 3) {
+    const std::uint64_t crossover = r.get_uint();
+    const std::uint64_t bulk = r.get_uint();
+    if (crossover > std::numeric_limits<std::uint32_t>::max() ||
+        bulk > std::numeric_limits<std::uint32_t>::max()) {
+      throw std::runtime_error("snapshot: coloring threshold out of range");
+    }
+    spec.parallel_crossover = static_cast<std::uint32_t>(crossover);
+    spec.bulk_threshold = static_cast<std::uint32_t>(bulk);
+  } else {
+    // Pre-v3 tenants were built serial-greedy and replayed per command;
+    // zero both knobs so the rebuild takes exactly those paths.
+    spec.parallel_crossover = 0;
+    spec.bulk_threshold = 0;
   }
   const std::uint64_t count = r.get_uint();
   check_count(r, count, 1, "period");
@@ -137,6 +156,42 @@ std::vector<dynamic::MutationCommand> read_log(BitReader& r) {
   return log;
 }
 
+/// Batch segmentation (v3): count, then per record (applied size, bulk bit).
+/// Replay routes each log segment through the recorded path, so the restored
+/// coloring matches even when thresholds changed since the snapshot.
+void write_batches(BitWriter& w, std::span<const dynamic::BatchRecord> batches) {
+  w.put_uint(batches.size());
+  for (const dynamic::BatchRecord& record : batches) {
+    w.put_uint(record.size);
+    w.put_bits(record.bulk ? 1 : 0, 1);
+  }
+}
+
+std::vector<dynamic::BatchRecord> read_batches(BitReader& r, std::size_t log_size) {
+  const std::uint64_t count = r.get_uint();
+  check_count(r, count, 2, "batch record");  // one codeword + one flag bit
+  std::vector<dynamic::BatchRecord> batches;
+  batches.reserve(count);
+  std::uint64_t total = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    dynamic::BatchRecord record;
+    const std::uint64_t size = r.get_uint();
+    if (size == 0 || size > std::numeric_limits<std::uint32_t>::max()) {
+      throw std::runtime_error("snapshot: batch record size " + std::to_string(size) +
+                               " out of range");
+    }
+    record.size = static_cast<std::uint32_t>(size);
+    record.bulk = r.get_bits(1) != 0;
+    total += record.size;
+    batches.push_back(record);
+  }
+  if (total != log_size) {
+    throw std::runtime_error("snapshot: batch records cover " + std::to_string(total) +
+                             " commands, log has " + std::to_string(log_size));
+  }
+  return batches;
+}
+
 void write_name(BitWriter& w, const std::string& name) {
   w.put_uint(name.size());
   for (const char c : name) {
@@ -171,15 +226,37 @@ std::vector<std::uint8_t> snapshot_registry(const InstanceRegistry& registry,
       throw std::invalid_argument("snapshot_registry: instance '" + instance->name() +
                                   "' is dynamic; its mutation log needs format v2");
     }
+    // One locked read for (holiday, log, batches): a tenant stepping and
+    // mutating concurrently can never tear the triple a restore replays from.
+    const Instance::PersistedState state = instance->persisted_state();
+    if (version < 3) {
+      // Downgrade guard: pre-v3 formats cannot say "this coloring came from
+      // the parallel builder" or "this log segment was a bulk batch", and a
+      // restore that re-derives either choice lands on a different (if
+      // equally proper) coloring.  Refuse the lossy write, like v1 does for
+      // mutation logs.
+      if (instance->build_stats().parallel) {
+        throw std::invalid_argument("snapshot_registry: instance '" + instance->name() +
+                                    "' built its coloring with the parallel pass; format v" +
+                                    std::to_string(version) + " cannot record that");
+      }
+      for (const dynamic::BatchRecord& record : state.batches) {
+        if (record.bulk) {
+          throw std::invalid_argument("snapshot_registry: instance '" + instance->name() +
+                                      "' applied a bulk mutation batch; its segmentation needs "
+                                      "format v3");
+        }
+      }
+    }
     write_name(w, instance->name());
     write_spec(w, instance->spec(), version);
     write_graph(w, instance->graph());
-    // One locked read for (holiday, log): a tenant stepping and mutating
-    // concurrently can never tear the pair a restore replays from.
-    const Instance::PersistedState state = instance->persisted_state();
     w.put_uint(state.holiday);
     if (version >= 2) {
       write_log(w, state.log);
+    }
+    if (version >= 3) {
+      write_batches(w, state.batches);
     }
   }
   return w.finish();
@@ -205,6 +282,7 @@ void restore_registry(InstanceRegistry& registry, std::span<const std::uint8_t> 
     graph::Graph graph;
     std::uint64_t holiday = 0;
     std::vector<dynamic::MutationCommand> log;
+    std::vector<dynamic::BatchRecord> batches;
   };
   std::vector<Parsed> parsed;
   parsed.reserve(count);
@@ -220,6 +298,9 @@ void restore_registry(InstanceRegistry& registry, std::span<const std::uint8_t> 
         throw std::runtime_error("snapshot: mutation log on non-dynamic instance '" + p.name +
                                  "'");
       }
+    }
+    if (version >= 3) {
+      p.batches = read_batches(r, p.log.size());
     }
     // The canonical encoding is strictly name-sorted; enforcing it here
     // also rules out duplicate names before the destructive phase below.
@@ -243,8 +324,10 @@ void restore_registry(InstanceRegistry& registry, std::span<const std::uint8_t> 
     if (!p.log.empty()) {
       // Replay the mutation log over the freshly built recipe state: every
       // recolor decision is deterministic, so this lands on the identical
-      // coloring and slots the snapshotted tenant had.
-      instance->replay_mutation_log(p.log);
+      // coloring and slots the snapshotted tenant had.  The batch records
+      // (v3) route each segment through the path the live tenant took;
+      // pre-v3 logs replay per command, which is how they were applied.
+      instance->replay_mutation_log(p.log, p.batches);
     }
     instance->fast_forward(p.holiday);
     instances.push_back(std::move(instance));

@@ -67,17 +67,43 @@ const std::vector<SchedulerKind>& all_scheduler_kinds() {
   return kinds;
 }
 
-std::unique_ptr<core::Scheduler> make_scheduler(const graph::Graph& g, const InstanceSpec& spec) {
+namespace {
+
+/// The initial coloring of the coloring-based kinds: serial greedy
+/// largest-first below the crossover, parallel Jones–Plassmann at or above
+/// it.  Both give col ≤ deg+1 and both are deterministic functions of
+/// (graph, spec) alone.
+coloring::Coloring build_coloring(const graph::Graph& g, const InstanceSpec& spec,
+                                  ColoringBuildStats* stats) {
+  if (spec.parallel_crossover > 0 && g.num_nodes() >= spec.parallel_crossover) {
+    coloring::JpOptions options;
+    options.seed = spec.seed;
+    coloring::JpStats jp;
+    coloring::Coloring colors = coloring::parallel_jp_color(g, options, &jp);
+    if (stats != nullptr) {
+      stats->parallel = true;
+      stats->jp = jp;
+    }
+    return colors;
+  }
+  return coloring::greedy_color(g, coloring::Order::kLargestFirst);
+}
+
+}  // namespace
+
+std::unique_ptr<core::Scheduler> make_scheduler(const graph::Graph& g, const InstanceSpec& spec,
+                                                ColoringBuildStats* stats) {
+  if (stats != nullptr) {
+    *stats = {};
+  }
   switch (spec.kind) {
     case SchedulerKind::kRoundRobin:
-      return std::make_unique<core::RoundRobinColorScheduler>(
-          g, coloring::greedy_color(g, coloring::Order::kLargestFirst));
+      return std::make_unique<core::RoundRobinColorScheduler>(g, build_coloring(g, spec, stats));
     case SchedulerKind::kPhasedGreedy:
-      return std::make_unique<core::PhasedGreedyScheduler>(
-          g, coloring::greedy_color(g, coloring::Order::kLargestFirst));
+      return std::make_unique<core::PhasedGreedyScheduler>(g, build_coloring(g, spec, stats));
     case SchedulerKind::kPrefixCode:
-      return std::make_unique<core::PrefixCodeScheduler>(
-          g, coloring::greedy_color(g, coloring::Order::kLargestFirst), spec.code);
+      return std::make_unique<core::PrefixCodeScheduler>(g, build_coloring(g, spec, stats),
+                                                         spec.code);
     case SchedulerKind::kDegreeBound:
       return std::make_unique<core::DegreeBoundScheduler>(g);
     case SchedulerKind::kFirstComeFirstGrab:
@@ -91,10 +117,22 @@ std::unique_ptr<core::Scheduler> make_scheduler(const graph::Graph& g, const Ins
       }
       return std::make_unique<core::WeightedPeriodicScheduler>(g, spec.periods,
                                                                core::WeightedPolicy::kAutoRelax);
-    case SchedulerKind::kDynamicPrefixCode:
+    case SchedulerKind::kDynamicPrefixCode: {
       // Copies `g` in as the recipe topology; the adapter owns the mutable
       // graph and the mutation log from here on.
-      return std::make_unique<dynamic::DynamicSchedulerAdapter>(g, spec.code, spec.slack);
+      dynamic::DynamicOptions options;
+      options.family = spec.code;
+      options.deletion_slack = spec.slack;
+      options.parallel_crossover = spec.parallel_crossover;
+      options.bulk_threshold = spec.bulk_threshold;
+      options.jp_seed = spec.seed;
+      auto adapter = std::make_unique<dynamic::DynamicSchedulerAdapter>(g, options);
+      if (stats != nullptr) {
+        stats->parallel = adapter->scheduler().built_parallel();
+        stats->jp = adapter->scheduler().build_stats();
+      }
+      return adapter;
+    }
   }
   throw std::invalid_argument("make_scheduler: unknown scheduler kind");
 }

@@ -9,6 +9,8 @@
 /// partials in ascending chunk order, so floating-point reductions are also
 /// reproducible for a fixed `grain`.
 
+#include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <exception>
 #include <future>
@@ -65,6 +67,72 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end, Body&& b
 template <typename Body>
 void parallel_for(std::size_t begin, std::size_t end, Body&& body, std::size_t grain = 1024) {
   parallel_for(ThreadPool::shared(), begin, end, std::forward<Body>(body), grain);
+}
+
+/// Like `parallel_for`, but chunks are *claimed* dynamically: each worker
+/// repeatedly grabs the next `chunk`-sized slice off a shared atomic cursor
+/// instead of being handed a fixed static partition.  This is the right
+/// shape for skewed per-index costs (e.g. per-node work proportional to
+/// degree on a power-law graph, where a static partition containing a hub
+/// serializes the whole loop on one thread while its siblings idle).
+///
+/// The determinism contract of `parallel_for` carries over: the body still
+/// receives the global index, so a body whose writes are index-owned
+/// produces thread-count-independent results — only the *assignment* of
+/// indices to threads varies run to run, never the set of indices executed.
+/// Exceptions are propagated (the first one, in worker order).
+template <typename Body>
+void parallel_for_dynamic(ThreadPool& pool, std::size_t begin, std::size_t end, Body&& body,
+                          std::size_t chunk = 256) {
+  if (begin >= end) {
+    return;
+  }
+  chunk = std::max<std::size_t>(chunk, 1);
+  const std::size_t n = end - begin;
+  if (n <= chunk || pool.size() == 1) {
+    for (std::size_t i = begin; i < end; ++i) {
+      body(i);
+    }
+    return;
+  }
+  const std::size_t workers = std::min(pool.size(), (n + chunk - 1) / chunk);
+  std::atomic<std::size_t> cursor{begin};
+  std::vector<std::future<void>> tasks;
+  tasks.reserve(workers);
+  for (std::size_t t = 0; t < workers; ++t) {
+    tasks.push_back(pool.submit([&cursor, end, chunk, &body] {
+      for (;;) {
+        const std::size_t lo = cursor.fetch_add(chunk, std::memory_order_relaxed);
+        if (lo >= end) {
+          return;
+        }
+        const std::size_t hi = std::min(end, lo + chunk);
+        for (std::size_t i = lo; i < hi; ++i) {
+          body(i);
+        }
+      }
+    }));
+  }
+  std::exception_ptr first_error;
+  for (auto& task : tasks) {
+    try {
+      task.get();
+    } catch (...) {
+      if (!first_error) {
+        first_error = std::current_exception();
+      }
+    }
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+/// Convenience overload using the shared pool.
+template <typename Body>
+void parallel_for_dynamic(std::size_t begin, std::size_t end, Body&& body,
+                          std::size_t chunk = 256) {
+  parallel_for_dynamic(ThreadPool::shared(), begin, end, std::forward<Body>(body), chunk);
 }
 
 /// Parallel map-reduce over `[begin, end)`.

@@ -75,14 +75,29 @@ struct ScenarioSpec {
   QueryMix mix;
   std::uint64_t seed = 1;       ///< master seed; everything derives from it
   std::uint64_t horizon = 1024; ///< holiday depth that probes target
+  /// Commands each mutated tenant receives per mutation round.  The default
+  /// keeps batches on the per-command path; mutation-storm scenarios raise it
+  /// past the engine's bulk threshold to exercise the bulk recolor.
+  std::size_t commands_per_mutation = 4;
 
   friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
 };
 
+/// Named single-tenant large-graph presets for the parallel-coloring
+/// benchmarks and stress runs: `powerlaw-1m` and `geometric-1m` expand to a
+/// fleet of one fully dynamic 2^20-node tenant (mutation on, churn off).
+/// Nullopt for unknown names.
+[[nodiscard]] std::optional<ScenarioSpec> scenario_preset(std::string_view name);
+
+/// The preset names `scenario_preset` knows, for usage text and sweeps.
+[[nodiscard]] const std::vector<std::string>& scenario_preset_names();
+
 /// Parses a scenario string `family[:key=value,...]` with keys `fleet`,
 /// `nodes`, `seed`, `churn`, `aperiodic`, `dynamic`, `mutation`, `next`,
-/// `horizon`.  Nullopt on an unknown family, unknown key, or malformed
-/// value.
+/// `horizon`, `cmds`.  The leading token may also be a preset name
+/// (`powerlaw-1m:mutation=0` starts from the preset, then applies the
+/// overrides).  Nullopt on an unknown family/preset, unknown key, or
+/// malformed value.
 [[nodiscard]] std::optional<ScenarioSpec> parse_scenario(std::string_view text);
 
 /// The canonical one-line form of `spec` (parses back to an equal spec).

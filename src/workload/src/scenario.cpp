@@ -77,14 +77,45 @@ std::optional<double> parse_double(std::string_view text) {
 
 }  // namespace
 
+std::optional<ScenarioSpec> scenario_preset(std::string_view name) {
+  // One huge dynamic tenant, mutation rounds on: the shape the parallel
+  // Jones–Plassmann benchmarks and stress smokes run against.
+  ScenarioSpec spec;
+  spec.fleet = 1;
+  spec.nodes = 1u << 20;
+  spec.churn = 0.0;
+  spec.aperiodic = 0.0;
+  spec.dynamic_share = 1.0;
+  spec.mutation = 1.0;
+  if (name == "powerlaw-1m") {
+    spec.family = GraphFamily::kPowerLaw;
+    return spec;
+  }
+  if (name == "geometric-1m") {
+    spec.family = GraphFamily::kRandomGeometric;
+    return spec;
+  }
+  return std::nullopt;
+}
+
+const std::vector<std::string>& scenario_preset_names() {
+  static const std::vector<std::string> names{"powerlaw-1m", "geometric-1m"};
+  return names;
+}
+
 std::optional<ScenarioSpec> parse_scenario(std::string_view text) {
   const auto colon = text.find(':');
-  const auto family = parse_graph_family(text.substr(0, colon));
-  if (!family) {
-    return std::nullopt;
-  }
+  const std::string_view head = text.substr(0, colon);
   ScenarioSpec spec;
-  spec.family = *family;
+  if (const auto preset = scenario_preset(head)) {
+    spec = *preset;  // `key=value` overrides below still apply
+  } else {
+    const auto family = parse_graph_family(head);
+    if (!family) {
+      return std::nullopt;
+    }
+    spec.family = *family;
+  }
   if (colon == std::string_view::npos) {
     return spec;
   }
@@ -123,6 +154,12 @@ std::optional<ScenarioSpec> parse_scenario(std::string_view text) {
         return std::nullopt;
       }
       spec.horizon = *v;
+    } else if (key == "cmds") {
+      const auto v = parse_uint(value);
+      if (!v) {
+        return std::nullopt;
+      }
+      spec.commands_per_mutation = static_cast<std::size_t>(*v);
     } else if (key == "churn") {
       const auto v = parse_double(value);
       if (!v) {
@@ -164,6 +201,7 @@ std::string scenario_name(const ScenarioSpec& spec) {
   std::ostringstream out;
   out << graph_family_name(spec.family) << ":fleet=" << spec.fleet << ",nodes=" << spec.nodes
       << ",seed=" << spec.seed << ",horizon=" << spec.horizon
+      << ",cmds=" << spec.commands_per_mutation
       << ",churn=" << format_double(spec.churn) << ",aperiodic=" << format_double(spec.aperiodic)
       << ",dynamic=" << format_double(spec.dynamic_share)
       << ",mutation=" << format_double(spec.mutation)
@@ -331,13 +369,14 @@ std::vector<api::Request> ScenarioGenerator::request_stream(std::size_t count,
 
 std::vector<dynamic::MutationCommand> ScenarioGenerator::mutation_commands(
     std::size_t i, std::uint64_t round, graph::NodeId nodes) const {
-  /// Commands each mutated tenant receives per round — enough to usually
-  /// force at least one recolor without rewriting the whole topology.
-  constexpr std::size_t kCommandsPerTenant = 4;
+  // Per-round command count from the spec: the default (4) usually forces at
+  // least one recolor without rewriting the whole topology; mutation-storm
+  // scenarios raise `cmds` past the bulk threshold.
+  const std::size_t per_tenant = spec_.commands_per_mutation;
   Rng rng(spec_.seed, parallel::mix_keys(0x6D757478, parallel::mix_keys(i, round)));
   std::vector<dynamic::MutationCommand> commands;
-  commands.reserve(kCommandsPerTenant);
-  for (std::size_t c = 0; c < kCommandsPerTenant && nodes >= 2; ++c) {
+  commands.reserve(per_tenant);
+  for (std::size_t c = 0; c < per_tenant && nodes >= 2; ++c) {
     const double roll = rng.uniform_real();
     if (roll < 0.1) {
       commands.push_back(dynamic::add_node_command());
@@ -405,6 +444,8 @@ std::vector<std::uint8_t> ScenarioGenerator::fingerprint() const {
     put_u64(bytes, static_cast<std::uint64_t>(t.spec.code));
     put_u64(bytes, t.spec.seed);
     put_u64(bytes, t.spec.slack);
+    put_u64(bytes, t.spec.parallel_crossover);
+    put_u64(bytes, t.spec.bulk_threshold);
     put_u64(bytes, t.spec.periods.size());
     for (const std::uint64_t p : t.spec.periods) {
       put_u64(bytes, p);

@@ -3,9 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include "fhg/parallel/parallel_for.hpp"
@@ -198,6 +201,67 @@ TEST(ParallelFor, EmptyRangeIsNoop) {
 TEST(ParallelFor, PropagatesBodyException) {
   fp::ThreadPool pool(2);
   EXPECT_THROW(fp::parallel_for(
+                   pool, 0, 1000,
+                   [](std::size_t i) {
+                     if (i == 637) {
+                       throw std::runtime_error("body failure");
+                     }
+                   },
+                   16),
+               std::runtime_error);
+}
+
+TEST(ParallelForDynamic, VisitsEveryIndexExactlyOnce) {
+  fp::ThreadPool pool(4);
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::atomic<int>> visits(kN);
+  fp::parallel_for_dynamic(pool, 0, kN, [&](std::size_t i) { visits[i].fetch_add(1); }, 64);
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForDynamic, SkewedBodyCostStillCoversTheRange) {
+  // The reason dynamic chunking exists: one hub index costing ~1000x the
+  // others must not serialize the sweep.  Correctness half of that claim:
+  // every index is still visited exactly once while workers steal chunks
+  // around the hub.
+  fp::ThreadPool pool(4);
+  constexpr std::size_t kN = 4'096;
+  std::vector<std::atomic<int>> visits(kN);
+  std::atomic<std::uint64_t> sink{0};
+  fp::parallel_for_dynamic(
+      pool, 0, kN,
+      [&](std::size_t i) {
+        std::uint64_t spin = (i == 17) ? 100'000 : 100;  // the hub
+        std::uint64_t acc = i;
+        while (spin-- > 0) {
+          acc = acc * 6364136223846793005ULL + 1442695040888963407ULL;
+        }
+        sink.fetch_add(acc, std::memory_order_relaxed);
+        visits[i].fetch_add(1);
+      },
+      32);
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForDynamic, EmptyRangeAndSerialFallback) {
+  fp::ThreadPool pool(2);
+  bool touched = false;
+  fp::parallel_for_dynamic(pool, 5, 5, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+
+  // n <= chunk runs inline on the caller — no pool round trip.
+  std::vector<int> hits(8, 0);
+  fp::parallel_for_dynamic(pool, 0, 8, [&](std::size_t i) { ++hits[i]; }, 256);
+  EXPECT_EQ(std::count(hits.begin(), hits.end(), 1), 8);
+}
+
+TEST(ParallelForDynamic, PropagatesBodyException) {
+  fp::ThreadPool pool(2);
+  EXPECT_THROW(fp::parallel_for_dynamic(
                    pool, 0, 1000,
                    [](std::size_t i) {
                      if (i == 637) {

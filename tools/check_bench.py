@@ -33,10 +33,19 @@ the failing direction is current/baseline exceeding the limit, the inverse
 of the throughput gate.  Counters missing from either side are skipped with
 a warning, mirroring the throughput behavior.
 
+Intra-run ratio gates come in two spellings.  `--min-speedup FAST SLOW RATIO`
+takes all three in one flag.  The zipped form — repeatable `--ratio-num NAME`
+/ `--ratio-den NAME` / `--min-ratio R` triples, matched by position — reads
+better in CI YAML when several gates stack (each leg on its own line), and is
+how the parallel-vs-serial coloring speedup is enforced.  The i-th gate fails
+when current[num_i]/current[den_i] < ratio_i; mismatched list lengths are a
+usage error.
+
 Usage:
   check_bench.py --current out.json [--baseline bench/baselines/bench_e18.json]
                  [--max-regression 2.0]
                  [--min-speedup FAST_NAME SLOW_NAME RATIO]
+                 [--ratio-num NAME --ratio-den NAME --min-ratio R]...
                  [--latency-counter p50_us] [--max-latency-regression 2.0]
 
 Exit status: 0 when every gate passes, 1 otherwise.
@@ -116,6 +125,28 @@ def main() -> int:
         help="fail when current[FAST]/current[SLOW] < RATIO",
     )
     parser.add_argument(
+        "--ratio-num",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="numerator benchmark of a zipped ratio gate; repeatable",
+    )
+    parser.add_argument(
+        "--ratio-den",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="denominator benchmark of a zipped ratio gate; repeatable",
+    )
+    parser.add_argument(
+        "--min-ratio",
+        action="append",
+        type=float,
+        default=[],
+        metavar="R",
+        help="minimum current[num]/current[den] of a zipped ratio gate; repeatable",
+    )
+    parser.add_argument(
         "--latency-counter",
         action="append",
         default=[],
@@ -129,6 +160,12 @@ def main() -> int:
         help="fail when current/baseline latency exceeds this (default 2.0)",
     )
     args = parser.parse_args()
+
+    if not len(args.ratio_num) == len(args.ratio_den) == len(args.min_ratio):
+        parser.error(
+            "--ratio-num/--ratio-den/--min-ratio must appear the same number of "
+            f"times (got {len(args.ratio_num)}/{len(args.ratio_den)}/{len(args.min_ratio)})"
+        )
 
     current = load_rates(args.current)
     if not current:
@@ -211,8 +248,9 @@ def main() -> int:
             "file; skipping latency gate"
         )
 
-    for fast, slow, ratio_text in args.min_speedup:
-        want = float(ratio_text)
+    ratio_gates = [(fast, slow, float(ratio)) for fast, slow, ratio in args.min_speedup]
+    ratio_gates += list(zip(args.ratio_num, args.ratio_den, args.min_ratio))
+    for fast, slow, want in ratio_gates:
         missing = [n for n in (fast, slow) if n not in current]
         if missing:
             failures.append(f"speedup gate: benchmark(s) missing from current run: {missing}")
