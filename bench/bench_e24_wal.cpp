@@ -1,0 +1,201 @@
+// E24 — WAL durability tax on the live mutation path
+// (google-benchmark; emits machine-readable JSON for the CI perf gate).
+//
+// The same §6 in-place mutation pipeline bench_e19 measures, served three
+// ways over identical fhg::workload fleets and identical seeded command
+// streams:
+//
+//   nowal      — `Engine::apply_mutations` with no sink attached: the
+//                bench_e19 "inplace" path, re-measured here so the ratio is
+//                computed within one run instead of across two binaries;
+//   wal        — a `wal::Manager` attached with fsync off: the batch is
+//                Elias-encoded, CRC-framed, and written to the per-shard log
+//                before every republish, but the OS flushes at its leisure —
+//                the pure encode+write overhead of durable-before-visible;
+//   wal-fsync  — fsync_every=1: the full durability guarantee, every append
+//                waits for the disk.  Reported for visibility; not gated,
+//                because its cost is the storage stack's, not the code's.
+//
+// The acceptance configuration (4k-tenant power-law fleet) requires `wal`
+// to stay within 1.5x of `nowal` (tools/check_bench.py enforces
+// time(wal) <= 1.5 * time(nowal) via --min-speedup wal nowal 0.6667; the
+// checked-in baseline gates regressions).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fhg/dynamic/mutation.hpp"
+#include "fhg/engine/engine.hpp"
+#include "fhg/wal/wal.hpp"
+#include "fhg/workload/scenario.hpp"
+
+namespace {
+
+using namespace fhg;
+
+constexpr std::uint64_t kStepDepth = 64;  ///< holidays each fleet is stepped before mutating
+
+/// WAL fsync policy per strategy; nullopt = no WAL attached.
+struct Durability {
+  bool enabled = false;
+  std::uint64_t fsync_every = 0;
+};
+
+/// One fully built all-dynamic fleet, optionally fronted by a WAL whose
+/// scratch directory lives under $TMPDIR for the life of the process.
+struct Fleet {
+  Fleet(const workload::ScenarioSpec& spec, const Durability& durability) : generator(spec) {
+    engine = std::make_unique<engine::Engine>(engine::EngineOptions{.shards = 64, .threads = 0});
+    generator.populate(*engine);
+    (void)engine->step_all(kStepDepth);
+    recipe_nodes.reserve(spec.fleet);
+    for (std::size_t i = 0; i < spec.fleet; ++i) {
+      recipe_nodes.push_back(engine->find(generator.tenant_name(i))->graph().num_nodes());
+    }
+    if (durability.enabled) {
+      std::string tmpl =
+          (std::filesystem::temp_directory_path() / "fhg-e24-XXXXXX").string();
+      std::vector<char> buffer(tmpl.begin(), tmpl.end());
+      buffer.push_back('\0');
+      if (::mkdtemp(buffer.data()) == nullptr) {
+        throw std::runtime_error("bench_e24: mkdtemp failed");
+      }
+      wal_dir = buffer.data();
+      wal = std::make_unique<wal::Manager>(
+          *engine, wal::WalOptions{.dir = wal_dir, .fsync_every = durability.fsync_every});
+      (void)wal->recover();
+      wal->compact();  // seal the built fleet: appends start from a base
+      engine->attach_wal(wal.get());
+    }
+  }
+
+  ~Fleet() {
+    if (engine && wal) {
+      engine->attach_wal(nullptr);
+    }
+    wal.reset();
+    if (!wal_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(wal_dir, ec);
+    }
+  }
+
+  workload::ScenarioGenerator generator;
+  std::unique_ptr<engine::Engine> engine;
+  std::unique_ptr<wal::Manager> wal;
+  std::string wal_dir;
+  /// Per-slot node count captured *before* any mutation, so the seeded
+  /// command streams stay identical across strategies and rounds.
+  std::vector<graph::NodeId> recipe_nodes;
+  std::uint64_t round = 0;  ///< advances across iterations
+};
+
+/// Separate cache per (strategy, scenario): each strategy evolves its own
+/// fleet's topology (and its own log) independently.
+Fleet& fleet_for(const std::string& strategy, const std::string& scenario,
+                 const Durability& durability) {
+  static std::map<std::string, std::unique_ptr<Fleet>> cache;
+  auto& slot = cache[strategy + "|" + scenario];
+  if (!slot) {
+    const auto spec = workload::parse_scenario(scenario);
+    if (!spec) {
+      throw std::invalid_argument("bench_e24: bad scenario '" + scenario + "'");
+    }
+    slot = std::make_unique<Fleet>(*spec, durability);
+  }
+  return *slot;
+}
+
+void BM_Mutate(benchmark::State& state, const std::string& strategy,
+               const std::string& scenario, const Durability& durability) {
+  Fleet& fleet = fleet_for(strategy, scenario, durability);
+  const std::size_t fleet_size = fleet.generator.spec().fleet;
+  if (fleet.round == 0) {
+    // Untimed warm-up round: the first pass over a fresh fleet pays one-off
+    // costs (cold period-table rebuilds; for WAL fleets, segment creation
+    // and cold page-cache writes) that would dominate short CI runs and
+    // skew the wal/nowal ratio.  Identical work for every strategy.
+    for (std::size_t slot = 0; slot < fleet_size; ++slot) {
+      (void)fleet.engine->apply_mutations(
+          fleet.generator.tenant_name(slot),
+          fleet.generator.mutation_commands(slot, fleet.round, fleet.recipe_nodes[slot]));
+    }
+    ++fleet.round;
+  }
+  std::uint64_t commands = 0;
+  for (auto _ : state) {
+    for (std::size_t slot = 0; slot < fleet_size; ++slot) {
+      const std::string name = fleet.generator.tenant_name(slot);
+      const auto mix =
+          fleet.generator.mutation_commands(slot, fleet.round, fleet.recipe_nodes[slot]);
+      (void)fleet.engine->apply_mutations(name, mix);
+      commands += mix.size();
+    }
+    ++fleet.round;
+  }
+  benchmark::DoNotOptimize(commands);
+  state.SetItemsProcessed(static_cast<std::int64_t>(commands));
+  if (fleet.wal) {
+    const engine::WalSinkStats stats = fleet.wal->stats();
+    state.counters["wal_bytes"] = static_cast<double>(stats.wal_bytes);
+    state.counters["fsyncs"] = static_cast<double>(stats.fsyncs);
+  }
+}
+
+struct Strategy {
+  const char* name;
+  Durability durability;
+};
+
+const Strategy kStrategies[] = {
+    {"nowal", {.enabled = false, .fsync_every = 0}},
+    {"wal", {.enabled = true, .fsync_every = 0}},
+    {"wal-fsync", {.enabled = true, .fsync_every = 1}},
+};
+
+/// All-dynamic fleets so every slot exercises the mutation path.
+const char* kSweep[] = {
+    "power-law:fleet=1000,nodes=48,aperiodic=0,dynamic=1,horizon=1024",
+};
+
+/// Acceptance configuration: a 4k-tenant power-law fleet (bench_e19's).
+const char* kAcceptance = "power-law:fleet=4000,nodes=48,aperiodic=0,dynamic=1,horizon=1024";
+
+void register_all() {
+  for (const Strategy& strategy : kStrategies) {
+    for (const char* scenario : kSweep) {
+      const auto spec = workload::parse_scenario(scenario);
+      const std::string family = workload::graph_family_name(spec->family);
+      benchmark::RegisterBenchmark(
+          (std::string(strategy.name) + "/" + family).c_str(),
+          [&strategy, scenario](benchmark::State& s) {
+            BM_Mutate(s, strategy.name, scenario, strategy.durability);
+          });
+    }
+    benchmark::RegisterBenchmark(
+        (std::string(strategy.name) + "/acceptance-4k").c_str(),
+        [&strategy](benchmark::State& s) {
+          BM_Mutate(s, strategy.name, kAcceptance, strategy.durability);
+        });
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -96,6 +96,7 @@
 #include "fhg/obs/http.hpp"
 #include "fhg/obs/registry.hpp"
 #include "fhg/service/service.hpp"
+#include "fhg/wal/wal.hpp"
 #include "fhg/workload/scenario.hpp"
 
 namespace {
@@ -110,6 +111,8 @@ using Clock = std::chrono::steady_clock;
             << "                          [--shards N] [--threads N] [--service-shards N]\n"
             << "                          [--duration SECS] [--seed S]\n"
             << "                          [--stats-port P] [--stats-interval SECS]\n"
+            << "                          [--wal-dir PATH] [--wal-fsync N]\n"
+            << "                          [--wal-compact-every N]\n"
             << "       fhg_serve load     --connect HOST:PORT [--workload SPEC | --fleet N]\n"
             << "                          [--requests N] [--clients N] [--round R] [--seed S]\n"
             << "                          [--idle-connections N] [--openers N]\n"
@@ -294,10 +297,44 @@ int run_serve(std::map<std::string, std::string> options) {
 
   const std::uint64_t steps = uint_option(options, "steps", 128);
   const workload::ScenarioGenerator generator(workload_spec(options, steps));
+  const auto shards = static_cast<std::size_t>(uint_option(options, "shards", 32));
+  const auto threads = static_cast<std::size_t>(uint_option(options, "threads", 0));
   const auto build_start = Clock::now();
-  auto engine = build_fleet(
-      generator, static_cast<std::size_t>(uint_option(options, "shards", 32)),
-      static_cast<std::size_t>(uint_option(options, "threads", 0)), steps);
+
+  // Durability: with --wal-dir the engine either recovers from the directory
+  // (snapshot + write-ahead-log replay, skipping the fleet build entirely) or
+  // builds the fleet fresh and seals it with an initial snapshot, so a later
+  // crash always has a recovery point.  Declared after `engine` so the
+  // manager (which holds a reference into the engine) is destroyed first.
+  std::unique_ptr<engine::Engine> engine;
+  std::unique_ptr<wal::Manager> wal_manager;
+  if (options.count("wal-dir")) {
+    wal::WalOptions wal_options;
+    wal_options.dir = options["wal-dir"];
+    wal_options.fsync_every = uint_option(options, "wal-fsync", 1);
+    wal_options.compact_every = uint_option(options, "wal-compact-every", 0);
+    const bool resume = wal::Manager::has_state(wal_options.dir);
+    if (resume) {
+      engine = std::make_unique<engine::Engine>(
+          engine::EngineOptions{.shards = shards, .threads = threads});
+    } else {
+      engine = build_fleet(generator, shards, threads, steps);
+    }
+    wal_manager = std::make_unique<wal::Manager>(*engine, wal_options);
+    const wal::RecoveryReport report = wal_manager->recover();
+    if (resume) {
+      std::cout << "fhg_serve: recovered " << engine->num_instances() << " instances from "
+                << wal_options.dir << " (" << report.replayed_batches << " batches replayed, "
+                << report.skipped_batches << " already durable, " << report.torn_bytes
+                << " torn bytes truncated)\n";
+    }
+    // Fresh directories get their first recovery point here; recovered ones
+    // fold the replayed log back into the snapshot.
+    wal_manager->compact();
+    engine->attach_wal(wal_manager.get());
+  } else {
+    engine = build_fleet(generator, shards, threads, steps);
+  }
   std::cout << "fhg_serve: fleet " << workload::scenario_name(generator.spec()) << " ("
             << engine->num_instances() << " instances, " << seconds_since(build_start)
             << "s to build)\n";
@@ -315,11 +352,6 @@ int run_serve(std::map<std::string, std::string> options) {
             << " (protocol v" << api::kProtocolVersion << ", " << service.num_shards()
             << " service shards)\n"
             << std::flush;
-  if (options.count("port-file")) {
-    std::ofstream out(options["port-file"]);
-    out << server.port() << "\n";
-  }
-
   // Optional Prometheus exposition: GET /metrics serves the same registry
   // snapshot GetStats serves over the protocol, plus the transport metrics.
   std::unique_ptr<obs::StatsHttpServer> stats_server;
@@ -334,6 +366,17 @@ int run_serve(std::map<std::string, std::string> options) {
     std::cout << "fhg_serve: metrics on http://" << stats_options.host << ":"
               << stats_server->port() << "/metrics\n"
               << std::flush;
+  }
+
+  // Published only once every listener is bound: line 1 is the protocol
+  // port, line 2 (when --stats-port was given) the metrics port — scripts
+  // read the file instead of racing the listeners or parsing stdout.
+  if (options.count("port-file")) {
+    std::ofstream out(options["port-file"]);
+    out << server.port() << "\n";
+    if (stats_server) {
+      out << stats_server->port() << "\n";
+    }
   }
 
   const std::uint64_t stats_interval = uint_option(options, "stats-interval", 0);

@@ -118,6 +118,11 @@ class Client {
   /// traces (see `GetStatsRequest` for the determinism flags).
   [[nodiscard]] Result<GetStatsResponse> get_stats(GetStatsRequest options = {});
 
+  /// The serving side's durability picture: WAL counters when a write-ahead
+  /// log is attached (`wal_enabled`), plus the tenancy-wide applied-batch
+  /// count either way.
+  [[nodiscard]] Result<RecoverInfoResponse> recover_info();
+
  private:
   /// Runs `call` and unwraps a payload of type `P` into `Result<T>` via
   /// `project` (defaults to identity for `T == P`).

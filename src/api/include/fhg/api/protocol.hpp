@@ -116,11 +116,21 @@ struct GetStatsRequest {
   friend bool operator==(const GetStatsRequest&, const GetStatsRequest&) = default;
 };
 
+/// Durability introspection: what the serving side's write-ahead log has
+/// made durable (last durable holiday, live log bytes, compaction and
+/// recovery counters).  Served even when no WAL is attached — then
+/// `wal_enabled` is false and the WAL fields are zero — so callers can probe
+/// for durability support without a failure path.
+struct RecoverInfoRequest {
+  friend bool operator==(const RecoverInfoRequest&, const RecoverInfoRequest&) = default;
+};
+
 /// Every way into the system.  The alternative index is the wire tag
 /// (append-only; never reorder).
 using Request = std::variant<IsHappyRequest, NextGatheringRequest, ApplyMutationsRequest,
                              CreateInstanceRequest, EraseInstanceRequest, ListInstancesRequest,
-                             SnapshotRequest, RestoreRequest, GetStatsRequest>;
+                             SnapshotRequest, RestoreRequest, GetStatsRequest,
+                             RecoverInfoRequest>;
 
 /// Number of request alternatives (the decode-time tag bound).
 inline constexpr std::uint64_t kNumRequestKinds = std::variant_size_v<Request>;
@@ -213,13 +223,35 @@ struct GetStatsResponse {
   friend bool operator==(const GetStatsResponse&, const GetStatsResponse&) = default;
 };
 
+/// Answer to `RecoverInfoRequest`: the durability picture.  `wal_enabled`
+/// false means no WAL sink is attached — every WAL field is then zero.
+/// `durable_batches` (total applied mutation batches across the tenancy) is
+/// served either way: it is the sequence point a crash-recovery driver
+/// resumes a deterministic mutation stream from.
+struct RecoverInfoResponse {
+  bool wal_enabled = false;                ///< a WAL sink is attached
+  std::uint64_t last_durable_holiday = 0;  ///< max holiday across durable batches
+  std::uint64_t wal_bytes = 0;             ///< bytes across live log segments
+  std::uint64_t segments = 0;              ///< live log segment files
+  std::uint64_t appends = 0;               ///< batches appended to the log
+  std::uint64_t fsyncs = 0;                ///< fsync calls issued
+  std::uint64_t compactions = 0;           ///< snapshot + truncate cycles
+  std::uint64_t replayed_batches = 0;      ///< batches re-applied at recovery
+  std::uint64_t replayed_commands = 0;     ///< commands across those batches
+  std::uint64_t skipped_batches = 0;       ///< recovery batches already snapshotted
+  std::uint64_t torn_bytes = 0;            ///< torn-tail bytes truncated at recovery
+  std::uint64_t durable_batches = 0;       ///< Σ applied batches across tenants
+
+  friend bool operator==(const RecoverInfoResponse&, const RecoverInfoResponse&) = default;
+};
+
 /// The payload of a `Response`: `std::monostate` on failure, otherwise the
 /// alternative matching the request kind (same order, offset by one).  The
 /// alternative index is the wire tag (append-only; never reorder).
 using ResponsePayload =
     std::variant<std::monostate, IsHappyResponse, NextGatheringResponse, ApplyMutationsResponse,
                  CreateInstanceResponse, EraseInstanceResponse, ListInstancesResponse,
-                 SnapshotResponse, RestoreResponse, GetStatsResponse>;
+                 SnapshotResponse, RestoreResponse, GetStatsResponse, RecoverInfoResponse>;
 
 /// Number of response payload alternatives (the decode-time tag bound).
 inline constexpr std::uint64_t kNumResponseKinds = std::variant_size_v<ResponsePayload>;

@@ -39,6 +39,10 @@
 #include "fhg/api/status.hpp"
 #include "fhg/api/transport.hpp"
 
+namespace fhg::obs {
+class Counter;
+}  // namespace fhg::obs
+
 namespace fhg::api {
 
 /// Construction-time options of a `SocketServer`.
@@ -126,6 +130,11 @@ class SocketServer {
   SocketServerOptions options_;  ///< post-construction: tuning knobs only (host/port resolved)
   std::string host_;
   std::uint16_t port_ = 0;
+  /// Accept failures of *this* listener, labeled by bound port
+  /// (`fhg_socket_accept_errors_total{port="..."}`).  Per-server, unlike the
+  /// process-wide socket counters: a test harness restarting servers must be
+  /// able to tell a fresh listener's failures from a previous one's.
+  obs::Counter* accept_errors_ = nullptr;
   int listen_fd_ = -1;
   std::mutex stop_mutex_;  ///< serializes stop(); a second caller blocks until done
   bool stopped_ = false;   ///< guarded by stop_mutex_

@@ -103,4 +103,9 @@ Result<GetStatsResponse> Client::get_stats(GetStatsRequest options) {
                                                     [](GetStatsResponse p) { return p; });
 }
 
+Result<RecoverInfoResponse> Client::recover_info() {
+  return unwrap<RecoverInfoResponse, RecoverInfoResponse>(
+      RecoverInfoRequest{}, [](RecoverInfoResponse p) { return p; });
+}
+
 }  // namespace fhg::api

@@ -374,9 +374,11 @@ void write_request_body(BitWriter& w, const Request& request) {
           w.put_bit(r.include_histograms);
           w.put_bit(r.include_traces);
         } else {
-          // ListInstances / Snapshot carry no fields beyond the tag.
+          // ListInstances / Snapshot / RecoverInfo carry no fields beyond
+          // the tag.
           static_assert(std::is_same_v<R, ListInstancesRequest> ||
-                        std::is_same_v<R, SnapshotRequest>);
+                        std::is_same_v<R, SnapshotRequest> ||
+                        std::is_same_v<R, RecoverInfoRequest>);
         }
       },
       request);
@@ -433,6 +435,8 @@ Request read_request_body(BitReader& r) {
       req.include_traces = r.get_bit();
       return req;
     }
+    case 9:
+      return RecoverInfoRequest{};
     default:
       fail("unknown request tag " + std::to_string(tag));
   }
@@ -471,6 +475,19 @@ void write_response_body(BitWriter& w, const Response& response) {
         } else if constexpr (std::is_same_v<P, GetStatsResponse>) {
           write_metric_samples(w, p.metrics);
           write_trace_samples(w, p.traces);
+        } else if constexpr (std::is_same_v<P, RecoverInfoResponse>) {
+          w.put_bit(p.wal_enabled);
+          w.put_uint(p.last_durable_holiday);
+          w.put_uint(p.wal_bytes);
+          w.put_uint(p.segments);
+          w.put_uint(p.appends);
+          w.put_uint(p.fsyncs);
+          w.put_uint(p.compactions);
+          w.put_uint(p.replayed_batches);
+          w.put_uint(p.replayed_commands);
+          w.put_uint(p.skipped_batches);
+          w.put_uint(p.torn_bytes);
+          w.put_uint(p.durable_batches);
         } else {
           // monostate / Create / Erase carry no fields beyond the tag.
           static_assert(std::is_same_v<P, std::monostate> ||
@@ -553,6 +570,23 @@ Response read_response_body(BitReader& r) {
       p.metrics = read_metric_samples(r);
       p.traces = read_trace_samples(r);
       response.payload = std::move(p);
+      break;
+    }
+    case 10: {
+      RecoverInfoResponse p;
+      p.wal_enabled = r.get_bit();
+      p.last_durable_holiday = r.get_uint();
+      p.wal_bytes = r.get_uint();
+      p.segments = r.get_uint();
+      p.appends = r.get_uint();
+      p.fsyncs = r.get_uint();
+      p.compactions = r.get_uint();
+      p.replayed_batches = r.get_uint();
+      p.replayed_commands = r.get_uint();
+      p.skipped_batches = r.get_uint();
+      p.torn_bytes = r.get_uint();
+      p.durable_batches = r.get_uint();
+      response.payload = p;
       break;
     }
     default:

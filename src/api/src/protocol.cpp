@@ -5,7 +5,8 @@ namespace fhg::api {
 std::string_view request_kind_name(std::size_t tag) noexcept {
   constexpr std::string_view kNames[] = {"is-happy",        "next-gathering", "apply-mutations",
                                          "create-instance", "erase-instance", "list-instances",
-                                         "snapshot",        "restore",        "get-stats"};
+                                         "snapshot",        "restore",        "get-stats",
+                                         "recover-info"};
   static_assert(std::size(kNames) == kNumRequestKinds);
   return tag < std::size(kNames) ? kNames[tag] : "unknown";
 }

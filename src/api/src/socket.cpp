@@ -53,8 +53,8 @@ struct SocketCounters {
   obs::Gauge& connections_open = obs::Registry::global().gauge("fhg_socket_connections");
   obs::Gauge& connections_peak =
       obs::Registry::global().gauge("fhg_socket_connections_peak");
-  obs::Counter& accept_errors =
-      obs::Registry::global().counter("fhg_socket_accept_errors_total");
+  // accept errors are deliberately absent here: they are per-listener (see
+  // SocketServer::accept_errors_), labeled by bound port.
   obs::Counter& epoll_wakes =
       obs::Registry::global().counter("fhg_socket_epoll_wakes_total");
   obs::Counter& write_stalls =
@@ -266,6 +266,10 @@ SocketServer::SocketServer(Handler& handler, SocketServerOptions options)
     throw_errno("getsockname");
   }
   port_ = ntohs(bound.sin_port);
+  // The port is only known post-bind (0 = ephemeral), so the per-listener
+  // error counter is created here rather than in the shared counter bundle.
+  accept_errors_ = &obs::Registry::global().counter(
+      "fhg_socket_accept_errors_total{port=\"" + std::to_string(port_) + "\"}");
 
   std::size_t workers = options.workers;
   if (workers == 0) {
@@ -308,13 +312,13 @@ void SocketServer::accept_loop() {
         return;  // listen socket closed by stop()
       }
       if (errno == EINTR || errno == ECONNABORTED || errno == EPROTO) {
-        counters.accept_errors.increment();
+        accept_errors_->increment();
         continue;  // aborted handshake: the listener is fine, keep serving
       }
       if (errno == EMFILE || errno == ENFILE) {
         // Momentary fd exhaustion: back off briefly instead of abandoning
         // the port forever — connections close and free fds all the time.
-        counters.accept_errors.increment();
+        accept_errors_->increment();
         std::this_thread::sleep_for(std::chrono::milliseconds(10));
         continue;
       }

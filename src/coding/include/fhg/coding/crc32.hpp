@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file crc32.hpp
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over byte spans.
+///
+/// The write-ahead log (`fhg::wal`) frames every appended record as
+/// `[length][crc][payload]` and uses this checksum to tell a torn tail — a
+/// record the process died in the middle of writing — from a complete one.
+/// Table-driven, one table shared process-wide, no dependencies beyond
+/// `<span>`; incremental use chains via the `seed` parameter.
+
+#include <cstdint>
+#include <span>
+
+namespace fhg::coding {
+
+/// CRC-32 of `bytes`, continuing from `seed` (pass the previous return value
+/// to checksum a stream in pieces; the default starts a fresh checksum).
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> bytes,
+                                  std::uint32_t seed = 0) noexcept;
+
+}  // namespace fhg::coding

@@ -1,0 +1,33 @@
+#include "fhg/coding/crc32.hpp"
+
+#include <array>
+
+namespace fhg::coding {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes, std::uint32_t seed) noexcept {
+  std::uint32_t c = seed ^ 0xFFFFFFFFU;
+  for (const std::uint8_t b : bytes) {
+    c = kTable[(c ^ b) & 0xFFU] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFU;
+}
+
+}  // namespace fhg::coding

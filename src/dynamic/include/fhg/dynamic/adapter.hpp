@@ -149,6 +149,16 @@ class DynamicSchedulerAdapter final : public core::Scheduler {
   void replay_log(std::span<const MutationCommand> log,
                   std::span<const BatchRecord> records = {});
 
+  /// Incremental restore path: re-applies *one* persisted batch — the unit a
+  /// write-ahead log stores — through the routing path its record names,
+  /// keeping the persisted holiday stamps.  Unlike `replay_log` this works
+  /// on an adapter with existing history (a tenant just restored from a
+  /// snapshot), appending to the log and batch records exactly as the live
+  /// path did.  Throws `std::invalid_argument` on malformed commands or when
+  /// `record.size != commands.size()`, and `std::runtime_error` when replay
+  /// does not re-apply every command (state diverged from the log).
+  BatchResult replay_batch(std::span<const MutationCommand> commands, BatchRecord record);
+
   /// Every applied command so far, in order, with non-decreasing stamps.
   [[nodiscard]] const std::vector<MutationCommand>& mutation_log() const noexcept { return log_; }
 

@@ -191,4 +191,46 @@ void DynamicSchedulerAdapter::replay_log(std::span<const MutationCommand> log,
   current_ = dynamic_.snapshot();
 }
 
+BatchResult DynamicSchedulerAdapter::replay_batch(std::span<const MutationCommand> commands,
+                                                  BatchRecord record) {
+  if (record.size != commands.size()) {
+    throw std::invalid_argument("DynamicSchedulerAdapter: replay record covers " +
+                                std::to_string(record.size) + " commands, segment has " +
+                                std::to_string(commands.size()));
+  }
+  validate(commands);
+  BatchResult result;
+  if (record.bulk) {
+    if (commands.empty()) {
+      throw std::invalid_argument("DynamicSchedulerAdapter: empty bulk replay batch");
+    }
+    // Land at the batch's holiday, then re-run the identical bulk policy
+    // with the persisted stamps kept (mirrors replay_log's bulk segment).
+    scheduler_.skip_to(commands.front().holiday);
+    result = apply_bulk(commands, /*restamp=*/false);
+  } else {
+    for (const MutationCommand& cmd : commands) {
+      scheduler_.skip_to(cmd.holiday);
+      if (apply_one(cmd).applied) {
+        log_.push_back(cmd);
+        ++version_;
+        ++result.applied;
+      }
+    }
+    if (result.applied > 0) {
+      batches_.push_back({static_cast<std::uint32_t>(result.applied), false});
+      current_ = dynamic_.snapshot();
+    }
+  }
+  // Every logged command applied once on the live path and must apply again:
+  // replay is deterministic over identical state, so a shortfall means the
+  // log and the restored state have diverged.
+  if (result.applied != commands.size()) {
+    throw std::runtime_error("DynamicSchedulerAdapter: replay batch applied " +
+                             std::to_string(result.applied) + " of " +
+                             std::to_string(commands.size()) + " commands (state diverged)");
+  }
+  return result;
+}
+
 }  // namespace fhg::dynamic

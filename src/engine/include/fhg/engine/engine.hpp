@@ -38,6 +38,7 @@
 #include "fhg/engine/registry.hpp"
 #include "fhg/engine/snapshot.hpp"
 #include "fhg/engine/spec.hpp"
+#include "fhg/engine/wal_sink.hpp"
 #include "fhg/obs/registry.hpp"
 #include "fhg/parallel/thread_pool.hpp"
 
@@ -122,6 +123,30 @@ class Engine {
   MutationResult apply_mutations(std::string_view instance,
                                  std::span<const dynamic::MutationCommand> commands);
 
+  /// WAL-recovery entry point: re-applies one durable batch to a (typically
+  /// just-restored) tenant through the routing path its record names,
+  /// keeping the persisted holiday stamps.  Moves the registry epoch and
+  /// records the same mutation telemetry as `apply_mutations`, but never
+  /// calls the attached sink — the batch is already durable.  Throws
+  /// `std::out_of_range` for an unknown instance, `std::logic_error` for a
+  /// non-dynamic one, `std::runtime_error` on log/state divergence.
+  MutationResult wal_replay_batch(std::string_view instance,
+                                  std::span<const dynamic::MutationCommand> commands,
+                                  dynamic::BatchRecord record);
+
+  /// Attaches (or, with nullptr, detaches) the durability sink every
+  /// subsequent committed mutation batch is handed to before it becomes
+  /// visible.  The sink must outlive the engine or a later `attach_wal`
+  /// call; attach *after* recovery has replayed the existing log.  Not a
+  /// synchronization point — don't race attachment against in-flight
+  /// mutation batches.
+  void attach_wal(WalSink* sink) noexcept { wal_.store(sink, std::memory_order_release); }
+
+  /// The attached durability sink, or nullptr (the default).
+  [[nodiscard]] WalSink* wal_sink() const noexcept {
+    return wal_.load(std::memory_order_acquire);
+  }
+
   /// The current lock-free query view: an immutable snapshot of the fleet,
   /// rebuilt only when instances have been created or erased since the last
   /// call.  After warm-up this is one atomic load + one epoch check.  The
@@ -199,6 +224,9 @@ class Engine {
     obs::Gauge& last_snapshot_bytes;     ///< size of the latest snapshot
   };
 
+  /// Attached durability sink (nullptr = durability off).  Atomic so the
+  /// mutation path pays one acquire load, not a lock.
+  std::atomic<WalSink*> wal_{nullptr};
   EngineOptions options_;
   obs::Registry metrics_;  ///< must precede telemetry_ (handles point into it)
   Telemetry telemetry_;

@@ -55,6 +55,7 @@ namespace fhg::engine {
 class Engine;
 class InstanceRegistry;
 class Instance;
+class WalSink;
 void restore_registry(InstanceRegistry& registry, std::span<const std::uint8_t> bytes);
 
 /// What one `step` call produced.
@@ -155,6 +156,11 @@ class Instance {
   /// `std::invalid_argument` on malformed commands (self-loops, out-of-range
   /// endpoints).
   ///
+  /// When `wal` is non-null the batch is handed to it *after* it applies to
+  /// the scheduler and *before* the table republishes — durable-then-visible.
+  /// A throwing sink leaves the table at the pre-batch version (see
+  /// `wal_sink.hpp` for the full contract).
+  ///
   /// Private because republishing obliges the registry epoch to move (or
   /// `Engine::query_snapshot` would keep serving the old table version);
   /// `Engine::apply_mutations` is the entry point that maintains both.
@@ -162,7 +168,18 @@ class Instance {
   friend class Engine;
   friend void restore_registry(InstanceRegistry& registry,
                                std::span<const std::uint8_t> bytes);
-  MutationResult apply_mutations(std::span<const dynamic::MutationCommand> commands);
+  MutationResult apply_mutations(std::span<const dynamic::MutationCommand> commands,
+                                 WalSink* wal = nullptr);
+
+  /// WAL-recovery path: re-applies one persisted batch through the routing
+  /// path its record names, keeping the persisted holiday stamps.  Unlike
+  /// `replay_mutation_log` this works on a *live* instance (typically one
+  /// just restored from a snapshot) and does not touch the WAL sink — the
+  /// batch being replayed is already durable.  Throws `std::logic_error` on
+  /// a non-dynamic instance and `std::runtime_error` when the batch does not
+  /// reproduce `record.size` applied commands (log divergence).
+  MutationResult wal_replay_batch(std::span<const dynamic::MutationCommand> commands,
+                                  dynamic::BatchRecord record);
 
   /// Snapshot-restore path: replays a persisted mutation log over the
   /// freshly built recipe state, keeping the persisted holiday stamps and
@@ -178,6 +195,12 @@ class Instance {
   /// Copy of the mutation log: every applied command, in order, stamped with
   /// the holiday it landed at.  Empty for non-dynamic instances.
   [[nodiscard]] std::vector<dynamic::MutationCommand> mutation_log() const;
+
+  /// Number of applied mutation batches so far (0 for non-dynamic
+  /// instances).  This is the WAL's per-instance sequence number: a durable
+  /// record with `batch_index < batch_count()` is already part of this
+  /// instance's state and must be skipped on replay.
+  [[nodiscard]] std::uint64_t batch_count() const;
 
   /// What a snapshot persists beyond the recipe: the holiday counter, the
   /// mutation log, and the log's batch segmentation, read under *one* lock

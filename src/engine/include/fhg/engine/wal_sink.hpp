@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file wal_sink.hpp
+/// The engine-side durability hook.
+///
+/// `WalSink` is the narrow interface the engine calls to make a mutation
+/// batch durable *before* it becomes visible: `Instance::apply_mutations`
+/// invokes `on_commit` after the batch has been applied to the scheduler but
+/// before the period table is republished, while the per-instance mutex is
+/// still held.  The concrete implementation lives in `fhg::wal` (which
+/// depends on the engine, not the other way round); an engine without an
+/// attached sink pays one relaxed atomic load per batch and nothing else.
+///
+/// Ordering contract: commits for one instance arrive in `batch_index`
+/// order (the index is assigned under the same instance mutex the hook runs
+/// under).  Commits for *different* instances may arrive concurrently — a
+/// sink must do its own locking.  If `on_commit` throws, the batch is
+/// already applied to the in-memory scheduler but the table is **not**
+/// republished and the error propagates to the caller: readers keep the
+/// pre-batch version, and the process should be treated as failing durable
+/// writes (restart + recovery is the supported path out).
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "fhg/dynamic/mutation.hpp"
+
+namespace fhg::engine {
+
+/// One committed mutation batch, as the durability layer must persist it.
+/// Spans point into adapter-owned storage and are valid only for the
+/// duration of the `on_commit` call.
+struct WalCommit {
+  std::string_view instance;  ///< tenant name (registry key)
+  /// The batch's applied commands exactly as logged: holiday-stamped, in
+  /// application order (the tail of the instance's mutation log).
+  std::span<const dynamic::MutationCommand> commands;
+  dynamic::BatchRecord record;    ///< size + bulk/in-place routing for replay
+  std::uint64_t batch_index = 0;  ///< 0-based position in the instance's batch log
+  std::uint64_t holiday = 0;      ///< instance holiday the batch landed at
+};
+
+/// Counters a sink exposes for `RecoverInfo` and tests.  All values are
+/// totals since the sink was constructed (recovery counters cover the
+/// `recover()` call that built it).
+struct WalSinkStats {
+  std::uint64_t last_durable_holiday = 0;  ///< max holiday across appended commits
+  std::uint64_t wal_bytes = 0;             ///< bytes across live log segments
+  std::uint64_t segments = 0;              ///< live log segment files
+  std::uint64_t appends = 0;               ///< commits appended
+  std::uint64_t fsyncs = 0;                ///< fsync calls issued
+  std::uint64_t compactions = 0;           ///< snapshot + truncate cycles completed
+  std::uint64_t replayed_batches = 0;      ///< batches re-applied during recovery
+  std::uint64_t replayed_commands = 0;     ///< commands re-applied during recovery
+  std::uint64_t skipped_batches = 0;       ///< recovery batches already in the snapshot
+  std::uint64_t torn_bytes = 0;            ///< torn-tail bytes truncated by recovery
+};
+
+class WalSink {
+ public:
+  virtual ~WalSink() = default;
+
+  /// Makes `commit` durable.  Called under the instance mutex; may throw on
+  /// I/O failure (see the ordering contract above).
+  virtual void on_commit(const WalCommit& commit) = 0;
+
+  /// Instance-set change hook: the engine calls this after an instance is
+  /// created or erased, so the sink can fold the new fleet shape into its
+  /// durable state (the `fhg::wal` manager compacts, guaranteeing no log
+  /// segment ever references an instance absent from its base snapshot).
+  virtual void on_lifecycle() = 0;
+
+  /// Point-in-time counters (thread-safe).
+  [[nodiscard]] virtual WalSinkStats stats() const = 0;
+};
+
+}  // namespace fhg::engine

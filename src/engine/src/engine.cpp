@@ -82,6 +82,9 @@ api::Status Engine::try_create_instance(std::string name, graph::Graph g, Instan
     *created = std::move(instance);
   }
   telemetry_.instances_created.increment();
+  if (WalSink* sink = wal_sink()) {
+    sink->on_lifecycle();  // fold the new fleet shape into durable state
+  }
   return api::Status::good();
 }
 
@@ -102,6 +105,9 @@ api::Status Engine::erase_instance(std::string_view name) {
                               "no instance named '" + std::string(name) + "'");
   }
   telemetry_.instances_erased.increment();
+  if (WalSink* sink = wal_sink()) {
+    sink->on_lifecycle();  // log segments must never outlive their tenants
+  }
   return api::Status::good();
 }
 
@@ -129,9 +135,31 @@ FairnessAudit Engine::audit(std::string_view instance) { return require(instance
 MutationResult Engine::apply_mutations(std::string_view instance,
                                        std::span<const dynamic::MutationCommand> commands) {
   const auto start = std::chrono::steady_clock::now();
-  const MutationResult result = require(instance)->apply_mutations(commands);
+  const MutationResult result = require(instance)->apply_mutations(commands, wal_sink());
   if (result.applied > 0) {
     registry_.note_mutation();  // stale snapshots must be republished
+  }
+  telemetry_.mutation_batches.increment();
+  telemetry_.mutation_commands.add(commands.size());
+  telemetry_.recolors.add(result.recolors);
+  if (result.bulk) {
+    telemetry_.bulk_batches.increment();
+    telemetry_.parallel_rounds.add(result.jp_rounds);
+    telemetry_.coloring_conflicts.add(result.jp_conflicts);
+  } else {
+    telemetry_.inplace_batches.increment();
+  }
+  telemetry_.mutation_us.record(elapsed_us(start));
+  return result;
+}
+
+MutationResult Engine::wal_replay_batch(std::string_view instance,
+                                        std::span<const dynamic::MutationCommand> commands,
+                                        dynamic::BatchRecord record) {
+  const auto start = std::chrono::steady_clock::now();
+  const MutationResult result = require(instance)->wal_replay_batch(commands, record);
+  if (result.applied > 0) {
+    registry_.note_mutation();
   }
   telemetry_.mutation_batches.increment();
   telemetry_.mutation_commands.add(commands.size());

@@ -6,6 +6,7 @@
 
 #include "fhg/analysis/fairness.hpp"
 #include "fhg/dynamic/adapter.hpp"
+#include "fhg/engine/wal_sink.hpp"
 
 namespace fhg::engine {
 
@@ -80,7 +81,8 @@ void Instance::republish_table_locked() {
   table_version_.fetch_add(1, std::memory_order_acq_rel);
 }
 
-MutationResult Instance::apply_mutations(std::span<const dynamic::MutationCommand> commands) {
+MutationResult Instance::apply_mutations(std::span<const dynamic::MutationCommand> commands,
+                                         WalSink* wal) {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (!adapter_) {
     throw std::logic_error("Instance '" + name_ +
@@ -90,6 +92,44 @@ MutationResult Instance::apply_mutations(std::span<const dynamic::MutationComman
   MutationResult result;
   const std::size_t recolors_before = adapter_->scheduler().history().size();
   const dynamic::BatchResult batch = adapter_->apply_batch(commands);
+  result.applied = batch.applied;
+  result.bulk = batch.bulk;
+  result.jp_rounds = batch.jp.rounds;
+  result.jp_conflicts = batch.jp.conflicts;
+  result.recolors = adapter_->scheduler().history().size() - recolors_before;
+  if (result.applied > 0) {
+    if (wal != nullptr) {
+      // Durable before visible: persist the batch exactly as the adapter
+      // logged it (holiday-stamped, routing recorded) before any reader can
+      // see the new table.  A throwing sink propagates with the table still
+      // at the pre-batch version.
+      const std::vector<dynamic::MutationCommand>& log = adapter_->mutation_log();
+      const std::vector<dynamic::BatchRecord>& records = adapter_->batch_records();
+      WalCommit commit;
+      commit.instance = name_;
+      commit.commands = std::span<const dynamic::MutationCommand>(log).last(result.applied);
+      commit.record = records.back();
+      commit.batch_index = records.size() - 1;
+      commit.holiday = scheduler_->current_holiday();
+      wal->on_commit(commit);
+    }
+    republish_table_locked();
+  }
+  result.table_version = table_version_.load(std::memory_order_acquire);
+  return result;
+}
+
+MutationResult Instance::wal_replay_batch(std::span<const dynamic::MutationCommand> commands,
+                                          dynamic::BatchRecord record) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!adapter_) {
+    throw std::logic_error("Instance '" + name_ +
+                           "': wal_replay_batch on a non-dynamic instance (kind " +
+                           scheduler_kind_name(spec_.kind) + ")");
+  }
+  MutationResult result;
+  const std::size_t recolors_before = adapter_->scheduler().history().size();
+  const dynamic::BatchResult batch = adapter_->replay_batch(commands, record);
   result.applied = batch.applied;
   result.bulk = batch.bulk;
   result.jp_rounds = batch.jp.rounds;
@@ -108,6 +148,14 @@ std::vector<dynamic::MutationCommand> Instance::mutation_log() const {
     return {};
   }
   return adapter_->mutation_log();
+}
+
+std::uint64_t Instance::batch_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!adapter_) {
+    return 0;
+  }
+  return adapter_->batch_records().size();
 }
 
 Instance::PersistedState Instance::persisted_state() const {

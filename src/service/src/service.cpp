@@ -468,6 +468,28 @@ void Service::serve_admin(Request& request, ShardMetrics& local) {
     } catch (const std::exception& e) {
       response = api::Response::error(api::StatusCode::kInternal, e.what());
     }
+  } else if (std::holds_alternative<api::RecoverInfoRequest>(request.body)) {
+    api::RecoverInfoResponse info;
+    if (const engine::WalSink* sink = engine_.wal_sink()) {
+      const engine::WalSinkStats stats = sink->stats();
+      info.wal_enabled = true;
+      info.last_durable_holiday = stats.last_durable_holiday;
+      info.wal_bytes = stats.wal_bytes;
+      info.segments = stats.segments;
+      info.appends = stats.appends;
+      info.fsyncs = stats.fsyncs;
+      info.compactions = stats.compactions;
+      info.replayed_batches = stats.replayed_batches;
+      info.replayed_commands = stats.replayed_commands;
+      info.skipped_batches = stats.skipped_batches;
+      info.torn_bytes = stats.torn_bytes;
+    }
+    // Served with or without a WAL: the applied-batch count is the sequence
+    // point a deterministic mutation driver resumes from after a crash.
+    for (const auto& instance : engine_.registry().all_sorted()) {
+      info.durable_batches += instance->batch_count();
+    }
+    response.payload = info;
   } else {
     const auto& restore = std::get<api::RestoreRequest>(request.body);
     try {

@@ -64,6 +64,7 @@ std::vector<fa::Request> all_request_kinds() {
       fa::SnapshotRequest{},
       fa::RestoreRequest{{0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x42}},
       fa::GetStatsRequest{.include_histograms = false, .include_traces = true},
+      fa::RecoverInfoRequest{},
   };
 }
 
@@ -116,6 +117,18 @@ std::vector<fa::Response> all_response_kinds() {
                                                .serve_us = 90,
                                                .total_us = 102});
   responses.push_back(success(std::move(stats)));
+  responses.push_back(success(fa::RecoverInfoResponse{.wal_enabled = true,
+                                                      .last_durable_holiday = 4096,
+                                                      .wal_bytes = 8192,
+                                                      .segments = 4,
+                                                      .appends = 17,
+                                                      .fsyncs = 17,
+                                                      .compactions = 2,
+                                                      .replayed_batches = 5,
+                                                      .replayed_commands = 40,
+                                                      .skipped_batches = 1,
+                                                      .torn_bytes = 13,
+                                                      .durable_batches = 23}));
   responses.push_back(fa::Response::error(fa::StatusCode::kNotFound, "no instance named 'x'"));
   responses.push_back(fa::Response::error(fa::StatusCode::kQueueFull,
                                           "the owning shard's queue is at capacity"));
@@ -151,6 +164,7 @@ TEST(ApiProtocol, KindNamesAndRoutingInstance) {
   EXPECT_EQ(fa::request_kind_name(0), "is-happy");
   EXPECT_EQ(fa::request_kind_name(7), "restore");
   EXPECT_EQ(fa::request_kind_name(8), "get-stats");
+  EXPECT_EQ(fa::request_kind_name(9), "recover-info");
   EXPECT_EQ(fa::request_kind_name(99), "unknown");
   // Instance-addressed kinds route by name; tenancy-wide kinds route empty.
   EXPECT_EQ(fa::routing_instance(requests[0]), "acme");
@@ -160,6 +174,7 @@ TEST(ApiProtocol, KindNamesAndRoutingInstance) {
   EXPECT_EQ(fa::routing_instance(requests[6]), "");
   EXPECT_EQ(fa::routing_instance(requests[7]), "");
   EXPECT_EQ(fa::routing_instance(requests[8]), "");
+  EXPECT_EQ(fa::routing_instance(requests[9]), "");
 }
 
 // --------------------------------------------------------- round trips -----

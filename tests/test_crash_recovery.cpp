@@ -1,0 +1,393 @@
+// The crash matrix: a real `fhg_serve` process, killed with SIGKILL at
+// seeded points during a mutation storm over a 128k-node fleet, restarted
+// from its WAL directory, and required to end the storm in a state
+// byte-identical to an uninterrupted in-process run of the same stream.
+//
+// The driver resumes after each kill from `RecoverInfo.durable_batches`:
+// a kill that lands while a batch is in flight leaves the driver unable to
+// know whether the append became durable before the ack was lost, and the
+// recovery handshake — not guesswork — resolves that ambiguity.  That makes
+// this the end-to-end proof of the durable-before-visible contract across
+// process boundaries; the byte-exact torn-tail and corruption properties
+// live in test_wal.cpp where they can run in-process.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fhg/api/client.hpp"
+#include "fhg/api/socket.hpp"
+#include "fhg/dynamic/mutation.hpp"
+#include "fhg/engine/engine.hpp"
+#include "fhg/graph/graph.hpp"
+#include "fhg/workload/scenario.hpp"
+
+namespace fa = fhg::api;
+namespace fdy = fhg::dynamic;
+namespace fe = fhg::engine;
+namespace fg = fhg::graph;
+namespace fw = fhg::workload;
+
+namespace {
+
+namespace stdfs = std::filesystem;
+
+// The storm: a 131072-node tenancy (128 dynamic tenants x 1024 nodes) hit
+// with 512 mutation commands in 128 batches of 4.  `seed` and `horizon` ride
+// in the spec string so the server (which would otherwise derive them from
+// its own flags) builds the exact fleet the in-process reference builds.
+constexpr const char* kSpec =
+    "power-law:fleet=128,nodes=1024,aperiodic=0,dynamic=1,seed=7,horizon=8";
+constexpr std::uint64_t kSteps = 8;
+constexpr std::size_t kBatches = 128;
+constexpr std::size_t kCommandsPerBatch = 4;
+
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl = (stdfs::temp_directory_path() / "fhg-crash-XXXXXX").string();
+    std::vector<char> buffer(tmpl.begin(), tmpl.end());
+    buffer.push_back('\0');
+    if (::mkdtemp(buffer.data()) == nullptr) {
+      throw std::runtime_error("mkdtemp failed for " + tmpl);
+    }
+    path_ = buffer.data();
+  }
+  ~TempDir() {
+    std::error_code ec;
+    stdfs::remove_all(path_, ec);
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] std::string sub(const std::string& name) const {
+    return (stdfs::path(path_) / name).string();
+  }
+
+ private:
+  std::string path_;
+};
+
+/// One `fhg_serve serve` child process bound to ephemeral ports, publishing
+/// them through a --port-file the harness polls.
+class ServerProcess {
+ public:
+  ServerProcess(const std::string& wal_dir, const std::string& port_file) {
+    std::error_code ec;
+    stdfs::remove(port_file, ec);  // never read a previous run's ports
+    pid_ = ::fork();
+    if (pid_ < 0) {
+      throw std::runtime_error("fork failed");
+    }
+    if (pid_ == 0) {
+      // Quiet child: the harness talks to it over the protocol, not stdout.
+      const int null_fd = ::open("/dev/null", O_WRONLY);
+      if (null_fd >= 0) {
+        ::dup2(null_fd, STDOUT_FILENO);
+        ::close(null_fd);
+      }
+      ::execl(FHG_SERVE_PATH, FHG_SERVE_PATH, "serve", "--port", "0", "--port-file",
+              port_file.c_str(), "--stats-port", "0", "--workload", kSpec, "--steps", "8",
+              "--shards", "4", "--threads", "2", "--wal-dir", wal_dir.c_str(), "--wal-fsync",
+              "1", static_cast<char*>(nullptr));
+      ::_exit(127);  // exec failed
+    }
+    // The fleet build (fresh start) can take a while, recovery less so; the
+    // deadline covers sanitizer builds of the 128k-node populate.
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::minutes(3);
+    while (std::chrono::steady_clock::now() < deadline) {
+      std::ifstream in(port_file);
+      if (in >> port_ && port_ != 0) {
+        in >> stats_port_;
+        return;
+      }
+      int status = 0;
+      if (::waitpid(pid_, &status, WNOHANG) == pid_) {
+        pid_ = -1;
+        throw std::runtime_error("fhg_serve exited before binding");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    kill9();
+    throw std::runtime_error("fhg_serve never published its port");
+  }
+
+  ~ServerProcess() {
+    if (pid_ > 0) {
+      kill9();
+    }
+  }
+  ServerProcess(const ServerProcess&) = delete;
+  ServerProcess& operator=(const ServerProcess&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] std::uint16_t stats_port() const noexcept { return stats_port_; }
+
+  /// The crash under test: no signal handler runs, no destructor flushes.
+  void kill9() {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      int status = 0;
+      ::waitpid(pid_, &status, 0);
+      pid_ = -1;
+    }
+  }
+
+  /// Graceful shutdown (SIGTERM + reap) for the final, healthy server.
+  void terminate() {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGTERM);
+      int status = 0;
+      ::waitpid(pid_, &status, 0);
+      pid_ = -1;
+    }
+  }
+
+ private:
+  pid_t pid_ = -1;
+  std::uint16_t port_ = 0;
+  std::uint16_t stats_port_ = 0;
+};
+
+/// Minimal HTTP GET for the server's /metrics exposition endpoint.
+std::string http_get(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error("socket failed");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("connect to stats port failed");
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n";
+  if (::write(fd, request.data(), request.size()) < 0) {
+    ::close(fd);
+    throw std::runtime_error("stats request write failed");
+  }
+  std::string body;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n <= 0) {
+      break;
+    }
+    body.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return body;
+}
+
+fw::ScenarioSpec storm_spec() {
+  auto spec = fw::parse_scenario(kSpec);
+  if (!spec) {
+    throw std::runtime_error("bad storm spec");
+  }
+  return *spec;
+}
+
+/// The uninterrupted twin of the served fleet: same generator, same steps.
+std::unique_ptr<fe::Engine> build_reference() {
+  auto engine = std::make_unique<fe::Engine>(fe::EngineOptions{.shards = 4, .threads = 2});
+  const fw::ScenarioGenerator generator(storm_spec());
+  generator.populate(*engine);
+  (void)engine->step_all(kSteps);
+  return engine;
+}
+
+struct Tenant {
+  std::string name;
+  fg::NodeId nodes = 0;
+};
+
+/// The dynamic tenants of the fleet, in registry (sorted) order — the same
+/// on the server and the reference because both built the same fleet.
+std::vector<Tenant> dynamic_tenants(fe::Engine& engine) {
+  std::vector<Tenant> tenants;
+  for (const auto& instance : engine.registry().all_sorted()) {
+    if (instance->spec().kind == fe::SchedulerKind::kDynamicPrefixCode) {
+      tenants.push_back({instance->name(), instance->num_nodes()});
+    }
+  }
+  return tenants;
+}
+
+/// The deterministic storm: batch `b` targets one tenant with
+/// `kCommandsPerBatch` commands derived from a splitmix-style stream.  Both
+/// the driver and the reference draw from this, so the streams are equal by
+/// construction.
+std::vector<fdy::MutationCommand> storm_batch(const std::vector<Tenant>& tenants,
+                                              std::size_t batch, std::string& tenant_out) {
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL * (batch + 1);
+  const auto next = [&state]() {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  const Tenant& tenant = tenants[next() % tenants.size()];
+  tenant_out = tenant.name;
+  std::vector<fdy::MutationCommand> commands;
+  commands.reserve(kCommandsPerBatch);
+  // The engine logs only commands that change topology and counts only
+  // batches that logged something; opening with add_node (always a change)
+  // guarantees every sent batch advances `durable_batches` by exactly one,
+  // which is what lets the driver equate its send count with the server's
+  // durable count.
+  commands.push_back(fdy::add_node_command());
+  for (std::size_t c = 1; c < kCommandsPerBatch; ++c) {
+    const std::uint64_t kind = next() % 8;
+    if (kind == 0) {
+      commands.push_back(fdy::add_node_command());
+      continue;
+    }
+    // Endpoints only ever address the tenant's original nodes, so commands
+    // stay valid no matter how many add_node commands preceded them.
+    const auto u = static_cast<fg::NodeId>(next() % tenant.nodes);
+    auto v = static_cast<fg::NodeId>(next() % (tenant.nodes - 1));
+    if (v >= u) {
+      ++v;  // distinct endpoints: self-loops are rejected by the adapter
+    }
+    commands.push_back(kind < 6 ? fdy::insert_edge_command(u, v)
+                                : fdy::erase_edge_command(u, v));
+  }
+  return commands;
+}
+
+std::unique_ptr<fa::Client> connect(std::uint16_t port) {
+  return std::make_unique<fa::Client>(
+      std::make_unique<fa::SocketTransport>("127.0.0.1", port));
+}
+
+}  // namespace
+
+TEST(CrashRecovery, KillNineMatrixRecoversToTheUninterruptedState) {
+  // Seeded kill points: the server dies by SIGKILL while batch `k` is in
+  // flight — early in the storm, mid-storm twice in a row (recovery of a
+  // recovery), and late.
+  const std::vector<std::size_t> kill_points = {9, 47, 53, 101};
+
+  TempDir scratch;
+  const std::string wal_dir = scratch.sub("wal");
+  stdfs::create_directory(wal_dir);
+
+  // The uninterrupted twin applies every batch exactly once, in order.
+  auto reference = build_reference();
+  const std::vector<Tenant> tenants = dynamic_tenants(*reference);
+  ASSERT_EQ(tenants.size(), 128u) << "dynamic=1 must make the whole fleet dynamic";
+  std::uint64_t total_nodes = 0;
+  for (const Tenant& tenant : tenants) {
+    total_nodes += tenant.nodes;
+  }
+  EXPECT_GE(total_nodes, 128u * 1024u) << "the storm must cover a 128k-node tenancy";
+  for (std::size_t b = 0; b < kBatches; ++b) {
+    std::string tenant;
+    const std::vector<fdy::MutationCommand> commands = storm_batch(tenants, b, tenant);
+    (void)reference->apply_mutations(tenant, commands);
+  }
+  const std::vector<std::uint8_t> expected = reference->snapshot();
+
+  std::size_t durable = 0;  // batches known applied on the serving side
+  std::uint64_t previous_port = 0;
+  for (std::size_t round = 0; round <= kill_points.size(); ++round) {
+    ServerProcess server(wal_dir, scratch.sub("ports." + std::to_string(round)));
+    auto client = connect(server.port());
+
+    // The recovery handshake: the server tells the driver where the durable
+    // prefix of the stream ends, resolving any batch whose ack the previous
+    // kill swallowed.
+    const auto info = client->recover_info();
+    ASSERT_TRUE(info.ok()) << info.status.detail;
+    ASSERT_TRUE(info.value.wal_enabled);
+    ASSERT_GE(info.value.durable_batches, durable)
+        << "recovery lost batches the driver saw acked";
+    ASSERT_LE(info.value.durable_batches, durable + 1)
+        << "recovery invented batches the driver never sent";
+    durable = info.value.durable_batches;
+
+    if (round < kill_points.size()) {
+      const std::size_t kill_at = kill_points[round];
+      ASSERT_LT(durable, kill_at) << "kill points must be increasing";
+      while (durable < kill_at) {
+        std::string tenant;
+        const auto commands = storm_batch(tenants, durable, tenant);
+        const auto ack = client->apply_mutations(tenant, commands);
+        ASSERT_TRUE(ack.ok()) << "batch " << durable << ": " << ack.status.detail;
+        ++durable;
+      }
+      // The ambiguous kill: SIGKILL races the in-flight batch `kill_at`.
+      // Whether its append became durable is exactly what the next round's
+      // handshake must answer.
+      std::thread killer([&server] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        server.kill9();
+      });
+      std::string tenant;
+      const auto commands = storm_batch(tenants, durable, tenant);
+      (void)client->apply_mutations(tenant, commands);  // outcome unknowable
+      killer.join();
+      previous_port = server.port();
+      continue;
+    }
+
+    // Final round: no more kills.  Finish the storm and compare states.
+    ASSERT_NE(previous_port, 0u);
+    EXPECT_NE(server.port(), previous_port)
+        << "ephemeral rebinding should move the port across restarts (flaky "
+           "only if the kernel handed the same port back)";
+    while (durable < kBatches) {
+      std::string tenant;
+      const auto commands = storm_batch(tenants, durable, tenant);
+      const auto ack = client->apply_mutations(tenant, commands);
+      ASSERT_TRUE(ack.ok()) << "batch " << durable << ": " << ack.status.detail;
+      ++durable;
+    }
+    const auto recovered = client->snapshot();
+    ASSERT_TRUE(recovered.ok()) << recovered.status.detail;
+    EXPECT_EQ(recovered.value, expected)
+        << "recovered state diverged from the uninterrupted run";
+
+    // Satellite: accept errors are attributed per listener.  The final
+    // server's /metrics must carry the counter labeled with *its* bound
+    // port — not the dead predecessor's, and not an unlabeled global.
+    const std::string metrics = http_get(server.stats_port(), "/metrics");
+    EXPECT_NE(metrics.find("fhg_socket_accept_errors_total{port=\"" +
+                           std::to_string(server.port()) + "\"}"),
+              std::string::npos)
+        << "per-port accept-error counter missing from /metrics";
+    EXPECT_EQ(metrics.find("fhg_socket_accept_errors_total{port=\"" +
+                           std::to_string(previous_port) + "\"}"),
+              std::string::npos)
+        << "a fresh process must not resurrect the killed listener's counter";
+
+    const auto final_info = client->recover_info();
+    ASSERT_TRUE(final_info.ok());
+    EXPECT_EQ(final_info.value.durable_batches, kBatches);
+    EXPECT_GT(final_info.value.replayed_batches, 0u)
+        << "at least one restart must have replayed WAL records";
+    client.reset();
+    server.terminate();
+  }
+}
