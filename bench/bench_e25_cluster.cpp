@@ -1,0 +1,202 @@
+// E25 — cluster scale-out: aggregate snapshot-read QPS through the
+// `fhg::cluster` router over three single-shard backends vs the same router
+// over one (google-benchmark; emits machine-readable JSON for the CI perf
+// gate).
+//
+// The workload is `SnapshotInstance` reads round-robined over a pre-built
+// fleet: each request makes the owning backend serialize a whole instance
+// (graph + schedule + coloring), which is exactly the work profile where a
+// router in front of N processes should multiply capacity — backend CPU
+// dominates, the router only frames and forwards.  Both series run the
+// *same* client count through the *same* router code path, so the measured
+// ratio isolates backend capacity:
+//
+//   single-1/snapshot — router → 1 backend (service-shards=1).  The
+//                       backend's one service FIFO is the bottleneck; this
+//                       is one process's snapshot-serving capacity.
+//   router-3/snapshot — router → 3 such backends.  The consistent-hash ring
+//                       spreads the fleet, so the three FIFOs drain in
+//                       parallel.
+//
+// router-3 additionally publishes per-backend `backend_qps_*` user counters
+// (from the router's own fhg_cluster_requests_total{backend=...} registry).
+// The CI gate sums them with check_bench.py --sum-counters into an
+// `aggregate-3` synthetic series and requires it >= 1.7x the single-backend
+// series — the scale-out acceptance from the cluster PR.  On a single-core
+// runner the ratio degrades to ~1x (three FIFOs time-slicing one core);
+// the gate belongs on multi-core CI, which is where it runs.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fhg/api/client.hpp"
+#include "fhg/api/protocol.hpp"
+#include "fhg/api/socket.hpp"
+#include "fhg/cluster/router.hpp"
+#include "fhg/engine/engine.hpp"
+#include "fhg/obs/registry.hpp"
+#include "fhg/service/service.hpp"
+#include "fhg/workload/scenario.hpp"
+
+namespace {
+
+using namespace fhg;
+
+constexpr std::size_t kFleet = 8;       ///< instances (spread over the ring)
+constexpr std::size_t kNodes = 1024;    ///< per-instance graph size
+constexpr std::size_t kClients = 4;     ///< concurrent client connections
+constexpr std::size_t kPerClient = 64;  ///< snapshot reads per client per iteration
+
+workload::ScenarioSpec fleet_spec() {
+  workload::ScenarioSpec spec;
+  spec.family = workload::GraphFamily::kPowerLaw;
+  spec.fleet = kFleet;
+  spec.nodes = kNodes;
+  spec.seed = 7;
+  spec.horizon = 256;
+  spec.aperiodic = 0.2;
+  return spec;
+}
+
+/// One backend process stand-in: engine + single-shard service + TCP server.
+/// One service shard per backend is the honest per-process capacity model —
+/// scale-out must come from *more backends*, not more shards.
+struct Backend {
+  std::unique_ptr<engine::Engine> engine;
+  std::unique_ptr<service::Service> service;
+  std::unique_ptr<api::SocketServer> server;
+
+  explicit Backend(const std::string& backend_id) {
+    engine = std::make_unique<engine::Engine>(engine::EngineOptions{.shards = 8, .threads = 0});
+    workload::ScenarioGenerator(fleet_spec()).populate(*engine);
+    service = std::make_unique<service::Service>(
+        *engine, service::ServiceOptions{.shards = 1, .backend_id = backend_id});
+    server = std::make_unique<api::SocketServer>(*service, api::SocketServerOptions{});
+  }
+};
+
+/// A router over `n` freshly built backends, fronted by its own TCP server
+/// (clients pay the same two hops in both series).
+struct ClusterUnderTest {
+  std::vector<std::unique_ptr<Backend>> backends;
+  std::unique_ptr<cluster::Router> router;
+  std::unique_ptr<api::SocketServer> front;
+
+  explicit ClusterUnderTest(std::size_t n) {
+    cluster::RouterOptions options;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::string name = std::string("b") + std::to_string(i);
+      backends.push_back(std::make_unique<Backend>(name));
+      options.backends.push_back(
+          cluster::BackendConfig{name, "127.0.0.1", backends.back()->server->port()});
+    }
+    options.workers = 2 * n;
+    options.probe_interval = std::chrono::milliseconds(0);  // no prober noise
+    router = std::make_unique<cluster::Router>(std::move(options));
+    front = std::make_unique<api::SocketServer>(*router, api::SocketServerOptions{});
+  }
+
+  ~ClusterUnderTest() {
+    front->stop();
+    router->stop();
+    for (auto& backend : backends) {
+      backend->server->stop();
+    }
+  }
+
+  [[nodiscard]] std::uint64_t requests_on(const std::string& backend) const {
+    const std::string name = "fhg_cluster_requests_total{backend=\"" + backend + "\"}";
+    for (const obs::MetricSample& sample : router->metrics().snapshot()) {
+      if (sample.name == name) {
+        return static_cast<std::uint64_t>(sample.value);
+      }
+    }
+    return 0;
+  }
+};
+
+/// `kClients` threads, each snapshot-reading the fleet round-robin through
+/// its own connection to the router.  Returns total requests served.
+std::uint64_t storm(benchmark::State& state, const ClusterUnderTest& cluster) {
+  std::vector<std::thread> clients;
+  std::vector<std::uint64_t> failures(kClients, 0);
+  clients.reserve(kClients);
+  const workload::ScenarioGenerator generator(fleet_spec());
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      api::Client client(std::make_unique<api::SocketTransport>(cluster.front->host(),
+                                                                cluster.front->port()));
+      for (std::size_t i = 0; i < kPerClient; ++i) {
+        const auto snapshot =
+            client.snapshot_instance(generator.tenant_name((c + i) % kFleet));
+        if (!snapshot.ok() || snapshot.value.empty()) {
+          ++failures[c];
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) {
+    client.join();
+  }
+  for (const std::uint64_t failed : failures) {
+    if (failed != 0) {
+      state.SkipWithError("snapshot read failed on a healthy cluster");
+      break;
+    }
+  }
+  return kClients * kPerClient;
+}
+
+void BM_Cluster(benchmark::State& state, std::size_t backends) {
+  const ClusterUnderTest cluster(backends);
+  std::vector<std::uint64_t> served_before(backends);
+  for (std::size_t b = 0; b < backends; ++b) {
+    served_before[b] = cluster.requests_on(std::string("b") + std::to_string(b));
+  }
+  std::uint64_t total = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    total += storm(state, cluster);
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  state.SetItemsProcessed(static_cast<std::int64_t>(total));
+  if (backends > 1 && elapsed_s > 0.0) {
+    // Per-backend QPS from the router's own registry: the CI gate sums
+    // these (check_bench.py --sum-counters) into the aggregate series.
+    for (std::size_t b = 0; b < backends; ++b) {
+      const std::string name = std::string("b") + std::to_string(b);
+      const double served =
+          static_cast<double>(cluster.requests_on(name) - served_before[b]);
+      state.counters["backend_qps_" + name] = benchmark::Counter(served / elapsed_s);
+    }
+  }
+}
+
+void register_all() {
+  benchmark::RegisterBenchmark("single-1/snapshot", [](benchmark::State& s) {
+    BM_Cluster(s, 1);
+  })->UseRealTime();
+  benchmark::RegisterBenchmark("router-3/snapshot", [](benchmark::State& s) {
+    BM_Cluster(s, 3);
+  })->UseRealTime();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -75,6 +75,7 @@
 #include <cerrno>
 #include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <cstdlib>
 #include <ctime>
 #include <fstream>
@@ -112,10 +113,10 @@ using Clock = std::chrono::steady_clock;
             << "                          [--duration SECS] [--seed S]\n"
             << "                          [--stats-port P] [--stats-interval SECS]\n"
             << "                          [--wal-dir PATH] [--wal-fsync N]\n"
-            << "                          [--wal-compact-every N]\n"
+            << "                          [--wal-compact-every N] [--backend-id NAME]\n"
             << "       fhg_serve load     --connect HOST:PORT [--workload SPEC | --fleet N]\n"
             << "                          [--requests N] [--clients N] [--round R] [--seed S]\n"
-            << "                          [--idle-connections N] [--openers N]\n"
+            << "                          [--idle-connections N] [--openers N] [--retry N]\n"
             << "       fhg_serve loopback [--workload SPEC | --fleet N] [--steps N]\n"
             << "                          [--requests N] [--clients N] [--service-shards N]\n"
             << "                          [--seed S]\n"
@@ -230,9 +231,12 @@ void print_tally(const std::string& label, const LoadTally& tally, double elapse
 
 /// Multi-threaded load over a transport factory: `clients` threads, each
 /// with its own client and stream round.  Returns the merged tally.
+/// `retry` (default off) is handed to every client — driving a cluster
+/// router during a backend kill wants the bounded reconnect-retry loop.
 template <typename MakeTransport>
 LoadTally fan_out(const workload::ScenarioGenerator& generator, std::uint64_t requests,
-                  std::size_t clients, std::uint64_t base_round, MakeTransport make_transport) {
+                  std::size_t clients, std::uint64_t base_round, MakeTransport make_transport,
+                  api::RetryPolicy retry = {}) {
   const std::uint64_t total = std::max<std::uint64_t>(requests, clients);
   const std::uint64_t per_client = total / clients;
   std::vector<LoadTally> tallies(clients);
@@ -246,6 +250,7 @@ LoadTally fan_out(const workload::ScenarioGenerator& generator, std::uint64_t re
           generator.request_stream(static_cast<std::size_t>(share), base_round + c);
       try {
         api::Client client(make_transport());
+        client.set_retry_policy(retry);
         tallies[c] = drive(client, stream);
       } catch (const std::exception& e) {
         // e.g. the connection could not be established: the whole share
@@ -341,7 +346,8 @@ int run_serve(std::map<std::string, std::string> options) {
 
   service::Service service(
       *engine,
-      {.shards = static_cast<std::size_t>(uint_option(options, "service-shards", 4))});
+      {.shards = static_cast<std::size_t>(uint_option(options, "service-shards", 4)),
+       .backend_id = options.count("backend-id") ? options["backend-id"] : ""});
   api::SocketServerOptions socket_options;
   if (options.count("host")) {
     socket_options.host = options["host"];
@@ -371,11 +377,21 @@ int run_serve(std::map<std::string, std::string> options) {
   // Published only once every listener is bound: line 1 is the protocol
   // port, line 2 (when --stats-port was given) the metrics port — scripts
   // read the file instead of racing the listeners or parsing stdout.
+  // Written to a temp file and renamed into place: rename(2) is atomic, so
+  // a polling reader sees either no file or a complete one, never a torn
+  // write (a cluster harness polls one file per backend concurrently).
   if (options.count("port-file")) {
-    std::ofstream out(options["port-file"]);
-    out << server.port() << "\n";
-    if (stats_server) {
-      out << stats_server->port() << "\n";
+    const std::string path = options["port-file"];
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream out(tmp);
+      out << server.port() << "\n";
+      if (stats_server) {
+        out << stats_server->port() << "\n";
+      }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::cerr << "fhg_serve: cannot publish port file " << path << "\n";
     }
   }
 
@@ -549,10 +565,15 @@ int run_load(std::map<std::string, std::string> options) {
               << seconds_since(idle_start) << "s (" << idle.failed() << " failures)\n";
   }
 
+  // --retry N arms each client's bounded reconnect-retry loop (idempotent
+  // kinds only): the knob that lets a load run ride out a backend kill when
+  // the target is a cluster router.
+  api::RetryPolicy retry;
+  retry.max_retries = static_cast<std::size_t>(uint_option(options, "retry", 0));
   const auto start = Clock::now();
-  const LoadTally tally = fan_out(generator, requests, clients, base_round, [&] {
-    return std::make_unique<api::SocketTransport>(host, port);
-  });
+  const LoadTally tally = fan_out(
+      generator, requests, clients, base_round,
+      [&] { return std::make_unique<api::SocketTransport>(host, port); }, retry);
   print_tally("load (" + std::to_string(clients) + " connections to " + target + ")", tally,
               seconds_since(start));
 

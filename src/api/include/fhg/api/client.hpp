@@ -23,6 +23,7 @@
 ///
 /// Not thread-safe: use one client (with its own transport) per thread.
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -47,6 +48,21 @@ struct Result {
 
   /// True iff the call succeeded and `value` is meaningful.
   [[nodiscard]] bool ok() const noexcept { return status.ok(); }
+};
+
+/// Bounded reconnect-with-backoff, applied by `Client::call` after a
+/// *transport* failure (connection reset, peer gone) or a typed `kStopped`
+/// (the server is draining — after a restart a fresh connection reaches the
+/// new listener).  Off by default (`max_retries == 0`) so existing callers
+/// keep their fail-fast semantics; the cluster router and `fhg_serve load
+/// --retry` opt in.  Only idempotent request kinds are retried unless
+/// `retry_non_idempotent` is set — an ambiguous failure mid-mutation must
+/// not apply the batch twice (see `request_is_idempotent`).
+struct RetryPolicy {
+  std::size_t max_retries = 0;                  ///< extra attempts after the first (0 = off)
+  std::chrono::milliseconds initial_backoff{5};  ///< sleep before the first retry
+  std::chrono::milliseconds max_backoff{500};    ///< backoff doubles up to this cap
+  bool retry_non_idempotent = false;             ///< opt mutations into retries too
 };
 
 /// The typed request/response client over an owned transport.
@@ -80,6 +96,18 @@ class Client {
 
   /// The base added to request ids when minting trace ids.
   [[nodiscard]] std::uint64_t trace_base() const noexcept { return trace_base_; }
+
+  /// Installs a reconnect-retry policy (see `RetryPolicy`; default off).
+  void set_retry_policy(RetryPolicy policy) noexcept { retry_ = policy; }
+
+  /// The active reconnect-retry policy.
+  [[nodiscard]] const RetryPolicy& retry_policy() const noexcept { return retry_; }
+
+  /// Transport roundtrips that failed and were retried under the policy.
+  [[nodiscard]] std::uint64_t retries() const noexcept { return retries_; }
+
+  /// `Transport::reconnect` calls the retry policy issued.
+  [[nodiscard]] std::uint64_t reconnects() const noexcept { return reconnects_; }
 
   // -- Typed convenience wrappers (one per request kind) ----------------------
 
@@ -123,7 +151,30 @@ class Client {
   /// count either way.
   [[nodiscard]] Result<RecoverInfoResponse> recover_info();
 
+  /// Identity handshake (protocol v2): who is on the other end, and what
+  /// protocol versions it speaks.
+  [[nodiscard]] Result<HelloResponse> hello();
+
+  /// Single-instance snapshot (protocol v2): the migration unit blob.
+  [[nodiscard]] Result<std::vector<std::uint8_t>> snapshot_instance(std::string instance);
+
+  /// Single-instance restore (protocol v2): adopt `bytes` as `instance`,
+  /// replacing any same-named tenant; the value reports whether one was
+  /// replaced.
+  [[nodiscard]] Result<bool> restore_instance(std::string instance,
+                                              std::vector<std::uint8_t> bytes);
+
+  /// Asks a router to drain `backend` out of its ring (protocol v2); the
+  /// value is the number of instances migrated away.  Backends answer with
+  /// a typed `kFailedPrecondition`.
+  [[nodiscard]] Result<std::uint64_t> drain_backend(std::string backend);
+
  private:
+  /// One encode → roundtrip → decode → id-check pass.  Sets
+  /// `transport_failed` iff the transport itself reported the failure (the
+  /// only failures a reconnect can cure).
+  [[nodiscard]] Response call_once(const Request& request, bool& transport_failed);
+
   /// Runs `call` and unwraps a payload of type `P` into `Result<T>` via
   /// `project` (defaults to identity for `T == P`).
   template <typename P, typename T, typename Project>
@@ -134,6 +185,9 @@ class Client {
   std::uint64_t next_id_ = 1;
   bool tracing_ = true;
   std::uint64_t trace_base_ = 0;
+  RetryPolicy retry_{};
+  std::uint64_t retries_ = 0;
+  std::uint64_t reconnects_ = 0;
 };
 
 }  // namespace fhg::api

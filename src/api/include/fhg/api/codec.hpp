@@ -50,8 +50,17 @@ inline constexpr std::uint32_t kFrameMagic = 0x46484741;
 /// Bytes before the payload: magic (4) + big-endian payload length (4).
 inline constexpr std::size_t kFrameHeaderBytes = 8;
 
-/// The protocol version this build speaks (and the only one it accepts).
-inline constexpr std::uint64_t kProtocolVersion = 1;
+/// The protocol version this build speaks by default.  Version 2 appended
+/// the cluster kinds (`Hello`, `SnapshotInstance`, `RestoreInstance`,
+/// `DrainBackend`); the version-1 surface (tags 0–9) is frozen and encodes
+/// byte-identically under both versions.
+inline constexpr std::uint64_t kProtocolVersion = 2;
+
+/// The oldest protocol version this build still decodes.  Frames claiming a
+/// version outside [`kMinSupportedVersion`, `kProtocolVersion`] are refused
+/// with a typed `kUnsupportedVersion`; a version-1 frame carrying a
+/// version-2 kind tag is refused with a typed `kDecodeError`.
+inline constexpr std::uint64_t kMinSupportedVersion = 1;
 
 /// Hard bound on one frame's payload size.  A length prefix past this is
 /// rejected before any allocation — the defense against a hostile peer
@@ -134,6 +143,13 @@ class FrameAssembler {
 
   /// Bytes buffered but not yet popped as frames.
   [[nodiscard]] std::size_t buffered() const noexcept { return buffer_.size(); }
+
+  /// Discards all buffered bytes and clears a sticky error, returning the
+  /// assembler to its freshly constructed state.  A transport that reuses
+  /// one assembler across reconnects must call this when it re-dials, so a
+  /// partial frame from the dead connection can never prefix the first
+  /// frame of the new one.
+  void reset();
 
  private:
   /// Validates the magic and length of the header at the buffer's front.

@@ -125,19 +125,75 @@ struct RecoverInfoRequest {
   friend bool operator==(const RecoverInfoRequest&, const RecoverInfoRequest&) = default;
 };
 
+// -- Protocol-version-2 kinds (cluster serving) -------------------------------
+
+/// Identity handshake (v2): who is on the other end of this connection?  A
+/// backend answers with its configured id; a router answers with its own.
+/// The router's health prober and the `fhg_router topology` subcommand use
+/// this to tell "the backend I expect" from "something else on that port".
+struct HelloRequest {
+  friend bool operator==(const HelloRequest&, const HelloRequest&) = default;
+};
+
+/// Per-instance snapshot (v2): serialize exactly one tenant into a
+/// single-instance blob of the canonical snapshot format.  This is the unit
+/// of cluster migration — a router snapshots an instance from a surviving
+/// replica and restores it into the adopting backend.  Routes through the
+/// owning shard like a query, so it serializes against that instance's
+/// mutations.
+struct SnapshotInstanceRequest {
+  std::string instance;  ///< tenant name
+
+  friend bool operator==(const SnapshotInstanceRequest&, const SnapshotInstanceRequest&) = default;
+};
+
+/// Per-instance restore (v2): adopt one tenant from a
+/// `SnapshotInstanceResponse::bytes` blob, replacing any instance of the
+/// same name.  The inverse of `SnapshotInstanceRequest`; together they move
+/// an instance between backends without touching the rest of the tenancy.
+struct RestoreInstanceRequest {
+  std::string instance;             ///< tenant name (must match the blob)
+  std::vector<std::uint8_t> bytes;  ///< a single-instance snapshot blob
+
+  friend bool operator==(const RestoreInstanceRequest&, const RestoreInstanceRequest&) = default;
+};
+
+/// Drain a backend out of a cluster (v2): migrate every instance it owns
+/// onto the rest of the ring, then remove it.  Only a router can honor this;
+/// a backend answers with a typed `kFailedPrecondition`.
+struct DrainBackendRequest {
+  std::string backend;  ///< the backend id to drain
+
+  friend bool operator==(const DrainBackendRequest&, const DrainBackendRequest&) = default;
+};
+
 /// Every way into the system.  The alternative index is the wire tag
-/// (append-only; never reorder).
+/// (append-only; never reorder).  Tags 10+ are protocol-version-2 kinds: the
+/// codec refuses to decode them out of a frame that claims version 1.
 using Request = std::variant<IsHappyRequest, NextGatheringRequest, ApplyMutationsRequest,
                              CreateInstanceRequest, EraseInstanceRequest, ListInstancesRequest,
                              SnapshotRequest, RestoreRequest, GetStatsRequest,
-                             RecoverInfoRequest>;
+                             RecoverInfoRequest, HelloRequest, SnapshotInstanceRequest,
+                             RestoreInstanceRequest, DrainBackendRequest>;
 
 /// Number of request alternatives (the decode-time tag bound).
 inline constexpr std::uint64_t kNumRequestKinds = std::variant_size_v<Request>;
 
+/// First request tag that needs protocol version 2 (`HelloRequest`).  Tags
+/// below this bound are the frozen version-1 surface.
+inline constexpr std::uint64_t kFirstV2RequestTag = 10;
+
 /// Short request kind name by wire tag ("is-happy", "next-gathering", …);
 /// "unknown" past the end.  For logs and bench labels.
 [[nodiscard]] std::string_view request_kind_name(std::size_t tag) noexcept;
+
+/// True when the request kind by wire tag is safe to send twice: reads and
+/// probes (queries, listings, snapshots, stats, hello) whose repeat is
+/// invisible.  Mutations, lifecycle and restores are excluded — a retry
+/// after an ambiguous failure could apply them twice.  This is the
+/// vocabulary both the client's reconnect-retry policy and the cluster
+/// router's failover consult; false past the end.
+[[nodiscard]] bool request_is_idempotent(std::size_t tag) noexcept;
 
 /// The instance a request addresses, or empty for the tenancy-wide kinds
 /// (`ListInstances`, `Snapshot`, `Restore`).  This is the service layer's
@@ -245,16 +301,55 @@ struct RecoverInfoResponse {
   friend bool operator==(const RecoverInfoResponse&, const RecoverInfoResponse&) = default;
 };
 
+/// Answer to `HelloRequest` (v2): who answered, and what it speaks.
+struct HelloResponse {
+  std::string backend;             ///< the responder's configured id
+  std::uint64_t min_version = 0;   ///< oldest protocol version it decodes
+  std::uint64_t max_version = 0;   ///< newest protocol version it decodes
+
+  friend bool operator==(const HelloResponse&, const HelloResponse&) = default;
+};
+
+/// Answer to `SnapshotInstanceRequest` (v2).
+struct SnapshotInstanceResponse {
+  std::vector<std::uint8_t> bytes;  ///< single-instance canonical snapshot
+
+  friend bool operator==(const SnapshotInstanceResponse&,
+                         const SnapshotInstanceResponse&) = default;
+};
+
+/// Answer to `RestoreInstanceRequest` (v2).
+struct RestoreInstanceResponse {
+  bool replaced = false;  ///< true iff an instance of that name already existed
+
+  friend bool operator==(const RestoreInstanceResponse&,
+                         const RestoreInstanceResponse&) = default;
+};
+
+/// Answer to `DrainBackendRequest` (v2, router-served).
+struct DrainBackendResponse {
+  std::uint64_t migrated = 0;  ///< instances moved off the drained backend
+
+  friend bool operator==(const DrainBackendResponse&, const DrainBackendResponse&) = default;
+};
+
 /// The payload of a `Response`: `std::monostate` on failure, otherwise the
 /// alternative matching the request kind (same order, offset by one).  The
-/// alternative index is the wire tag (append-only; never reorder).
+/// alternative index is the wire tag (append-only; never reorder).  Tags 11+
+/// are protocol-version-2 payloads: the codec refuses to decode them out of
+/// a frame that claims version 1.
 using ResponsePayload =
     std::variant<std::monostate, IsHappyResponse, NextGatheringResponse, ApplyMutationsResponse,
                  CreateInstanceResponse, EraseInstanceResponse, ListInstancesResponse,
-                 SnapshotResponse, RestoreResponse, GetStatsResponse, RecoverInfoResponse>;
+                 SnapshotResponse, RestoreResponse, GetStatsResponse, RecoverInfoResponse,
+                 HelloResponse, SnapshotInstanceResponse, RestoreInstanceResponse,
+                 DrainBackendResponse>;
 
 /// Number of response payload alternatives (the decode-time tag bound).
 inline constexpr std::uint64_t kNumResponseKinds = std::variant_size_v<ResponsePayload>;
+
+/// First response payload tag that needs protocol version 2 (`HelloResponse`).
+inline constexpr std::uint64_t kFirstV2ResponseTag = 11;
 
 /// What one served request produced: a typed status, and — iff the status is
 /// ok — the payload matching the request kind.

@@ -163,7 +163,20 @@ class SocketTransport final : public Transport {
   [[nodiscard]] Status roundtrip(std::span<const std::uint8_t> request_frame,
                                  std::vector<std::uint8_t>& response_frame) override;
 
+  /// Closes the current connection (if any) and dials `host:port` again.
+  /// The frame assembler is reset first, so a partial frame from the dead
+  /// connection can never leak into the first response of the new one.
+  /// Non-ok (`kInternal`) when the endpoint refuses; the transport is then
+  /// disconnected and a later `reconnect` may still succeed.
+  [[nodiscard]] Status reconnect() override;
+
  private:
+  /// Dials `host_:port_` into `fd_`.  Throws `std::runtime_error` on
+  /// failure (the constructor's contract); `reconnect` catches.
+  void connect_to_endpoint();
+
+  std::string host_;        ///< remembered endpoint, re-dialed by `reconnect`
+  std::uint16_t port_ = 0;  ///< remembered endpoint, re-dialed by `reconnect`
   int fd_ = -1;
   FrameAssembler assembler_;  ///< carries partial bytes across roundtrips
 };

@@ -33,6 +33,16 @@ class Transport {
   /// inside the response frame as a typed `Response::status`.
   [[nodiscard]] virtual Status roundtrip(std::span<const std::uint8_t> request_frame,
                                          std::vector<std::uint8_t>& response_frame) = 0;
+
+  /// Tears the underlying channel down and establishes a fresh one to the
+  /// same endpoint, discarding any partial response state.  The hook the
+  /// client's reconnect-retry policy calls after a failed roundtrip.  The
+  /// default says this transport has nothing to reconnect (`kInternal`);
+  /// the in-process transport cannot lose its "connection", so only
+  /// channel-backed transports override it.
+  [[nodiscard]] virtual Status reconnect() {
+    return Status::error(StatusCode::kInternal, "transport does not support reconnect");
+  }
 };
 
 /// Server-side glue shared by every transport: decodes one request frame,

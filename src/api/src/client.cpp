@@ -1,11 +1,14 @@
 #include "fhg/api/client.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 namespace fhg::api {
 
-Response Client::call(const Request& request) {
+Response Client::call_once(const Request& request, bool& transport_failed) {
+  transport_failed = false;
   const std::uint64_t id = next_id_++;
   std::vector<std::uint8_t> frame;
   try {
@@ -18,6 +21,7 @@ Response Client::call(const Request& request) {
   }
   std::vector<std::uint8_t> response_frame;
   if (Status status = transport_->roundtrip(frame, response_frame); !status.ok()) {
+    transport_failed = true;
     return Response{std::move(status), std::monostate{}};
   }
   DecodedResponse decoded;
@@ -30,6 +34,38 @@ Response Client::call(const Request& request) {
                                " does not echo request id " + std::to_string(id));
   }
   return std::move(decoded.response);
+}
+
+Response Client::call(const Request& request) {
+  bool transport_failed = false;
+  Response response = call_once(request, transport_failed);
+  if (retry_.max_retries == 0) {
+    return response;
+  }
+  if (!retry_.retry_non_idempotent && !request_is_idempotent(request.index())) {
+    return response;
+  }
+  std::chrono::milliseconds backoff = retry_.initial_backoff;
+  for (std::size_t attempt = 0; attempt < retry_.max_retries; ++attempt) {
+    // Retry only what a fresh connection can cure: a dead transport, or a
+    // server that answered "stopped" because it is draining (a restart
+    // replaces the listener, so redialing reaches the new process).  Every
+    // other verdict — including typed failures like kNotFound — is the
+    // server's real answer.
+    const bool stopped = !transport_failed && response.status.code == StatusCode::kStopped;
+    if (!transport_failed && !stopped) {
+      return response;
+    }
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, retry_.max_backoff);
+    ++retries_;
+    // Best effort: a refused dial leaves the transport disconnected and the
+    // next attempt's roundtrip fails typed, consuming one bounded attempt.
+    ++reconnects_;
+    (void)transport_->reconnect();
+    response = call_once(request, transport_failed);
+  }
+  return response;
 }
 
 template <typename P, typename T, typename Project>
@@ -106,6 +142,29 @@ Result<GetStatsResponse> Client::get_stats(GetStatsRequest options) {
 Result<RecoverInfoResponse> Client::recover_info() {
   return unwrap<RecoverInfoResponse, RecoverInfoResponse>(
       RecoverInfoRequest{}, [](RecoverInfoResponse p) { return p; });
+}
+
+Result<HelloResponse> Client::hello() {
+  return unwrap<HelloResponse, HelloResponse>(HelloRequest{},
+                                              [](HelloResponse p) { return p; });
+}
+
+Result<std::vector<std::uint8_t>> Client::snapshot_instance(std::string instance) {
+  return unwrap<SnapshotInstanceResponse, std::vector<std::uint8_t>>(
+      SnapshotInstanceRequest{std::move(instance)},
+      [](SnapshotInstanceResponse p) { return std::move(p.bytes); });
+}
+
+Result<bool> Client::restore_instance(std::string instance, std::vector<std::uint8_t> bytes) {
+  return unwrap<RestoreInstanceResponse, bool>(
+      RestoreInstanceRequest{std::move(instance), std::move(bytes)},
+      [](RestoreInstanceResponse p) { return p.replaced; });
+}
+
+Result<std::uint64_t> Client::drain_backend(std::string backend) {
+  return unwrap<DrainBackendResponse, std::uint64_t>(
+      DrainBackendRequest{std::move(backend)},
+      [](DrainBackendResponse p) { return p.migrated; });
 }
 
 }  // namespace fhg::api

@@ -373,19 +373,34 @@ void write_request_body(BitWriter& w, const Request& request) {
         } else if constexpr (std::is_same_v<R, GetStatsRequest>) {
           w.put_bit(r.include_histograms);
           w.put_bit(r.include_traces);
+        } else if constexpr (std::is_same_v<R, SnapshotInstanceRequest>) {
+          write_string(w, r.instance);
+        } else if constexpr (std::is_same_v<R, RestoreInstanceRequest>) {
+          write_string(w, r.instance);
+          write_blob(w, r.bytes);
+        } else if constexpr (std::is_same_v<R, DrainBackendRequest>) {
+          write_string(w, r.backend);
         } else {
-          // ListInstances / Snapshot / RecoverInfo carry no fields beyond
-          // the tag.
+          // ListInstances / Snapshot / RecoverInfo / Hello carry no fields
+          // beyond the tag.
           static_assert(std::is_same_v<R, ListInstancesRequest> ||
                         std::is_same_v<R, SnapshotRequest> ||
-                        std::is_same_v<R, RecoverInfoRequest>);
+                        std::is_same_v<R, RecoverInfoRequest> ||
+                        std::is_same_v<R, HelloRequest>);
         }
       },
       request);
 }
 
-Request read_request_body(BitReader& r) {
+Request read_request_body(BitReader& r, std::uint64_t version) {
   const std::uint64_t tag = r.get_uint();
+  if (tag >= kFirstV2RequestTag && version < 2) {
+    // A version-1 frame can never legitimately carry a version-2 kind: the
+    // tag space above the v1 bound simply does not exist at that version,
+    // so this is a malformed frame, not a negotiable mismatch.
+    fail("request tag " + std::to_string(tag) + " needs protocol version 2, frame claims " +
+         std::to_string(version));
+  }
   switch (tag) {
     case 0: {
       IsHappyRequest req;
@@ -437,6 +452,24 @@ Request read_request_body(BitReader& r) {
     }
     case 9:
       return RecoverInfoRequest{};
+    case 10:
+      return HelloRequest{};
+    case 11: {
+      SnapshotInstanceRequest req;
+      req.instance = read_string(r, "instance name byte");
+      return req;
+    }
+    case 12: {
+      RestoreInstanceRequest req;
+      req.instance = read_string(r, "instance name byte");
+      req.bytes = read_blob(r, "snapshot byte");
+      return req;
+    }
+    case 13: {
+      DrainBackendRequest req;
+      req.backend = read_string(r, "backend id byte");
+      return req;
+    }
     default:
       fail("unknown request tag " + std::to_string(tag));
   }
@@ -488,6 +521,16 @@ void write_response_body(BitWriter& w, const Response& response) {
           w.put_uint(p.skipped_batches);
           w.put_uint(p.torn_bytes);
           w.put_uint(p.durable_batches);
+        } else if constexpr (std::is_same_v<P, HelloResponse>) {
+          write_string(w, p.backend);
+          w.put_uint(p.min_version);
+          w.put_uint(p.max_version);
+        } else if constexpr (std::is_same_v<P, SnapshotInstanceResponse>) {
+          write_blob(w, p.bytes);
+        } else if constexpr (std::is_same_v<P, RestoreInstanceResponse>) {
+          w.put_bit(p.replaced);
+        } else if constexpr (std::is_same_v<P, DrainBackendResponse>) {
+          w.put_uint(p.migrated);
         } else {
           // monostate / Create / Erase carry no fields beyond the tag.
           static_assert(std::is_same_v<P, std::monostate> ||
@@ -498,12 +541,16 @@ void write_response_body(BitWriter& w, const Response& response) {
       response.payload);
 }
 
-Response read_response_body(BitReader& r) {
+Response read_response_body(BitReader& r, std::uint64_t version) {
   Response response;
   response.status.code =
       static_cast<StatusCode>(checked_enum(r, kNumStatusCodes, "status code"));
   response.status.detail = read_string(r, "status detail byte");
   const std::uint64_t tag = r.get_uint();
+  if (tag >= kFirstV2ResponseTag && version < 2) {
+    fail("response tag " + std::to_string(tag) + " needs protocol version 2, frame claims " +
+         std::to_string(version));
+  }
   switch (tag) {
     case 0:
       response.payload = std::monostate{};
@@ -589,6 +636,32 @@ Response read_response_body(BitReader& r) {
       response.payload = p;
       break;
     }
+    case 11: {
+      HelloResponse p;
+      p.backend = read_string(r, "backend id byte");
+      p.min_version = r.get_uint();
+      p.max_version = r.get_uint();
+      response.payload = std::move(p);
+      break;
+    }
+    case 12: {
+      SnapshotInstanceResponse p;
+      p.bytes = read_blob(r, "snapshot byte");
+      response.payload = std::move(p);
+      break;
+    }
+    case 13: {
+      RestoreInstanceResponse p;
+      p.replaced = r.get_bit();
+      response.payload = p;
+      break;
+    }
+    case 14: {
+      DrainBackendResponse p;
+      p.migrated = r.get_uint();
+      response.payload = p;
+      break;
+    }
     default:
       fail("unknown response tag " + std::to_string(tag));
   }
@@ -659,10 +732,11 @@ Status framed_payload(std::span<const std::uint8_t> frame,
 Status decode_prologue(BitReader& r, std::uint64_t& version, std::uint64_t& request_id) {
   version = r.get_uint();
   request_id = r.get_uint();
-  if (version != kProtocolVersion) {
+  if (version < kMinSupportedVersion || version > kProtocolVersion) {
     return Status::error(StatusCode::kUnsupportedVersion,
                          "peer speaks protocol version " + std::to_string(version) +
-                             "; this build supports exactly version " +
+                             "; this build supports versions " +
+                             std::to_string(kMinSupportedVersion) + " through " +
                              std::to_string(kProtocolVersion));
   }
   return Status::good();
@@ -730,7 +804,7 @@ Status decode_request(std::span<const std::uint8_t> frame, DecodedRequest& out) 
       count_decode_error("version");
       return status;
     }
-    out.request = read_request_body(r);
+    out.request = read_request_body(r, out.protocol_version);
     out.trace_id = read_envelope(r);
   } catch (const std::runtime_error& e) {
     count_decode_error("body");
@@ -756,7 +830,7 @@ Status decode_response(std::span<const std::uint8_t> frame, DecodedResponse& out
       count_decode_error("version");
       return status;
     }
-    out.response = read_response_body(r);
+    out.response = read_response_body(r, out.protocol_version);
   } catch (const std::runtime_error& e) {
     count_decode_error("body");
     return Status::error(StatusCode::kDecodeError, e.what());
@@ -794,6 +868,11 @@ void FrameAssembler::validate_front() {
                            "length prefix " + std::to_string(length) + " exceeds the " +
                                std::to_string(max_payload_) + "-byte frame bound");
   }
+}
+
+void FrameAssembler::reset() {
+  buffer_.clear();
+  error_ = Status::good();
 }
 
 std::optional<std::vector<std::uint8_t>> FrameAssembler::next() {

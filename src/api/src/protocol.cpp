@@ -3,12 +3,34 @@
 namespace fhg::api {
 
 std::string_view request_kind_name(std::size_t tag) noexcept {
-  constexpr std::string_view kNames[] = {"is-happy",        "next-gathering", "apply-mutations",
-                                         "create-instance", "erase-instance", "list-instances",
-                                         "snapshot",        "restore",        "get-stats",
-                                         "recover-info"};
+  constexpr std::string_view kNames[] = {
+      "is-happy",       "next-gathering", "apply-mutations",  "create-instance",
+      "erase-instance", "list-instances", "snapshot",         "restore",
+      "get-stats",      "recover-info",   "hello",            "snapshot-instance",
+      "restore-instance", "drain-backend"};
   static_assert(std::size(kNames) == kNumRequestKinds);
   return tag < std::size(kNames) ? kNames[tag] : "unknown";
+}
+
+bool request_is_idempotent(std::size_t tag) noexcept {
+  constexpr bool kIdempotent[] = {
+      true,   // is-happy: pure read
+      true,   // next-gathering: pure read
+      false,  // apply-mutations: add-node grows the graph on every apply
+      false,  // create-instance: second attempt reports kAlreadyExists
+      false,  // erase-instance: second attempt reports kNotFound
+      true,   // list-instances: pure read
+      true,   // snapshot: pure read (serialization)
+      false,  // restore: replaces the tenancy (epoch moves even on repeat)
+      true,   // get-stats: observational only
+      true,   // recover-info: observational only
+      true,   // hello: observational only
+      true,   // snapshot-instance: pure read (serialization)
+      false,  // restore-instance: replaces an instance
+      false,  // drain-backend: moves instances and shrinks the ring
+  };
+  static_assert(std::size(kIdempotent) == kNumRequestKinds);
+  return tag < std::size(kIdempotent) && kIdempotent[tag];
 }
 
 std::string_view routing_instance(const Request& request) noexcept {

@@ -701,8 +701,13 @@ void SocketServer::stop() {
 
 // ------------------------------------------------------------ SocketTransport --
 
-SocketTransport::SocketTransport(const std::string& host, std::uint16_t port) {
-  const sockaddr_in address = make_address(host, port);
+SocketTransport::SocketTransport(const std::string& host, std::uint16_t port)
+    : host_(host), port_(port) {
+  connect_to_endpoint();
+}
+
+void SocketTransport::connect_to_endpoint() {
+  const sockaddr_in address = make_address(host_, port_);
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
     throw_errno("socket");
@@ -712,7 +717,7 @@ SocketTransport::SocketTransport(const std::string& host, std::uint16_t port) {
     ::close(fd_);
     fd_ = -1;
     errno = saved;
-    throw_errno("connect " + host + ":" + std::to_string(port));
+    throw_errno("connect " + host_ + ":" + std::to_string(port_));
   }
   const int enable = 1;
   (void)::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
@@ -724,8 +729,27 @@ SocketTransport::~SocketTransport() {
   }
 }
 
+Status SocketTransport::reconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  // Reset *before* dialing: even if the dial fails, the dead connection's
+  // partial bytes must never survive into a later successful reconnect.
+  assembler_.reset();
+  try {
+    connect_to_endpoint();
+  } catch (const std::runtime_error& e) {
+    return Status::error(StatusCode::kInternal, e.what());
+  }
+  return Status::good();
+}
+
 Status SocketTransport::roundtrip(std::span<const std::uint8_t> request_frame,
                                   std::vector<std::uint8_t>& response_frame) {
+  if (fd_ < 0) {
+    return Status::error(StatusCode::kInternal, "transport is disconnected (reconnect failed)");
+  }
   if (!send_all(fd_, request_frame)) {
     return Status::error(StatusCode::kInternal,
                          std::string("send failed: ") + std::strerror(errno));

@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file ring.hpp
+/// The consistent-hash ring that assigns instance names to backends.
+///
+/// Each backend contributes `vnodes` virtual points on a 64-bit circle
+/// (`ring_point` of `"name#i"`); an instance lands on the first point
+/// clockwise from its own `ring_point`, and its *replica* on the first
+/// point owned by a different backend.  Two properties carry the whole
+/// failover design:
+///
+/// 1. **Stability** — adding or removing one backend only remaps the
+///    instances whose arc it owned (in expectation `1/N` of them), so a
+///    backend death never reshuffles the healthy fleet.
+/// 2. **Succession** — `owner_of` on the ring minus a dead backend equals
+///    `successor_of` on the full ring wherever the dead backend owned.  The
+///    replica (ring successor) *automatically becomes the owner* after the
+///    primary is evicted, which is why writes go to primary + replica: the
+///    copy that survives a kill is exactly the copy the rerouted reads land
+///    on.
+///
+/// The hash is FNV-1a pushed through a 64-bit finalizer mix — fixed and
+/// platform-independent, never `std::hash` — so every router (and every
+/// test, on every libstdc++) places an instance identically.  The finalizer
+/// matters: raw FNV-1a barely disturbs the high bits when only a key's
+/// trailing characters differ (`fleet-1` vs `fleet-2`), and the ring orders
+/// by the high bits first, so an un-mixed ring herds a numbered fleet onto
+/// one backend.  Not thread-safe; the router guards its ring with the
+/// topology lock.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fhg::cluster {
+
+/// FNV-1a, 64-bit: the fixed placement hash of the ring.  Exposed so tests
+/// (and the docs' worked example) can verify placements independently.
+[[nodiscard]] std::uint64_t fnv1a(std::string_view bytes) noexcept;
+
+/// A key's position on the ring circle: `fnv1a` finalized with the
+/// SplitMix64 avalanche rounds so that near-identical keys scatter.  This —
+/// not raw `fnv1a` — is the coordinate both virtual points and lookups use.
+[[nodiscard]] std::uint64_t ring_point(std::string_view key) noexcept;
+
+/// A consistent-hash ring over named backends with virtual nodes.
+class HashRing {
+ public:
+  /// `vnodes` virtual points per backend (min 1; default 64 keeps the
+  /// maximum/mean arc-length ratio low enough that a 3-backend ring splits
+  /// load within a few percent of evenly).
+  explicit HashRing(std::size_t vnodes = 64) : vnodes_(vnodes == 0 ? 1 : vnodes) {}
+
+  /// Adds a backend's virtual points.  Idempotent: re-adding an existing
+  /// backend is a no-op (re-registration after a health recovery).
+  void add_node(const std::string& backend);
+
+  /// Removes a backend's virtual points; a no-op for unknown backends.
+  void remove_node(const std::string& backend);
+
+  /// True iff `backend` currently contributes points.
+  [[nodiscard]] bool contains(const std::string& backend) const {
+    return members_.contains(backend);
+  }
+
+  /// The backend owning `key`: first virtual point clockwise from
+  /// `ring_point(key)`.  Empty string on an empty ring.
+  [[nodiscard]] std::string owner_of(std::string_view key) const;
+
+  /// The first backend clockwise from `key`'s owner that is a *different*
+  /// backend — the replica holder, and the deterministic heir when the
+  /// owner dies.  Empty when the ring has fewer than two backends.
+  [[nodiscard]] std::string successor_of(std::string_view key) const;
+
+  /// Member backends, sorted by name.
+  [[nodiscard]] std::vector<std::string> nodes() const;
+
+  /// Member backend count.
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+
+ private:
+  std::size_t vnodes_;
+  std::map<std::uint64_t, std::string> points_;  ///< virtual point -> backend
+  std::map<std::string, std::size_t> members_;   ///< backend -> points held
+};
+
+}  // namespace fhg::cluster

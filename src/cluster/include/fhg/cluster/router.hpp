@@ -1,0 +1,259 @@
+#pragma once
+
+/// \file router.hpp
+/// The cluster router: one `api::Handler` that consistent-hashes instance
+/// names across N `fhg_serve` backends and survives losing any one of them.
+///
+/// A `Router` fronts a fixed set of configured backends.  Requests enter
+/// `handle` (typically from a `SocketServer`, so the router speaks the same
+/// wire protocol as the backends it proxies), are sharded onto a small
+/// worker pool by the FNV-1a hash of their routing instance — per-instance
+/// FIFO order is what keeps a tenant's mutations identically ordered on its
+/// primary and replica — and are forwarded over per-worker `api::Client`s:
+///
+/// - **Reads** (idempotent kinds) go to the instance's ring owner and fail
+///   over to the replica when the owner cannot answer.
+/// - **Writes** (create / erase / apply-mutations / restore-instance) go to
+///   the primary *and* the replica, in that order, and ack on the primary's
+///   verdict; a replica miss is repaired by the next reconcile rather than
+///   failing the write (losing the replica is the single failure the design
+///   tolerates — the primary still holds the data).
+/// - **Tenancy-wide reads** (list-instances) fan out to every healthy
+///   backend and merge; **get-stats** answers from the router's own
+///   `fhg_cluster_*` registry; **snapshot/restore/recover-info** are
+///   refused typed (`kFailedPrecondition`) — they address one process's
+///   tenancy, not a ring.
+///
+/// A prober thread health-checks every configured backend (`Hello`).  After
+/// `probe_failures_to_evict` consecutive misses the backend is evicted from
+/// the ring, and every instance whose holder set changed is re-replicated
+/// by **snapshot migration**: `SnapshotInstance` from a surviving holder,
+/// `RestoreInstance` into each adopting backend.  Because the replica is
+/// the ring successor, the surviving copy is already where rerouted reads
+/// land — migration only restores the replication factor.  A recovered
+/// backend is re-registered and reconciled the same way; `drain` does the
+/// eviction dance on an operator's schedule and pins the backend out.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "fhg/api/client.hpp"
+#include "fhg/api/handler.hpp"
+#include "fhg/cluster/ring.hpp"
+#include "fhg/obs/registry.hpp"
+
+namespace fhg::cluster {
+
+/// One configured backend: a stable name (the ring key and the id its
+/// `Hello` response must report) and the endpoint to dial.
+struct BackendConfig {
+  std::string name = {};           ///< stable ring identity
+  std::string host = "127.0.0.1";  ///< endpoint host
+  std::uint16_t port = 0;          ///< endpoint port
+
+  friend bool operator==(const BackendConfig&, const BackendConfig&) = default;
+};
+
+/// Construction-time options of a `Router`.
+struct RouterOptions {
+  std::vector<BackendConfig> backends = {};  ///< the fixed fleet (>= 1)
+  std::size_t vnodes = 64;              ///< virtual points per backend
+  std::size_t workers = 4;              ///< forwarding workers, min 1
+  std::size_t queue_capacity = 4096;    ///< per-worker admission bound, min 1
+  /// Keep a replica of every instance on its ring successor (the failover
+  /// design; turn off only for single-backend or throwaway rings).
+  bool replicate = true;
+  /// Per-forward reconnect-retry budget handed to each backend client.
+  api::RetryPolicy retry{.max_retries = 2};
+  /// Health-probe cadence.  0 disables the prober (tests drive eviction
+  /// explicitly via `probe_now`).
+  std::chrono::milliseconds probe_interval{200};
+  std::size_t probe_failures_to_evict = 2;  ///< consecutive misses before eviction
+  std::string router_id = "fhg-router";     ///< identity `Hello` reports
+};
+
+/// The consistent-hash router/proxy.  Thread-safe: any thread may call
+/// `handle`; topology changes serialize on an internal lock.
+class Router : public api::Handler {
+ public:
+  /// Builds the ring from `options.backends`, seeds the instance directory
+  /// from a `ListInstances` fan-out (backends may already hold tenants, e.g.
+  /// after a WAL-recovered restart), and starts the workers and the prober.
+  /// Throws `std::invalid_argument` on an empty backend list or duplicate
+  /// backend names.
+  explicit Router(RouterOptions options);
+
+  /// Stops the prober and workers; queued requests complete `kStopped`.
+  ~Router() override;
+
+  Router(const Router&) = delete;             ///< non-copyable (owns threads)
+  Router& operator=(const Router&) = delete;  ///< non-assignable
+
+  /// Routes one typed request (see the file comment for the per-kind
+  /// rules).  Admission failures complete synchronously.
+  void handle(api::Request request, api::ResponseCallback done) override;
+
+  /// As above with the wire context (trace ids travel through to backends
+  /// via each client's own envelope minting).
+  void handle(api::Request request, const api::RequestContext& context,
+              api::ResponseCallback done) override;
+
+  /// Stops accepting, completes queued requests `kStopped`, joins all
+  /// threads.  Idempotent; the destructor calls it.
+  void stop();
+
+  /// Runs one synchronous probe round (every configured backend), applying
+  /// the same eviction / re-registration rules as the prober thread.  Lets
+  /// tests and the CLI converge the ring without waiting out the cadence.
+  void probe_now();
+
+  /// Backends currently in the ring, sorted by name.
+  [[nodiscard]] std::vector<std::string> ring_members() const;
+
+  /// The (primary, replica) pair `instance` routes to right now; replica is
+  /// empty when replication is off or the ring is a single backend.
+  [[nodiscard]] std::pair<std::string, std::string> route_of(std::string_view instance) const;
+
+  /// The router's `fhg_cluster_*` telemetry registry.
+  [[nodiscard]] obs::Registry& metrics() noexcept { return metrics_; }
+
+ private:
+  struct Backend;
+  struct Worker;
+  struct Pending;
+
+  /// One queued request with its completion.
+  struct Pending {
+    api::Request request;
+    api::RequestContext context;
+    api::ResponseCallback done;
+  };
+
+  /// Worker loop: pop, forward, complete.
+  void worker_loop(Worker& worker);
+
+  /// Forwards `request` per the routing rules; always returns a response.
+  [[nodiscard]] api::Response route(Worker& worker, const api::Request& request);
+
+  /// Forwards one request to one backend through the worker's cached
+  /// client, folding the client's retry/reconnect deltas into the registry.
+  [[nodiscard]] api::Response forward_to(Worker& worker, const std::string& backend,
+                                         const api::Request& request);
+
+  /// The worker's client for `backend`, dialing on first use.  Nullptr when
+  /// the backend cannot be dialed (counted; the caller answers typed).
+  [[nodiscard]] api::Client* client_for(Worker& worker, const std::string& backend);
+
+  /// List-instances fan-out across healthy ring members, merged name-sorted
+  /// and deduplicated (primaries and replicas report the same tenants).
+  [[nodiscard]] api::Response fan_out_list(Worker& worker);
+
+  /// The router's own stats (`fhg_cluster_*` registry snapshot).
+  [[nodiscard]] api::Response stats_response(const api::GetStatsRequest& request);
+
+  /// Handles the `DrainBackend` verb: migrate everything off, pin out.
+  [[nodiscard]] api::Response drain(Worker& worker, const std::string& backend);
+
+  /// One probe of one backend; returns true when the backend answered.
+  [[nodiscard]] bool probe_backend(Backend& backend);
+
+  /// Prober thread body.
+  void probe_loop();
+
+  /// Removes `backend` from the ring and re-replicates every instance whose
+  /// holder set changed.  `pin` marks it drained (the prober will not
+  /// re-register it).
+  void evict(const std::string& backend, bool pin);
+
+  /// Adds `backend` back to the ring and re-replicates onto it.
+  void reregister(const std::string& backend);
+
+  /// Computes, under the topology lock, which (instance, source, target)
+  /// copies a ring change requires, given each instance's holder pair
+  /// before (`old_ring`) and after (current ring).  Executes the copies
+  /// *outside* the lock via fresh connections.
+  struct MigrationTask {
+    std::string instance;
+    std::string source;
+    std::string target;
+  };
+  void execute_migrations(const std::vector<MigrationTask>& tasks);
+
+  /// Seeds `directory_` from a list-instances fan-out (constructor path).
+  void seed_directory();
+
+  /// The holder pair of `instance` on `ring` (replica empty when
+  /// replication is off or the ring is a single member).
+  [[nodiscard]] std::pair<std::string, std::string> holders_on(const HashRing& ring,
+                                                               std::string_view instance) const;
+
+  /// Refreshes `ring_size` / `backends_healthy` / `backend_up` gauges.
+  /// Caller holds `topology_mutex_`.
+  void refresh_topology_gauges();
+
+  RouterOptions options_;
+  obs::Registry metrics_;
+
+  /// Cached registry handles (the forwarding hot path records through
+  /// these; per-backend counters live in per-Backend state).
+  obs::Counter& retries_total_;
+  obs::Counter& failovers_total_;
+  obs::Counter& evictions_total_;
+  obs::Counter& reregistrations_total_;
+  obs::Counter& migrations_total_;
+  obs::Counter& migration_errors_total_;
+  obs::Counter& replica_errors_total_;
+  obs::Counter& rejects_total_;
+  obs::Gauge& ring_size_;
+  obs::Gauge& backends_healthy_;
+  obs::HistogramCell& forward_us_;
+
+  /// One configured backend's health and per-backend counters.
+  struct Backend {
+    BackendConfig config;
+    obs::Counter& requests;  ///< fhg_cluster_requests_total{backend=...}
+    obs::Counter& errors;    ///< fhg_cluster_errors_total{backend=...}
+    obs::Gauge& up_gauge;    ///< fhg_cluster_backend_up{backend=...}
+    std::size_t consecutive_failures = 0;  ///< prober state (prober thread only)
+    bool up = true;                        ///< in the ring (topology_mutex_)
+    bool drained = false;                  ///< pinned out (topology_mutex_)
+  };
+
+  /// Topology: the ring, the directory of known instances, per-backend
+  /// health flags.  One mutex — topology changes are rare and short.
+  mutable std::mutex topology_mutex_;
+  HashRing ring_;
+  std::set<std::string> directory_;  ///< known instance names
+  std::map<std::string, std::unique_ptr<Backend>> backends_;
+
+  /// One forwarding worker: FIFO queue plus per-backend cached clients.
+  struct Worker {
+    std::mutex mutex;
+    std::condition_variable ready;
+    std::deque<Pending> queue;  ///< guarded by mutex
+    std::map<std::string, std::unique_ptr<api::Client>> clients;  ///< worker thread only
+    std::map<std::string, std::uint64_t> last_retries;   ///< client retry watermark
+    std::thread thread;
+  };
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  std::mutex stop_mutex_;  ///< serializes stop()
+  bool stopped_ = false;   ///< guarded by stop_mutex_
+  std::atomic<bool> stopping_{false};
+  std::thread probe_thread_;
+  std::condition_variable probe_wakeup_;  ///< with topology_mutex_: stop() interrupts the nap
+};
+
+}  // namespace fhg::cluster

@@ -1,0 +1,101 @@
+#include "fhg/cluster/ring.hpp"
+
+namespace fhg::cluster {
+
+std::uint64_t fnv1a(std::string_view bytes) noexcept {
+  // FNV-1a 64-bit: offset basis and prime from the reference spec.
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::uint64_t ring_point(std::string_view key) noexcept {
+  // SplitMix64 finalizer over the FNV hash.  FNV-1a's multiply only carries
+  // a changed byte's entropy *upward*, and the final byte gets a single
+  // round of it — keys differing only in a trailing digit end up with
+  // near-equal high bits and therefore adjacent ring positions.  The
+  // xor-shift rounds push every input bit into every output bit.
+  std::uint64_t h = fnv1a(key);
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+void HashRing::add_node(const std::string& backend) {
+  if (members_.contains(backend)) {
+    return;
+  }
+  std::size_t placed = 0;
+  for (std::size_t i = 0; i < vnodes_; ++i) {
+    const std::uint64_t point = ring_point(backend + "#" + std::to_string(i));
+    // A 64-bit collision with another backend's point is vanishingly rare;
+    // first owner keeps the point so add/remove stays symmetric.
+    placed += points_.emplace(point, backend).second ? 1 : 0;
+  }
+  members_.emplace(backend, placed);
+}
+
+void HashRing::remove_node(const std::string& backend) {
+  const auto member = members_.find(backend);
+  if (member == members_.end()) {
+    return;
+  }
+  for (std::size_t i = 0; i < vnodes_; ++i) {
+    const auto point = points_.find(ring_point(backend + "#" + std::to_string(i)));
+    if (point != points_.end() && point->second == backend) {
+      points_.erase(point);
+    }
+  }
+  members_.erase(member);
+}
+
+std::string HashRing::owner_of(std::string_view key) const {
+  if (points_.empty()) {
+    return {};
+  }
+  // First virtual point clockwise from the key's hash, wrapping at the top.
+  auto it = points_.lower_bound(ring_point(key));
+  if (it == points_.end()) {
+    it = points_.begin();
+  }
+  return it->second;
+}
+
+std::string HashRing::successor_of(std::string_view key) const {
+  if (members_.size() < 2) {
+    return {};
+  }
+  auto it = points_.lower_bound(ring_point(key));
+  if (it == points_.end()) {
+    it = points_.begin();
+  }
+  const std::string& owner = it->second;
+  // Walk clockwise past the owner's consecutive points to the first point
+  // held by anyone else.  Bounded: at least one other member exists.
+  for (;;) {
+    ++it;
+    if (it == points_.end()) {
+      it = points_.begin();
+    }
+    if (it->second != owner) {
+      return it->second;
+    }
+  }
+}
+
+std::vector<std::string> HashRing::nodes() const {
+  std::vector<std::string> out;
+  out.reserve(members_.size());
+  for (const auto& [backend, points] : members_) {
+    out.push_back(backend);
+  }
+  return out;
+}
+
+}  // namespace fhg::cluster

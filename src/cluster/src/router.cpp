@@ -1,0 +1,597 @@
+#include "fhg/cluster/router.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "fhg/api/codec.hpp"
+#include "fhg/api/socket.hpp"
+
+namespace fhg::cluster {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Microseconds elapsed since `start`, saturated at zero.
+std::uint64_t elapsed_us(Clock::time_point start) {
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start);
+  return us.count() > 0 ? static_cast<std::uint64_t>(us.count()) : 0;
+}
+
+/// True when `response` failed in a way a different backend could cure: the
+/// transport died under the client, or the backend is draining.  Typed
+/// verdicts (kNotFound, kInvalidArgument, ...) are the backend's real
+/// answer and must not be shopped around the ring.
+bool is_backend_failure(const api::Response& response) {
+  return response.status.code == api::StatusCode::kInternal ||
+         response.status.code == api::StatusCode::kStopped;
+}
+
+/// The write kinds the router mirrors onto the replica (the instance's
+/// state-changing verbs; see the file comment in router.hpp).
+bool is_replicated_write(std::size_t tag) {
+  return tag == 2 ||   // apply-mutations
+         tag == 3 ||   // create-instance
+         tag == 4 ||   // erase-instance
+         tag == 12;    // restore-instance
+}
+
+}  // namespace
+
+Router::Router(RouterOptions options)
+    : options_(std::move(options)),
+      retries_total_(metrics_.counter("fhg_cluster_retries_total")),
+      failovers_total_(metrics_.counter("fhg_cluster_failovers_total")),
+      evictions_total_(metrics_.counter("fhg_cluster_evictions_total")),
+      reregistrations_total_(metrics_.counter("fhg_cluster_reregistrations_total")),
+      migrations_total_(metrics_.counter("fhg_cluster_migrations_total")),
+      migration_errors_total_(metrics_.counter("fhg_cluster_migration_errors_total")),
+      replica_errors_total_(metrics_.counter("fhg_cluster_replica_errors_total")),
+      rejects_total_(metrics_.counter("fhg_cluster_rejects_total")),
+      ring_size_(metrics_.gauge("fhg_cluster_ring_size")),
+      backends_healthy_(metrics_.gauge("fhg_cluster_backends_healthy")),
+      forward_us_(metrics_.histogram("fhg_cluster_forward_us")),
+      ring_(options_.vnodes) {
+  if (options_.backends.empty()) {
+    throw std::invalid_argument("Router: at least one backend is required");
+  }
+  for (const BackendConfig& config : options_.backends) {
+    if (backends_.contains(config.name)) {
+      throw std::invalid_argument("Router: duplicate backend name '" + config.name + "'");
+    }
+    const std::string label = "{backend=\"" + config.name + "\"}";
+    auto backend = std::make_unique<Backend>(Backend{
+        .config = config,
+        .requests = metrics_.counter("fhg_cluster_requests_total" + label),
+        .errors = metrics_.counter("fhg_cluster_errors_total" + label),
+        .up_gauge = metrics_.gauge("fhg_cluster_backend_up" + label),
+    });
+    ring_.add_node(config.name);
+    backends_.emplace(config.name, std::move(backend));
+  }
+  {
+    const std::lock_guard<std::mutex> lock(topology_mutex_);
+    refresh_topology_gauges();
+  }
+  if (options_.workers == 0) {
+    options_.workers = 1;
+  }
+  if (options_.queue_capacity == 0) {
+    options_.queue_capacity = 1;
+  }
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  seed_directory();
+  for (auto& worker : workers_) {
+    Worker* w = worker.get();
+    worker->thread = std::thread([this, w] { worker_loop(*w); });
+  }
+  if (options_.probe_interval.count() > 0) {
+    probe_thread_ = std::thread([this] { probe_loop(); });
+  }
+}
+
+Router::~Router() { stop(); }
+
+void Router::stop() {
+  const std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  if (stopped_) {
+    return;
+  }
+  stopped_ = true;
+  stopping_.store(true, std::memory_order_release);
+  probe_wakeup_.notify_all();
+  if (probe_thread_.joinable()) {
+    probe_thread_.join();
+  }
+  for (auto& worker : workers_) {
+    worker->ready.notify_all();
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) {
+      worker->thread.join();
+    }
+  }
+  // Workers exited with their queues drained-or-flushed; complete stragglers.
+  for (auto& worker : workers_) {
+    std::deque<Pending> leftover;
+    {
+      const std::lock_guard<std::mutex> lock(worker->mutex);
+      leftover.swap(worker->queue);
+    }
+    for (Pending& pending : leftover) {
+      if (pending.done) {
+        pending.done(api::Response::error(api::StatusCode::kStopped,
+                                          "the router is shutting down"));
+      }
+    }
+  }
+}
+
+void Router::handle(api::Request request, api::ResponseCallback done) {
+  handle(std::move(request), api::RequestContext{}, std::move(done));
+}
+
+void Router::handle(api::Request request, const api::RequestContext& context,
+                    api::ResponseCallback done) {
+  if (stopping_.load(std::memory_order_acquire)) {
+    rejects_total_.increment();
+    done(api::Response::error(api::StatusCode::kStopped, "the router is shutting down"));
+    return;
+  }
+  // Same shard key as the backends' own service layer: per-instance FIFO.
+  const std::string_view instance = api::routing_instance(request);
+  Worker& worker =
+      *workers_[instance.empty() ? 0 : fnv1a(instance) % workers_.size()];
+  {
+    const std::lock_guard<std::mutex> lock(worker.mutex);
+    if (worker.queue.size() >= options_.queue_capacity) {
+      rejects_total_.increment();
+      done(api::Response::error(api::StatusCode::kQueueFull,
+                                "the routing worker's queue is at capacity"));
+      return;
+    }
+    worker.queue.push_back(Pending{std::move(request), context, std::move(done)});
+  }
+  worker.ready.notify_one();
+}
+
+void Router::worker_loop(Worker& worker) {
+  for (;;) {
+    Pending pending;
+    {
+      std::unique_lock<std::mutex> lock(worker.mutex);
+      worker.ready.wait(lock, [&] {
+        return !worker.queue.empty() || stopping_.load(std::memory_order_acquire);
+      });
+      if (worker.queue.empty()) {
+        return;  // stopping and drained
+      }
+      pending = std::move(worker.queue.front());
+      worker.queue.pop_front();
+    }
+    const Clock::time_point start = Clock::now();
+    api::Response response = route(worker, pending.request);
+    forward_us_.record(elapsed_us(start));
+    if (pending.done) {
+      pending.done(std::move(response));
+    }
+  }
+}
+
+api::Response Router::route(Worker& worker, const api::Request& request) {
+  const std::size_t tag = request.index();
+  // Router-terminal kinds first.
+  if (std::holds_alternative<api::HelloRequest>(request)) {
+    api::Response response;
+    response.payload = api::HelloResponse{.backend = options_.router_id,
+                                          .min_version = api::kMinSupportedVersion,
+                                          .max_version = api::kProtocolVersion};
+    return response;
+  }
+  if (const auto* get_stats = std::get_if<api::GetStatsRequest>(&request)) {
+    return stats_response(*get_stats);
+  }
+  if (std::holds_alternative<api::ListInstancesRequest>(request)) {
+    return fan_out_list(worker);
+  }
+  if (const auto* drain_request = std::get_if<api::DrainBackendRequest>(&request)) {
+    return drain(worker, drain_request->backend);
+  }
+  if (std::holds_alternative<api::SnapshotRequest>(request) ||
+      std::holds_alternative<api::RestoreRequest>(request) ||
+      std::holds_alternative<api::RecoverInfoRequest>(request)) {
+    // One process's tenancy, not a ring's: snapshotting "the cluster" through
+    // the router would interleave per-backend tenancies into a stream no
+    // single backend could restore.  Dial the backend directly.
+    return api::Response::error(
+        api::StatusCode::kFailedPrecondition,
+        "request '" + std::string(api::request_kind_name(tag)) +
+            "' addresses one backend's tenancy; dial the backend, not the router");
+  }
+
+  // Instance-addressed kinds: resolve the holder pair on the current ring.
+  const std::string_view instance = api::routing_instance(request);
+  auto [primary, replica] = route_of(instance);
+  if (primary.empty()) {
+    return api::Response::error(api::StatusCode::kInternal,
+                                "the ring has no healthy backend");
+  }
+
+  api::Response response = forward_to(worker, primary, request);
+  if (is_replicated_write(tag)) {
+    if (!replica.empty()) {
+      // Mirror the write; the replica's copy is what survives losing the
+      // primary.  A replica miss is repaired by reconcile, not surfaced —
+      // the primary's verdict is the caller's answer either way (and the
+      // mirror of a failed primary write fails identically, keeping the
+      // copies in lockstep).
+      const api::Response mirrored = forward_to(worker, replica, request);
+      if (mirrored.status.code != response.status.code) {
+        replica_errors_total_.increment();
+      }
+    }
+    if (response.ok()) {
+      const std::lock_guard<std::mutex> lock(topology_mutex_);
+      if (std::holds_alternative<api::EraseInstanceRequest>(request)) {
+        directory_.erase(std::string(instance));
+      } else {
+        directory_.insert(std::string(instance));
+      }
+    }
+    return response;
+  }
+  if (is_backend_failure(response) && !replica.empty()) {
+    // Read failover: the replica holds a byte-identical copy (writes are
+    // mirrored in the same per-instance order), so any idempotent read it
+    // answers matches what the primary would have said.
+    failovers_total_.increment();
+    return forward_to(worker, replica, request);
+  }
+  return response;
+}
+
+api::Response Router::forward_to(Worker& worker, const std::string& backend,
+                                 const api::Request& request) {
+  Backend& state = *backends_.at(backend);
+  state.requests.increment();
+  api::Client* client = client_for(worker, backend);
+  if (client == nullptr) {
+    state.errors.increment();
+    return api::Response::error(api::StatusCode::kInternal,
+                                "backend '" + backend + "' is unreachable");
+  }
+  api::Response response = client->call(request);
+  // Fold the client's bounded-retry work into the cluster registry.
+  std::uint64_t& watermark = worker.last_retries[backend];
+  const std::uint64_t retries = client->retries();
+  if (retries > watermark) {
+    retries_total_.add(retries - watermark);
+    watermark = retries;
+  }
+  if (is_backend_failure(response)) {
+    state.errors.increment();
+  }
+  return response;
+}
+
+api::Client* Router::client_for(Worker& worker, const std::string& backend) {
+  const auto found = worker.clients.find(backend);
+  if (found != worker.clients.end()) {
+    return found->second.get();
+  }
+  const Backend& state = *backends_.at(backend);
+  std::unique_ptr<api::SocketTransport> transport;
+  try {
+    transport =
+        std::make_unique<api::SocketTransport>(state.config.host, state.config.port);
+  } catch (const std::runtime_error&) {
+    return nullptr;  // dial refused; the next forward attempt re-dials
+  }
+  auto client = std::make_unique<api::Client>(std::move(transport));
+  client->set_retry_policy(options_.retry);
+  api::Client* raw = client.get();
+  worker.clients.emplace(backend, std::move(client));
+  return raw;
+}
+
+api::Response Router::fan_out_list(Worker& worker) {
+  std::vector<std::string> members;
+  {
+    const std::lock_guard<std::mutex> lock(topology_mutex_);
+    members = ring_.nodes();
+  }
+  std::map<std::string, api::InstanceInfo> merged;  // name-sorted dedup
+  bool any_answered = false;
+  for (const std::string& member : members) {
+    api::Client* client = client_for(worker, member);
+    if (client == nullptr) {
+      continue;
+    }
+    auto listed = client->list_instances();
+    if (!listed.ok()) {
+      continue;
+    }
+    any_answered = true;
+    for (api::InstanceInfo& info : listed.value) {
+      // Primaries and replicas report the same tenants; first sight wins
+      // (the copies are byte-identical by construction).
+      merged.emplace(info.name, std::move(info));
+    }
+  }
+  if (!any_answered) {
+    return api::Response::error(api::StatusCode::kInternal,
+                                "no ring member answered list-instances");
+  }
+  api::ListInstancesResponse list;
+  list.instances.reserve(merged.size());
+  for (auto& [name, info] : merged) {
+    list.instances.push_back(std::move(info));
+  }
+  api::Response response;
+  response.payload = std::move(list);
+  return response;
+}
+
+api::Response Router::stats_response(const api::GetStatsRequest& request) {
+  api::GetStatsResponse stats;
+  stats.metrics = metrics_.snapshot();
+  if (!request.include_histograms) {
+    std::erase_if(stats.metrics, [](const obs::MetricSample& sample) {
+      return sample.kind == obs::MetricKind::kHistogram;
+    });
+  }
+  api::Response response;
+  response.payload = std::move(stats);
+  return response;
+}
+
+api::Response Router::drain(Worker& worker, const std::string& backend) {
+  (void)worker;
+  if (!backends_.contains(backend)) {
+    return api::Response::error(api::StatusCode::kNotFound,
+                                "no backend named '" + backend + "'");
+  }
+  {
+    const std::lock_guard<std::mutex> lock(topology_mutex_);
+    if (!ring_.contains(backend)) {
+      return api::Response::error(api::StatusCode::kFailedPrecondition,
+                                  "backend '" + backend + "' is not in the ring");
+    }
+    if (ring_.size() == 1) {
+      return api::Response::error(api::StatusCode::kFailedPrecondition,
+                                  "cannot drain the last ring member");
+    }
+  }
+  const std::uint64_t migrations_before = migrations_total_.value();
+  evict(backend, /*pin=*/true);
+  api::Response response;
+  response.payload =
+      api::DrainBackendResponse{migrations_total_.value() - migrations_before};
+  return response;
+}
+
+bool Router::probe_backend(Backend& backend) {
+  // A fresh dial per probe: the probe must measure the backend, never the
+  // staleness of a cached connection.
+  std::unique_ptr<api::SocketTransport> transport;
+  try {
+    transport = std::make_unique<api::SocketTransport>(backend.config.host,
+                                                       backend.config.port);
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+  api::Client probe(std::move(transport));
+  const auto hello = probe.hello();
+  return hello.ok();
+}
+
+void Router::probe_now() {
+  for (auto& [name, backend] : backends_) {
+    const bool answered = probe_backend(*backend);
+    bool up = false;
+    bool drained = false;
+    {
+      const std::lock_guard<std::mutex> lock(topology_mutex_);
+      up = backend->up;
+      drained = backend->drained;
+    }
+    if (answered) {
+      backend->consecutive_failures = 0;
+      if (!up && !drained) {
+        reregister(name);
+      }
+      continue;
+    }
+    ++backend->consecutive_failures;
+    if (up && backend->consecutive_failures >= options_.probe_failures_to_evict) {
+      evict(name, /*pin=*/false);
+    }
+  }
+}
+
+void Router::probe_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(topology_mutex_);
+      probe_wakeup_.wait_for(lock, options_.probe_interval, [&] {
+        return stopping_.load(std::memory_order_acquire);
+      });
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      return;
+    }
+    probe_now();
+  }
+}
+
+std::pair<std::string, std::string> Router::holders_on(const HashRing& ring,
+                                                       std::string_view instance) const {
+  std::string primary = ring.owner_of(instance);
+  std::string replica =
+      options_.replicate ? ring.successor_of(instance) : std::string{};
+  return {std::move(primary), std::move(replica)};
+}
+
+void Router::evict(const std::string& backend, bool pin) {
+  std::vector<MigrationTask> tasks;
+  {
+    const std::lock_guard<std::mutex> lock(topology_mutex_);
+    Backend& state = *backends_.at(backend);
+    if (!ring_.contains(backend)) {
+      if (pin) {
+        state.drained = true;
+      }
+      return;
+    }
+    // Holder pairs before and after the removal; every *new* holder needs a
+    // copy from a surviving old holder.  Succession makes the common case
+    // free: the old replica becomes the new primary without moving a byte —
+    // only the new replica (one arc further) receives a migration.
+    const HashRing old_ring = ring_;
+    ring_.remove_node(backend);
+    state.up = false;
+    state.drained = pin;
+    for (const std::string& instance : directory_) {
+      const auto old_pair = holders_on(old_ring, instance);
+      const auto new_pair = holders_on(ring_, instance);
+      const std::string source =
+          old_pair.first != backend ? old_pair.first : old_pair.second;
+      if (source.empty()) {
+        continue;  // no surviving copy (single-member ring died)
+      }
+      for (const std::string& target : {new_pair.first, new_pair.second}) {
+        if (target.empty() || target == old_pair.first || target == old_pair.second) {
+          continue;
+        }
+        tasks.push_back(MigrationTask{instance, source, target});
+      }
+    }
+    refresh_topology_gauges();
+  }
+  evictions_total_.increment();
+  execute_migrations(tasks);
+}
+
+void Router::reregister(const std::string& backend) {
+  std::vector<MigrationTask> tasks;
+  {
+    const std::lock_guard<std::mutex> lock(topology_mutex_);
+    Backend& state = *backends_.at(backend);
+    if (ring_.contains(backend)) {
+      return;
+    }
+    const HashRing old_ring = ring_;
+    ring_.add_node(backend);
+    state.up = true;
+    // The rejoining backend's state is stale (it missed every write since
+    // its eviction — or, fresh off a crash, holds only its WAL-recovered
+    // tenants).  Re-copy every instance it now holds from a current holder.
+    for (const std::string& instance : directory_) {
+      const auto old_pair = holders_on(old_ring, instance);
+      const auto new_pair = holders_on(ring_, instance);
+      const std::string& source = old_pair.first;
+      if (source.empty()) {
+        continue;
+      }
+      for (const std::string& target : {new_pair.first, new_pair.second}) {
+        if (target.empty() || target == old_pair.first || target == old_pair.second) {
+          continue;
+        }
+        tasks.push_back(MigrationTask{instance, source, target});
+      }
+    }
+    refresh_topology_gauges();
+  }
+  reregistrations_total_.increment();
+  execute_migrations(tasks);
+}
+
+void Router::execute_migrations(const std::vector<MigrationTask>& tasks) {
+  // Fresh connections, outside the topology lock: migration is rare and its
+  // traffic must not contend with the forwarding clients' FIFO streams.
+  std::map<std::string, std::unique_ptr<api::Client>> clients;
+  const auto client_of = [&](const std::string& backend) -> api::Client* {
+    auto found = clients.find(backend);
+    if (found != clients.end()) {
+      return found->second.get();
+    }
+    const Backend& state = *backends_.at(backend);
+    try {
+      auto client = std::make_unique<api::Client>(
+          std::make_unique<api::SocketTransport>(state.config.host, state.config.port));
+      return clients.emplace(backend, std::move(client)).first->second.get();
+    } catch (const std::runtime_error&) {
+      return nullptr;
+    }
+  };
+  for (const MigrationTask& task : tasks) {
+    api::Client* source = client_of(task.source);
+    api::Client* target = client_of(task.target);
+    if (source == nullptr || target == nullptr) {
+      migration_errors_total_.increment();
+      continue;
+    }
+    auto blob = source->snapshot_instance(task.instance);
+    if (!blob.ok()) {
+      migration_errors_total_.increment();
+      continue;
+    }
+    const auto adopted = target->restore_instance(task.instance, std::move(blob.value));
+    if (!adopted.ok()) {
+      migration_errors_total_.increment();
+      continue;
+    }
+    migrations_total_.increment();
+  }
+}
+
+void Router::seed_directory() {
+  // Backends may already hold tenants (WAL recovery, a restarted router):
+  // fold every reachable backend's tenant list into the directory so the
+  // first eviction migrates them too.
+  for (const auto& [name, backend] : backends_) {
+    std::unique_ptr<api::Client> client;
+    try {
+      client = std::make_unique<api::Client>(std::make_unique<api::SocketTransport>(
+          backend->config.host, backend->config.port));
+    } catch (const std::runtime_error&) {
+      continue;  // unreachable at construction; the prober will deal with it
+    }
+    const auto listed = client->list_instances();
+    if (!listed.ok()) {
+      continue;
+    }
+    const std::lock_guard<std::mutex> lock(topology_mutex_);
+    for (const api::InstanceInfo& info : listed.value) {
+      directory_.insert(info.name);
+    }
+  }
+}
+
+std::vector<std::string> Router::ring_members() const {
+  const std::lock_guard<std::mutex> lock(topology_mutex_);
+  return ring_.nodes();
+}
+
+std::pair<std::string, std::string> Router::route_of(std::string_view instance) const {
+  const std::lock_guard<std::mutex> lock(topology_mutex_);
+  return holders_on(ring_, instance);
+}
+
+void Router::refresh_topology_gauges() {
+  ring_size_.set(static_cast<std::int64_t>(ring_.size()));
+  std::int64_t healthy = 0;
+  for (const auto& [name, backend] : backends_) {
+    const bool up = ring_.contains(name);
+    backend->up_gauge.set(up ? 1 : 0);
+    healthy += up ? 1 : 0;
+  }
+  backends_healthy_.set(healthy);
+}
+
+}  // namespace fhg::cluster

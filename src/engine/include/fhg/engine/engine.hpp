@@ -176,6 +176,21 @@ class Engine {
   /// Replaces all instances with the snapshot's contents.
   void load_snapshot(std::span<const std::uint8_t> bytes);
 
+  /// Serializes one named tenant as a count-1 snapshot stream — the unit the
+  /// cluster router ships when migrating an instance between backends.
+  /// `kNotFound` when no such tenant exists; on success `out` holds the
+  /// blob.
+  api::Status snapshot_instance(std::string_view instance, std::vector<std::uint8_t>& out) const;
+
+  /// Adopts the single tenant of a count-1 snapshot stream, replacing any
+  /// same-named one — the receiving half of an instance migration.  When
+  /// `expect_name` is non-empty the snapshot's tenant must carry that name
+  /// (`kInvalidArgument` otherwise); `kInvalidArgument` also covers a
+  /// malformed stream.  On success `*replaced` (when non-null) reports
+  /// whether an existing tenant was displaced.
+  api::Status adopt_instance(std::span<const std::uint8_t> bytes, std::string_view expect_name,
+                             bool* replaced = nullptr);
+
   /// The engine's telemetry registry (`fhg_engine_*` counters, gauges and
   /// timing histograms).  Per-engine rather than process-global, so twin
   /// engines fed identical workloads produce identical counter snapshots —
@@ -216,6 +231,8 @@ class Engine {
     obs::Counter& snapshots;          ///< snapshot() calls
     obs::Counter& snapshot_bytes;     ///< bytes across those snapshots
     obs::Counter& restores;           ///< load_snapshot() calls
+    obs::Counter& instance_snapshots; ///< snapshot_instance() successes
+    obs::Counter& adoptions;          ///< adopt_instance() successes
     obs::HistogramCell& query_batch_us;  ///< batch kernel wall time (µs)
     obs::HistogramCell& mutation_us;     ///< apply_mutations wall time (µs)
     obs::Gauge& instances;               ///< live tenant count (refresh_gauges)

@@ -55,6 +55,10 @@ namespace fhg::engine {
 class Engine;
 class InstanceRegistry;
 class Instance;
+
+namespace detail {
+struct SnapshotReplay;  // snapshot restore's private-access shim (snapshot.cpp)
+}  // namespace detail
 class WalSink;
 void restore_registry(InstanceRegistry& registry, std::span<const std::uint8_t> bytes);
 
@@ -166,8 +170,10 @@ class Instance {
   /// `Engine::apply_mutations` is the entry point that maintains both.
  private:
   friend class Engine;
-  friend void restore_registry(InstanceRegistry& registry,
-                               std::span<const std::uint8_t> bytes);
+  /// Snapshot restore's private-access shim (defined in snapshot.cpp): the
+  /// one non-Engine path allowed to call `replay_mutation_log`, shared by
+  /// the tenancy-wide and single-instance restore entry points.
+  friend struct detail::SnapshotReplay;
   MutationResult apply_mutations(std::span<const dynamic::MutationCommand> commands,
                                  WalSink* wal = nullptr);
 

@@ -73,4 +73,18 @@ inline constexpr std::uint64_t kSnapshotVersionLatest = 3;
 /// malformed snapshot.
 void restore_registry(InstanceRegistry& registry, std::span<const std::uint8_t> bytes);
 
+/// Serializes a single instance as a count-1 snapshot stream — the migration
+/// unit the cluster router ships between backends.  The bytes are a regular
+/// snapshot (same magic/version/count header), so `restore_registry` loads
+/// them too.  Throws `std::invalid_argument` under the same downgrade rules
+/// as `snapshot_registry`.
+[[nodiscard]] std::vector<std::uint8_t> snapshot_instance(
+    const Instance& instance, std::uint64_t version = kSnapshotVersionLatest);
+
+/// Rebuilds the one instance of a count-1 snapshot stream: parse, construct
+/// the recipe state, replay the mutation log, fast-forward.  Throws
+/// `std::runtime_error` when `bytes` is malformed or holds more than one
+/// instance.
+[[nodiscard]] std::shared_ptr<Instance> restore_instance(std::span<const std::uint8_t> bytes);
+
 }  // namespace fhg::engine

@@ -34,6 +34,8 @@ Engine::Telemetry::Telemetry(obs::Registry& registry)
       snapshots(registry.counter("fhg_engine_snapshots_total")),
       snapshot_bytes(registry.counter("fhg_engine_snapshot_bytes_total")),
       restores(registry.counter("fhg_engine_restores_total")),
+      instance_snapshots(registry.counter("fhg_engine_instance_snapshots_total")),
+      adoptions(registry.counter("fhg_engine_instance_adoptions_total")),
       query_batch_us(registry.histogram("fhg_engine_query_batch_us")),
       mutation_us(registry.histogram("fhg_engine_mutation_us")),
       instances(registry.gauge("fhg_engine_instances")),
@@ -225,6 +227,50 @@ std::vector<std::uint8_t> Engine::snapshot() const {
 void Engine::load_snapshot(std::span<const std::uint8_t> bytes) {
   restore_registry(registry_, bytes);
   telemetry_.restores.increment();
+}
+
+api::Status Engine::snapshot_instance(std::string_view instance,
+                                      std::vector<std::uint8_t>& out) const {
+  const std::shared_ptr<Instance> found = registry_.find(instance);
+  if (!found) {
+    return api::Status::error(api::StatusCode::kNotFound,
+                              "no instance named '" + std::string(instance) + "'");
+  }
+  out = engine::snapshot_instance(*found);
+  telemetry_.instance_snapshots.increment();
+  telemetry_.snapshot_bytes.add(out.size());
+  return api::Status::good();
+}
+
+api::Status Engine::adopt_instance(std::span<const std::uint8_t> bytes,
+                                   std::string_view expect_name, bool* replaced) {
+  // Parse, build, replay, and fast-forward before touching the registry — a
+  // malformed blob must never displace the tenant it claimed to replace.
+  std::shared_ptr<Instance> instance;
+  try {
+    instance = restore_instance(bytes);
+  } catch (const std::exception& e) {
+    return api::Status::error(api::StatusCode::kInvalidArgument, e.what());
+  }
+  if (!expect_name.empty() && instance->name() != expect_name) {
+    return api::Status::error(api::StatusCode::kInvalidArgument,
+                              "snapshot holds instance '" + instance->name() +
+                                  "', not the requested '" + std::string(expect_name) + "'");
+  }
+  bool displaced = false;
+  // Replace-insert: a create racing the adoption can take the name between
+  // the erase and the insert; the migration wins deterministically.
+  while (!registry_.insert(instance)) {
+    displaced |= registry_.erase(instance->name());
+  }
+  telemetry_.adoptions.increment();
+  if (WalSink* sink = wal_sink()) {
+    sink->on_lifecycle();  // the adopted tenant's fleet shape must be durable
+  }
+  if (replaced != nullptr) {
+    *replaced = displaced;
+  }
+  return api::Status::good();
 }
 
 void Engine::refresh_gauges() {

@@ -8,6 +8,20 @@
 
 namespace fhg::engine {
 
+namespace detail {
+
+/// The one non-Engine door into `Instance::replay_mutation_log` (see the
+/// friend declaration in instance.hpp): both restore entry points rebuild
+/// tenants through this shim.
+struct SnapshotReplay {
+  static void replay(Instance& instance, std::span<const dynamic::MutationCommand> log,
+                     std::span<const dynamic::BatchRecord> records) {
+    instance.replay_mutation_log(log, records);
+  }
+};
+
+}  // namespace detail
+
 namespace {
 
 constexpr std::uint32_t kMagic = 0x46484753;  // "FHGS"
@@ -209,6 +223,107 @@ std::string read_name(BitReader& r) {
   return name;
 }
 
+/// One instance's record, serialized exactly as `snapshot_registry` writes
+/// it — the shared body of the tenancy-wide and single-instance writers, so
+/// a single-instance blob is a count-1 tenancy snapshot byte for byte.
+void write_instance(BitWriter& w, const Instance& instance, std::uint64_t version) {
+  if (version < 2 && instance.dynamic()) {
+    throw std::invalid_argument("snapshot_registry: instance '" + instance.name() +
+                                "' is dynamic; its mutation log needs format v2");
+  }
+  // One locked read for (holiday, log, batches): a tenant stepping and
+  // mutating concurrently can never tear the triple a restore replays from.
+  const Instance::PersistedState state = instance.persisted_state();
+  if (version < 3) {
+    // Downgrade guard: pre-v3 formats cannot say "this coloring came from
+    // the parallel builder" or "this log segment was a bulk batch", and a
+    // restore that re-derives either choice lands on a different (if
+    // equally proper) coloring.  Refuse the lossy write, like v1 does for
+    // mutation logs.
+    if (instance.build_stats().parallel) {
+      throw std::invalid_argument("snapshot_registry: instance '" + instance.name() +
+                                  "' built its coloring with the parallel pass; format v" +
+                                  std::to_string(version) + " cannot record that");
+    }
+    for (const dynamic::BatchRecord& record : state.batches) {
+      if (record.bulk) {
+        throw std::invalid_argument("snapshot_registry: instance '" + instance.name() +
+                                    "' applied a bulk mutation batch; its segmentation needs "
+                                    "format v3");
+      }
+    }
+  }
+  write_name(w, instance.name());
+  write_spec(w, instance.spec(), version);
+  write_graph(w, instance.graph());
+  w.put_uint(state.holiday);
+  if (version >= 2) {
+    write_log(w, state.log);
+  }
+  if (version >= 3) {
+    write_batches(w, state.batches);
+  }
+}
+
+/// One instance's parsed-but-not-built record (see `restore_registry`'s
+/// parse-everything-first discipline).
+struct Parsed {
+  std::string name;
+  InstanceSpec spec;
+  graph::Graph graph;
+  std::uint64_t holiday = 0;
+  std::vector<dynamic::MutationCommand> log;
+  std::vector<dynamic::BatchRecord> batches;
+};
+
+Parsed read_instance(BitReader& r, std::uint64_t version) {
+  Parsed p;
+  p.name = read_name(r);
+  p.spec = read_spec(r, version);
+  p.graph = read_graph(r);
+  p.holiday = r.get_uint();
+  if (version >= 2) {
+    p.log = read_log(r);
+    if (!p.log.empty() && p.spec.kind != SchedulerKind::kDynamicPrefixCode) {
+      throw std::runtime_error("snapshot: mutation log on non-dynamic instance '" + p.name +
+                               "'");
+    }
+  }
+  if (version >= 3) {
+    p.batches = read_batches(r, p.log.size());
+  }
+  return p;
+}
+
+/// Builds a live instance from a parsed record: construct the recipe state,
+/// replay the mutation log through the recorded batch paths, fast-forward.
+std::shared_ptr<Instance> build_instance(Parsed&& p) {
+  auto instance =
+      std::make_shared<Instance>(std::move(p.name), std::move(p.graph), std::move(p.spec));
+  if (!p.log.empty()) {
+    // Replay the mutation log over the freshly built recipe state: every
+    // recolor decision is deterministic, so this lands on the identical
+    // coloring and slots the snapshotted tenant had.  The batch records
+    // (v3) route each segment through the path the live tenant took;
+    // pre-v3 logs replay per command, which is how they were applied.
+    detail::SnapshotReplay::replay(*instance, p.log, p.batches);
+  }
+  instance->fast_forward(p.holiday);
+  return instance;
+}
+
+/// Shared header parse: magic, version.
+std::uint64_t read_header(BitReader& r) {
+  if (r.get_bits(32) != kMagic) {
+    throw std::runtime_error("snapshot: bad magic");
+  }
+  const std::uint64_t version = r.get_uint();
+  if (version < kSnapshotVersionV1 || version > kSnapshotVersionLatest) {
+    throw std::runtime_error("snapshot: unsupported version " + std::to_string(version));
+  }
+  return version;
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> snapshot_registry(const InstanceRegistry& registry,
@@ -222,86 +337,47 @@ std::vector<std::uint8_t> snapshot_registry(const InstanceRegistry& registry,
   const auto instances = registry.all_sorted();
   w.put_uint(instances.size());
   for (const auto& instance : instances) {
-    if (version < 2 && instance->dynamic()) {
-      throw std::invalid_argument("snapshot_registry: instance '" + instance->name() +
-                                  "' is dynamic; its mutation log needs format v2");
-    }
-    // One locked read for (holiday, log, batches): a tenant stepping and
-    // mutating concurrently can never tear the triple a restore replays from.
-    const Instance::PersistedState state = instance->persisted_state();
-    if (version < 3) {
-      // Downgrade guard: pre-v3 formats cannot say "this coloring came from
-      // the parallel builder" or "this log segment was a bulk batch", and a
-      // restore that re-derives either choice lands on a different (if
-      // equally proper) coloring.  Refuse the lossy write, like v1 does for
-      // mutation logs.
-      if (instance->build_stats().parallel) {
-        throw std::invalid_argument("snapshot_registry: instance '" + instance->name() +
-                                    "' built its coloring with the parallel pass; format v" +
-                                    std::to_string(version) + " cannot record that");
-      }
-      for (const dynamic::BatchRecord& record : state.batches) {
-        if (record.bulk) {
-          throw std::invalid_argument("snapshot_registry: instance '" + instance->name() +
-                                      "' applied a bulk mutation batch; its segmentation needs "
-                                      "format v3");
-        }
-      }
-    }
-    write_name(w, instance->name());
-    write_spec(w, instance->spec(), version);
-    write_graph(w, instance->graph());
-    w.put_uint(state.holiday);
-    if (version >= 2) {
-      write_log(w, state.log);
-    }
-    if (version >= 3) {
-      write_batches(w, state.batches);
-    }
+    write_instance(w, *instance, version);
   }
   return w.finish();
 }
 
+std::vector<std::uint8_t> snapshot_instance(const Instance& instance, std::uint64_t version) {
+  if (version < kSnapshotVersionV1 || version > kSnapshotVersionLatest) {
+    throw std::invalid_argument("snapshot_instance: unknown version " +
+                                std::to_string(version));
+  }
+  BitWriter w;
+  w.put_bits(kMagic, 32);
+  w.put_uint(version);
+  w.put_uint(1);
+  write_instance(w, instance, version);
+  return w.finish();
+}
+
+std::shared_ptr<Instance> restore_instance(std::span<const std::uint8_t> bytes) {
+  BitReader r(bytes);
+  const std::uint64_t version = read_header(r);
+  const std::uint64_t count = r.get_uint();
+  if (count != 1) {
+    throw std::runtime_error("snapshot: expected a single-instance snapshot, found " +
+                             std::to_string(count) + " instances");
+  }
+  return build_instance(read_instance(r, version));
+}
+
 void restore_registry(InstanceRegistry& registry, std::span<const std::uint8_t> bytes) {
   BitReader r(bytes);
-  if (r.get_bits(32) != kMagic) {
-    throw std::runtime_error("snapshot: bad magic");
-  }
-  const std::uint64_t version = r.get_uint();
-  if (version < kSnapshotVersionV1 || version > kSnapshotVersionLatest) {
-    throw std::runtime_error("snapshot: unsupported version " + std::to_string(version));
-  }
+  const std::uint64_t version = read_header(r);
   const std::uint64_t count = r.get_uint();
   check_count(r, count, 8, "instance");
 
   // Parse the whole stream before touching the registry, so a malformed
   // snapshot cannot leave a half-restored tenancy (or destroy the old one).
-  struct Parsed {
-    std::string name;
-    InstanceSpec spec;
-    graph::Graph graph;
-    std::uint64_t holiday = 0;
-    std::vector<dynamic::MutationCommand> log;
-    std::vector<dynamic::BatchRecord> batches;
-  };
   std::vector<Parsed> parsed;
   parsed.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
-    Parsed p;
-    p.name = read_name(r);
-    p.spec = read_spec(r, version);
-    p.graph = read_graph(r);
-    p.holiday = r.get_uint();
-    if (version >= 2) {
-      p.log = read_log(r);
-      if (!p.log.empty() && p.spec.kind != SchedulerKind::kDynamicPrefixCode) {
-        throw std::runtime_error("snapshot: mutation log on non-dynamic instance '" + p.name +
-                                 "'");
-      }
-    }
-    if (version >= 3) {
-      p.batches = read_batches(r, p.log.size());
-    }
+    Parsed p = read_instance(r, version);
     // The canonical encoding is strictly name-sorted; enforcing it here
     // also rules out duplicate names before the destructive phase below.
     if (!parsed.empty() && parsed.back().name >= p.name) {
@@ -319,18 +395,7 @@ void restore_registry(InstanceRegistry& registry, std::span<const std::uint8_t> 
   std::vector<std::shared_ptr<Instance>> instances;
   instances.reserve(parsed.size());
   for (auto& p : parsed) {
-    auto instance =
-        std::make_shared<Instance>(std::move(p.name), std::move(p.graph), std::move(p.spec));
-    if (!p.log.empty()) {
-      // Replay the mutation log over the freshly built recipe state: every
-      // recolor decision is deterministic, so this lands on the identical
-      // coloring and slots the snapshotted tenant had.  The batch records
-      // (v3) route each segment through the path the live tenant took;
-      // pre-v3 logs replay per command, which is how they were applied.
-      instance->replay_mutation_log(p.log, p.batches);
-    }
-    instance->fast_forward(p.holiday);
-    instances.push_back(std::move(instance));
+    instances.push_back(build_instance(std::move(p)));
   }
 
   registry.clear();

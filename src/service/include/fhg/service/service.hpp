@@ -125,6 +125,10 @@ struct ServiceOptions {
   /// `start()`: submissions are admitted (up to capacity) but nothing is
   /// served — useful for tests that need a deterministically full queue.
   bool start = true;
+  /// Identity this process reports in the `Hello` handshake (protocol v2).
+  /// The cluster router matches it against its configured backend names;
+  /// empty is fine for single-process serving.
+  std::string backend_id = {};
 };
 
 /// The sharded asynchronous serving front-end.  Thread-safe: any thread may

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "fhg/api/codec.hpp"
 #include "fhg/engine/query_batch.hpp"
 
 namespace fhg::service {
@@ -490,6 +491,32 @@ void Service::serve_admin(Request& request, ShardMetrics& local) {
       info.durable_batches += instance->batch_count();
     }
     response.payload = info;
+  } else if (std::holds_alternative<api::HelloRequest>(request.body)) {
+    response.payload = api::HelloResponse{.backend = options_.backend_id,
+                                          .min_version = api::kMinSupportedVersion,
+                                          .max_version = api::kProtocolVersion};
+  } else if (const auto* snap_one = std::get_if<api::SnapshotInstanceRequest>(&request.body)) {
+    api::SnapshotInstanceResponse payload;
+    api::Status status = engine_.snapshot_instance(snap_one->instance, payload.bytes);
+    if (status.ok()) {
+      response.payload = std::move(payload);
+    }
+    response.status = std::move(status);
+  } else if (auto* adopt = std::get_if<api::RestoreInstanceRequest>(&request.body)) {
+    bool replaced = false;
+    api::Status status = engine_.adopt_instance(adopt->bytes, adopt->instance, &replaced);
+    if (status.ok()) {
+      response.payload = api::RestoreInstanceResponse{replaced};
+    }
+    response.status = std::move(status);
+  } else if (std::holds_alternative<api::DrainBackendRequest>(request.body)) {
+    // Drain is a router verb: it reshapes a ring this process is merely a
+    // member of.  Answer typed so a misrouted client learns it dialed a
+    // backend, not the router.
+    response = api::Response::error(api::StatusCode::kFailedPrecondition,
+                                    "drain-backend addresses a cluster router; this is a "
+                                    "backend ('" +
+                                        options_.backend_id + "')");
   } else {
     const auto& restore = std::get<api::RestoreRequest>(request.body);
     try {

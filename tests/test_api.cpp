@@ -65,6 +65,10 @@ std::vector<fa::Request> all_request_kinds() {
       fa::RestoreRequest{{0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x42}},
       fa::GetStatsRequest{.include_histograms = false, .include_traces = true},
       fa::RecoverInfoRequest{},
+      fa::HelloRequest{},
+      fa::SnapshotInstanceRequest{"acme"},
+      fa::RestoreInstanceRequest{"acme", {0xFE, 0xED, 0x00, 0x17}},
+      fa::DrainBackendRequest{"backend-2"},
   };
 }
 
@@ -129,6 +133,12 @@ std::vector<fa::Response> all_response_kinds() {
                                                       .skipped_batches = 1,
                                                       .torn_bytes = 13,
                                                       .durable_batches = 23}));
+  responses.push_back(success(fa::HelloResponse{
+      .backend = "backend-0", .min_version = fa::kMinSupportedVersion,
+      .max_version = fa::kProtocolVersion}));
+  responses.push_back(success(fa::SnapshotInstanceResponse{{9, 8, 7, 0, 255}}));
+  responses.push_back(success(fa::RestoreInstanceResponse{true}));
+  responses.push_back(success(fa::DrainBackendResponse{5}));
   responses.push_back(fa::Response::error(fa::StatusCode::kNotFound, "no instance named 'x'"));
   responses.push_back(fa::Response::error(fa::StatusCode::kQueueFull,
                                           "the owning shard's queue is at capacity"));
@@ -165,6 +175,10 @@ TEST(ApiProtocol, KindNamesAndRoutingInstance) {
   EXPECT_EQ(fa::request_kind_name(7), "restore");
   EXPECT_EQ(fa::request_kind_name(8), "get-stats");
   EXPECT_EQ(fa::request_kind_name(9), "recover-info");
+  EXPECT_EQ(fa::request_kind_name(10), "hello");
+  EXPECT_EQ(fa::request_kind_name(11), "snapshot-instance");
+  EXPECT_EQ(fa::request_kind_name(12), "restore-instance");
+  EXPECT_EQ(fa::request_kind_name(13), "drain-backend");
   EXPECT_EQ(fa::request_kind_name(99), "unknown");
   // Instance-addressed kinds route by name; tenancy-wide kinds route empty.
   EXPECT_EQ(fa::routing_instance(requests[0]), "acme");
@@ -175,6 +189,32 @@ TEST(ApiProtocol, KindNamesAndRoutingInstance) {
   EXPECT_EQ(fa::routing_instance(requests[7]), "");
   EXPECT_EQ(fa::routing_instance(requests[8]), "");
   EXPECT_EQ(fa::routing_instance(requests[9]), "");
+  EXPECT_EQ(fa::routing_instance(requests[10]), "");
+  // The migration pair routes by the migrating tenant's name, so snapshot
+  // and adopt serialize with that tenant's other lifecycle traffic.
+  EXPECT_EQ(fa::routing_instance(requests[11]), "acme");
+  EXPECT_EQ(fa::routing_instance(requests[12]), "acme");
+  EXPECT_EQ(fa::routing_instance(requests[13]), "");
+}
+
+TEST(ApiProtocol, IdempotenceTableCoversEveryKind) {
+  // Reads and probes retry safely; mutations, lifecycle, and migration
+  // verbs must not be replayed after an ambiguous failure.
+  EXPECT_TRUE(fa::request_is_idempotent(0));    // is-happy
+  EXPECT_TRUE(fa::request_is_idempotent(1));    // next-gathering
+  EXPECT_FALSE(fa::request_is_idempotent(2));   // apply-mutations
+  EXPECT_FALSE(fa::request_is_idempotent(3));   // create-instance
+  EXPECT_FALSE(fa::request_is_idempotent(4));   // erase-instance
+  EXPECT_TRUE(fa::request_is_idempotent(5));    // list-instances
+  EXPECT_TRUE(fa::request_is_idempotent(6));    // snapshot
+  EXPECT_FALSE(fa::request_is_idempotent(7));   // restore
+  EXPECT_TRUE(fa::request_is_idempotent(8));    // get-stats
+  EXPECT_TRUE(fa::request_is_idempotent(9));    // recover-info
+  EXPECT_TRUE(fa::request_is_idempotent(10));   // hello
+  EXPECT_TRUE(fa::request_is_idempotent(11));   // snapshot-instance
+  EXPECT_FALSE(fa::request_is_idempotent(12));  // restore-instance
+  EXPECT_FALSE(fa::request_is_idempotent(13));  // drain-backend
+  EXPECT_FALSE(fa::request_is_idempotent(99));  // out of range: never retry
 }
 
 // --------------------------------------------------------- round trips -----
@@ -273,6 +313,36 @@ TEST(ApiCodec, WrongVersionFailsTypedAndPreservesRequestId) {
   EXPECT_EQ(decoded.request_id, 4242u);
 }
 
+TEST(ApiCodec, V1FramesStillDecodeUnderTheV2Build) {
+  // A v1 peer's frames keep decoding: the version range is [min, current],
+  // not an exact match.
+  const fa::Request request = fa::IsHappyRequest{"acme", 7, 9};
+  const auto frame = fa::encode_request(11, request, /*version=*/1);
+  fa::DecodedRequest decoded;
+  ASSERT_TRUE(fa::decode_request(frame, decoded).ok());
+  EXPECT_EQ(decoded.protocol_version, 1u);
+  EXPECT_EQ(decoded.request, request);
+}
+
+TEST(ApiCodec, V2KindsInsideAV1FrameFailTyped) {
+  // A frame claiming v1 must not smuggle v2 vocabulary: the tag gate turns
+  // it into a decode error rather than a silently mis-versioned exchange.
+  const auto frame = fa::encode_request(12, fa::HelloRequest{}, /*version=*/1);
+  fa::DecodedRequest decoded;
+  const fa::Status status = fa::decode_request(frame, decoded);
+  EXPECT_EQ(status.code, fa::StatusCode::kDecodeError);
+
+  const auto response_frame =
+      fa::encode_response(13, [] {
+        fa::Response r;
+        r.payload = fa::DrainBackendResponse{2};
+        return r;
+      }(), /*version=*/1);
+  fa::DecodedResponse response;
+  EXPECT_EQ(fa::decode_response(response_frame, response).code,
+            fa::StatusCode::kDecodeError);
+}
+
 TEST(ApiCodec, UnknownRequestTagFailsTyped) {
   fc::BitWriter w;
   w.put_uint(fa::kProtocolVersion);
@@ -365,6 +435,31 @@ TEST(ApiFrameAssembler, OversizedLengthPrefixPoisonsImmediately) {
   // The header alone condemns the frame — no buffering of the bogus body.
   EXPECT_EQ(small.feed(std::span(frame.data(), fa::kFrameHeaderBytes)).code,
             fa::StatusCode::kDecodeError);
+}
+
+TEST(ApiFrameAssembler, ResetClearsPartialBytesAndStickyErrors) {
+  const auto frame = fa::encode_request(1, fa::IsHappyRequest{"acme", 7, 9});
+
+  // Half a frame buffered (a connection died mid-response)...
+  fa::FrameAssembler assembler;
+  ASSERT_TRUE(assembler.feed(std::span(frame.data(), frame.size() / 2)).ok());
+  ASSERT_GT(assembler.buffered(), 0u);
+  // ...reset drops it, so the replacement connection's first frame is not
+  // parsed against the dead one's leftover prefix.
+  assembler.reset();
+  EXPECT_EQ(assembler.buffered(), 0u);
+  ASSERT_TRUE(assembler.feed(frame).ok());
+  auto reassembled = assembler.next();
+  ASSERT_TRUE(reassembled.has_value());
+  EXPECT_EQ(*reassembled, frame);
+
+  // Reset also clears the sticky poison, unlike any amount of valid input.
+  const std::vector<std::uint8_t> garbage{'G', 'A', 'R', 'B', 0, 0, 0, 1, 42};
+  EXPECT_EQ(assembler.feed(garbage).code, fa::StatusCode::kDecodeError);
+  assembler.reset();
+  EXPECT_TRUE(assembler.error().ok());
+  ASSERT_TRUE(assembler.feed(frame).ok());
+  EXPECT_TRUE(assembler.next().has_value());
 }
 
 TEST(ApiFrameAssembler, ValidatesTheHeaderBehindAPoppedFrame) {

@@ -1,0 +1,480 @@
+// Tests for fhg::cluster: the consistent-hash ring's placement contract
+// (determinism, succession, bounded remap) and the router's failover story
+// against real in-process backends — mirrored writes, read failover,
+// eviction + snapshot migration, re-registration, drain — capped by the
+// acceptance property: schedules served through the router stay *byte
+// identical* with a single-process reference across the loss of a backend.
+// When the fhg_serve example binary is on disk (FHG_SERVE_PATH), the same
+// property is re-proved against real processes killed with SIGKILL.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "fhg/api/client.hpp"
+#include "fhg/api/protocol.hpp"
+#include "fhg/api/socket.hpp"
+#include "fhg/api/transport.hpp"
+#include "fhg/cluster/ring.hpp"
+#include "fhg/cluster/router.hpp"
+#include "fhg/dynamic/mutation.hpp"
+#include "fhg/engine/engine.hpp"
+#include "fhg/graph/generators.hpp"
+#include "fhg/obs/registry.hpp"
+#include "fhg/service/service.hpp"
+
+namespace fa = fhg::api;
+namespace fc = fhg::cluster;
+namespace fd = fhg::dynamic;
+namespace fe = fhg::engine;
+namespace fg = fhg::graph;
+namespace fo = fhg::obs;
+namespace fs = fhg::service;
+
+namespace {
+
+// ------------------------------------------------------------------ ring ---
+
+TEST(Ring, PlacementIsDeterministicAndOrderIndependent) {
+  fc::HashRing forward(64);
+  fc::HashRing backward(64);
+  const std::vector<std::string> names = {"alpha", "bravo", "charlie", "delta"};
+  for (const auto& name : names) {
+    forward.add_node(name);
+  }
+  for (auto it = names.rbegin(); it != names.rend(); ++it) {
+    backward.add_node(*it);
+  }
+  ASSERT_EQ(forward.nodes(), backward.nodes());
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "tenant-" + std::to_string(i);
+    const std::string owner = forward.owner_of(key);
+    EXPECT_EQ(owner, backward.owner_of(key)) << key;
+    EXPECT_EQ(forward.successor_of(key), backward.successor_of(key)) << key;
+    EXPECT_NE(owner, forward.successor_of(key))
+        << key << ": the replica must be a different backend";
+  }
+}
+
+TEST(Ring, SuccessorInheritsExactlyTheEvictedArc) {
+  // The property the whole failover design leans on: after removing one
+  // backend, every key it owned is owned by what was its *successor*, and
+  // no other key moves at all.
+  fc::HashRing ring(64);
+  for (const std::string name : {"b0", "b1", "b2", "b3"}) {
+    ring.add_node(name);
+  }
+  std::map<std::string, std::pair<std::string, std::string>> before;
+  for (int i = 0; i < 300; ++i) {
+    const std::string key = "tenant-" + std::to_string(i);
+    before[key] = {ring.owner_of(key), ring.successor_of(key)};
+  }
+  const std::string dead = "b2";
+  ring.remove_node(dead);
+  for (const auto& [key, placement] : before) {
+    if (placement.first == dead) {
+      EXPECT_EQ(ring.owner_of(key), placement.second)
+          << key << ": the replica must inherit ownership";
+    } else {
+      EXPECT_EQ(ring.owner_of(key), placement.first) << key << ": must not move";
+    }
+  }
+}
+
+TEST(Ring, LoadSpreadsAcrossBackendsEvenForNumberedFleets) {
+  // Regression: raw FNV-1a barely changes the high bits between `fleet-1`
+  // and `fleet-2`, which herded entire numbered fleets onto one backend
+  // until the ring started finalizing its coordinates.  Every backend must
+  // own a healthy share of a numbered fleet.
+  fc::HashRing ring(64);
+  for (const std::string name : {"b0", "b1", "b2"}) {
+    ring.add_node(name);
+  }
+  std::map<std::string, int> owned;
+  const int fleet = 120;
+  for (int i = 0; i < fleet; ++i) {
+    ++owned[ring.owner_of("fleet-" + std::to_string(i))];
+  }
+  ASSERT_EQ(owned.size(), 3u) << "every backend must own part of the fleet";
+  for (const auto& [backend, count] : owned) {
+    EXPECT_GE(count, fleet / 10) << backend << " owns a starved share";
+  }
+}
+
+TEST(Ring, RemapFractionOnMembershipChangeIsBounded) {
+  fc::HashRing ring(64);
+  for (const std::string name : {"b0", "b1", "b2", "b3"}) {
+    ring.add_node(name);
+  }
+  std::map<std::string, std::string> before;
+  const int keys = 400;
+  for (int i = 0; i < keys; ++i) {
+    const std::string key = "tenant-" + std::to_string(i);
+    before[key] = ring.owner_of(key);
+  }
+  ring.add_node("b4");
+  int moved = 0;
+  for (const auto& [key, owner] : before) {
+    moved += ring.owner_of(key) != owner ? 1 : 0;
+  }
+  // Expectation is 1/5 of the keys; double it for hash variance.  The point
+  // is the contrast with naive modulo placement, which remaps ~4/5.
+  EXPECT_GT(moved, 0);
+  EXPECT_LE(moved, (2 * keys) / 5) << "adding one backend reshuffled the fleet";
+}
+
+// -------------------------------------------------------------- router -----
+
+/// One in-process backend: engine + single-shard service + TCP server.  A
+/// single service shard keeps each backend's mutation order exactly the
+/// router's submission order, which the byte-identity tests lean on.
+struct Backend {
+  std::string name;
+  std::unique_ptr<fe::Engine> engine;
+  std::unique_ptr<fs::Service> service;
+  std::unique_ptr<fa::SocketServer> server;
+  std::uint16_t port = 0;
+
+  explicit Backend(std::string backend_name) : name(std::move(backend_name)) {
+    engine = std::make_unique<fe::Engine>(fe::EngineOptions{.shards = 2, .threads = 1});
+    service = std::make_unique<fs::Service>(
+        *engine, fs::ServiceOptions{.shards = 1, .backend_id = name});
+    server = std::make_unique<fa::SocketServer>(*service, fa::SocketServerOptions{});
+    port = server->port();
+  }
+
+  /// The kill: sever the listener and every connection.  From the router's
+  /// side this is indistinguishable from a crashed process.
+  void stop() { server->stop(); }
+
+  /// Recovery on the *same* port (the router dials the configured endpoint;
+  /// SO_REUSEADDR makes the rebind race-free).
+  void restart() {
+    server = std::make_unique<fa::SocketServer>(
+        *service, fa::SocketServerOptions{.port = port});
+  }
+};
+
+/// N backends plus a router over them, probing disabled — tests drive the
+/// failure detector explicitly through `probe_now`.
+struct Cluster {
+  std::vector<std::unique_ptr<Backend>> backends;
+  std::unique_ptr<fc::Router> router;
+
+  explicit Cluster(std::size_t n) {
+    fc::RouterOptions options;
+    for (std::size_t i = 0; i < n; ++i) {
+      backends.push_back(std::make_unique<Backend>(std::string("b") + std::to_string(i)));
+      options.backends.push_back(
+          fc::BackendConfig{backends.back()->name, "127.0.0.1", backends.back()->port});
+    }
+    options.workers = 2;
+    options.probe_interval = std::chrono::milliseconds(0);
+    options.probe_failures_to_evict = 2;
+    router = std::make_unique<fc::Router>(std::move(options));
+  }
+
+  ~Cluster() {
+    router->stop();
+    for (auto& backend : backends) {
+      backend->stop();
+    }
+  }
+
+  [[nodiscard]] Backend& named(const std::string& name) const {
+    for (const auto& backend : backends) {
+      if (backend->name == name) {
+        return *backend;
+      }
+    }
+    throw std::runtime_error("no backend named " + name);
+  }
+
+  /// Synchronous request through the router's handler (the `SocketServer`
+  /// path adds only framing, which test_transport already covers).
+  [[nodiscard]] fa::Response call(fa::Request request) const {
+    std::promise<fa::Response> promise;
+    auto future = promise.get_future();
+    router->handle(std::move(request),
+                   [&promise](fa::Response response) { promise.set_value(std::move(response)); });
+    return future.get();
+  }
+
+  /// Evicts by running probe rounds until the threshold trips.
+  void evict_via_probes() const {
+    router->probe_now();
+    router->probe_now();
+  }
+
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const {
+    for (const fo::MetricSample& sample : router->metrics().snapshot()) {
+      if (sample.name == name) {
+        return static_cast<std::uint64_t>(sample.value);
+      }
+    }
+    return 0;
+  }
+};
+
+/// A small deterministic fleet: alternating static cycles and dynamic
+/// instances, created through `call` so the placement is the router's.
+const int kFleet = 6;
+const int kNodes = 10;
+const int kHorizon = 48;
+
+std::string tenant(int i) { return "tenant-" + std::to_string(i); }
+
+fa::Request create_request(int i) {
+  std::vector<fg::Edge> edges;
+  for (fg::NodeId u = 0; u + 1 < static_cast<fg::NodeId>(kNodes); ++u) {
+    edges.push_back({u, u + 1});
+  }
+  fe::InstanceSpec spec;
+  if (i % 2 == 1) {
+    spec.kind = fe::SchedulerKind::kDynamicPrefixCode;
+  }
+  return fa::CreateInstanceRequest{tenant(i), kNodes, edges, spec};
+}
+
+/// Deterministic mutation batch `round` for tenant `i` (dynamic tenants
+/// only get edges within the node range; static tenants refuse, typed).
+std::vector<fd::MutationCommand> mutation_batch(int i, int round) {
+  std::vector<fd::MutationCommand> commands;
+  const auto u = static_cast<fg::NodeId>((i + round) % kNodes);
+  const auto v = static_cast<fg::NodeId>((i + 3 * round + 1) % kNodes);
+  if (u != v) {
+    commands.push_back(round % 2 == 0 ? fd::insert_edge_command(u, v)
+                                      : fd::erase_edge_command(u, v));
+  }
+  commands.push_back(fd::insert_edge_command(static_cast<fg::NodeId>(round % kNodes),
+                                             static_cast<fg::NodeId>((round + 5) % kNodes)));
+  return commands;
+}
+
+TEST(Router, HelloAndStatsAnswerFromTheRouterItself) {
+  Cluster cluster(3);
+  const fa::Response hello = cluster.call(fa::HelloRequest{});
+  ASSERT_TRUE(hello.ok()) << hello.status.detail;
+  EXPECT_EQ(std::get<fa::HelloResponse>(hello.payload).backend, "fhg-router");
+
+  const fa::Response stats = cluster.call(fa::GetStatsRequest{});
+  ASSERT_TRUE(stats.ok()) << stats.status.detail;
+  const auto& metrics = std::get<fa::GetStatsResponse>(stats.payload).metrics;
+  const bool has_cluster_counters =
+      std::any_of(metrics.begin(), metrics.end(), [](const fo::MetricSample& sample) {
+        return sample.name.rfind("fhg_cluster_", 0) == 0;
+      });
+  EXPECT_TRUE(has_cluster_counters) << "GetStats through the router must expose its registry";
+}
+
+TEST(Router, CreateThroughRouterLandsOnPrimaryAndReplicaOnly) {
+  Cluster cluster(3);
+  for (int i = 0; i < kFleet; ++i) {
+    const fa::Response created = cluster.call(create_request(i));
+    ASSERT_TRUE(created.ok()) << tenant(i) << ": " << created.status.detail;
+  }
+  for (int i = 0; i < kFleet; ++i) {
+    const auto [primary, replica] = cluster.router->route_of(tenant(i));
+    ASSERT_FALSE(primary.empty());
+    ASSERT_FALSE(replica.empty());
+    for (const auto& backend : cluster.backends) {
+      const bool holds = backend->engine->find(tenant(i)) != nullptr;
+      const bool should = backend->name == primary || backend->name == replica;
+      EXPECT_EQ(holds, should)
+          << tenant(i) << " on " << backend->name << " (primary " << primary << ", replica "
+          << replica << ")";
+    }
+  }
+}
+
+TEST(Router, RoutedAnswersMatchASingleProcessService) {
+  Cluster cluster(3);
+  fe::Engine reference_engine(fe::EngineOptions{.shards = 2, .threads = 1});
+  fs::Service reference(reference_engine, fs::ServiceOptions{.shards = 1});
+  fa::Client direct(std::make_unique<fa::InProcessTransport>(reference));
+
+  for (int i = 0; i < kFleet; ++i) {
+    ASSERT_TRUE(cluster.call(create_request(i)).ok());
+    ASSERT_TRUE(direct.call(create_request(i)).ok());
+  }
+  for (int round = 0; round < 8; ++round) {
+    for (int i = 0; i < kFleet; ++i) {
+      const fa::Request request = fa::ApplyMutationsRequest{tenant(i), mutation_batch(i, round)};
+      const fa::Response routed = cluster.call(request);
+      const fa::Response local = direct.call(request);
+      // Static tenants refuse mutations; both sides must agree either way.
+      ASSERT_EQ(routed.status.code, local.status.code) << tenant(i) << " round " << round;
+    }
+  }
+  for (int i = 0; i < kFleet; ++i) {
+    for (fg::NodeId node = 0; node < static_cast<fg::NodeId>(kNodes); ++node) {
+      for (int holiday = 1; holiday <= kHorizon; ++holiday) {
+        const fa::Request probe = fa::IsHappyRequest{tenant(i), node,
+                                                     static_cast<std::uint64_t>(holiday)};
+        const fa::Response routed = cluster.call(probe);
+        const fa::Response local = direct.call(probe);
+        ASSERT_TRUE(routed.ok()) << routed.status.detail;
+        ASSERT_EQ(std::get<fa::IsHappyResponse>(routed.payload).happy,
+                  std::get<fa::IsHappyResponse>(local.payload).happy)
+            << tenant(i) << " node " << node << " holiday " << holiday;
+      }
+    }
+  }
+}
+
+TEST(Router, ReadsFailOverWhenThePrimaryStops) {
+  Cluster cluster(3);
+  for (int i = 0; i < kFleet; ++i) {
+    ASSERT_TRUE(cluster.call(create_request(i)).ok());
+  }
+  const auto [primary, replica] = cluster.router->route_of(tenant(0));
+  cluster.named(primary).stop();
+  const fa::Response answered = cluster.call(fa::IsHappyRequest{tenant(0), 1, 3});
+  ASSERT_TRUE(answered.ok()) << "replica must answer: " << answered.status.detail;
+  EXPECT_GE(cluster.counter("fhg_cluster_failovers_total"), 1u);
+}
+
+TEST(Router, EvictionMigratesAndRestoresReplication) {
+  Cluster cluster(3);
+  for (int i = 0; i < kFleet; ++i) {
+    ASSERT_TRUE(cluster.call(create_request(i)).ok());
+  }
+  // Remember every answer while healthy; they must survive the eviction.
+  std::map<std::string, bool> before;
+  for (int i = 0; i < kFleet; ++i) {
+    const fa::Response answered = cluster.call(fa::IsHappyRequest{tenant(i), 2, 5});
+    ASSERT_TRUE(answered.ok());
+    before[tenant(i)] = std::get<fa::IsHappyResponse>(answered.payload).happy;
+  }
+  const std::string dead = cluster.router->route_of(tenant(0)).first;
+  cluster.named(dead).stop();
+  cluster.evict_via_probes();
+
+  EXPECT_EQ(cluster.router->ring_members().size(), 2u);
+  EXPECT_GE(cluster.counter("fhg_cluster_evictions_total"), 1u);
+  EXPECT_GE(cluster.counter("fhg_cluster_migrations_total"), 1u);
+  for (int i = 0; i < kFleet; ++i) {
+    // Replication factor restored: both surviving holders are live backends.
+    const auto [primary, replica] = cluster.router->route_of(tenant(i));
+    EXPECT_NE(primary, dead);
+    EXPECT_NE(replica, dead);
+    EXPECT_NE(cluster.named(primary).engine->find(tenant(i)), nullptr) << tenant(i);
+    EXPECT_NE(cluster.named(replica).engine->find(tenant(i)), nullptr) << tenant(i);
+    // And the answers did not change.
+    const fa::Response after = cluster.call(fa::IsHappyRequest{tenant(i), 2, 5});
+    ASSERT_TRUE(after.ok()) << tenant(i) << ": " << after.status.detail;
+    EXPECT_EQ(std::get<fa::IsHappyResponse>(after.payload).happy, before[tenant(i)])
+        << tenant(i);
+  }
+}
+
+TEST(Router, RecoveredBackendIsReRegisteredAndReconciled) {
+  Cluster cluster(3);
+  for (int i = 0; i < kFleet; ++i) {
+    ASSERT_TRUE(cluster.call(create_request(i)).ok());
+  }
+  const std::string dead = cluster.router->route_of(tenant(0)).first;
+  cluster.named(dead).stop();
+  cluster.evict_via_probes();
+  ASSERT_EQ(cluster.router->ring_members().size(), 2u);
+
+  cluster.named(dead).restart();
+  cluster.router->probe_now();
+  EXPECT_EQ(cluster.router->ring_members().size(), 3u);
+  EXPECT_GE(cluster.counter("fhg_cluster_reregistrations_total"), 1u);
+  // Re-registration pulled the rejoiner's share back onto it.
+  for (int i = 0; i < kFleet; ++i) {
+    const auto [primary, replica] = cluster.router->route_of(tenant(i));
+    EXPECT_NE(cluster.named(primary).engine->find(tenant(i)), nullptr) << tenant(i);
+    EXPECT_NE(cluster.named(replica).engine->find(tenant(i)), nullptr) << tenant(i);
+  }
+}
+
+TEST(Router, DrainPinsABackendOutOfTheRing) {
+  Cluster cluster(3);
+  for (int i = 0; i < kFleet; ++i) {
+    ASSERT_TRUE(cluster.call(create_request(i)).ok());
+  }
+  const std::string drained = cluster.router->route_of(tenant(0)).first;
+  const fa::Response response = cluster.call(fa::DrainBackendRequest{drained});
+  ASSERT_TRUE(response.ok()) << response.status.detail;
+  EXPECT_EQ(cluster.router->ring_members().size(), 2u);
+  // The prober must not bring a drained backend back, even though it is up.
+  cluster.router->probe_now();
+  EXPECT_EQ(cluster.router->ring_members().size(), 2u);
+  // Unknown backends and double drains answer typed.
+  EXPECT_EQ(cluster.call(fa::DrainBackendRequest{"nonesuch"}).status.code,
+            fa::StatusCode::kNotFound);
+  EXPECT_EQ(cluster.call(fa::DrainBackendRequest{drained}).status.code,
+            fa::StatusCode::kFailedPrecondition);
+}
+
+TEST(Router, SingleProcessAdminKindsAreRefusedTyped) {
+  Cluster cluster(2);
+  EXPECT_EQ(cluster.call(fa::SnapshotRequest{}).status.code,
+            fa::StatusCode::kFailedPrecondition);
+  EXPECT_EQ(cluster.call(fa::RestoreRequest{}).status.code,
+            fa::StatusCode::kFailedPrecondition);
+  EXPECT_EQ(cluster.call(fa::RecoverInfoRequest{}).status.code,
+            fa::StatusCode::kFailedPrecondition);
+}
+
+// The acceptance property: a fleet served through the router across the
+// loss of a backend produces the *same schedule, bit for bit*, as an
+// uninterrupted single-process service fed the identical stream.
+TEST(Router, MutationSchedulesStayByteIdenticalAcrossABackendLoss) {
+  Cluster cluster(3);
+  fe::Engine reference_engine(fe::EngineOptions{.shards = 2, .threads = 1});
+  fs::Service reference(reference_engine, fs::ServiceOptions{.shards = 1});
+  fa::Client direct(std::make_unique<fa::InProcessTransport>(reference));
+
+  for (int i = 0; i < kFleet; ++i) {
+    ASSERT_TRUE(cluster.call(create_request(i)).ok());
+    ASSERT_TRUE(direct.call(create_request(i)).ok());
+  }
+  auto apply_round = [&](int round) {
+    for (int i = 0; i < kFleet; ++i) {
+      const fa::Request request = fa::ApplyMutationsRequest{tenant(i), mutation_batch(i, round)};
+      const fa::Response routed = cluster.call(request);
+      const fa::Response local = direct.call(request);
+      ASSERT_EQ(routed.status.code, local.status.code) << tenant(i) << " round " << round;
+    }
+  };
+  for (int round = 0; round < 5; ++round) {
+    apply_round(round);
+  }
+  // Lose the busiest backend mid-stream and heal the ring.
+  const std::string dead = cluster.router->route_of(tenant(1)).first;
+  cluster.named(dead).stop();
+  cluster.evict_via_probes();
+  for (int round = 5; round < 10; ++round) {
+    apply_round(round);
+  }
+  for (int i = 0; i < kFleet; ++i) {
+    for (fg::NodeId node = 0; node < static_cast<fg::NodeId>(kNodes); ++node) {
+      for (int holiday = 1; holiday <= kHorizon; ++holiday) {
+        const fa::Request probe = fa::IsHappyRequest{tenant(i), node,
+                                                     static_cast<std::uint64_t>(holiday)};
+        const fa::Response routed = cluster.call(probe);
+        ASSERT_TRUE(routed.ok()) << routed.status.detail;
+        ASSERT_EQ(std::get<fa::IsHappyResponse>(routed.payload).happy,
+                  std::get<fa::IsHappyResponse>(direct.call(probe).payload).happy)
+            << tenant(i) << " node " << node << " holiday " << holiday
+            << " diverged after losing " << dead;
+      }
+    }
+  }
+  EXPECT_GE(cluster.counter("fhg_cluster_migrations_total"), 1u);
+}
+
+}  // namespace

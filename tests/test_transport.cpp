@@ -647,3 +647,75 @@ TEST(Transport, ManyIdleConnectionsServeInterleavedRequests) {
   }
   server.stop();
 }
+
+// ------------------------------------------------- reconnect and retry -----
+
+TEST(Transport, SocketTransportReconnectsAcrossAServerBounce) {
+  fe::Engine engine;
+  (void)engine.create_instance("bounce-probe", fg::cycle(6), fe::InstanceSpec{});
+  fs::Service service(engine, {.shards = 1, .queue_capacity = 4096, .start = true,
+                               .backend_id = "bouncer"});
+  auto first = std::make_unique<fa::SocketServer>(service, fa::SocketServerOptions{});
+  const std::uint16_t port = first->port();
+  fa::SocketTransport transport(first->host(), port);
+
+  const auto frame = fa::encode_request(1, fa::ListInstancesRequest{});
+  std::vector<std::uint8_t> reply_before;
+  ASSERT_TRUE(transport.roundtrip(frame, reply_before).ok());
+
+  // The bounce: the old process dies, a new one binds the same port
+  // (SO_REUSEADDR).  The dead socket must fail typed, not hang or crash,
+  // and one reconnect must fully heal the transport.
+  first->stop();
+  first.reset();
+  std::vector<std::uint8_t> ignored;
+  EXPECT_FALSE(transport.roundtrip(frame, ignored).ok());
+  fa::SocketServer second(service, fa::SocketServerOptions{.port = port});
+  ASSERT_TRUE(transport.reconnect().ok());
+  std::vector<std::uint8_t> reply_after;
+  ASSERT_TRUE(transport.roundtrip(frame, reply_after).ok());
+  // Same service, same request id, same framing: byte-identical replies
+  // prove the reassembler restarted clean (no half-frame leaked across).
+  EXPECT_EQ(reply_before, reply_after);
+  second.stop();
+}
+
+TEST(Transport, ClientRetryPolicyHealsABouncedConnectionTransparently) {
+  fe::Engine engine;
+  (void)engine.create_instance("retry-probe", fg::cycle(6), fe::InstanceSpec{});
+  fs::Service service(engine, {.shards = 1, .queue_capacity = 4096, .start = true,
+                               .backend_id = "bouncer"});
+  auto first = std::make_unique<fa::SocketServer>(service, fa::SocketServerOptions{});
+  const std::uint16_t port = first->port();
+  const std::string host = first->host();
+
+  fa::Client client(std::make_unique<fa::SocketTransport>(host, port));
+  client.set_retry_policy({.max_retries = 3,
+                           .initial_backoff = std::chrono::milliseconds(1),
+                           .max_backoff = std::chrono::milliseconds(8)});
+  ASSERT_TRUE(client.list_instances().ok());
+  EXPECT_EQ(client.retries(), 0u) << "a healthy connection must not retry";
+
+  // Bounce while the client holds a now-dead connection: the next call eats
+  // the transport failure, reconnects, and succeeds without the caller ever
+  // seeing an error.
+  first->stop();
+  first.reset();
+  fa::SocketServer second(service, fa::SocketServerOptions{.port = port});
+  const auto listed = client.list_instances();
+  ASSERT_TRUE(listed.ok()) << listed.status.detail;
+  ASSERT_EQ(listed.value.size(), 1u);
+  EXPECT_EQ(listed.value[0].name, "retry-probe");
+  EXPECT_GE(client.retries(), 1u);
+  EXPECT_GE(client.reconnects(), 1u);
+
+  // With nothing listening, the budget runs out into a typed failure — and
+  // a later recovery is still reachable through the same client.
+  second.stop();
+  const auto while_down = client.list_instances();
+  EXPECT_FALSE(while_down.ok());
+  EXPECT_EQ(while_down.status.code, fa::StatusCode::kInternal);
+  fa::SocketServer third(service, fa::SocketServerOptions{.port = port});
+  ASSERT_TRUE(client.list_instances().ok());
+  third.stop();
+}

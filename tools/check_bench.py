@@ -22,6 +22,8 @@ build, so numbers are comparable to CI) with:
       --benchmark_format=json > bench/baselines/bench_e19.json
   ./build/bench/bench_e20_service --benchmark_min_time=0.05 \\
       --benchmark_format=json > bench/baselines/bench_e20.json
+  ./build/bench/bench_e25_cluster --benchmark_min_time=0.05 \\
+      --benchmark_format=json > bench/baselines/bench_e25.json
 
 (Newer Google Benchmark wants a unit suffix: --benchmark_min_time=0.05s.)
 
@@ -32,6 +34,16 @@ baseline with `--max-latency-regression` — latency is lower-is-better, so
 the failing direction is current/baseline exceeding the limit, the inverse
 of the throughput gate.  Counters missing from either side are skipped with
 a warning, mirroring the throughput behavior.
+
+Multi-process aggregates: a benchmark that drives several backend processes
+can publish one user counter per backend (bench_e25 emits
+`backend_qps_b0/b1/b2` on `router-3/snapshot/real_time`).  Passing
+`--sum-counters BENCH PREFIX AS` sums every counter on BENCH whose name
+starts with PREFIX — max over repetitions, same one-sided-noise logic as
+throughput — and injects the total into the current run as a synthetic
+series named AS, so the ratio gates below can reference it like any real
+benchmark.  BENCH absent from the run, or no counter matching PREFIX, is a
+hard failure: an aggregate gate that silently sums nothing gates nothing.
 
 Intra-run ratio gates come in two spellings.  `--min-speedup FAST SLOW RATIO`
 takes all three in one flag.  The zipped form — repeatable `--ratio-num NAME`
@@ -44,6 +56,7 @@ usage error.
 Usage:
   check_bench.py --current out.json [--baseline bench/baselines/bench_e18.json]
                  [--max-regression 2.0]
+                 [--sum-counters BENCH PREFIX AS]...
                  [--min-speedup FAST_NAME SLOW_NAME RATIO]
                  [--ratio-num NAME --ratio-den NAME --min-ratio R]...
                  [--latency-counter p50_us] [--max-latency-regression 2.0]
@@ -106,6 +119,37 @@ def load_counters(path: str, counter_names: list[str]) -> dict[tuple[str, str], 
     return values
 
 
+def sum_prefixed_counters(path: str, bench: str, prefix: str) -> float | None:
+    """Sum of user counters on `bench` whose names start with `prefix`.
+
+    Per iteration entry the matching counters are summed (one counter per
+    backend process → the sum is the aggregate rate); across repetitions the
+    *maximum* sum is kept, for the same reason load_rates keeps the fastest
+    repetition: shared-runner interference only ever pushes the aggregate
+    down.  Returns None when no iteration of `bench` carries a matching
+    counter — the caller treats that as a hard failure.
+    """
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    best: float | None = None
+    for entry in doc.get("benchmarks", []):
+        if entry.get("run_type", "iteration") != "iteration":
+            continue
+        name = entry.get("run_name", entry["name"])
+        if name != bench:
+            continue
+        matched = [
+            float(value)
+            for key, value in entry.items()
+            if key.startswith(prefix) and isinstance(value, (int, float))
+        ]
+        if not matched:
+            continue
+        total = sum(matched)
+        best = total if best is None else max(best, total)
+    return best
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--current", required=True, help="JSON from the fresh run")
@@ -115,6 +159,15 @@ def main() -> int:
         type=float,
         default=2.0,
         help="fail when baseline/current throughput exceeds this (default 2.0)",
+    )
+    parser.add_argument(
+        "--sum-counters",
+        nargs=3,
+        metavar=("BENCH", "PREFIX", "AS"),
+        action="append",
+        default=[],
+        help="sum user counters starting with PREFIX on benchmark BENCH into a "
+        "synthetic series named AS (usable in ratio gates); repeatable",
     )
     parser.add_argument(
         "--min-speedup",
@@ -247,6 +300,22 @@ def main() -> int:
             "check_bench: WARNING — latency counters requested but no baseline "
             "file; skipping latency gate"
         )
+
+    # Synthetic aggregate series must exist before the ratio gates read
+    # `current`.  A gate whose benchmark or counters are absent fails hard:
+    # summing nothing and then passing a >= check against it would be a
+    # green light with no measurement behind it.
+    for bench, prefix, alias in args.sum_counters:
+        total = sum_prefixed_counters(args.current, bench, prefix)
+        if total is None:
+            suffix = "" if bench in current else " (benchmark missing from the run)"
+            failures.append(
+                f"sum-counters gate: no counter starting with {prefix!r} on "
+                f"{bench!r} in {args.current}{suffix}"
+            )
+            continue
+        current[alias] = total
+        print(f"  AGGREGATE  {alias} = sum of {prefix}* on {bench} = {total:.3g}/s")
 
     ratio_gates = [(fast, slow, float(ratio)) for fast, slow, ratio in args.min_speedup]
     ratio_gates += list(zip(args.ratio_num, args.ratio_den, args.min_ratio))
